@@ -1,0 +1,54 @@
+// Fig. 6(b): average wall-clock time per communication round for the
+// vanilla system, the two PIECK attacks, and the regularization defense,
+// on MF-FRS and DL-FRS (ML-1M-like). Paper shape: DL-FRS costs more
+// than MF-FRS; attacks add negligible time; the defense adds a modest
+// per-round overhead.
+
+#include <cstdio>
+
+#include "bench/bench_lib.h"
+#include "common/string_util.h"
+#include "core/report.h"
+
+using namespace pieck;
+using namespace pieck::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 40));
+
+  struct Scenario {
+    const char* name;
+    AttackKind attack;
+    DefenseKind defense;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"No(Att.&Def.)", AttackKind::kNone, DefenseKind::kNoDefense},
+      {"PIECK-IPE", AttackKind::kPieckIpe, DefenseKind::kNoDefense},
+      {"PIECK-UEA", AttackKind::kPieckUea, DefenseKind::kNoDefense},
+      {"DEFENSE(ours)", AttackKind::kPieckUea, DefenseKind::kOurs},
+  };
+
+  std::printf("== Fig. 6(b): time per round, seconds (ML-1M-like) ==\n");
+  TablePrinter table({"Scenario", "MF-FRS", "DL-FRS"});
+  for (const Scenario& s : scenarios) {
+    std::vector<std::string> row = {s.name};
+    for (ModelKind kind :
+         {ModelKind::kMatrixFactorization, ModelKind::kNeuralCf}) {
+      ExperimentConfig config = MakeBenchConfig(BenchDataset::kMl1m, kind,
+                                                flags);
+      ApplyAttackCalibration(config, s.attack);
+      config.defense = s.defense;
+      config.rounds = rounds;
+      ExperimentResult result = MustRun(config);
+      row.push_back(FormatDouble(result.seconds_per_round, 4));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,43 @@
+#ifndef PIECK_BENCH_BENCH_LIB_H_
+#define PIECK_BENCH_BENCH_LIB_H_
+
+#include <string>
+
+#include "common/flags.h"
+#include "core/simulation.h"
+
+namespace pieck::bench {
+
+/// Calibrated reduced-scale configurations for the benchmark harness.
+///
+/// Each benchmark defaults to a scale that fits a single CPU core in
+/// seconds to minutes while preserving the paper's qualitative shape
+/// (see EXPERIMENTS.md). Every binary accepts:
+///   --full          run at the paper's dataset scale
+///   --scale <f>     custom dataset scale factor
+///   --rounds <n>    custom round count
+///   --seed <n>      custom seed
+enum class BenchDataset { kMl100k, kMl1m, kAz };
+
+const char* DatasetName(BenchDataset d);
+
+/// Builds a calibrated experiment config for (dataset, model). The
+/// returned config has NoAttack/NoDefense; benches then set the attack
+/// and defense fields. `flags` applies the common overrides above.
+ExperimentConfig MakeBenchConfig(BenchDataset dataset, ModelKind model,
+                                 const FlagParser& flags);
+
+/// Applies the per-attack hyperparameters used throughout the harness
+/// (mined-set size N differs between IPE and UEA, as in the paper's
+/// per-experiment tuning).
+void ApplyAttackCalibration(ExperimentConfig& config, AttackKind attack);
+
+/// Runs the experiment, aborting the binary with a message on error.
+ExperimentResult MustRun(const ExperimentConfig& config);
+
+/// "12.34" formatting of a fraction as percent.
+std::string Pct(double fraction);
+
+}  // namespace pieck::bench
+
+#endif  // PIECK_BENCH_BENCH_LIB_H_

@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels behind the
+// simulation: embedding math, model forward/backward, Δ-Norm mining,
+// and robust aggregation. These bound the per-round costs reported in
+// Fig. 6(b).
+
+#include <benchmark/benchmark.h>
+
+#include "attack/popular_item_miner.h"
+#include "common/rng.h"
+#include "defense/robust_aggregators.h"
+#include "model/mf_model.h"
+#include "model/ncf_model.h"
+#include "tensor/math.h"
+
+namespace pieck {
+namespace {
+
+void BM_Dot(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Vec a(dim), b(dim);
+  for (double& v : a) v = rng.Normal(0, 1);
+  for (double& v : b) v = rng.Normal(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a, b));
+  }
+}
+BENCHMARK(BM_Dot)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CosineGrad(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  Vec a(dim), b(dim);
+  for (double& v : a) v = rng.Normal(0, 1);
+  for (double& v : b) v = rng.Normal(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineSimilarityGradWrtB(a, b));
+  }
+}
+BENCHMARK(BM_CosineGrad)->Arg(16)->Arg(64);
+
+void BM_MfForwardBackward(benchmark::State& state) {
+  MfModel model(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  GlobalModel g = model.InitGlobalModel(128, rng);
+  Vec u = model.InitUserEmbedding(rng);
+  Vec v = g.item_embeddings.Row(0);
+  ForwardCache cache;
+  Vec gu = Zeros(u.size());
+  Vec gv = Zeros(v.size());
+  for (auto _ : state) {
+    double logit = model.Forward(g, u, v, &cache);
+    model.Backward(g, u, v, cache, BceGradFromLogit(1.0, logit), &gu, &gv,
+                   nullptr);
+    benchmark::DoNotOptimize(gv);
+  }
+}
+BENCHMARK(BM_MfForwardBackward)->Arg(16)->Arg(64);
+
+void BM_NcfForwardBackward(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  NcfModel model(dim, {dim, dim / 2});
+  Rng rng(4);
+  GlobalModel g = model.InitGlobalModel(128, rng);
+  Vec u = model.InitUserEmbedding(rng);
+  Vec v = g.item_embeddings.Row(0);
+  ForwardCache cache;
+  Vec gu = Zeros(u.size());
+  Vec gv = Zeros(v.size());
+  InteractionGrads igrads = InteractionGrads::ZerosLike(g);
+  for (auto _ : state) {
+    double logit = model.Forward(g, u, v, &cache);
+    model.Backward(g, u, v, cache, BceGradFromLogit(1.0, logit), &gu, &gv,
+                   &igrads);
+    benchmark::DoNotOptimize(gv);
+  }
+}
+BENCHMARK(BM_NcfForwardBackward)->Arg(16)->Arg(32);
+
+void BM_MinerObserve(benchmark::State& state) {
+  const size_t items = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  Matrix snapshot(items, 16);
+  snapshot.RandomNormal(rng, 0, 0.1);
+  PopularItemMiner miner(1 << 20, 10);  // never stops accumulating
+  miner.Observe(snapshot);
+  for (auto _ : state) {
+    snapshot.At(0, 0) += 0.001;
+    miner.Observe(snapshot);
+  }
+}
+BENCHMARK(BM_MinerObserve)->Arg(512)->Arg(2048);
+
+void BM_MedianAggregate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  std::vector<Vec> grads;
+  for (int i = 0; i < n; ++i) {
+    Vec g(16);
+    for (double& v : g) v = rng.Normal(0, 1);
+    grads.push_back(std::move(g));
+  }
+  MedianAggregator agg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.Aggregate(grads));
+  }
+}
+BENCHMARK(BM_MedianAggregate)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace pieck
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table III: ER@10 / HR@10 of all seven attacks on MF-FRS and DL-FRS
+// with no defense (p̃ = 5%). Paper shape on MF: PIECK-UEA ≥ PIECK-IPE ≫
+// A-HUM > PIPA > {A-RA, FedRecA, NoAttack} ≈ 0, HR unaffected; on DL all
+// PIECK/PIPA/A-RA/A-HUM reach ~100%.
+//
+// Defaults to the ML-100K-like dataset; pass --all-datasets for the full
+// three-dataset sweep (slower).
+
+#include <cstdio>
+
+#include "bench/bench_lib.h"
+#include "core/report.h"
+
+using namespace pieck;
+using namespace pieck::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<BenchDataset> datasets = {BenchDataset::kMl100k};
+  if (flags.GetBool("all-datasets", false)) {
+    datasets = {BenchDataset::kMl100k, BenchDataset::kMl1m, BenchDataset::kAz};
+  }
+  const std::vector<AttackKind> attacks = {
+      AttackKind::kNone,      AttackKind::kFedRecAttack,
+      AttackKind::kPipAttack, AttackKind::kARa,
+      AttackKind::kAHum,      AttackKind::kPieckIpe,
+      AttackKind::kPieckUea};
+
+  for (ModelKind kind :
+       {ModelKind::kMatrixFactorization, ModelKind::kNeuralCf}) {
+    std::printf("== Table III (%s, no defense, p~=5%%) ==\n",
+                ModelKindToString(kind));
+    std::vector<std::string> header = {"Attack"};
+    for (BenchDataset d : datasets) {
+      header.push_back(std::string(DatasetName(d)) + " ER@10");
+      header.push_back(std::string(DatasetName(d)) + " HR@10");
+    }
+    TablePrinter table(header);
+
+    for (AttackKind attack : attacks) {
+      std::vector<std::string> row = {AttackKindToString(attack)};
+      for (BenchDataset d : datasets) {
+        ExperimentConfig config = MakeBenchConfig(d, kind, flags);
+        ApplyAttackCalibration(config, attack);
+        ExperimentResult result = MustRun(config);
+        row.push_back(Pct(result.er_at_k));
+        row.push_back(Pct(result.hr_at_k));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

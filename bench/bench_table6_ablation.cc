@@ -1,0 +1,92 @@
+// Table VI: ablations. Left half — the techniques inside L_IPE (Eq. 8):
+// similarity metric (PKL vs PCOS), the rank weighting κ(·), and the
+// sign-partitioning P±. Right half — the two defense regularizers Re1 /
+// Re2 in L_def (Eq. 16) against both PIECK attacks. Paper shape: PCOS >
+// PKL, κ and P± each add attack strength; both regularizers are needed
+// jointly for a defense that is both protective and HR-preserving.
+
+#include <cstdio>
+
+#include "bench/bench_lib.h"
+#include "core/report.h"
+
+using namespace pieck;
+using namespace pieck::bench;
+
+namespace {
+
+void AblateIpe(const FlagParser& flags) {
+  std::printf("== Table VI (left): L_IPE ablation (MF, ML-100K-like) ==\n");
+  struct Variant {
+    const char* name;
+    IpeMetric metric;
+    bool rank_weights;
+    bool partition;
+  };
+  const std::vector<Variant> variants = {
+      {"PKL metric", IpeMetric::kSoftmaxKl, false, false},
+      {"PCOS", IpeMetric::kCosine, false, false},
+      {"PCOS + k(.)", IpeMetric::kCosine, true, false},
+      {"PCOS + k(.) + P+/-", IpeMetric::kCosine, true, true},
+  };
+  TablePrinter table({"L_IPE variant", "ER@10", "HR@10"});
+  for (const Variant& v : variants) {
+    ExperimentConfig config = MakeBenchConfig(
+        BenchDataset::kMl100k, ModelKind::kMatrixFactorization, flags);
+    ApplyAttackCalibration(config, AttackKind::kPieckIpe);
+    config.attack_config.ipe_metric = v.metric;
+    config.attack_config.ipe_use_rank_weights = v.rank_weights;
+    config.attack_config.ipe_use_sign_partition = v.partition;
+    ExperimentResult result = MustRun(config);
+    table.AddRow({v.name, Pct(result.er_at_k), Pct(result.hr_at_k)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void AblateDefense(const FlagParser& flags) {
+  std::printf("== Table VI (right): L_def ablation (MF, ML-100K-like) ==\n");
+  struct Variant {
+    const char* name;
+    bool re1;
+    bool re2;
+  };
+  const std::vector<Variant> variants = {
+      {"no defense", false, false},
+      {"Re1 only", true, false},
+      {"Re2 only", false, true},
+      {"Re1 + Re2", true, true},
+  };
+  TablePrinter table({"L_def variant", "IPE ER@10", "IPE HR@10",
+                      "UEA ER@10", "UEA HR@10"});
+  for (const Variant& v : variants) {
+    std::vector<std::string> row = {v.name};
+    for (AttackKind attack :
+         {AttackKind::kPieckIpe, AttackKind::kPieckUea}) {
+      ExperimentConfig config = MakeBenchConfig(
+          BenchDataset::kMl100k, ModelKind::kMatrixFactorization, flags);
+      ApplyAttackCalibration(config, attack);
+      config.defense =
+          (v.re1 || v.re2) ? DefenseKind::kOurs : DefenseKind::kNoDefense;
+      config.defense_options.enable_re1 = v.re1;
+      config.defense_options.enable_re2 = v.re2;
+      ExperimentResult result = MustRun(config);
+      row.push_back(Pct(result.er_at_k));
+      row.push_back(Pct(result.hr_at_k));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  AblateIpe(flags);
+  AblateDefense(flags);
+  return 0;
+}

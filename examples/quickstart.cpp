@@ -1,0 +1,56 @@
+// Quickstart: train a matrix-factorization federated recommender on a
+// synthetic MovieLens-100K-like dataset and report recommendation
+// quality (HR@10), with no attacker present.
+//
+// Usage: quickstart [--scale 0.3] [--rounds 200] [--dim 16] [--model mf|dl]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/simulation.h"
+
+int main(int argc, char** argv) {
+  pieck::FlagParser flags;
+  if (pieck::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  pieck::ExperimentConfig config;
+  config.dataset =
+      pieck::MovieLens100KConfig(flags.GetDouble("scale", 0.3));
+  config.model_kind = flags.GetString("model", "mf") == "dl"
+                          ? pieck::ModelKind::kNeuralCf
+                          : pieck::ModelKind::kMatrixFactorization;
+  config.embedding_dim = static_cast<int>(flags.GetInt("dim", 16));
+  config.rounds = static_cast<int>(flags.GetInt("rounds", 200));
+  config.eval_every = static_cast<int>(flags.GetInt("eval-every", 50));
+  config.attack = pieck::AttackKind::kNone;
+
+  std::printf("== fedrec-pieck quickstart ==\n");
+  std::printf("dataset: %s (users=%d items=%d interactions=%lld)\n",
+              config.dataset.name.c_str(), config.dataset.num_users,
+              config.dataset.num_items,
+              static_cast<long long>(config.dataset.num_interactions));
+  std::printf("model: %s, dim=%d, rounds=%d\n",
+              pieck::ModelKindToString(config.model_kind),
+              config.embedding_dim, config.rounds);
+
+  auto result = pieck::RunExperiment(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nround   HR@10\n");
+  for (const auto& [round, hr] : result->hr_history) {
+    std::printf("%5d   %s%%\n", round,
+                pieck::FormatPercent(hr).c_str());
+  }
+  std::printf("\nfinal HR@10 = %s%%  (%.3f s/round)\n",
+              pieck::FormatPercent(result->hr_at_k).c_str(),
+              result->seconds_per_round);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Diagnostic probe: tracks the attacker's target item logit against the
+// benign users' top-10 entry threshold round by round. Useful for
+// understanding when and why an attack gains or loses exposure.
+//
+// Usage: target_score_probe [--attack uea|ipe|...] [--rounds 400] ...
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "core/simulation.h"
+
+namespace {
+
+pieck::AttackKind ParseAttack(const std::string& name) {
+  if (name == "uea") return pieck::AttackKind::kPieckUea;
+  if (name == "ipe") return pieck::AttackKind::kPieckIpe;
+  if (name == "ahum") return pieck::AttackKind::kAHum;
+  return pieck::AttackKind::kNone;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pieck::FlagParser flags;
+  if (pieck::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  pieck::ExperimentConfig config;
+  config.dataset = pieck::MovieLens100KConfig(flags.GetDouble("scale", 0.3));
+  config.users_per_round = static_cast<int>(flags.GetInt("batch", 74));
+  const std::string defense = flags.GetString("defense", "none");
+  if (defense == "trimmedmean") config.defense = pieck::DefenseKind::kTrimmedMean;
+  if (defense == "multikrum") config.defense = pieck::DefenseKind::kMultiKrum;
+  if (defense == "bulyan") config.defense = pieck::DefenseKind::kBulyan;
+  if (defense == "ours") config.defense = pieck::DefenseKind::kOurs;
+  config.attack = ParseAttack(flags.GetString("attack", "uea"));
+  config.attack_config.mined_top_n =
+      static_cast<int>(flags.GetInt("topn", 10));
+  config.attack_config.uea_opt_rounds =
+      static_cast<int>(flags.GetInt("uea-rounds", 3));
+  config.attack_config.attack_scale = flags.GetDouble("attack-scale", 1.0);
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 400));
+  const int every = static_cast<int>(flags.GetInt("eval-every", 50));
+
+  auto sim_or = pieck::Simulation::Create(config);
+  if (!sim_or.ok()) {
+    std::fprintf(stderr, "%s\n", sim_or.status().ToString().c_str());
+    return 1;
+  }
+  auto sim = std::move(sim_or).value();
+  const int target = sim->targets()[0];
+
+  // A shadow miner observing every round, mimicking what a malicious
+  // client sampled in rounds 1..R̃+1 would mine.
+  pieck::PopularItemMiner shadow(
+      static_cast<int>(flags.GetInt("mine-rounds", 2)),
+      config.attack_config.mined_top_n);
+  std::printf("target item %d, attack %s\n", target,
+              pieck::AttackKindToString(config.attack));
+  std::printf("round  ER@10   t-logit  thresh10  |v_t|  |v_pop|\n");
+
+  std::vector<int> pop_rank = sim->train().PopularityRank();
+  for (int r = 0; r < rounds; ++r) {
+    sim->RunRound();
+    shadow.Observe(sim->global().item_embeddings);
+    if (shadow.Ready() && r < 8) {
+      std::printf("round %d shadow-mined popularity ranks:", r + 1);
+      bool has_target = false;
+      for (int item : shadow.MinedItems()) {
+        std::printf(" %d", pop_rank[static_cast<size_t>(item)]);
+        if (item == target) has_target = true;
+      }
+      std::printf("%s\n", has_target ? "  [TARGET MINED!]" : "");
+    }
+    if ((r + 1) % every != 0 && r + 1 != rounds) continue;
+
+    const auto& g = sim->global();
+    const auto& model = sim->model();
+    pieck::Vec vt =
+        g.item_embeddings.Row(static_cast<size_t>(target));
+
+    // Mean target logit and mean 10th-best uninteracted logit.
+    double mean_logit = 0.0;
+    double mean_thresh = 0.0;
+    for (const auto* client : sim->benign_views()) {
+      const pieck::Vec& u = client->user_embedding();
+      mean_logit += model.Forward(g, u, vt, nullptr);
+      std::vector<double> scores;
+      scores.reserve(static_cast<size_t>(g.num_items()));
+      for (int j = 0; j < g.num_items(); ++j) {
+        if (sim->train().Interacted(client->user_id(), j)) continue;
+        pieck::Vec v = g.item_embeddings.Row(static_cast<size_t>(j));
+        scores.push_back(model.Forward(g, u, v, nullptr));
+      }
+      std::nth_element(scores.begin(), scores.begin() + 9, scores.end(),
+                       std::greater<double>());
+      mean_thresh += scores[9];
+    }
+    size_t n = sim->benign_views().size();
+    mean_logit /= static_cast<double>(n);
+    mean_thresh /= static_cast<double>(n);
+
+    // Mean norm of the 10 most popular items (ground truth).
+    double pop_norm = 0.0;
+    auto popular = sim->train().TopPopularItems(0.15);
+    int take = std::min<int>(10, static_cast<int>(popular.size()));
+    for (int i = 0; i < take; ++i) {
+      pop_norm += pieck::Norm2(
+          g.item_embeddings.Row(static_cast<size_t>(popular[i])));
+    }
+    pop_norm /= std::max(1, take);
+
+    std::printf("%5d  %5.1f%%  %7.2f  %8.2f  %5.2f  %6.2f\n", r + 1,
+                sim->EvaluateEr(10) * 100.0, mean_logit, mean_thresh,
+                pieck::Norm2(vt), pop_norm);
+  }
+  return 0;
+}

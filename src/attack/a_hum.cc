@@ -1,0 +1,58 @@
+#include "attack/a_hum.h"
+
+#include "common/logging.h"
+#include "tensor/math.h"
+
+namespace pieck {
+
+Vec AHumAttack::MineHardUser(const GlobalModel& g, int target,
+                             Rng& rng) const {
+  Vec u(static_cast<size_t>(g.dim()));
+  for (double& x : u) x = rng.Normal(0.0, 1.0);
+  Vec vt = g.item_embeddings.Row(static_cast<size_t>(target));
+
+  ForwardCache cache;
+  for (int step = 0; step < config_.hard_user_steps; ++step) {
+    // Descend BCE with label 0: push the user's predicted score for the
+    // target toward zero, i.e. make the user dislike the target.
+    Vec grad_u = Zeros(u.size());
+    double logit = model_.Forward(g, u, vt, &cache);
+    double dlogit = BceGradFromLogit(/*y=*/0.0, logit);
+    model_.Backward(g, u, vt, cache, dlogit, &grad_u, nullptr, nullptr);
+    Axpy(-config_.hard_user_lr, grad_u, u);
+  }
+  return u;
+}
+
+ClientUpdate AHumAttack::ParticipateRound(const GlobalModel& g, int /*round*/,
+                                          Rng& rng) {
+  ClientUpdate update;
+  if (model_.has_learnable_interaction()) {
+    update.interaction_grads = InteractionGrads::ZerosLike(g);
+  }
+
+  const int m = std::max(1, config_.num_approx_users);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  int primary = config_.target_items[0];
+  Vec vt = g.item_embeddings.Row(static_cast<size_t>(primary));
+  Vec grad = Zeros(vt.size());
+
+  ForwardCache cache;
+  for (int i = 0; i < m; ++i) {
+    Vec hard_user = MineHardUser(g, primary, rng);
+    double logit = model_.Forward(g, hard_user, vt, &cache);
+    double dlogit = BceGradFromLogit(/*y=*/1.0, logit) * inv_m;
+    model_.Backward(g, hard_user, vt, cache, dlogit, nullptr, &grad,
+                    update.interaction_grads.active
+                        ? &update.interaction_grads
+                        : nullptr);
+  }
+
+  Scale(config_.attack_scale, grad);
+  for (int target : config_.target_items) {
+    update.AccumulateItemGrad(target, grad);
+  }
+  return update;
+}
+
+}  // namespace pieck

@@ -1,0 +1,37 @@
+#ifndef PIECK_ATTACK_A_HUM_H_
+#define PIECK_ATTACK_A_HUM_H_
+
+#include "attack/attack.h"
+
+namespace pieck {
+
+/// A-HUM (Rong et al., IJCAI 2022): A-RA extended with hard-user mining.
+///
+/// Instead of purely random users, the attack refines random initial
+/// embeddings by gradient descent to find "hard" users that rate the
+/// target poorly, then uploads gradients that flip exactly those users'
+/// scores. Unlike A-RA, the hard users give the item-embedding gradient
+/// a meaningful direction, so A-HUM retains partial strength even on
+/// MF-FRS (Table III: ~31% ER on ML-100K) while fully poisoning DL-FRS.
+class AHumAttack : public Attack {
+ public:
+  AHumAttack(const RecModel& model, AttackConfig config)
+      : model_(model), config_(std::move(config)) {}
+
+  std::string name() const override { return "A-HUM"; }
+
+  ClientUpdate ParticipateRound(const GlobalModel& g, int round,
+                                Rng& rng) override;
+
+  /// Mines one hard user for `target`: starts from a random embedding
+  /// and descends so that Ψ(u, v_target) is minimized. Exposed for tests.
+  Vec MineHardUser(const GlobalModel& g, int target, Rng& rng) const;
+
+ private:
+  const RecModel& model_;
+  AttackConfig config_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_ATTACK_A_HUM_H_

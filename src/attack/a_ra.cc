@@ -1,0 +1,39 @@
+#include "attack/a_ra.h"
+
+#include "common/logging.h"
+#include "tensor/math.h"
+
+namespace pieck {
+
+ClientUpdate ARaAttack::ParticipateRound(const GlobalModel& g, int /*round*/,
+                                         Rng& rng) {
+  ClientUpdate update;
+  if (!model_.has_learnable_interaction()) {
+    return update;  // null parameters on MF-FRS
+  }
+  update.interaction_grads = InteractionGrads::ZerosLike(g);
+
+  const int m = std::max(1, config_.num_approx_users);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  int primary = config_.target_items[0];
+  Vec vt = g.item_embeddings.Row(static_cast<size_t>(primary));
+  Vec grad = Zeros(vt.size());
+
+  ForwardCache cache;
+  for (int i = 0; i < m; ++i) {
+    Vec u(static_cast<size_t>(g.dim()));
+    for (double& x : u) x = rng.Normal(0.0, 1.0);
+    double logit = model_.Forward(g, u, vt, &cache);
+    double dlogit = BceGradFromLogit(1.0, logit) * inv_m;
+    model_.Backward(g, u, vt, cache, dlogit, nullptr, &grad,
+                    &update.interaction_grads);
+  }
+
+  Scale(config_.attack_scale, grad);
+  for (int target : config_.target_items) {
+    update.AccumulateItemGrad(target, grad);
+  }
+  return update;
+}
+
+}  // namespace pieck

@@ -1,0 +1,33 @@
+#ifndef PIECK_ATTACK_A_RA_H_
+#define PIECK_ATTACK_A_RA_H_
+
+#include "attack/attack.h"
+
+namespace pieck {
+
+/// A-RA (Rong et al., IJCAI 2022): random approximation.
+///
+/// Samples fresh random user embeddings each round and uploads gradients
+/// that raise the target's score for them — poisoning the *learnable
+/// interaction function* alongside the target embedding. The attack is
+/// designed for DL-FRS; on MF-FRS there is no interaction function to
+/// poison, and the paper applies it with "null parameters", so we upload
+/// nothing there (Table III shows ~0 ER for A-RA on MF).
+class ARaAttack : public Attack {
+ public:
+  ARaAttack(const RecModel& model, AttackConfig config)
+      : model_(model), config_(std::move(config)) {}
+
+  std::string name() const override { return "A-RA"; }
+
+  ClientUpdate ParticipateRound(const GlobalModel& g, int round,
+                                Rng& rng) override;
+
+ private:
+  const RecModel& model_;
+  AttackConfig config_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_ATTACK_A_RA_H_

@@ -1,0 +1,60 @@
+#include "attack/attack.h"
+
+#include "attack/a_hum.h"
+#include "attack/a_ra.h"
+#include "attack/fedrec_attack.h"
+#include "attack/no_attack.h"
+#include "attack/pieck_ipe.h"
+#include "attack/pieck_uea.h"
+#include "attack/pip_attack.h"
+#include "common/logging.h"
+
+namespace pieck {
+
+const char* AttackKindToString(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "NoAttack";
+    case AttackKind::kFedRecAttack:
+      return "FedRecAttack";
+    case AttackKind::kPipAttack:
+      return "PipAttack";
+    case AttackKind::kARa:
+      return "A-RA";
+    case AttackKind::kAHum:
+      return "A-HUM";
+    case AttackKind::kPieckIpe:
+      return "PIECK-IPE";
+    case AttackKind::kPieckUea:
+      return "PIECK-UEA";
+  }
+  return "?";
+}
+
+std::unique_ptr<Attack> MakeAttack(AttackKind kind, const RecModel& model,
+                                   const AttackConfig& config,
+                                   const Dataset* full_train, uint64_t seed) {
+  if (kind != AttackKind::kNone) {
+    PIECK_CHECK(!config.target_items.empty())
+        << "targeted attacks need at least one target item";
+  }
+  switch (kind) {
+    case AttackKind::kNone:
+      return std::make_unique<NoAttack>();
+    case AttackKind::kFedRecAttack:
+      return std::make_unique<FedRecAttack>(model, config, full_train, seed);
+    case AttackKind::kPipAttack:
+      return std::make_unique<PipAttack>(model, config, full_train, seed);
+    case AttackKind::kARa:
+      return std::make_unique<ARaAttack>(model, config);
+    case AttackKind::kAHum:
+      return std::make_unique<AHumAttack>(model, config);
+    case AttackKind::kPieckIpe:
+      return std::make_unique<PieckIpeAttack>(model, config);
+    case AttackKind::kPieckUea:
+      return std::make_unique<PieckUeaAttack>(model, config);
+  }
+  return nullptr;
+}
+
+}  // namespace pieck

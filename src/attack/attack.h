@@ -1,0 +1,137 @@
+#ifndef PIECK_ATTACK_ATTACK_H_
+#define PIECK_ATTACK_ATTACK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "fed/client.h"
+#include "model/global_model.h"
+#include "model/rec_model.h"
+
+namespace pieck {
+
+/// How an attacker promotes several target items at once (§VI-G2 and
+/// supplementary Table IX).
+enum class MultiTargetStrategy {
+  /// Jointly optimize poisonous gradients for all targets.
+  kTrainTogether,
+  /// Optimize only the first target and upload copies of its gradient
+  /// for every target (the paper's cheaper and stronger default).
+  kTrainOneThenCopy,
+};
+
+/// Similarity metric used inside the IPE loss (ablated in Table VI).
+enum class IpeMetric {
+  kCosine,     // PCOS — the paper's choice
+  kSoftmaxKl,  // PKL — the ablation alternative
+};
+
+/// Shared configuration for every attack in the library.
+struct AttackConfig {
+  /// Items the attacker wants exposed (set T).
+  std::vector<int> target_items;
+
+  /// Server learning rate η — attacker knowledge item (1) of §III-B.
+  double server_learning_rate = 1.0;
+
+  /// Multiplier applied to uploaded poisonous gradients. 1.0 keeps the
+  /// raw loss gradients; benchmarks leave it at 1.0.
+  double attack_scale = 1.0;
+
+  MultiTargetStrategy multi_target = MultiTargetStrategy::kTrainOneThenCopy;
+
+  // --- PIECK popular-item mining (Algorithm 1) ---
+  int mining_rounds = 2;  // R̃
+  int mined_top_n = 10;   // N
+
+  // --- PIECK-IPE (Eq. 8) ---
+  double ipe_lambda = 0.5;  // λ ∈ (0,1]: suppression of the dominant side
+  /// Virtual optimization steps per round (the uploaded gradient is the
+  /// net displacement over the known server rate, as in UEA).
+  int ipe_opt_steps = 5;
+  IpeMetric ipe_metric = IpeMetric::kCosine;
+  bool ipe_use_rank_weights = true;  // κ(·) on/off (Table VI ablation)
+  bool ipe_use_sign_partition = true;  // P+/- on/off (Table VI ablation)
+
+  // --- PIECK-UEA (Eq. 10, §VI-F cost notes) ---
+  int uea_opt_rounds = 3;  // "round size" of the batched optimization
+  int uea_batch_size = 5;  // "batch size"
+
+  // --- Baselines ---
+  /// FedRecAttack: fraction of each benign user's interactions the
+  /// attacker can see. The paper masks this prior knowledge (== 0).
+  double fedreca_public_ratio = 0.0;
+  /// PipAttack: whether true popularity levels are available. The paper
+  /// masks them (false -> shuffled labels).
+  bool pipa_true_popularity = false;
+  /// Number of synthetic/approximated users used by A-RA, A-HUM, and
+  /// PipAttack's explicit promotion component.
+  int num_approx_users = 16;
+  /// A-HUM: gradient steps used to mine each hard user.
+  int hard_user_steps = 10;
+  /// A-HUM: learning rate of the hard-user mining loop.
+  double hard_user_lr = 0.5;
+};
+
+/// A targeted model-poisoning attack, executed independently by each
+/// malicious client (the paper's threat model gives the attacker no
+/// side channel other than the clients it controls).
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Invoked when the controlling malicious client is sampled; returns
+  /// the poisonous upload for this round.
+  virtual ClientUpdate ParticipateRound(const GlobalModel& g, int round,
+                                        Rng& rng) = 0;
+};
+
+/// The client wrapper the server sees; indistinguishable from a benign
+/// client at the interface level.
+class MaliciousClient : public ClientInterface {
+ public:
+  MaliciousClient(std::unique_ptr<Attack> attack, Rng rng)
+      : attack_(std::move(attack)), rng_(rng) {}
+
+  bool is_malicious() const override { return true; }
+  ClientUpdate ParticipateRound(const GlobalModel& g, int round) override {
+    return attack_->ParticipateRound(g, round, rng_);
+  }
+
+  const Attack& attack() const { return *attack_; }
+
+ private:
+  std::unique_ptr<Attack> attack_;
+  Rng rng_;
+};
+
+/// Identifier for constructing attacks by name (benchmarks, examples).
+enum class AttackKind {
+  kNone,
+  kFedRecAttack,
+  kPipAttack,
+  kARa,
+  kAHum,
+  kPieckIpe,
+  kPieckUea,
+};
+
+const char* AttackKindToString(AttackKind kind);
+
+/// Creates one attack instance for one malicious client.
+/// `model` must outlive the attack. `full_train` is consulted only by
+/// attacks whose published form assumes prior knowledge (FedRecAttack's
+/// public interactions, PipAttack's popularity levels); pass the benign
+/// training set so those baselines can be run unmasked for comparison.
+std::unique_ptr<Attack> MakeAttack(AttackKind kind, const RecModel& model,
+                                   const AttackConfig& config,
+                                   const Dataset* full_train, uint64_t seed);
+
+}  // namespace pieck
+
+#endif  // PIECK_ATTACK_ATTACK_H_

@@ -1,0 +1,82 @@
+#include "attack/fedrec_attack.h"
+
+#include "common/logging.h"
+#include "tensor/math.h"
+
+namespace pieck {
+
+namespace {
+// Steps and rate for refreshing the approximated user embeddings each
+// participation round.
+constexpr int kApproxSteps = 2;
+constexpr double kApproxLr = 0.1;
+}  // namespace
+
+FedRecAttack::FedRecAttack(const RecModel& model, AttackConfig config,
+                           const Dataset* full_train, uint64_t seed)
+    : model_(model), config_(std::move(config)) {
+  if (full_train == nullptr || config_.fedreca_public_ratio <= 0.0) {
+    return;  // prior knowledge masked: nothing is visible
+  }
+  Rng rng(seed);
+  for (int u = 0; u < full_train->num_users(); ++u) {
+    VisibleUser vu;
+    vu.user = u;
+    for (int item : full_train->ItemsOf(u)) {
+      if (rng.Bernoulli(config_.fedreca_public_ratio)) {
+        vu.public_items.push_back(item);
+      }
+    }
+    if (!vu.public_items.empty()) visible_.push_back(std::move(vu));
+  }
+}
+
+ClientUpdate FedRecAttack::ParticipateRound(const GlobalModel& g,
+                                            int /*round*/, Rng& /*rng*/) {
+  ClientUpdate update;
+  if (visible_.empty()) return update;  // masked prior knowledge -> no-op
+
+  if (!approx_initialized_) {
+    for (VisibleUser& vu : visible_) {
+      vu.approx_embedding = Zeros(static_cast<size_t>(g.dim()));
+    }
+    approx_initialized_ = true;
+  }
+
+  ForwardCache cache;
+  // Refine û on the public positives (treating item embeddings and the
+  // interaction function as fixed).
+  for (VisibleUser& vu : visible_) {
+    for (int step = 0; step < kApproxSteps; ++step) {
+      Vec grad_u = Zeros(vu.approx_embedding.size());
+      double inv = 1.0 / static_cast<double>(vu.public_items.size());
+      for (int item : vu.public_items) {
+        Vec v = g.item_embeddings.Row(static_cast<size_t>(item));
+        double logit = model_.Forward(g, vu.approx_embedding, v, &cache);
+        double dlogit = BceGradFromLogit(1.0, logit) * inv;
+        model_.Backward(g, vu.approx_embedding, v, cache, dlogit, &grad_u,
+                        nullptr, nullptr);
+      }
+      Axpy(-kApproxLr, grad_u, vu.approx_embedding);
+    }
+  }
+
+  // Ideal poison gradient of Eq. (5) on the approximated users.
+  const double inv_users = 1.0 / static_cast<double>(visible_.size());
+  Vec grad = Zeros(static_cast<size_t>(g.dim()));
+  int primary = config_.target_items[0];
+  Vec vt = g.item_embeddings.Row(static_cast<size_t>(primary));
+  for (const VisibleUser& vu : visible_) {
+    double logit = model_.Forward(g, vu.approx_embedding, vt, &cache);
+    double dlogit = BceGradFromLogit(1.0, logit) * inv_users;
+    model_.Backward(g, vu.approx_embedding, vt, cache, dlogit, nullptr,
+                    &grad, nullptr);
+  }
+  Scale(config_.attack_scale, grad);
+  for (int target : config_.target_items) {
+    update.AccumulateItemGrad(target, grad);
+  }
+  return update;
+}
+
+}  // namespace pieck

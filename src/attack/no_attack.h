@@ -1,0 +1,23 @@
+#ifndef PIECK_ATTACK_NO_ATTACK_H_
+#define PIECK_ATTACK_NO_ATTACK_H_
+
+#include "attack/attack.h"
+
+namespace pieck {
+
+/// The NoAttack baseline: a "malicious" client that uploads nothing.
+/// Benchmarks normally model NoAttack by injecting zero malicious
+/// clients; this class exists so every AttackKind is constructible.
+class NoAttack : public Attack {
+ public:
+  std::string name() const override { return "NoAttack"; }
+
+  ClientUpdate ParticipateRound(const GlobalModel& /*g*/, int /*round*/,
+                                Rng& /*rng*/) override {
+    return ClientUpdate{};
+  }
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_ATTACK_NO_ATTACK_H_

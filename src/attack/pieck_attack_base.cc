@@ -1,0 +1,58 @@
+#include "attack/pieck_attack_base.h"
+
+#include "common/logging.h"
+
+namespace pieck {
+
+PieckAttackBase::PieckAttackBase(const RecModel& model, AttackConfig config)
+    : model_(model),
+      config_(std::move(config)),
+      miner_(config_.mining_rounds, config_.mined_top_n) {
+  PIECK_CHECK(!config_.target_items.empty())
+      << "PIECK needs at least one target item";
+}
+
+ClientUpdate PieckAttackBase::ParticipateRound(const GlobalModel& g,
+                                               int /*round*/, Rng& rng) {
+  miner_.Observe(g.item_embeddings);
+
+  ClientUpdate update;  // inactive interaction grads: PIECK never poisons Ψ
+  if (!miner_.Ready()) return update;  // Algorithm 2/3 line 1: still mining
+
+  // The attacker's own poison inflates the targets' Δ-Norm, so they can
+  // surface in the mined set; the attacker knows T and filters it out.
+  std::vector<int> popular;
+  popular.reserve(miner_.MinedItems().size());
+  for (int item : miner_.MinedItems()) {
+    bool is_target = false;
+    for (int t : config_.target_items) is_target = is_target || item == t;
+    if (!is_target) popular.push_back(item);
+  }
+  if (popular.empty()) return update;
+
+  switch (config_.multi_target) {
+    case MultiTargetStrategy::kTrainOneThenCopy: {
+      // Optimize the first target only; upload |T| copies (§VI-G2).
+      Vec grad =
+          ComputePoisonGradient(g, config_.target_items[0], popular, rng);
+      Scale(config_.attack_scale, grad);
+      for (int target : config_.target_items) {
+        update.AccumulateItemGrad(target, grad);
+      }
+      break;
+    }
+    case MultiTargetStrategy::kTrainTogether: {
+      const double inv_t =
+          1.0 / static_cast<double>(config_.target_items.size());
+      for (int target : config_.target_items) {
+        Vec grad = ComputePoisonGradient(g, target, popular, rng);
+        Scale(config_.attack_scale * inv_t, grad);
+        update.AccumulateItemGrad(target, grad);
+      }
+      break;
+    }
+  }
+  return update;
+}
+
+}  // namespace pieck

@@ -1,0 +1,44 @@
+#ifndef PIECK_ATTACK_PIECK_ATTACK_BASE_H_
+#define PIECK_ATTACK_PIECK_ATTACK_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+#include "attack/popular_item_miner.h"
+
+namespace pieck {
+
+/// Common machinery of the two PIECK solutions (Algorithms 2 and 3):
+/// first mine popular items via Δ-Norm accumulation across the rounds
+/// this malicious client is sampled; once mining completes, generate a
+/// poisonous item-embedding gradient for the target(s) every round.
+///
+/// PIECK uploads *only* item-embedding gradients (never interaction-
+/// function gradients), which is what makes it model-agnostic.
+class PieckAttackBase : public Attack {
+ public:
+  ClientUpdate ParticipateRound(const GlobalModel& g, int round,
+                                Rng& rng) final;
+
+  const PopularItemMiner& miner() const { return miner_; }
+
+ protected:
+  PieckAttackBase(const RecModel& model, AttackConfig config);
+
+  /// Returns ∂(attack loss)/∂v_target given the mined popular items,
+  /// for a single target item. Called once mining is complete.
+  virtual Vec ComputePoisonGradient(const GlobalModel& g, int target,
+                                    const std::vector<int>& popular,
+                                    Rng& rng) = 0;
+
+  const RecModel& model_;
+  AttackConfig config_;
+
+ private:
+  PopularItemMiner miner_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_ATTACK_PIECK_ATTACK_BASE_H_

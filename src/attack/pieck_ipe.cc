@@ -1,0 +1,125 @@
+#include "attack/pieck_ipe.h"
+
+#include "common/logging.h"
+
+namespace pieck {
+
+namespace internal_ipe {
+
+std::vector<double> RankWeights(size_t m, bool use_rank_weights) {
+  // κ(v_k): the inverse rank (m − r) normalized into (0, 1] by m, so the
+  // most popular item gets weight 1 and the least gets 1/m. Uniform
+  // weight 1 when the κ ablation is disabled.
+  std::vector<double> w(m, 1.0);
+  if (!use_rank_weights || m == 0) return w;
+  for (size_t r = 0; r < m; ++r) {
+    w[r] = static_cast<double>(m - r) / static_cast<double>(m);
+  }
+  return w;
+}
+
+namespace {
+
+/// Splits `popular` (rank-ordered) into the subsets P+ / P− of Eq. (8)
+/// by the sign of the similarity to the target. With partitioning
+/// disabled, everything lands in the first subset.
+void PartitionBySign(const GlobalModel& g, const Vec& vt,
+                     const std::vector<int>& popular, bool use_partition,
+                     std::vector<int>* positive, std::vector<int>* negative) {
+  for (int k : popular) {
+    Vec vk = g.item_embeddings.Row(static_cast<size_t>(k));
+    if (!use_partition || CosineSimilarity(vk, vt) > 0.0) {
+      positive->push_back(k);
+    } else {
+      negative->push_back(k);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace internal_ipe
+
+double PieckIpeAttack::AttackLoss(const GlobalModel& g, int target,
+                                  const std::vector<int>& popular) const {
+  Vec vt = g.item_embeddings.Row(static_cast<size_t>(target));
+  std::vector<int> subsets[2];
+  internal_ipe::PartitionBySign(g, vt, popular,
+                                config_.ipe_use_sign_partition, &subsets[0],
+                                &subsets[1]);
+  double loss = 0.0;
+  for (const auto& subset : subsets) {
+    if (subset.empty()) continue;
+    std::vector<double> kappa = internal_ipe::RankWeights(
+        subset.size(), config_.ipe_use_rank_weights);
+    double coeff =
+        config_.ipe_lambda / static_cast<double>(subset.size());
+    for (size_t i = 0; i < subset.size(); ++i) {
+      Vec vk = g.item_embeddings.Row(static_cast<size_t>(subset[i]));
+      double sim = config_.ipe_metric == IpeMetric::kCosine
+                       ? CosineSimilarity(vk, vt)
+                       : -SoftmaxKl(vk, vt);
+      loss -= coeff * kappa[i] * sim;
+    }
+  }
+  return loss;
+}
+
+namespace internal_ipe {
+namespace {
+
+/// ∂L_IPE/∂v evaluated at an arbitrary point `vt` (used by the virtual
+/// multi-step optimization below).
+Vec IpeGradientAt(const GlobalModel& g, const Vec& vt,
+                  const std::vector<int>& popular,
+                  const AttackConfig& config) {
+  Vec grad = Zeros(vt.size());
+  std::vector<int> subsets[2];
+  PartitionBySign(g, vt, popular, config.ipe_use_sign_partition, &subsets[0],
+                  &subsets[1]);
+  for (const auto& subset : subsets) {
+    if (subset.empty()) continue;
+    std::vector<double> kappa =
+        RankWeights(subset.size(), config.ipe_use_rank_weights);
+    double coeff = config.ipe_lambda / static_cast<double>(subset.size());
+    for (size_t i = 0; i < subset.size(); ++i) {
+      Vec vk = g.item_embeddings.Row(static_cast<size_t>(subset[i]));
+      if (config.ipe_metric == IpeMetric::kCosine) {
+        // L contains −coeff·κ·cos(v_k, v_t): dL/dv_t = −coeff·κ·∇cos.
+        Vec dcos = CosineSimilarityGradWrtB(vk, vt);
+        Axpy(-coeff * kappa[i], dcos, grad);
+      } else {
+        // PKL variant: L contains +coeff·κ·KL(v_k || v_t).
+        Vec dkl = SoftmaxKlGradWrtB(vk, vt);
+        Axpy(coeff * kappa[i], dkl, grad);
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace
+}  // namespace internal_ipe
+
+Vec PieckIpeAttack::ComputePoisonGradient(const GlobalModel& g, int target,
+                                          const std::vector<int>& popular,
+                                          Rng& /*rng*/) {
+  // Short virtual optimization of L_IPE with the known server rate η;
+  // the net displacement is uploaded as one gradient (same device as
+  // UEA's batched optimization). The cosine objective is self-limiting:
+  // once the virtual embedding aligns with the mined popular items the
+  // gradient vanishes, so the upload cannot blow up.
+  const Vec v0 = g.item_embeddings.Row(static_cast<size_t>(target));
+  Vec v = v0;
+  // Unit internal step: the upload is an accumulated loss gradient (see
+  // the note in pieck_uea.cc), not a 1/η-amplified displacement.
+  const double eta = 1.0;
+  for (int step = 0; step < std::max(1, config_.ipe_opt_steps); ++step) {
+    Vec grad = internal_ipe::IpeGradientAt(g, v, popular, config_);
+    Axpy(-eta, grad, v);
+  }
+  Vec upload = Sub(v0, v);
+  Scale(1.0 / eta, upload);
+  return upload;
+}
+
+}  // namespace pieck

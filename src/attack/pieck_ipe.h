@@ -1,0 +1,52 @@
+#ifndef PIECK_ATTACK_PIECK_IPE_H_
+#define PIECK_ATTACK_PIECK_IPE_H_
+
+#include "attack/pieck_attack_base.h"
+
+namespace pieck {
+
+/// PIECK-IPE (§IV-C, Algorithm 2): item popularity enhancement.
+///
+/// Aligns the target item's embedding with the mined popular items by
+/// minimizing the signed-subset weighted cosine loss of Eq. (8):
+///
+///   L_IPE = −(1/|T|) Σ_{v_j∈T} Σ_{*∈{+,−}}
+///             Σ_{v_k∈P*_j} κ(v_k)·cos(v_k, v_j) / (λ^{−1}·|P*_j|)
+///
+/// where P+_j / P−_j split the mined set by the sign of cos(v_k, v_j),
+/// κ(v_k) is the normalized inverse popularity rank within the subset,
+/// and λ ∈ (0,1] regulates how strongly the dominant direction is
+/// suppressed relative to the rare one.
+///
+/// Ablation switches (Table VI): `ipe_metric` swaps cosine (PCOS) for
+/// softmax-KL (PKL); `ipe_use_rank_weights` disables κ;
+/// `ipe_use_sign_partition` disables the P± split.
+class PieckIpeAttack : public PieckAttackBase {
+ public:
+  PieckIpeAttack(const RecModel& model, AttackConfig config)
+      : PieckAttackBase(model, std::move(config)) {}
+
+  std::string name() const override { return "PIECK-IPE"; }
+
+  /// Computes the current attack loss for diagnostics/tests.
+  double AttackLoss(const GlobalModel& g, int target,
+                    const std::vector<int>& popular) const;
+
+ protected:
+  Vec ComputePoisonGradient(const GlobalModel& g, int target,
+                            const std::vector<int>& popular,
+                            Rng& rng) override;
+};
+
+namespace internal_ipe {
+
+/// Normalized inverse-rank weights: item at subset rank r (0 = most
+/// popular) receives weight (M − r) / Σ_{r'}(M − r'). Uniform weights
+/// when `use_rank_weights` is false.
+std::vector<double> RankWeights(size_t m, bool use_rank_weights);
+
+}  // namespace internal_ipe
+
+}  // namespace pieck
+
+#endif  // PIECK_ATTACK_PIECK_IPE_H_

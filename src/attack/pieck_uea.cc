@@ -1,0 +1,65 @@
+#include "attack/pieck_uea.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/math.h"
+
+namespace pieck {
+
+double PieckUeaAttack::AttackLoss(const GlobalModel& g, int target,
+                                  const std::vector<int>& popular) const {
+  if (popular.empty()) return 0.0;
+  Vec vt = g.item_embeddings.Row(static_cast<size_t>(target));
+  double loss = 0.0;
+  for (int k : popular) {
+    Vec uk = g.item_embeddings.Row(static_cast<size_t>(k));
+    double logit = model_.Forward(g, uk, vt, nullptr);
+    loss += -LogSigmoid(logit);
+  }
+  return loss / static_cast<double>(popular.size());
+}
+
+Vec PieckUeaAttack::ComputePoisonGradient(const GlobalModel& g, int target,
+                                          const std::vector<int>& popular,
+                                          Rng& /*rng*/) {
+  const Vec v0 = g.item_embeddings.Row(static_cast<size_t>(target));
+  Vec v = v0;  // virtual local copy, optimized over several mini-steps
+
+  // The virtual optimization uses a unit internal step so that the
+  // uploaded quantity is an accumulated *loss gradient* of the same
+  // scale a benign gradient has, rather than a displacement amplified by
+  // 1/η (with DL-FRS's small η that would make the poison untouchable
+  // by any η-scale counter-gradient and trivially detectable).
+  const double eta = 1.0;
+  const int batch = std::max(1, config_.uea_batch_size);
+  const double inv_n = 1.0 / static_cast<double>(popular.size());
+
+  ForwardCache cache;
+  for (int r = 0; r < std::max(1, config_.uea_opt_rounds); ++r) {
+    for (size_t begin = 0; begin < popular.size();
+         begin += static_cast<size_t>(batch)) {
+      size_t end =
+          std::min(popular.size(), begin + static_cast<size_t>(batch));
+      Vec grad = Zeros(v.size());
+      for (size_t i = begin; i < end; ++i) {
+        // The popular-item embedding acts as a constant approximated
+        // user; only d/dv flows.
+        Vec uk = g.item_embeddings.Row(static_cast<size_t>(popular[i]));
+        double logit = model_.Forward(g, uk, v, &cache);
+        double dlogit = BceGradFromLogit(/*y=*/1.0, logit) * inv_n;
+        model_.Backward(g, uk, v, cache, dlogit, /*grad_u=*/nullptr, &grad,
+                        /*igrads=*/nullptr);
+      }
+      Axpy(-eta, grad, v);  // virtual step with the known server rate
+    }
+  }
+
+  // Convert the net displacement into the single uploaded gradient:
+  // the server computes v_new = v_old − η·∇̃, so ∇̃ = (v_old − v_want)/η.
+  Vec upload = Sub(v0, v);
+  Scale(1.0 / eta, upload);
+  return upload;
+}
+
+}  // namespace pieck

@@ -1,0 +1,41 @@
+#ifndef PIECK_ATTACK_PIECK_UEA_H_
+#define PIECK_ATTACK_PIECK_UEA_H_
+
+#include "attack/pieck_attack_base.h"
+
+namespace pieck {
+
+/// PIECK-UEA (§IV-D, Algorithm 3): user embedding approximation.
+///
+/// Exploits Property 3 — in the symmetric FRS model the embedding
+/// distribution of popular items closely mirrors that of users — to
+/// substitute the inaccessible benign user embeddings in the ideal
+/// poison gradient (Eq. 5) with the mined popular item embeddings:
+///
+///   L_UEA = −(1/(N·|T|)) Σ_{v_k∈P} Σ_{v_j∈T} log Ψ(v_k, v_j)   (Eq. 10)
+///
+/// The approximated "users" v_k are constants (excluded from
+/// backpropagation). Following §VI-F, the gradient is produced by a
+/// short batched optimization (`uea_opt_rounds` passes over P in chunks
+/// of `uea_batch_size`), and the net virtual displacement is converted
+/// back into one uploaded gradient using the known server rate η.
+class PieckUeaAttack : public PieckAttackBase {
+ public:
+  PieckUeaAttack(const RecModel& model, AttackConfig config)
+      : PieckAttackBase(model, std::move(config)) {}
+
+  std::string name() const override { return "PIECK-UEA"; }
+
+  /// Current value of L_UEA for one target (diagnostics/tests).
+  double AttackLoss(const GlobalModel& g, int target,
+                    const std::vector<int>& popular) const;
+
+ protected:
+  Vec ComputePoisonGradient(const GlobalModel& g, int target,
+                            const std::vector<int>& popular,
+                            Rng& rng) override;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_ATTACK_PIECK_UEA_H_

@@ -1,0 +1,141 @@
+#include "attack/pip_attack.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/math.h"
+
+namespace pieck {
+
+namespace {
+constexpr int kNumClasses = 3;
+constexpr double kEstimatorLr = 0.05;
+constexpr int kEstimatorBatch = 64;
+// Relative weight of the popularity-enhancement component against the
+// explicit-promotion component.
+constexpr double kPopWeight = 5.0;
+// Virtual steps for the popularity-enhancement push (net displacement is
+// uploaded, mirroring the virtual-optimization device used by PIECK).
+constexpr int kPopSteps = 5;
+
+Vec SoftmaxLogits(const Matrix& w, const Vec& b, const Vec& v) {
+  Vec logits = w.MatVec(v);
+  Axpy(1.0, b, logits);
+  return Softmax(logits);
+}
+}  // namespace
+
+PipAttack::PipAttack(const RecModel& model, AttackConfig config,
+                     const Dataset* full_train, uint64_t seed)
+    : model_(model), config_(std::move(config)) {
+  Rng rng(seed);
+  if (full_train != nullptr) {
+    // Popularity levels: top 10% -> class 0, next 30% -> class 1,
+    // remainder -> class 2.
+    std::vector<int> rank = full_train->PopularityRank();
+    int m = full_train->num_items();
+    labels_.resize(static_cast<size_t>(m));
+    for (int item = 0; item < m; ++item) {
+      double frac = static_cast<double>(rank[static_cast<size_t>(item)]) /
+                    std::max(1, m);
+      labels_[static_cast<size_t>(item)] = frac < 0.1 ? 0 : (frac < 0.4 ? 1 : 2);
+    }
+    if (!config_.pipa_true_popularity) {
+      // Masked prior knowledge: the attacker has no popularity levels;
+      // shuffled labels model its best blind guess.
+      rng.Shuffle(labels_);
+    }
+  }
+}
+
+void PipAttack::TrainEstimatorStep(const GlobalModel& g, Rng& rng) {
+  if (labels_.empty()) return;
+  int m = g.num_items();
+  for (int n = 0; n < kEstimatorBatch; ++n) {
+    int item = static_cast<int>(rng.UniformInt(0, m - 1));
+    Vec v = g.item_embeddings.Row(static_cast<size_t>(item));
+    Vec probs = SoftmaxLogits(classifier_w_, classifier_b_, v);
+    int y = labels_[static_cast<size_t>(item)];
+    // Cross-entropy gradient: dL/dlogit_c = p_c − 1[c == y].
+    for (int c = 0; c < kNumClasses; ++c) {
+      double d = probs[static_cast<size_t>(c)] - (c == y ? 1.0 : 0.0);
+      classifier_b_[static_cast<size_t>(c)] -= kEstimatorLr * d;
+      for (size_t col = 0; col < v.size(); ++col) {
+        classifier_w_.At(static_cast<size_t>(c), col) -=
+            kEstimatorLr * d * v[col];
+      }
+    }
+  }
+}
+
+Vec PipAttack::PopularityPushGradient(const Vec& v) const {
+  // d/dv of CE(class 0 | classifier(v)) = Σ_c (p_c − 1[c==0]) w_c.
+  Vec probs = SoftmaxLogits(classifier_w_, classifier_b_, v);
+  Vec grad = Zeros(v.size());
+  for (int c = 0; c < kNumClasses; ++c) {
+    double d = probs[static_cast<size_t>(c)] - (c == 0 ? 1.0 : 0.0);
+    for (size_t col = 0; col < v.size(); ++col) {
+      grad[col] += d * classifier_w_.At(static_cast<size_t>(c), col);
+    }
+  }
+  return grad;
+}
+
+ClientUpdate PipAttack::ParticipateRound(const GlobalModel& g, int /*round*/,
+                                         Rng& rng) {
+  if (!initialized_) {
+    classifier_w_ = Matrix(kNumClasses, static_cast<size_t>(g.dim()));
+    classifier_w_.RandomNormal(rng, 0.0, 0.1);
+    classifier_b_ = Zeros(kNumClasses);
+    profiles_.resize(static_cast<size_t>(std::max(1, config_.num_approx_users)));
+    for (Vec& p : profiles_) p = model_.InitUserEmbedding(rng);
+    initialized_ = true;
+  }
+  TrainEstimatorStep(g, rng);
+
+  ClientUpdate update;
+  update.interaction_grads = InteractionGrads::ZerosLike(g);
+
+  int primary = config_.target_items[0];
+  Vec vt = g.item_embeddings.Row(static_cast<size_t>(primary));
+
+  // Component 1: explicit promotion via fabricated user profiles (this
+  // is ordinary training on fake positives, so DL-FRS interaction
+  // parameters receive poison too).
+  ForwardCache cache;
+  Vec grad = Zeros(vt.size());
+  const double inv_p = 1.0 / static_cast<double>(profiles_.size());
+  for (Vec& profile : profiles_) {
+    Vec grad_u = Zeros(profile.size());
+    Vec grad_v = Zeros(vt.size());
+    double logit = model_.Forward(g, profile, vt, &cache);
+    double dlogit = BceGradFromLogit(1.0, logit);
+    model_.Backward(g, profile, vt, cache, dlogit, &grad_u, &grad_v,
+                    update.interaction_grads.active
+                        ? &update.interaction_grads
+                        : nullptr);
+    Axpy(inv_p, grad_v, grad);
+    Axpy(-0.1, grad_u, profile);  // local profile refinement
+  }
+
+  // Component 2: popularity enhancement through the estimator — a short
+  // virtual optimization pushing the target toward the "popular" class.
+  if (!labels_.empty()) {
+    Vec v = vt;
+    const double eta = 1.0;  // unit internal step (see pieck_uea.cc)
+    for (int step = 0; step < kPopSteps; ++step) {
+      Vec pop_grad = PopularityPushGradient(v);
+      Axpy(-eta * kPopWeight, pop_grad, v);
+    }
+    Vec displacement = Sub(vt, v);
+    Axpy(1.0 / eta, displacement, grad);
+  }
+
+  Scale(config_.attack_scale, grad);
+  for (int target : config_.target_items) {
+    update.AccumulateItemGrad(target, grad);
+  }
+  return update;
+}
+
+}  // namespace pieck

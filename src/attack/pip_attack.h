@@ -1,0 +1,56 @@
+#ifndef PIECK_ATTACK_PIP_ATTACK_H_
+#define PIECK_ATTACK_PIP_ATTACK_H_
+
+#include <vector>
+
+#include "attack/attack.h"
+#include "tensor/matrix.h"
+
+namespace pieck {
+
+/// PipAttack (Zhang et al., WSDM 2022): explicit promotion plus item
+/// popularity enhancement via a popularity estimator.
+///
+/// Two loss components drive the poison gradients:
+///  1. explicit promotion — the malicious client trains its own user
+///     profile to rate the target(s) highly (BCE with label 1), which
+///     also poisons the interaction function in DL-FRS;
+///  2. popularity enhancement — a small softmax classifier is trained
+///     to predict an item's popularity level from its embedding, and the
+///     target is pushed toward the "popular" class.
+///
+/// The popularity levels are prior knowledge. The paper masks them
+/// (§VII-A3); our default (`pipa_true_popularity = false`) trains the
+/// estimator on shuffled labels, neutering component 2 — reproducing
+/// PIPA's mid-pack ER in Table III.
+class PipAttack : public Attack {
+ public:
+  PipAttack(const RecModel& model, AttackConfig config,
+            const Dataset* full_train, uint64_t seed);
+
+  std::string name() const override { return "PipAttack"; }
+
+  ClientUpdate ParticipateRound(const GlobalModel& g, int round,
+                                Rng& rng) override;
+
+  /// Popularity class of each item used for estimator training
+  /// (0 = popular, 1 = mid, 2 = cold). Exposed for tests.
+  const std::vector<int>& labels() const { return labels_; }
+
+ private:
+  /// Softmax-classifier gradient pushing `v` toward class 0 (popular).
+  Vec PopularityPushGradient(const Vec& v) const;
+  void TrainEstimatorStep(const GlobalModel& g, Rng& rng);
+
+  const RecModel& model_;
+  AttackConfig config_;
+  std::vector<int> labels_;
+  Matrix classifier_w_;  // 3 x dim
+  Vec classifier_b_;     // 3
+  std::vector<Vec> profiles_;  // fake user profiles for explicit promotion
+  bool initialized_ = false;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_ATTACK_PIP_ATTACK_H_

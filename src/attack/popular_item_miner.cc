@@ -1,0 +1,60 @@
+#include "attack/popular_item_miner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+PopularItemMiner::PopularItemMiner(int mining_rounds, int top_n)
+    : mining_rounds_(mining_rounds), top_n_(top_n) {
+  PIECK_CHECK(mining_rounds_ >= 1);
+  PIECK_CHECK(top_n_ >= 1);
+}
+
+void PopularItemMiner::Observe(const Matrix& item_embeddings) {
+  ++observations_;
+  if (accumulated_.empty()) {
+    accumulated_ = Zeros(item_embeddings.rows());
+  }
+  PIECK_CHECK(accumulated_.size() == item_embeddings.rows());
+
+  if (observations_ == 1) {
+    previous_ = item_embeddings;
+    return;
+  }
+  if (deltas_seen_ >= mining_rounds_) return;  // mining already finished
+
+  const size_t m = item_embeddings.rows();
+  const size_t d = item_embeddings.cols();
+  for (size_t j = 0; j < m; ++j) {
+    double sq = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      double diff = item_embeddings.At(j, c) - previous_.At(j, c);
+      sq += diff * diff;
+    }
+    accumulated_[j] += std::sqrt(sq);
+  }
+  previous_ = item_embeddings;
+  ++deltas_seen_;
+
+  if (Ready()) {
+    mined_ = TopItems(top_n_);
+  }
+}
+
+std::vector<int> PopularItemMiner::TopItems(int n) const {
+  std::vector<int> order(accumulated_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return accumulated_[static_cast<size_t>(a)] >
+           accumulated_[static_cast<size_t>(b)];
+  });
+  if (static_cast<size_t>(n) < order.size()) {
+    order.resize(static_cast<size_t>(n));
+  }
+  return order;
+}
+
+}  // namespace pieck

@@ -1,0 +1,63 @@
+#ifndef PIECK_ATTACK_POPULAR_ITEM_MINER_H_
+#define PIECK_ATTACK_POPULAR_ITEM_MINER_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/vector_ops.h"
+
+namespace pieck {
+
+/// PIECK's core module (§IV-B, Algorithm 1): mines popular items from
+/// the embedding changes a participant observes across the rounds it is
+/// sampled.
+///
+/// The miner exploits Properties 1–2 of the paper: popular items have
+/// larger and longer-lasting embedding changes (Δ-Norm, Eq. 7) because
+/// far more loss terms pull on them each round. It accumulates
+///   Δ-Norm_j += ||v_j^(r) − v_j^(r−1)||₂
+/// over `mining_rounds` consecutive observations and reports the top-N.
+///
+/// Both the attacker (malicious clients) and the paper's defense (benign
+/// clients, §V-B step 1) run this module; neither needs any prior
+/// knowledge of item popularity.
+class PopularItemMiner {
+ public:
+  /// `mining_rounds` is R̃ of Algorithm 1 (the paper uses 2);
+  /// `top_n` is N, the number of popular items to report.
+  PopularItemMiner(int mining_rounds, int top_n);
+
+  /// Feeds the item-embedding matrix received in a round where this
+  /// participant was sampled. Observations after mining completes are
+  /// ignored (Algorithm 1 stops accumulating after R̃ deltas).
+  void Observe(const Matrix& item_embeddings);
+
+  /// True once R̃ deltas have been accumulated (observed R̃+1 matrices).
+  bool Ready() const { return deltas_seen_ >= mining_rounds_; }
+
+  /// Number of observations fed so far.
+  int observations() const { return observations_; }
+
+  /// The mined popular item set P, ordered by decreasing accumulated
+  /// Δ-Norm (index 0 = most popular). Empty until Ready().
+  const std::vector<int>& MinedItems() const { return mined_; }
+
+  /// Accumulated Δ-Norm per item (diagnostics; drives the Fig. 4 bench).
+  const Vec& AccumulatedDeltaNorm() const { return accumulated_; }
+
+  /// Re-ranks with a different N without re-observing (defense tuning).
+  std::vector<int> TopItems(int n) const;
+
+ private:
+  int mining_rounds_;
+  int top_n_;
+  int observations_ = 0;
+  int deltas_seen_ = 0;
+  Matrix previous_;
+  Vec accumulated_;
+  std::vector<int> mined_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_ATTACK_POPULAR_ITEM_MINER_H_

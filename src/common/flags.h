@@ -1,0 +1,38 @@
+#ifndef PIECK_COMMON_FLAGS_H_
+#define PIECK_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pieck {
+
+/// Minimal command-line flag parser for example and benchmark binaries.
+///
+/// Accepts `--name=value`, `--name value`, and bare boolean `--name`.
+/// Anything not starting with "--" is collected as a positional argument.
+class FlagParser {
+ public:
+  /// Parses argv; returns InvalidArgument on malformed input.
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_COMMON_FLAGS_H_

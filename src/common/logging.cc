@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pieck {
+
+namespace {
+LogLevel g_log_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= g_log_level) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  stream_ << "[FATAL " << file << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace pieck

@@ -1,0 +1,70 @@
+#ifndef PIECK_COMMON_LOGGING_H_
+#define PIECK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pieck {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted by PIECK_LOG. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by
+/// PIECK_CHECK for unrecoverable invariant violations.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define PIECK_LOG(level)                                              \
+  ::pieck::internal_logging::LogMessage(::pieck::LogLevel::k##level,  \
+                                        __FILE__, __LINE__)           \
+      .stream()
+
+/// Aborts with a message when `cond` is false. For programmer errors
+/// (broken invariants), not for user input validation — use Status there.
+#define PIECK_CHECK(cond)                                                  \
+  if (!(cond))                                                             \
+  ::pieck::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+
+#define PIECK_CHECK_OK(expr)                                               \
+  if (::pieck::Status _st = (expr); !_st.ok())                             \
+  ::pieck::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Status not OK: " << _st.ToString()
+
+}  // namespace pieck
+
+#endif  // PIECK_COMMON_LOGGING_H_

@@ -1,0 +1,68 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PIECK_CHECK(lo <= hi) << "UniformInt range is empty: [" << lo << ", " << hi
+                        << "]";
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  PIECK_CHECK(n >= 0 && k >= 0);
+  if (k > n) k = n;
+  // Partial Fisher-Yates over an index vector.
+  std::vector<int> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    int j = static_cast<int>(UniformInt(i, n - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+int Rng::SampleDiscrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    PIECK_CHECK(w >= 0.0) << "negative weight in SampleDiscrete";
+    total += w;
+  }
+  if (total <= 0.0) return -1;
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+Rng Rng::Fork() {
+  // Derive a child seed from the parent stream.
+  return Rng(engine_());
+}
+
+}  // namespace pieck

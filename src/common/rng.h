@@ -1,0 +1,60 @@
+#ifndef PIECK_COMMON_RNG_H_
+#define PIECK_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pieck {
+
+/// Deterministic random source used by every stochastic component in the
+/// library (dataset synthesis, user sampling, negative sampling, model
+/// initialization, attacks). Two simulations constructed with the same
+/// seed and config produce bit-identical results.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Gaussian with the given mean and stddev.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Samples `k` distinct values from {0, ..., n-1}. If k >= n returns a
+  /// permutation of all n values. O(n) time.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draws an index from an (unnormalized) non-negative weight vector.
+  /// Returns -1 if all weights are zero or the vector is empty.
+  int SampleDiscrete(const std::vector<double>& weights);
+
+  /// Splits off an independent child generator; used to give each
+  /// simulated client its own stream so that per-client behavior does not
+  /// depend on scheduling order.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_COMMON_RNG_H_

@@ -1,0 +1,83 @@
+#ifndef PIECK_COMMON_STATUS_OR_H_
+#define PIECK_COMMON_STATUS_OR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pieck {
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Accessing the value of a non-OK `StatusOr` aborts the process (the
+/// library is exception-free), so callers must check `ok()` first or use
+/// `PIECK_ASSIGN_OR_RETURN`.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and is converted to an Internal error.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status,
+/// otherwise moves the value into `lhs`.
+#define PIECK_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  PIECK_ASSIGN_OR_RETURN_IMPL_(                          \
+      PIECK_STATUS_CONCAT_(_status_or, __LINE__), lhs, rexpr)
+
+#define PIECK_STATUS_CONCAT_INNER_(a, b) a##b
+#define PIECK_STATUS_CONCAT_(a, b) PIECK_STATUS_CONCAT_INNER_(a, b)
+#define PIECK_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace pieck
+
+#endif  // PIECK_COMMON_STATUS_OR_H_

@@ -1,0 +1,42 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+
+namespace pieck {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplit(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  return FormatDouble(fraction * 100.0, precision);
+}
+
+}  // namespace pieck

@@ -1,0 +1,24 @@
+#ifndef PIECK_COMMON_STRING_UTIL_H_
+#define PIECK_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace pieck {
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Splits `s` on the character `sep`; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+/// Formats a double with fixed `precision` decimal places.
+std::string FormatDouble(double value, int precision = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.9339 -> "93.39".
+std::string FormatPercent(double fraction, int precision = 2);
+
+}  // namespace pieck
+
+#endif  // PIECK_COMMON_STRING_UTIL_H_

@@ -1,0 +1,95 @@
+#ifndef PIECK_CORE_EXPERIMENT_CONFIG_H_
+#define PIECK_CORE_EXPERIMENT_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+#include "data/synthetic.h"
+#include "defense/defense.h"
+#include "model/losses.h"
+#include "model/rec_model.h"
+
+namespace pieck {
+
+/// How the runner picks the attacker's target items when none are given
+/// explicitly. The paper selects targets at random among recommendable
+/// items; picking from the cold half avoids accidentally drawing an
+/// already-popular item (which would inflate the NoAttack baseline).
+enum class TargetSelection {
+  kColdRandom,  // uniform over the colder half of the popularity ranking
+  kUniform,     // uniform over all items
+  kExplicit,    // use ExperimentConfig::explicit_targets
+};
+
+/// Full description of one federated attack/defense simulation. Every
+/// bench binary builds one (or a sweep) of these and hands it to
+/// Simulation / RunExperiment.
+struct ExperimentConfig {
+  // --- data ---
+  SyntheticConfig dataset = MovieLens100KConfig(0.3);
+
+  // --- model ---
+  ModelKind model_kind = ModelKind::kMatrixFactorization;
+  int embedding_dim = 16;
+  NcfOptions ncf;
+
+  // --- federated training (§III-A, §VII-A2) ---
+  int rounds = 200;
+  /// Server rate η; the paper uses 1.0 for MF-FRS and 0.005 for DL-FRS.
+  double learning_rate = 1.0;
+  /// Client-local rate for the personalized embedding; < 0 means "same
+  /// as the server rate" (supplementary Table X studies mismatches).
+  double client_learning_rate = -1.0;
+  /// Table X row 3: each client draws its own rate log-uniformly from
+  /// [client_lr_dynamic_min, client_learning_rate or learning_rate].
+  bool client_lr_dynamic = false;
+  double client_lr_dynamic_min = 0.01;
+  int users_per_round = 256;
+  double negative_ratio_q = 1.0;
+  LossKind loss = LossKind::kBce;
+
+  // --- attack ---
+  AttackKind attack = AttackKind::kNone;
+  /// p̃ = |Ũ| / |U| (malicious over all users).
+  double malicious_fraction = 0.05;
+  int num_targets = 1;
+  TargetSelection target_selection = TargetSelection::kColdRandom;
+  std::vector<int> explicit_targets;
+  AttackConfig attack_config;  // targets + η are filled in by the runner
+
+  // --- defense ---
+  DefenseKind defense = DefenseKind::kNoDefense;
+  AggregatorParams aggregator_params;
+  DefenseOptions defense_options;
+
+  // --- evaluation ---
+  int top_k = 10;
+  /// Evaluate ER/HR every this many rounds (0 = final evaluation only).
+  int eval_every = 0;
+  int hr_num_negatives = 99;
+
+  uint64_t seed = 1234;
+
+  /// Applies the paper's per-model defaults (η = 1.0 for MF, 0.005 for
+  /// DL) unless the caller already set a custom rate.
+  void ApplyModelDefaults();
+};
+
+/// Summary of one finished simulation.
+struct ExperimentResult {
+  double er_at_k = 0.0;
+  double hr_at_k = 0.0;
+  std::vector<int> target_items;
+  /// (round, metric) samples when eval_every > 0; always includes the
+  /// final round.
+  std::vector<std::pair<int, double>> er_history;
+  std::vector<std::pair<int, double>> hr_history;
+  double seconds_per_round = 0.0;
+  int rounds_run = 0;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_CORE_EXPERIMENT_CONFIG_H_

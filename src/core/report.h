@@ -1,0 +1,30 @@
+#ifndef PIECK_CORE_REPORT_H_
+#define PIECK_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace pieck {
+
+/// Plain-text aligned table used by the benchmark harness to print the
+/// paper's tables. Cells are strings; columns auto-size.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header separator row.
+  std::string ToString() const;
+
+  /// Renders as CSV (for plotting figure data).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_CORE_REPORT_H_

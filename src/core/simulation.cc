@@ -1,0 +1,192 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+void ExperimentConfig::ApplyModelDefaults() {
+  if (model_kind == ModelKind::kNeuralCf && learning_rate == 1.0) {
+    learning_rate = 0.005;  // the paper's DL-FRS rate
+  }
+}
+
+namespace {
+
+/// Picks `count` distinct targets per the selection policy.
+std::vector<int> SelectTargets(const ExperimentConfig& config,
+                               const Dataset& train, Rng& rng) {
+  if (config.target_selection == TargetSelection::kExplicit) {
+    PIECK_CHECK(!config.explicit_targets.empty())
+        << "kExplicit target selection needs explicit_targets";
+    return config.explicit_targets;
+  }
+  std::vector<int> pool;
+  if (config.target_selection == TargetSelection::kColdRandom) {
+    // Colder half of the popularity ranking: random yet never an
+    // already-popular item, matching the paper's "extremely cold target"
+    // analysis (§V-A).
+    std::vector<int> order = train.ItemsByPopularity();
+    pool.assign(order.begin() + static_cast<ptrdiff_t>(order.size() / 2),
+                order.end());
+  } else {
+    pool.resize(static_cast<size_t>(train.num_items()));
+    for (int j = 0; j < train.num_items(); ++j) pool[static_cast<size_t>(j)] = j;
+  }
+  rng.Shuffle(pool);
+  int count = std::min<int>(config.num_targets, static_cast<int>(pool.size()));
+  pool.resize(static_cast<size_t>(std::max(count, 0)));
+  return pool;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
+    ExperimentConfig config) {
+  config.ApplyModelDefaults();
+
+  auto sim = std::unique_ptr<Simulation>(new Simulation());
+  sim->config_ = config;
+
+  Rng master(config.seed);
+
+  // Data.
+  PIECK_ASSIGN_OR_RETURN(Dataset full, GenerateSynthetic(config.dataset));
+  sim->full_ = std::make_unique<Dataset>(std::move(full));
+  Rng split_rng = master.Fork();
+  PIECK_ASSIGN_OR_RETURN(LeaveOneOutSplit split,
+                         MakeLeaveOneOutSplit(*sim->full_, split_rng));
+  sim->train_ = std::make_unique<Dataset>(std::move(split.train));
+  sim->split_test_items_ = std::move(split.test_item);
+
+  // Model + server.
+  sim->model_ = MakeModel(config.model_kind, config.embedding_dim, config.ncf);
+  Rng init_rng = master.Fork();
+  GlobalModel global =
+      sim->model_->InitGlobalModel(sim->train_->num_items(), init_rng);
+  ServerConfig server_config;
+  server_config.learning_rate = config.learning_rate;
+  server_config.users_per_round = config.users_per_round;
+  DefensePlan plan = MakeDefensePlan(config.defense, config.aggregator_params);
+  sim->server_ = std::make_unique<FederatedServer>(
+      *sim->model_, std::move(global), server_config,
+      std::move(plan.aggregator), std::move(plan.filter));
+
+  // Targets.
+  Rng target_rng = master.Fork();
+  sim->targets_ = SelectTargets(config, *sim->train_, target_rng);
+
+  // Benign clients: one per user.
+  const double client_lr_base = config.client_learning_rate >= 0.0
+                                    ? config.client_learning_rate
+                                    : config.learning_rate;
+  const bool with_defense = DefenseUsesClientRegularizers(config.defense);
+  NegativeSampler sampler(config.negative_ratio_q);
+  Rng lr_rng = master.Fork();
+  for (int u = 0; u < sim->train_->num_users(); ++u) {
+    std::unique_ptr<ClientDefense> defense;
+    if (with_defense) {
+      defense = MakeRegularizedDefense(config.defense_options);
+    }
+    double client_lr = client_lr_base;
+    if (config.client_lr_dynamic) {
+      // Log-uniform draw in [dynamic_min, base] (Table X scenario 2).
+      double lo = std::log(config.client_lr_dynamic_min);
+      double hi = std::log(std::max(client_lr_base,
+                                    config.client_lr_dynamic_min));
+      client_lr = std::exp(lr_rng.Uniform(lo, hi));
+    }
+    auto client = std::make_unique<BenignClient>(
+        u, *sim->model_, *sim->train_, sampler, config.loss, client_lr,
+        master.Fork(), std::move(defense));
+    sim->benign_views_.push_back(client.get());
+    sim->clients_.push_back(std::move(client));
+  }
+
+  // Malicious clients: p̃ = mal / (benign + mal)  =>  mal = benign·p̃/(1−p̃).
+  if (config.attack != AttackKind::kNone && config.malicious_fraction > 0.0 &&
+      !sim->targets_.empty()) {
+    double p = config.malicious_fraction;
+    if (p >= 1.0) {
+      return Status::InvalidArgument("malicious_fraction must be < 1");
+    }
+    int n_mal = static_cast<int>(std::llround(
+        static_cast<double>(sim->train_->num_users()) * p / (1.0 - p)));
+    n_mal = std::max(n_mal, 1);
+    sim->num_malicious_ = n_mal;
+
+    AttackConfig attack_config = config.attack_config;
+    attack_config.target_items = sim->targets_;
+    attack_config.server_learning_rate = config.learning_rate;
+    for (int i = 0; i < n_mal; ++i) {
+      Rng attack_rng = master.Fork();
+      auto attack = MakeAttack(config.attack, *sim->model_, attack_config,
+                               sim->train_.get(), attack_rng.engine()());
+      PIECK_CHECK(attack != nullptr);
+      sim->clients_.push_back(std::make_unique<MaliciousClient>(
+          std::move(attack), master.Fork()));
+    }
+  }
+
+  for (auto& client : sim->clients_) {
+    sim->client_ptrs_.push_back(client.get());
+  }
+  sim->round_rng_ = master.Fork();
+  return sim;
+}
+
+RoundStats Simulation::RunRound() {
+  RoundStats stats = server_->RunRound(client_ptrs_, rounds_run_, round_rng_);
+  ++rounds_run_;
+  return stats;
+}
+
+void Simulation::RunRounds(int n) {
+  for (int i = 0; i < n; ++i) RunRound();
+}
+
+double Simulation::EvaluateEr(int k) const {
+  return ExposureRatioAtK(*model_, server_->global(), benign_views_, *train_,
+                          targets_, k);
+}
+
+double Simulation::EvaluateHr(int k) const {
+  return HitRatioAtK(*model_, server_->global(), benign_views_, *train_,
+                     split_test_items_, k, config_.hr_num_negatives,
+                     config_.seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  PIECK_ASSIGN_OR_RETURN(std::unique_ptr<Simulation> sim,
+                         Simulation::Create(config));
+
+  ExperimentResult result;
+  result.target_items = sim->targets();
+
+  auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < config.rounds; ++r) {
+    sim->RunRound();
+    const bool last = r + 1 == config.rounds;
+    if ((config.eval_every > 0 && (r + 1) % config.eval_every == 0) || last) {
+      double er = sim->EvaluateEr(config.top_k);
+      double hr = sim->EvaluateHr(config.top_k);
+      result.er_history.push_back({r + 1, er});
+      result.hr_history.push_back({r + 1, hr});
+      if (last) {
+        result.er_at_k = er;
+        result.hr_at_k = hr;
+      }
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  result.rounds_run = config.rounds;
+  result.seconds_per_round =
+      std::chrono::duration<double>(end - start).count() /
+      std::max(1, config.rounds);
+  return result;
+}
+
+}  // namespace pieck

@@ -1,0 +1,86 @@
+#ifndef PIECK_CORE_SIMULATION_H_
+#define PIECK_CORE_SIMULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/experiment_config.h"
+#include "data/split.h"
+#include "fed/server.h"
+#include "metrics/evaluation.h"
+
+namespace pieck {
+
+/// One fully wired federated attack/defense simulation: dataset, split,
+/// model, server, benign clients, and injected malicious clients.
+///
+/// `Simulation` exposes round-level control so that benchmarks can
+/// interleave training with measurements (Δ-Norm tracking for Fig. 4,
+/// convergence curves for Fig. 6a, PKL/UCR probes for Table II);
+/// `RunExperiment` below is the one-call wrapper used everywhere else.
+class Simulation {
+ public:
+  /// Builds the simulation: generates the synthetic dataset, splits it
+  /// leave-one-out, initializes the global model, constructs one benign
+  /// client per user (with client-side defense when configured) and
+  /// p̃/(1−p̃)·|users| malicious clients running the configured attack.
+  static StatusOr<std::unique_ptr<Simulation>> Create(ExperimentConfig config);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Runs one communication round; returns its stats.
+  RoundStats RunRound();
+
+  /// Runs `n` rounds back to back.
+  void RunRounds(int n);
+
+  /// ER@k over the configured targets (Eq. 3).
+  double EvaluateEr(int k) const;
+
+  /// HR@k with the NCF sampled-negative protocol.
+  double EvaluateHr(int k) const;
+
+  const ExperimentConfig& config() const { return config_; }
+  const Dataset& full_data() const { return *full_; }
+  const Dataset& train() const { return *train_; }
+  const std::vector<int>& test_items() const { return split_test_items_; }
+  const GlobalModel& global() const { return server_->global(); }
+  const RecModel& model() const { return *model_; }
+  const std::vector<int>& targets() const { return targets_; }
+  int rounds_run() const { return rounds_run_; }
+  int num_malicious() const { return num_malicious_; }
+
+  /// Benign clients as evaluation views.
+  const std::vector<const BenignClient*>& benign_views() const {
+    return benign_views_;
+  }
+
+  /// Mutable access for white-box experiments (e.g. cost probes).
+  FederatedServer& server() { return *server_; }
+
+ private:
+  Simulation() = default;
+
+  ExperimentConfig config_;
+  std::unique_ptr<Dataset> full_;
+  std::unique_ptr<Dataset> train_;
+  std::vector<int> split_test_items_;
+  std::unique_ptr<RecModel> model_;
+  std::unique_ptr<FederatedServer> server_;
+  std::vector<std::unique_ptr<ClientInterface>> clients_;
+  std::vector<ClientInterface*> client_ptrs_;
+  std::vector<const BenignClient*> benign_views_;
+  std::vector<int> targets_;
+  Rng round_rng_{0};
+  int rounds_run_ = 0;
+  int num_malicious_ = 0;
+};
+
+/// Runs `config` to completion and reports the summary metrics. Wall
+/// time per round is measured over the whole run.
+StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+}  // namespace pieck
+
+#endif  // PIECK_CORE_SIMULATION_H_

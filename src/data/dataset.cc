@@ -1,0 +1,120 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+StatusOr<Dataset> Dataset::FromInteractions(
+    int num_users, int num_items, const std::vector<Interaction>& raw) {
+  if (num_users < 0 || num_items < 0) {
+    return Status::InvalidArgument("negative user or item count");
+  }
+  Dataset ds;
+  ds.num_items_ = num_items;
+  ds.by_user_.assign(static_cast<size_t>(num_users), {});
+  for (const Interaction& it : raw) {
+    if (it.user < 0 || it.user >= num_users || it.item < 0 ||
+        it.item >= num_items) {
+      std::ostringstream msg;
+      msg << "interaction out of range: user=" << it.user
+          << " item=" << it.item << " (users=" << num_users
+          << ", items=" << num_items << ")";
+      return Status::InvalidArgument(msg.str());
+    }
+    ds.by_user_[static_cast<size_t>(it.user)].push_back(it.item);
+  }
+  for (auto& items : ds.by_user_) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+  }
+  ds.RecomputePopularity();
+  return ds;
+}
+
+void Dataset::RecomputePopularity() {
+  popularity_.assign(static_cast<size_t>(num_items_), 0);
+  num_interactions_ = 0;
+  for (const auto& items : by_user_) {
+    num_interactions_ += static_cast<int64_t>(items.size());
+    for (int item : items) popularity_[static_cast<size_t>(item)]++;
+  }
+}
+
+bool Dataset::Interacted(int user, int item) const {
+  PIECK_CHECK(user >= 0 && user < num_users());
+  const auto& items = by_user_[static_cast<size_t>(user)];
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+std::vector<int> Dataset::ItemsByPopularity() const {
+  std::vector<int> order(static_cast<size_t>(num_items_));
+  for (int i = 0; i < num_items_; ++i) order[static_cast<size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return popularity_[static_cast<size_t>(a)] >
+           popularity_[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<int> Dataset::PopularityRank() const {
+  std::vector<int> order = ItemsByPopularity();
+  std::vector<int> rank(static_cast<size_t>(num_items_));
+  for (int r = 0; r < num_items_; ++r) {
+    rank[static_cast<size_t>(order[static_cast<size_t>(r)])] = r;
+  }
+  return rank;
+}
+
+std::vector<int> Dataset::TopPopularItems(double fraction) const {
+  PIECK_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<int> order = ItemsByPopularity();
+  size_t k = static_cast<size_t>(fraction * static_cast<double>(num_items_));
+  order.resize(std::min(order.size(), k));
+  return order;
+}
+
+double Dataset::InteractionShareOfTopItems(double fraction) const {
+  if (num_interactions_ == 0) return 0.0;
+  int64_t top = 0;
+  for (int item : TopPopularItems(fraction)) {
+    top += popularity_[static_cast<size_t>(item)];
+  }
+  return static_cast<double>(top) / static_cast<double>(num_interactions_);
+}
+
+double Dataset::Sparsity() const {
+  double cells =
+      static_cast<double>(num_users()) * static_cast<double>(num_items_);
+  if (cells == 0.0) return 1.0;
+  return 1.0 - static_cast<double>(num_interactions_) / cells;
+}
+
+double Dataset::InteractionRate() const {
+  if (num_users() == 0) return 0.0;
+  return static_cast<double>(num_interactions_) /
+         static_cast<double>(num_users());
+}
+
+Dataset Dataset::WithoutInteraction(int user, int item) const {
+  Dataset copy = *this;
+  auto& items = copy.by_user_[static_cast<size_t>(user)];
+  auto it = std::lower_bound(items.begin(), items.end(), item);
+  if (it != items.end() && *it == item) {
+    items.erase(it);
+    copy.RecomputePopularity();
+  }
+  return copy;
+}
+
+std::string Dataset::DebugString() const {
+  std::ostringstream os;
+  os << "Dataset(users=" << num_users() << ", items=" << num_items_
+     << ", interactions=" << num_interactions_
+     << ", sparsity=" << Sparsity() << ")";
+  return os.str();
+}
+
+}  // namespace pieck

@@ -1,0 +1,83 @@
+#ifndef PIECK_DATA_DATASET_H_
+#define PIECK_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace pieck {
+
+/// A single implicit-feedback interaction (user consumed item).
+struct Interaction {
+  int user;
+  int item;
+};
+
+/// Immutable implicit-feedback dataset: for each user, the set of items
+/// that user interacted with. This mirrors the paper's §III-A setting —
+/// scores are binary (x_ij = 1 iff interacted).
+class Dataset {
+ public:
+  Dataset() : num_items_(0) {}
+
+  /// Builds a dataset from raw interactions; duplicates are ignored.
+  /// Returns InvalidArgument if an interaction is out of range.
+  static StatusOr<Dataset> FromInteractions(
+      int num_users, int num_items, const std::vector<Interaction>& raw);
+
+  int num_users() const { return static_cast<int>(by_user_.size()); }
+  int num_items() const { return num_items_; }
+
+  /// Total number of distinct (user, item) interactions.
+  int64_t num_interactions() const { return num_interactions_; }
+
+  /// Items interacted with by `user`, sorted ascending.
+  const std::vector<int>& ItemsOf(int user) const { return by_user_[user]; }
+
+  /// True if (user, item) is an interaction. O(log |D+_u|).
+  bool Interacted(int user, int item) const;
+
+  /// Per-item interaction counts (the paper's notion of popularity).
+  const std::vector<int64_t>& ItemPopularity() const { return popularity_; }
+
+  /// Item ids sorted by decreasing popularity (ties broken by item id).
+  /// Index in the returned vector is the item's popularity rank (0 = most
+  /// popular), matching the x-axes of Figs. 3 and 4.
+  std::vector<int> ItemsByPopularity() const;
+
+  /// Popularity rank of every item: rank[item] in [0, num_items).
+  std::vector<int> PopularityRank() const;
+
+  /// The top `fraction` of items by popularity (the paper's "popular"
+  /// items use fraction = 0.15).
+  std::vector<int> TopPopularItems(double fraction) const;
+
+  /// Fraction of all interactions falling on the top `fraction` popular
+  /// items. Fig. 3 shows this exceeds 0.5 at fraction 0.15.
+  double InteractionShareOfTopItems(double fraction) const;
+
+  /// 1 - interactions / (users * items); Table VIII's "Sparsity".
+  double Sparsity() const;
+
+  /// interactions / users; Table VIII's "Rate".
+  double InteractionRate() const;
+
+  /// Returns a copy with one interaction (user, item) removed.
+  /// Used by the leave-one-out splitter.
+  Dataset WithoutInteraction(int user, int item) const;
+
+  std::string DebugString() const;
+
+ private:
+  int num_items_;
+  int64_t num_interactions_ = 0;
+  std::vector<std::vector<int>> by_user_;
+  std::vector<int64_t> popularity_;
+
+  void RecomputePopularity();
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_DATA_DATASET_H_

@@ -1,0 +1,98 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace pieck {
+
+namespace {
+
+/// Splits on `sep`, dropping empty fields (handles ML-1M's "::").
+std::vector<std::string> Fields(const std::string& line, char sep) {
+  std::vector<std::string> raw = StrSplit(line, sep);
+  std::vector<std::string> out;
+  for (std::string& f : raw) {
+    if (!f.empty()) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Dataset> LoadInteractionFile(const std::string& path,
+                                      const InteractionFileFormat& format) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open interaction file: " + path);
+  }
+
+  std::vector<Interaction> interactions;
+  int max_user = -1;
+  int max_item = -1;
+  std::string line;
+  int line_no = 0;
+  const int offset = format.one_based_ids ? 1 : 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Fields(line, format.separator);
+    int needed = std::max({format.user_column, format.item_column,
+                           format.rating_column}) +
+                 1;
+    if (static_cast<int>(fields.size()) < needed) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": expected at least " << needed
+          << " fields, got " << fields.size();
+      return Status::InvalidArgument(msg.str());
+    }
+    if (format.rating_column >= 0) {
+      double rating = std::strtod(
+          fields[static_cast<size_t>(format.rating_column)].c_str(), nullptr);
+      if (rating < format.min_rating) continue;
+    }
+    char* end = nullptr;
+    long user = std::strtol(
+        fields[static_cast<size_t>(format.user_column)].c_str(), &end, 10);
+    long item = std::strtol(
+        fields[static_cast<size_t>(format.item_column)].c_str(), nullptr, 10);
+    user -= offset;
+    item -= offset;
+    if (user < 0 || item < 0) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": negative id after offset";
+      return Status::InvalidArgument(msg.str());
+    }
+    interactions.push_back(
+        {static_cast<int>(user), static_cast<int>(item)});
+    max_user = std::max(max_user, static_cast<int>(user));
+    max_item = std::max(max_item, static_cast<int>(item));
+  }
+  if (interactions.empty()) {
+    return Status::InvalidArgument("no interactions in " + path);
+  }
+  return Dataset::FromInteractions(max_user + 1, max_item + 1, interactions);
+}
+
+Status SaveInteractionFile(const Dataset& dataset, const std::string& path,
+                           char separator) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  for (int u = 0; u < dataset.num_users(); ++u) {
+    for (int item : dataset.ItemsOf(u)) {
+      out << u << separator << item << "\n";
+    }
+  }
+  if (!out.good()) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace pieck

@@ -1,0 +1,46 @@
+#ifndef PIECK_DATA_IO_H_
+#define PIECK_DATA_IO_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "data/dataset.h"
+
+namespace pieck {
+
+/// Options for parsing interaction files.
+struct InteractionFileFormat {
+  /// Field separator; MovieLens `u.data` uses '\t', ML-1M `ratings.dat`
+  /// uses ':' (with "::" separators every other field is empty and is
+  /// skipped), CSV exports use ','.
+  char separator = '\t';
+  /// 0-based column indices of the user and item ids.
+  int user_column = 0;
+  int item_column = 1;
+  /// When >= 0, the rating column; rows with rating below
+  /// `min_rating` are dropped (implicit-feedback thresholding).
+  int rating_column = -1;
+  double min_rating = 0.0;
+  /// Ids in the file start at 1 (MovieLens convention) and are shifted
+  /// down to 0-based.
+  bool one_based_ids = true;
+};
+
+/// Loads an implicit-feedback dataset from a delimited text file such as
+/// the real MovieLens `u.data`. User/item universes are sized by the
+/// maximum ids seen. Lines that are empty or start with '#' are skipped.
+///
+/// Example (real ML-100K):
+///   InteractionFileFormat format;             // defaults fit u.data
+///   auto ds = LoadInteractionFile("u.data", format);
+StatusOr<Dataset> LoadInteractionFile(const std::string& path,
+                                      const InteractionFileFormat& format);
+
+/// Writes `dataset` as "user<sep>item" lines (0-based ids); round-trips
+/// through LoadInteractionFile with `one_based_ids = false`.
+Status SaveInteractionFile(const Dataset& dataset, const std::string& path,
+                           char separator = '\t');
+
+}  // namespace pieck
+
+#endif  // PIECK_DATA_IO_H_

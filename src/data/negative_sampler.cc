@@ -1,0 +1,57 @@
+#include "data/negative_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+std::vector<LabeledItem> NegativeSampler::SampleBatch(const Dataset& train,
+                                                      int user,
+                                                      Rng& rng) const {
+  PIECK_CHECK(q_ >= 0.0);
+  const std::vector<int>& positives = train.ItemsOf(user);
+  std::vector<LabeledItem> batch;
+  batch.reserve(positives.size() * static_cast<size_t>(1.0 + q_) + 1);
+  for (int item : positives) batch.push_back({item, 1.0});
+
+  int64_t want = static_cast<int64_t>(
+      std::llround(q_ * static_cast<double>(positives.size())));
+  int64_t pool = train.num_items() - static_cast<int64_t>(positives.size());
+  want = std::min(want, pool);
+  if (want <= 0) return batch;
+
+  // For small sample counts rejection sampling is cheap (datasets are
+  // sparse); fall back to an explicit pool when the user covers most items.
+  if (static_cast<double>(positives.size()) <
+      0.5 * static_cast<double>(train.num_items())) {
+    std::vector<char> taken(static_cast<size_t>(train.num_items()), 0);
+    for (int item : positives) taken[static_cast<size_t>(item)] = 1;
+    int64_t drawn = 0;
+    while (drawn < want) {
+      int item = static_cast<int>(rng.UniformInt(0, train.num_items() - 1));
+      if (!taken[static_cast<size_t>(item)]) {
+        taken[static_cast<size_t>(item)] = 1;
+        batch.push_back({item, 0.0});
+        ++drawn;
+      }
+    }
+  } else {
+    std::vector<int> pool_items;
+    pool_items.reserve(static_cast<size_t>(pool));
+    size_t pi = 0;
+    for (int item = 0; item < train.num_items(); ++item) {
+      while (pi < positives.size() && positives[pi] < item) ++pi;
+      if (pi < positives.size() && positives[pi] == item) continue;
+      pool_items.push_back(item);
+    }
+    rng.Shuffle(pool_items);
+    for (int64_t i = 0; i < want; ++i) {
+      batch.push_back({pool_items[static_cast<size_t>(i)], 0.0});
+    }
+  }
+  return batch;
+}
+
+}  // namespace pieck

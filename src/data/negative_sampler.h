@@ -1,0 +1,41 @@
+#ifndef PIECK_DATA_NEGATIVE_SAMPLER_H_
+#define PIECK_DATA_NEGATIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace pieck {
+
+/// One labeled training example for a client: item plus implicit label.
+struct LabeledItem {
+  int item;
+  double label;  // 1.0 = interacted (D+), 0.0 = sampled negative (D-)
+};
+
+/// Builds a client's private training batch D_i = D+_i ∪ D-_i (§III-A):
+/// all of the user's training interactions plus `q * |D+_i|` uniformly
+/// sampled uninteracted items (the paper sets q = 1 by default and
+/// studies larger q in the supplementary material).
+class NegativeSampler {
+ public:
+  /// `q` is the ratio |D-| / |D+|; must be >= 0.
+  explicit NegativeSampler(double q = 1.0) : q_(q) {}
+
+  /// Samples a fresh batch for `user` from `train`. Negatives are drawn
+  /// without replacement from the user's uninteracted items; if the user
+  /// has interacted with nearly everything the negative set is smaller
+  /// than requested.
+  std::vector<LabeledItem> SampleBatch(const Dataset& train, int user,
+                                       Rng& rng) const;
+
+  double q() const { return q_; }
+
+ private:
+  double q_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_DATA_NEGATIVE_SAMPLER_H_

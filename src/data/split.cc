@@ -1,0 +1,30 @@
+#include "data/split.h"
+
+namespace pieck {
+
+StatusOr<LeaveOneOutSplit> MakeLeaveOneOutSplit(const Dataset& full,
+                                                Rng& rng) {
+  LeaveOneOutSplit split;
+  split.test_item.assign(static_cast<size_t>(full.num_users()), -1);
+
+  std::vector<Interaction> train_raw;
+  train_raw.reserve(static_cast<size_t>(full.num_interactions()));
+  for (int u = 0; u < full.num_users(); ++u) {
+    const std::vector<int>& items = full.ItemsOf(u);
+    int held_out = -1;
+    if (items.size() >= 2) {
+      held_out = items[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+      split.test_item[static_cast<size_t>(u)] = held_out;
+    }
+    for (int item : items) {
+      if (item != held_out) train_raw.push_back({u, item});
+    }
+  }
+  PIECK_ASSIGN_OR_RETURN(
+      split.train, Dataset::FromInteractions(full.num_users(),
+                                             full.num_items(), train_raw));
+  return split;
+}
+
+}  // namespace pieck

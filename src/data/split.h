@@ -1,0 +1,28 @@
+#ifndef PIECK_DATA_SPLIT_H_
+#define PIECK_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "data/dataset.h"
+
+namespace pieck {
+
+/// Result of the leave-one-out protocol (§VII-A1, following He et al.):
+/// for every user one interacted item is held out as that user's test
+/// item; the remainder is the training set.
+struct LeaveOneOutSplit {
+  Dataset train;
+  /// test_item[u] is the held-out item of user u, or -1 when the user has
+  /// fewer than two interactions (such users are skipped by HR@K).
+  std::vector<int> test_item;
+};
+
+/// Performs the leave-one-out split, choosing the held-out item uniformly
+/// at random per user.
+StatusOr<LeaveOneOutSplit> MakeLeaveOneOutSplit(const Dataset& full, Rng& rng);
+
+}  // namespace pieck
+
+#endif  // PIECK_DATA_SPLIT_H_

@@ -1,0 +1,72 @@
+#include "defense/defense.h"
+
+namespace pieck {
+
+const char* DefenseKindToString(DefenseKind kind) {
+  switch (kind) {
+    case DefenseKind::kNoDefense:
+      return "NoDefense";
+    case DefenseKind::kNormBound:
+      return "NormBound";
+    case DefenseKind::kMedian:
+      return "Median";
+    case DefenseKind::kTrimmedMean:
+      return "TrimmedMean";
+    case DefenseKind::kKrum:
+      return "Krum";
+    case DefenseKind::kMultiKrum:
+      return "MultiKrum";
+    case DefenseKind::kBulyan:
+      return "Bulyan";
+    case DefenseKind::kOurs:
+      return "Ours";
+    case DefenseKind::kOursPlusNormBound:
+      return "Ours+NormBound";
+  }
+  return "?";
+}
+
+DefensePlan MakeDefensePlan(DefenseKind kind, const AggregatorParams& params) {
+  DefensePlan plan;
+  switch (kind) {
+    case DefenseKind::kNoDefense:
+    case DefenseKind::kOurs:
+      plan.aggregator = std::make_unique<SumAggregator>();
+      break;
+    case DefenseKind::kNormBound:
+    case DefenseKind::kOursPlusNormBound:
+      plan.aggregator = std::make_unique<NormBoundAggregator>(params.norm_bound);
+      break;
+    case DefenseKind::kMedian:
+      plan.aggregator = std::make_unique<MedianAggregator>();
+      break;
+    case DefenseKind::kTrimmedMean:
+      plan.aggregator =
+          std::make_unique<TrimmedMeanAggregator>(params.malicious_fraction);
+      break;
+    case DefenseKind::kKrum:
+      plan.aggregator = std::make_unique<SumAggregator>();
+      plan.filter = std::make_unique<KrumFilter>(params.malicious_fraction);
+      break;
+    case DefenseKind::kMultiKrum:
+      plan.aggregator = std::make_unique<SumAggregator>();
+      plan.filter =
+          std::make_unique<MultiKrumFilter>(params.malicious_fraction);
+      break;
+    case DefenseKind::kBulyan:
+      // Bulyan = MultiKrum selection followed by a coordinate-wise
+      // trimmed mean over the survivors.
+      plan.aggregator =
+          std::make_unique<TrimmedMeanAggregator>(params.malicious_fraction);
+      plan.filter =
+          std::make_unique<MultiKrumFilter>(params.malicious_fraction);
+      break;
+  }
+  return plan;
+}
+
+bool DefenseUsesClientRegularizers(DefenseKind kind) {
+  return kind == DefenseKind::kOurs || kind == DefenseKind::kOursPlusNormBound;
+}
+
+}  // namespace pieck

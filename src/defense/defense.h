@@ -1,0 +1,57 @@
+#ifndef PIECK_DEFENSE_DEFENSE_H_
+#define PIECK_DEFENSE_DEFENSE_H_
+
+#include <memory>
+
+#include "defense/regularized_defense.h"
+#include "defense/robust_aggregators.h"
+#include "fed/aggregator.h"
+
+namespace pieck {
+
+/// The defenses compared in Table IV. All but kOurs are server-side
+/// aggregation rules; kOurs keeps the plain sum aggregation and instead
+/// installs the client-side regularizers on every benign client.
+enum class DefenseKind {
+  kNoDefense,
+  kNormBound,
+  kMedian,
+  kTrimmedMean,
+  kKrum,
+  kMultiKrum,
+  kBulyan,
+  kOurs,
+  /// Extension (the paper's future-work direction): collaborative
+  /// defense combining the client-side regularizers with server-side
+  /// norm bounding. Closes the DL-FRS gap where embedding-space
+  /// regularizers alone cannot stop interaction-function saturation.
+  kOursPlusNormBound,
+};
+
+const char* DefenseKindToString(DefenseKind kind);
+
+/// Parameters for the server-side baselines.
+struct AggregatorParams {
+  double norm_bound = 0.005;  // NormBound clipping budget (tuned)
+  /// Assumed malicious fraction used by TrimmedMean / Krum / MultiKrum /
+  /// Bulyan (the paper tunes these to the true p̃).
+  double malicious_fraction = 0.05;
+};
+
+/// Server-side defense: an optional client-level filter (Krum family)
+/// plus the per-parameter-group aggregation rule.
+struct DefensePlan {
+  std::unique_ptr<UpdateFilter> filter;  // may be null
+  std::unique_ptr<Aggregator> aggregator;
+};
+
+/// Builds the server-side defense for `kind`. kOurs and kNoDefense both
+/// return the plain sum (our defense lives on the clients).
+DefensePlan MakeDefensePlan(DefenseKind kind, const AggregatorParams& params);
+
+/// True if `kind` installs the client-side regularizers.
+bool DefenseUsesClientRegularizers(DefenseKind kind);
+
+}  // namespace pieck
+
+#endif  // PIECK_DEFENSE_DEFENSE_H_

@@ -1,0 +1,146 @@
+#include "defense/regularized_defense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+RegularizedClientDefense::RegularizedClientDefense(
+    const DefenseOptions& options)
+    : options_(options),
+      miner_(options.mining_rounds, options.mined_top_n) {
+  PIECK_CHECK(options_.beta >= 0.0 && options_.gamma >= 0.0);
+}
+
+void RegularizedClientDefense::ObserveRound(const GlobalModel& g) {
+  miner_.Observe(g.item_embeddings);
+}
+
+std::vector<double> RegularizedClientDefense::ExponentialRankWeights(
+    size_t m) const {
+  std::vector<double> w(m);
+  double total = 0.0;
+  for (size_t r = 0; r < m; ++r) {
+    w[r] = std::exp(-static_cast<double>(r));
+    total += w[r];
+  }
+  for (double& x : w) x /= total;
+  return w;
+}
+
+std::vector<int> RegularizedClientDefense::UnpopularBatchItems(
+    const std::vector<LabeledItem>& batch) const {
+  const std::vector<int>& popular = miner_.MinedItems();
+  std::unordered_set<int> popular_set(popular.begin(), popular.end());
+  std::vector<int> out;
+  out.reserve(batch.size());
+  for (const LabeledItem& ex : batch) {
+    if (popular_set.count(ex.item) == 0) out.push_back(ex.item);
+  }
+  return out;
+}
+
+double RegularizedClientDefense::ComputeRe1(
+    const GlobalModel& g, const std::vector<LabeledItem>& batch) const {
+  if (!miner_.Ready()) return 0.0;
+  const std::vector<int>& popular = miner_.MinedItems();
+  std::vector<int> unpopular = UnpopularBatchItems(batch);
+  if (popular.empty() || unpopular.empty()) return 0.0;
+  std::vector<double> kappa = ExponentialRankWeights(popular.size());
+
+  double re1 = 0.0;
+  for (int j : unpopular) {
+    Vec vj = g.item_embeddings.Row(static_cast<size_t>(j));
+    for (size_t k = 0; k < popular.size(); ++k) {
+      Vec vk = g.item_embeddings.Row(static_cast<size_t>(popular[k]));
+      re1 += kappa[k] * CosineSimilarity(vk, vj);
+    }
+  }
+  return re1 / static_cast<double>(unpopular.size());
+}
+
+double RegularizedClientDefense::ComputeRe2(const GlobalModel& g,
+                                            const Vec& u) const {
+  if (!miner_.Ready()) return 0.0;
+  const std::vector<int>& popular = miner_.MinedItems();
+  if (popular.empty()) return 0.0;
+  std::vector<double> kappa = ExponentialRankWeights(popular.size());
+  double re2 = 0.0;
+  for (size_t k = 0; k < popular.size(); ++k) {
+    Vec vk = g.item_embeddings.Row(static_cast<size_t>(popular[k]));
+    re2 += kappa[k] * SoftmaxKl(vk, u);
+  }
+  return re2;
+}
+
+void RegularizedClientDefense::ApplyRegularizers(
+    const GlobalModel& g, const Vec& u, const std::vector<LabeledItem>& batch,
+    Vec* grad_u, ClientUpdate* update) {
+  if (!miner_.Ready()) return;
+  const std::vector<int>& popular = miner_.MinedItems();
+  if (popular.empty()) return;
+  std::vector<double> kappa = ExponentialRankWeights(popular.size());
+
+  // Re1: L_def contains −β·Re1. Gradients flow into BOTH sides of each
+  // cosine pair: the unpopular batch items v_j and the mined popular
+  // items v_k. Pulling the two groups together is what blurs the
+  // distinctive popular-item features the attacker relies on (F2).
+  if (options_.enable_re1 && options_.beta > 0.0 && update != nullptr) {
+    std::vector<int> unpopular = UnpopularBatchItems(batch);
+    if (!unpopular.empty()) {
+      const double coeff =
+          -options_.beta / static_cast<double>(unpopular.size());
+      std::vector<Vec> popular_grads(popular.size());
+      for (size_t k = 0; k < popular.size(); ++k) {
+        popular_grads[k] = Zeros(static_cast<size_t>(g.dim()));
+      }
+      for (int j : unpopular) {
+        Vec vj = g.item_embeddings.Row(static_cast<size_t>(j));
+        Vec grad = Zeros(vj.size());
+        for (size_t k = 0; k < popular.size(); ++k) {
+          Vec vk = g.item_embeddings.Row(static_cast<size_t>(popular[k]));
+          Vec dcos_j = CosineSimilarityGradWrtB(vk, vj);
+          Axpy(kappa[k], dcos_j, grad);
+          // cos is symmetric; ∇_{v_k} cos(v_k, v_j) mirrors the roles.
+          Vec dcos_k = CosineSimilarityGradWrtB(vj, vk);
+          Axpy(coeff * kappa[k], dcos_k, popular_grads[k]);
+        }
+        Scale(coeff, grad);
+        update->AccumulateItemGrad(j, grad);
+      }
+      for (size_t k = 0; k < popular.size(); ++k) {
+        update->AccumulateItemGrad(popular[k], popular_grads[k]);
+      }
+    }
+  }
+
+  // Re2: L_def contains −γ·Re2 with Re2 = Σ_k κ'(v_k)·KL(v_k ∥ u).
+  // Gradients flow into the user embedding (local) and into the popular
+  // item embeddings (uploaded): separating the two distributions from
+  // both sides is what invalidates user-embedding approximation (F3).
+  if (options_.enable_re2 && options_.gamma > 0.0) {
+    for (size_t k = 0; k < popular.size(); ++k) {
+      Vec vk = g.item_embeddings.Row(static_cast<size_t>(popular[k]));
+      if (grad_u != nullptr) {
+        Vec dkl_u = SoftmaxKlGradWrtB(vk, u);
+        Axpy(-options_.gamma * kappa[k], dkl_u, *grad_u);
+      }
+      if (update != nullptr) {
+        Vec dkl_k = SoftmaxKlGradWrtA(vk, u);
+        Vec grad = Zeros(vk.size());
+        Axpy(-options_.gamma * kappa[k], dkl_k, grad);
+        update->AccumulateItemGrad(popular[k], grad);
+      }
+    }
+  }
+}
+
+std::unique_ptr<ClientDefense> MakeRegularizedDefense(
+    const DefenseOptions& options) {
+  return std::make_unique<RegularizedClientDefense>(options);
+}
+
+}  // namespace pieck

@@ -1,0 +1,77 @@
+#ifndef PIECK_DEFENSE_REGULARIZED_DEFENSE_H_
+#define PIECK_DEFENSE_REGULARIZED_DEFENSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "attack/popular_item_miner.h"
+#include "fed/client.h"
+
+namespace pieck {
+
+/// Options for the paper's new defense (§V-B, Eq. 16):
+///   L_def = L_i − β·Re1 − γ·Re2.
+/// `enable_re1` / `enable_re2` drive the Table VI (right) ablation.
+struct DefenseOptions {
+  double beta = 2.0;   // weight of Re1 (popular/unpopular feature confusion)
+  double gamma = 1.0;  // weight of Re2 (user vs popular-item separation)
+  int mining_rounds = 2;  // R̃ for the benign client's own miner
+  int mined_top_n = 10;   // N
+  bool enable_re1 = true;
+  bool enable_re2 = true;
+};
+
+/// The client-side regularization defense. Each benign user mines
+/// popular items exactly like the attacker would (Algorithm 1, finding
+/// F1), then adds two regularizers to its training loss:
+///
+///  Re1 (Eq. 14): weighted mean pairwise cosine similarity between the
+///  embeddings of the user's unpopular batch items ΔD_i and the mined
+///  popular items P_i. Maximizing it (the −β sign in Eq. 16) blurs the
+///  distinctive features of popular items, so a target item can no
+///  longer be counterfeited as popular (counters PIECK-IPE, finding F2).
+///
+///  Re2 (Eq. 15): weighted KL divergence between the user's embedding
+///  and the mined popular items' embeddings. Maximizing it separates the
+///  user-embedding distribution from the popular-item distribution, so
+///  approximating users by popular items becomes inaccurate (counters
+///  PIECK-UEA, finding F3).
+///
+/// κ'(v_k) is the normalized *exponential* inverse rank exp(−r)/Σexp(−r'),
+/// concentrating the defense on the most popular items (paper fn. 9).
+class RegularizedClientDefense : public ClientDefense {
+ public:
+  explicit RegularizedClientDefense(const DefenseOptions& options);
+
+  void ObserveRound(const GlobalModel& g) override;
+  void ApplyRegularizers(const GlobalModel& g, const Vec& u,
+                         const std::vector<LabeledItem>& batch, Vec* grad_u,
+                         ClientUpdate* update) override;
+
+  /// Current value of Re1 for a batch (tests / diagnostics).
+  double ComputeRe1(const GlobalModel& g,
+                    const std::vector<LabeledItem>& batch) const;
+  /// Current value of Re2 for a user embedding (tests / diagnostics).
+  double ComputeRe2(const GlobalModel& g, const Vec& u) const;
+
+  const PopularItemMiner& miner() const { return miner_; }
+  const DefenseOptions& options() const { return options_; }
+
+ private:
+  /// κ' weights over the mined list.
+  std::vector<double> ExponentialRankWeights(size_t m) const;
+  /// Batch items not in the mined popular set (ΔD_i = D_i \ P_i).
+  std::vector<int> UnpopularBatchItems(
+      const std::vector<LabeledItem>& batch) const;
+
+  DefenseOptions options_;
+  PopularItemMiner miner_;
+};
+
+/// Factory used by BenignClient construction sites.
+std::unique_ptr<ClientDefense> MakeRegularizedDefense(
+    const DefenseOptions& options);
+
+}  // namespace pieck
+
+#endif  // PIECK_DEFENSE_REGULARIZED_DEFENSE_H_

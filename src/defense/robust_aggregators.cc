@@ -1,0 +1,140 @@
+#include "defense/robust_aggregators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+Vec NormBoundAggregator::Aggregate(const std::vector<Vec>& grads) const {
+  PIECK_CHECK(!grads.empty());
+  Vec out = Zeros(grads[0].size());
+  for (const Vec& g : grads) {
+    Vec clipped = g;
+    ClipNorm(clipped, max_norm_);
+    Axpy(1.0, clipped, out);
+  }
+  return out;
+}
+
+Vec MedianAggregator::Aggregate(const std::vector<Vec>& grads) const {
+  PIECK_CHECK(!grads.empty());
+  const size_t n = grads.size();
+  const size_t d = grads[0].size();
+  Vec out(d);
+  std::vector<double> column(n);
+  for (size_t c = 0; c < d; ++c) {
+    for (size_t i = 0; i < n; ++i) column[i] = grads[i][c];
+    auto mid = column.begin() + static_cast<ptrdiff_t>(n / 2);
+    std::nth_element(column.begin(), mid, column.end());
+    double median;
+    if (n % 2 == 1) {
+      median = *mid;
+    } else {
+      double hi = *mid;
+      double lo = *std::max_element(column.begin(), mid);
+      median = 0.5 * (lo + hi);
+    }
+    // Sum-calibrated: estimate the sum of n honest gradients.
+    out[c] = median * static_cast<double>(n);
+  }
+  return out;
+}
+
+Vec TrimmedMeanAggregator::Aggregate(const std::vector<Vec>& grads) const {
+  PIECK_CHECK(!grads.empty());
+  const size_t n = grads.size();
+  const size_t d = grads[0].size();
+  size_t trim =
+      static_cast<size_t>(std::ceil(trim_fraction_ * static_cast<double>(n)));
+  if (2 * trim >= n) trim = (n - 1) / 2;  // keep at least one value
+
+  Vec out(d);
+  std::vector<double> column(n);
+  for (size_t c = 0; c < d; ++c) {
+    for (size_t i = 0; i < n; ++i) column[i] = grads[i][c];
+    std::sort(column.begin(), column.end());
+    double s = 0.0;
+    for (size_t i = trim; i < n - trim; ++i) s += column[i];
+    // Sum-calibrated trimmed mean.
+    out[c] = s / static_cast<double>(n - 2 * trim) * static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<double> KrumFilter::Scores(
+    const std::vector<ClientUpdate>& updates) const {
+  const int n = static_cast<int>(updates.size());
+  int f = static_cast<int>(std::llround(fraction_ * n));
+  int neighbors = std::max(1, n - f - 2);
+
+  std::vector<std::vector<double>> dist(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double d2 = ClientUpdateSquaredDistance(updates[static_cast<size_t>(i)],
+                                              updates[static_cast<size_t>(j)]);
+      dist[static_cast<size_t>(i)][static_cast<size_t>(j)] = d2;
+      dist[static_cast<size_t>(j)][static_cast<size_t>(i)] = d2;
+    }
+  }
+
+  std::vector<double> scores(static_cast<size_t>(n));
+  std::vector<double> row;
+  for (int i = 0; i < n; ++i) {
+    row.clear();
+    for (int j = 0; j < n; ++j) {
+      if (j != i) row.push_back(dist[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+    size_t k = std::min(row.size(), static_cast<size_t>(neighbors));
+    std::partial_sort(row.begin(), row.begin() + static_cast<ptrdiff_t>(k),
+                      row.end());
+    scores[static_cast<size_t>(i)] =
+        std::accumulate(row.begin(), row.begin() + static_cast<ptrdiff_t>(k),
+                        0.0);
+  }
+  return scores;
+}
+
+std::vector<int> KrumFilter::Select(
+    const std::vector<ClientUpdate>& updates) const {
+  PIECK_CHECK(!updates.empty());
+  if (updates.size() <= 2) {
+    std::vector<int> all(updates.size());
+    std::iota(all.begin(), all.end(), 0);
+    return all;  // too few updates to score; pass through
+  }
+  std::vector<double> scores = Scores(updates);
+  int best = static_cast<int>(
+      std::min_element(scores.begin(), scores.end()) - scores.begin());
+  return {best};
+}
+
+std::vector<int> MultiKrumFilter::Select(
+    const std::vector<ClientUpdate>& updates) const {
+  PIECK_CHECK(!updates.empty());
+  const int n = static_cast<int>(updates.size());
+  if (n <= 2) {
+    std::vector<int> all(updates.size());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  int discard = static_cast<int>(std::ceil(2.0 * fraction_ * n));
+  int keep = std::max(1, n - discard);
+  // Equivalent to iteratively re-running Krum and removing the worst:
+  // keep the `keep` lowest-scoring updates.
+  std::vector<double> scores = Scores(updates);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[static_cast<size_t>(a)] < scores[static_cast<size_t>(b)];
+  });
+  order.resize(static_cast<size_t>(keep));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace pieck

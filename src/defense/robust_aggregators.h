@@ -1,0 +1,80 @@
+#ifndef PIECK_DEFENSE_ROBUST_AGGREGATORS_H_
+#define PIECK_DEFENSE_ROBUST_AGGREGATORS_H_
+
+#include "fed/aggregator.h"
+
+namespace pieck {
+
+// In FRS the no-defense aggregation is a plain SUM of the uploaded
+// gradients (§III-A). The coordinate-wise robust rules below therefore
+// return a *sum-calibrated* estimate, n × robust-location, so that
+// installing a defense does not silently change the server's effective
+// learning rate. The Krum family operates on whole client updates
+// (as defined by Blanchard et al.) and is implemented as UpdateFilters.
+
+/// NormBound (Sun et al., 2019): clips every uploaded gradient to an L2
+/// budget before summing.
+class NormBoundAggregator : public Aggregator {
+ public:
+  explicit NormBoundAggregator(double max_norm) : max_norm_(max_norm) {}
+  std::string name() const override { return "NormBound"; }
+  Vec Aggregate(const std::vector<Vec>& grads) const override;
+
+ private:
+  double max_norm_;
+};
+
+/// Median (Yin et al., ICML 2018): n × coordinate-wise median.
+class MedianAggregator : public Aggregator {
+ public:
+  std::string name() const override { return "Median"; }
+  Vec Aggregate(const std::vector<Vec>& grads) const override;
+};
+
+/// TrimmedMean (Yin et al., ICML 2018): per coordinate, removes the
+/// `trim_fraction` largest and smallest values, then returns
+/// n × the mean of the rest.
+class TrimmedMeanAggregator : public Aggregator {
+ public:
+  explicit TrimmedMeanAggregator(double trim_fraction)
+      : trim_fraction_(trim_fraction) {}
+  std::string name() const override { return "TrimmedMean"; }
+  Vec Aggregate(const std::vector<Vec>& grads) const override;
+
+ private:
+  double trim_fraction_;
+};
+
+/// Krum (Blanchard et al., NeurIPS 2017): keeps the single client update
+/// with the smallest sum of squared distances to its n−f−2 nearest
+/// neighbors. `assumed_malicious_fraction` sets f = round(fraction·n).
+class KrumFilter : public UpdateFilter {
+ public:
+  explicit KrumFilter(double assumed_malicious_fraction)
+      : fraction_(assumed_malicious_fraction) {}
+  std::string name() const override { return "Krum"; }
+  std::vector<int> Select(
+      const std::vector<ClientUpdate>& updates) const override;
+
+ protected:
+  /// Krum scores for every update (sum of the k nearest squared
+  /// distances); shared with MultiKrum.
+  std::vector<double> Scores(const std::vector<ClientUpdate>& updates) const;
+
+  double fraction_;
+};
+
+/// MultiKrum: iteratively applies Krum selection, discarding the 2f
+/// least-similar updates, and keeps the rest.
+class MultiKrumFilter : public KrumFilter {
+ public:
+  explicit MultiKrumFilter(double assumed_malicious_fraction)
+      : KrumFilter(assumed_malicious_fraction) {}
+  std::string name() const override { return "MultiKrum"; }
+  std::vector<int> Select(
+      const std::vector<ClientUpdate>& updates) const override;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_DEFENSE_ROBUST_AGGREGATORS_H_

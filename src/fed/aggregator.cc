@@ -1,0 +1,63 @@
+#include "fed/aggregator.h"
+
+#include "common/logging.h"
+
+namespace pieck {
+
+Vec SumAggregator::Aggregate(const std::vector<Vec>& grads) const {
+  PIECK_CHECK(!grads.empty());
+  Vec out = Zeros(grads[0].size());
+  for (const Vec& g : grads) Axpy(1.0, g, out);
+  return out;
+}
+
+Vec MeanAggregator::Aggregate(const std::vector<Vec>& grads) const {
+  PIECK_CHECK(!grads.empty());
+  Vec out = Zeros(grads[0].size());
+  for (const Vec& g : grads) Axpy(1.0, g, out);
+  Scale(1.0 / static_cast<double>(grads.size()), out);
+  return out;
+}
+
+double ClientUpdateSquaredDistance(const ClientUpdate& a,
+                                   const ClientUpdate& b) {
+  double d2 = 0.0;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < a.item_grads.size() || ib < b.item_grads.size()) {
+    if (ib >= b.item_grads.size() ||
+        (ia < a.item_grads.size() &&
+         a.item_grads[ia].first < b.item_grads[ib].first)) {
+      d2 += SquaredNorm2(a.item_grads[ia].second);
+      ++ia;
+    } else if (ia >= a.item_grads.size() ||
+               b.item_grads[ib].first < a.item_grads[ia].first) {
+      d2 += SquaredNorm2(b.item_grads[ib].second);
+      ++ib;
+    } else {
+      const Vec& ga = a.item_grads[ia].second;
+      const Vec& gb = b.item_grads[ib].second;
+      for (size_t c = 0; c < ga.size(); ++c) {
+        double diff = ga[c] - gb[c];
+        d2 += diff * diff;
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  if (a.interaction_grads.active && b.interaction_grads.active) {
+    Vec fa = a.interaction_grads.Flatten();
+    Vec fb = b.interaction_grads.Flatten();
+    for (size_t c = 0; c < fa.size(); ++c) {
+      double diff = fa[c] - fb[c];
+      d2 += diff * diff;
+    }
+  } else if (a.interaction_grads.active) {
+    d2 += a.interaction_grads.SquaredNorm();
+  } else if (b.interaction_grads.active) {
+    d2 += b.interaction_grads.SquaredNorm();
+  }
+  return d2;
+}
+
+}  // namespace pieck

@@ -1,0 +1,71 @@
+#ifndef PIECK_FED_AGGREGATOR_H_
+#define PIECK_FED_AGGREGATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/vector_ops.h"
+
+namespace pieck {
+
+/// Server-side gradient aggregation rule Agg(·) of §III-A step 4.
+///
+/// In FRS aggregation is per parameter group: for each item embedding the
+/// server aggregates only the gradients of clients that uploaded one for
+/// that item; interaction-function parameters aggregate over all selected
+/// clients. Defense methods (§VI-C baselines) are alternative Aggregator
+/// implementations.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Aggregates a set of same-length gradient vectors into one. `grads`
+  /// is never empty.
+  virtual Vec Aggregate(const std::vector<Vec>& grads) const = 0;
+};
+
+/// The no-defense default: a plain coordinate-wise sum (the paper's
+/// "simple sum operation").
+class SumAggregator : public Aggregator {
+ public:
+  std::string name() const override { return "NoDefense"; }
+  Vec Aggregate(const std::vector<Vec>& grads) const override;
+};
+
+/// Coordinate-wise mean; provided for completeness / ablations.
+class MeanAggregator : public Aggregator {
+ public:
+  std::string name() const override { return "Mean"; }
+  Vec Aggregate(const std::vector<Vec>& grads) const override;
+};
+
+}  // namespace pieck
+
+#include "model/global_model.h"
+
+namespace pieck {
+
+/// Client-level defense stage: inspects the whole set of uploads for a
+/// round and returns the subset that will be aggregated. This is where
+/// Krum-family defenses live — Blanchard et al. define them on entire
+/// client updates, not on per-parameter groups.
+class UpdateFilter {
+ public:
+  virtual ~UpdateFilter() = default;
+  virtual std::string name() const = 0;
+  /// Returns the surviving updates (indices into `updates`).
+  virtual std::vector<int> Select(
+      const std::vector<ClientUpdate>& updates) const = 0;
+};
+
+/// Squared L2 distance between two sparse client updates: the union of
+/// their item gradients (absent = zero) plus interaction gradients.
+double ClientUpdateSquaredDistance(const ClientUpdate& a,
+                                   const ClientUpdate& b);
+
+}  // namespace pieck
+
+#endif  // PIECK_FED_AGGREGATOR_H_

@@ -1,0 +1,58 @@
+#include "fed/client.h"
+
+#include "common/logging.h"
+
+namespace pieck {
+
+BenignClient::BenignClient(int user_id, const RecModel& model,
+                           const Dataset& train, NegativeSampler sampler,
+                           LossKind loss, double local_lr, Rng rng,
+                           std::unique_ptr<ClientDefense> defense)
+    : user_id_(user_id),
+      model_(model),
+      train_(train),
+      sampler_(sampler),
+      loss_(loss),
+      local_lr_(local_lr),
+      rng_(rng),
+      defense_(std::move(defense)) {
+  user_embedding_ = model_.InitUserEmbedding(rng_);
+  user_initialized_ = true;
+}
+
+ClientUpdate BenignClient::ParticipateRound(const GlobalModel& g,
+                                            int /*round*/) {
+  if (defense_ != nullptr) defense_->ObserveRound(g);
+
+  std::vector<LabeledItem> batch = sampler_.SampleBatch(train_, user_id_, rng_);
+
+  ClientUpdate update;
+  update.interaction_grads = InteractionGrads::ZerosLike(g);
+  Vec grad_u = Zeros(user_embedding_.size());
+
+  switch (loss_) {
+    case LossKind::kBce:
+      last_loss_ = BceBatchForwardBackward(
+          model_, g, user_embedding_, batch, &grad_u, &update,
+          update.interaction_grads.active ? &update.interaction_grads
+                                          : nullptr);
+      break;
+    case LossKind::kBpr:
+      last_loss_ = BprBatchForwardBackward(
+          model_, g, user_embedding_, batch, &grad_u, &update,
+          update.interaction_grads.active ? &update.interaction_grads
+                                          : nullptr);
+      break;
+  }
+
+  if (defense_ != nullptr) {
+    defense_->ApplyRegularizers(g, user_embedding_, batch, &grad_u, &update);
+  }
+
+  // Local personalized-model step: u_i = u_i − η_local ∇u_i (§III-A step 3).
+  Axpy(-local_lr_, grad_u, user_embedding_);
+
+  return update;
+}
+
+}  // namespace pieck

@@ -1,0 +1,85 @@
+#ifndef PIECK_FED_CLIENT_H_
+#define PIECK_FED_CLIENT_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/negative_sampler.h"
+#include "model/global_model.h"
+#include "model/losses.h"
+#include "model/rec_model.h"
+
+namespace pieck {
+
+/// A participant in the federation. The server addresses every client
+/// through this interface and cannot distinguish benign from malicious
+/// participants (the `is_malicious` bit exists for evaluation bookkeeping
+/// only and is never consulted by server-side code).
+class ClientInterface {
+ public:
+  virtual ~ClientInterface() = default;
+
+  virtual bool is_malicious() const = 0;
+
+  /// Called when the server samples this client in round `round`. The
+  /// client sees the current global model and returns its upload.
+  virtual ClientUpdate ParticipateRound(const GlobalModel& g, int round) = 0;
+};
+
+/// Client-side defense hook (§V-B). Implemented by
+/// `RegularizedClientDefense` in src/defense; declared here so the fed
+/// layer does not depend on the defense library.
+class ClientDefense {
+ public:
+  virtual ~ClientDefense() = default;
+
+  /// Observes the item-embedding matrix the client received this round
+  /// (benign clients mine popular items from consecutive observations,
+  /// exactly like the attacker does).
+  virtual void ObserveRound(const GlobalModel& g) = 0;
+
+  /// Adds the defense regularizer gradients (−β∇Re1 − γ∇Re2 of Eq. 16)
+  /// to the already-computed training gradients.
+  virtual void ApplyRegularizers(const GlobalModel& g, const Vec& u,
+                                 const std::vector<LabeledItem>& batch,
+                                 Vec* grad_u, ClientUpdate* update) = 0;
+};
+
+/// A benign user: holds the private user embedding (the personalized
+/// model), trains on its private batch each time it is sampled, updates
+/// the user embedding locally, and uploads item-embedding (and, for
+/// DL-FRS, interaction-function) gradients.
+class BenignClient : public ClientInterface {
+ public:
+  /// `train` must outlive the client. `defense` may be null.
+  BenignClient(int user_id, const RecModel& model, const Dataset& train,
+               NegativeSampler sampler, LossKind loss, double local_lr,
+               Rng rng, std::unique_ptr<ClientDefense> defense);
+
+  bool is_malicious() const override { return false; }
+  ClientUpdate ParticipateRound(const GlobalModel& g, int round) override;
+
+  int user_id() const { return user_id_; }
+  const Vec& user_embedding() const { return user_embedding_; }
+
+  /// Last training loss observed by this client (diagnostics).
+  double last_loss() const { return last_loss_; }
+
+ private:
+  int user_id_;
+  const RecModel& model_;
+  const Dataset& train_;
+  NegativeSampler sampler_;
+  LossKind loss_;
+  double local_lr_;
+  Rng rng_;
+  std::unique_ptr<ClientDefense> defense_;
+  Vec user_embedding_;
+  bool user_initialized_ = false;
+  double last_loss_ = 0.0;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_FED_CLIENT_H_

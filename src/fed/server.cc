@@ -1,0 +1,95 @@
+#include "fed/server.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+FederatedServer::FederatedServer(const RecModel& model, GlobalModel initial,
+                                 ServerConfig config,
+                                 std::unique_ptr<Aggregator> aggregator,
+                                 std::unique_ptr<UpdateFilter> filter)
+    : model_(model),
+      global_(std::move(initial)),
+      config_(config),
+      aggregator_(std::move(aggregator)),
+      filter_(std::move(filter)) {
+  PIECK_CHECK(aggregator_ != nullptr);
+  PIECK_CHECK(config_.users_per_round > 0);
+}
+
+RoundStats FederatedServer::RunRound(
+    const std::vector<ClientInterface*>& clients, int round, Rng& rng) {
+  RoundStats stats;
+  stats.round = round;
+
+  const int n = static_cast<int>(clients.size());
+  PIECK_CHECK(n > 0);
+  std::vector<int> selected = rng.SampleWithoutReplacement(
+      n, std::min(config_.users_per_round, n));
+  stats.num_selected = static_cast<int>(selected.size());
+
+  std::vector<ClientUpdate> updates;
+  updates.reserve(selected.size());
+  for (int idx : selected) {
+    ClientInterface* client = clients[static_cast<size_t>(idx)];
+    if (client->is_malicious()) stats.num_malicious_selected++;
+    updates.push_back(client->ParticipateRound(global_, round));
+  }
+
+  ApplyUpdates(updates);
+  return stats;
+}
+
+void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw) {
+  // Client-level defense stage (Krum family): keep only the selected
+  // uploads.
+  std::vector<ClientUpdate> filtered;
+  const std::vector<ClientUpdate>* updates_ptr = &raw;
+  if (filter_ != nullptr && !raw.empty()) {
+    for (int idx : filter_->Select(raw)) {
+      filtered.push_back(raw[static_cast<size_t>(idx)]);
+    }
+    updates_ptr = &filtered;
+  }
+  const std::vector<ClientUpdate>& updates = *updates_ptr;
+
+  // Group per-item gradients: item -> gradients from the clients that
+  // uploaded one for that item. This sparsity is the crux of the paper's
+  // defense analysis (Eq. 11): a cold target item receives mostly
+  // poisonous gradients, whatever robust rule runs below.
+  std::map<int, std::vector<Vec>> per_item;
+  for (const ClientUpdate& upd : updates) {
+    for (const auto& [item, grad] : upd.item_grads) {
+      per_item[item].push_back(grad);
+    }
+  }
+  for (auto& [item, grads] : per_item) {
+    Vec agg = aggregator_->Aggregate(grads);
+    global_.item_embeddings.AxpyRow(static_cast<size_t>(item),
+                                    -config_.learning_rate, agg);
+  }
+
+  if (global_.has_interaction_params()) {
+    std::vector<Vec> flat_grads;
+    for (const ClientUpdate& upd : updates) {
+      if (upd.interaction_grads.active) {
+        flat_grads.push_back(upd.interaction_grads.Flatten());
+      }
+    }
+    if (!flat_grads.empty()) {
+      Vec agg = aggregator_->Aggregate(flat_grads);
+      InteractionGrads step = InteractionGrads::ZerosLike(global_);
+      step.Unflatten(agg);
+      for (size_t l = 0; l < global_.mlp_weights.size(); ++l) {
+        global_.mlp_weights[l].Axpy(-config_.learning_rate, step.weights[l]);
+        Axpy(-config_.learning_rate, step.biases[l], global_.mlp_biases[l]);
+      }
+      Axpy(-config_.learning_rate, step.projection, global_.projection);
+    }
+  }
+  (void)model_;
+}
+
+}  // namespace pieck

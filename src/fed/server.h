@@ -1,0 +1,66 @@
+#ifndef PIECK_FED_SERVER_H_
+#define PIECK_FED_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "fed/aggregator.h"
+#include "fed/client.h"
+#include "model/global_model.h"
+#include "model/rec_model.h"
+
+namespace pieck {
+
+/// Server-side configuration of the federated training protocol.
+struct ServerConfig {
+  /// Unified learning rate η applied to aggregated gradients (and told to
+  /// clients as the default local rate).
+  double learning_rate = 1.0;
+  /// |U_r|: number of clients sampled per communication round.
+  int users_per_round = 256;
+};
+
+/// Statistics from one communication round (diagnostics / cost analysis).
+struct RoundStats {
+  int round = 0;
+  int num_selected = 0;
+  int num_malicious_selected = 0;
+  double mean_benign_loss = 0.0;
+};
+
+/// The federation server of §III-A: samples a batch of clients each
+/// round, hands them the current global model, aggregates their uploads
+/// with the configured Agg(·), and applies the update with rate η.
+class FederatedServer {
+ public:
+  /// `filter` (optional) is a client-level defense applied to the whole
+  /// set of uploads before per-parameter aggregation (Krum family).
+  FederatedServer(const RecModel& model, GlobalModel initial,
+                  ServerConfig config, std::unique_ptr<Aggregator> aggregator,
+                  std::unique_ptr<UpdateFilter> filter = nullptr);
+
+  /// Runs one communication round over the client population.
+  RoundStats RunRound(const std::vector<ClientInterface*>& clients, int round,
+                      Rng& rng);
+
+  /// Applies a pre-collected set of updates (used by tests and by the
+  /// defense analysis bench to study aggregation in isolation).
+  void ApplyUpdates(const std::vector<ClientUpdate>& updates);
+
+  const GlobalModel& global() const { return global_; }
+  GlobalModel& mutable_global() { return global_; }
+  const ServerConfig& config() const { return config_; }
+  const Aggregator& aggregator() const { return *aggregator_; }
+
+ private:
+  const RecModel& model_;
+  GlobalModel global_;
+  ServerConfig config_;
+  std::unique_ptr<Aggregator> aggregator_;
+  std::unique_ptr<UpdateFilter> filter_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_FED_SERVER_H_

@@ -1,0 +1,201 @@
+#include "metrics/evaluation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+namespace {
+
+/// Scores every item for one user; `scores[j]` is the predicted logit
+/// (ranking is monotone in the logit, so σ is skipped).
+Vec ScoreAllItems(const RecModel& model, const GlobalModel& g, const Vec& u) {
+  Vec scores(static_cast<size_t>(g.num_items()));
+  for (int j = 0; j < g.num_items(); ++j) {
+    Vec v = g.item_embeddings.Row(static_cast<size_t>(j));
+    scores[static_cast<size_t>(j)] = model.Forward(g, u, v, nullptr);
+  }
+  return scores;
+}
+
+}  // namespace
+
+double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
+                        const std::vector<const BenignClient*>& benign,
+                        const Dataset& train,
+                        const std::vector<int>& target_items, int k) {
+  PIECK_CHECK(k > 0);
+  if (target_items.empty() || benign.empty()) return 0.0;
+
+  // For each user compute the top-K uninteracted items once, then test
+  // membership for every target.
+  std::vector<int64_t> hits(target_items.size(), 0);
+  std::vector<int64_t> denom(target_items.size(), 0);
+
+  std::vector<std::pair<double, int>> ranked;
+  for (const BenignClient* client : benign) {
+    const Vec scores = ScoreAllItems(model, g, client->user_embedding());
+    const std::vector<int>& interacted = train.ItemsOf(client->user_id());
+
+    ranked.clear();
+    ranked.reserve(scores.size());
+    size_t pi = 0;
+    for (int j = 0; j < g.num_items(); ++j) {
+      while (pi < interacted.size() && interacted[pi] < j) ++pi;
+      if (pi < interacted.size() && interacted[pi] == j) continue;
+      ranked.push_back({scores[static_cast<size_t>(j)], j});
+    }
+    size_t top = std::min(ranked.size(), static_cast<size_t>(k));
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<ptrdiff_t>(top),
+                      ranked.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+
+    for (size_t t = 0; t < target_items.size(); ++t) {
+      int target = target_items[t];
+      if (train.Interacted(client->user_id(), target)) continue;
+      denom[t]++;
+      for (size_t r = 0; r < top; ++r) {
+        if (ranked[r].second == target) {
+          hits[t]++;
+          break;
+        }
+      }
+    }
+  }
+
+  double er = 0.0;
+  for (size_t t = 0; t < target_items.size(); ++t) {
+    if (denom[t] > 0) {
+      er += static_cast<double>(hits[t]) / static_cast<double>(denom[t]);
+    }
+  }
+  return er / static_cast<double>(target_items.size());
+}
+
+double HitRatioAtK(const RecModel& model, const GlobalModel& g,
+                   const std::vector<const BenignClient*>& benign,
+                   const Dataset& train, const std::vector<int>& test_items,
+                   int k, int num_negatives, uint64_t seed) {
+  PIECK_CHECK(k > 0 && num_negatives > 0);
+  Rng rng(seed);
+  int64_t hits = 0;
+  int64_t total = 0;
+  for (const BenignClient* client : benign) {
+    int user = client->user_id();
+    if (user < 0 || user >= static_cast<int>(test_items.size())) continue;
+    int test = test_items[static_cast<size_t>(user)];
+    if (test < 0) continue;
+
+    const Vec& u = client->user_embedding();
+    Vec vt = g.item_embeddings.Row(static_cast<size_t>(test));
+    double test_score = model.Forward(g, u, vt, nullptr);
+
+    // Rank the test item against sampled uninteracted negatives; the
+    // item lands in the top K iff fewer than K negatives outscore it.
+    // Exact ties count as half an outscore so that a degenerate model
+    // with all-equal scores gets chance-level (not perfect) HR.
+    double outscored = 0.0;
+    int sampled = 0;
+    int guard = 0;
+    while (sampled < num_negatives && guard < num_negatives * 50) {
+      ++guard;
+      int j = static_cast<int>(rng.UniformInt(0, train.num_items() - 1));
+      if (j == test || train.Interacted(user, j)) continue;
+      ++sampled;
+      Vec v = g.item_embeddings.Row(static_cast<size_t>(j));
+      double s = model.Forward(g, u, v, nullptr);
+      if (s > test_score) {
+        outscored += 1.0;
+      } else if (s == test_score) {
+        outscored += 0.5;
+      }
+    }
+    ++total;
+    if (outscored < static_cast<double>(k)) ++hits;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double PairwiseKlDivergence(const GlobalModel& g,
+                            const std::vector<const BenignClient*>& benign,
+                            const Dataset& train,
+                            const std::vector<int>& popular_items) {
+  if (popular_items.empty() || benign.empty()) return 0.0;
+  // U_P: users whose interactions include at least one popular item.
+  std::vector<const Vec*> covered_users;
+  for (const BenignClient* client : benign) {
+    for (int item : popular_items) {
+      if (train.Interacted(client->user_id(), item)) {
+        covered_users.push_back(&client->user_embedding());
+        break;
+      }
+    }
+  }
+  if (covered_users.empty()) return 0.0;
+
+  double total = 0.0;
+  for (int item : popular_items) {
+    Vec vk = g.item_embeddings.Row(static_cast<size_t>(item));
+    for (const Vec* u : covered_users) {
+      total += SoftmaxKl(vk, *u);
+    }
+  }
+  return total / (static_cast<double>(popular_items.size()) *
+                  static_cast<double>(covered_users.size()));
+}
+
+double UserCoverageRatio(const Dataset& train,
+                         const std::vector<int>& popular_items) {
+  if (train.num_users() == 0) return 0.0;
+  int64_t covered = 0;
+  for (int u = 0; u < train.num_users(); ++u) {
+    for (int item : popular_items) {
+      if (train.Interacted(u, item)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(train.num_users());
+}
+
+std::vector<int> TopDeltaNormPopularityRanks(const Vec& delta_norm,
+                                             const Dataset& train,
+                                             int top_k) {
+  std::vector<int> order(delta_norm.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return delta_norm[static_cast<size_t>(a)] >
+           delta_norm[static_cast<size_t>(b)];
+  });
+  if (static_cast<size_t>(top_k) < order.size()) {
+    order.resize(static_cast<size_t>(top_k));
+  }
+  std::vector<int> pop_rank = train.PopularityRank();
+  std::vector<int> out;
+  out.reserve(order.size());
+  for (int item : order) {
+    out.push_back(pop_rank[static_cast<size_t>(item)]);
+  }
+  return out;
+}
+
+double MeanScoreForItem(const RecModel& model, const GlobalModel& g,
+                        const std::vector<const BenignClient*>& benign,
+                        int item) {
+  if (benign.empty()) return 0.0;
+  Vec v = g.item_embeddings.Row(static_cast<size_t>(item));
+  double s = 0.0;
+  for (const BenignClient* client : benign) {
+    s += model.ScoreProb(g, client->user_embedding(), v);
+  }
+  return s / static_cast<double>(benign.size());
+}
+
+}  // namespace pieck

@@ -1,0 +1,57 @@
+#ifndef PIECK_METRICS_EVALUATION_H_
+#define PIECK_METRICS_EVALUATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "fed/client.h"
+#include "model/global_model.h"
+#include "model/rec_model.h"
+
+namespace pieck {
+
+/// Exposure Ratio at rank K (Eq. 3): the fraction of benign users whose
+/// top-K recommendation lists (over their uninteracted items) contain a
+/// target item, averaged over targets. Users that already interacted
+/// with a target are excluded from its denominator.
+double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
+                        const std::vector<const BenignClient*>& benign,
+                        const Dataset& train,
+                        const std::vector<int>& target_items, int k);
+
+/// Hit Ratio at rank K following the NCF protocol: each user's held-out
+/// test item is ranked against `num_negatives` sampled uninteracted
+/// items; HR@K is the fraction of users whose test item lands in the
+/// top K. Users without a test item are skipped. Deterministic in
+/// `seed`.
+double HitRatioAtK(const RecModel& model, const GlobalModel& g,
+                   const std::vector<const BenignClient*>& benign,
+                   const Dataset& train, const std::vector<int>& test_items,
+                   int k, int num_negatives, uint64_t seed);
+
+/// Average pairwise KL divergence (Eq. 9) between the embeddings of the
+/// mined popular items and the embeddings of the users covered by them.
+double PairwiseKlDivergence(const GlobalModel& g,
+                            const std::vector<const BenignClient*>& benign,
+                            const Dataset& train,
+                            const std::vector<int>& popular_items);
+
+/// User coverage ratio: the fraction of users whose interactions include
+/// at least one item of `popular_items` (Table II).
+double UserCoverageRatio(const Dataset& train,
+                         const std::vector<int>& popular_items);
+
+/// Popularity ranks (0 = most popular in `train`) of the top-`top_k`
+/// items by `delta_norm`. Reproduces the y-axis points of Fig. 4.
+std::vector<int> TopDeltaNormPopularityRanks(const Vec& delta_norm,
+                                             const Dataset& train, int top_k);
+
+/// Mean predicted score of `item` across benign users (diagnostics).
+double MeanScoreForItem(const RecModel& model, const GlobalModel& g,
+                        const std::vector<const BenignClient*>& benign,
+                        int item);
+
+}  // namespace pieck
+
+#endif  // PIECK_METRICS_EVALUATION_H_

@@ -1,0 +1,95 @@
+#include "model/global_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+InteractionGrads InteractionGrads::ZerosLike(const GlobalModel& model) {
+  InteractionGrads g;
+  if (!model.has_interaction_params()) return g;
+  g.active = true;
+  g.weights.reserve(model.mlp_weights.size());
+  for (const Matrix& w : model.mlp_weights) {
+    g.weights.emplace_back(w.rows(), w.cols(), 0.0);
+  }
+  g.biases.reserve(model.mlp_biases.size());
+  for (const Vec& b : model.mlp_biases) {
+    g.biases.push_back(Zeros(b.size()));
+  }
+  g.projection = Zeros(model.projection.size());
+  return g;
+}
+
+void InteractionGrads::Axpy(double alpha, const InteractionGrads& other) {
+  PIECK_CHECK(active && other.active);
+  PIECK_CHECK(weights.size() == other.weights.size());
+  for (size_t l = 0; l < weights.size(); ++l) {
+    weights[l].Axpy(alpha, other.weights[l]);
+    ::pieck::Axpy(alpha, other.biases[l], biases[l]);
+  }
+  ::pieck::Axpy(alpha, other.projection, projection);
+}
+
+double InteractionGrads::SquaredNorm() const {
+  double s = 0.0;
+  for (const Matrix& w : weights) {
+    for (double v : w.data()) s += v * v;
+  }
+  for (const Vec& b : biases) s += SquaredNorm2(b);
+  s += SquaredNorm2(projection);
+  return s;
+}
+
+Vec InteractionGrads::Flatten() const {
+  Vec flat;
+  for (size_t l = 0; l < weights.size(); ++l) {
+    flat.insert(flat.end(), weights[l].data().begin(),
+                weights[l].data().end());
+    flat.insert(flat.end(), biases[l].begin(), biases[l].end());
+  }
+  flat.insert(flat.end(), projection.begin(), projection.end());
+  return flat;
+}
+
+void InteractionGrads::Unflatten(const Vec& flat) {
+  size_t pos = 0;
+  for (size_t l = 0; l < weights.size(); ++l) {
+    std::vector<double>& wdata = weights[l].data();
+    PIECK_CHECK(pos + wdata.size() <= flat.size());
+    std::copy(flat.begin() + static_cast<ptrdiff_t>(pos),
+              flat.begin() + static_cast<ptrdiff_t>(pos + wdata.size()),
+              wdata.begin());
+    pos += wdata.size();
+    PIECK_CHECK(pos + biases[l].size() <= flat.size());
+    std::copy(flat.begin() + static_cast<ptrdiff_t>(pos),
+              flat.begin() + static_cast<ptrdiff_t>(pos + biases[l].size()),
+              biases[l].begin());
+    pos += biases[l].size();
+  }
+  PIECK_CHECK(pos + projection.size() == flat.size());
+  std::copy(flat.begin() + static_cast<ptrdiff_t>(pos), flat.end(),
+            projection.begin());
+}
+
+void ClientUpdate::AccumulateItemGrad(int item, const Vec& g) {
+  auto it = std::lower_bound(
+      item_grads.begin(), item_grads.end(), item,
+      [](const std::pair<int, Vec>& a, int b) { return a.first < b; });
+  if (it != item_grads.end() && it->first == item) {
+    ::pieck::Axpy(1.0, g, it->second);
+  } else {
+    item_grads.insert(it, {item, g});
+  }
+}
+
+const Vec* ClientUpdate::FindItemGrad(int item) const {
+  auto it = std::lower_bound(
+      item_grads.begin(), item_grads.end(), item,
+      [](const std::pair<int, Vec>& a, int b) { return a.first < b; });
+  if (it != item_grads.end() && it->first == item) return &it->second;
+  return nullptr;
+}
+
+}  // namespace pieck

@@ -1,0 +1,72 @@
+#ifndef PIECK_MODEL_GLOBAL_MODEL_H_
+#define PIECK_MODEL_GLOBAL_MODEL_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/vector_ops.h"
+
+namespace pieck {
+
+/// The shareable part of the federated model (§III-A).
+///
+/// For MF-FRS this is just the item embedding table. For DL-FRS it
+/// additionally holds the learnable interaction function: L MLP layers
+/// (weights + biases) and the projection vector h of Eq. (1).
+struct GlobalModel {
+  Matrix item_embeddings;  // num_items x dim
+
+  // DL-FRS interaction function; all empty for MF-FRS.
+  std::vector<Matrix> mlp_weights;  // W_l: rows = out dim, cols = in dim
+  std::vector<Vec> mlp_biases;      // b_l
+  Vec projection;                   // h
+
+  int num_items() const { return static_cast<int>(item_embeddings.rows()); }
+  int dim() const { return static_cast<int>(item_embeddings.cols()); }
+  bool has_interaction_params() const { return !mlp_weights.empty(); }
+};
+
+/// Gradients of the DL-FRS interaction parameters. `active` is false for
+/// MF-FRS (nothing to upload).
+struct InteractionGrads {
+  bool active = false;
+  std::vector<Matrix> weights;
+  std::vector<Vec> biases;
+  Vec projection;
+
+  /// Builds a zeroed gradient holder shaped like `model`'s interaction
+  /// function; inactive when the model has none.
+  static InteractionGrads ZerosLike(const GlobalModel& model);
+
+  /// this += alpha * other. Both must be shaped alike and active.
+  void Axpy(double alpha, const InteractionGrads& other);
+
+  /// Sum of squared entries across all tensors.
+  double SquaredNorm() const;
+
+  /// Flattens all tensors into one vector (used by robust aggregators
+  /// that operate coordinate-wise). Order: W_1, b_1, ..., W_L, b_L, h.
+  Vec Flatten() const;
+
+  /// Inverse of Flatten; `flat` must have exactly the right length.
+  void Unflatten(const Vec& flat);
+};
+
+/// One client's upload for a communication round: per-item embedding
+/// gradients (only items the client chooses to report) and, for DL-FRS,
+/// interaction-function gradients.
+struct ClientUpdate {
+  /// Sorted-by-item list of (item, gradient) pairs.
+  std::vector<std::pair<int, Vec>> item_grads;
+  InteractionGrads interaction_grads;
+
+  /// Adds `g` to the entry for `item` (creating it if absent).
+  void AccumulateItemGrad(int item, const Vec& g);
+
+  /// Looks up the gradient for `item`; nullptr if absent.
+  const Vec* FindItemGrad(int item) const;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_MODEL_GLOBAL_MODEL_H_

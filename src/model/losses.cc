@@ -1,0 +1,88 @@
+#include "model/losses.h"
+
+#include "common/logging.h"
+#include "tensor/math.h"
+
+namespace pieck {
+
+const char* LossKindToString(LossKind kind) {
+  switch (kind) {
+    case LossKind::kBce:
+      return "BCE";
+    case LossKind::kBpr:
+      return "BPR";
+  }
+  return "?";
+}
+
+double BceBatchForwardBackward(const RecModel& model, const GlobalModel& g,
+                               const Vec& u,
+                               const std::vector<LabeledItem>& batch,
+                               Vec* grad_u, ClientUpdate* update,
+                               InteractionGrads* igrads) {
+  if (batch.empty()) return 0.0;
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  double loss = 0.0;
+  ForwardCache cache;
+  for (const LabeledItem& ex : batch) {
+    Vec v = g.item_embeddings.Row(static_cast<size_t>(ex.item));
+    double logit = model.Forward(g, u, v, &cache);
+    loss += BceLossFromLogit(ex.label, logit) * inv_n;
+    double dlogit = BceGradFromLogit(ex.label, logit) * inv_n;
+
+    Vec grad_v = Zeros(v.size());
+    model.Backward(g, u, v, cache, dlogit, grad_u,
+                   update != nullptr ? &grad_v : nullptr, igrads);
+    if (update != nullptr) update->AccumulateItemGrad(ex.item, grad_v);
+  }
+  return loss;
+}
+
+double BprBatchForwardBackward(const RecModel& model, const GlobalModel& g,
+                               const Vec& u,
+                               const std::vector<LabeledItem>& batch,
+                               Vec* grad_u, ClientUpdate* update,
+                               InteractionGrads* igrads) {
+  std::vector<int> pos;
+  std::vector<int> neg;
+  for (const LabeledItem& ex : batch) {
+    (ex.label > 0.5 ? pos : neg).push_back(ex.item);
+  }
+  if (pos.empty() || neg.empty()) return 0.0;
+
+  // Zip positives with negatives (the sampler produces q negatives per
+  // positive; pair k-th positive with negatives k, k+|pos|, ...).
+  std::vector<std::pair<int, int>> pairs;
+  for (size_t k = 0; k < neg.size(); ++k) {
+    pairs.push_back({pos[k % pos.size()], neg[k]});
+  }
+  const double inv_n = 1.0 / static_cast<double>(pairs.size());
+
+  double loss = 0.0;
+  ForwardCache cache_p;
+  ForwardCache cache_n;
+  for (const auto& [ip, in] : pairs) {
+    Vec vp = g.item_embeddings.Row(static_cast<size_t>(ip));
+    Vec vn = g.item_embeddings.Row(static_cast<size_t>(in));
+    double sp = model.Forward(g, u, vp, &cache_p);
+    double sn = model.Forward(g, u, vn, &cache_n);
+    double diff = sp - sn;
+    loss += -LogSigmoid(diff) * inv_n;
+    // dL/ddiff = -(1 - σ(diff)) = σ(diff) - 1.
+    double ddiff = (Sigmoid(diff) - 1.0) * inv_n;
+
+    Vec grad_vp = Zeros(vp.size());
+    Vec grad_vn = Zeros(vn.size());
+    model.Backward(g, u, vp, cache_p, ddiff, grad_u,
+                   update != nullptr ? &grad_vp : nullptr, igrads);
+    model.Backward(g, u, vn, cache_n, -ddiff, grad_u,
+                   update != nullptr ? &grad_vn : nullptr, igrads);
+    if (update != nullptr) {
+      update->AccumulateItemGrad(ip, grad_vp);
+      update->AccumulateItemGrad(in, grad_vn);
+    }
+  }
+  return loss;
+}
+
+}  // namespace pieck

@@ -1,0 +1,38 @@
+#ifndef PIECK_MODEL_LOSSES_H_
+#define PIECK_MODEL_LOSSES_H_
+
+#include <vector>
+
+#include "data/negative_sampler.h"
+#include "model/rec_model.h"
+
+namespace pieck {
+
+/// Training objective used by benign clients. The paper's default is BCE
+/// (Eq. 2); BPR is evaluated in supplementary Table XI.
+enum class LossKind { kBce, kBpr };
+
+const char* LossKindToString(LossKind kind);
+
+/// Computes the mean BCE loss over `batch` for user embedding `u` and
+/// accumulates gradients into `grad_u`, per-item entries of `update`, and
+/// (when active) `igrads`. Returns the mean loss. All gradient sinks may
+/// be nullptr to skip them.
+double BceBatchForwardBackward(const RecModel& model, const GlobalModel& g,
+                               const Vec& u,
+                               const std::vector<LabeledItem>& batch,
+                               Vec* grad_u, ClientUpdate* update,
+                               InteractionGrads* igrads);
+
+/// BPR over all (positive, negative) pairs formed by zipping positives
+/// with sampled negatives: L = -mean log σ(s_pos - s_neg). Returns the
+/// mean loss; gradient semantics match BceBatchForwardBackward.
+double BprBatchForwardBackward(const RecModel& model, const GlobalModel& g,
+                               const Vec& u,
+                               const std::vector<LabeledItem>& batch,
+                               Vec* grad_u, ClientUpdate* update,
+                               InteractionGrads* igrads);
+
+}  // namespace pieck
+
+#endif  // PIECK_MODEL_LOSSES_H_

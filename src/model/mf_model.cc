@@ -1,0 +1,49 @@
+#include "model/mf_model.h"
+
+#include "common/logging.h"
+
+namespace pieck {
+
+namespace {
+// Embedding initialization scale; N(0, kInitStd) per coordinate, the
+// common choice for MF with implicit feedback.
+constexpr double kInitStd = 0.1;
+}  // namespace
+
+GlobalModel MfModel::InitGlobalModel(int num_items, Rng& rng) const {
+  GlobalModel g;
+  g.item_embeddings =
+      Matrix(static_cast<size_t>(num_items), static_cast<size_t>(dim_));
+  g.item_embeddings.RandomNormal(rng, 0.0, kInitStd);
+  return g;
+}
+
+Vec MfModel::InitUserEmbedding(Rng& rng) const {
+  Vec u(static_cast<size_t>(dim_));
+  for (double& x : u) x = rng.Normal(0.0, kInitStd);
+  return u;
+}
+
+double MfModel::Forward(const GlobalModel& /*g*/, const Vec& u, const Vec& v,
+                        ForwardCache* cache) const {
+  double s = Dot(u, v);
+  if (cache != nullptr) cache->logit = s;
+  return s;
+}
+
+void MfModel::Backward(const GlobalModel& /*g*/, const Vec& u, const Vec& v,
+                       const ForwardCache& /*cache*/, double dlogit,
+                       Vec* grad_u, Vec* grad_v,
+                       InteractionGrads* /*igrads*/) const {
+  // s = u·v: ds/du = v, ds/dv = u.
+  if (grad_u != nullptr) {
+    PIECK_CHECK(grad_u->size() == v.size());
+    Axpy(dlogit, v, *grad_u);
+  }
+  if (grad_v != nullptr) {
+    PIECK_CHECK(grad_v->size() == u.size());
+    Axpy(dlogit, u, *grad_v);
+  }
+}
+
+}  // namespace pieck

@@ -1,0 +1,35 @@
+#ifndef PIECK_MODEL_MF_MODEL_H_
+#define PIECK_MODEL_MF_MODEL_H_
+
+#include "model/rec_model.h"
+
+namespace pieck {
+
+/// Matrix-factorization FRS: Ψ_MF(u, v) = u ⊙ v (dot product, Eq. in
+/// §III-A). The logit is the raw dot product; BCE is applied on σ(u·v).
+/// There are no learnable interaction parameters, which is exactly why
+/// interaction-function attacks (A-RA/A-HUM) lose power here (Table III).
+class MfModel : public RecModel {
+ public:
+  explicit MfModel(int embedding_dim) : dim_(embedding_dim) {}
+
+  ModelKind kind() const override { return ModelKind::kMatrixFactorization; }
+  int embedding_dim() const override { return dim_; }
+  bool has_learnable_interaction() const override { return false; }
+
+  GlobalModel InitGlobalModel(int num_items, Rng& rng) const override;
+  Vec InitUserEmbedding(Rng& rng) const override;
+
+  double Forward(const GlobalModel& g, const Vec& u, const Vec& v,
+                 ForwardCache* cache) const override;
+  void Backward(const GlobalModel& g, const Vec& u, const Vec& v,
+                const ForwardCache& cache, double dlogit, Vec* grad_u,
+                Vec* grad_v, InteractionGrads* igrads) const override;
+
+ private:
+  int dim_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_MODEL_MF_MODEL_H_

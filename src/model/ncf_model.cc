@@ -1,0 +1,128 @@
+#include "model/ncf_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/math.h"
+
+namespace pieck {
+
+namespace {
+constexpr double kEmbInitStd = 0.1;
+}  // namespace
+
+NcfModel::NcfModel(int embedding_dim, std::vector<int> hidden_dims)
+    : dim_(embedding_dim), hidden_dims_(std::move(hidden_dims)) {
+  if (hidden_dims_.empty()) {
+    hidden_dims_ = {embedding_dim, std::max(1, embedding_dim / 2)};
+  }
+  for (int h : hidden_dims_) PIECK_CHECK(h > 0);
+}
+
+GlobalModel NcfModel::InitGlobalModel(int num_items, Rng& rng) const {
+  GlobalModel g;
+  g.item_embeddings =
+      Matrix(static_cast<size_t>(num_items), static_cast<size_t>(dim_));
+  g.item_embeddings.RandomNormal(rng, 0.0, kEmbInitStd);
+
+  int in = 2 * dim_;
+  for (int out : hidden_dims_) {
+    Matrix w(static_cast<size_t>(out), static_cast<size_t>(in));
+    // Glorot-uniform keeps activations well-scaled through the tower.
+    double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+    w.RandomUniform(rng, -bound, bound);
+    g.mlp_weights.push_back(std::move(w));
+    g.mlp_biases.push_back(Zeros(static_cast<size_t>(out)));
+    in = out;
+  }
+  g.projection = Vec(static_cast<size_t>(in));
+  double bound = std::sqrt(6.0 / static_cast<double>(in + 1));
+  for (double& x : g.projection) x = rng.Uniform(-bound, bound);
+  return g;
+}
+
+Vec NcfModel::InitUserEmbedding(Rng& rng) const {
+  Vec u(static_cast<size_t>(dim_));
+  for (double& x : u) x = rng.Normal(0.0, kEmbInitStd);
+  return u;
+}
+
+double NcfModel::Forward(const GlobalModel& g, const Vec& u, const Vec& v,
+                         ForwardCache* cache) const {
+  PIECK_CHECK(static_cast<int>(u.size()) == dim_ &&
+              static_cast<int>(v.size()) == dim_);
+  PIECK_CHECK(g.mlp_weights.size() == hidden_dims_.size());
+
+  Vec x;
+  x.reserve(2 * static_cast<size_t>(dim_));
+  x.insert(x.end(), u.begin(), u.end());
+  x.insert(x.end(), v.begin(), v.end());
+
+  ForwardCache local;
+  ForwardCache& c = cache != nullptr ? *cache : local;
+  c.input = x;
+  c.pre.clear();
+  c.act.clear();
+  c.pre.reserve(hidden_dims_.size());
+  c.act.reserve(hidden_dims_.size());
+
+  Vec cur = std::move(x);
+  for (size_t l = 0; l < g.mlp_weights.size(); ++l) {
+    Vec pre = g.mlp_weights[l].MatVec(cur);
+    Axpy(1.0, g.mlp_biases[l], pre);
+    Vec act(pre.size());
+    for (size_t i = 0; i < pre.size(); ++i) act[i] = Relu(pre[i]);
+    c.pre.push_back(std::move(pre));
+    cur = act;
+    c.act.push_back(std::move(act));
+  }
+  double logit = Dot(g.projection, cur);
+  c.logit = logit;
+  return logit;
+}
+
+void NcfModel::Backward(const GlobalModel& g, const Vec& u, const Vec& v,
+                        const ForwardCache& cache, double dlogit, Vec* grad_u,
+                        Vec* grad_v, InteractionGrads* igrads) const {
+  PIECK_CHECK(cache.pre.size() == g.mlp_weights.size());
+  const size_t L = g.mlp_weights.size();
+
+  // d logit / d z_L = h.
+  Vec delta = g.projection;  // gradient flowing into the top activation
+  Scale(dlogit, delta);
+
+  if (igrads != nullptr && igrads->active) {
+    // dh += dlogit * z_L.
+    const Vec& z_top = L > 0 ? cache.act[L - 1] : cache.input;
+    Axpy(dlogit, z_top, igrads->projection);
+  }
+
+  for (size_t l = L; l-- > 0;) {
+    // Through ReLU: delta_pre = delta ⊙ 1[pre > 0].
+    Vec delta_pre = delta;
+    for (size_t i = 0; i < delta_pre.size(); ++i) {
+      delta_pre[i] *= ReluGrad(cache.pre[l][i]);
+    }
+    const Vec& layer_in = l > 0 ? cache.act[l - 1] : cache.input;
+    if (igrads != nullptr && igrads->active) {
+      igrads->weights[l].AddOuter(1.0, delta_pre, layer_in);
+      Axpy(1.0, delta_pre, igrads->biases[l]);
+    }
+    delta = g.mlp_weights[l].MatTVec(delta_pre);
+  }
+
+  // delta now holds d logit / d input (times dlogit); the first dim_
+  // entries belong to u, the rest to v.
+  if (grad_u != nullptr) {
+    PIECK_CHECK(grad_u->size() == u.size());
+    for (int i = 0; i < dim_; ++i) (*grad_u)[static_cast<size_t>(i)] +=
+        delta[static_cast<size_t>(i)];
+  }
+  if (grad_v != nullptr) {
+    PIECK_CHECK(grad_v->size() == v.size());
+    for (int i = 0; i < dim_; ++i) (*grad_v)[static_cast<size_t>(i)] +=
+        delta[static_cast<size_t>(dim_ + i)];
+  }
+}
+
+}  // namespace pieck

@@ -1,0 +1,44 @@
+#ifndef PIECK_MODEL_NCF_MODEL_H_
+#define PIECK_MODEL_NCF_MODEL_H_
+
+#include <vector>
+
+#include "model/rec_model.h"
+
+namespace pieck {
+
+/// Neural collaborative filtering FRS (DL-FRS, Eq. 1):
+///   Ψ_DL(u, v) = sigmoid(h^T φ_L(... φ_1(u ⊕ v))),
+///   φ_l(x) = ReLU(W_l x + b_l).
+/// The logit is h^T z_L. W_l, b_l, and h are part of the global model and
+/// are collaboratively trained — and therefore poisonable (A-RA/A-HUM).
+class NcfModel : public RecModel {
+ public:
+  /// `hidden_dims[l]` is the output width of layer l; input width of
+  /// layer 0 is 2*embedding_dim. Empty hidden_dims defaults to
+  /// {embedding_dim, embedding_dim/2}.
+  NcfModel(int embedding_dim, std::vector<int> hidden_dims);
+
+  ModelKind kind() const override { return ModelKind::kNeuralCf; }
+  int embedding_dim() const override { return dim_; }
+  bool has_learnable_interaction() const override { return true; }
+
+  GlobalModel InitGlobalModel(int num_items, Rng& rng) const override;
+  Vec InitUserEmbedding(Rng& rng) const override;
+
+  double Forward(const GlobalModel& g, const Vec& u, const Vec& v,
+                 ForwardCache* cache) const override;
+  void Backward(const GlobalModel& g, const Vec& u, const Vec& v,
+                const ForwardCache& cache, double dlogit, Vec* grad_u,
+                Vec* grad_v, InteractionGrads* igrads) const override;
+
+  const std::vector<int>& hidden_dims() const { return hidden_dims_; }
+
+ private:
+  int dim_;
+  std::vector<int> hidden_dims_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_MODEL_NCF_MODEL_H_

@@ -1,0 +1,37 @@
+#include "model/rec_model.h"
+
+#include "common/logging.h"
+#include "model/mf_model.h"
+#include "model/ncf_model.h"
+#include "tensor/math.h"
+
+namespace pieck {
+
+const char* ModelKindToString(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kMatrixFactorization:
+      return "MF-FRS";
+    case ModelKind::kNeuralCf:
+      return "DL-FRS";
+  }
+  return "?";
+}
+
+double RecModel::ScoreProb(const GlobalModel& g, const Vec& u,
+                           const Vec& v) const {
+  return Sigmoid(Forward(g, u, v, nullptr));
+}
+
+std::unique_ptr<RecModel> MakeModel(ModelKind kind, int embedding_dim,
+                                    const NcfOptions& ncf) {
+  PIECK_CHECK(embedding_dim > 0);
+  switch (kind) {
+    case ModelKind::kMatrixFactorization:
+      return std::make_unique<MfModel>(embedding_dim);
+    case ModelKind::kNeuralCf:
+      return std::make_unique<NcfModel>(embedding_dim, ncf.hidden_dims);
+  }
+  return nullptr;
+}
+
+}  // namespace pieck

@@ -1,0 +1,82 @@
+#ifndef PIECK_MODEL_REC_MODEL_H_
+#define PIECK_MODEL_REC_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/global_model.h"
+#include "tensor/vector_ops.h"
+
+namespace pieck {
+
+/// Which base recommender the federation runs (§III-A).
+enum class ModelKind {
+  kMatrixFactorization,  // MF-FRS: fixed dot-product interaction
+  kNeuralCf,             // DL-FRS: learnable MLP interaction (NCF)
+};
+
+const char* ModelKindToString(ModelKind kind);
+
+/// Per-example forward activations cached for the backward pass.
+/// MF leaves the layer vectors empty.
+struct ForwardCache {
+  double logit = 0.0;
+  Vec input;                  // u ⊕ v (DL only)
+  std::vector<Vec> pre;       // pre-activation of each MLP layer
+  std::vector<Vec> act;       // post-ReLU activation of each MLP layer
+};
+
+/// Abstract base recommender. Implementations provide the interaction
+/// function Ψ and analytic gradients of the logit with respect to the
+/// user embedding, the item embedding, and (for DL-FRS) the interaction
+/// parameters. All loss functions in the library (BCE, BPR, the attack
+/// losses) are expressed on top of these two primitives.
+class RecModel {
+ public:
+  virtual ~RecModel() = default;
+
+  virtual ModelKind kind() const = 0;
+  virtual int embedding_dim() const = 0;
+
+  /// True if the interaction function has learnable parameters that are
+  /// part of the global model (DL-FRS).
+  virtual bool has_learnable_interaction() const = 0;
+
+  /// Initializes the global model for `num_items` items.
+  virtual GlobalModel InitGlobalModel(int num_items, Rng& rng) const = 0;
+
+  /// Initializes one client's private user embedding.
+  virtual Vec InitUserEmbedding(Rng& rng) const = 0;
+
+  /// Computes the pre-sigmoid logit s for (u, v); fills `cache` for a
+  /// subsequent Backward call. `cache` may be nullptr for scoring only.
+  virtual double Forward(const GlobalModel& g, const Vec& u, const Vec& v,
+                         ForwardCache* cache) const = 0;
+
+  /// Given d(loss)/d(logit) (already multiplied by any example weight),
+  /// accumulates gradients: grad_u += dlogit * ds/du, grad_v += dlogit *
+  /// ds/dv, and interaction grads if `igrads` is non-null and active.
+  /// `cache` must come from Forward on the same (g, u, v).
+  virtual void Backward(const GlobalModel& g, const Vec& u, const Vec& v,
+                        const ForwardCache& cache, double dlogit, Vec* grad_u,
+                        Vec* grad_v, InteractionGrads* igrads) const = 0;
+
+  /// Predicted probability x̂ = σ(logit). Convenience wrapper.
+  double ScoreProb(const GlobalModel& g, const Vec& u, const Vec& v) const;
+};
+
+/// Options for the NCF tower. hidden_dims lists the output width of each
+/// MLP layer; the input of the first layer is 2*embedding_dim.
+struct NcfOptions {
+  std::vector<int> hidden_dims;  // default: {embedding_dim, embedding_dim/2}
+};
+
+/// Factory. For kNeuralCf, `ncf` customizes the tower.
+std::unique_ptr<RecModel> MakeModel(ModelKind kind, int embedding_dim,
+                                    const NcfOptions& ncf = {});
+
+}  // namespace pieck
+
+#endif  // PIECK_MODEL_REC_MODEL_H_

@@ -1,0 +1,39 @@
+#include "tensor/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+Vec NumericGradient(const std::function<double(const Vec&)>& f, const Vec& x,
+                    double eps) {
+  Vec grad(x.size());
+  Vec probe = x;
+  for (size_t i = 0; i < x.size(); ++i) {
+    probe[i] = x[i] + eps;
+    double fp = f(probe);
+    probe[i] = x[i] - eps;
+    double fm = f(probe);
+    probe[i] = x[i];
+    grad[i] = (fp - fm) / (2.0 * eps);
+  }
+  return grad;
+}
+
+double MaxRelativeGradError(const std::function<double(const Vec&)>& f,
+                            const Vec& x, const Vec& analytic_grad,
+                            double eps) {
+  PIECK_CHECK(x.size() == analytic_grad.size());
+  Vec numeric = NumericGradient(f, x, eps);
+  double worst = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double denom =
+        std::max({1.0, std::fabs(analytic_grad[i]), std::fabs(numeric[i])});
+    worst = std::max(worst, std::fabs(analytic_grad[i] - numeric[i]) / denom);
+  }
+  return worst;
+}
+
+}  // namespace pieck

@@ -1,0 +1,23 @@
+#ifndef PIECK_TENSOR_GRAD_CHECK_H_
+#define PIECK_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "tensor/vector_ops.h"
+
+namespace pieck {
+
+/// Central-difference numeric gradient of `f` at `x`.
+Vec NumericGradient(const std::function<double(const Vec&)>& f, const Vec& x,
+                    double eps = 1e-5);
+
+/// Maximum relative error between an analytic gradient and the numeric
+/// gradient of `f` at `x`. The relative error of component i is
+/// |a_i - n_i| / max(1, |a_i|, |n_i|).
+double MaxRelativeGradError(const std::function<double(const Vec&)>& f,
+                            const Vec& x, const Vec& analytic_grad,
+                            double eps = 1e-5);
+
+}  // namespace pieck
+
+#endif  // PIECK_TENSOR_GRAD_CHECK_H_

@@ -1,0 +1,46 @@
+#include "tensor/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pieck {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double LogSigmoid(double x) {
+  // log σ(x) = -log(1 + e^{-x}) = x - log(1 + e^{x}); pick the stable branch.
+  if (x >= 0.0) {
+    return -std::log1p(std::exp(-x));
+  }
+  return x - std::log1p(std::exp(x));
+}
+
+double Relu(double x) { return x > 0.0 ? x : 0.0; }
+
+double ReluGrad(double x) { return x > 0.0 ? 1.0 : 0.0; }
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+double BceLoss(double y, double p) {
+  constexpr double kEps = 1e-12;
+  p = Clamp(p, kEps, 1.0 - kEps);
+  return -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+}
+
+double BceLossFromLogit(double y, double s) {
+  // -(y log σ(s) + (1-y) log σ(-s))
+  return -(y * LogSigmoid(s) + (1.0 - y) * LogSigmoid(-s));
+}
+
+double BceGradFromLogit(double y, double s) { return Sigmoid(s) - y; }
+
+}  // namespace pieck

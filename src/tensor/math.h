@@ -1,0 +1,34 @@
+#ifndef PIECK_TENSOR_MATH_H_
+#define PIECK_TENSOR_MATH_H_
+
+namespace pieck {
+
+/// Numerically stable logistic sigmoid.
+double Sigmoid(double x);
+
+/// Numerically stable log(sigmoid(x)).
+double LogSigmoid(double x);
+
+/// ReLU activation.
+double Relu(double x);
+
+/// Derivative of ReLU (sub-gradient 0 at x == 0).
+double ReluGrad(double x);
+
+/// Binary cross-entropy between label y in {0,1} and probability p,
+/// clamped away from 0/1 for stability.
+double BceLoss(double y, double p);
+
+/// Binary cross-entropy expressed on the logit s (pre-sigmoid score):
+/// -(y log σ(s) + (1-y) log(1-σ(s))). Stable for large |s|.
+double BceLossFromLogit(double y, double s);
+
+/// d BCE / d s where s is the logit: σ(s) - y.
+double BceGradFromLogit(double y, double s);
+
+/// Clamps `x` to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace pieck
+
+#endif  // PIECK_TENSOR_MATH_H_

@@ -1,0 +1,80 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+Vec Matrix::Row(size_t r) const {
+  PIECK_CHECK(r < rows_);
+  return Vec(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+             data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+void Matrix::SetRow(size_t r, const Vec& v) {
+  PIECK_CHECK(r < rows_ && v.size() == cols_);
+  std::copy(v.begin(), v.end(),
+            data_.begin() + static_cast<ptrdiff_t>(r * cols_));
+}
+
+void Matrix::AxpyRow(size_t r, double alpha, const Vec& v) {
+  PIECK_CHECK(r < rows_ && v.size() == cols_);
+  double* row = data_.data() + r * cols_;
+  for (size_t c = 0; c < cols_; ++c) row[c] += alpha * v[c];
+}
+
+Vec Matrix::MatVec(const Vec& x) const {
+  PIECK_CHECK(x.size() == cols_);
+  Vec y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vec Matrix::MatTVec(const Vec& x) const {
+  PIECK_CHECK(x.size() == rows_);
+  Vec y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::AddOuter(double alpha, const Vec& a, const Vec& b) {
+  PIECK_CHECK(a.size() == rows_ && b.size() == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* row = data_.data() + r * cols_;
+    double ar = alpha * a[r];
+    for (size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+void Matrix::RandomNormal(Rng& rng, double mean, double stddev) {
+  for (double& v : data_) v = rng.Normal(mean, stddev);
+}
+
+void Matrix::RandomUniform(Rng& rng, double lo, double hi) {
+  for (double& v : data_) v = rng.Uniform(lo, hi);
+}
+
+void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  PIECK_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+}  // namespace pieck

@@ -1,0 +1,78 @@
+#ifndef PIECK_TENSOR_MATRIX_H_
+#define PIECK_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/vector_ops.h"
+
+namespace pieck {
+
+/// Row-major dense matrix. Used for embedding tables (rows = item or user
+/// embeddings) and MLP weight matrices.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Copies row `r` out as a Vec.
+  Vec Row(size_t r) const;
+
+  /// Overwrites row `r` with `v` (v.size() must equal cols()).
+  void SetRow(size_t r, const Vec& v);
+
+  /// row[r] += alpha * v.
+  void AxpyRow(size_t r, double alpha, const Vec& v);
+
+  /// y = M x (y has rows() entries; x must have cols() entries).
+  Vec MatVec(const Vec& x) const;
+
+  /// y = M^T x (y has cols() entries; x must have rows() entries).
+  Vec MatTVec(const Vec& x) const;
+
+  /// M += alpha * a b^T  (a has rows() entries, b has cols() entries).
+  /// The rank-1 update used by MLP weight gradients.
+  void AddOuter(double alpha, const Vec& a, const Vec& b);
+
+  /// Fills every entry with N(mean, stddev) draws.
+  void RandomNormal(Rng& rng, double mean, double stddev);
+
+  /// Fills every entry with U(lo, hi) draws.
+  void RandomUniform(Rng& rng, double lo, double hi);
+
+  /// Sets every entry to zero.
+  void SetZero();
+
+  /// Frobenius norm of the whole matrix.
+  double FrobeniusNorm() const;
+
+  /// Element-wise this += alpha * other; shapes must match.
+  void Axpy(double alpha, const Matrix& other);
+
+  /// Flat storage access (row-major). Exposed for aggregation code that
+  /// treats parameters as flat gradient vectors.
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_TENSOR_MATRIX_H_

@@ -1,0 +1,147 @@
+#include "tensor/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+double Dot(const Vec& a, const Vec& b) {
+  PIECK_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(double alpha, const Vec& x, Vec& y) {
+  PIECK_CHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec& x) {
+  for (double& v : x) v *= alpha;
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  PIECK_CHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  PIECK_CHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double SquaredNorm2(const Vec& a) {
+  double s = 0.0;
+  for (double v : a) s += v * v;
+  return s;
+}
+
+double Norm2(const Vec& a) { return std::sqrt(SquaredNorm2(a)); }
+
+double L2Distance(const Vec& a, const Vec& b) {
+  PIECK_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double CosineSimilarity(const Vec& a, const Vec& b) {
+  double na = Norm2(a);
+  double nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+Vec CosineSimilarityGradWrtB(const Vec& a, const Vec& b) {
+  // d/db [ a.b / (|a||b|) ] = a / (|a||b|) - (a.b) b / (|a| |b|^3)
+  double na = Norm2(a);
+  double nb = Norm2(b);
+  Vec grad = Zeros(b.size());
+  if (na == 0.0 || nb == 0.0) return grad;
+  double ab = Dot(a, b);
+  double inv = 1.0 / (na * nb);
+  double coef_b = ab / (na * nb * nb * nb);
+  for (size_t i = 0; i < b.size(); ++i) {
+    grad[i] = a[i] * inv - coef_b * b[i];
+  }
+  return grad;
+}
+
+Vec Softmax(const Vec& a) {
+  PIECK_CHECK(!a.empty());
+  double mx = *std::max_element(a.begin(), a.end());
+  Vec out(a.size());
+  double z = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = std::exp(a[i] - mx);
+    z += out[i];
+  }
+  for (double& v : out) v /= z;
+  return out;
+}
+
+double SoftmaxKl(const Vec& a, const Vec& b) {
+  PIECK_CHECK(a.size() == b.size());
+  Vec p = Softmax(a);
+  Vec q = Softmax(b);
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    // p[i] > 0 always holds for softmax outputs.
+    kl += p[i] * (std::log(p[i]) - std::log(q[i]));
+  }
+  return kl;
+}
+
+Vec SoftmaxKlGradWrtB(const Vec& a, const Vec& b) {
+  // KL(p || q(b)) with q = softmax(b): dKL/db_j = q_j - p_j.
+  Vec p = Softmax(a);
+  Vec q = Softmax(b);
+  Vec grad(b.size());
+  for (size_t i = 0; i < b.size(); ++i) grad[i] = q[i] - p[i];
+  return grad;
+}
+
+Vec SoftmaxKlGradWrtA(const Vec& a, const Vec& b) {
+  // KL(p(a) || q) with p = softmax(a):
+  // dKL/da_j = p_j * (log p_j - log q_j - KL).
+  Vec p = Softmax(a);
+  Vec q = Softmax(b);
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    kl += p[i] * (std::log(p[i]) - std::log(q[i]));
+  }
+  Vec grad(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    grad[i] = p[i] * (std::log(p[i]) - std::log(q[i]) - kl);
+  }
+  return grad;
+}
+
+void ClipNorm(Vec& x, double max_norm) {
+  PIECK_CHECK(max_norm >= 0.0);
+  double n = Norm2(x);
+  if (n > max_norm && n > 0.0) {
+    Scale(max_norm / n, x);
+  }
+}
+
+Vec Zeros(size_t dim) { return Vec(dim, 0.0); }
+
+bool AllFinite(const Vec& a) {
+  for (double v : a) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace pieck

@@ -1,0 +1,71 @@
+#ifndef PIECK_TENSOR_VECTOR_OPS_H_
+#define PIECK_TENSOR_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pieck {
+
+/// Dense embedding / gradient vector. All model parameters in the library
+/// are `Vec`s or matrices of `Vec` rows; double precision keeps numeric
+/// gradient checks tight.
+using Vec = std::vector<double>;
+
+/// Inner product. Requires a.size() == b.size().
+double Dot(const Vec& a, const Vec& b);
+
+/// y += alpha * x (BLAS axpy). Requires x.size() == y.size().
+void Axpy(double alpha, const Vec& x, Vec& y);
+
+/// x *= alpha.
+void Scale(double alpha, Vec& x);
+
+/// Returns a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+/// Returns a - b.
+Vec Sub(const Vec& a, const Vec& b);
+
+/// Euclidean (L2) norm.
+double Norm2(const Vec& a);
+
+/// Squared L2 norm.
+double SquaredNorm2(const Vec& a);
+
+/// L2 distance ||a - b||_2; the Δ-Norm of Eq. (7) between two snapshots
+/// of the same item embedding.
+double L2Distance(const Vec& a, const Vec& b);
+
+/// Cosine similarity; returns 0 when either vector has zero norm.
+double CosineSimilarity(const Vec& a, const Vec& b);
+
+/// Gradient of cos(a, b) with respect to `b` (treating `a` as constant).
+/// Returns the zero vector if either norm is zero.
+Vec CosineSimilarityGradWrtB(const Vec& a, const Vec& b);
+
+/// Numerically stable softmax.
+Vec Softmax(const Vec& a);
+
+/// KL(softmax(a) || softmax(b)). The paper's PKL (Eq. 9) and Re2 (Eq. 15)
+/// compare embedding vectors via KL divergence; embeddings are mapped to
+/// the probability simplex with softmax first (see DESIGN.md §3).
+double SoftmaxKl(const Vec& a, const Vec& b);
+
+/// Gradient of SoftmaxKl(a, b) with respect to `b` (a constant).
+Vec SoftmaxKlGradWrtB(const Vec& a, const Vec& b);
+
+/// Gradient of SoftmaxKl(a, b) with respect to `a` (b constant).
+Vec SoftmaxKlGradWrtA(const Vec& a, const Vec& b);
+
+/// Clips `x` in place so its L2 norm does not exceed `max_norm`.
+void ClipNorm(Vec& x, double max_norm);
+
+/// Returns a zero vector of the given dimension.
+Vec Zeros(size_t dim);
+
+/// True if all entries are finite.
+bool AllFinite(const Vec& a);
+
+}  // namespace pieck
+
+#endif  // PIECK_TENSOR_VECTOR_OPS_H_

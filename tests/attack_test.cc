@@ -1,0 +1,408 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "attack/a_hum.h"
+#include "attack/a_ra.h"
+#include "attack/attack.h"
+#include "attack/fedrec_attack.h"
+#include "attack/no_attack.h"
+#include "attack/pieck_ipe.h"
+#include "attack/pieck_uea.h"
+#include "attack/pip_attack.h"
+#include "attack/popular_item_miner.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "model/mf_model.h"
+#include "model/ncf_model.h"
+#include "tensor/math.h"
+
+namespace pieck {
+namespace {
+
+constexpr int kDim = 8;
+
+/// Builds a global model where the embeddings of `moving` items change a
+/// lot between observations and the rest barely move; then checks the
+/// miner recovers exactly the moving set.
+TEST(PopularItemMinerTest, RecoversItemsWithLargeDeltaNorm) {
+  Rng rng(7);
+  Matrix snapshot(20, kDim);
+  snapshot.RandomNormal(rng, 0.0, 0.1);
+  std::set<int> moving = {3, 7, 11, 15};
+
+  PopularItemMiner miner(/*mining_rounds=*/2, /*top_n=*/4);
+  miner.Observe(snapshot);
+  for (int step = 0; step < 2; ++step) {
+    for (int j = 0; j < 20; ++j) {
+      double scale = moving.count(j) ? 1.0 : 0.001;
+      for (int c = 0; c < kDim; ++c) {
+        snapshot.At(static_cast<size_t>(j), static_cast<size_t>(c)) +=
+            rng.Normal(0.0, scale);
+      }
+    }
+    miner.Observe(snapshot);
+  }
+  ASSERT_TRUE(miner.Ready());
+  std::set<int> mined(miner.MinedItems().begin(), miner.MinedItems().end());
+  EXPECT_EQ(mined, moving);
+}
+
+TEST(PopularItemMinerTest, NotReadyBeforeEnoughObservations) {
+  PopularItemMiner miner(2, 3);
+  Matrix m(5, kDim);
+  miner.Observe(m);
+  EXPECT_FALSE(miner.Ready());
+  miner.Observe(m);
+  EXPECT_FALSE(miner.Ready());  // one delta seen, needs two
+  miner.Observe(m);
+  EXPECT_TRUE(miner.Ready());
+  EXPECT_EQ(miner.observations(), 3);
+}
+
+TEST(PopularItemMinerTest, FreezesAfterMiningCompletes) {
+  Rng rng(9);
+  Matrix m(6, kDim);
+  m.RandomNormal(rng, 0, 0.1);
+  PopularItemMiner miner(1, 2);
+  miner.Observe(m);
+  m.At(0, 0) += 10.0;  // item 0 moves hugely during mining
+  miner.Observe(m);
+  ASSERT_TRUE(miner.Ready());
+  std::vector<int> first = miner.MinedItems();
+  // Subsequent huge movement of a different item must not change mining.
+  m.At(5, 0) += 100.0;
+  miner.Observe(m);
+  EXPECT_EQ(miner.MinedItems(), first);
+  EXPECT_EQ(first[0], 0);
+}
+
+TEST(PopularItemMinerTest, TopItemsReRanksWithDifferentN) {
+  Rng rng(10);
+  Matrix m(6, kDim);
+  m.RandomNormal(rng, 0, 0.1);
+  PopularItemMiner miner(1, 2);
+  miner.Observe(m);
+  for (int j = 0; j < 6; ++j) {
+    m.At(static_cast<size_t>(j), 0) += static_cast<double>(j);  // Δ ∝ j
+  }
+  miner.Observe(m);
+  std::vector<int> top4 = miner.TopItems(4);
+  ASSERT_EQ(top4.size(), 4u);
+  EXPECT_EQ(top4[0], 5);
+  EXPECT_EQ(top4[1], 4);
+}
+
+TEST(IpeRankWeightsTest, NormalizedInverseRank) {
+  auto w = internal_ipe::RankWeights(4, true);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[3], 0.25);
+  EXPECT_GT(w[0], w[1]);
+  auto uniform = internal_ipe::RankWeights(4, false);
+  for (double x : uniform) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+class PieckFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = std::make_unique<MfModel>(kDim);
+    Rng rng(21);
+    global_ = model_->InitGlobalModel(30, rng);
+    config_.target_items = {29};
+    config_.mining_rounds = 1;
+    config_.mined_top_n = 5;
+    config_.server_learning_rate = 1.0;
+  }
+
+  /// Observes twice with items 0..4 moving most, completing mining.
+  template <typename AttackT>
+  void CompleteMining(AttackT& attack, Rng& rng) {
+    attack.ParticipateRound(global_, 0, rng);
+    for (int j = 0; j < 5; ++j) {
+      for (int c = 0; c < kDim; ++c) {
+        global_.item_embeddings.At(static_cast<size_t>(j),
+                                   static_cast<size_t>(c)) +=
+            rng.Normal(0.0, 1.0);
+      }
+    }
+  }
+
+  std::unique_ptr<MfModel> model_;
+  GlobalModel global_;
+  AttackConfig config_;
+};
+
+TEST_F(PieckFixture, NoUploadDuringMining) {
+  PieckUeaAttack attack(*model_, config_);
+  Rng rng(23);
+  ClientUpdate upd = attack.ParticipateRound(global_, 0, rng);
+  EXPECT_TRUE(upd.item_grads.empty());
+}
+
+TEST_F(PieckFixture, UeaUploadsOnlyTargetGradients) {
+  PieckUeaAttack attack(*model_, config_);
+  Rng rng(23);
+  CompleteMining(attack, rng);
+  ClientUpdate upd = attack.ParticipateRound(global_, 1, rng);
+  ASSERT_EQ(upd.item_grads.size(), 1u);
+  EXPECT_EQ(upd.item_grads[0].first, 29);
+  EXPECT_FALSE(upd.interaction_grads.active);
+}
+
+TEST_F(PieckFixture, UeaPoisonRaisesTargetScoreForPopularProxies) {
+  PieckUeaAttack attack(*model_, config_);
+  Rng rng(23);
+  CompleteMining(attack, rng);
+  ClientUpdate upd = attack.ParticipateRound(global_, 1, rng);
+  const Vec* grad = upd.FindItemGrad(29);
+  ASSERT_NE(grad, nullptr);
+
+  // Applying the poison (server step v -= η·∇̃) must increase the mean
+  // score of the target under the mined popular items as users.
+  const std::vector<int>& popular = attack.miner().MinedItems();
+  double before = attack.AttackLoss(global_, 29, popular);
+  GlobalModel poisoned = global_;
+  poisoned.item_embeddings.AxpyRow(29, -1.0, *grad);
+  double after = attack.AttackLoss(poisoned, 29, popular);
+  EXPECT_LT(after, before);
+}
+
+TEST_F(PieckFixture, IpePoisonReducesIpeLoss) {
+  PieckIpeAttack attack(*model_, config_);
+  Rng rng(29);
+  CompleteMining(attack, rng);
+  ClientUpdate upd = attack.ParticipateRound(global_, 1, rng);
+  const Vec* grad = upd.FindItemGrad(29);
+  ASSERT_NE(grad, nullptr);
+
+  const std::vector<int>& popular = attack.miner().MinedItems();
+  double before = attack.AttackLoss(global_, 29, popular);
+  GlobalModel poisoned = global_;
+  poisoned.item_embeddings.AxpyRow(29, -1.0, *grad);
+  double after = attack.AttackLoss(poisoned, 29, popular);
+  EXPECT_LT(after, before);
+}
+
+TEST_F(PieckFixture, IpeAblationsChangeGradient) {
+  Rng rng(31);
+  AttackConfig base = config_;
+  PieckIpeAttack cosine(*model_, base);
+  CompleteMining(cosine, rng);
+  ClientUpdate upd_cos = cosine.ParticipateRound(global_, 1, rng);
+
+  AttackConfig pkl_config = config_;
+  pkl_config.ipe_metric = IpeMetric::kSoftmaxKl;
+  PieckIpeAttack pkl(*model_, pkl_config);
+  Rng rng2(31);
+  CompleteMining(pkl, rng2);
+  ClientUpdate upd_pkl = pkl.ParticipateRound(global_, 1, rng2);
+
+  const Vec* g_cos = upd_cos.FindItemGrad(29);
+  const Vec* g_pkl = upd_pkl.FindItemGrad(29);
+  ASSERT_NE(g_cos, nullptr);
+  ASSERT_NE(g_pkl, nullptr);
+  EXPECT_NE(*g_cos, *g_pkl);
+}
+
+TEST_F(PieckFixture, TargetsExcludedFromMinedAnchors) {
+  // Make the target itself the biggest mover during mining; the attack
+  // must not use it as its own anchor (the poison would self-amplify).
+  PieckUeaAttack attack(*model_, config_);
+  Rng rng(37);
+  attack.ParticipateRound(global_, 0, rng);
+  for (int c = 0; c < kDim; ++c) {
+    global_.item_embeddings.At(29, static_cast<size_t>(c)) += 5.0;
+    global_.item_embeddings.At(1, static_cast<size_t>(c)) += 1.0;
+  }
+  ClientUpdate upd = attack.ParticipateRound(global_, 1, rng);
+  // Mining now complete with target ranked first; upload must still be
+  // produced using the remaining anchors.
+  ASSERT_TRUE(attack.miner().Ready());
+  EXPECT_EQ(attack.miner().MinedItems()[0], 29);
+  EXPECT_NE(upd.FindItemGrad(29), nullptr);
+}
+
+TEST_F(PieckFixture, TrainOneThenCopyDuplicatesGradient) {
+  config_.target_items = {27, 28, 29};
+  config_.multi_target = MultiTargetStrategy::kTrainOneThenCopy;
+  PieckUeaAttack attack(*model_, config_);
+  Rng rng(41);
+  CompleteMining(attack, rng);
+  ClientUpdate upd = attack.ParticipateRound(global_, 1, rng);
+  ASSERT_EQ(upd.item_grads.size(), 3u);
+  EXPECT_EQ(*upd.FindItemGrad(27), *upd.FindItemGrad(28));
+  EXPECT_EQ(*upd.FindItemGrad(28), *upd.FindItemGrad(29));
+}
+
+TEST_F(PieckFixture, TrainTogetherProducesPerTargetGradients) {
+  config_.target_items = {27, 29};
+  config_.multi_target = MultiTargetStrategy::kTrainTogether;
+  PieckUeaAttack attack(*model_, config_);
+  Rng rng(43);
+  CompleteMining(attack, rng);
+  ClientUpdate upd = attack.ParticipateRound(global_, 1, rng);
+  ASSERT_EQ(upd.item_grads.size(), 2u);
+  EXPECT_NE(*upd.FindItemGrad(27), *upd.FindItemGrad(29));
+}
+
+TEST(NoAttackTest, UploadsNothing) {
+  NoAttack attack;
+  Rng rng(47);
+  GlobalModel g;
+  ClientUpdate upd = attack.ParticipateRound(g, 0, rng);
+  EXPECT_TRUE(upd.item_grads.empty());
+  EXPECT_FALSE(upd.interaction_grads.active);
+}
+
+TEST(FedRecAttackTest, MaskedPriorKnowledgeIsNoOp) {
+  MfModel model(kDim);
+  Rng rng(53);
+  GlobalModel g = model.InitGlobalModel(10, rng);
+  auto ds = GenerateSynthetic(MovieLens100KConfig(0.05));
+  ASSERT_TRUE(ds.ok());
+
+  AttackConfig config;
+  config.target_items = {0};
+  config.fedreca_public_ratio = 0.0;  // the paper's masking
+  FedRecAttack attack(model, config, &*ds, 99);
+  EXPECT_EQ(attack.num_visible_users(), 0);
+  ClientUpdate upd = attack.ParticipateRound(g, 0, rng);
+  EXPECT_TRUE(upd.item_grads.empty());
+}
+
+TEST(FedRecAttackTest, UnmaskedProducesTargetGradient) {
+  auto ds = GenerateSynthetic(MovieLens100KConfig(0.05));
+  ASSERT_TRUE(ds.ok());
+  MfModel model(kDim);
+  Rng rng(59);
+  GlobalModel g = model.InitGlobalModel(ds->num_items(), rng);
+
+  AttackConfig config;
+  config.target_items = {1};
+  config.fedreca_public_ratio = 0.5;
+  FedRecAttack attack(model, config, &*ds, 99);
+  EXPECT_GT(attack.num_visible_users(), 0);
+  ClientUpdate upd = attack.ParticipateRound(g, 0, rng);
+  EXPECT_NE(upd.FindItemGrad(1), nullptr);
+}
+
+TEST(PipAttackTest, MaskedLabelsAreShuffled) {
+  auto ds = GenerateSynthetic(MovieLens100KConfig(0.05));
+  ASSERT_TRUE(ds.ok());
+  MfModel model(kDim);
+  AttackConfig masked_config;
+  masked_config.target_items = {0};
+  masked_config.pipa_true_popularity = false;
+  PipAttack masked(model, masked_config, &*ds, 7);
+
+  AttackConfig true_config = masked_config;
+  true_config.pipa_true_popularity = true;
+  PipAttack unmasked(model, true_config, &*ds, 7);
+
+  EXPECT_EQ(masked.labels().size(), unmasked.labels().size());
+  EXPECT_NE(masked.labels(), unmasked.labels());
+  // Same multiset of labels either way.
+  auto a = masked.labels();
+  auto b = unmasked.labels();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(PipAttackTest, UploadsTargetAndInteractionGradsOnDl) {
+  auto ds = GenerateSynthetic(MovieLens100KConfig(0.05));
+  ASSERT_TRUE(ds.ok());
+  NcfModel model(kDim, {kDim, kDim / 2});
+  Rng rng(61);
+  GlobalModel g = model.InitGlobalModel(ds->num_items(), rng);
+  AttackConfig config;
+  config.target_items = {2};
+  PipAttack attack(model, config, &*ds, 7);
+  ClientUpdate upd = attack.ParticipateRound(g, 0, rng);
+  EXPECT_NE(upd.FindItemGrad(2), nullptr);
+  EXPECT_TRUE(upd.interaction_grads.active);
+}
+
+TEST(ARaTest, NullParametersOnMf) {
+  MfModel model(kDim);
+  Rng rng(67);
+  GlobalModel g = model.InitGlobalModel(5, rng);
+  AttackConfig config;
+  config.target_items = {0};
+  ARaAttack attack(model, config);
+  ClientUpdate upd = attack.ParticipateRound(g, 0, rng);
+  EXPECT_TRUE(upd.item_grads.empty());
+}
+
+TEST(ARaTest, PoisonsInteractionFunctionOnDl) {
+  NcfModel model(kDim, {kDim});
+  Rng rng(71);
+  GlobalModel g = model.InitGlobalModel(5, rng);
+  AttackConfig config;
+  config.target_items = {0};
+  ARaAttack attack(model, config);
+  ClientUpdate upd = attack.ParticipateRound(g, 0, rng);
+  EXPECT_NE(upd.FindItemGrad(0), nullptr);
+  ASSERT_TRUE(upd.interaction_grads.active);
+  EXPECT_GT(upd.interaction_grads.SquaredNorm(), 0.0);
+}
+
+TEST(AHumTest, HardUserDislikesTarget) {
+  MfModel model(kDim);
+  Rng rng(73);
+  GlobalModel g = model.InitGlobalModel(5, rng);
+  AttackConfig config;
+  config.target_items = {0};
+  config.hard_user_steps = 30;
+  AHumAttack attack(model, config);
+  // Average over several mined hard users: each must rate the target
+  // below neutral, and clearly below a random user's expected score.
+  Vec vt = g.item_embeddings.Row(0);
+  double mean_score = 0.0;
+  const int kTrials = 8;
+  for (int t = 0; t < kTrials; ++t) {
+    Vec hard = attack.MineHardUser(g, 0, rng);
+    mean_score += Sigmoid(Dot(hard, vt)) / kTrials;
+  }
+  EXPECT_LT(mean_score, 0.45);
+}
+
+TEST(AHumTest, PoisonIncreasesHardUserScore) {
+  MfModel model(kDim);
+  Rng rng(79);
+  GlobalModel g = model.InitGlobalModel(5, rng);
+  AttackConfig config;
+  config.target_items = {0};
+  AHumAttack attack(model, config);
+  ClientUpdate upd = attack.ParticipateRound(g, 0, rng);
+  const Vec* grad = upd.FindItemGrad(0);
+  ASSERT_NE(grad, nullptr);
+  EXPECT_GT(Norm2(*grad), 0.0);
+}
+
+TEST(AttackFactoryTest, BuildsEveryKind) {
+  MfModel model(kDim);
+  auto ds = GenerateSynthetic(MovieLens100KConfig(0.05));
+  ASSERT_TRUE(ds.ok());
+  AttackConfig config;
+  config.target_items = {0};
+  for (AttackKind kind :
+       {AttackKind::kNone, AttackKind::kFedRecAttack, AttackKind::kPipAttack,
+        AttackKind::kARa, AttackKind::kAHum, AttackKind::kPieckIpe,
+        AttackKind::kPieckUea}) {
+    auto attack = MakeAttack(kind, model, config, &*ds, 7);
+    ASSERT_NE(attack, nullptr) << AttackKindToString(kind);
+    EXPECT_FALSE(attack->name().empty());
+  }
+}
+
+TEST(AttackFactoryTest, KindNames) {
+  EXPECT_STREQ(AttackKindToString(AttackKind::kPieckIpe), "PIECK-IPE");
+  EXPECT_STREQ(AttackKindToString(AttackKind::kPieckUea), "PIECK-UEA");
+  EXPECT_STREQ(AttackKindToString(AttackKind::kNone), "NoAttack");
+}
+
+}  // namespace
+}  // namespace pieck

@@ -1,0 +1,245 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/status_or.h"
+#include "common/string_util.h"
+
+namespace pieck {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+Status ReturnsIfError(bool fail) {
+  PIECK_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(ReturnsIfError(false).ok());
+  EXPECT_EQ(ReturnsIfError(true).code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Doubled(StatusOr<int> in) {
+  PIECK_ASSIGN_OR_RETURN(int x, in);
+  return 2 * x;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = Doubled(Status::Internal("bad"));
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(5));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 5);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    any_diff |= a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformRealBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(7);
+  std::vector<int> s = rng.SampleWithoutReplacement(100, 30);
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenKExceedsN) {
+  Rng rng(7);
+  std::vector<int> s = rng.SampleWithoutReplacement(5, 50);
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(7);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.SampleDiscrete(w), 1);
+}
+
+TEST(RngTest, SampleDiscreteEmptyOrZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.SampleDiscrete({}), -1);
+  EXPECT_EQ(rng.SampleDiscrete({0.0, 0.0}), -1);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.Fork();
+  // The fork must not simply mirror the parent.
+  bool differs = false;
+  Rng b(9);
+  Rng child_b = b.Fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child.UniformInt(0, 1 << 20), child_b.UniformInt(0, 1 << 20));
+    differs |= true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FlagParserTest, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4.5", "--flag"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(5, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0.0), 4.5);
+  EXPECT_TRUE(flags.GetBool("flag", false));
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_EQ(flags.GetString("missing", "d"), "d");
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  const char* argv[] = {"prog", "pos1", "--x=1", "pos2"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+  EXPECT_EQ(flags.positional()[1], "pos2");
+}
+
+TEST(FlagParserTest, RejectsBareDashes) {
+  const char* argv[] = {"prog", "--"};
+  FlagParser flags;
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(StringUtilTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(StrJoin(parts, ","), "a,b,c");
+  EXPECT_EQ(StrSplit("a,b,c", ','), parts);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  std::vector<std::string> expect = {"", "x", ""};
+  EXPECT_EQ(StrSplit(",x,", ','), expect);
+}
+
+TEST(StringUtilTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+}
+
+TEST(StringUtilTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.9339), "93.39");
+  EXPECT_EQ(FormatPercent(1.0), "100.00");
+}
+
+}  // namespace
+}  // namespace pieck

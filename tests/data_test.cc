@@ -1,0 +1,270 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/negative_sampler.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace pieck {
+namespace {
+
+Dataset TinyDataset() {
+  // 3 users, 4 items. Item 0 popular (3 hits), item 1 two hits,
+  // item 2 one hit, item 3 cold.
+  auto ds = Dataset::FromInteractions(
+      3, 4, {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}, {2, 0}});
+  EXPECT_TRUE(ds.ok());
+  return *ds;
+}
+
+TEST(DatasetTest, BasicCounts) {
+  Dataset ds = TinyDataset();
+  EXPECT_EQ(ds.num_users(), 3);
+  EXPECT_EQ(ds.num_items(), 4);
+  EXPECT_EQ(ds.num_interactions(), 6);
+  EXPECT_DOUBLE_EQ(ds.InteractionRate(), 2.0);
+}
+
+TEST(DatasetTest, DeduplicatesInteractions) {
+  auto ds = Dataset::FromInteractions(1, 2, {{0, 1}, {0, 1}, {0, 1}});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_interactions(), 1);
+}
+
+TEST(DatasetTest, RejectsOutOfRange) {
+  EXPECT_FALSE(Dataset::FromInteractions(1, 1, {{0, 5}}).ok());
+  EXPECT_FALSE(Dataset::FromInteractions(1, 1, {{2, 0}}).ok());
+  EXPECT_FALSE(Dataset::FromInteractions(1, 1, {{-1, 0}}).ok());
+}
+
+TEST(DatasetTest, InteractedLookup) {
+  Dataset ds = TinyDataset();
+  EXPECT_TRUE(ds.Interacted(0, 1));
+  EXPECT_FALSE(ds.Interacted(0, 2));
+  EXPECT_FALSE(ds.Interacted(2, 3));
+}
+
+TEST(DatasetTest, PopularityCounts) {
+  Dataset ds = TinyDataset();
+  const auto& pop = ds.ItemPopularity();
+  EXPECT_EQ(pop[0], 3);
+  EXPECT_EQ(pop[1], 2);
+  EXPECT_EQ(pop[2], 1);
+  EXPECT_EQ(pop[3], 0);
+}
+
+TEST(DatasetTest, PopularityOrderAndRank) {
+  Dataset ds = TinyDataset();
+  std::vector<int> order = ds.ItemsByPopularity();
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[3], 3);
+  std::vector<int> rank = ds.PopularityRank();
+  EXPECT_EQ(rank[0], 0);
+  EXPECT_EQ(rank[3], 3);
+}
+
+TEST(DatasetTest, TopPopularItemsFraction) {
+  Dataset ds = TinyDataset();
+  std::vector<int> top = ds.TopPopularItems(0.5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 0);
+  EXPECT_EQ(top[1], 1);
+  EXPECT_TRUE(ds.TopPopularItems(0.0).empty());
+}
+
+TEST(DatasetTest, InteractionShare) {
+  Dataset ds = TinyDataset();
+  // Top 25% = item 0 with 3 of 6 interactions.
+  EXPECT_DOUBLE_EQ(ds.InteractionShareOfTopItems(0.25), 0.5);
+}
+
+TEST(DatasetTest, Sparsity) {
+  Dataset ds = TinyDataset();
+  EXPECT_DOUBLE_EQ(ds.Sparsity(), 1.0 - 6.0 / 12.0);
+}
+
+TEST(DatasetTest, WithoutInteraction) {
+  Dataset ds = TinyDataset();
+  Dataset smaller = ds.WithoutInteraction(1, 2);
+  EXPECT_EQ(smaller.num_interactions(), 5);
+  EXPECT_FALSE(smaller.Interacted(1, 2));
+  // Removing a non-existent interaction is a no-op.
+  Dataset same = ds.WithoutInteraction(2, 3);
+  EXPECT_EQ(same.num_interactions(), 6);
+}
+
+TEST(SyntheticTest, RespectsConfiguredCounts) {
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.num_items = 80;
+  config.num_interactions = 600;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 50);
+  EXPECT_EQ(ds->num_items(), 80);
+  EXPECT_NEAR(static_cast<double>(ds->num_interactions()), 600.0, 60.0);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  SyntheticConfig config = MovieLens100KConfig(0.1);
+  auto a = GenerateSynthetic(config);
+  auto b = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_interactions(), b->num_interactions());
+  for (int u = 0; u < a->num_users(); ++u) {
+    EXPECT_EQ(a->ItemsOf(u), b->ItemsOf(u));
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig config = MovieLens100KConfig(0.1);
+  auto a = GenerateSynthetic(config);
+  config.seed += 1;
+  auto b = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (int u = 0; u < a->num_users() && !any_diff; ++u) {
+    any_diff = a->ItemsOf(u) != b->ItemsOf(u);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, EveryUserHasMinimumInteractions) {
+  SyntheticConfig config = MovieLens100KConfig(0.2);
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  for (int u = 0; u < ds->num_users(); ++u) {
+    EXPECT_GE(static_cast<int>(ds->ItemsOf(u).size()),
+              config.min_user_interactions)
+        << "user " << u;
+  }
+}
+
+TEST(SyntheticTest, RejectsInvalidConfigs) {
+  SyntheticConfig config;
+  config.num_users = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config = SyntheticConfig();
+  config.num_interactions = config.num_users - 1;  // below 1 per user
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config = SyntheticConfig();
+  config.num_users = 2;
+  config.num_items = 2;
+  config.num_interactions = 100;  // more than cells
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+}
+
+/// Fig. 3's long-tail property must hold for every dataset preset: the
+/// top 15% of items receive more than half of all interactions.
+class SyntheticLongTail
+    : public ::testing::TestWithParam<SyntheticConfig> {};
+
+TEST_P(SyntheticLongTail, Top15PercentHoldsMajorityOfInteractions) {
+  auto ds = GenerateSynthetic(GetParam());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GT(ds->InteractionShareOfTopItems(0.15), 0.5);
+}
+
+TEST_P(SyntheticLongTail, SparsityIsHigh) {
+  auto ds = GenerateSynthetic(GetParam());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GT(ds->Sparsity(), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, SyntheticLongTail,
+                         ::testing::Values(MovieLens100KConfig(0.3),
+                                           MovieLens100KConfig(1.0),
+                                           MovieLens1MConfig(0.1),
+                                           AmazonDigitalMusicConfig(0.15)));
+
+TEST(SplitTest, HoldsOutOneItemPerEligibleUser) {
+  SyntheticConfig config = MovieLens100KConfig(0.1);
+  auto full = GenerateSynthetic(config);
+  ASSERT_TRUE(full.ok());
+  Rng rng(5);
+  auto split = MakeLeaveOneOutSplit(*full, rng);
+  ASSERT_TRUE(split.ok());
+  for (int u = 0; u < full->num_users(); ++u) {
+    int held = split->test_item[static_cast<size_t>(u)];
+    if (full->ItemsOf(u).size() >= 2) {
+      ASSERT_GE(held, 0);
+      EXPECT_TRUE(full->Interacted(u, held));
+      EXPECT_FALSE(split->train.Interacted(u, held));
+      EXPECT_EQ(split->train.ItemsOf(u).size(), full->ItemsOf(u).size() - 1);
+    } else {
+      EXPECT_EQ(held, -1);
+    }
+  }
+}
+
+TEST(SplitTest, TrainPlusTestEqualsFull) {
+  SyntheticConfig config = MovieLens100KConfig(0.1);
+  auto full = GenerateSynthetic(config);
+  ASSERT_TRUE(full.ok());
+  Rng rng(6);
+  auto split = MakeLeaveOneOutSplit(*full, rng);
+  ASSERT_TRUE(split.ok());
+  int64_t held_out = 0;
+  for (int t : split->test_item) held_out += t >= 0 ? 1 : 0;
+  EXPECT_EQ(split->train.num_interactions() + held_out,
+            full->num_interactions());
+}
+
+TEST(NegativeSamplerTest, LabelsAndRatio) {
+  Dataset ds = TinyDataset();
+  NegativeSampler sampler(1.0);
+  Rng rng(7);
+  auto batch = sampler.SampleBatch(ds, 1, rng);  // user 1 has 3 positives
+  int pos = 0, neg = 0;
+  for (const auto& ex : batch) (ex.label > 0.5 ? pos : neg)++;
+  EXPECT_EQ(pos, 3);
+  // Only one uninteracted item exists for user 1.
+  EXPECT_EQ(neg, 1);
+}
+
+TEST(NegativeSamplerTest, NegativesAreUninteractedAndDistinct) {
+  SyntheticConfig config = MovieLens100KConfig(0.1);
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  NegativeSampler sampler(2.0);
+  Rng rng(8);
+  auto batch = sampler.SampleBatch(*ds, 0, rng);
+  std::set<int> negatives;
+  int pos = 0;
+  for (const auto& ex : batch) {
+    if (ex.label > 0.5) {
+      ++pos;
+      EXPECT_TRUE(ds->Interacted(0, ex.item));
+    } else {
+      EXPECT_FALSE(ds->Interacted(0, ex.item));
+      EXPECT_TRUE(negatives.insert(ex.item).second) << "duplicate negative";
+    }
+  }
+  EXPECT_EQ(pos, static_cast<int>(ds->ItemsOf(0).size()));
+  EXPECT_EQ(static_cast<int>(negatives.size()), 2 * pos);
+}
+
+TEST(NegativeSamplerTest, ZeroRatioMeansNoNegatives) {
+  Dataset ds = TinyDataset();
+  NegativeSampler sampler(0.0);
+  Rng rng(9);
+  auto batch = sampler.SampleBatch(ds, 0, rng);
+  for (const auto& ex : batch) EXPECT_GT(ex.label, 0.5);
+}
+
+TEST(NegativeSamplerTest, LargeQSaturatesAtPool) {
+  Dataset ds = TinyDataset();
+  NegativeSampler sampler(100.0);
+  Rng rng(10);
+  auto batch = sampler.SampleBatch(ds, 0, rng);  // user 0: 2 pos, 2 uninteracted
+  int neg = 0;
+  for (const auto& ex : batch) neg += ex.label < 0.5 ? 1 : 0;
+  EXPECT_EQ(neg, 2);
+}
+
+}  // namespace
+}  // namespace pieck

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "defense/defense.h"
+#include "defense/regularized_defense.h"
+#include "defense/robust_aggregators.h"
+#include "model/mf_model.h"
+
+namespace pieck {
+namespace {
+
+constexpr int kDim = 6;
+
+TEST(NormBoundTest, ClipsLargeGradientsBeforeSumming) {
+  NormBoundAggregator agg(1.0);
+  // One benign small gradient, one oversized poison gradient.
+  Vec out = agg.Aggregate({{0.3, 0.0}, {100.0, 0.0}});
+  EXPECT_NEAR(out[0], 0.3 + 1.0, 1e-12);
+}
+
+TEST(NormBoundTest, LeavesSmallGradientsAlone) {
+  NormBoundAggregator agg(10.0);
+  Vec out = agg.Aggregate({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(MedianTest, SumCalibratedMedian) {
+  MedianAggregator agg;
+  Vec out = agg.Aggregate({{1.0}, {2.0}, {100.0}});
+  // median 2.0 scaled by n = 3.
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+}
+
+TEST(MedianTest, EvenCountAveragesMiddlePair) {
+  MedianAggregator agg;
+  Vec out = agg.Aggregate({{1.0}, {2.0}, {3.0}, {100.0}});
+  EXPECT_DOUBLE_EQ(out[0], 2.5 * 4.0);
+}
+
+TEST(MedianTest, FiltersMinorityOutliers) {
+  MedianAggregator agg;
+  // 3 benign near zero, 2 identical poison at 50: median is benign.
+  Vec out = agg.Aggregate({{0.1}, {0.0}, {-0.1}, {50.0}, {50.0}});
+  EXPECT_NEAR(out[0] / 5.0, 0.0, 0.11);
+}
+
+TEST(MedianTest, MajorityPoisonWins) {
+  // The paper's Eq. 11 scenario: poison outnumbers benign for a cold
+  // target item, so the median lands inside the poison cluster.
+  MedianAggregator agg;
+  Vec out = agg.Aggregate({{0.1}, {0.0}, {50.0}, {50.0}, {50.0}});
+  EXPECT_NEAR(out[0] / 5.0, 50.0, 1e-9);
+}
+
+TEST(TrimmedMeanTest, TrimsExtremes) {
+  TrimmedMeanAggregator agg(0.2);
+  // n = 5, trim ceil(1) from each side: {-100, 100} dropped.
+  Vec out = agg.Aggregate({{-100.0}, {1.0}, {2.0}, {3.0}, {100.0}});
+  EXPECT_DOUBLE_EQ(out[0], 2.0 * 5.0);
+}
+
+TEST(TrimmedMeanTest, SmallClusterOfPoisonSurvivesTrim) {
+  // Poison fraction far above the trim rate survives (the paper's point
+  // about TrimmedMean failing against PIECK).
+  TrimmedMeanAggregator agg(0.1);
+  std::vector<Vec> grads = {{0.0}, {0.1}, {-0.1}, {20.0}, {20.0}, {20.0}};
+  Vec out = agg.Aggregate(grads);
+  EXPECT_GT(out[0], 20.0);  // poison leaks into the aggregate
+}
+
+TEST(TrimmedMeanTest, DegeneratesToMedianWhenOverTrimmed) {
+  TrimmedMeanAggregator agg(0.9);
+  Vec out = agg.Aggregate({{1.0}, {5.0}, {9.0}});
+  EXPECT_DOUBLE_EQ(out[0], 5.0 * 3.0);
+}
+
+ClientUpdate MakeUpdate(int item, Vec grad) {
+  ClientUpdate upd;
+  upd.AccumulateItemGrad(item, std::move(grad));
+  return upd;
+}
+
+TEST(KrumFilterTest, SelectsFromDenseBenignCluster) {
+  // 5 similar benign updates + 2 mutually-identical but huge poison
+  // updates. Krum must select a benign one: the poison pair is close to
+  // each other but far from everything else, and with f = 2 its
+  // neighbor set must include benign updates.
+  std::vector<ClientUpdate> updates;
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    Vec g(4);
+    for (double& x : g) x = rng.Normal(0.0, 0.01);
+    updates.push_back(MakeUpdate(0, g));
+  }
+  updates.push_back(MakeUpdate(1, {30, 30, 30, 30}));
+  updates.push_back(MakeUpdate(1, {30, 30, 30, 30}));
+
+  KrumFilter krum(2.0 / 7.0);
+  std::vector<int> kept = krum.Select(updates);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_LT(kept[0], 5);  // a benign index
+}
+
+TEST(KrumFilterTest, PassThroughForTinyGroups) {
+  std::vector<ClientUpdate> updates = {MakeUpdate(0, {1.0}),
+                                       MakeUpdate(0, {2.0})};
+  KrumFilter krum(0.05);
+  EXPECT_EQ(krum.Select(updates).size(), 2u);
+}
+
+TEST(MultiKrumFilterTest, DiscardsTwoFWorst) {
+  std::vector<ClientUpdate> updates;
+  Rng rng(11);
+  for (int i = 0; i < 8; ++i) {
+    Vec g(4);
+    for (double& x : g) x = rng.Normal(0.0, 0.01);
+    updates.push_back(MakeUpdate(0, g));
+  }
+  updates.push_back(MakeUpdate(1, {50, 50, 50, 50}));
+  updates.push_back(MakeUpdate(1, {50, 50, 50, 50}));
+
+  MultiKrumFilter multi(0.1);  // f = 1, discard 2
+  std::vector<int> kept = multi.Select(updates);
+  EXPECT_EQ(kept.size(), 8u);
+  for (int idx : kept) EXPECT_LT(idx, 8);  // both poison updates dropped
+}
+
+TEST(MultiKrumFilterTest, KeepsOrderSorted) {
+  std::vector<ClientUpdate> updates;
+  for (int i = 0; i < 6; ++i) {
+    updates.push_back(MakeUpdate(0, {static_cast<double>(i) * 0.001}));
+  }
+  MultiKrumFilter multi(0.05);
+  std::vector<int> kept = multi.Select(updates);
+  EXPECT_TRUE(std::is_sorted(kept.begin(), kept.end()));
+}
+
+TEST(DefensePlanTest, BuildsEveryKind) {
+  AggregatorParams params;
+  for (DefenseKind kind :
+       {DefenseKind::kNoDefense, DefenseKind::kNormBound, DefenseKind::kMedian,
+        DefenseKind::kTrimmedMean, DefenseKind::kKrum, DefenseKind::kMultiKrum,
+        DefenseKind::kBulyan, DefenseKind::kOurs,
+        DefenseKind::kOursPlusNormBound}) {
+    DefensePlan plan = MakeDefensePlan(kind, params);
+    ASSERT_NE(plan.aggregator, nullptr) << DefenseKindToString(kind);
+  }
+}
+
+TEST(DefensePlanTest, KrumFamilyHasFilters) {
+  AggregatorParams params;
+  EXPECT_EQ(MakeDefensePlan(DefenseKind::kNoDefense, params).filter, nullptr);
+  EXPECT_NE(MakeDefensePlan(DefenseKind::kKrum, params).filter, nullptr);
+  EXPECT_NE(MakeDefensePlan(DefenseKind::kMultiKrum, params).filter, nullptr);
+  EXPECT_NE(MakeDefensePlan(DefenseKind::kBulyan, params).filter, nullptr);
+}
+
+TEST(DefensePlanTest, OnlyOursUsesClientRegularizers) {
+  EXPECT_TRUE(DefenseUsesClientRegularizers(DefenseKind::kOurs));
+  EXPECT_TRUE(DefenseUsesClientRegularizers(DefenseKind::kOursPlusNormBound));
+  EXPECT_FALSE(DefenseUsesClientRegularizers(DefenseKind::kMedian));
+  EXPECT_FALSE(DefenseUsesClientRegularizers(DefenseKind::kNoDefense));
+}
+
+TEST(DefensePlanTest, HybridCombinesRegularizersWithNormBound) {
+  AggregatorParams params;
+  DefensePlan plan = MakeDefensePlan(DefenseKind::kOursPlusNormBound, params);
+  ASSERT_NE(plan.aggregator, nullptr);
+  EXPECT_EQ(plan.aggregator->name(), "NormBound");
+  EXPECT_EQ(plan.filter, nullptr);
+}
+
+class RegularizedDefenseFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = std::make_unique<MfModel>(kDim);
+    Rng rng(91);
+    global_ = model_->InitGlobalModel(12, rng);
+    user_ = model_->InitUserEmbedding(rng);
+    options_.mining_rounds = 1;
+    options_.mined_top_n = 3;
+  }
+
+  /// Feeds two observations with items 0..2 moving most so the defense's
+  /// miner completes with P = {0, 1, 2}.
+  void CompleteMining(RegularizedClientDefense& defense) {
+    defense.ObserveRound(global_);
+    Rng rng(93);
+    for (int j = 0; j < 3; ++j) {
+      for (int c = 0; c < kDim; ++c) {
+        global_.item_embeddings.At(static_cast<size_t>(j),
+                                   static_cast<size_t>(c)) +=
+            rng.Normal(0.0, 1.0);
+      }
+    }
+    defense.ObserveRound(global_);
+  }
+
+  std::unique_ptr<MfModel> model_;
+  GlobalModel global_;
+  Vec user_;
+  DefenseOptions options_;
+};
+
+TEST_F(RegularizedDefenseFixture, NoOpBeforeMiningCompletes) {
+  RegularizedClientDefense defense(options_);
+  defense.ObserveRound(global_);
+  std::vector<LabeledItem> batch = {{5, 1.0}};
+  Vec grad_u = Zeros(static_cast<size_t>(kDim));
+  ClientUpdate upd;
+  defense.ApplyRegularizers(global_, user_, batch, &grad_u, &upd);
+  EXPECT_TRUE(upd.item_grads.empty());
+  EXPECT_DOUBLE_EQ(Norm2(grad_u), 0.0);
+}
+
+TEST_F(RegularizedDefenseFixture, MinerIdentifiesMovingItems) {
+  RegularizedClientDefense defense(options_);
+  CompleteMining(defense);
+  ASSERT_TRUE(defense.miner().Ready());
+  std::vector<int> mined = defense.miner().MinedItems();
+  std::sort(mined.begin(), mined.end());
+  EXPECT_EQ(mined, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(RegularizedDefenseFixture, Re1GradientIncreasesRe1) {
+  RegularizedClientDefense defense(options_);
+  CompleteMining(defense);
+  std::vector<LabeledItem> batch = {{5, 1.0}, {7, 0.0}};
+
+  double re1_before = defense.ComputeRe1(global_, batch);
+  ClientUpdate upd;
+  defense.ApplyRegularizers(global_, user_, batch, nullptr, &upd);
+  // Apply the uploaded gradients as the server would (lr 1, sum).
+  GlobalModel after = global_;
+  for (const auto& [item, grad] : upd.item_grads) {
+    after.item_embeddings.AxpyRow(static_cast<size_t>(item), -1.0, grad);
+  }
+  double re1_after = defense.ComputeRe1(after, batch);
+  // L_def = L − β·Re1: the defense step must raise Re1 (more confusion
+  // between popular and unpopular features).
+  EXPECT_GT(re1_after, re1_before);
+}
+
+TEST_F(RegularizedDefenseFixture, Re2GradientIncreasesRe2) {
+  RegularizedClientDefense defense(options_);
+  CompleteMining(defense);
+  std::vector<LabeledItem> batch = {{5, 1.0}};
+
+  double re2_before = defense.ComputeRe2(global_, user_);
+  Vec grad_u = Zeros(user_.size());
+  defense.ApplyRegularizers(global_, user_, batch, &grad_u, nullptr);
+  Vec user_after = user_;
+  Axpy(-1.0, grad_u, user_after);
+  double re2_after = defense.ComputeRe2(global_, user_after);
+  // The user step must push the user away from popular items (larger KL).
+  EXPECT_GT(re2_after, re2_before);
+}
+
+TEST_F(RegularizedDefenseFixture, AblationSwitchesDisableTerms) {
+  options_.enable_re1 = false;
+  RegularizedClientDefense defense(options_);
+  CompleteMining(defense);
+  std::vector<LabeledItem> batch = {{5, 1.0}};
+  ClientUpdate upd;
+  Vec grad_u = Zeros(user_.size());
+  defense.ApplyRegularizers(global_, user_, batch, &grad_u, &upd);
+  // Re1 off: no gradient for the unpopular batch item; Re2 still
+  // uploads separation gradients for the mined popular items.
+  EXPECT_EQ(upd.FindItemGrad(5), nullptr);
+  EXPECT_GT(Norm2(grad_u), 0.0);  // Re2 still active on the user side
+
+  options_.enable_re1 = true;
+  options_.enable_re2 = false;
+  RegularizedClientDefense defense2(options_);
+  Rng fresh(91);
+  global_ = model_->InitGlobalModel(12, fresh);  // fresh model
+  CompleteMining(defense2);
+  ClientUpdate upd2;
+  Vec grad_u2 = Zeros(user_.size());
+  defense2.ApplyRegularizers(global_, user_, batch, &grad_u2, &upd2);
+  EXPECT_NE(upd2.FindItemGrad(5), nullptr);  // Re1 active on batch item
+  EXPECT_DOUBLE_EQ(Norm2(grad_u2), 0.0);  // Re2 off: user grad untouched
+}
+
+TEST_F(RegularizedDefenseFixture, ZeroWeightsAreNoOps) {
+  options_.beta = 0.0;
+  options_.gamma = 0.0;
+  RegularizedClientDefense defense(options_);
+  CompleteMining(defense);
+  std::vector<LabeledItem> batch = {{5, 1.0}};
+  ClientUpdate upd;
+  Vec grad_u = Zeros(user_.size());
+  defense.ApplyRegularizers(global_, user_, batch, &grad_u, &upd);
+  EXPECT_TRUE(upd.item_grads.empty());
+  EXPECT_DOUBLE_EQ(Norm2(grad_u), 0.0);
+}
+
+TEST(DefenseNameTest, AllKindsNamed) {
+  EXPECT_STREQ(DefenseKindToString(DefenseKind::kOurs), "Ours");
+  EXPECT_STREQ(DefenseKindToString(DefenseKind::kBulyan), "Bulyan");
+  EXPECT_STREQ(DefenseKindToString(DefenseKind::kNoDefense), "NoDefense");
+}
+
+}  // namespace
+}  // namespace pieck

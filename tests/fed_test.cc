@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "fed/aggregator.h"
+#include "fed/client.h"
+#include "fed/server.h"
+#include "model/mf_model.h"
+
+namespace pieck {
+namespace {
+
+TEST(SumAggregatorTest, SumsCoordinateWise) {
+  SumAggregator agg;
+  Vec out = agg.Aggregate({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_DOUBLE_EQ(out[0], 9.0);
+  EXPECT_DOUBLE_EQ(out[1], 12.0);
+}
+
+TEST(MeanAggregatorTest, Averages) {
+  MeanAggregator agg;
+  Vec out = agg.Aggregate({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(ClientUpdateDistanceTest, DisjointItemsSumNorms) {
+  ClientUpdate a, b;
+  a.AccumulateItemGrad(0, {3, 0});
+  b.AccumulateItemGrad(1, {0, 4});
+  EXPECT_DOUBLE_EQ(ClientUpdateSquaredDistance(a, b), 25.0);
+}
+
+TEST(ClientUpdateDistanceTest, SharedItemsDiff) {
+  ClientUpdate a, b;
+  a.AccumulateItemGrad(0, {1, 1});
+  b.AccumulateItemGrad(0, {4, 5});
+  EXPECT_DOUBLE_EQ(ClientUpdateSquaredDistance(a, b), 9.0 + 16.0);
+}
+
+TEST(ClientUpdateDistanceTest, IdenticalIsZero) {
+  ClientUpdate a;
+  a.AccumulateItemGrad(0, {1, 2});
+  a.AccumulateItemGrad(7, {3, 4});
+  EXPECT_DOUBLE_EQ(ClientUpdateSquaredDistance(a, a), 0.0);
+}
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = std::make_unique<MfModel>(4);
+    Rng rng(71);
+    GlobalModel g = model_->InitGlobalModel(5, rng);
+    ServerConfig config;
+    config.learning_rate = 1.0;
+    config.users_per_round = 2;
+    server_ = std::make_unique<FederatedServer>(
+        *model_, std::move(g), config, std::make_unique<SumAggregator>());
+  }
+
+  std::unique_ptr<MfModel> model_;
+  std::unique_ptr<FederatedServer> server_;
+};
+
+TEST_F(ServerFixture, ApplyUpdatesMovesOnlyUploadedItems) {
+  GlobalModel before = server_->global();
+  ClientUpdate upd;
+  upd.AccumulateItemGrad(2, {1, 0, 0, 0});
+  server_->ApplyUpdates({upd});
+
+  const GlobalModel& after = server_->global();
+  EXPECT_DOUBLE_EQ(after.item_embeddings.At(2, 0),
+                   before.item_embeddings.At(2, 0) - 1.0);
+  // Untouched items identical.
+  for (int j : {0, 1, 3, 4}) {
+    EXPECT_EQ(after.item_embeddings.Row(static_cast<size_t>(j)),
+              before.item_embeddings.Row(static_cast<size_t>(j)));
+  }
+}
+
+TEST_F(ServerFixture, SumAggregationAcrossClients) {
+  GlobalModel before = server_->global();
+  ClientUpdate a, b;
+  a.AccumulateItemGrad(0, {1, 0, 0, 0});
+  b.AccumulateItemGrad(0, {2, 0, 0, 0});
+  server_->ApplyUpdates({a, b});
+  EXPECT_DOUBLE_EQ(server_->global().item_embeddings.At(0, 0),
+                   before.item_embeddings.At(0, 0) - 3.0);
+}
+
+/// An UpdateFilter that keeps only the first update; verifies the
+/// filter stage is honored.
+class KeepFirstFilter : public UpdateFilter {
+ public:
+  std::string name() const override { return "KeepFirst"; }
+  std::vector<int> Select(
+      const std::vector<ClientUpdate>& updates) const override {
+    return updates.empty() ? std::vector<int>{} : std::vector<int>{0};
+  }
+};
+
+TEST(ServerFilterTest, FilterStageDropsUpdates) {
+  MfModel model(4);
+  Rng rng(73);
+  GlobalModel g = model.InitGlobalModel(3, rng);
+  GlobalModel before = g;
+  ServerConfig config;
+  FederatedServer server(model, std::move(g), config,
+                         std::make_unique<SumAggregator>(),
+                         std::make_unique<KeepFirstFilter>());
+  ClientUpdate a, b;
+  a.AccumulateItemGrad(0, {1, 0, 0, 0});
+  b.AccumulateItemGrad(0, {100, 0, 0, 0});  // must be filtered out
+  server.ApplyUpdates({a, b});
+  EXPECT_DOUBLE_EQ(server.global().item_embeddings.At(0, 0),
+                   before.item_embeddings.At(0, 0) - 1.0);
+}
+
+/// A scripted client used to observe server-side sampling behavior.
+class ScriptedClient : public ClientInterface {
+ public:
+  explicit ScriptedClient(bool malicious = false) : malicious_(malicious) {}
+  bool is_malicious() const override { return malicious_; }
+  ClientUpdate ParticipateRound(const GlobalModel&, int) override {
+    ++participations_;
+    return {};
+  }
+  int participations() const { return participations_; }
+
+ private:
+  bool malicious_;
+  int participations_ = 0;
+};
+
+TEST_F(ServerFixture, RunRoundSamplesRequestedCount) {
+  std::vector<ScriptedClient> clients(10);
+  std::vector<ClientInterface*> ptrs;
+  for (auto& c : clients) ptrs.push_back(&c);
+  Rng rng(79);
+  RoundStats stats = server_->RunRound(ptrs, 0, rng);
+  EXPECT_EQ(stats.num_selected, 2);
+  int total = 0;
+  for (const auto& c : clients) total += c.participations();
+  EXPECT_EQ(total, 2);
+}
+
+TEST_F(ServerFixture, RunRoundCountsMalicious) {
+  ScriptedClient benign(false);
+  ScriptedClient malicious(true);
+  std::vector<ClientInterface*> ptrs = {&benign, &malicious};
+  Rng rng(83);
+  RoundStats stats = server_->RunRound(ptrs, 0, rng);
+  EXPECT_EQ(stats.num_selected, 2);
+  EXPECT_EQ(stats.num_malicious_selected, 1);
+}
+
+TEST(BenignClientTest, TrainsUserEmbeddingLocally) {
+  SyntheticConfig dconf = MovieLens100KConfig(0.05);
+  auto ds = GenerateSynthetic(dconf);
+  ASSERT_TRUE(ds.ok());
+  MfModel model(8);
+  Rng rng(89);
+  GlobalModel g = model.InitGlobalModel(ds->num_items(), rng);
+
+  BenignClient client(0, model, *ds, NegativeSampler(1.0), LossKind::kBce,
+                      /*local_lr=*/1.0, rng.Fork(), nullptr);
+  Vec before = client.user_embedding();
+  ClientUpdate upd = client.ParticipateRound(g, 0);
+  EXPECT_NE(client.user_embedding(), before);  // local personalized step
+  EXPECT_FALSE(upd.item_grads.empty());
+  EXPECT_GT(client.last_loss(), 0.0);
+}
+
+TEST(BenignClientTest, UploadsGradsOnlyForBatchItems) {
+  SyntheticConfig dconf = MovieLens100KConfig(0.05);
+  auto ds = GenerateSynthetic(dconf);
+  ASSERT_TRUE(ds.ok());
+  MfModel model(8);
+  Rng rng(97);
+  GlobalModel g = model.InitGlobalModel(ds->num_items(), rng);
+
+  BenignClient client(3, model, *ds, NegativeSampler(1.0), LossKind::kBce,
+                      1.0, rng.Fork(), nullptr);
+  ClientUpdate upd = client.ParticipateRound(g, 0);
+  // All positives of the user must be present in the upload.
+  for (int item : ds->ItemsOf(3)) {
+    EXPECT_NE(upd.FindItemGrad(item), nullptr) << "positive " << item;
+  }
+  // Upload size is |D+| + |D-| with q = 1 (up to pool limits).
+  EXPECT_LE(upd.item_grads.size(), 2 * ds->ItemsOf(3).size());
+  EXPECT_FALSE(upd.interaction_grads.active);  // MF has no Ψ params
+}
+
+TEST(BenignClientTest, BprLossAlsoTrains) {
+  SyntheticConfig dconf = MovieLens100KConfig(0.05);
+  auto ds = GenerateSynthetic(dconf);
+  ASSERT_TRUE(ds.ok());
+  MfModel model(8);
+  Rng rng(101);
+  GlobalModel g = model.InitGlobalModel(ds->num_items(), rng);
+  BenignClient client(0, model, *ds, NegativeSampler(1.0), LossKind::kBpr,
+                      1.0, rng.Fork(), nullptr);
+  ClientUpdate upd = client.ParticipateRound(g, 0);
+  EXPECT_FALSE(upd.item_grads.empty());
+}
+
+}  // namespace
+}  // namespace pieck

@@ -1,0 +1,196 @@
+// End-to-end simulations at reduced scale: federated training converges,
+// PIECK raises exposure, the regularization defense suppresses it, and
+// everything is deterministic in the seed. Configurations are kept tiny
+// so the whole suite stays fast on one core.
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+
+namespace pieck {
+namespace {
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.dataset = MovieLens100KConfig(0.12);  // ~113 users, ~200 items
+  config.model_kind = ModelKind::kMatrixFactorization;
+  config.embedding_dim = 8;
+  config.rounds = 60;
+  config.users_per_round = 30;
+  config.attack = AttackKind::kNone;
+  config.seed = 4242;
+  return config;
+}
+
+TEST(SimulationTest, CreateWiresEverything) {
+  auto sim = Simulation::Create(TinyConfig());
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  EXPECT_EQ((*sim)->train().num_users(),
+            static_cast<int>((*sim)->benign_views().size()));
+  EXPECT_EQ((*sim)->num_malicious(), 0);  // NoAttack
+  EXPECT_EQ((*sim)->targets().size(), 1u);
+}
+
+TEST(SimulationTest, MaliciousPopulationMatchesFraction) {
+  ExperimentConfig config = TinyConfig();
+  config.attack = AttackKind::kPieckUea;
+  config.malicious_fraction = 0.10;
+  auto sim = Simulation::Create(config);
+  ASSERT_TRUE(sim.ok());
+  int benign = (*sim)->train().num_users();
+  int mal = (*sim)->num_malicious();
+  double fraction = static_cast<double>(mal) / (benign + mal);
+  EXPECT_NEAR(fraction, 0.10, 0.02);
+}
+
+TEST(SimulationTest, TrainingImprovesHitRatio) {
+  auto sim = Simulation::Create(TinyConfig());
+  ASSERT_TRUE(sim.ok());
+  double hr_before = (*sim)->EvaluateHr(10);
+  (*sim)->RunRounds(60);
+  double hr_after = (*sim)->EvaluateHr(10);
+  EXPECT_GT(hr_after, hr_before + 0.1);
+}
+
+TEST(SimulationTest, ExplicitTargetsRespected) {
+  ExperimentConfig config = TinyConfig();
+  config.target_selection = TargetSelection::kExplicit;
+  config.explicit_targets = {5, 9};
+  auto sim = Simulation::Create(config);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ((*sim)->targets(), (std::vector<int>{5, 9}));
+}
+
+TEST(SimulationTest, ColdTargetsComeFromColdHalf) {
+  ExperimentConfig config = TinyConfig();
+  config.num_targets = 3;
+  auto sim = Simulation::Create(config);
+  ASSERT_TRUE(sim.ok());
+  std::vector<int> rank = (*sim)->train().PopularityRank();
+  for (int t : (*sim)->targets()) {
+    EXPECT_GE(rank[static_cast<size_t>(t)],
+              (*sim)->train().num_items() / 2);
+  }
+}
+
+TEST(SimulationTest, RejectsBadConfigs) {
+  ExperimentConfig config = TinyConfig();
+  config.malicious_fraction = 1.0;
+  config.attack = AttackKind::kPieckIpe;
+  EXPECT_FALSE(Simulation::Create(config).ok());
+}
+
+TEST(RunExperimentTest, DeterministicInSeed) {
+  ExperimentConfig config = TinyConfig();
+  config.rounds = 25;
+  config.attack = AttackKind::kPieckUea;
+  auto a = RunExperiment(config);
+  auto b = RunExperiment(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->er_at_k, b->er_at_k);
+  EXPECT_DOUBLE_EQ(a->hr_at_k, b->hr_at_k);
+  EXPECT_EQ(a->target_items, b->target_items);
+}
+
+TEST(RunExperimentTest, HistoryRecordedAtEvalCadence) {
+  ExperimentConfig config = TinyConfig();
+  config.rounds = 30;
+  config.eval_every = 10;
+  auto result = RunExperiment(config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->er_history.size(), 3u);
+  EXPECT_EQ(result->er_history[0].first, 10);
+  EXPECT_EQ(result->er_history[2].first, 30);
+  EXPECT_EQ(result->rounds_run, 30);
+  EXPECT_GT(result->seconds_per_round, 0.0);
+}
+
+TEST(AttackIntegrationTest, UeaRaisesExposureOverNoAttack) {
+  ExperimentConfig config = TinyConfig();
+  config.rounds = 80;
+  auto baseline = RunExperiment(config);
+  ASSERT_TRUE(baseline.ok());
+
+  config.attack = AttackKind::kPieckUea;
+  config.attack_config.mined_top_n = 10;
+  auto attacked = RunExperiment(config);
+  ASSERT_TRUE(attacked.ok());
+
+  EXPECT_GT(attacked->er_at_k, baseline->er_at_k + 0.3);
+  // Recommendation performance must stay comparable (stealthiness).
+  EXPECT_GT(attacked->hr_at_k, baseline->hr_at_k - 0.15);
+}
+
+TEST(AttackIntegrationTest, IpeRaisesExposureOverNoAttack) {
+  ExperimentConfig config = TinyConfig();
+  config.rounds = 80;
+  auto baseline = RunExperiment(config);
+  ASSERT_TRUE(baseline.ok());
+
+  config.attack = AttackKind::kPieckIpe;
+  auto attacked = RunExperiment(config);
+  ASSERT_TRUE(attacked.ok());
+  EXPECT_GT(attacked->er_at_k, baseline->er_at_k + 0.3);
+}
+
+TEST(DefenseIntegrationTest, OursSuppressesUea) {
+  ExperimentConfig config = TinyConfig();
+  config.rounds = 80;
+  config.attack = AttackKind::kPieckUea;
+  auto undefended = RunExperiment(config);
+  ASSERT_TRUE(undefended.ok());
+
+  config.defense = DefenseKind::kOurs;
+  auto defended = RunExperiment(config);
+  ASSERT_TRUE(defended.ok());
+
+  EXPECT_LT(defended->er_at_k, undefended->er_at_k * 0.3);
+  // The defense must not destroy recommendation quality.
+  EXPECT_GT(defended->hr_at_k, 0.2);
+}
+
+TEST(DefenseIntegrationTest, KrumTrainsSlowlyButFiltersPoison) {
+  ExperimentConfig config = TinyConfig();
+  config.rounds = 60;
+  config.attack = AttackKind::kPieckUea;
+  config.defense = DefenseKind::kKrum;
+  auto result = RunExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->er_at_k, 0.2);
+}
+
+TEST(DlIntegrationTest, NcfTrainsAndUeaSucceeds) {
+  ExperimentConfig config = TinyConfig();
+  config.model_kind = ModelKind::kNeuralCf;
+  config.rounds = 80;
+  config.attack = AttackKind::kPieckUea;
+  auto result = RunExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->er_at_k, 0.5);
+  EXPECT_GT(result->hr_at_k, 0.2);
+}
+
+TEST(BprIntegrationTest, AttackWorksUnderBprLoss) {
+  ExperimentConfig config = TinyConfig();
+  config.loss = LossKind::kBpr;
+  config.rounds = 80;
+  config.attack = AttackKind::kPieckUea;
+  auto result = RunExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->er_at_k, 0.3);
+}
+
+TEST(MultiTargetIntegrationTest, TrainOneThenCopyPromotesAllTargets) {
+  ExperimentConfig config = TinyConfig();
+  config.rounds = 80;
+  config.attack = AttackKind::kPieckUea;
+  config.num_targets = 3;
+  config.attack_config.multi_target = MultiTargetStrategy::kTrainOneThenCopy;
+  auto result = RunExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->target_items.size(), 3u);
+  EXPECT_GT(result->er_at_k, 0.3);
+}
+
+}  // namespace
+}  // namespace pieck

@@ -1,0 +1,122 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "data/synthetic.h"
+
+namespace pieck {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/pieck_io_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, LoadsMovieLensStyleTsv) {
+  std::string path = TempPath("u.data");
+  // user item rating timestamp, 1-based ids (real u.data layout).
+  WriteFile(path,
+            "1\t3\t5\t881250949\n"
+            "1\t2\t3\t881250950\n"
+            "2\t3\t4\t881250951\n");
+  InteractionFileFormat format;  // defaults fit u.data
+  auto ds = LoadInteractionFile(path, format);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->num_users(), 2);
+  EXPECT_EQ(ds->num_items(), 3);
+  EXPECT_EQ(ds->num_interactions(), 3);
+  EXPECT_TRUE(ds->Interacted(0, 2));
+  EXPECT_TRUE(ds->Interacted(1, 2));
+}
+
+TEST_F(IoTest, RatingThresholdFiltersRows) {
+  std::string path = TempPath("rated.tsv");
+  WriteFile(path,
+            "1\t1\t5\n"
+            "1\t2\t1\n"
+            "2\t1\t2\n");
+  InteractionFileFormat format;
+  format.rating_column = 2;
+  format.min_rating = 3.0;
+  auto ds = LoadInteractionFile(path, format);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_interactions(), 1);
+  EXPECT_TRUE(ds->Interacted(0, 0));
+}
+
+TEST_F(IoTest, HandlesMl1mDoubleColonSeparator) {
+  std::string path = TempPath("ratings.dat");
+  WriteFile(path, "1::10::4::978300760\n2::11::5::978300761\n");
+  InteractionFileFormat format;
+  format.separator = ':';  // "::" yields empty fields that are dropped
+  auto ds = LoadInteractionFile(path, format);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->num_interactions(), 2);
+  EXPECT_TRUE(ds->Interacted(0, 9));
+  EXPECT_TRUE(ds->Interacted(1, 10));
+}
+
+TEST_F(IoTest, SkipsCommentsAndBlankLines) {
+  std::string path = TempPath("commented.tsv");
+  WriteFile(path, "# header\n\n1\t1\t5\t0\n");
+  auto ds = LoadInteractionFile(path, InteractionFileFormat{});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_interactions(), 1);
+}
+
+TEST_F(IoTest, ErrorsOnMissingFile) {
+  auto ds = LoadInteractionFile(TempPath("missing.tsv"),
+                                InteractionFileFormat{});
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, ErrorsOnTooFewFields) {
+  std::string path = TempPath("short.tsv");
+  WriteFile(path, "1\n");
+  auto ds = LoadInteractionFile(path, InteractionFileFormat{});
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, ErrorsOnEmptyFile) {
+  std::string path = TempPath("empty.tsv");
+  WriteFile(path, "# nothing but comments\n");
+  auto ds = LoadInteractionFile(path, InteractionFileFormat{});
+  EXPECT_FALSE(ds.ok());
+}
+
+TEST_F(IoTest, SaveLoadRoundTrip) {
+  auto original = GenerateSynthetic(MovieLens100KConfig(0.05));
+  ASSERT_TRUE(original.ok());
+  std::string path = TempPath("roundtrip.tsv");
+  ASSERT_TRUE(SaveInteractionFile(*original, path).ok());
+
+  InteractionFileFormat format;
+  format.one_based_ids = false;
+  auto loaded = LoadInteractionFile(path, format);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_interactions(), original->num_interactions());
+  for (int u = 0; u < loaded->num_users(); ++u) {
+    EXPECT_EQ(loaded->ItemsOf(u), original->ItemsOf(u)) << "user " << u;
+  }
+}
+
+TEST_F(IoTest, ErrorsOnZeroIdWithOneBasedConvention) {
+  std::string path = TempPath("zero_id.tsv");
+  WriteFile(path, "0\t1\t5\t0\n");
+  auto ds = LoadInteractionFile(path, InteractionFileFormat{});
+  EXPECT_FALSE(ds.ok());
+}
+
+}  // namespace
+}  // namespace pieck

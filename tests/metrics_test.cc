@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/report.h"
+#include "data/synthetic.h"
+#include "fed/client.h"
+#include "metrics/evaluation.h"
+#include "model/mf_model.h"
+
+namespace pieck {
+namespace {
+
+constexpr int kDim = 4;
+
+/// Fixture with a tiny deterministic world: a few benign clients whose
+/// embeddings we can steer so top-K lists are predictable.
+class MetricsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = Dataset::FromInteractions(
+        3, 5, {{0, 0}, {0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 2}});
+    ASSERT_TRUE(ds.ok());
+    train_ = std::make_unique<Dataset>(std::move(*ds));
+    model_ = std::make_unique<MfModel>(kDim);
+    Rng rng(3);
+    global_ = model_->InitGlobalModel(5, rng);
+    for (int u = 0; u < 3; ++u) {
+      clients_.push_back(std::make_unique<BenignClient>(
+          u, *model_, *train_, NegativeSampler(1.0), LossKind::kBce, 1.0,
+          rng.Fork(), nullptr));
+      views_.push_back(clients_.back().get());
+    }
+  }
+
+  /// Makes `item`'s embedding hugely aligned with every user so it tops
+  /// all score lists.
+  void BoostItem(int item) {
+    Vec v(kDim, 0.0);
+    for (const auto* c : views_) {
+      Axpy(10.0, c->user_embedding(), v);
+    }
+    global_.item_embeddings.SetRow(static_cast<size_t>(item), v);
+  }
+
+  std::unique_ptr<Dataset> train_;
+  std::unique_ptr<MfModel> model_;
+  GlobalModel global_;
+  std::vector<std::unique_ptr<BenignClient>> clients_;
+  std::vector<const BenignClient*> views_;
+};
+
+TEST_F(MetricsFixture, ErIsZeroForBuriedItem) {
+  // Make item 4 maximally repulsive for everyone.
+  Vec v(kDim, 0.0);
+  for (const auto* c : views_) Axpy(-10.0, c->user_embedding(), v);
+  global_.item_embeddings.SetRow(4, v);
+  double er = ExposureRatioAtK(*model_, global_, views_, *train_, {4},
+                               /*k=*/1);
+  EXPECT_DOUBLE_EQ(er, 0.0);
+}
+
+TEST_F(MetricsFixture, ErIsOneForBoostedItem) {
+  BoostItem(4);
+  double er = ExposureRatioAtK(*model_, global_, views_, *train_, {4}, 1);
+  EXPECT_DOUBLE_EQ(er, 1.0);
+}
+
+TEST_F(MetricsFixture, ErExcludesUsersWhoInteracted) {
+  // Item 0 was interacted by users 0 and 1; only user 2 counts.
+  BoostItem(0);
+  double er = ExposureRatioAtK(*model_, global_, views_, *train_, {0}, 1);
+  EXPECT_DOUBLE_EQ(er, 1.0);  // user 2 sees it at rank 1
+}
+
+TEST_F(MetricsFixture, ErAveragesOverTargets) {
+  BoostItem(4);
+  // Item 3 stays random (likely not rank-1), item 4 is boosted.
+  double er_both =
+      ExposureRatioAtK(*model_, global_, views_, *train_, {4, 3}, 1);
+  EXPECT_GE(er_both, 0.5);
+  EXPECT_LE(er_both, 1.0);
+}
+
+TEST_F(MetricsFixture, HitRatioPerfectWhenTestItemBoosted) {
+  BoostItem(3);
+  std::vector<int> test_items = {3, 3, 3};
+  double hr = HitRatioAtK(*model_, global_, views_, *train_, test_items,
+                          /*k=*/1, /*num_negatives=*/2, /*seed=*/7);
+  EXPECT_DOUBLE_EQ(hr, 1.0);
+}
+
+TEST_F(MetricsFixture, HitRatioSkipsUsersWithoutTestItem) {
+  std::vector<int> test_items = {-1, -1, -1};
+  double hr = HitRatioAtK(*model_, global_, views_, *train_, test_items, 1,
+                          2, 7);
+  EXPECT_DOUBLE_EQ(hr, 0.0);
+}
+
+TEST_F(MetricsFixture, HitRatioDeterministicInSeed) {
+  std::vector<int> test_items = {0, 2, 1};
+  double a = HitRatioAtK(*model_, global_, views_, *train_, test_items, 2, 3,
+                         11);
+  double b = HitRatioAtK(*model_, global_, views_, *train_, test_items, 2, 3,
+                         11);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(MetricsFixture, UcrCountsCoveredUsers) {
+  // Item 0 covers users 0 and 1 -> 2/3.
+  EXPECT_NEAR(UserCoverageRatio(*train_, {0}), 2.0 / 3.0, 1e-12);
+  // Items {0, 1} cover everyone.
+  EXPECT_DOUBLE_EQ(UserCoverageRatio(*train_, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(UserCoverageRatio(*train_, {}), 0.0);
+}
+
+TEST_F(MetricsFixture, PklIsSmallForIdenticalDistributions) {
+  // Make item 0's embedding identical to the probed user's embedding:
+  // the pairwise KL over that single pair must vanish.
+  global_.item_embeddings.SetRow(0, views_[0]->user_embedding());
+  double pkl = PairwiseKlDivergence(global_, {views_[0]}, *train_, {0});
+  EXPECT_NEAR(pkl, 0.0, 1e-9);
+}
+
+TEST_F(MetricsFixture, PklPositiveForDifferentDistributions) {
+  Vec v(kDim);
+  for (int c = 0; c < kDim; ++c) v[static_cast<size_t>(c)] = c * 3.0 - 4.0;
+  global_.item_embeddings.SetRow(0, v);
+  double pkl = PairwiseKlDivergence(global_, views_, *train_, {0});
+  EXPECT_GT(pkl, 0.0);
+}
+
+TEST_F(MetricsFixture, MeanScoreForItemInUnitRange) {
+  double s = MeanScoreForItem(*model_, global_, views_, 2);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(TopDeltaNormTest, MapsToPopularityRanks) {
+  auto ds = Dataset::FromInteractions(
+      2, 4, {{0, 0}, {1, 0}, {0, 1}});  // popularity: 0 > 1 > {2, 3}
+  ASSERT_TRUE(ds.ok());
+  Vec delta = {0.1, 5.0, 0.0, 2.0};  // Δ-norm order: 1, 3, 0, 2
+  std::vector<int> ranks = TopDeltaNormPopularityRanks(delta, *ds, 2);
+  ASSERT_EQ(ranks.size(), 2u);
+  EXPECT_EQ(ranks[0], 1);  // item 1 has popularity rank 1
+  EXPECT_EQ(ranks[1], 3);  // item 3 has popularity rank 3
+}
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "2.5"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| long-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace pieck

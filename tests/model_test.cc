@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "model/losses.h"
+#include "model/mf_model.h"
+#include "model/ncf_model.h"
+#include "model/rec_model.h"
+#include "tensor/grad_check.h"
+#include "tensor/math.h"
+
+namespace pieck {
+namespace {
+
+constexpr int kDim = 6;
+
+struct ModelCase {
+  ModelKind kind;
+  const char* name;
+};
+
+class RecModelSuite : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  void SetUp() override {
+    model_ = MakeModel(GetParam().kind, kDim);
+    Rng rng(17);
+    global_ = model_->InitGlobalModel(/*num_items=*/8, rng);
+    user_ = model_->InitUserEmbedding(rng);
+  }
+
+  std::unique_ptr<RecModel> model_;
+  GlobalModel global_;
+  Vec user_;
+};
+
+TEST_P(RecModelSuite, InitShapes) {
+  EXPECT_EQ(global_.num_items(), 8);
+  EXPECT_EQ(global_.dim(), kDim);
+  EXPECT_EQ(static_cast<int>(user_.size()), kDim);
+  EXPECT_EQ(model_->has_learnable_interaction(),
+            GetParam().kind == ModelKind::kNeuralCf);
+  EXPECT_EQ(global_.has_interaction_params(),
+            model_->has_learnable_interaction());
+}
+
+TEST_P(RecModelSuite, ScoreProbInUnitInterval) {
+  for (int j = 0; j < global_.num_items(); ++j) {
+    Vec v = global_.item_embeddings.Row(static_cast<size_t>(j));
+    double p = model_->ScoreProb(global_, user_, v);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST_P(RecModelSuite, ForwardDeterministic) {
+  Vec v = global_.item_embeddings.Row(0);
+  EXPECT_DOUBLE_EQ(model_->Forward(global_, user_, v, nullptr),
+                   model_->Forward(global_, user_, v, nullptr));
+}
+
+TEST_P(RecModelSuite, GradientWrtItemMatchesNumeric) {
+  Rng rng(23);
+  Vec v = global_.item_embeddings.Row(1);
+  ForwardCache cache;
+  for (double label : {0.0, 1.0}) {
+    double logit = model_->Forward(global_, user_, v, &cache);
+    double dlogit = BceGradFromLogit(label, logit);
+    Vec grad_v = Zeros(v.size());
+    model_->Backward(global_, user_, v, cache, dlogit, nullptr, &grad_v,
+                     nullptr);
+    double err = MaxRelativeGradError(
+        [&](const Vec& x) {
+          return BceLossFromLogit(label,
+                                  model_->Forward(global_, user_, x, nullptr));
+        },
+        v, grad_v, 1e-6);
+    EXPECT_LT(err, 1e-4) << "label " << label;
+  }
+}
+
+TEST_P(RecModelSuite, GradientWrtUserMatchesNumeric) {
+  Vec v = global_.item_embeddings.Row(2);
+  ForwardCache cache;
+  double logit = model_->Forward(global_, user_, v, &cache);
+  double dlogit = BceGradFromLogit(1.0, logit);
+  Vec grad_u = Zeros(user_.size());
+  model_->Backward(global_, user_, v, cache, dlogit, &grad_u, nullptr,
+                   nullptr);
+  double err = MaxRelativeGradError(
+      [&](const Vec& x) {
+        return BceLossFromLogit(1.0, model_->Forward(global_, x, v, nullptr));
+      },
+      user_, grad_u, 1e-6);
+  EXPECT_LT(err, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, RecModelSuite,
+    ::testing::Values(ModelCase{ModelKind::kMatrixFactorization, "mf"},
+                      ModelCase{ModelKind::kNeuralCf, "ncf"}),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(MfModelTest, LogitIsDotProduct) {
+  MfModel model(3);
+  GlobalModel g;
+  Vec u = {1, 2, 3};
+  Vec v = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(model.Forward(g, u, v, nullptr), 32.0);
+}
+
+TEST(NcfModelTest, InteractionGradientsMatchNumeric) {
+  NcfModel model(4, {4, 2});
+  Rng rng(31);
+  GlobalModel g = model.InitGlobalModel(3, rng);
+  Vec u = model.InitUserEmbedding(rng);
+  Vec v = g.item_embeddings.Row(0);
+
+  ForwardCache cache;
+  double logit = model.Forward(g, u, v, &cache);
+  double dlogit = BceGradFromLogit(1.0, logit);
+  InteractionGrads igrads = InteractionGrads::ZerosLike(g);
+  model.Backward(g, u, v, cache, dlogit, nullptr, nullptr, &igrads);
+
+  // Check the projection-vector gradient numerically.
+  Vec analytic_h = igrads.projection;
+  GlobalModel probe = g;
+  double err = MaxRelativeGradError(
+      [&](const Vec& h) {
+        probe.projection = h;
+        return BceLossFromLogit(1.0, model.Forward(probe, u, v, nullptr));
+      },
+      g.projection, analytic_h, 1e-6);
+  EXPECT_LT(err, 1e-4);
+
+  // Check the first-layer bias gradient numerically.
+  Vec analytic_b0 = igrads.biases[0];
+  probe = g;
+  err = MaxRelativeGradError(
+      [&](const Vec& b0) {
+        probe.mlp_biases[0] = b0;
+        return BceLossFromLogit(1.0, model.Forward(probe, u, v, nullptr));
+      },
+      g.mlp_biases[0], analytic_b0, 1e-6);
+  EXPECT_LT(err, 1e-4);
+
+  // Spot-check a first-layer weight row via flattening.
+  Vec w0_row0 = igrads.weights[0].Row(0);
+  probe = g;
+  Vec w_orig = g.mlp_weights[0].Row(0);
+  err = MaxRelativeGradError(
+      [&](const Vec& row) {
+        probe.mlp_weights[0].SetRow(0, row);
+        return BceLossFromLogit(1.0, model.Forward(probe, u, v, nullptr));
+      },
+      w_orig, w0_row0, 1e-6);
+  EXPECT_LT(err, 1e-4);
+}
+
+TEST(NcfModelTest, DefaultTowerWhenHiddenEmpty) {
+  NcfModel model(8, {});
+  ASSERT_EQ(model.hidden_dims().size(), 2u);
+  EXPECT_EQ(model.hidden_dims()[0], 8);
+  EXPECT_EQ(model.hidden_dims()[1], 4);
+}
+
+TEST(InteractionGradsTest, FlattenUnflattenRoundTrip) {
+  NcfModel model(4, {3, 2});
+  Rng rng(41);
+  GlobalModel g = model.InitGlobalModel(2, rng);
+  InteractionGrads grads = InteractionGrads::ZerosLike(g);
+  // Fill with recognizable values.
+  double c = 0.5;
+  for (auto& w : grads.weights) {
+    for (auto& v : w.data()) v = c += 1.0;
+  }
+  for (auto& b : grads.biases) {
+    for (auto& v : b) v = c += 1.0;
+  }
+  for (auto& v : grads.projection) v = c += 1.0;
+
+  Vec flat = grads.Flatten();
+  InteractionGrads copy = InteractionGrads::ZerosLike(g);
+  copy.Unflatten(flat);
+  EXPECT_EQ(copy.Flatten(), flat);
+  EXPECT_DOUBLE_EQ(copy.SquaredNorm(), grads.SquaredNorm());
+}
+
+TEST(InteractionGradsTest, InactiveForMf) {
+  MfModel model(4);
+  Rng rng(43);
+  GlobalModel g = model.InitGlobalModel(2, rng);
+  InteractionGrads grads = InteractionGrads::ZerosLike(g);
+  EXPECT_FALSE(grads.active);
+}
+
+TEST(ClientUpdateTest, AccumulateAndFind) {
+  ClientUpdate upd;
+  upd.AccumulateItemGrad(5, {1, 1});
+  upd.AccumulateItemGrad(2, {2, 2});
+  upd.AccumulateItemGrad(5, {3, 3});
+  ASSERT_EQ(upd.item_grads.size(), 2u);
+  EXPECT_EQ(upd.item_grads[0].first, 2);  // sorted by item
+  const Vec* g5 = upd.FindItemGrad(5);
+  ASSERT_NE(g5, nullptr);
+  EXPECT_DOUBLE_EQ((*g5)[0], 4.0);
+  EXPECT_EQ(upd.FindItemGrad(99), nullptr);
+}
+
+TEST(LossTest, BceBatchLossDecreasesWithTraining) {
+  MfModel model(kDim);
+  Rng rng(51);
+  GlobalModel g = model.InitGlobalModel(10, rng);
+  Vec u = model.InitUserEmbedding(rng);
+  std::vector<LabeledItem> batch = {{0, 1.0}, {1, 1.0}, {2, 0.0}, {3, 0.0}};
+
+  double first_loss = 0.0;
+  for (int step = 0; step < 50; ++step) {
+    Vec grad_u = Zeros(u.size());
+    ClientUpdate upd;
+    double loss =
+        BceBatchForwardBackward(model, g, u, batch, &grad_u, &upd, nullptr);
+    if (step == 0) first_loss = loss;
+    Axpy(-0.5, grad_u, u);
+    for (const auto& [item, grad] : upd.item_grads) {
+      g.item_embeddings.AxpyRow(static_cast<size_t>(item), -0.5, grad);
+    }
+  }
+  Vec grad_u = Zeros(u.size());
+  double final_loss =
+      BceBatchForwardBackward(model, g, u, batch, &grad_u, nullptr, nullptr);
+  EXPECT_LT(final_loss, first_loss * 0.5);
+}
+
+TEST(LossTest, BceGradientsMatchNumericOverBatch) {
+  MfModel model(kDim);
+  Rng rng(53);
+  GlobalModel g = model.InitGlobalModel(6, rng);
+  Vec u = model.InitUserEmbedding(rng);
+  std::vector<LabeledItem> batch = {{0, 1.0}, {1, 0.0}, {2, 0.0}};
+
+  Vec grad_u = Zeros(u.size());
+  BceBatchForwardBackward(model, g, u, batch, &grad_u, nullptr, nullptr);
+  double err = MaxRelativeGradError(
+      [&](const Vec& x) {
+        return BceBatchForwardBackward(model, g, x, batch, nullptr, nullptr,
+                                       nullptr);
+      },
+      u, grad_u, 1e-6);
+  EXPECT_LT(err, 1e-4);
+}
+
+TEST(LossTest, BprPushesPositiveAboveNegative) {
+  MfModel model(kDim);
+  Rng rng(57);
+  GlobalModel g = model.InitGlobalModel(4, rng);
+  Vec u = model.InitUserEmbedding(rng);
+  std::vector<LabeledItem> batch = {{0, 1.0}, {1, 0.0}};
+
+  for (int step = 0; step < 100; ++step) {
+    Vec grad_u = Zeros(u.size());
+    ClientUpdate upd;
+    BprBatchForwardBackward(model, g, u, batch, &grad_u, &upd, nullptr);
+    Axpy(-0.3, grad_u, u);
+    for (const auto& [item, grad] : upd.item_grads) {
+      g.item_embeddings.AxpyRow(static_cast<size_t>(item), -0.3, grad);
+    }
+  }
+  double pos = model.Forward(g, u, g.item_embeddings.Row(0), nullptr);
+  double neg = model.Forward(g, u, g.item_embeddings.Row(1), nullptr);
+  EXPECT_GT(pos, neg + 1.0);
+}
+
+TEST(LossTest, BprEmptySidesReturnZero) {
+  MfModel model(kDim);
+  Rng rng(59);
+  GlobalModel g = model.InitGlobalModel(4, rng);
+  Vec u = model.InitUserEmbedding(rng);
+  std::vector<LabeledItem> only_pos = {{0, 1.0}};
+  EXPECT_DOUBLE_EQ(
+      BprBatchForwardBackward(model, g, u, only_pos, nullptr, nullptr,
+                              nullptr),
+      0.0);
+  std::vector<LabeledItem> only_neg = {{0, 0.0}};
+  EXPECT_DOUBLE_EQ(
+      BprBatchForwardBackward(model, g, u, only_neg, nullptr, nullptr,
+                              nullptr),
+      0.0);
+}
+
+TEST(LossTest, EmptyBatchIsZeroLoss) {
+  MfModel model(kDim);
+  Rng rng(61);
+  GlobalModel g = model.InitGlobalModel(4, rng);
+  Vec u = model.InitUserEmbedding(rng);
+  EXPECT_DOUBLE_EQ(
+      BceBatchForwardBackward(model, g, u, {}, nullptr, nullptr, nullptr),
+      0.0);
+}
+
+TEST(ModelFactoryTest, KindNames) {
+  EXPECT_STREQ(ModelKindToString(ModelKind::kMatrixFactorization), "MF-FRS");
+  EXPECT_STREQ(ModelKindToString(ModelKind::kNeuralCf), "DL-FRS");
+}
+
+}  // namespace
+}  // namespace pieck

@@ -1,0 +1,275 @@
+// Property-style suites: invariants that must hold across parameter
+// sweeps rather than single examples — aggregation-rule algebra, attack
+// upload well-formedness across models and attack kinds, miner
+// statistics across dataset presets, and simulation-level conservation
+// properties.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "attack/attack.h"
+#include "attack/popular_item_miner.h"
+#include "common/rng.h"
+#include "core/simulation.h"
+#include "defense/robust_aggregators.h"
+#include "fed/aggregator.h"
+
+namespace pieck {
+namespace {
+
+// ---------------------------------------------------------------------
+// Aggregator algebra, swept over group sizes.
+
+class AggregatorProperties : public ::testing::TestWithParam<int> {
+ protected:
+  std::vector<Vec> RandomGrads(int n, size_t dim, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Vec> grads;
+    for (int i = 0; i < n; ++i) {
+      Vec g(dim);
+      for (double& v : g) v = rng.Normal(0.0, 1.0);
+      grads.push_back(std::move(g));
+    }
+    return grads;
+  }
+};
+
+TEST_P(AggregatorProperties, SumEqualsNTimesMean) {
+  auto grads = RandomGrads(GetParam(), 6, 11);
+  SumAggregator sum;
+  MeanAggregator mean;
+  Vec s = sum.Aggregate(grads);
+  Vec m = mean.Aggregate(grads);
+  for (size_t c = 0; c < s.size(); ++c) {
+    EXPECT_NEAR(s[c], m[c] * GetParam(), 1e-9);
+  }
+}
+
+TEST_P(AggregatorProperties, RobustRulesArePermutationInvariant) {
+  auto grads = RandomGrads(GetParam(), 5, 13);
+  auto shuffled = grads;
+  Rng rng(17);
+  rng.Shuffle(shuffled);
+
+  MedianAggregator median;
+  TrimmedMeanAggregator trimmed(0.2);
+  NormBoundAggregator nb(0.5);
+  for (Aggregator* agg :
+       std::vector<Aggregator*>{&median, &trimmed, &nb}) {
+    Vec a = agg->Aggregate(grads);
+    Vec b = agg->Aggregate(shuffled);
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_NEAR(a[c], b[c], 1e-9) << agg->name();
+    }
+  }
+}
+
+TEST_P(AggregatorProperties, IdenticalInputsAggregateToNTimesInput) {
+  Vec g = {0.5, -1.0, 2.0};
+  std::vector<Vec> grads(static_cast<size_t>(GetParam()), g);
+  MedianAggregator median;
+  TrimmedMeanAggregator trimmed(0.1);
+  for (Aggregator* agg : std::vector<Aggregator*>{&median, &trimmed}) {
+    Vec out = agg->Aggregate(grads);
+    for (size_t c = 0; c < g.size(); ++c) {
+      EXPECT_NEAR(out[c], g[c] * GetParam(), 1e-9) << agg->name();
+    }
+  }
+}
+
+TEST_P(AggregatorProperties, MedianBoundedByExtremesTimesN) {
+  auto grads = RandomGrads(GetParam(), 4, 19);
+  MedianAggregator median;
+  Vec out = median.Aggregate(grads);
+  for (size_t c = 0; c < out.size(); ++c) {
+    double lo = grads[0][c];
+    double hi = grads[0][c];
+    for (const Vec& g : grads) {
+      lo = std::min(lo, g[c]);
+      hi = std::max(hi, g[c]);
+    }
+    EXPECT_GE(out[c] / GetParam(), lo - 1e-12);
+    EXPECT_LE(out[c] / GetParam(), hi + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, AggregatorProperties,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33));
+
+// ---------------------------------------------------------------------
+// Attack upload well-formedness across (model, attack) combinations.
+
+struct AttackModelCase {
+  AttackKind attack;
+  ModelKind model;
+};
+
+class AttackUploadProperties
+    : public ::testing::TestWithParam<AttackModelCase> {};
+
+TEST_P(AttackUploadProperties, UploadsAreFiniteAndTargetOnlyForPieck) {
+  const AttackModelCase param = GetParam();
+  auto model = MakeModel(param.model, 8);
+  Rng rng(23);
+  GlobalModel g = model->InitGlobalModel(40, rng);
+  auto ds = GenerateSynthetic(MovieLens100KConfig(0.05));
+  ASSERT_TRUE(ds.ok());
+
+  AttackConfig config;
+  config.target_items = {39};
+  config.mining_rounds = 1;
+  config.mined_top_n = 5;
+  auto attack = MakeAttack(param.attack, *model, config, &*ds, 7);
+  ASSERT_NE(attack, nullptr);
+
+  // Several rounds with drifting embeddings (completes any mining).
+  for (int r = 0; r < 4; ++r) {
+    ClientUpdate upd = attack->ParticipateRound(g, r, rng);
+    for (const auto& [item, grad] : upd.item_grads) {
+      EXPECT_GE(item, 0);
+      EXPECT_LT(item, g.num_items());
+      EXPECT_TRUE(AllFinite(grad)) << attack->name() << " round " << r;
+    }
+    if (upd.interaction_grads.active) {
+      EXPECT_TRUE(AllFinite(upd.interaction_grads.Flatten()));
+    }
+    const bool is_pieck = param.attack == AttackKind::kPieckIpe ||
+                          param.attack == AttackKind::kPieckUea;
+    if (is_pieck) {
+      // PIECK uploads only target-item gradients, never Ψ gradients.
+      EXPECT_FALSE(upd.interaction_grads.active);
+      for (const auto& [item, grad] : upd.item_grads) {
+        EXPECT_EQ(item, 39);
+      }
+    }
+    // Drift all embeddings a little between rounds.
+    for (size_t j = 0; j < g.item_embeddings.rows(); ++j) {
+      double scale = j < 5 ? 0.3 : 0.003;  // items 0..4 "popular"
+      for (size_t c = 0; c < g.item_embeddings.cols(); ++c) {
+        g.item_embeddings.At(j, c) += rng.Normal(0.0, scale);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AttackUploadProperties,
+    ::testing::Values(
+        AttackModelCase{AttackKind::kPieckIpe,
+                        ModelKind::kMatrixFactorization},
+        AttackModelCase{AttackKind::kPieckIpe, ModelKind::kNeuralCf},
+        AttackModelCase{AttackKind::kPieckUea,
+                        ModelKind::kMatrixFactorization},
+        AttackModelCase{AttackKind::kPieckUea, ModelKind::kNeuralCf},
+        AttackModelCase{AttackKind::kAHum, ModelKind::kMatrixFactorization},
+        AttackModelCase{AttackKind::kAHum, ModelKind::kNeuralCf},
+        AttackModelCase{AttackKind::kARa, ModelKind::kNeuralCf},
+        AttackModelCase{AttackKind::kPipAttack,
+                        ModelKind::kMatrixFactorization},
+        AttackModelCase{AttackKind::kPipAttack, ModelKind::kNeuralCf}));
+
+// ---------------------------------------------------------------------
+// Miner quality across dataset presets: after real federated training,
+// the mined top-10 must be dominated by genuinely popular items.
+
+class MinerQualityAcrossPresets
+    : public ::testing::TestWithParam<SyntheticConfig> {};
+
+TEST_P(MinerQualityAcrossPresets, MinedItemsAreMostlyPopular) {
+  ExperimentConfig config;
+  config.dataset = GetParam();
+  config.rounds = 0;
+  config.users_per_round =
+      std::max(8, static_cast<int>(0.27 * config.dataset.num_users));
+  auto sim_or = Simulation::Create(config);
+  ASSERT_TRUE(sim_or.ok());
+  auto sim = std::move(sim_or).value();
+
+  PopularItemMiner miner(2, 10);
+  for (int r = 0; r < 5; ++r) {
+    sim->RunRound();
+    if (r >= 2) miner.Observe(sim->global().item_embeddings);
+  }
+  ASSERT_TRUE(miner.Ready());
+
+  std::vector<int> rank = sim->train().PopularityRank();
+  int cutoff = static_cast<int>(0.15 * sim->train().num_items());
+  int popular_hits = 0;
+  for (int item : miner.MinedItems()) {
+    popular_hits += rank[static_cast<size_t>(item)] < cutoff ? 1 : 0;
+  }
+  EXPECT_GE(popular_hits, 7) << "mined set not dominated by popular items";
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, MinerQualityAcrossPresets,
+                         ::testing::Values(MovieLens100KConfig(0.2),
+                                           MovieLens100KConfig(0.35),
+                                           MovieLens1MConfig(0.08)));
+
+// ---------------------------------------------------------------------
+// Simulation conservation properties.
+
+TEST(SimulationProperties, BenignOnlyRoundsTouchOnlySampledItems) {
+  ExperimentConfig config;
+  config.dataset = MovieLens100KConfig(0.08);
+  config.users_per_round = 4;  // tiny batch: most items untouched
+  auto sim_or = Simulation::Create(config);
+  ASSERT_TRUE(sim_or.ok());
+  auto sim = std::move(sim_or).value();
+
+  Matrix before = sim->global().item_embeddings;
+  sim->RunRound();
+  const Matrix& after = sim->global().item_embeddings;
+  int changed = 0;
+  for (size_t j = 0; j < after.rows(); ++j) {
+    if (after.Row(j) != before.Row(j)) ++changed;
+  }
+  // 4 users with |D_i| = 2|D+_i| items each is a hard upper bound.
+  int bound = 0;
+  for (int u = 0; u < sim->train().num_users(); ++u) {
+    bound = std::max(bound,
+                     2 * static_cast<int>(sim->train().ItemsOf(u).size()));
+  }
+  EXPECT_GT(changed, 0);
+  EXPECT_LE(changed, 4 * bound);
+}
+
+TEST(SimulationProperties, EmbeddingsStayFiniteUnderAttackAndDefense) {
+  ExperimentConfig config;
+  config.dataset = MovieLens100KConfig(0.08);
+  config.users_per_round = 20;
+  config.attack = AttackKind::kPieckUea;
+  config.defense = DefenseKind::kOurs;
+  auto sim_or = Simulation::Create(config);
+  ASSERT_TRUE(sim_or.ok());
+  auto sim = std::move(sim_or).value();
+  sim->RunRounds(40);
+  for (size_t j = 0; j < sim->global().item_embeddings.rows(); ++j) {
+    EXPECT_TRUE(AllFinite(sim->global().item_embeddings.Row(j)));
+  }
+  for (const auto* client : sim->benign_views()) {
+    EXPECT_TRUE(AllFinite(client->user_embedding()));
+  }
+}
+
+TEST(SimulationProperties, ErAndHrAlwaysInUnitInterval) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    ExperimentConfig config;
+    config.dataset = MovieLens100KConfig(0.08);
+    config.rounds = 20;
+    config.users_per_round = 20;
+    config.attack = AttackKind::kPieckIpe;
+    config.seed = seed;
+    auto result = RunExperiment(config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->er_at_k, 0.0);
+    EXPECT_LE(result->er_at_k, 1.0);
+    EXPECT_GE(result->hr_at_k, 0.0);
+    EXPECT_LE(result->hr_at_k, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pieck

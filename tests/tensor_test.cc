@@ -1,0 +1,262 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/grad_check.h"
+#include "tensor/math.h"
+#include "tensor/matrix.h"
+#include "tensor/vector_ops.h"
+
+namespace pieck {
+namespace {
+
+TEST(VectorOpsTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, AxpyAccumulates) {
+  Vec y = {1, 1};
+  Axpy(2.0, {3, 4}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+}
+
+TEST(VectorOpsTest, ScaleAddSub) {
+  Vec x = {2, -4};
+  Scale(0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+  Vec s = Add({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(s[1], 6.0);
+  Vec d = Sub({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(d[0], -2.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm2({3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(L2Distance({1, 1}, {4, 5}), 5.0);
+}
+
+TEST(VectorOpsTest, CosineSimilarityBasics) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 2}), 0.0);
+}
+
+TEST(VectorOpsTest, CosineGradMatchesNumeric) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec a(5), b(5);
+    for (double& v : a) v = rng.Normal(0, 1);
+    for (double& v : b) v = rng.Normal(0, 1);
+    Vec analytic = CosineSimilarityGradWrtB(a, b);
+    double err = MaxRelativeGradError(
+        [&](const Vec& x) { return CosineSimilarity(a, x); }, b, analytic);
+    EXPECT_LT(err, 1e-5);
+  }
+}
+
+TEST(VectorOpsTest, CosineGradOrthogonalToB) {
+  // The cosine gradient w.r.t. b has no radial component.
+  Rng rng(4);
+  Vec a(6), b(6);
+  for (double& v : a) v = rng.Normal(0, 1);
+  for (double& v : b) v = rng.Normal(0, 1);
+  Vec grad = CosineSimilarityGradWrtB(a, b);
+  EXPECT_NEAR(Dot(grad, b), 0.0, 1e-10);
+}
+
+TEST(VectorOpsTest, SoftmaxSumsToOne) {
+  Vec p = Softmax({1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(VectorOpsTest, SoftmaxStableForLargeInputs) {
+  Vec p = Softmax({1000.0, 1000.0});
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_TRUE(AllFinite(p));
+}
+
+TEST(VectorOpsTest, SoftmaxKlProperties) {
+  Vec a = {0.3, -1.0, 2.0};
+  EXPECT_NEAR(SoftmaxKl(a, a), 0.0, 1e-12);
+  // Shift invariance of softmax: KL(a, a + c) == 0.
+  Vec shifted = {1.3, 0.0, 3.0};
+  EXPECT_NEAR(SoftmaxKl(a, shifted), 0.0, 1e-12);
+  EXPECT_GT(SoftmaxKl(a, {2.0, -1.0, 0.3}), 0.0);
+}
+
+TEST(VectorOpsTest, SoftmaxKlGradWrtBMatchesNumeric) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec a(4), b(4);
+    for (double& v : a) v = rng.Normal(0, 1);
+    for (double& v : b) v = rng.Normal(0, 1);
+    Vec analytic = SoftmaxKlGradWrtB(a, b);
+    double err = MaxRelativeGradError(
+        [&](const Vec& x) { return SoftmaxKl(a, x); }, b, analytic);
+    EXPECT_LT(err, 1e-5);
+  }
+}
+
+TEST(VectorOpsTest, SoftmaxKlGradWrtAMatchesNumeric) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec a(4), b(4);
+    for (double& v : a) v = rng.Normal(0, 1);
+    for (double& v : b) v = rng.Normal(0, 1);
+    Vec analytic = SoftmaxKlGradWrtA(a, b);
+    double err = MaxRelativeGradError(
+        [&](const Vec& x) { return SoftmaxKl(x, b); }, a, analytic);
+    EXPECT_LT(err, 1e-5);
+  }
+}
+
+TEST(VectorOpsTest, ClipNormOnlyShrinks) {
+  Vec x = {3, 4};
+  ClipNorm(x, 10.0);
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);  // under the bound: unchanged
+  ClipNorm(x, 1.0);
+  EXPECT_NEAR(Norm2(x), 1.0, 1e-12);
+  EXPECT_NEAR(x[0] / x[1], 3.0 / 4.0, 1e-12);  // direction preserved
+}
+
+TEST(VectorOpsTest, AllFiniteDetectsNanInf) {
+  EXPECT_TRUE(AllFinite({1.0, -2.0}));
+  EXPECT_FALSE(AllFinite({1.0, std::nan("")}));
+  EXPECT_FALSE(AllFinite({1.0, INFINITY}));
+}
+
+TEST(MathTest, SigmoidRangeAndSymmetry) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(5.0) + Sigmoid(-5.0), 1.0, 1e-12);
+  EXPECT_GT(Sigmoid(100.0), 0.999999);
+  EXPECT_LT(Sigmoid(-100.0), 1e-6);
+  EXPECT_TRUE(std::isfinite(Sigmoid(1000.0)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-1000.0)));
+}
+
+TEST(MathTest, LogSigmoidStable) {
+  EXPECT_NEAR(LogSigmoid(0.0), std::log(0.5), 1e-12);
+  EXPECT_TRUE(std::isfinite(LogSigmoid(-1000.0)));
+  EXPECT_NEAR(LogSigmoid(-1000.0), -1000.0, 1e-9);
+  EXPECT_NEAR(LogSigmoid(50.0), 0.0, 1e-9);
+}
+
+TEST(MathTest, ReluAndGrad) {
+  EXPECT_DOUBLE_EQ(Relu(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(Relu(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ReluGrad(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(ReluGrad(-3.0), 0.0);
+}
+
+TEST(MathTest, BceConsistencyBetweenForms) {
+  for (double y : {0.0, 1.0}) {
+    for (double s : {-3.0, -0.5, 0.0, 0.5, 3.0}) {
+      EXPECT_NEAR(BceLossFromLogit(y, s), BceLoss(y, Sigmoid(s)), 1e-9);
+    }
+  }
+}
+
+TEST(MathTest, BceGradMatchesNumeric) {
+  for (double y : {0.0, 1.0}) {
+    for (double s : {-2.0, 0.0, 1.7}) {
+      double eps = 1e-6;
+      double numeric = (BceLossFromLogit(y, s + eps) -
+                        BceLossFromLogit(y, s - eps)) /
+                       (2 * eps);
+      EXPECT_NEAR(BceGradFromLogit(y, s), numeric, 1e-6);
+    }
+  }
+}
+
+TEST(MatrixTest, RowAccessors) {
+  Matrix m(3, 2);
+  m.SetRow(1, {5, 6});
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 5.0);
+  Vec r = m.Row(1);
+  EXPECT_DOUBLE_EQ(r[1], 6.0);
+  m.AxpyRow(1, 2.0, {1, 1});
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 7.0);
+}
+
+TEST(MatrixTest, MatVecAndTranspose) {
+  Matrix m(2, 3);
+  m.SetRow(0, {1, 2, 3});
+  m.SetRow(1, {4, 5, 6});
+  Vec y = m.MatVec({1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  Vec z = m.MatTVec({1, 1});
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(MatrixTest, AddOuterIsRankOneUpdate) {
+  Matrix m(2, 2);
+  m.AddOuter(2.0, {1, 3}, {4, 5});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 30.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m.SetRow(0, {3, 4});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, RandomInitIsDeterministic) {
+  Rng a(11), b(11);
+  Matrix m1(4, 4), m2(4, 4);
+  m1.RandomNormal(a, 0, 1);
+  m2.RandomNormal(b, 0, 1);
+  EXPECT_TRUE(m1 == m2);
+}
+
+TEST(MatrixTest, SetZeroAndAxpy) {
+  Matrix m(2, 2, 1.0);
+  Matrix other(2, 2, 3.0);
+  m.Axpy(2.0, other);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 7.0);
+  m.SetZero();
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 0.0);
+}
+
+TEST(GradCheckTest, NumericGradientOfQuadratic) {
+  auto f = [](const Vec& x) { return x[0] * x[0] + 3.0 * x[1]; };
+  Vec g = NumericGradient(f, {2.0, 5.0});
+  EXPECT_NEAR(g[0], 4.0, 1e-6);
+  EXPECT_NEAR(g[1], 3.0, 1e-6);
+}
+
+TEST(GradCheckTest, DetectsWrongGradient) {
+  auto f = [](const Vec& x) { return x[0] * x[0]; };
+  double err = MaxRelativeGradError(f, {2.0}, {1.0});  // true grad is 4
+  EXPECT_GT(err, 0.5);
+}
+
+/// Property-style sweep: cosine gradient correctness across dimensions.
+class CosineGradDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(CosineGradDims, MatchesNumericAtDim) {
+  Rng rng(100 + GetParam());
+  Vec a(static_cast<size_t>(GetParam())), b(static_cast<size_t>(GetParam()));
+  for (double& v : a) v = rng.Normal(0, 1);
+  for (double& v : b) v = rng.Normal(0, 1);
+  Vec analytic = CosineSimilarityGradWrtB(a, b);
+  double err = MaxRelativeGradError(
+      [&](const Vec& x) { return CosineSimilarity(a, x); }, b, analytic);
+  EXPECT_LT(err, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CosineGradDims,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace pieck
