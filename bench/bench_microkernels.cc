@@ -1,12 +1,25 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels behind the
 // simulation: embedding math, model forward/backward, Δ-Norm mining,
-// and robust aggregation. These bound the per-round costs reported in
-// Fig. 6(b).
+// robust aggregation, and the full federated round loop. These bound
+// the per-round costs reported in Fig. 6(b).
+//
+// The round-loop benchmark compares the serial and threaded engines:
+//   bench_microkernels --threads=8 --benchmark_filter=FederatedRound
+// registers BM_FederatedRound at 1 thread and at the requested count
+// (default: one per hardware thread).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
 #include "attack/popular_item_miner.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/simulation.h"
 #include "defense/robust_aggregators.h"
 #include "model/mf_model.h"
 #include "model/ncf_model.h"
@@ -107,7 +120,77 @@ void BM_MedianAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_MedianAggregate)->Arg(8)->Arg(64)->Arg(256);
 
+void BM_FederatedRound(benchmark::State& state, int num_threads) {
+  ExperimentConfig config;
+  config.dataset = MovieLens100KConfig(0.25);
+  config.embedding_dim = 16;
+  config.users_per_round = 128;
+  config.num_threads = num_threads;
+  config.seed = 7;
+  StatusOr<std::unique_ptr<Simulation>> sim = Simulation::Create(config);
+  if (!sim.ok()) {
+    state.SkipWithError(sim.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    (*sim)->RunRound();
+  }
+  state.counters["clients/s"] = benchmark::Counter(
+      static_cast<double>(config.users_per_round),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Parses a --threads value; exits with a message on anything that is
+/// not a non-negative integer.
+int ParseThreadsValue(const char* text) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "error: invalid --threads value: %s\n", text);
+    std::exit(1);
+  }
+  return static_cast<int>(value);
+}
+
+/// Strips `--threads=N` / `--threads N` from argv (google-benchmark
+/// rejects flags it does not know) and returns N. Absent or 0 means
+/// one thread per hardware thread, matching ServerConfig::num_threads.
+int ExtractThreadsFlag(int* argc, char** argv) {
+  int threads = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = ParseThreadsValue(arg.c_str() + std::strlen("--threads="));
+    } else if (arg == "--threads" && i + 1 < *argc && argv[i + 1][0] != '-') {
+      threads = ParseThreadsValue(argv[++i]);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return threads == 0 ? ThreadPool::DefaultThreadCount() : threads;
+}
+
 }  // namespace
 }  // namespace pieck
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int threads = pieck::ExtractThreadsFlag(&argc, argv);
+  // UseRealTime: the point is wall-clock speedup, and CPU-time rates
+  // would overstate the threaded engine.
+  benchmark::RegisterBenchmark("BM_FederatedRound/threads:1",
+                               pieck::BM_FederatedRound, 1)
+      ->UseRealTime();
+  if (threads > 1) {
+    benchmark::RegisterBenchmark(
+        ("BM_FederatedRound/threads:" + std::to_string(threads)).c_str(),
+        pieck::BM_FederatedRound, threads)
+        ->UseRealTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

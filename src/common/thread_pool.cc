@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Drain: workers only exit once the queue is empty, so every task
+    // submitted before destruction still runs.
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  PIECK_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    PIECK_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+    ++inflight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return inflight_ == 0; });
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || num_threads() == 1) {
+    // Inline fast path: no queue round-trip, exceptions propagate
+    // directly.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  const size_t chunks = std::min(n, static_cast<size_t>(num_threads()));
+  for (size_t c = 0; c < chunks; ++c) {
+    Submit([&next, &fn, n] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  // Blocks until the chunk tasks finish, so `next` and `fn` (stack
+  // references) outlive every worker that touches them.
+  Wait();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      --inflight_;
+      if (inflight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace pieck

@@ -1,0 +1,70 @@
+#ifndef PIECK_COMMON_THREAD_POOL_H_
+#define PIECK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pieck {
+
+/// A fixed-size pool of worker threads over a single shared FIFO queue.
+///
+/// Deliberately simple (no work stealing, no futures): the federated
+/// round loop needs fork-join parallelism over a few hundred uniform
+/// client tasks, where one queue with a condition variable is enough and
+/// keeps the scheduling easy to reason about. Tasks must not submit new
+/// tasks into the pool they run on (the round loop never does).
+///
+/// Exceptions thrown by tasks are captured; the first one is rethrown
+/// from the next Wait() or ParallelFor() call on the submitting thread.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue (pending tasks still run), then joins the workers.
+  /// Task exceptions that were never observed via Wait() are dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception, if any.
+  void Wait();
+
+  /// Runs fn(0) ... fn(n-1) across the pool and blocks until all are
+  /// done. Indices are claimed dynamically from an atomic counter, so
+  /// the assignment of index to worker is nondeterministic — callers
+  /// must only write to disjoint, per-index state.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t inflight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_COMMON_THREAD_POOL_H_

@@ -49,6 +49,10 @@ struct ExperimentConfig {
   int users_per_round = 256;
   double negative_ratio_q = 1.0;
   LossKind loss = LossKind::kBce;
+  /// Round-loop worker threads (see ServerConfig::num_threads): 1 =
+  /// serial, 0 = one per hardware thread. Bit-identical results for any
+  /// value.
+  int num_threads = 1;
 
   // --- attack ---
   AttackKind attack = AttackKind::kNone;

@@ -70,6 +70,7 @@ StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
   ServerConfig server_config;
   server_config.learning_rate = config.learning_rate;
   server_config.users_per_round = config.users_per_round;
+  server_config.num_threads = config.num_threads;
   DefensePlan plan = MakeDefensePlan(config.defense, config.aggregator_params);
   sim->server_ = std::make_unique<FederatedServer>(
       *sim->model_, std::move(global), server_config,

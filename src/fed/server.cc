@@ -1,6 +1,7 @@
 #include "fed/server.h"
 
 #include <map>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -17,6 +18,18 @@ FederatedServer::FederatedServer(const RecModel& model, GlobalModel initial,
       filter_(std::move(filter)) {
   PIECK_CHECK(aggregator_ != nullptr);
   PIECK_CHECK(config_.users_per_round > 0);
+  PIECK_CHECK(config_.num_threads >= 0);
+  const int threads = config_.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                               : config_.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void FederatedServer::For(size_t n, const std::function<void(size_t)>& fn) {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
 }
 
 RoundStats FederatedServer::RunRound(
@@ -29,14 +42,23 @@ RoundStats FederatedServer::RunRound(
   std::vector<int> selected = rng.SampleWithoutReplacement(
       n, std::min(config_.users_per_round, n));
   stats.num_selected = static_cast<int>(selected.size());
-
-  std::vector<ClientUpdate> updates;
-  updates.reserve(selected.size());
   for (int idx : selected) {
-    ClientInterface* client = clients[static_cast<size_t>(idx)];
-    if (client->is_malicious()) stats.num_malicious_selected++;
-    updates.push_back(client->ParticipateRound(global_, round));
+    if (clients[static_cast<size_t>(idx)]->is_malicious()) {
+      stats.num_malicious_selected++;
+    }
   }
+
+  // Local training, fanned out over the pool. Sampling is without
+  // replacement, so the tasks touch distinct clients; every client owns
+  // an independent RNG stream (forked at construction), so its upload
+  // does not depend on which worker runs it or in which order. Writing
+  // into pre-sized slots keeps `updates` in selection order, making the
+  // result bit-identical to the serial loop for any thread count.
+  std::vector<ClientUpdate> updates(selected.size());
+  For(selected.size(), [&](size_t i) {
+    updates[i] = clients[static_cast<size_t>(selected[i])]->ParticipateRound(
+        global_, round);
+  });
 
   ApplyUpdates(updates);
   return stats;
@@ -65,11 +87,21 @@ void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw) {
       per_item[item].push_back(grad);
     }
   }
-  for (auto& [item, grads] : per_item) {
-    Vec agg = aggregator_->Aggregate(grads);
+  // The grouping above is order-sensitive (gradients appear in update
+  // order), but each item's aggregate-and-apply step only reads its own
+  // gradient list and writes its own embedding row, so the steps fan out
+  // with no cross-item interaction.
+  std::vector<std::pair<int, const std::vector<Vec>*>> work;
+  work.reserve(per_item.size());
+  for (const auto& [item, grads] : per_item) {
+    work.emplace_back(item, &grads);
+  }
+  For(work.size(), [&](size_t i) {
+    const auto& [item, grads] = work[i];
+    Vec agg = aggregator_->Aggregate(*grads);
     global_.item_embeddings.AxpyRow(static_cast<size_t>(item),
                                     -config_.learning_rate, agg);
-  }
+  });
 
   if (global_.has_interaction_params()) {
     std::vector<Vec> flat_grads;

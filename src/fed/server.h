@@ -1,10 +1,12 @@
 #ifndef PIECK_FED_SERVER_H_
 #define PIECK_FED_SERVER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "fed/aggregator.h"
 #include "fed/client.h"
 #include "model/global_model.h"
@@ -19,6 +21,13 @@ struct ServerConfig {
   double learning_rate = 1.0;
   /// |U_r|: number of clients sampled per communication round.
   int users_per_round = 256;
+  /// Worker threads for the round loop: client local training and
+  /// per-item gradient aggregation run on a ThreadPool of this size.
+  /// 1 (the default) keeps the original serial path; 0 means "one per
+  /// hardware thread". Results are bit-identical for every value — each
+  /// client owns an independent RNG stream and aggregation writes touch
+  /// disjoint embedding rows.
+  int num_threads = 1;
 };
 
 /// Statistics from one communication round (diagnostics / cost analysis).
@@ -52,13 +61,19 @@ class FederatedServer {
   GlobalModel& mutable_global() { return global_; }
   const ServerConfig& config() const { return config_; }
   const Aggregator& aggregator() const { return *aggregator_; }
+  /// Effective round-loop parallelism (1 when no pool was created).
+  int num_threads() const { return pool_ ? pool_->num_threads() : 1; }
 
  private:
+  /// Runs fn(0..n-1) on the pool, or inline when running serially.
+  void For(size_t n, const std::function<void(size_t)>& fn);
+
   const RecModel& model_;
   GlobalModel global_;
   ServerConfig config_;
   std::unique_ptr<Aggregator> aggregator_;
   std::unique_ptr<UpdateFilter> filter_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
 };
 
 }  // namespace pieck
