@@ -7,14 +7,25 @@
 //   bench_microkernels --threads=8 --benchmark_filter=FederatedRound
 // registers BM_FederatedRound at 1 thread and at the requested count
 // (default: one per hardware thread).
+//
+// The SIMD kernel layer (src/tensor/kernels.h) is benchmarked per
+// backend and dimension (`--benchmark_filter=Kernel`), and
+//   bench_microkernels --kernels_json=BENCH_kernels.json
+// runs a self-timed scalar-vs-SIMD sweep over d ∈ {8,16,32,64,128} and
+// writes a machine-readable report (ns/op per kernel/backend/dim plus
+// speedups) that later PRs regress against.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "attack/popular_item_miner.h"
 #include "common/rng.h"
@@ -23,6 +34,7 @@
 #include "defense/robust_aggregators.h"
 #include "model/mf_model.h"
 #include "model/ncf_model.h"
+#include "tensor/kernels.h"
 #include "tensor/math.h"
 
 namespace pieck {
@@ -140,6 +152,254 @@ void BM_FederatedRound(benchmark::State& state, int num_threads) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 
+// ---------------------------------------------------------------------
+// SIMD kernel layer: per-backend, per-dimension micro-benchmarks and the
+// --kernels_json self-timed sweep.
+
+constexpr size_t kKernelDims[] = {8, 16, 32, 64, 128};
+const char* const kKernelNames[] = {
+    "dot",  "axpy",          "scale",    "squared_norm", "squared_distance",
+    "relu", "relu_backward", "bce_step", "project_l2ball"};
+
+/// Each timed thunk sweeps the kernel over this many contiguous rows,
+/// matching the blocked per-client passes in the rewritten hot loops
+/// and amortizing the thunk-call overhead out of the measurement.
+constexpr size_t kRowsPerOp = 16;
+
+/// Bundles the working rows one kernel thunk touches (kRowsPerOp rows
+/// of dimension d, stored contiguously like embedding-table rows).
+struct KernelOperands {
+  Vec a, b, y, gu, gv, out;
+  explicit KernelOperands(size_t d)
+      : a(kRowsPerOp * d), b(kRowsPerOp * d), y(kRowsPerOp * d), gu(d),
+        gv(d), out(kRowsPerOp) {
+    Rng rng(11);
+    for (double& v : a) v = rng.Normal(0, 1);
+    for (double& v : b) v = rng.Normal(0, 1);
+    for (double& v : y) v = rng.Normal(0, 1);
+  }
+};
+
+/// Returns a thunk running `kernel` on `t` over kRowsPerOp rows; the
+/// thunk owns its operands via the shared_ptr so it can outlive this
+/// scope.
+std::function<void()> MakeKernelOp(const KernelTable* t,
+                                   const std::string& kernel, size_t d) {
+  auto ops = std::make_shared<KernelOperands>(d);
+  // Reductions store per-row results (like the per-example logits in
+  // the training loop) so successive rows stay independent and the
+  // measurement is throughput, not exposed latency.
+  if (kernel == "dot") {
+    return [t, ops, d] {
+      for (size_t r = 0; r < kRowsPerOp; ++r) {
+        ops->out[r] = t->dot(ops->a.data() + r * d, ops->b.data() + r * d, d);
+      }
+      benchmark::DoNotOptimize(ops->out.data());
+    };
+  }
+  if (kernel == "axpy") {
+    return [t, ops, d] {
+      for (size_t r = 0; r < kRowsPerOp; ++r) {
+        t->axpy(1e-9, ops->a.data() + r * d, ops->y.data() + r * d, d);
+      }
+      benchmark::DoNotOptimize(ops->y.data());
+    };
+  }
+  if (kernel == "scale") {
+    return [t, ops, d] {
+      for (size_t r = 0; r < kRowsPerOp; ++r) {
+        t->scale(1.0000000001, ops->y.data() + r * d, d);
+      }
+      benchmark::DoNotOptimize(ops->y.data());
+    };
+  }
+  if (kernel == "squared_norm") {
+    return [t, ops, d] {
+      for (size_t r = 0; r < kRowsPerOp; ++r) {
+        ops->out[r] = t->squared_norm(ops->a.data() + r * d, d);
+      }
+      benchmark::DoNotOptimize(ops->out.data());
+    };
+  }
+  if (kernel == "squared_distance") {
+    return [t, ops, d] {
+      for (size_t r = 0; r < kRowsPerOp; ++r) {
+        ops->out[r] = t->squared_distance(ops->a.data() + r * d,
+                                          ops->b.data() + r * d, d);
+      }
+      benchmark::DoNotOptimize(ops->out.data());
+    };
+  }
+  if (kernel == "relu") {
+    return [t, ops, d] {
+      for (size_t r = 0; r < kRowsPerOp; ++r) {
+        t->relu(ops->a.data() + r * d, ops->y.data() + r * d, d);
+      }
+      benchmark::DoNotOptimize(ops->y.data());
+    };
+  }
+  if (kernel == "relu_backward") {
+    // In-place mask; idempotent after the first pass, so every timed
+    // iteration does identical work.
+    return [t, ops, d] {
+      for (size_t r = 0; r < kRowsPerOp; ++r) {
+        t->relu_backward(ops->a.data() + r * d, ops->y.data() + r * d, d);
+      }
+      benchmark::DoNotOptimize(ops->y.data());
+    };
+  }
+  if (kernel == "bce_step") {
+    // The fused MF hot-path op (dot + sigmoid + two axpys).
+    return [t, ops, d] {
+      for (size_t r = 0; r < kRowsPerOp; ++r) {
+        ops->out[r] = t->BceStep(1.0, 0.01, ops->a.data() + r * d,
+                                 ops->b.data() + r * d, ops->gu.data(),
+                                 ops->gv.data(), d);
+      }
+      benchmark::DoNotOptimize(ops->out.data());
+    };
+  }
+  if (kernel == "project_l2ball") {
+    // max_norm far above any row norm: times the dominant no-clip path
+    // (norm + compare), the common case in the Δ-norm defense.
+    return [t, ops, d] {
+      for (size_t r = 0; r < kRowsPerOp; ++r) {
+        t->ProjectL2Ball(ops->y.data() + r * d, d, 1e30);
+      }
+      benchmark::DoNotOptimize(ops->y.data());
+    };
+  }
+  std::fprintf(stderr, "error: unknown kernel benchmark '%s'\n",
+               kernel.c_str());
+  std::exit(1);
+}
+
+void BM_Kernel(benchmark::State& state, const KernelTable* t,
+               std::string kernel, size_t d) {
+  std::function<void()> op = MakeKernelOp(t, kernel, d);
+  for (auto _ : state) op();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRowsPerOp));
+}
+
+void RegisterKernelBenchmarks() {
+  for (const KernelTable* t : AvailableKernelTables()) {
+    for (const char* kernel : kKernelNames) {
+      for (size_t d : kKernelDims) {
+        std::string name = std::string("BM_Kernel/") + kernel + "/" +
+                           KernelBackendName(t->backend) + "/" +
+                           std::to_string(d);
+        benchmark::RegisterBenchmark(name.c_str(), BM_Kernel, t,
+                                     std::string(kernel), d);
+      }
+    }
+  }
+}
+
+/// Best-of-5 ns/op for `op`, each trial growing the batch until it runs
+/// >= 10 ms so clock granularity is negligible. Best-of (not mean)
+/// because on shared/1-vCPU machines the noise is one-sided: trials
+/// only ever get slower from preemption, never faster than the code.
+/// The std::function call overhead is included identically for every
+/// backend, so speedups are mildly understated at small d — never
+/// overstated.
+double MeasureNsPerOp(const std::function<void()>& op) {
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < 1000; ++i) op();  // warmup
+  double best = 1e300;
+  for (int trial = 0; trial < 5; ++trial) {
+    size_t iters = 2000;
+    for (;;) {
+      const auto t0 = Clock::now();
+      for (size_t i = 0; i < iters; ++i) op();
+      const double ns =
+          std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+      if (ns >= 1e7) {
+        best = std::min(best, ns / static_cast<double>(iters));
+        break;
+      }
+      iters *= 4;
+    }
+  }
+  return best;
+}
+
+/// Runs the scalar-vs-SIMD sweep and writes `path` (JSON). Returns 0,
+/// or 1 when the file cannot be written.
+int RunKernelSweep(const std::string& path) {
+  std::vector<const KernelTable*> tables = AvailableKernelTables();
+  // ns[kernel][table][dim]
+  std::vector<std::vector<std::vector<double>>> ns;
+  for (const char* kernel : kKernelNames) {
+    std::vector<std::vector<double>> per_table;
+    for (const KernelTable* t : tables) {
+      std::vector<double> per_dim;
+      for (size_t d : kKernelDims) {
+        per_dim.push_back(MeasureNsPerOp(MakeKernelOp(t, kernel, d)) /
+                          static_cast<double>(kRowsPerOp));
+      }
+      per_table.push_back(std::move(per_dim));
+    }
+    ns.push_back(std::move(per_table));
+    std::fprintf(stderr, "  measured %s\n", kernel);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"default_backend\": \"%s\",\n",
+               KernelBackendName(ActiveKernels().backend));
+  std::fprintf(f, "  \"dims\": [");
+  for (size_t di = 0; di < std::size(kKernelDims); ++di) {
+    std::fprintf(f, "%s%zu", di ? ", " : "", kKernelDims[di]);
+  }
+  std::fprintf(f, "],\n  \"ns_per_op\": {\n");
+  for (size_t ki = 0; ki < std::size(kKernelNames); ++ki) {
+    std::fprintf(f, "    \"%s\": {", kKernelNames[ki]);
+    for (size_t ti = 0; ti < tables.size(); ++ti) {
+      std::fprintf(f, "%s\"%s\": [", ti ? ", " : "",
+                   KernelBackendName(tables[ti]->backend));
+      for (size_t di = 0; di < std::size(kKernelDims); ++di) {
+        std::fprintf(f, "%s%.3f", di ? ", " : "", ns[ki][ti][di]);
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "}%s\n", ki + 1 < std::size(kKernelNames) ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"speedup_vs_scalar\": {\n");
+  for (size_t ki = 0; ki < std::size(kKernelNames); ++ki) {
+    std::fprintf(f, "    \"%s\": {", kKernelNames[ki]);
+    for (size_t ti = 1; ti < tables.size(); ++ti) {
+      std::fprintf(f, "%s\"%s\": [", ti > 1 ? ", " : "",
+                   KernelBackendName(tables[ti]->backend));
+      for (size_t di = 0; di < std::size(kKernelDims); ++di) {
+        std::fprintf(f, "%s%.2f", di ? ", " : "",
+                     ns[ki][0][di] / ns[ki][ti][di]);
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "}%s\n", ki + 1 < std::size(kKernelNames) ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+
+  for (size_t ti = 1; ti < tables.size(); ++ti) {
+    for (size_t ki = 0; ki < std::size(kKernelNames); ++ki) {
+      std::fprintf(stderr, "%-18s %-6s:", kKernelNames[ki],
+                   KernelBackendName(tables[ti]->backend));
+      for (size_t di = 0; di < std::size(kKernelDims); ++di) {
+        std::fprintf(stderr, "  d=%zu %.2fx", kKernelDims[di],
+                     ns[ki][0][di] / ns[ki][ti][di]);
+      }
+      std::fprintf(stderr, "\n");
+    }
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
 /// Parses a --threads value; exits with a message on anything that is
 /// not a non-negative integer.
 int ParseThreadsValue(const char* text) {
@@ -172,11 +432,34 @@ int ExtractThreadsFlag(int* argc, char** argv) {
   return threads == 0 ? ThreadPool::DefaultThreadCount() : threads;
 }
 
+/// Strips `--kernels_json=PATH` from argv; empty when absent.
+std::string ExtractKernelsJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--kernels_json=", 0) == 0) {
+      path = arg.substr(std::strlen("--kernels_json="));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
 }  // namespace
 }  // namespace pieck
 
 int main(int argc, char** argv) {
+  const std::string kernels_json = pieck::ExtractKernelsJsonFlag(&argc, argv);
+  if (!kernels_json.empty()) {
+    // Dedicated mode: run the scalar-vs-SIMD sweep and nothing else, so
+    // CI can emit BENCH_kernels.json without paying for the full suite.
+    return pieck::RunKernelSweep(kernels_json);
+  }
   const int threads = pieck::ExtractThreadsFlag(&argc, argv);
+  pieck::RegisterKernelBenchmarks();
   // UseRealTime: the point is wall-clock speedup, and CPU-time rates
   // would overstate the threaded engine.
   benchmark::RegisterBenchmark("BM_FederatedRound/threads:1",

@@ -5,8 +5,37 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pieck {
+
+namespace {
+
+/// Borrowed views of the mined popular rows with their L2 norms
+/// precomputed once per call — the cosine loops below touch every
+/// (unpopular, popular) pair, so per-pair norm recomputation dominated
+/// the seed implementation.
+struct PopularRows {
+  std::vector<const double*> ptr;
+  std::vector<double> norm;
+};
+
+PopularRows MakePopularRows(const GlobalModel& g,
+                            const std::vector<int>& popular) {
+  const KernelTable& k = ActiveKernels();
+  const size_t d = static_cast<size_t>(g.dim());
+  PopularRows rows;
+  rows.ptr.reserve(popular.size());
+  rows.norm.reserve(popular.size());
+  for (int item : popular) {
+    const double* p = g.item_embeddings.RowPtr(static_cast<size_t>(item));
+    rows.ptr.push_back(p);
+    rows.norm.push_back(std::sqrt(k.squared_norm(p, d)));
+  }
+  return rows;
+}
+
+}  // namespace
 
 RegularizedClientDefense::RegularizedClientDefense(
     const DefenseOptions& options)
@@ -51,12 +80,18 @@ double RegularizedClientDefense::ComputeRe1(
   if (popular.empty() || unpopular.empty()) return 0.0;
   std::vector<double> kappa = ExponentialRankWeights(popular.size());
 
+  const KernelTable& kern = ActiveKernels();
+  const size_t d = static_cast<size_t>(g.dim());
+  PopularRows rows = MakePopularRows(g, popular);
+
   double re1 = 0.0;
   for (int j : unpopular) {
-    Vec vj = g.item_embeddings.Row(static_cast<size_t>(j));
+    const double* vj = g.item_embeddings.RowPtr(static_cast<size_t>(j));
+    const double nj = std::sqrt(kern.squared_norm(vj, d));
+    if (nj == 0.0) continue;  // cos(vk, vj) := 0 for zero-norm vectors
     for (size_t k = 0; k < popular.size(); ++k) {
-      Vec vk = g.item_embeddings.Row(static_cast<size_t>(popular[k]));
-      re1 += kappa[k] * CosineSimilarity(vk, vj);
+      if (rows.norm[k] == 0.0) continue;
+      re1 += kappa[k] * (kern.dot(rows.ptr[k], vj, d) / (rows.norm[k] * nj));
     }
   }
   return re1 / static_cast<double>(unpopular.size());
@@ -91,25 +126,39 @@ void RegularizedClientDefense::ApplyRegularizers(
   if (options_.enable_re1 && options_.beta > 0.0 && update != nullptr) {
     std::vector<int> unpopular = UnpopularBatchItems(batch);
     if (!unpopular.empty()) {
+      const KernelTable& kern = ActiveKernels();
+      const size_t d = static_cast<size_t>(g.dim());
       const double coeff =
           -options_.beta / static_cast<double>(unpopular.size());
-      std::vector<Vec> popular_grads(popular.size());
-      for (size_t k = 0; k < popular.size(); ++k) {
-        popular_grads[k] = Zeros(static_cast<size_t>(g.dim()));
-      }
+      // Popular rows and norms are cached once; each (j, k) pair then
+      // costs one dot plus four blocked axpys, instead of the seed's
+      // two gradient allocations and six norm/dot recomputations.
+      PopularRows rows = MakePopularRows(g, popular);
+      std::vector<Vec> popular_grads(popular.size(), Zeros(d));
+      Vec grad(d);
       for (int j : unpopular) {
-        Vec vj = g.item_embeddings.Row(static_cast<size_t>(j));
-        Vec grad = Zeros(vj.size());
-        for (size_t k = 0; k < popular.size(); ++k) {
-          Vec vk = g.item_embeddings.Row(static_cast<size_t>(popular[k]));
-          Vec dcos_j = CosineSimilarityGradWrtB(vk, vj);
-          Axpy(kappa[k], dcos_j, grad);
-          // cos is symmetric; ∇_{v_k} cos(v_k, v_j) mirrors the roles.
-          Vec dcos_k = CosineSimilarityGradWrtB(vj, vk);
-          Axpy(coeff * kappa[k], dcos_k, popular_grads[k]);
+        const double* vj = g.item_embeddings.RowPtr(static_cast<size_t>(j));
+        const double nj = std::sqrt(kern.squared_norm(vj, d));
+        std::fill(grad.begin(), grad.end(), 0.0);
+        if (nj != 0.0) {
+          for (size_t k = 0; k < popular.size(); ++k) {
+            const double nk = rows.norm[k];
+            if (nk == 0.0) continue;  // zero-norm rows contribute nothing
+            const double* vk = rows.ptr[k];
+            const double ab = kern.dot(vk, vj, d);
+            const double inv = 1.0 / (nk * nj);
+            // ∇_{v_j} cos(v_k, v_j) = v_k/(nk·nj) − ab·v_j/(nk·nj³).
+            kern.axpy(kappa[k] * inv, vk, grad.data(), d);
+            kern.axpy(-kappa[k] * (ab / (nk * nj * nj * nj)), vj,
+                      grad.data(), d);
+            // cos is symmetric; ∇_{v_k} cos(v_k, v_j) mirrors the roles.
+            double* pg = popular_grads[k].data();
+            kern.axpy(coeff * kappa[k] * inv, vj, pg, d);
+            kern.axpy(-coeff * kappa[k] * (ab / (nj * nk * nk * nk)), vk, pg,
+                      d);
+          }
         }
-        Scale(coeff, grad);
-        update->AccumulateItemGrad(j, grad);
+        kern.axpy(coeff, grad.data(), update->MutableItemGrad(j, d), d);
       }
       for (size_t k = 0; k < popular.size(); ++k) {
         update->AccumulateItemGrad(popular[k], popular_grads[k]);

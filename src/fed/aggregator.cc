@@ -1,6 +1,7 @@
 #include "fed/aggregator.h"
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pieck {
 
@@ -21,6 +22,7 @@ Vec MeanAggregator::Aggregate(const std::vector<Vec>& grads) const {
 
 double ClientUpdateSquaredDistance(const ClientUpdate& a,
                                    const ClientUpdate& b) {
+  const KernelTable& k = ActiveKernels();
   double d2 = 0.0;
   size_t ia = 0;
   size_t ib = 0;
@@ -37,10 +39,7 @@ double ClientUpdateSquaredDistance(const ClientUpdate& a,
     } else {
       const Vec& ga = a.item_grads[ia].second;
       const Vec& gb = b.item_grads[ib].second;
-      for (size_t c = 0; c < ga.size(); ++c) {
-        double diff = ga[c] - gb[c];
-        d2 += diff * diff;
-      }
+      d2 += k.squared_distance(ga.data(), gb.data(), ga.size());
       ++ia;
       ++ib;
     }
@@ -48,10 +47,7 @@ double ClientUpdateSquaredDistance(const ClientUpdate& a,
   if (a.interaction_grads.active && b.interaction_grads.active) {
     Vec fa = a.interaction_grads.Flatten();
     Vec fb = b.interaction_grads.Flatten();
-    for (size_t c = 0; c < fa.size(); ++c) {
-      double diff = fa[c] - fb[c];
-      d2 += diff * diff;
-    }
+    d2 += k.squared_distance(fa.data(), fb.data(), fa.size());
   } else if (a.interaction_grads.active) {
     d2 += a.interaction_grads.SquaredNorm();
   } else if (b.interaction_grads.active) {

@@ -1,7 +1,18 @@
+/// \file
+/// Server-side aggregation interfaces.
+///
+/// Contracts: `Aggregate` receives a non-empty set of equal-length
+/// gradient vectors and must not mutate them. Aggregators are stateless
+/// and const; one instance is shared across the server's worker threads,
+/// so implementations must be safe for concurrent `Aggregate` calls
+/// (pure functions of their arguments). Linear rules additionally expose
+/// `LinearWeight` so the server can skip materializing the aggregate and
+/// axpy each client gradient straight into the embedding row.
 #ifndef PIECK_FED_AGGREGATOR_H_
 #define PIECK_FED_AGGREGATOR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +36,13 @@ class Aggregator {
   /// Aggregates a set of same-length gradient vectors into one. `grads`
   /// is never empty.
   virtual Vec Aggregate(const std::vector<Vec>& grads) const = 0;
+
+  /// For rules of the form Agg(g_1..g_k) = w(k) * sum_i g_i, returns
+  /// w(k); nullopt otherwise. Lets the server apply each gradient with
+  /// one kernel axpy per client instead of building the aggregate.
+  virtual std::optional<double> LinearWeight(size_t /*num_grads*/) const {
+    return std::nullopt;
+  }
 };
 
 /// The no-defense default: a plain coordinate-wise sum (the paper's
@@ -33,6 +51,9 @@ class SumAggregator : public Aggregator {
  public:
   std::string name() const override { return "NoDefense"; }
   Vec Aggregate(const std::vector<Vec>& grads) const override;
+  std::optional<double> LinearWeight(size_t /*num_grads*/) const override {
+    return 1.0;
+  }
 };
 
 /// Coordinate-wise mean; provided for completeness / ablations.
@@ -40,6 +61,9 @@ class MeanAggregator : public Aggregator {
  public:
   std::string name() const override { return "Mean"; }
   Vec Aggregate(const std::vector<Vec>& grads) const override;
+  std::optional<double> LinearWeight(size_t num_grads) const override {
+    return 1.0 / static_cast<double>(num_grads);
+  }
 };
 
 }  // namespace pieck

@@ -1,3 +1,14 @@
+/// \file
+/// Client-side interfaces of the federation.
+///
+/// Contracts: `ParticipateRound` is invoked from the server's worker
+/// threads, at most once per client per round — a client instance is
+/// never called concurrently with itself, so per-client mutable state
+/// (the private user embedding, the forked RNG stream) needs no
+/// locking; sharing state *across* clients would. The `GlobalModel`
+/// reference is read-only during the call and must not be retained.
+/// Uploads must not alias server memory: gradients are owned by the
+/// returned `ClientUpdate`.
 #ifndef PIECK_FED_CLIENT_H_
 #define PIECK_FED_CLIENT_H_
 

@@ -1,9 +1,11 @@
 #include "fed/server.h"
 
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pieck {
 
@@ -80,27 +82,47 @@ void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw) {
   // Group per-item gradients: item -> gradients from the clients that
   // uploaded one for that item. This sparsity is the crux of the paper's
   // defense analysis (Eq. 11): a cold target item receives mostly
-  // poisonous gradients, whatever robust rule runs below.
-  std::map<int, std::vector<Vec>> per_item;
+  // poisonous gradients, whatever robust rule runs below. Borrowed
+  // pointers, not copies: the updates outlive this function.
+  std::map<int, std::vector<const Vec*>> per_item;
   for (const ClientUpdate& upd : updates) {
     for (const auto& [item, grad] : upd.item_grads) {
-      per_item[item].push_back(grad);
+      per_item[item].push_back(&grad);
     }
   }
   // The grouping above is order-sensitive (gradients appear in update
   // order), but each item's aggregate-and-apply step only reads its own
   // gradient list and writes its own embedding row, so the steps fan out
   // with no cross-item interaction.
-  std::vector<std::pair<int, const std::vector<Vec>*>> work;
+  std::vector<std::pair<int, const std::vector<const Vec*>*>> work;
   work.reserve(per_item.size());
   for (const auto& [item, grads] : per_item) {
     work.emplace_back(item, &grads);
   }
+  const KernelTable& kernels = ActiveKernels();
   For(work.size(), [&](size_t i) {
     const auto& [item, grads] = work[i];
-    Vec agg = aggregator_->Aggregate(*grads);
-    global_.item_embeddings.AxpyRow(static_cast<size_t>(item),
-                                    -config_.learning_rate, agg);
+    const size_t dim = global_.item_embeddings.cols();
+    double* row =
+        global_.item_embeddings.MutableRowPtr(static_cast<size_t>(item));
+    // Linear rules (Sum, Mean) apply each client gradient as one blocked
+    // axpy straight into the embedding row — no aggregate temporary, and
+    // the kernels see one contiguous pass per gradient.
+    if (std::optional<double> w = aggregator_->LinearWeight(grads->size())) {
+      const double step = -config_.learning_rate * *w;
+      for (const Vec* g : *grads) {
+        PIECK_CHECK(g->size() == dim);
+        kernels.axpy(step, g->data(), row, dim);
+      }
+      return;
+    }
+    // Robust rules need the whole gradient set materialized.
+    std::vector<Vec> grad_copies;
+    grad_copies.reserve(grads->size());
+    for (const Vec* g : *grads) grad_copies.push_back(*g);
+    Vec agg = aggregator_->Aggregate(grad_copies);
+    PIECK_CHECK(agg.size() == dim);
+    kernels.axpy(-config_.learning_rate, agg.data(), row, dim);
   });
 
   if (global_.has_interaction_params()) {

@@ -1,3 +1,15 @@
+/// \file
+/// The federated-training server and round engine.
+///
+/// Contracts the code cannot express: `RunRound` may be called from one
+/// thread only (the server owns the global model; the internal
+/// ThreadPool fans work out but all mutation happens in row-disjoint
+/// slots). Results are bit-identical for every `num_threads` value and
+/// every SIMD kernel backend — clients fork independent RNG streams,
+/// uploads are stored in selection order, and per-item aggregation
+/// writes touch disjoint embedding rows. Client pointers passed to
+/// `RunRound` must outlive the call; the `RecModel` and the initial
+/// `GlobalModel` must be shape-consistent.
 #ifndef PIECK_FED_SERVER_H_
 #define PIECK_FED_SERVER_H_
 

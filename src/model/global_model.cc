@@ -84,6 +84,16 @@ void ClientUpdate::AccumulateItemGrad(int item, const Vec& g) {
   }
 }
 
+double* ClientUpdate::MutableItemGrad(int item, size_t dim) {
+  auto it = std::lower_bound(
+      item_grads.begin(), item_grads.end(), item,
+      [](const std::pair<int, Vec>& a, int b) { return a.first < b; });
+  if (it == item_grads.end() || it->first != item) {
+    it = item_grads.insert(it, {item, Zeros(dim)});
+  }
+  return it->second.data();
+}
+
 const Vec* ClientUpdate::FindItemGrad(int item) const {
   auto it = std::lower_bound(
       item_grads.begin(), item_grads.end(), item,

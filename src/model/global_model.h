@@ -63,6 +63,12 @@ struct ClientUpdate {
   /// Adds `g` to the entry for `item` (creating it if absent).
   void AccumulateItemGrad(int item, const Vec& g);
 
+  /// Finds-or-inserts the (zero-initialized) gradient entry for `item`
+  /// and returns a mutable pointer to its `dim` doubles, letting hot
+  /// loops accumulate through the kernel layer without a temporary.
+  /// Invalidated by the next AccumulateItemGrad / MutableItemGrad call.
+  double* MutableItemGrad(int item, size_t dim);
+
   /// Looks up the gradient for `item`; nullptr if absent.
   const Vec* FindItemGrad(int item) const;
 };

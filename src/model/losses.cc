@@ -1,6 +1,7 @@
 #include "model/losses.h"
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 #include "tensor/math.h"
 
 namespace pieck {
@@ -23,6 +24,25 @@ double BceBatchForwardBackward(const RecModel& model, const GlobalModel& g,
   if (batch.empty()) return 0.0;
   const double inv_n = 1.0 / static_cast<double>(batch.size());
   double loss = 0.0;
+
+  // MF fast path: the whole example — logit, loss, and both gradient
+  // accumulations — is one fused kernel call straight into the update's
+  // stored gradient row, with no virtual dispatch or temporaries.
+  if (model.kind() == ModelKind::kMatrixFactorization) {
+    const KernelTable& k = ActiveKernels();
+    const size_t d = u.size();
+    PIECK_CHECK(g.item_embeddings.cols() == d);
+    PIECK_CHECK(grad_u == nullptr || grad_u->size() == d);
+    double* gu = grad_u != nullptr ? grad_u->data() : nullptr;
+    for (const LabeledItem& ex : batch) {
+      const double* v = g.item_embeddings.RowPtr(static_cast<size_t>(ex.item));
+      double* gv =
+          update != nullptr ? update->MutableItemGrad(ex.item, d) : nullptr;
+      loss += k.BceStep(ex.label, inv_n, u.data(), v, gu, gv, d);
+    }
+    return loss;
+  }
+
   ForwardCache cache;
   for (const LabeledItem& ex : batch) {
     Vec v = g.item_embeddings.Row(static_cast<size_t>(ex.item));
@@ -59,6 +79,35 @@ double BprBatchForwardBackward(const RecModel& model, const GlobalModel& g,
   const double inv_n = 1.0 / static_cast<double>(pairs.size());
 
   double loss = 0.0;
+
+  // MF fast path, mirroring the BCE one: dots and axpys through the
+  // kernel layer, gradients accumulated in place. The two MutableItemGrad
+  // lookups are sequential (fetch, use, fetch, use) because the second
+  // insertion can reallocate the gradient storage.
+  if (model.kind() == ModelKind::kMatrixFactorization) {
+    const KernelTable& k = ActiveKernels();
+    const size_t d = u.size();
+    PIECK_CHECK(g.item_embeddings.cols() == d);
+    PIECK_CHECK(grad_u == nullptr || grad_u->size() == d);
+    double* gu = grad_u != nullptr ? grad_u->data() : nullptr;
+    for (const auto& [ip, in] : pairs) {
+      const double* vp = g.item_embeddings.RowPtr(static_cast<size_t>(ip));
+      const double* vn = g.item_embeddings.RowPtr(static_cast<size_t>(in));
+      const double diff = k.dot(u.data(), vp, d) - k.dot(u.data(), vn, d);
+      loss += -LogSigmoid(diff) * inv_n;
+      const double ddiff = (Sigmoid(diff) - 1.0) * inv_n;
+      if (gu != nullptr) {
+        k.axpy(ddiff, vp, gu, d);
+        k.axpy(-ddiff, vn, gu, d);
+      }
+      if (update != nullptr) {
+        k.axpy(ddiff, u.data(), update->MutableItemGrad(ip, d), d);
+        k.axpy(-ddiff, u.data(), update->MutableItemGrad(in, d), d);
+      }
+    }
+    return loss;
+  }
+
   ForwardCache cache_p;
   ForwardCache cache_n;
   for (const auto& [ip, in] : pairs) {

@@ -1,6 +1,7 @@
 #include "model/mf_model.h"
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pieck {
 
@@ -24,9 +25,16 @@ Vec MfModel::InitUserEmbedding(Rng& rng) const {
   return u;
 }
 
+// The BCE/BPR training loops in losses.cc never reach these virtuals
+// for MF: they run the fused kernel path (KernelTable::BceStep /
+// dot+axpy) on embedding-row pointers directly. Forward/Backward remain
+// the generic entry points for evaluation, attacks, and gradient
+// checks, dispatching through the same kernel table.
+
 double MfModel::Forward(const GlobalModel& /*g*/, const Vec& u, const Vec& v,
                         ForwardCache* cache) const {
-  double s = Dot(u, v);
+  PIECK_CHECK(u.size() == v.size());
+  double s = ActiveKernels().dot(u.data(), v.data(), u.size());
   if (cache != nullptr) cache->logit = s;
   return s;
 }
@@ -36,13 +44,14 @@ void MfModel::Backward(const GlobalModel& /*g*/, const Vec& u, const Vec& v,
                        Vec* grad_u, Vec* grad_v,
                        InteractionGrads* /*igrads*/) const {
   // s = u·v: ds/du = v, ds/dv = u.
+  const KernelTable& k = ActiveKernels();
   if (grad_u != nullptr) {
     PIECK_CHECK(grad_u->size() == v.size());
-    Axpy(dlogit, v, *grad_u);
+    k.axpy(dlogit, v.data(), grad_u->data(), v.size());
   }
   if (grad_v != nullptr) {
     PIECK_CHECK(grad_v->size() == u.size());
-    Axpy(dlogit, u, *grad_v);
+    k.axpy(dlogit, u.data(), grad_v->data(), u.size());
   }
 }
 

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
-#include "tensor/math.h"
+#include "tensor/kernels.h"
 
 namespace pieck {
 
@@ -66,12 +66,13 @@ double NcfModel::Forward(const GlobalModel& g, const Vec& u, const Vec& v,
   c.pre.reserve(hidden_dims_.size());
   c.act.reserve(hidden_dims_.size());
 
+  const KernelTable& k = ActiveKernels();
   Vec cur = std::move(x);
   for (size_t l = 0; l < g.mlp_weights.size(); ++l) {
     Vec pre = g.mlp_weights[l].MatVec(cur);
     Axpy(1.0, g.mlp_biases[l], pre);
     Vec act(pre.size());
-    for (size_t i = 0; i < pre.size(); ++i) act[i] = Relu(pre[i]);
+    k.relu(pre.data(), act.data(), pre.size());
     c.pre.push_back(std::move(pre));
     cur = act;
     c.act.push_back(std::move(act));
@@ -86,6 +87,7 @@ void NcfModel::Backward(const GlobalModel& g, const Vec& u, const Vec& v,
                         Vec* grad_v, InteractionGrads* igrads) const {
   PIECK_CHECK(cache.pre.size() == g.mlp_weights.size());
   const size_t L = g.mlp_weights.size();
+  const KernelTable& k = ActiveKernels();
 
   // d logit / d z_L = h.
   Vec delta = g.projection;  // gradient flowing into the top activation
@@ -98,11 +100,9 @@ void NcfModel::Backward(const GlobalModel& g, const Vec& u, const Vec& v,
   }
 
   for (size_t l = L; l-- > 0;) {
-    // Through ReLU: delta_pre = delta ⊙ 1[pre > 0].
+    // Through ReLU: zero delta where pre <= 0 (masked selection).
     Vec delta_pre = delta;
-    for (size_t i = 0; i < delta_pre.size(); ++i) {
-      delta_pre[i] *= ReluGrad(cache.pre[l][i]);
-    }
+    k.relu_backward(cache.pre[l].data(), delta_pre.data(), delta_pre.size());
     const Vec& layer_in = l > 0 ? cache.act[l - 1] : cache.input;
     if (igrads != nullptr && igrads->active) {
       igrads->weights[l].AddOuter(1.0, delta_pre, layer_in);
@@ -113,15 +113,14 @@ void NcfModel::Backward(const GlobalModel& g, const Vec& u, const Vec& v,
 
   // delta now holds d logit / d input (times dlogit); the first dim_
   // entries belong to u, the rest to v.
+  const size_t d = static_cast<size_t>(dim_);
   if (grad_u != nullptr) {
     PIECK_CHECK(grad_u->size() == u.size());
-    for (int i = 0; i < dim_; ++i) (*grad_u)[static_cast<size_t>(i)] +=
-        delta[static_cast<size_t>(i)];
+    k.axpy(1.0, delta.data(), grad_u->data(), d);
   }
   if (grad_v != nullptr) {
     PIECK_CHECK(grad_v->size() == v.size());
-    for (int i = 0; i < dim_; ++i) (*grad_v)[static_cast<size_t>(i)] +=
-        delta[static_cast<size_t>(dim_ + i)];
+    k.axpy(1.0, delta.data() + d, grad_v->data(), d);
   }
 }
 

@@ -1,3 +1,9 @@
+/// \file
+/// Finite-difference gradient checking used by the model and loss
+/// tests. Tolerances are loose enough (central differences, eps ~1e-5)
+/// that the kernel layer's fixed reduction order never affects a
+/// verdict. `f` may be called many times and must be deterministic;
+/// not thread-safe if `f` mutates shared state.
 #ifndef PIECK_TENSOR_GRAD_CHECK_H_
 #define PIECK_TENSOR_GRAD_CHECK_H_
 

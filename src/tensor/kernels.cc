@@ -1,0 +1,152 @@
+#include "tensor/kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/kernels_internal.h"
+#include "tensor/math.h"
+
+namespace pieck {
+
+namespace {
+
+const KernelTable kScalarTable = {
+    KernelBackend::kScalar,         internal::DotScalar,
+    internal::AxpyScalar,           internal::ScaleScalar,
+    internal::SquaredNormScalar,    internal::SquaredDistanceScalar,
+    internal::ReluScalar,           internal::ReluBackwardScalar,
+};
+
+#if defined(PIECK_HAVE_AVX2)
+const KernelTable kAvx2Table = {
+    KernelBackend::kAvx2,         internal::DotAvx2,
+    internal::AxpyAvx2,           internal::ScaleAvx2,
+    internal::SquaredNormAvx2,    internal::SquaredDistanceAvx2,
+    internal::ReluAvx2,           internal::ReluBackwardAvx2,
+};
+
+bool CpuHasAvx2() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+#endif  // PIECK_HAVE_AVX2
+
+#if defined(PIECK_HAVE_NEON)
+const KernelTable kNeonTable = {
+    KernelBackend::kNeon,         internal::DotNeon,
+    internal::AxpyNeon,           internal::ScaleNeon,
+    internal::SquaredNormNeon,    internal::SquaredDistanceNeon,
+    internal::ReluNeon,           internal::ReluBackwardNeon,
+};
+#endif  // PIECK_HAVE_NEON
+
+/// Picks the startup backend: the PIECK_SIMD environment variable wins
+/// (unknown or unavailable values fall back to auto-detection), then the
+/// widest backend this CPU supports, then scalar.
+const KernelTable* DetectBackend() {
+  const char* env = std::getenv("PIECK_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0) {
+      return &kScalarTable;
+    }
+    if (std::strcmp(env, "avx2") == 0 && Avx2Kernels() != nullptr) {
+      return Avx2Kernels();
+    }
+    if (std::strcmp(env, "neon") == 0 && NeonKernels() != nullptr) {
+      return NeonKernels();
+    }
+  }
+  if (Avx2Kernels() != nullptr) return Avx2Kernels();
+  if (NeonKernels() != nullptr) return NeonKernels();
+  return &kScalarTable;
+}
+
+const KernelTable*& ActiveTablePtr() {
+  static const KernelTable* active = DetectBackend();
+  return active;
+}
+
+}  // namespace
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kAvx2:
+      return "avx2";
+    case KernelBackend::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+const KernelTable& ScalarKernels() { return kScalarTable; }
+
+const KernelTable* Avx2Kernels() {
+#if defined(PIECK_HAVE_AVX2)
+  static const bool supported = CpuHasAvx2();
+  return supported ? &kAvx2Table : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+const KernelTable* NeonKernels() {
+#if defined(PIECK_HAVE_NEON)
+  return &kNeonTable;
+#else
+  return nullptr;
+#endif
+}
+
+std::vector<const KernelTable*> AvailableKernelTables() {
+  std::vector<const KernelTable*> tables = {&kScalarTable};
+  if (Avx2Kernels() != nullptr) tables.push_back(Avx2Kernels());
+  if (NeonKernels() != nullptr) tables.push_back(NeonKernels());
+  return tables;
+}
+
+const KernelTable& ActiveKernels() { return *ActiveTablePtr(); }
+
+bool SetActiveKernelBackend(KernelBackend backend) {
+  const KernelTable* table = nullptr;
+  switch (backend) {
+    case KernelBackend::kScalar:
+      table = &kScalarTable;
+      break;
+    case KernelBackend::kAvx2:
+      table = Avx2Kernels();
+      break;
+    case KernelBackend::kNeon:
+      table = NeonKernels();
+      break;
+  }
+  if (table == nullptr) return false;
+  ActiveTablePtr() = table;
+  return true;
+}
+
+double KernelTable::BceStep(double label, double weight, const double* u,
+                            const double* v, double* grad_u, double* grad_v,
+                            std::size_t n) const {
+  const double logit = dot(u, v, n);
+  const double loss = BceLossFromLogit(label, logit) * weight;
+  const double dlogit = BceGradFromLogit(label, logit) * weight;
+  if (grad_u != nullptr) axpy(dlogit, v, grad_u, n);
+  if (grad_v != nullptr) axpy(dlogit, u, grad_v, n);
+  return loss;
+}
+
+void KernelTable::ProjectL2Ball(double* x, std::size_t n,
+                                double max_norm) const {
+  const double norm = std::sqrt(squared_norm(x, n));
+  if (norm > max_norm && norm > 0.0) {
+    scale(max_norm / norm, x, n);
+  }
+}
+
+}  // namespace pieck

@@ -1,0 +1,136 @@
+/// \file
+/// Runtime-dispatched SIMD kernels for the dense embedding hot path.
+///
+/// Every experiment in the library bottoms out in d-dimensional double
+/// arithmetic over embedding rows (dot products, axpy gradient steps,
+/// norms, the sigmoid/BCE update, and the clamped L2-ball projection of
+/// the Δ-Norm defense). This layer provides those primitives as raw
+/// pointer kernels behind a function table that is selected once at
+/// runtime: AVX2 on x86-64, NEON on AArch64, and a portable scalar
+/// fallback everywhere (also used when the build disables SIMD with
+/// `-DPIECK_ENABLE_SIMD=OFF`).
+///
+/// ## Bit-exactness contract
+///
+/// All backends are required to produce **bit-identical** results (0 ULP)
+/// for every kernel. Elementwise kernels (axpy, scale, relu) are exact
+/// per IEEE-754 once floating-point contraction is disabled, which the
+/// build enforces with `-ffp-contract=off` on every kernel translation
+/// unit. Reductions (dot, squared_norm, squared_distance) follow a fixed
+/// **8-lane blocked order**: element i accumulates into lane `i mod 8`,
+/// and the lanes combine as
+/// `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`. Eight lanes give every
+/// backend at least two independent accumulator chains (two 4-wide
+/// vectors on AVX2, four 2-wide on NEON), hiding FP-add latency; the
+/// scalar fallback implements exactly this order (and is compiled with
+/// auto-vectorization off so it stays honestly scalar for benchmarking),
+/// so SIMD on/off and cross-architecture runs agree bitwise.
+/// `tests/tensor_kernels_test.cc` asserts the contract for every
+/// compiled backend.
+///
+/// ## Alignment, aliasing, thread-safety
+///
+/// - Alignment: none required; all vector loads/stores are unaligned.
+/// - Aliasing: input and output ranges must either coincide exactly
+///   (x == y is allowed for the in-place kernels) or not overlap at all;
+///   partially overlapping ranges are undefined behavior.
+/// - Thread-safety: kernels are pure functions of their arguments and are
+///   safe to call concurrently. `SetActiveKernelBackend` mutates the
+///   process-wide dispatch pointer and must not race with concurrent
+///   kernel dispatch; call it during startup or single-threaded test
+///   setup only.
+#ifndef PIECK_TENSOR_KERNELS_H_
+#define PIECK_TENSOR_KERNELS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pieck {
+
+/// Identifies one compiled kernel backend.
+enum class KernelBackend {
+  kScalar,  // portable blocked-scalar reference implementation
+  kAvx2,    // x86-64 AVX2 (4 doubles per vector)
+  kNeon,    // AArch64 NEON (2x2 doubles per vector)
+};
+
+const char* KernelBackendName(KernelBackend backend);
+
+/// Function table of the core primitives for one backend. All pointers
+/// are always non-null. Lengths may be zero; pointers may be null only
+/// when the corresponding length is zero.
+struct KernelTable {
+  KernelBackend backend;
+
+  /// Returns sum_i a[i]*b[i] in the blocked 8-lane order.
+  double (*dot)(const double* a, const double* b, std::size_t n);
+
+  /// y[i] += alpha * x[i]. x == y is allowed.
+  void (*axpy)(double alpha, const double* x, double* y, std::size_t n);
+
+  /// x[i] *= alpha.
+  void (*scale)(double alpha, double* x, std::size_t n);
+
+  /// Returns sum_i x[i]^2 in the blocked 8-lane order.
+  double (*squared_norm)(const double* x, std::size_t n);
+
+  /// Returns sum_i (a[i]-b[i])^2 in the blocked 8-lane order.
+  double (*squared_distance)(const double* a, const double* b, std::size_t n);
+
+  /// y[i] = x[i] > 0 ? x[i] : +0.0. x == y is allowed.
+  void (*relu)(const double* x, double* y, std::size_t n);
+
+  /// delta[i] = pre[i] > 0 ? delta[i] : +0.0 (in place). Note this is a
+  /// *selection*, not a multiply by the ReLU subgradient: the masked
+  /// entries are +0.0 regardless of the sign of delta[i].
+  void (*relu_backward)(const double* pre, double* delta, std::size_t n);
+
+  // -- Composed helpers ----------------------------------------------
+  // Implemented once on top of the primitives above (plus scalar libm
+  // calls that are backend-independent), so their bit-exactness follows
+  // from the primitives'.
+
+  /// Fused BCE step for a dot-product (MF) interaction: computes the
+  /// logit s = dot(u, v), the weighted loss w * BCE(label, σ(s)), and
+  /// the weighted dlogit g = w * (σ(s) - label), then accumulates
+  /// grad_u += g * v and grad_v += g * u (each skipped when null).
+  /// Returns the weighted loss.
+  double BceStep(double label, double weight, const double* u,
+                 const double* v, double* grad_u, double* grad_v,
+                 std::size_t n) const;
+
+  /// Clamped L2-ball projection: if ||x||_2 > max_norm (> 0), rescales x
+  /// by max_norm / ||x||_2; otherwise leaves x untouched. The Δ-Norm
+  /// defense and FedRecAttack both clip update rows with this.
+  void ProjectL2Ball(double* x, std::size_t n, double max_norm) const;
+};
+
+/// The portable reference backend (always available).
+const KernelTable& ScalarKernels();
+
+/// The AVX2 backend, or nullptr when it was not compiled in or the CPU
+/// lacks AVX2.
+const KernelTable* Avx2Kernels();
+
+/// The NEON backend, or nullptr when it was not compiled in.
+const KernelTable* NeonKernels();
+
+/// Every backend usable on this machine, scalar first. The single
+/// enumeration point for code that iterates backends (the 0-ULP
+/// equivalence tests, the kernel benchmarks).
+std::vector<const KernelTable*> AvailableKernelTables();
+
+/// The table every math routine in the library dispatches through. On
+/// first use this picks the best available backend, honouring the
+/// `PIECK_SIMD` environment variable (`off`/`scalar`, `avx2`, `neon`;
+/// unset or `auto` selects automatically).
+const KernelTable& ActiveKernels();
+
+/// Forces the active backend (benchmarks / tests). Returns false and
+/// changes nothing when that backend is unavailable. Not safe to call
+/// while other threads are dispatching kernels.
+bool SetActiveKernelBackend(KernelBackend backend);
+
+}  // namespace pieck
+
+#endif  // PIECK_TENSOR_KERNELS_H_

@@ -1,0 +1,149 @@
+// AVX2 backend: 4 doubles per 256-bit vector; reductions run two
+// independent vector accumulators per the 8-lane order in kernels.h
+// (acc0 = lanes 0-3, acc1 = lanes 4-7), which both matches the scalar
+// reference lane for lane and hides the 4-cycle vaddpd latency.
+// Compiled with -mavx2 (no -mfma) and -ffp-contract=off: without FMA
+// available to the compiler, mul+add cannot be contracted, keeping every
+// intermediate rounded exactly like the scalar fallback. Only added to
+// the build on x86-64 with PIECK_ENABLE_SIMD=ON; callers must still
+// check for AVX2 at runtime before dispatching here.
+
+#include "tensor/kernels_internal.h"
+
+#if defined(PIECK_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace pieck {
+namespace internal {
+
+namespace {
+
+// In-register combine producing bitwise the same order as the shared
+// CombineLanes (kernels_internal.h):
+// hadd(acc0, acc1) = [l0+l1, l4+l5, l2+l3, l6+l7]; adding its low and
+// high 128-bit halves gives [(l0+l1)+(l2+l3), (l4+l5)+(l6+l7)], and the
+// final scalar add matches the outermost + exactly. Used on the no-tail
+// fast path, where it replaces the lane store and seven scalar adds.
+inline double CombineAcc(__m256d acc0, __m256d acc1) {
+  const __m256d h = _mm256_hadd_pd(acc0, acc1);
+  const __m128d s =
+      _mm_add_pd(_mm256_castpd256_pd128(h), _mm256_extractf128_pd(h, 1));
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+}  // namespace
+
+double DotAvx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t i = 0;
+  for (; i < n8; i += 8) {
+    acc0 = _mm256_add_pd(
+        acc0, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4),
+                                             _mm256_loadu_pd(b + i + 4)));
+  }
+  if (i == n) return CombineAcc(acc0, acc1);
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc0);
+  _mm256_store_pd(lanes + 4, acc1);
+  for (; i < n; ++i) lanes[i - n8] += a[i] * b[i];
+  return CombineLanes(lanes);
+}
+
+void AxpyAvx2(double alpha, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  std::size_t i = 0;
+  for (; i < n4; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAvx2(double alpha, double* x, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  std::size_t i = 0;
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+double SquaredNormAvx2(const double* x, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t i = 0;
+  for (; i < n8; i += 8) {
+    const __m256d v0 = _mm256_loadu_pd(x + i);
+    const __m256d v1 = _mm256_loadu_pd(x + i + 4);
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, v0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, v1));
+  }
+  if (i == n) return CombineAcc(acc0, acc1);
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc0);
+  _mm256_store_pd(lanes + 4, acc1);
+  for (; i < n; ++i) lanes[i - n8] += x[i] * x[i];
+  return CombineLanes(lanes);
+}
+
+double SquaredDistanceAvx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t i = 0;
+  for (; i < n8; i += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+  }
+  if (i == n) return CombineAcc(acc0, acc1);
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc0);
+  _mm256_store_pd(lanes + 4, acc1);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    lanes[i - n8] += d * d;
+  }
+  return CombineLanes(lanes);
+}
+
+void ReluAvx2(const double* x, double* y, std::size_t n) {
+  // maxpd(x, 0) computes x > 0 ? x : 0 per lane, matching the scalar
+  // selection (including -0.0 -> +0.0 and NaN -> +0.0... NaN compares
+  // unordered so the second operand, +0.0, is returned).
+  const __m256d zero = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  std::size_t i = 0;
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_max_pd(_mm256_loadu_pd(x + i), zero));
+  }
+  for (; i < n; ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+void ReluBackwardAvx2(const double* pre, double* delta, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  std::size_t i = 0;
+  for (; i < n4; i += 4) {
+    const __m256d mask =
+        _mm256_cmp_pd(_mm256_loadu_pd(pre + i), zero, _CMP_GT_OQ);
+    _mm256_storeu_pd(delta + i,
+                     _mm256_and_pd(_mm256_loadu_pd(delta + i), mask));
+  }
+  for (; i < n; ++i) delta[i] = pre[i] > 0.0 ? delta[i] : 0.0;
+}
+
+}  // namespace internal
+}  // namespace pieck
+
+#endif  // PIECK_HAVE_AVX2 && __AVX2__

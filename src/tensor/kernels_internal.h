@@ -1,0 +1,52 @@
+/// \file
+/// Internal declarations of the per-backend kernel entry points. Each
+/// backend translation unit (kernels_scalar.cc, kernels_avx2.cc,
+/// kernels_neon.cc) defines its set; kernels.cc assembles them into
+/// KernelTables. Not installed; include only from src/tensor.
+#ifndef PIECK_TENSOR_KERNELS_INTERNAL_H_
+#define PIECK_TENSOR_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+
+namespace pieck {
+namespace internal {
+
+/// The reduction-combine order mandated by kernels.h, in one place so
+/// every backend shares a single definition of the bit-exactness
+/// contract: ((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7)).
+inline double CombineLanes(const double* l) {
+  return ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+}
+
+double DotScalar(const double* a, const double* b, std::size_t n);
+void AxpyScalar(double alpha, const double* x, double* y, std::size_t n);
+void ScaleScalar(double alpha, double* x, std::size_t n);
+double SquaredNormScalar(const double* x, std::size_t n);
+double SquaredDistanceScalar(const double* a, const double* b, std::size_t n);
+void ReluScalar(const double* x, double* y, std::size_t n);
+void ReluBackwardScalar(const double* pre, double* delta, std::size_t n);
+
+#if defined(PIECK_HAVE_AVX2)
+double DotAvx2(const double* a, const double* b, std::size_t n);
+void AxpyAvx2(double alpha, const double* x, double* y, std::size_t n);
+void ScaleAvx2(double alpha, double* x, std::size_t n);
+double SquaredNormAvx2(const double* x, std::size_t n);
+double SquaredDistanceAvx2(const double* a, const double* b, std::size_t n);
+void ReluAvx2(const double* x, double* y, std::size_t n);
+void ReluBackwardAvx2(const double* pre, double* delta, std::size_t n);
+#endif
+
+#if defined(PIECK_HAVE_NEON)
+double DotNeon(const double* a, const double* b, std::size_t n);
+void AxpyNeon(double alpha, const double* x, double* y, std::size_t n);
+void ScaleNeon(double alpha, double* x, std::size_t n);
+double SquaredNormNeon(const double* x, std::size_t n);
+double SquaredDistanceNeon(const double* a, const double* b, std::size_t n);
+void ReluNeon(const double* x, double* y, std::size_t n);
+void ReluBackwardNeon(const double* pre, double* delta, std::size_t n);
+#endif
+
+}  // namespace internal
+}  // namespace pieck
+
+#endif  // PIECK_TENSOR_KERNELS_INTERNAL_H_

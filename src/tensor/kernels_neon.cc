@@ -1,0 +1,152 @@
+// AArch64 NEON backend: 2 doubles per 128-bit vector, so each blocked
+// iteration uses four vectors — accumulator p holds reduction lanes
+// {2p, 2p+1} — reproducing the scalar reference's 8-lane order exactly
+// with four independent add chains. Compiled with -ffp-contract=off and
+// explicit mul-then-add intrinsics (no vfma), so every intermediate
+// rounds like the scalar fallback. ReLU uses compare+bit-select rather
+// than vmaxq_f64 because FMAX propagates NaN where the scalar selection
+// returns +0.0.
+
+#include "tensor/kernels_internal.h"
+
+#if defined(PIECK_HAVE_NEON) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace pieck {
+namespace internal {
+
+namespace {
+
+inline void StoreLanes(double* lanes, float64x2_t a0, float64x2_t a1,
+                       float64x2_t a2, float64x2_t a3) {
+  vst1q_f64(lanes, a0);
+  vst1q_f64(lanes + 2, a1);
+  vst1q_f64(lanes + 4, a2);
+  vst1q_f64(lanes + 6, a3);
+}
+
+}  // namespace
+
+double DotNeon(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  float64x2_t acc2 = vdupq_n_f64(0.0);
+  float64x2_t acc3 = vdupq_n_f64(0.0);
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t i = 0;
+  for (; i < n8; i += 8) {
+    acc0 = vaddq_f64(acc0, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    acc1 = vaddq_f64(acc1,
+                     vmulq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2)));
+    acc2 = vaddq_f64(acc2,
+                     vmulq_f64(vld1q_f64(a + i + 4), vld1q_f64(b + i + 4)));
+    acc3 = vaddq_f64(acc3,
+                     vmulq_f64(vld1q_f64(a + i + 6), vld1q_f64(b + i + 6)));
+  }
+  double lanes[8];
+  StoreLanes(lanes, acc0, acc1, acc2, acc3);
+  for (; i < n; ++i) lanes[i - n8] += a[i] * b[i];
+  return CombineLanes(lanes);
+}
+
+void AxpyNeon(double alpha, const double* x, double* y, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  const std::size_t n2 = n & ~static_cast<std::size_t>(1);
+  std::size_t i = 0;
+  for (; i < n2; i += 2) {
+    const float64x2_t prod = vmulq_f64(va, vld1q_f64(x + i));
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleNeon(double alpha, double* x, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  const std::size_t n2 = n & ~static_cast<std::size_t>(1);
+  std::size_t i = 0;
+  for (; i < n2; i += 2) {
+    vst1q_f64(x + i, vmulq_f64(va, vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+double SquaredNormNeon(const double* x, std::size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  float64x2_t acc2 = vdupq_n_f64(0.0);
+  float64x2_t acc3 = vdupq_n_f64(0.0);
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t i = 0;
+  for (; i < n8; i += 8) {
+    const float64x2_t v0 = vld1q_f64(x + i);
+    const float64x2_t v1 = vld1q_f64(x + i + 2);
+    const float64x2_t v2 = vld1q_f64(x + i + 4);
+    const float64x2_t v3 = vld1q_f64(x + i + 6);
+    acc0 = vaddq_f64(acc0, vmulq_f64(v0, v0));
+    acc1 = vaddq_f64(acc1, vmulq_f64(v1, v1));
+    acc2 = vaddq_f64(acc2, vmulq_f64(v2, v2));
+    acc3 = vaddq_f64(acc3, vmulq_f64(v3, v3));
+  }
+  double lanes[8];
+  StoreLanes(lanes, acc0, acc1, acc2, acc3);
+  for (; i < n; ++i) lanes[i - n8] += x[i] * x[i];
+  return CombineLanes(lanes);
+}
+
+double SquaredDistanceNeon(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  float64x2_t acc2 = vdupq_n_f64(0.0);
+  float64x2_t acc3 = vdupq_n_f64(0.0);
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t i = 0;
+  for (; i < n8; i += 8) {
+    const float64x2_t d0 = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    const float64x2_t d1 =
+        vsubq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    const float64x2_t d2 =
+        vsubq_f64(vld1q_f64(a + i + 4), vld1q_f64(b + i + 4));
+    const float64x2_t d3 =
+        vsubq_f64(vld1q_f64(a + i + 6), vld1q_f64(b + i + 6));
+    acc0 = vaddq_f64(acc0, vmulq_f64(d0, d0));
+    acc1 = vaddq_f64(acc1, vmulq_f64(d1, d1));
+    acc2 = vaddq_f64(acc2, vmulq_f64(d2, d2));
+    acc3 = vaddq_f64(acc3, vmulq_f64(d3, d3));
+  }
+  double lanes[8];
+  StoreLanes(lanes, acc0, acc1, acc2, acc3);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    lanes[i - n8] += d * d;
+  }
+  return CombineLanes(lanes);
+}
+
+void ReluNeon(const double* x, double* y, std::size_t n) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const std::size_t n2 = n & ~static_cast<std::size_t>(1);
+  std::size_t i = 0;
+  for (; i < n2; i += 2) {
+    const float64x2_t v = vld1q_f64(x + i);
+    const uint64x2_t mask = vcgtq_f64(v, zero);
+    vst1q_f64(y + i, vbslq_f64(mask, v, zero));
+  }
+  for (; i < n; ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+void ReluBackwardNeon(const double* pre, double* delta, std::size_t n) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const std::size_t n2 = n & ~static_cast<std::size_t>(1);
+  std::size_t i = 0;
+  for (; i < n2; i += 2) {
+    const uint64x2_t mask = vcgtq_f64(vld1q_f64(pre + i), zero);
+    vst1q_f64(delta + i, vbslq_f64(mask, vld1q_f64(delta + i), zero));
+  }
+  for (; i < n; ++i) delta[i] = pre[i] > 0.0 ? delta[i] : 0.0;
+}
+
+}  // namespace internal
+}  // namespace pieck
+
+#endif  // PIECK_HAVE_NEON && __aarch64__

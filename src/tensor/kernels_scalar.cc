@@ -1,0 +1,72 @@
+// Portable reference backend. Reductions use the blocked 8-lane order
+// mandated by kernels.h so that the SIMD backends can match it lane for
+// lane. This translation unit is compiled with -ffp-contract=off (no
+// fused multiply-add) and with auto-vectorization disabled, so it is
+// both the bit-exactness reference and an honest scalar baseline for
+// the kernel benchmarks.
+
+#include "tensor/kernels_internal.h"
+
+namespace pieck {
+namespace internal {
+
+double DotScalar(const double* a, const double* b, std::size_t n) {
+  double lanes[8] = {0.0};
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t i = 0;
+  for (; i < n8; i += 8) {
+    for (std::size_t j = 0; j < 8; ++j) lanes[j] += a[i + j] * b[i + j];
+  }
+  for (; i < n; ++i) lanes[i - n8] += a[i] * b[i];
+  return CombineLanes(lanes);
+}
+
+void AxpyScalar(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleScalar(double alpha, double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double SquaredNormScalar(const double* x, std::size_t n) {
+  double lanes[8] = {0.0};
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t i = 0;
+  for (; i < n8; i += 8) {
+    for (std::size_t j = 0; j < 8; ++j) lanes[j] += x[i + j] * x[i + j];
+  }
+  for (; i < n; ++i) lanes[i - n8] += x[i] * x[i];
+  return CombineLanes(lanes);
+}
+
+double SquaredDistanceScalar(const double* a, const double* b,
+                             std::size_t n) {
+  double lanes[8] = {0.0};
+  const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+  std::size_t i = 0;
+  for (; i < n8; i += 8) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const double d = a[i + j] - b[i + j];
+      lanes[j] += d * d;
+    }
+  }
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    lanes[i - n8] += d * d;
+  }
+  return CombineLanes(lanes);
+}
+
+void ReluScalar(const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+void ReluBackwardScalar(const double* pre, double* delta, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    delta[i] = pre[i] > 0.0 ? delta[i] : 0.0;
+  }
+}
+
+}  // namespace internal
+}  // namespace pieck

@@ -1,3 +1,11 @@
+/// \file
+/// Scalar math helpers (sigmoid family, ReLU, BCE) shared by every
+/// model and loss. All functions are pure, thread-safe, and numerically
+/// stable over the full double range (the logit-space BCE variants
+/// avoid overflow for large |s|). These are deliberately scalar: the
+/// SIMD kernel layer composes them with vector primitives (e.g.
+/// KernelTable::BceStep) rather than vectorizing transcendentals, so
+/// their results are identical on every backend.
 #ifndef PIECK_TENSOR_MATH_H_
 #define PIECK_TENSOR_MATH_H_
 

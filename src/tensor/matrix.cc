@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pieck {
 
@@ -10,6 +11,16 @@ Vec Matrix::Row(size_t r) const {
   PIECK_CHECK(r < rows_);
   return Vec(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
              data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+const double* Matrix::RowPtr(size_t r) const {
+  PIECK_CHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+double* Matrix::MutableRowPtr(size_t r) {
+  PIECK_CHECK(r < rows_);
+  return data_.data() + r * cols_;
 }
 
 void Matrix::SetRow(size_t r, const Vec& v) {
@@ -20,39 +31,34 @@ void Matrix::SetRow(size_t r, const Vec& v) {
 
 void Matrix::AxpyRow(size_t r, double alpha, const Vec& v) {
   PIECK_CHECK(r < rows_ && v.size() == cols_);
-  double* row = data_.data() + r * cols_;
-  for (size_t c = 0; c < cols_; ++c) row[c] += alpha * v[c];
+  ActiveKernels().axpy(alpha, v.data(), data_.data() + r * cols_, cols_);
 }
 
 Vec Matrix::MatVec(const Vec& x) const {
   PIECK_CHECK(x.size() == cols_);
+  const KernelTable& k = ActiveKernels();
   Vec y(rows_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    double s = 0.0;
-    for (size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
-    y[r] = s;
+    y[r] = k.dot(data_.data() + r * cols_, x.data(), cols_);
   }
   return y;
 }
 
 Vec Matrix::MatTVec(const Vec& x) const {
   PIECK_CHECK(x.size() == rows_);
+  const KernelTable& k = ActiveKernels();
   Vec y(cols_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    double xr = x[r];
-    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+    k.axpy(x[r], data_.data() + r * cols_, y.data(), cols_);
   }
   return y;
 }
 
 void Matrix::AddOuter(double alpha, const Vec& a, const Vec& b) {
   PIECK_CHECK(a.size() == rows_ && b.size() == cols_);
+  const KernelTable& k = ActiveKernels();
   for (size_t r = 0; r < rows_; ++r) {
-    double* row = data_.data() + r * cols_;
-    double ar = alpha * a[r];
-    for (size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
+    k.axpy(alpha * a[r], b.data(), data_.data() + r * cols_, cols_);
   }
 }
 
@@ -67,14 +73,12 @@ void Matrix::RandomUniform(Rng& rng, double lo, double hi) {
 void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
 double Matrix::FrobeniusNorm() const {
-  double s = 0.0;
-  for (double v : data_) s += v * v;
-  return std::sqrt(s);
+  return std::sqrt(ActiveKernels().squared_norm(data_.data(), data_.size()));
 }
 
 void Matrix::Axpy(double alpha, const Matrix& other) {
   PIECK_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  ActiveKernels().axpy(alpha, other.data_.data(), data_.data(), data_.size());
 }
 
 }  // namespace pieck

@@ -1,3 +1,13 @@
+/// \file
+/// Row-major dense matrix over contiguous `double` storage.
+///
+/// Contracts: rows are contiguous (`RowPtr(r)` spans `cols()` doubles),
+/// so kernel-layer primitives apply directly to rows. No alignment
+/// guarantee beyond `operator new`'s. Concurrent reads are safe;
+/// concurrent writes are safe only to disjoint rows (the parallel
+/// aggregation path in `fed/server.cc` relies on exactly this). The
+/// dense loops (MatVec, AddOuter, ...) dispatch through
+/// `tensor/kernels.h` and inherit its bit-exactness contract.
 #ifndef PIECK_TENSOR_MATRIX_H_
 #define PIECK_TENSOR_MATRIX_H_
 
@@ -26,6 +36,12 @@ class Matrix {
 
   /// Copies row `r` out as a Vec.
   Vec Row(size_t r) const;
+
+  /// Borrows row `r` as a pointer to `cols()` contiguous doubles. Hot
+  /// paths use this with the kernel layer to avoid the Row() copy. The
+  /// pointer is invalidated by any resizing operation.
+  const double* RowPtr(size_t r) const;
+  double* MutableRowPtr(size_t r);
 
   /// Overwrites row `r` with `v` (v.size() must equal cols()).
   void SetRow(size_t r, const Vec& v);

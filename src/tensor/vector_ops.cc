@@ -4,23 +4,22 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pieck {
 
 double Dot(const Vec& a, const Vec& b) {
   PIECK_CHECK(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return ActiveKernels().dot(a.data(), b.data(), a.size());
 }
 
 void Axpy(double alpha, const Vec& x, Vec& y) {
   PIECK_CHECK(x.size() == y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  ActiveKernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void Scale(double alpha, Vec& x) {
-  for (double& v : x) v *= alpha;
+  ActiveKernels().scale(alpha, x.data(), x.size());
 }
 
 Vec Add(const Vec& a, const Vec& b) {
@@ -38,21 +37,15 @@ Vec Sub(const Vec& a, const Vec& b) {
 }
 
 double SquaredNorm2(const Vec& a) {
-  double s = 0.0;
-  for (double v : a) s += v * v;
-  return s;
+  return ActiveKernels().squared_norm(a.data(), a.size());
 }
 
 double Norm2(const Vec& a) { return std::sqrt(SquaredNorm2(a)); }
 
 double L2Distance(const Vec& a, const Vec& b) {
   PIECK_CHECK(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
+  return std::sqrt(ActiveKernels().squared_distance(a.data(), b.data(),
+                                                    a.size()));
 }
 
 double CosineSimilarity(const Vec& a, const Vec& b) {
@@ -129,10 +122,7 @@ Vec SoftmaxKlGradWrtA(const Vec& a, const Vec& b) {
 
 void ClipNorm(Vec& x, double max_norm) {
   PIECK_CHECK(max_norm >= 0.0);
-  double n = Norm2(x);
-  if (n > max_norm && n > 0.0) {
-    Scale(max_norm / n, x);
-  }
+  ActiveKernels().ProjectL2Ball(x.data(), x.size(), max_norm);
 }
 
 Vec Zeros(size_t dim) { return Vec(dim, 0.0); }

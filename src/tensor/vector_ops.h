@@ -1,3 +1,15 @@
+/// \file
+/// Vec-level wrappers over the dense math primitives.
+///
+/// Contracts: size mismatches abort via PIECK_CHECK. All functions are
+/// pure (thread-safe for concurrent calls on distinct outputs; in-place
+/// functions require exclusive access to their output). No alignment
+/// requirements. The BLAS-shaped operations (Dot, Axpy, Scale, norms,
+/// ClipNorm) dispatch through the runtime-selected SIMD kernel layer in
+/// `tensor/kernels.h` and inherit its bit-exactness guarantee: results
+/// do not depend on the selected backend. Hot loops that already hold
+/// raw row pointers should call `ActiveKernels()` directly and skip the
+/// Vec indirection.
 #ifndef PIECK_TENSOR_VECTOR_OPS_H_
 #define PIECK_TENSOR_VECTOR_OPS_H_
 

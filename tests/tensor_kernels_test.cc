@@ -1,0 +1,257 @@
+// Bit-exactness tests for the SIMD kernel layer (src/tensor/kernels.h).
+//
+// The kernel contract requires every compiled backend to agree with the
+// scalar reference to 0 ULP for all primitives, for every length
+// (aligned multiples of the vector width, unaligned starting pointers,
+// and ragged tails), including special values (±0, denormals, huge
+// magnitudes). These tests enumerate each available backend against the
+// scalar table and compare results bitwise.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/kernels.h"
+
+namespace pieck {
+namespace {
+
+std::uint64_t Bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (Bits(a) == Bits(b)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " (0x" << std::hex << Bits(a) << ") != " << std::dec << b
+         << " (0x" << std::hex << Bits(b) << ")";
+}
+
+::testing::AssertionResult BitEqualVec(const std::vector<double>& a,
+                                       const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (Bits(a[i]) != Bits(b[i])) {
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << a[i] << " != " << b[i] << " (0x"
+             << std::hex << Bits(a[i]) << " vs 0x" << Bits(b[i]) << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Lengths covering empty input, sub-vector-width, exact multiples of
+// the 4-lane block, and ragged tails of every residue.
+const size_t kLengths[] = {0,  1,  2,  3,  4,  5,   6,   7,   8,  9,
+                           15, 16, 17, 31, 32, 33,  63,  64,  65, 100,
+                           127, 128, 129, 255, 256, 257};
+
+// Offsets into an oversized buffer: 0 keeps malloc's 16-byte alignment,
+// 1 guarantees a start that is NOT 32-byte (AVX2) or 16-byte (NEON)
+// aligned, exercising the unaligned-load path.
+const size_t kOffsets[] = {0, 1};
+
+/// Fills `v` with a deterministic mix of ordinary values and edge
+/// cases: ±0.0, denormals, values spanning ~600 orders of magnitude
+/// (so reduction order matters and any reassociation shows up).
+void FillTestData(Rng& rng, std::vector<double>& v) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    switch (i % 7) {
+      case 0:
+        v[i] = rng.Normal(0.0, 1.0);
+        break;
+      case 1:
+        v[i] = rng.Normal(0.0, 1e150);
+        break;
+      case 2:
+        v[i] = rng.Normal(0.0, 1e-150);
+        break;
+      case 3:
+        v[i] = 0.0;
+        break;
+      case 4:
+        v[i] = -0.0;
+        break;
+      case 5:
+        v[i] = 4.9406564584124654e-324 * (1.0 + static_cast<double>(i % 13));
+        break;
+      default:
+        v[i] = -rng.Normal(0.0, 1.0);
+        break;
+    }
+  }
+}
+
+// AvailableKernelTables() lists scalar first, so scalar-vs-scalar runs
+// as a trivial but harmless baseline; it keeps the parameterized suite
+// instantiated when the build has no SIMD backend
+// (-DPIECK_ENABLE_SIMD=OFF) or the CPU lacks one.
+std::vector<const KernelTable*> TablesUnderTest() {
+  return AvailableKernelTables();
+}
+
+class KernelEquivalenceTest
+    : public ::testing::TestWithParam<const KernelTable*> {
+ protected:
+  const KernelTable& simd() const { return *GetParam(); }
+  const KernelTable& scalar() const { return ScalarKernels(); }
+};
+
+std::string TableName(
+    const ::testing::TestParamInfo<const KernelTable*>& info) {
+  return KernelBackendName(info.param->backend);
+}
+
+TEST_P(KernelEquivalenceTest, Reductions) {
+  Rng rng(42);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      std::vector<double> a(n + off + 8), b(n + off + 8);
+      FillTestData(rng, a);
+      FillTestData(rng, b);
+      const double* pa = a.data() + off;
+      const double* pb = b.data() + off;
+      EXPECT_TRUE(BitEqual(scalar().dot(pa, pb, n), simd().dot(pa, pb, n)))
+          << "dot n=" << n << " off=" << off;
+      EXPECT_TRUE(BitEqual(scalar().squared_norm(pa, n),
+                           simd().squared_norm(pa, n)))
+          << "squared_norm n=" << n << " off=" << off;
+      EXPECT_TRUE(BitEqual(scalar().squared_distance(pa, pb, n),
+                           simd().squared_distance(pa, pb, n)))
+          << "squared_distance n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, Elementwise) {
+  Rng rng(43);
+  const double alphas[] = {0.0, -0.0, 1.0, -1.0, 0.3, -7.5e100, 2.5e-200};
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      std::vector<double> x(n + off + 8);
+      FillTestData(rng, x);
+      for (double alpha : alphas) {
+        std::vector<double> ys(n + off + 8), yv(ys);
+        FillTestData(rng, ys);
+        yv = ys;
+        scalar().axpy(alpha, x.data() + off, ys.data() + off, n);
+        simd().axpy(alpha, x.data() + off, yv.data() + off, n);
+        EXPECT_TRUE(BitEqualVec(ys, yv)) << "axpy n=" << n << " off=" << off
+                                         << " alpha=" << alpha;
+
+        std::vector<double> xs(x), xv(x);
+        scalar().scale(alpha, xs.data() + off, n);
+        simd().scale(alpha, xv.data() + off, n);
+        EXPECT_TRUE(BitEqualVec(xs, xv)) << "scale n=" << n << " off=" << off
+                                         << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, Relu) {
+  Rng rng(44);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      std::vector<double> pre(n + off + 8), delta(n + off + 8);
+      FillTestData(rng, pre);
+      FillTestData(rng, delta);
+
+      std::vector<double> outs(pre.size(), 7.0), outv(pre.size(), 7.0);
+      scalar().relu(pre.data() + off, outs.data() + off, n);
+      simd().relu(pre.data() + off, outv.data() + off, n);
+      EXPECT_TRUE(BitEqualVec(outs, outv)) << "relu n=" << n << " off=" << off;
+
+      std::vector<double> ds(delta), dv(delta);
+      scalar().relu_backward(pre.data() + off, ds.data() + off, n);
+      simd().relu_backward(pre.data() + off, dv.data() + off, n);
+      EXPECT_TRUE(BitEqualVec(ds, dv))
+          << "relu_backward n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, ComposedHelpers) {
+  Rng rng(45);
+  for (size_t n : kLengths) {
+    std::vector<double> u(n), v(n);
+    FillTestData(rng, u);
+    FillTestData(rng, v);
+    for (double label : {0.0, 1.0}) {
+      std::vector<double> gus(n, 0.25), guv(n, 0.25), gvs(n, -0.5),
+          gvv(n, -0.5);
+      const double ls = scalar().BceStep(label, 0.125, u.data(), v.data(),
+                                         n > 0 ? gus.data() : nullptr,
+                                         n > 0 ? gvs.data() : nullptr, n);
+      const double lv = simd().BceStep(label, 0.125, u.data(), v.data(),
+                                       n > 0 ? guv.data() : nullptr,
+                                       n > 0 ? gvv.data() : nullptr, n);
+      EXPECT_TRUE(BitEqual(ls, lv)) << "BceStep loss n=" << n;
+      EXPECT_TRUE(BitEqualVec(gus, guv)) << "BceStep grad_u n=" << n;
+      EXPECT_TRUE(BitEqualVec(gvs, gvv)) << "BceStep grad_v n=" << n;
+    }
+
+    for (double max_norm : {0.0, 0.5, 1e3}) {
+      std::vector<double> xs(u), xv(u);
+      scalar().ProjectL2Ball(xs.data(), n, max_norm);
+      simd().ProjectL2Ball(xv.data(), n, max_norm);
+      EXPECT_TRUE(BitEqualVec(xs, xv))
+          << "ProjectL2Ball n=" << n << " max_norm=" << max_norm;
+    }
+  }
+}
+
+// axpy documents that x == y (exact overlap) is allowed.
+TEST_P(KernelEquivalenceTest, AxpyAllowsExactAliasing) {
+  Rng rng(46);
+  for (size_t n : kLengths) {
+    std::vector<double> xs(n), xv;
+    FillTestData(rng, xs);
+    xv = xs;
+    scalar().axpy(0.75, xs.data(), xs.data(), n);
+    simd().axpy(0.75, xv.data(), xv.data(), n);
+    EXPECT_TRUE(BitEqualVec(xs, xv)) << "aliased axpy n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, KernelEquivalenceTest,
+                         ::testing::ValuesIn(TablesUnderTest()), TableName);
+
+TEST(KernelDispatchTest, ScalarAlwaysAvailable) {
+  EXPECT_EQ(ScalarKernels().backend, KernelBackend::kScalar);
+  EXPECT_TRUE(SetActiveKernelBackend(KernelBackend::kScalar));
+  EXPECT_EQ(ActiveKernels().backend, KernelBackend::kScalar);
+}
+
+TEST(KernelDispatchTest, SetActiveRoundTrips) {
+  const KernelBackend original = ActiveKernels().backend;
+  for (const KernelTable* table : TablesUnderTest()) {
+    ASSERT_TRUE(SetActiveKernelBackend(table->backend));
+    EXPECT_EQ(ActiveKernels().backend, table->backend);
+  }
+  ASSERT_TRUE(SetActiveKernelBackend(original));
+}
+
+TEST(KernelDispatchTest, UnavailableBackendRejected) {
+  const KernelBackend original = ActiveKernels().backend;
+  if (Avx2Kernels() == nullptr) {
+    EXPECT_FALSE(SetActiveKernelBackend(KernelBackend::kAvx2));
+  }
+  if (NeonKernels() == nullptr) {
+    EXPECT_FALSE(SetActiveKernelBackend(KernelBackend::kNeon));
+  }
+  EXPECT_EQ(ActiveKernels().backend, original);
+}
+
+}  // namespace
+}  // namespace pieck

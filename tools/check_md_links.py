@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fails (exit 1) when any *.md file in the repo contains a relative
+link to a file that does not exist.
+
+Checked: inline links/images `[text](target)` whose target is not an
+absolute URL (http/https/mailto) or a pure in-page anchor (#...).
+Fragments are stripped before the existence check. Run from anywhere;
+paths resolve relative to each markdown file's directory.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def repo_root() -> str:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True,
+    )
+    return out.stdout.strip()
+
+
+def markdown_files(root: str) -> list:
+    out = subprocess.run(
+        ["git", "ls-files", "-z", "--cached", "--others",
+         "--exclude-standard", "*.md", "**/*.md"],
+        capture_output=True, text=True, check=True, cwd=root,
+    )
+    return sorted({p for p in out.stdout.split("\0") if p})
+
+
+def main() -> int:
+    root = repo_root()
+    broken = []
+    for md in markdown_files(root):
+        md_path = os.path.join(root, md)
+        with open(md_path, encoding="utf-8") as f:
+            text = f.read()
+        # Fenced code blocks routinely contain notation like [text](x)
+        # that is not a link; drop them before scanning.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path))
+            if not os.path.exists(resolved):
+                broken.append(f"{md}: broken link -> {target}")
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken relative link(s).")
+        return 1
+    print("All relative markdown links resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
