@@ -132,6 +132,67 @@ void BM_MedianAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_MedianAggregate)->Arg(8)->Arg(64)->Arg(256);
 
+void BM_MedianAggregateSpan(benchmark::State& state) {
+  // The server's hot path: borrowed pointer span in, pre-sized scratch
+  // row out — zero allocations per call (contrast BM_MedianAggregate,
+  // which pays the convenience wrapper's output Vec).
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  std::vector<Vec> grads;
+  for (int i = 0; i < n; ++i) {
+    Vec g(16);
+    for (double& v : g) v = rng.Normal(0, 1);
+    grads.push_back(std::move(g));
+  }
+  std::vector<const Vec*> span;
+  for (const Vec& g : grads) span.push_back(&g);
+  Vec out(16);
+  MedianAggregator agg;
+  for (auto _ : state) {
+    agg.Aggregate(span, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MedianAggregateSpan)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_ScoreAllItemsRowCopy(benchmark::State& state) {
+  // The pre-GEMV evaluation scoring loop: one Row() copy + one dot per
+  // item per user.
+  const size_t items = static_cast<size_t>(state.range(0));
+  MfModel model(32);
+  Rng rng(8);
+  GlobalModel g = model.InitGlobalModel(static_cast<int>(items), rng);
+  Vec u = model.InitUserEmbedding(rng);
+  Vec scores(items);
+  const KernelTable& k = ActiveKernels();
+  for (auto _ : state) {
+    for (size_t j = 0; j < items; ++j) {
+      Vec v = g.item_embeddings.Row(j);
+      scores[j] = k.dot(u.data(), v.data(), v.size());
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(items));
+}
+BENCHMARK(BM_ScoreAllItemsRowCopy)->Arg(512)->Arg(2048);
+
+void BM_ScoreAllItemsGemv(benchmark::State& state) {
+  const size_t items = static_cast<size_t>(state.range(0));
+  MfModel model(32);
+  Rng rng(8);
+  GlobalModel g = model.InitGlobalModel(static_cast<int>(items), rng);
+  Vec u = model.InitUserEmbedding(rng);
+  Vec scores(items);
+  for (auto _ : state) {
+    model.ScoreItems(g, u, scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(items));
+}
+BENCHMARK(BM_ScoreAllItemsGemv)->Arg(512)->Arg(2048);
+
 void BM_FederatedRound(benchmark::State& state, int num_threads) {
   ExperimentConfig config;
   config.dataset = MovieLens100KConfig(0.25);
@@ -159,7 +220,7 @@ void BM_FederatedRound(benchmark::State& state, int num_threads) {
 constexpr size_t kKernelDims[] = {8, 16, 32, 64, 128};
 const char* const kKernelNames[] = {
     "dot",  "axpy",          "scale",    "squared_norm", "squared_distance",
-    "relu", "relu_backward", "bce_step", "project_l2ball"};
+    "relu", "relu_backward", "gemv",     "bce_step",     "project_l2ball"};
 
 /// Each timed thunk sweeps the kernel over this many contiguous rows,
 /// matching the blocked per-client passes in the rewritten hot loops
@@ -248,6 +309,14 @@ std::function<void()> MakeKernelOp(const KernelTable* t,
       benchmark::DoNotOptimize(ops->y.data());
     };
   }
+  if (kernel == "gemv") {
+    // The batched multi-dot over kRowsPerOp contiguous rows: the same
+    // work as the "dot" thunk, in one call that shares the x loads.
+    return [t, ops, d] {
+      t->gemv(ops->a.data(), kRowsPerOp, d, ops->b.data(), ops->out.data());
+      benchmark::DoNotOptimize(ops->out.data());
+    };
+  }
   if (kernel == "bce_step") {
     // The fused MF hot-path op (dot + sigmoid + two axpys).
     return [t, ops, d] {
@@ -324,6 +393,81 @@ double MeasureNsPerOp(const std::function<void()>& op) {
   return best;
 }
 
+/// ER@K-style scoring sweep operands: an item table and one user row.
+struct ScoringOperands {
+  Matrix items;
+  Vec u;
+  Vec scores;
+  ScoringOperands(size_t rows, size_t d) : items(rows, d), u(d), scores(rows) {
+    Rng rng(13);
+    items.RandomNormal(rng, 0.0, 1.0);
+    for (double& v : u) v = rng.Normal(0.0, 1.0);
+  }
+};
+
+/// Thunk for the pre-GEMV evaluation path: Row() copy + dot per item.
+std::function<void()> MakeRowCopyScoringOp(const KernelTable* t,
+                                           size_t rows, size_t d) {
+  auto ops = std::make_shared<ScoringOperands>(rows, d);
+  return [t, ops, rows] {
+    for (size_t j = 0; j < rows; ++j) {
+      Vec v = ops->items.Row(j);
+      ops->scores[j] = t->dot(ops->u.data(), v.data(), v.size());
+    }
+    benchmark::DoNotOptimize(ops->scores.data());
+  };
+}
+
+/// Thunk for the batched path: one gemv over the whole table.
+std::function<void()> MakeGemvScoringOp(const KernelTable* t, size_t rows,
+                                        size_t d) {
+  auto ops = std::make_shared<ScoringOperands>(rows, d);
+  return [t, ops, rows, d] {
+    t->gemv(ops->items.data().data(), rows, d, ops->u.data(),
+            ops->scores.data());
+    benchmark::DoNotOptimize(ops->scores.data());
+  };
+}
+
+/// Span-aggregation sweep operands: one per-item gradient group.
+struct AggregationOperands {
+  std::vector<Vec> grads;
+  std::vector<const Vec*> span;
+  Vec out;
+  AggregationOperands(size_t n, size_t d) : out(d) {
+    Rng rng(17);
+    for (size_t i = 0; i < n; ++i) {
+      Vec g(d);
+      for (double& v : g) v = rng.Normal(0.0, 1.0);
+      grads.push_back(std::move(g));
+    }
+    for (const Vec& g : grads) span.push_back(&g);
+  }
+};
+
+/// Thunk reproducing the pre-span server path: materialize a
+/// vector<Vec> copy of the gradient group, then aggregate it.
+std::function<void()> MakeCopyAggregationOp(
+    std::shared_ptr<const Aggregator> agg, size_t n, size_t d) {
+  auto ops = std::make_shared<AggregationOperands>(n, d);
+  return [agg, ops] {
+    std::vector<Vec> copies;
+    copies.reserve(ops->span.size());
+    for (const Vec* g : ops->span) copies.push_back(*g);
+    benchmark::DoNotOptimize(agg->Aggregate(copies));
+  };
+}
+
+/// Thunk for the zero-copy server path: borrowed span in, scratch out.
+std::function<void()> MakeSpanAggregationOp(
+    std::shared_ptr<const Aggregator> agg, size_t n, size_t d) {
+  auto ops = std::make_shared<AggregationOperands>(n, d);
+  return [agg, ops] {
+    agg->Aggregate(ops->span, ops->out.data());
+    benchmark::DoNotOptimize(ops->out.data());
+  };
+}
+
 /// Runs the scalar-vs-SIMD sweep and writes `path` (JSON). Returns 0,
 /// or 1 when the file cannot be written.
 int RunKernelSweep(const std::string& path) {
@@ -381,6 +525,61 @@ int RunKernelSweep(const std::string& path) {
       std::fprintf(f, "]");
     }
     std::fprintf(f, "}%s\n", ki + 1 < std::size(kKernelNames) ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+
+  // ER@K-style scoring: the per-item Row()-copy + dot loop this PR
+  // replaced, against one batched gemv over the same table, per backend.
+  const size_t kScoreRows = 2048;
+  const size_t kScoreDim = 32;
+  std::fprintf(f, "  \"er_scoring\": {\n");
+  std::fprintf(f, "    \"rows\": %zu, \"dim\": %zu,\n", kScoreRows,
+               kScoreDim);
+  for (size_t ti = 0; ti < tables.size(); ++ti) {
+    const char* name = KernelBackendName(tables[ti]->backend);
+    const double copy_ns =
+        MeasureNsPerOp(MakeRowCopyScoringOp(tables[ti], kScoreRows,
+                                            kScoreDim));
+    const double gemv_ns =
+        MeasureNsPerOp(MakeGemvScoringOp(tables[ti], kScoreRows, kScoreDim));
+    std::fprintf(f,
+                 "    \"%s\": {\"row_copy_dot_ns\": %.1f, \"gemv_ns\": "
+                 "%.1f, \"speedup\": %.2f}%s\n",
+                 name, copy_ns, gemv_ns, copy_ns / gemv_ns,
+                 ti + 1 < tables.size() ? "," : "");
+    std::fprintf(stderr, "er_scoring %-6s: row_copy %.0f ns, gemv %.0f ns, "
+                 "%.2fx\n", name, copy_ns, gemv_ns, copy_ns / gemv_ns);
+  }
+  std::fprintf(f, "  },\n");
+
+  // Span aggregation: the pre-span vector<Vec> materialization against
+  // the borrowed-pointer path, per robust rule (active backend).
+  const size_t kAggN = 64;
+  const size_t kAggDim = 32;
+  struct RuleCase {
+    const char* name;
+    std::shared_ptr<const Aggregator> agg;
+  };
+  const RuleCase rules[] = {
+      {"median", std::make_shared<MedianAggregator>()},
+      {"trimmed_mean", std::make_shared<TrimmedMeanAggregator>(0.1)},
+      {"norm_bound", std::make_shared<NormBoundAggregator>(1.0)},
+  };
+  std::fprintf(f, "  \"span_aggregation\": {\n");
+  std::fprintf(f, "    \"num_grads\": %zu, \"dim\": %zu,\n", kAggN, kAggDim);
+  for (size_t ri = 0; ri < std::size(rules); ++ri) {
+    const double copy_ns =
+        MeasureNsPerOp(MakeCopyAggregationOp(rules[ri].agg, kAggN, kAggDim));
+    const double span_ns =
+        MeasureNsPerOp(MakeSpanAggregationOp(rules[ri].agg, kAggN, kAggDim));
+    std::fprintf(f,
+                 "    \"%s\": {\"copy_ns\": %.1f, \"span_ns\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 rules[ri].name, copy_ns, span_ns, copy_ns / span_ns,
+                 ri + 1 < std::size(rules) ? "," : "");
+    std::fprintf(stderr, "span_aggregation %-12s: copy %.0f ns, span %.0f "
+                 "ns, %.2fx\n", rules[ri].name, copy_ns, span_ns,
+                 copy_ns / span_ns);
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);

@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
     for (int n : sizes) {
       std::vector<int> popular = miner.TopItems(n);
       double pkl = PairwiseKlDivergence(sim->global(), sim->benign_views(),
-                                        sim->train(), popular);
+                                        sim->train(), popular,
+                                        sim->eval_pool());
       double cov = UserCoverageRatio(sim->train(), popular);
       row.push_back(FormatDouble(pkl, 4));
       ucr.push_back(FormatDouble(cov, 4));

@@ -74,6 +74,15 @@ int ThreadPool::DefaultThreadCount() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+void ThreadPool::ParallelForOrSerial(ThreadPool* pool, size_t n,
+                                     const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

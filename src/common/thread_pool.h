@@ -52,6 +52,13 @@ class ThreadPool {
   /// max(1, std::thread::hardware_concurrency()).
   static int DefaultThreadCount();
 
+  /// Runs fn(0..n-1) on `pool`, or inline on the calling thread when
+  /// `pool` is null. The shared pool-or-serial fan-out shape used by the
+  /// round engine and the evaluation layer; callers must only write to
+  /// disjoint per-index state (see ParallelFor).
+  static void ParallelForOrSerial(ThreadPool* pool, size_t n,
+                                  const std::function<void(size_t)>& fn);
+
  private:
   void WorkerLoop();
 

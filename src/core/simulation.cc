@@ -151,13 +151,13 @@ void Simulation::RunRounds(int n) {
 
 double Simulation::EvaluateEr(int k) const {
   return ExposureRatioAtK(*model_, server_->global(), benign_views_, *train_,
-                          targets_, k);
+                          targets_, k, eval_pool());
 }
 
 double Simulation::EvaluateHr(int k) const {
   return HitRatioAtK(*model_, server_->global(), benign_views_, *train_,
                      split_test_items_, k, config_.hr_num_negatives,
-                     config_.seed ^ 0x9e3779b97f4a7c15ULL);
+                     config_.seed ^ 0x9e3779b97f4a7c15ULL, eval_pool());
 }
 
 StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {

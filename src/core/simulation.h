@@ -59,6 +59,11 @@ class Simulation {
   /// Mutable access for white-box experiments (e.g. cost probes).
   FederatedServer& server() { return *server_; }
 
+  /// The server's worker pool, reused by the evaluation layer between
+  /// rounds (nullptr when the simulation runs serially). Benchmarks that
+  /// call the metrics directly pass this through.
+  ThreadPool* eval_pool() const { return server_->pool(); }
+
  private:
   Simulation() = default;
 

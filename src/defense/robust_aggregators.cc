@@ -6,28 +6,49 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pieck {
 
-Vec NormBoundAggregator::Aggregate(const std::vector<Vec>& grads) const {
-  PIECK_CHECK(!grads.empty());
-  Vec out = Zeros(grads[0].size());
-  for (const Vec& g : grads) {
-    Vec clipped = g;
-    ClipNorm(clipped, max_norm_);
-    Axpy(1.0, clipped, out);
-  }
-  return out;
+namespace {
+
+/// Per-worker column scratch for the coordinate-wise rules. The server
+/// fans per-item aggregation out over its pool, so each worker reuses
+/// one buffer across all its items and rounds — zero allocations after
+/// the first item per thread (capacity only ever grows).
+std::vector<double>& ColumnScratch(size_t n) {
+  thread_local std::vector<double> column;
+  column.resize(n);
+  return column;
 }
 
-Vec MedianAggregator::Aggregate(const std::vector<Vec>& grads) const {
+}  // namespace
+
+void NormBoundAggregator::Aggregate(const std::vector<const Vec*>& grads,
+                                    double* out) const {
+  PIECK_CHECK(!grads.empty());
+  const size_t d = grads[0]->size();
+  const KernelTable& k = ActiveKernels();
+  std::fill(out, out + d, 0.0);
+  for (const Vec* g : grads) {
+    // scale = min(1, max_norm/||g||) folded into the axpy: bit-identical
+    // to clipping a copy first (x*s then += equals += s*x per IEEE-754),
+    // without the per-gradient temporary.
+    const double norm = std::sqrt(k.squared_norm(g->data(), d));
+    const double scale =
+        norm > max_norm_ && norm > 0.0 ? max_norm_ / norm : 1.0;
+    k.axpy(scale, g->data(), out, d);
+  }
+}
+
+void MedianAggregator::Aggregate(const std::vector<const Vec*>& grads,
+                                 double* out) const {
   PIECK_CHECK(!grads.empty());
   const size_t n = grads.size();
-  const size_t d = grads[0].size();
-  Vec out(d);
-  std::vector<double> column(n);
+  const size_t d = grads[0]->size();
+  std::vector<double>& column = ColumnScratch(n);
   for (size_t c = 0; c < d; ++c) {
-    for (size_t i = 0; i < n; ++i) column[i] = grads[i][c];
+    for (size_t i = 0; i < n; ++i) column[i] = (*grads[i])[c];
     auto mid = column.begin() + static_cast<ptrdiff_t>(n / 2);
     std::nth_element(column.begin(), mid, column.end());
     double median;
@@ -41,28 +62,26 @@ Vec MedianAggregator::Aggregate(const std::vector<Vec>& grads) const {
     // Sum-calibrated: estimate the sum of n honest gradients.
     out[c] = median * static_cast<double>(n);
   }
-  return out;
 }
 
-Vec TrimmedMeanAggregator::Aggregate(const std::vector<Vec>& grads) const {
+void TrimmedMeanAggregator::Aggregate(const std::vector<const Vec*>& grads,
+                                      double* out) const {
   PIECK_CHECK(!grads.empty());
   const size_t n = grads.size();
-  const size_t d = grads[0].size();
+  const size_t d = grads[0]->size();
   size_t trim =
       static_cast<size_t>(std::ceil(trim_fraction_ * static_cast<double>(n)));
   if (2 * trim >= n) trim = (n - 1) / 2;  // keep at least one value
 
-  Vec out(d);
-  std::vector<double> column(n);
+  std::vector<double>& column = ColumnScratch(n);
   for (size_t c = 0; c < d; ++c) {
-    for (size_t i = 0; i < n; ++i) column[i] = grads[i][c];
+    for (size_t i = 0; i < n; ++i) column[i] = (*grads[i])[c];
     std::sort(column.begin(), column.end());
     double s = 0.0;
     for (size_t i = trim; i < n - trim; ++i) s += column[i];
     // Sum-calibrated trimmed mean.
     out[c] = s / static_cast<double>(n - 2 * trim) * static_cast<double>(n);
   }
-  return out;
 }
 
 std::vector<double> KrumFilter::Scores(

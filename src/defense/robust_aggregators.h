@@ -13,33 +13,44 @@ namespace pieck {
 // (as defined by Blanchard et al.) and is implemented as UpdateFilters.
 
 /// NormBound (Sun et al., 2019): clips every uploaded gradient to an L2
-/// budget before summing.
+/// budget before summing. Zero-copy: each gradient's clip factor is
+/// computed from its squared norm and applied as the axpy scale, so no
+/// clipped temporary is ever materialized.
 class NormBoundAggregator : public Aggregator {
  public:
+  using Aggregator::Aggregate;
   explicit NormBoundAggregator(double max_norm) : max_norm_(max_norm) {}
   std::string name() const override { return "NormBound"; }
-  Vec Aggregate(const std::vector<Vec>& grads) const override;
+  void Aggregate(const std::vector<const Vec*>& grads,
+                 double* out) const override;
 
  private:
   double max_norm_;
 };
 
-/// Median (Yin et al., ICML 2018): n × coordinate-wise median.
+/// Median (Yin et al., ICML 2018): n × coordinate-wise median. The
+/// per-coordinate column gathers into a thread-local scratch buffer, so
+/// concurrent per-item calls from the server's workers allocate nothing
+/// after warm-up.
 class MedianAggregator : public Aggregator {
  public:
+  using Aggregator::Aggregate;
   std::string name() const override { return "Median"; }
-  Vec Aggregate(const std::vector<Vec>& grads) const override;
+  void Aggregate(const std::vector<const Vec*>& grads,
+                 double* out) const override;
 };
 
 /// TrimmedMean (Yin et al., ICML 2018): per coordinate, removes the
 /// `trim_fraction` largest and smallest values, then returns
-/// n × the mean of the rest.
+/// n × the mean of the rest. Same thread-local column scratch as Median.
 class TrimmedMeanAggregator : public Aggregator {
  public:
+  using Aggregator::Aggregate;
   explicit TrimmedMeanAggregator(double trim_fraction)
       : trim_fraction_(trim_fraction) {}
   std::string name() const override { return "TrimmedMean"; }
-  Vec Aggregate(const std::vector<Vec>& grads) const override;
+  void Aggregate(const std::vector<const Vec*>& grads,
+                 double* out) const override;
 
  private:
   double trim_fraction_;

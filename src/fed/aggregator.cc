@@ -1,23 +1,43 @@
 #include "fed/aggregator.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "tensor/kernels.h"
 
 namespace pieck {
 
-Vec SumAggregator::Aggregate(const std::vector<Vec>& grads) const {
+Vec Aggregator::Aggregate(const std::vector<const Vec*>& grads) const {
   PIECK_CHECK(!grads.empty());
-  Vec out = Zeros(grads[0].size());
-  for (const Vec& g : grads) Axpy(1.0, g, out);
+  Vec out(grads[0]->size());
+  Aggregate(grads, out.data());
   return out;
 }
 
-Vec MeanAggregator::Aggregate(const std::vector<Vec>& grads) const {
+Vec Aggregator::Aggregate(const std::vector<Vec>& grads) const {
+  std::vector<const Vec*> spans;
+  spans.reserve(grads.size());
+  for (const Vec& g : grads) spans.push_back(&g);
+  return Aggregate(spans);
+}
+
+void SumAggregator::Aggregate(const std::vector<const Vec*>& grads,
+                              double* out) const {
   PIECK_CHECK(!grads.empty());
-  Vec out = Zeros(grads[0].size());
-  for (const Vec& g : grads) Axpy(1.0, g, out);
-  Scale(1.0 / static_cast<double>(grads.size()), out);
-  return out;
+  const size_t d = grads[0]->size();
+  const KernelTable& k = ActiveKernels();
+  std::fill(out, out + d, 0.0);
+  for (const Vec* g : grads) k.axpy(1.0, g->data(), out, d);
+}
+
+void MeanAggregator::Aggregate(const std::vector<const Vec*>& grads,
+                               double* out) const {
+  PIECK_CHECK(!grads.empty());
+  const size_t d = grads[0]->size();
+  const KernelTable& k = ActiveKernels();
+  std::fill(out, out + d, 0.0);
+  for (const Vec* g : grads) k.axpy(1.0, g->data(), out, d);
+  k.scale(1.0 / static_cast<double>(grads.size()), out, d);
 }
 
 double ClientUpdateSquaredDistance(const ClientUpdate& a,

@@ -1,13 +1,16 @@
 /// \file
 /// Server-side aggregation interfaces.
 ///
-/// Contracts: `Aggregate` receives a non-empty set of equal-length
-/// gradient vectors and must not mutate them. Aggregators are stateless
-/// and const; one instance is shared across the server's worker threads,
-/// so implementations must be safe for concurrent `Aggregate` calls
-/// (pure functions of their arguments). Linear rules additionally expose
-/// `LinearWeight` so the server can skip materializing the aggregate and
-/// axpy each client gradient straight into the embedding row.
+/// Contracts: `Aggregate` receives a non-empty span of borrowed pointers
+/// to equal-length gradient vectors and must not mutate them; the
+/// pointees are owned by the caller (the round's `ClientUpdate`s) and
+/// outlive the call. Aggregators are const and logically stateless; one
+/// instance is shared across the server's worker threads, so
+/// implementations must be safe for concurrent `Aggregate` calls —
+/// per-call scratch lives in thread-local buffers, never in the object.
+/// Linear rules additionally expose `LinearWeight` so the server can
+/// skip materializing the aggregate and axpy each client gradient
+/// straight into the embedding row.
 #ifndef PIECK_FED_AGGREGATOR_H_
 #define PIECK_FED_AGGREGATOR_H_
 
@@ -33,9 +36,22 @@ class Aggregator {
 
   virtual std::string name() const = 0;
 
-  /// Aggregates a set of same-length gradient vectors into one. `grads`
-  /// is never empty.
-  virtual Vec Aggregate(const std::vector<Vec>& grads) const = 0;
+  /// Aggregates a set of same-length gradient vectors into `out`
+  /// (overwritten; `grads[0]->size()` doubles, must not alias any
+  /// gradient). `grads` is never empty and holds borrowed pointers — the
+  /// zero-copy hot path: the server hands each item's gradient group
+  /// straight from the clients' uploads, and implementations that need
+  /// scratch use thread-local buffers, so a round allocates nothing here.
+  virtual void Aggregate(const std::vector<const Vec*>& grads,
+                         double* out) const = 0;
+
+  /// Convenience wrapper returning a fresh Vec (tests, the DL-FRS
+  /// interaction-parameter path — anywhere off the per-item hot loop).
+  Vec Aggregate(const std::vector<const Vec*>& grads) const;
+
+  /// Convenience wrapper over owned vectors; builds the pointer span and
+  /// forwards. Bit-identical to the span overloads by construction.
+  Vec Aggregate(const std::vector<Vec>& grads) const;
 
   /// For rules of the form Agg(g_1..g_k) = w(k) * sum_i g_i, returns
   /// w(k); nullopt otherwise. Lets the server apply each gradient with
@@ -49,8 +65,10 @@ class Aggregator {
 /// "simple sum operation").
 class SumAggregator : public Aggregator {
  public:
+  using Aggregator::Aggregate;
   std::string name() const override { return "NoDefense"; }
-  Vec Aggregate(const std::vector<Vec>& grads) const override;
+  void Aggregate(const std::vector<const Vec*>& grads,
+                 double* out) const override;
   std::optional<double> LinearWeight(size_t /*num_grads*/) const override {
     return 1.0;
   }
@@ -59,8 +77,10 @@ class SumAggregator : public Aggregator {
 /// Coordinate-wise mean; provided for completeness / ablations.
 class MeanAggregator : public Aggregator {
  public:
+  using Aggregator::Aggregate;
   std::string name() const override { return "Mean"; }
-  Vec Aggregate(const std::vector<Vec>& grads) const override;
+  void Aggregate(const std::vector<const Vec*>& grads,
+                 double* out) const override;
   std::optional<double> LinearWeight(size_t num_grads) const override {
     return 1.0 / static_cast<double>(num_grads);
   }

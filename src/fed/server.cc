@@ -1,6 +1,7 @@
 #include "fed/server.h"
 
 #include <map>
+#include <numeric>
 #include <optional>
 #include <utility>
 
@@ -27,11 +28,7 @@ FederatedServer::FederatedServer(const RecModel& model, GlobalModel initial,
 }
 
 void FederatedServer::For(size_t n, const std::function<void(size_t)>& fn) {
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(n, fn);
-  } else {
-    for (size_t i = 0; i < n; ++i) fn(i);
-  }
+  ThreadPool::ParallelForOrSerial(pool_.get(), n, fn);
 }
 
 RoundStats FederatedServer::RunRound(
@@ -67,17 +64,16 @@ RoundStats FederatedServer::RunRound(
 }
 
 void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw) {
-  // Client-level defense stage (Krum family): keep only the selected
-  // uploads.
-  std::vector<ClientUpdate> filtered;
-  const std::vector<ClientUpdate>* updates_ptr = &raw;
+  // Client-level defense stage (Krum family): keep only the surviving
+  // *indices* — the uploads themselves are borrowed in place, never
+  // deep-copied (ClientUpdate::CopyCount guards this in tests).
+  std::vector<int> surviving;
   if (filter_ != nullptr && !raw.empty()) {
-    for (int idx : filter_->Select(raw)) {
-      filtered.push_back(raw[static_cast<size_t>(idx)]);
-    }
-    updates_ptr = &filtered;
+    surviving = filter_->Select(raw);
+  } else {
+    surviving.resize(raw.size());
+    std::iota(surviving.begin(), surviving.end(), 0);
   }
-  const std::vector<ClientUpdate>& updates = *updates_ptr;
 
   // Group per-item gradients: item -> gradients from the clients that
   // uploaded one for that item. This sparsity is the crux of the paper's
@@ -85,8 +81,8 @@ void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw) {
   // poisonous gradients, whatever robust rule runs below. Borrowed
   // pointers, not copies: the updates outlive this function.
   std::map<int, std::vector<const Vec*>> per_item;
-  for (const ClientUpdate& upd : updates) {
-    for (const auto& [item, grad] : upd.item_grads) {
+  for (int idx : surviving) {
+    for (const auto& [item, grad] : raw[static_cast<size_t>(idx)].item_grads) {
       per_item[item].push_back(&grad);
     }
   }
@@ -116,34 +112,45 @@ void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw) {
       }
       return;
     }
-    // Robust rules need the whole gradient set materialized.
-    std::vector<Vec> grad_copies;
-    grad_copies.reserve(grads->size());
-    for (const Vec* g : *grads) grad_copies.push_back(*g);
-    Vec agg = aggregator_->Aggregate(grad_copies);
-    PIECK_CHECK(agg.size() == dim);
+    // Robust rules aggregate the borrowed span straight into a
+    // per-worker scratch row (reused across items and rounds), then one
+    // axpy applies it — no gradient set is ever materialized.
+    thread_local Vec agg;
+    for (const Vec* g : *grads) PIECK_CHECK(g->size() == dim);
+    agg.resize(dim);
+    aggregator_->Aggregate(*grads, agg.data());
     kernels.axpy(-config_.learning_rate, agg.data(), row, dim);
   });
 
   if (global_.has_interaction_params()) {
-    std::vector<Vec> flat_grads;
-    for (const ClientUpdate& upd : updates) {
-      if (upd.interaction_grads.active) {
-        flat_grads.push_back(upd.interaction_grads.Flatten());
-      }
-    }
-    if (!flat_grads.empty()) {
-      Vec agg = aggregator_->Aggregate(flat_grads);
-      InteractionGrads step = InteractionGrads::ZerosLike(global_);
-      step.Unflatten(agg);
-      for (size_t l = 0; l < global_.mlp_weights.size(); ++l) {
-        global_.mlp_weights[l].Axpy(-config_.learning_rate, step.weights[l]);
-        Axpy(-config_.learning_rate, step.biases[l], global_.mlp_biases[l]);
-      }
-      Axpy(-config_.learning_rate, step.projection, global_.projection);
-    }
+    ApplyInteractionUpdates(raw, surviving);
   }
   (void)model_;
+}
+
+void FederatedServer::ApplyInteractionUpdates(
+    const std::vector<ClientUpdate>& raw, const std::vector<int>& surviving) {
+  // DL-FRS: the interaction parameters Ψ aggregate once per round over
+  // the selected clients. Coordinate-wise rules are defined on the
+  // concatenated parameter space, and the per-layer tensors are not
+  // contiguous anywhere, so flattening must *construct* each client's
+  // vector — this is the one aggregation input that cannot be borrowed.
+  std::vector<Vec> flat_grads;
+  for (int idx : surviving) {
+    const ClientUpdate& upd = raw[static_cast<size_t>(idx)];
+    if (upd.interaction_grads.active) {
+      flat_grads.push_back(upd.interaction_grads.Flatten());
+    }
+  }
+  if (flat_grads.empty()) return;
+  Vec agg = aggregator_->Aggregate(flat_grads);
+  InteractionGrads step = InteractionGrads::ZerosLike(global_);
+  step.Unflatten(agg);
+  for (size_t l = 0; l < global_.mlp_weights.size(); ++l) {
+    global_.mlp_weights[l].Axpy(-config_.learning_rate, step.weights[l]);
+    Axpy(-config_.learning_rate, step.biases[l], global_.mlp_biases[l]);
+  }
+  Axpy(-config_.learning_rate, step.projection, global_.projection);
 }
 
 }  // namespace pieck

@@ -75,10 +75,20 @@ class FederatedServer {
   const Aggregator& aggregator() const { return *aggregator_; }
   /// Effective round-loop parallelism (1 when no pool was created).
   int num_threads() const { return pool_ ? pool_->num_threads() : 1; }
+  /// The round loop's worker pool (nullptr when running serially). The
+  /// evaluation layer borrows it between rounds to fan ER/HR/PKL out
+  /// over users; never use it while RunRound is in flight.
+  ThreadPool* pool() const { return pool_.get(); }
 
  private:
   /// Runs fn(0..n-1) on the pool, or inline when running serially.
   void For(size_t n, const std::function<void(size_t)>& fn);
+
+  /// DL-FRS only: aggregates and applies the interaction-function
+  /// gradients of the surviving uploads (one flattened aggregate per
+  /// round, off the per-item hot path).
+  void ApplyInteractionUpdates(const std::vector<ClientUpdate>& raw,
+                               const std::vector<int>& surviving);
 
   const RecModel& model_;
   GlobalModel global_;

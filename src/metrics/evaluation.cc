@@ -1,22 +1,41 @@
 #include "metrics/evaluation.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
 #include <numeric>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace pieck {
 
 namespace {
 
-/// Scores every item for one user; `scores[j]` is the predicted logit
-/// (ranking is monotone in the logit, so σ is skipped).
-Vec ScoreAllItems(const RecModel& model, const GlobalModel& g, const Vec& u) {
-  Vec scores(static_cast<size_t>(g.num_items()));
-  for (int j = 0; j < g.num_items(); ++j) {
-    Vec v = g.item_embeddings.Row(static_cast<size_t>(j));
-    scores[static_cast<size_t>(j)] = model.Forward(g, u, v, nullptr);
-  }
+/// Runs fn(0..n-1) on the pool, or inline when none was provided. The
+/// evaluation loops only write to disjoint per-user slots, so pool size
+/// never changes a result.
+void ForUsers(ThreadPool* pool, size_t n,
+              const std::function<void(size_t)>& fn) {
+  ThreadPool::ParallelForOrSerial(pool, n, fn);
+}
+
+/// SplitMix64 finalizer: derives a well-mixed per-user seed from the
+/// metric seed, so each user owns an independent deterministic stream
+/// regardless of which worker evaluates it.
+uint64_t MixSeed(uint64_t seed, uint64_t user) {
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (user + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-worker score buffer: every metric scores whole item tables, and
+/// each worker reuses one buffer across all its users.
+Vec& ScoreScratch(size_t n) {
+  thread_local Vec scores;
+  scores.resize(n);
   return scores;
 }
 
@@ -25,20 +44,25 @@ Vec ScoreAllItems(const RecModel& model, const GlobalModel& g, const Vec& u) {
 double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
                         const std::vector<const BenignClient*>& benign,
                         const Dataset& train,
-                        const std::vector<int>& target_items, int k) {
+                        const std::vector<int>& target_items, int k,
+                        ThreadPool* pool) {
   PIECK_CHECK(k > 0);
   if (target_items.empty() || benign.empty()) return 0.0;
 
   // For each user compute the top-K uninteracted items once, then test
-  // membership for every target.
-  std::vector<int64_t> hits(target_items.size(), 0);
-  std::vector<int64_t> denom(target_items.size(), 0);
+  // membership for every target. Per-(user, target) outcomes land in
+  // pre-sized slots; the reduction below runs serially in user order.
+  constexpr uint8_t kExcluded = 0, kMiss = 1, kHit = 2;
+  const size_t num_targets = target_items.size();
+  std::vector<uint8_t> outcome(benign.size() * num_targets, kExcluded);
 
-  std::vector<std::pair<double, int>> ranked;
-  for (const BenignClient* client : benign) {
-    const Vec scores = ScoreAllItems(model, g, client->user_embedding());
+  ForUsers(pool, benign.size(), [&](size_t ui) {
+    const BenignClient* client = benign[ui];
+    Vec& scores = ScoreScratch(static_cast<size_t>(g.num_items()));
+    model.ScoreItems(g, client->user_embedding(), scores.data());
     const std::vector<int>& interacted = train.ItemsOf(client->user_id());
 
+    thread_local std::vector<std::pair<double, int>> ranked;
     ranked.clear();
     ranked.reserve(scores.size());
     size_t pi = 0;
@@ -54,68 +78,124 @@ double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
                         return a.first > b.first;
                       });
 
-    for (size_t t = 0; t < target_items.size(); ++t) {
+    for (size_t t = 0; t < num_targets; ++t) {
       int target = target_items[t];
       if (train.Interacted(client->user_id(), target)) continue;
-      denom[t]++;
+      uint8_t& slot = outcome[ui * num_targets + t];
+      slot = kMiss;
       for (size_t r = 0; r < top; ++r) {
         if (ranked[r].second == target) {
-          hits[t]++;
+          slot = kHit;
           break;
         }
       }
     }
-  }
+  });
 
+  std::vector<int64_t> hits(num_targets, 0);
+  std::vector<int64_t> denom(num_targets, 0);
+  for (size_t ui = 0; ui < benign.size(); ++ui) {
+    for (size_t t = 0; t < num_targets; ++t) {
+      const uint8_t o = outcome[ui * num_targets + t];
+      if (o == kExcluded) continue;
+      denom[t]++;
+      if (o == kHit) hits[t]++;
+    }
+  }
   double er = 0.0;
-  for (size_t t = 0; t < target_items.size(); ++t) {
+  for (size_t t = 0; t < num_targets; ++t) {
     if (denom[t] > 0) {
       er += static_cast<double>(hits[t]) / static_cast<double>(denom[t]);
     }
   }
-  return er / static_cast<double>(target_items.size());
+  return er / static_cast<double>(num_targets);
 }
 
 double HitRatioAtK(const RecModel& model, const GlobalModel& g,
                    const std::vector<const BenignClient*>& benign,
                    const Dataset& train, const std::vector<int>& test_items,
-                   int k, int num_negatives, uint64_t seed) {
+                   int k, int num_negatives, uint64_t seed,
+                   ThreadPool* pool) {
   PIECK_CHECK(k > 0 && num_negatives > 0);
-  Rng rng(seed);
-  int64_t hits = 0;
-  int64_t total = 0;
-  for (const BenignClient* client : benign) {
+
+  // Per-user outcome slots: 0 = skipped, 1 = miss, 2 = hit.
+  constexpr uint8_t kSkipped = 0, kMiss = 1, kHit = 2;
+  std::vector<uint8_t> outcome(benign.size(), kSkipped);
+
+  ForUsers(pool, benign.size(), [&](size_t ui) {
+    const BenignClient* client = benign[ui];
     int user = client->user_id();
-    if (user < 0 || user >= static_cast<int>(test_items.size())) continue;
+    if (user < 0 || user >= static_cast<int>(test_items.size())) return;
     int test = test_items[static_cast<size_t>(user)];
-    if (test < 0) continue;
+    if (test < 0) return;
+    // The score buffer spans the model's item table; sampled negatives
+    // come from train. Both index it below, so both ranges must fit.
+    PIECK_CHECK(test < g.num_items());
+    PIECK_CHECK(train.num_items() <= g.num_items());
 
-    const Vec& u = client->user_embedding();
-    Vec vt = g.item_embeddings.Row(static_cast<size_t>(test));
-    double test_score = model.Forward(g, u, vt, nullptr);
+    Vec& scores = ScoreScratch(static_cast<size_t>(g.num_items()));
+    model.ScoreItems(g, client->user_embedding(), scores.data());
+    const double test_score = scores[static_cast<size_t>(test)];
 
-    // Rank the test item against sampled uninteracted negatives; the
-    // item lands in the top K iff fewer than K negatives outscore it.
-    // Exact ties count as half an outscore so that a degenerate model
-    // with all-equal scores gets chance-level (not perfect) HR.
+    // The test item lands in the top K iff fewer than K negatives
+    // outscore it. Exact ties count as half an outscore so that a
+    // degenerate model with all-equal scores gets chance-level (not
+    // perfect) HR.
+    auto outscore = [&](int j) {
+      double s = scores[static_cast<size_t>(j)];
+      if (s > test_score) return 1.0;
+      if (s == test_score) return 0.5;
+      return 0.0;
+    };
+
+    // How many uninteracted negatives exist at all (the test item never
+    // counts as a negative, whether or not it appears in train).
+    const int64_t excluded =
+        static_cast<int64_t>(train.ItemsOf(user).size()) +
+        (train.Interacted(user, test) ? 0 : 1);
+    const int64_t available = train.num_items() - excluded;
+
     double outscored = 0.0;
-    int sampled = 0;
-    int guard = 0;
-    while (sampled < num_negatives && guard < num_negatives * 50) {
-      ++guard;
-      int j = static_cast<int>(rng.UniformInt(0, train.num_items() - 1));
-      if (j == test || train.Interacted(user, j)) continue;
-      ++sampled;
-      Vec v = g.item_embeddings.Row(static_cast<size_t>(j));
-      double s = model.Forward(g, u, v, nullptr);
-      if (s > test_score) {
-        outscored += 1.0;
-      } else if (s == test_score) {
-        outscored += 0.5;
+    bool scan_all = available <= num_negatives;
+    if (!scan_all) {
+      // Rank against `num_negatives` sampled uninteracted items, each
+      // user on its own seed-derived stream (order/pool independent).
+      Rng rng(MixSeed(seed, static_cast<uint64_t>(user)));
+      int sampled = 0;
+      int guard = 0;
+      while (sampled < num_negatives && guard < num_negatives * 50) {
+        ++guard;
+        int j = static_cast<int>(rng.UniformInt(0, train.num_items() - 1));
+        if (j == test || train.Interacted(user, j)) continue;
+        ++sampled;
+        outscored += outscore(j);
+      }
+      // Rejection sampling fell short (extremely dense user): discard
+      // the partial sample rather than silently ranking against fewer
+      // negatives than requested.
+      scan_all = sampled < num_negatives;
+    }
+    if (scan_all) {
+      // Deterministic fallback: rank against every uninteracted item.
+      outscored = 0.0;
+      const std::vector<int>& interacted = train.ItemsOf(user);
+      size_t pi = 0;
+      for (int j = 0; j < train.num_items(); ++j) {
+        while (pi < interacted.size() && interacted[pi] < j) ++pi;
+        if (pi < interacted.size() && interacted[pi] == j) continue;
+        if (j == test) continue;
+        outscored += outscore(j);
       }
     }
+    outcome[ui] = outscored < static_cast<double>(k) ? kHit : kMiss;
+  });
+
+  int64_t hits = 0;
+  int64_t total = 0;
+  for (uint8_t o : outcome) {
+    if (o == kSkipped) continue;
     ++total;
-    if (outscored < static_cast<double>(k)) ++hits;
+    if (o == kHit) ++hits;
   }
   if (total == 0) return 0.0;
   return static_cast<double>(hits) / static_cast<double>(total);
@@ -124,7 +204,8 @@ double HitRatioAtK(const RecModel& model, const GlobalModel& g,
 double PairwiseKlDivergence(const GlobalModel& g,
                             const std::vector<const BenignClient*>& benign,
                             const Dataset& train,
-                            const std::vector<int>& popular_items) {
+                            const std::vector<int>& popular_items,
+                            ThreadPool* pool) {
   if (popular_items.empty() || benign.empty()) return 0.0;
   // U_P: users whose interactions include at least one popular item.
   std::vector<const Vec*> covered_users;
@@ -138,14 +219,49 @@ double PairwiseKlDivergence(const GlobalModel& g,
   }
   if (covered_users.empty()) return 0.0;
 
-  double total = 0.0;
-  for (int item : popular_items) {
-    Vec vk = g.item_embeddings.Row(static_cast<size_t>(item));
-    for (const Vec* u : covered_users) {
-      total += SoftmaxKl(vk, *u);
-    }
+  // KL(p_k || q_u) = Σ_i p_k[i]·log p_k[i] − dot(p_k, log q_u). The
+  // item-side terms are shared by every user, so precompute the softmax
+  // rows P (stacked, row-major) and self-terms once; each user then
+  // costs one log-softmax plus one gemv against P.
+  const size_t num_pop = popular_items.size();
+  const size_t d = static_cast<size_t>(g.dim());
+  Matrix p_rows(num_pop, d);
+  Vec self_terms(num_pop);
+  for (size_t t = 0; t < num_pop; ++t) {
+    Vec p = Softmax(g.item_embeddings.Row(
+        static_cast<size_t>(popular_items[t])));
+    double s = 0.0;
+    for (size_t i = 0; i < d; ++i) s += p[i] * std::log(p[i]);
+    self_terms[t] = s;
+    p_rows.SetRow(t, p);
   }
-  return total / (static_cast<double>(popular_items.size()) *
+
+  const KernelTable& kernels = ActiveKernels();
+  std::vector<double> partial(covered_users.size(), 0.0);
+  ForUsers(pool, covered_users.size(), [&](size_t ui) {
+    const Vec& u = *covered_users[ui];
+    PIECK_CHECK(u.size() == d);
+    // log softmax(u) without materializing the softmax.
+    thread_local Vec log_q;
+    log_q.resize(d);
+    const double mx = *std::max_element(u.begin(), u.end());
+    double z = 0.0;
+    for (size_t i = 0; i < d; ++i) z += std::exp(u[i] - mx);
+    const double lz = std::log(z);
+    for (size_t i = 0; i < d; ++i) log_q[i] = u[i] - mx - lz;
+
+    thread_local Vec dots;
+    dots.resize(num_pop);
+    kernels.gemv(p_rows.data().data(), num_pop, d, log_q.data(),
+                 dots.data());
+    double acc = 0.0;
+    for (size_t t = 0; t < num_pop; ++t) acc += self_terms[t] - dots[t];
+    partial[ui] = acc;
+  });
+
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total / (static_cast<double>(num_pop) *
                   static_cast<double>(covered_users.size()));
 }
 

@@ -4,12 +4,19 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "fed/client.h"
 #include "model/global_model.h"
 #include "model/rec_model.h"
 
 namespace pieck {
+
+// The three heavy metrics (ER@K, HR@K, PKL) score whole item tables per
+// user through RecModel::ScoreItems (one batched gemv for MF) and fan
+// out over users on the optional `pool` (nullptr = serial). Per-user
+// results land in pre-sized slots and reduce in user order afterwards,
+// so every metric is bit-identical for every pool size.
 
 /// Exposure Ratio at rank K (Eq. 3): the fraction of benign users whose
 /// top-K recommendation lists (over their uninteracted items) contain a
@@ -18,24 +25,34 @@ namespace pieck {
 double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
                         const std::vector<const BenignClient*>& benign,
                         const Dataset& train,
-                        const std::vector<int>& target_items, int k);
+                        const std::vector<int>& target_items, int k,
+                        ThreadPool* pool = nullptr);
 
 /// Hit Ratio at rank K following the NCF protocol: each user's held-out
 /// test item is ranked against `num_negatives` sampled uninteracted
 /// items; HR@K is the fraction of users whose test item lands in the
 /// top K. Users without a test item are skipped. Deterministic in
-/// `seed`.
+/// `seed` (each user derives an independent stream from it, so the
+/// result does not depend on user order or pool size). Dense users with
+/// at most `num_negatives` uninteracted items — or whose rejection
+/// sampling cannot fill the quota — are ranked against *every*
+/// uninteracted item instead of a silently short sample.
 double HitRatioAtK(const RecModel& model, const GlobalModel& g,
                    const std::vector<const BenignClient*>& benign,
                    const Dataset& train, const std::vector<int>& test_items,
-                   int k, int num_negatives, uint64_t seed);
+                   int k, int num_negatives, uint64_t seed,
+                   ThreadPool* pool = nullptr);
 
 /// Average pairwise KL divergence (Eq. 9) between the embeddings of the
 /// mined popular items and the embeddings of the users covered by them.
+/// Computed as KL(p_k || q_u) = Σ_i p_k[i]·log p_k[i] − p_k·log q_u: the
+/// per-item softmax terms are precomputed once, and each user's KLs
+/// against all items are one batched gemv.
 double PairwiseKlDivergence(const GlobalModel& g,
                             const std::vector<const BenignClient*>& benign,
                             const Dataset& train,
-                            const std::vector<int>& popular_items);
+                            const std::vector<int>& popular_items,
+                            ThreadPool* pool = nullptr);
 
 /// User coverage ratio: the fraction of users whose interactions include
 /// at least one item of `popular_items` (Table II).

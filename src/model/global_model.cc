@@ -1,10 +1,32 @@
 #include "model/global_model.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 
 namespace pieck {
+
+namespace {
+std::atomic<int64_t> g_client_update_copies{0};
+}  // namespace
+
+ClientUpdate::ClientUpdate(const ClientUpdate& other)
+    : item_grads(other.item_grads),
+      interaction_grads(other.interaction_grads) {
+  g_client_update_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+ClientUpdate& ClientUpdate::operator=(const ClientUpdate& other) {
+  item_grads = other.item_grads;
+  interaction_grads = other.interaction_grads;
+  g_client_update_copies.fetch_add(1, std::memory_order_relaxed);
+  return *this;
+}
+
+int64_t ClientUpdate::CopyCount() {
+  return g_client_update_copies.load(std::memory_order_relaxed);
+}
 
 InteractionGrads InteractionGrads::ZerosLike(const GlobalModel& model) {
   InteractionGrads g;

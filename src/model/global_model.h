@@ -1,6 +1,7 @@
 #ifndef PIECK_MODEL_GLOBAL_MODEL_H_
 #define PIECK_MODEL_GLOBAL_MODEL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -59,6 +60,20 @@ struct ClientUpdate {
   /// Sorted-by-item list of (item, gradient) pairs.
   std::vector<std::pair<int, Vec>> item_grads;
   InteractionGrads interaction_grads;
+
+  ClientUpdate() = default;
+  // Copies are instrumented: the server's aggregation path is required
+  // to borrow uploads (pointer spans / surviving indices), never to
+  // deep-copy them, and `CopyCount` lets tests assert that. Moves stay
+  // defaulted and uncounted — they are how uploads travel.
+  ClientUpdate(const ClientUpdate& other);
+  ClientUpdate& operator=(const ClientUpdate& other);
+  ClientUpdate(ClientUpdate&&) = default;
+  ClientUpdate& operator=(ClientUpdate&&) = default;
+
+  /// Process-wide number of ClientUpdate copy constructions/assignments
+  /// since startup (test instrumentation; monotone, thread-safe).
+  static int64_t CopyCount();
 
   /// Adds `g` to the entry for `item` (creating it if absent).
   void AccumulateItemGrad(int item, const Vec& g);

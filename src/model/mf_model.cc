@@ -39,6 +39,14 @@ double MfModel::Forward(const GlobalModel& /*g*/, const Vec& u, const Vec& v,
   return s;
 }
 
+void MfModel::ScoreItems(const GlobalModel& g, const Vec& u,
+                         double* out) const {
+  const Matrix& items = g.item_embeddings;
+  PIECK_CHECK(u.size() == items.cols());
+  ActiveKernels().gemv(items.data().data(), items.rows(), items.cols(),
+                       u.data(), out);
+}
+
 void MfModel::Backward(const GlobalModel& /*g*/, const Vec& u, const Vec& v,
                        const ForwardCache& /*cache*/, double dlogit,
                        Vec* grad_u, Vec* grad_v,

@@ -1,5 +1,7 @@
 #include "model/rec_model.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "model/mf_model.h"
 #include "model/ncf_model.h"
@@ -20,6 +22,21 @@ const char* ModelKindToString(ModelKind kind) {
 double RecModel::ScoreProb(const GlobalModel& g, const Vec& u,
                            const Vec& v) const {
   return Sigmoid(Forward(g, u, v, nullptr));
+}
+
+void RecModel::ScoreItems(const GlobalModel& g, const Vec& u,
+                          double* out) const {
+  // Generic fallback (DL-FRS): one Forward per item, reading the row
+  // through a single per-thread buffer instead of a fresh Vec copy per
+  // item per user.
+  const size_t d = g.item_embeddings.cols();
+  thread_local Vec v;
+  v.resize(d);
+  for (int j = 0; j < g.num_items(); ++j) {
+    const double* row = g.item_embeddings.RowPtr(static_cast<size_t>(j));
+    std::copy(row, row + d, v.begin());
+    out[j] = Forward(g, u, v, nullptr);
+  }
 }
 
 std::unique_ptr<RecModel> MakeModel(ModelKind kind, int embedding_dim,

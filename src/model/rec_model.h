@@ -55,6 +55,16 @@ class RecModel {
   virtual double Forward(const GlobalModel& g, const Vec& u, const Vec& v,
                          ForwardCache* cache) const = 0;
 
+  /// Scores every item for user embedding `u`: out[j] = Forward(g, u,
+  /// item j) for j in [0, g.num_items()); `out` holds g.num_items()
+  /// doubles. This is the evaluation hot path (ER@K / HR@K score whole
+  /// tables per user). The default loops Forward over borrowed rows with
+  /// one reused buffer; MF overrides it with a single batched gemv over
+  /// the embedding table, bit-identical to the loop by the kernel
+  /// contract. Thread-safe for concurrent calls with distinct `out`.
+  virtual void ScoreItems(const GlobalModel& g, const Vec& u,
+                          double* out) const;
+
   /// Given d(loss)/d(logit) (already multiplied by any example weight),
   /// accumulates gradients: grad_u += dlogit * ds/du, grad_v += dlogit *
   /// ds/dv, and interaction grads if `igrads` is non-null and active.

@@ -16,6 +16,7 @@ const KernelTable kScalarTable = {
     internal::AxpyScalar,           internal::ScaleScalar,
     internal::SquaredNormScalar,    internal::SquaredDistanceScalar,
     internal::ReluScalar,           internal::ReluBackwardScalar,
+    internal::GemvScalar,
 };
 
 #if defined(PIECK_HAVE_AVX2)
@@ -24,6 +25,7 @@ const KernelTable kAvx2Table = {
     internal::AxpyAvx2,           internal::ScaleAvx2,
     internal::SquaredNormAvx2,    internal::SquaredDistanceAvx2,
     internal::ReluAvx2,           internal::ReluBackwardAvx2,
+    internal::GemvAvx2,
 };
 
 bool CpuHasAvx2() {
@@ -41,6 +43,7 @@ const KernelTable kNeonTable = {
     internal::AxpyNeon,           internal::ScaleNeon,
     internal::SquaredNormNeon,    internal::SquaredDistanceNeon,
     internal::ReluNeon,           internal::ReluBackwardNeon,
+    internal::GemvNeon,
 };
 #endif  // PIECK_HAVE_NEON
 

@@ -85,6 +85,17 @@ struct KernelTable {
   /// entries are +0.0 regardless of the sign of delta[i].
   void (*relu_backward)(const double* pre, double* delta, std::size_t n);
 
+  /// Batched row-major GEMV / multi-dot: out[r] = dot(m + r*cols, x) for
+  /// r in [0, rows). `m` is a rows x cols row-major matrix (contiguous
+  /// rows, e.g. `Matrix::data()` or any row range of it); `out` holds
+  /// `rows` doubles and must not overlap `m` or `x`. Every row result is
+  /// bit-identical to a `dot` call on that row (same blocked 8-lane
+  /// order); the SIMD backends batch several rows per pass so each load
+  /// of x is shared across rows. This is the evaluation hot path: scoring
+  /// every item for one user is one gemv over the embedding table.
+  void (*gemv)(const double* m, std::size_t rows, std::size_t cols,
+               const double* x, double* out);
+
   // -- Composed helpers ----------------------------------------------
   // Implemented once on top of the primitives above (plus scalar libm
   // calls that are backend-independent), so their bit-exactness follows

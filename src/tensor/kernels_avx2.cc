@@ -117,6 +117,59 @@ double SquaredDistanceAvx2(const double* a, const double* b, std::size_t n) {
   return CombineLanes(lanes);
 }
 
+void GemvAvx2(const double* m, std::size_t rows, std::size_t cols,
+              const double* x, double* out) {
+  // Batched multi-dot: blocks of 4 rows share every load of x, turning
+  // the per-row two-load dot into 8 row loads + 2 x loads per 8 columns.
+  // Each row keeps its own (acc0, acc1) pair and combines exactly like
+  // DotAvx2, so out[r] is bitwise dot(m + r*cols, x, cols).
+  const std::size_t n8 = cols & ~static_cast<std::size_t>(7);
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* m0 = m + r * cols;
+    const double* m1 = m0 + cols;
+    const double* m2 = m1 + cols;
+    const double* m3 = m2 + cols;
+    __m256d a00 = _mm256_setzero_pd(), a01 = _mm256_setzero_pd();
+    __m256d a10 = _mm256_setzero_pd(), a11 = _mm256_setzero_pd();
+    __m256d a20 = _mm256_setzero_pd(), a21 = _mm256_setzero_pd();
+    __m256d a30 = _mm256_setzero_pd(), a31 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i < n8; i += 8) {
+      const __m256d x0 = _mm256_loadu_pd(x + i);
+      const __m256d x1 = _mm256_loadu_pd(x + i + 4);
+      a00 = _mm256_add_pd(a00, _mm256_mul_pd(_mm256_loadu_pd(m0 + i), x0));
+      a01 = _mm256_add_pd(a01, _mm256_mul_pd(_mm256_loadu_pd(m0 + i + 4), x1));
+      a10 = _mm256_add_pd(a10, _mm256_mul_pd(_mm256_loadu_pd(m1 + i), x0));
+      a11 = _mm256_add_pd(a11, _mm256_mul_pd(_mm256_loadu_pd(m1 + i + 4), x1));
+      a20 = _mm256_add_pd(a20, _mm256_mul_pd(_mm256_loadu_pd(m2 + i), x0));
+      a21 = _mm256_add_pd(a21, _mm256_mul_pd(_mm256_loadu_pd(m2 + i + 4), x1));
+      a30 = _mm256_add_pd(a30, _mm256_mul_pd(_mm256_loadu_pd(m3 + i), x0));
+      a31 = _mm256_add_pd(a31, _mm256_mul_pd(_mm256_loadu_pd(m3 + i + 4), x1));
+    }
+    if (i == cols) {
+      out[r] = CombineAcc(a00, a01);
+      out[r + 1] = CombineAcc(a10, a11);
+      out[r + 2] = CombineAcc(a20, a21);
+      out[r + 3] = CombineAcc(a30, a31);
+      continue;
+    }
+    const double* row_ptrs[4] = {m0, m1, m2, m3};
+    const __m256d accs[4][2] = {
+        {a00, a01}, {a10, a11}, {a20, a21}, {a30, a31}};
+    for (std::size_t b = 0; b < 4; ++b) {
+      alignas(32) double lanes[8];
+      _mm256_store_pd(lanes, accs[b][0]);
+      _mm256_store_pd(lanes + 4, accs[b][1]);
+      for (std::size_t j = n8; j < cols; ++j) {
+        lanes[j - n8] += row_ptrs[b][j] * x[j];
+      }
+      out[r + b] = CombineLanes(lanes);
+    }
+  }
+  for (; r < rows; ++r) out[r] = DotAvx2(m + r * cols, x, cols);
+}
+
 void ReluAvx2(const double* x, double* y, std::size_t n) {
   // maxpd(x, 0) computes x > 0 ? x : 0 per lane, matching the scalar
   // selection (including -0.0 -> +0.0 and NaN -> +0.0... NaN compares

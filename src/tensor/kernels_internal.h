@@ -25,6 +25,8 @@ double SquaredNormScalar(const double* x, std::size_t n);
 double SquaredDistanceScalar(const double* a, const double* b, std::size_t n);
 void ReluScalar(const double* x, double* y, std::size_t n);
 void ReluBackwardScalar(const double* pre, double* delta, std::size_t n);
+void GemvScalar(const double* m, std::size_t rows, std::size_t cols,
+                const double* x, double* out);
 
 #if defined(PIECK_HAVE_AVX2)
 double DotAvx2(const double* a, const double* b, std::size_t n);
@@ -34,6 +36,8 @@ double SquaredNormAvx2(const double* x, std::size_t n);
 double SquaredDistanceAvx2(const double* a, const double* b, std::size_t n);
 void ReluAvx2(const double* x, double* y, std::size_t n);
 void ReluBackwardAvx2(const double* pre, double* delta, std::size_t n);
+void GemvAvx2(const double* m, std::size_t rows, std::size_t cols,
+              const double* x, double* out);
 #endif
 
 #if defined(PIECK_HAVE_NEON)
@@ -44,6 +48,8 @@ double SquaredNormNeon(const double* x, std::size_t n);
 double SquaredDistanceNeon(const double* a, const double* b, std::size_t n);
 void ReluNeon(const double* x, double* y, std::size_t n);
 void ReluBackwardNeon(const double* pre, double* delta, std::size_t n);
+void GemvNeon(const double* m, std::size_t rows, std::size_t cols,
+              const double* x, double* out);
 #endif
 
 }  // namespace internal

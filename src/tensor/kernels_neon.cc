@@ -123,6 +123,46 @@ double SquaredDistanceNeon(const double* a, const double* b, std::size_t n) {
   return CombineLanes(lanes);
 }
 
+void GemvNeon(const double* m, std::size_t rows, std::size_t cols,
+              const double* x, double* out) {
+  // Batched multi-dot: pairs of rows share every load of x. Each row
+  // keeps the four accumulators of DotNeon, so out[r] is bitwise
+  // dot(m + r*cols, x, cols).
+  const std::size_t n8 = cols & ~static_cast<std::size_t>(7);
+  std::size_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const double* m0 = m + r * cols;
+    const double* m1 = m0 + cols;
+    float64x2_t a00 = vdupq_n_f64(0.0), a01 = vdupq_n_f64(0.0);
+    float64x2_t a02 = vdupq_n_f64(0.0), a03 = vdupq_n_f64(0.0);
+    float64x2_t a10 = vdupq_n_f64(0.0), a11 = vdupq_n_f64(0.0);
+    float64x2_t a12 = vdupq_n_f64(0.0), a13 = vdupq_n_f64(0.0);
+    std::size_t i = 0;
+    for (; i < n8; i += 8) {
+      const float64x2_t x0 = vld1q_f64(x + i);
+      const float64x2_t x1 = vld1q_f64(x + i + 2);
+      const float64x2_t x2 = vld1q_f64(x + i + 4);
+      const float64x2_t x3 = vld1q_f64(x + i + 6);
+      a00 = vaddq_f64(a00, vmulq_f64(vld1q_f64(m0 + i), x0));
+      a01 = vaddq_f64(a01, vmulq_f64(vld1q_f64(m0 + i + 2), x1));
+      a02 = vaddq_f64(a02, vmulq_f64(vld1q_f64(m0 + i + 4), x2));
+      a03 = vaddq_f64(a03, vmulq_f64(vld1q_f64(m0 + i + 6), x3));
+      a10 = vaddq_f64(a10, vmulq_f64(vld1q_f64(m1 + i), x0));
+      a11 = vaddq_f64(a11, vmulq_f64(vld1q_f64(m1 + i + 2), x1));
+      a12 = vaddq_f64(a12, vmulq_f64(vld1q_f64(m1 + i + 4), x2));
+      a13 = vaddq_f64(a13, vmulq_f64(vld1q_f64(m1 + i + 6), x3));
+    }
+    double lanes[8];
+    StoreLanes(lanes, a00, a01, a02, a03);
+    for (std::size_t j = i; j < cols; ++j) lanes[j - n8] += m0[j] * x[j];
+    out[r] = CombineLanes(lanes);
+    StoreLanes(lanes, a10, a11, a12, a13);
+    for (std::size_t j = i; j < cols; ++j) lanes[j - n8] += m1[j] * x[j];
+    out[r + 1] = CombineLanes(lanes);
+  }
+  for (; r < rows; ++r) out[r] = DotNeon(m + r * cols, x, cols);
+}
+
 void ReluNeon(const double* x, double* y, std::size_t n) {
   const float64x2_t zero = vdupq_n_f64(0.0);
   const std::size_t n2 = n & ~static_cast<std::size_t>(1);

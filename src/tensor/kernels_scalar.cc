@@ -58,6 +58,16 @@ double SquaredDistanceScalar(const double* a, const double* b,
   return CombineLanes(lanes);
 }
 
+void GemvScalar(const double* m, std::size_t rows, std::size_t cols,
+                const double* x, double* out) {
+  // One blocked dot per row: out[r] is bitwise dot(row_r, x), which is
+  // the whole contract — the SIMD backends may batch rows to share the
+  // x loads but must reproduce exactly this per-row reduction.
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = DotScalar(m + r * cols, x, cols);
+  }
+}
+
 void ReluScalar(const double* x, double* y, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
 }

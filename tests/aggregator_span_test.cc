@@ -1,0 +1,204 @@
+// Equivalence tests for the zero-copy span Aggregate API: for every
+// aggregation rule, aggregating a span of borrowed pointers must be
+// bit-identical to the pre-span reference semantics (the vector-of-Vec
+// implementations this API replaced), which the reference functions
+// below reproduce verbatim. Swept over group sizes (even/odd n for the
+// Median middle-pair average) and over trim fractions including the
+// 2*trim >= n clamp boundary for TrimmedMean.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "defense/robust_aggregators.h"
+#include "fed/aggregator.h"
+#include "tensor/vector_ops.h"
+
+namespace pieck {
+namespace {
+
+std::uint64_t Bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+::testing::AssertionResult BitEqualVec(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (Bits(a[i]) != Bits(b[i])) {
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << a[i] << " != " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------
+// Reference implementations: the exact pre-span semantics, operating on
+// owned vectors.
+
+Vec RefSum(const std::vector<Vec>& grads) {
+  Vec out = Zeros(grads[0].size());
+  for (const Vec& g : grads) Axpy(1.0, g, out);
+  return out;
+}
+
+Vec RefMean(const std::vector<Vec>& grads) {
+  Vec out = RefSum(grads);
+  Scale(1.0 / static_cast<double>(grads.size()), out);
+  return out;
+}
+
+Vec RefNormBound(const std::vector<Vec>& grads, double max_norm) {
+  Vec out = Zeros(grads[0].size());
+  for (const Vec& g : grads) {
+    Vec clipped = g;  // the per-gradient deep copy the span API deletes
+    ClipNorm(clipped, max_norm);
+    Axpy(1.0, clipped, out);
+  }
+  return out;
+}
+
+Vec RefMedian(const std::vector<Vec>& grads) {
+  const size_t n = grads.size();
+  const size_t d = grads[0].size();
+  Vec out(d);
+  std::vector<double> column(n);
+  for (size_t c = 0; c < d; ++c) {
+    for (size_t i = 0; i < n; ++i) column[i] = grads[i][c];
+    auto mid = column.begin() + static_cast<ptrdiff_t>(n / 2);
+    std::nth_element(column.begin(), mid, column.end());
+    double median;
+    if (n % 2 == 1) {
+      median = *mid;
+    } else {
+      double hi = *mid;
+      double lo = *std::max_element(column.begin(), mid);
+      median = 0.5 * (lo + hi);
+    }
+    out[c] = median * static_cast<double>(n);
+  }
+  return out;
+}
+
+Vec RefTrimmedMean(const std::vector<Vec>& grads, double trim_fraction) {
+  const size_t n = grads.size();
+  const size_t d = grads[0].size();
+  size_t trim =
+      static_cast<size_t>(std::ceil(trim_fraction * static_cast<double>(n)));
+  if (2 * trim >= n) trim = (n - 1) / 2;
+  Vec out(d);
+  std::vector<double> column(n);
+  for (size_t c = 0; c < d; ++c) {
+    for (size_t i = 0; i < n; ++i) column[i] = grads[i][c];
+    std::sort(column.begin(), column.end());
+    double s = 0.0;
+    for (size_t i = trim; i < n - trim; ++i) s += column[i];
+    out[c] = s / static_cast<double>(n - 2 * trim) * static_cast<double>(n);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+
+std::vector<Vec> RandomGrads(int n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> grads;
+  for (int i = 0; i < n; ++i) {
+    Vec g(dim);
+    // Mix magnitudes so NormBound both clips and passes gradients, and
+    // reduction/rounding order differences would show up.
+    double scale = i % 3 == 0 ? 10.0 : 0.1;
+    for (double& v : g) v = rng.Normal(0.0, scale);
+    grads.push_back(std::move(g));
+  }
+  return grads;
+}
+
+std::vector<const Vec*> SpanOf(const std::vector<Vec>& grads) {
+  std::vector<const Vec*> span;
+  for (const Vec& g : grads) span.push_back(&g);
+  return span;
+}
+
+// Covers odd and even group sizes, including n=1 and a size where
+// Median's even-n middle-pair average differs from nth_element alone.
+class AggregatorSpanEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregatorSpanEquivalence, SumMatchesReference) {
+  auto grads = RandomGrads(GetParam(), 9, 101);
+  SumAggregator agg;
+  EXPECT_TRUE(BitEqualVec(agg.Aggregate(SpanOf(grads)), RefSum(grads)));
+}
+
+TEST_P(AggregatorSpanEquivalence, MeanMatchesReference) {
+  auto grads = RandomGrads(GetParam(), 9, 103);
+  MeanAggregator agg;
+  EXPECT_TRUE(BitEqualVec(agg.Aggregate(SpanOf(grads)), RefMean(grads)));
+}
+
+TEST_P(AggregatorSpanEquivalence, NormBoundMatchesClippedCopyReference) {
+  for (double max_norm : {0.1, 1.0, 1e6}) {
+    auto grads = RandomGrads(GetParam(), 9, 107);
+    NormBoundAggregator agg(max_norm);
+    EXPECT_TRUE(BitEqualVec(agg.Aggregate(SpanOf(grads)),
+                            RefNormBound(grads, max_norm)))
+        << "max_norm=" << max_norm;
+  }
+}
+
+TEST_P(AggregatorSpanEquivalence, MedianMatchesReference) {
+  auto grads = RandomGrads(GetParam(), 9, 109);
+  MedianAggregator agg;
+  EXPECT_TRUE(BitEqualVec(agg.Aggregate(SpanOf(grads)), RefMedian(grads)));
+}
+
+TEST_P(AggregatorSpanEquivalence, TrimmedMeanMatchesReference) {
+  // 0.0 trims nothing; 0.2/0.4 trim interior amounts; 0.5 and 0.9 hit
+  // the 2*trim >= n clamp (degenerate-to-median boundary).
+  for (double trim : {0.0, 0.2, 0.4, 0.5, 0.9}) {
+    auto grads = RandomGrads(GetParam(), 9, 113);
+    TrimmedMeanAggregator agg(trim);
+    EXPECT_TRUE(BitEqualVec(agg.Aggregate(SpanOf(grads)),
+                            RefTrimmedMean(grads, trim)))
+        << "trim_fraction=" << trim;
+  }
+}
+
+TEST_P(AggregatorSpanEquivalence, OwnedVectorOverloadForwardsToSpan) {
+  auto grads = RandomGrads(GetParam(), 5, 127);
+  MedianAggregator median;
+  TrimmedMeanAggregator trimmed(0.2);
+  NormBoundAggregator nb(0.5);
+  for (const Aggregator* agg :
+       std::vector<const Aggregator*>{&median, &trimmed, &nb}) {
+    EXPECT_TRUE(BitEqualVec(agg->Aggregate(grads),
+                            agg->Aggregate(SpanOf(grads))))
+        << agg->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, AggregatorSpanEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 33));
+
+// The raw out-span entry point overwrites (never accumulates into) out.
+TEST(AggregatorSpanTest, OutBufferIsOverwritten) {
+  auto grads = RandomGrads(4, 6, 131);
+  auto span = SpanOf(grads);
+  SumAggregator agg;
+  Vec expected = agg.Aggregate(span);
+  Vec out(6, 1e9);  // poisoned
+  agg.Aggregate(span, out.data());
+  EXPECT_TRUE(BitEqualVec(out, expected));
+}
+
+}  // namespace
+}  // namespace pieck

@@ -44,7 +44,32 @@ TEST(FedDeterminismTest, RunRoundBitIdenticalForOneVsManyThreads) {
               threaded->global().item_embeddings)
         << "item embeddings diverged at round " << r;
   }
+  // The evaluation layer fans out over the server pool (4 workers in the
+  // threaded run, none in the serial run): metrics must agree bitwise.
   EXPECT_DOUBLE_EQ(serial->EvaluateEr(10), threaded->EvaluateEr(10));
+  EXPECT_DOUBLE_EQ(serial->EvaluateHr(10), threaded->EvaluateHr(10));
+}
+
+// Robust (non-linear) aggregation exercises the span Aggregate path and
+// its thread-local scratch: the model must stay bit-identical across
+// thread counts for every aggregator family.
+TEST(FedDeterminismTest, RobustAggregatorsBitIdenticalAcrossThreadCounts) {
+  for (DefenseKind defense :
+       {DefenseKind::kMedian, DefenseKind::kTrimmedMean, DefenseKind::kKrum,
+        DefenseKind::kNormBound}) {
+    ExperimentConfig base = SmallConfig(1);
+    base.defense = defense;
+    ExperimentConfig wide = base;
+    wide.num_threads = 4;
+    std::unique_ptr<Simulation> serial = MustCreate(base);
+    std::unique_ptr<Simulation> threaded = MustCreate(wide);
+    serial->RunRounds(3);
+    threaded->RunRounds(3);
+    ASSERT_EQ(serial->global().item_embeddings,
+              threaded->global().item_embeddings)
+        << "defense kind " << DefenseKindToString(defense);
+    EXPECT_DOUBLE_EQ(serial->EvaluateEr(10), threaded->EvaluateEr(10));
+  }
 }
 
 TEST(FedDeterminismTest, DlfrsInteractionParamsAlsoBitIdentical) {

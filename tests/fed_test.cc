@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "data/synthetic.h"
+#include "defense/robust_aggregators.h"
 #include "fed/aggregator.h"
 #include "fed/client.h"
 #include "fed/server.h"
@@ -114,6 +115,52 @@ TEST(ServerFilterTest, FilterStageDropsUpdates) {
   server.ApplyUpdates({a, b});
   EXPECT_DOUBLE_EQ(server.global().item_embeddings.At(0, 0),
                    before.item_embeddings.At(0, 0) - 1.0);
+}
+
+// The filter path must borrow surviving updates through indices: a
+// Krum round may not invoke the ClientUpdate copy constructor (the
+// pre-span implementation deep-copied every survivor).
+TEST(ServerFilterTest, KrumRoundRunsWithoutClientUpdateCopies) {
+  MfModel model(4);
+  Rng rng(101);
+  GlobalModel g = model.InitGlobalModel(6, rng);
+  ServerConfig config;
+  config.num_threads = 2;  // exercise the parallel per-item fan-out too
+  FederatedServer server(model, std::move(g), config,
+                         std::make_unique<SumAggregator>(),
+                         std::make_unique<KrumFilter>(0.2));
+
+  std::vector<ClientUpdate> updates(5);
+  for (int i = 0; i < 5; ++i) {
+    Vec grad(4);
+    for (double& v : grad) v = rng.Normal(0.0, i == 4 ? 10.0 : 0.01);
+    updates[static_cast<size_t>(i)].AccumulateItemGrad(i % 3,
+                                                       std::move(grad));
+  }
+
+  const int64_t copies_before = ClientUpdate::CopyCount();
+  server.ApplyUpdates(updates);
+  EXPECT_EQ(ClientUpdate::CopyCount(), copies_before)
+      << "ApplyUpdates deep-copied a surviving ClientUpdate";
+}
+
+// Same guarantee for a robust (non-linear) aggregator without a filter:
+// the whole span path must stay copy-free.
+TEST(ServerFilterTest, MedianAggregationRunsWithoutClientUpdateCopies) {
+  MfModel model(4);
+  Rng rng(103);
+  GlobalModel g = model.InitGlobalModel(3, rng);
+  ServerConfig config;
+  FederatedServer server(model, std::move(g), config,
+                         std::make_unique<MedianAggregator>());
+  std::vector<ClientUpdate> updates(3);
+  for (int i = 0; i < 3; ++i) {
+    updates[static_cast<size_t>(i)].AccumulateItemGrad(
+        0, {1.0 * i, 0.0, 0.0, 0.0});
+  }
+  const int64_t copies_before = ClientUpdate::CopyCount();
+  server.ApplyUpdates(updates);
+  EXPECT_EQ(ClientUpdate::CopyCount(), copies_before);
 }
 
 /// A scripted client used to observe server-side sampling behavior.

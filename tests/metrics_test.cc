@@ -105,6 +105,69 @@ TEST_F(MetricsFixture, HitRatioDeterministicInSeed) {
   EXPECT_DOUBLE_EQ(a, b);
 }
 
+// Dense-user regression: when a user has interacted with nearly every
+// item, rejection sampling cannot produce `num_negatives` distinct
+// negatives. HR must then rank the test item against every uninteracted
+// item (deterministic scan) instead of a silently short sample.
+TEST(HitRatioDenseUserTest, FallsBackToFullScanForDenseUsers) {
+  // User 0 interacted with 8 of 10 items; test item is 8, so item 9 is
+  // the only possible negative — far fewer than the 5 requested.
+  std::vector<Interaction> raw;
+  for (int j = 0; j < 8; ++j) raw.push_back({0, j});
+  auto ds = Dataset::FromInteractions(1, 10, raw);
+  ASSERT_TRUE(ds.ok());
+  MfModel model(kDim);
+  Rng rng(5);
+  GlobalModel global = model.InitGlobalModel(10, rng);
+  BenignClient client(0, model, *ds, NegativeSampler(1.0), LossKind::kBce,
+                      1.0, rng.Fork(), nullptr);
+  std::vector<const BenignClient*> views = {&client};
+  std::vector<int> test_items = {8};
+
+  // Make the test item outscore item 9 for this user: HR@1 must be 1.
+  Vec boosted(kDim, 0.0);
+  Axpy(10.0, client.user_embedding(), boosted);
+  global.item_embeddings.SetRow(8, boosted);
+  Vec buried(kDim, 0.0);
+  Axpy(-10.0, client.user_embedding(), buried);
+  global.item_embeddings.SetRow(9, buried);
+
+  double hr = HitRatioAtK(model, global, views, *ds, test_items, /*k=*/1,
+                          /*num_negatives=*/5, /*seed=*/7);
+  EXPECT_DOUBLE_EQ(hr, 1.0);
+
+  // Flip the ordering: the single real negative outscores the test item,
+  // so with the full-scan fallback HR@1 must be exactly 0 — a short
+  // sample of zero negatives would (wrongly) report a hit.
+  global.item_embeddings.SetRow(8, buried);
+  global.item_embeddings.SetRow(9, boosted);
+  hr = HitRatioAtK(model, global, views, *ds, test_items, 1, 5, 7);
+  EXPECT_DOUBLE_EQ(hr, 0.0);
+
+  // The fallback is deterministic: the seed cannot matter.
+  EXPECT_DOUBLE_EQ(HitRatioAtK(model, global, views, *ds, test_items, 1, 5,
+                               999),
+                   hr);
+}
+
+// The fan-out over users must be bit-identical for any pool size.
+TEST_F(MetricsFixture, MetricsIdenticalWithAndWithoutPool) {
+  BoostItem(4);
+  ThreadPool pool(3);
+  std::vector<int> test_items = {0, 2, 1};
+
+  EXPECT_DOUBLE_EQ(
+      ExposureRatioAtK(*model_, global_, views_, *train_, {4, 3}, 2),
+      ExposureRatioAtK(*model_, global_, views_, *train_, {4, 3}, 2, &pool));
+  EXPECT_DOUBLE_EQ(
+      HitRatioAtK(*model_, global_, views_, *train_, test_items, 2, 3, 11),
+      HitRatioAtK(*model_, global_, views_, *train_, test_items, 2, 3, 11,
+                  &pool));
+  EXPECT_DOUBLE_EQ(
+      PairwiseKlDivergence(global_, views_, *train_, {0, 1}),
+      PairwiseKlDivergence(global_, views_, *train_, {0, 1}, &pool));
+}
+
 TEST_F(MetricsFixture, UcrCountsCoveredUsers) {
   // Item 0 covers users 0 and 1 -> 2/3.
   EXPECT_NEAR(UserCoverageRatio(*train_, {0}), 2.0 / 3.0, 1e-12);

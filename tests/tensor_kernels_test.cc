@@ -133,6 +133,34 @@ TEST_P(KernelEquivalenceTest, Reductions) {
   }
 }
 
+// The batched GEMV must produce, for every row, bitwise the result of a
+// scalar-reference dot on that row — including the row counts around the
+// SIMD row-blocking factors (4 rows on AVX2, 2 on NEON) and ragged
+// column tails.
+TEST_P(KernelEquivalenceTest, GemvMatchesPerRowDot) {
+  Rng rng(47);
+  const size_t kRowCounts[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 33};
+  const size_t kColCounts[] = {0, 1, 3, 7, 8, 9, 16, 31, 64, 65};
+  for (size_t rows : kRowCounts) {
+    for (size_t cols : kColCounts) {
+      for (size_t off : kOffsets) {
+        std::vector<double> m(rows * cols + off), x(cols + off);
+        FillTestData(rng, m);
+        FillTestData(rng, x);
+        const double* pm = m.data() + off;
+        const double* px = x.data() + off;
+        std::vector<double> out_gemv(rows, 7.0), out_dot(rows, 7.0);
+        simd().gemv(pm, rows, cols, px, out_gemv.data());
+        for (size_t r = 0; r < rows; ++r) {
+          out_dot[r] = scalar().dot(pm + r * cols, px, cols);
+        }
+        EXPECT_TRUE(BitEqualVec(out_gemv, out_dot))
+            << "gemv rows=" << rows << " cols=" << cols << " off=" << off;
+      }
+    }
+  }
+}
+
 TEST_P(KernelEquivalenceTest, Elementwise) {
   Rng rng(43);
   const double alphas[] = {0.0, -0.0, 1.0, -1.0, 0.3, -7.5e100, 2.5e-200};
