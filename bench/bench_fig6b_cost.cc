@@ -35,6 +35,11 @@ int main(int argc, char** argv) {
 
   std::printf("== Fig. 6(b): time per round, seconds (ML-1M-like) ==\n");
   TablePrinter table({"Scenario", "MF-FRS", "DL-FRS"});
+  // Client-side cost telemetry from the final round of each run: how
+  // many uploads a round builds, the resident size of the reusable
+  // round arenas, and the benign-population store footprint.
+  TablePrinter cost({"Scenario", "Model", "Uploads/round", "Arena KB",
+                     "Store KB"});
   for (const Scenario& s : scenarios) {
     std::vector<std::string> row = {s.name};
     for (ModelKind kind :
@@ -46,9 +51,15 @@ int main(int argc, char** argv) {
       config.rounds = rounds;
       ExperimentResult result = MustRun(config);
       row.push_back(FormatDouble(result.seconds_per_round, 4));
+      cost.AddRow({s.name, ModelKindToString(kind),
+                   std::to_string(result.uploads_built),
+                   FormatDouble(result.scratch_bytes_in_use / 1024.0, 1),
+                   FormatDouble(result.store_footprint_bytes / 1024.0, 1)});
     }
     table.AddRow(row);
   }
   std::printf("%s", table.ToString().c_str());
+  std::printf("\n== Client-side cost (final round) ==\n%s",
+              cost.ToString().c_str());
   return 0;
 }

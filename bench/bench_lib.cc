@@ -1,9 +1,13 @@
 #include "bench/bench_lib.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/string_util.h"
+#include "fed/client_state_store.h"
 
 namespace pieck::bench {
 
@@ -55,8 +59,9 @@ ExperimentConfig MakeBenchConfig(BenchDataset dataset, ModelKind model,
   config.embedding_dim = static_cast<int>(flags.GetInt("dim", 16));
   config.learning_rate =
       model == ModelKind::kMatrixFactorization ? 1.0 : 0.005;
-  config.users_per_round = std::max(
-      8, static_cast<int>(participation * config.dataset.num_users));
+  config.users_per_round = std::min(
+      std::max(8, static_cast<int>(participation * config.dataset.num_users)),
+      config.dataset.num_users);
   // DL-FRS converges more slowly at the same participation.
   int default_rounds =
       model == ModelKind::kMatrixFactorization ? 150 : 300;
@@ -95,5 +100,123 @@ ExperimentResult MustRun(const ExperimentConfig& config) {
 }
 
 std::string Pct(double fraction) { return FormatPercent(fraction); }
+
+namespace {
+
+/// SplitMix64: cheap, well-mixed per-user hash for synthetic adjacency.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int64_t PeakRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
+  using Clock = std::chrono::steady_clock;
+  if (config.num_users <= 0 || config.num_items < 2 || config.dim <= 0 ||
+      config.interactions_per_user <= 0 || config.rounds <= 0 ||
+      config.users_per_round <= 0 || config.num_threads < 0) {
+    std::fprintf(stderr,
+                 "scale sweep config invalid: users=%d items=%d (need >= 2) "
+                 "ipu=%d dim=%d rounds=%d batch=%d threads=%d\n",
+                 config.num_users, config.num_items,
+                 config.interactions_per_user, config.dim, config.rounds,
+                 config.users_per_round, config.num_threads);
+    std::exit(1);
+  }
+  ScaleSweepResult result;
+  result.config = config;
+  const auto t_setup = Clock::now();
+
+  // Hash-derived sparse adjacency: each user interacts with
+  // `interactions_per_user` stride-spaced items. Duplicate (user, item)
+  // pairs (possible when the stride wraps) are dropped by
+  // Dataset::FromInteractions.
+  std::vector<Interaction> raw;
+  raw.reserve(static_cast<size_t>(config.num_users) *
+              static_cast<size_t>(config.interactions_per_user));
+  for (int u = 0; u < config.num_users; ++u) {
+    const uint64_t h = Mix(config.seed ^ static_cast<uint64_t>(u));
+    const int base = static_cast<int>(h % static_cast<uint64_t>(config.num_items));
+    const int step = 1 + static_cast<int>((h >> 32) % static_cast<uint64_t>(
+                                              config.num_items - 1));
+    for (int j = 0; j < config.interactions_per_user; ++j) {
+      const int item = static_cast<int>(
+          (static_cast<int64_t>(base) + static_cast<int64_t>(j) * step) %
+          config.num_items);
+      raw.push_back({u, item});
+    }
+  }
+  auto ds = Dataset::FromInteractions(config.num_users, config.num_items, raw);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "scale sweep dataset failed: %s\n",
+                 ds.status().ToString().c_str());
+    std::exit(1);
+  }
+  raw.clear();
+  raw.shrink_to_fit();
+  result.num_interactions = ds->num_interactions();
+
+  auto model = MakeModel(ModelKind::kMatrixFactorization, config.dim);
+  Rng master(config.seed);
+  Rng init_rng = master.Fork();
+  GlobalModel global = model->InitGlobalModel(config.num_items, init_rng);
+
+  ClientStateStore store(*model, *ds,
+                         std::make_shared<const NegativeSampler>(1.0),
+                         LossKind::kBce, 1.0);
+  std::vector<uint64_t> seeds(static_cast<size_t>(config.num_users));
+  for (uint64_t& s : seeds) s = master.ForkSeed();
+  store.set_user_seeds(std::move(seeds));
+
+  ServerConfig server_config;
+  server_config.learning_rate = 1.0;
+  server_config.users_per_round = config.users_per_round;
+  server_config.num_threads = config.num_threads;
+  FederatedServer server(*model, std::move(global), server_config,
+                         std::make_unique<SumAggregator>());
+  result.setup_seconds =
+      std::chrono::duration<double>(Clock::now() - t_setup).count();
+
+  Rng round_rng = master.Fork();
+  const auto t_rounds = Clock::now();
+  RoundStats last;
+  for (int r = 0; r < config.rounds; ++r) {
+    last = server.RunRound(store, {}, r, round_rng);
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t_rounds).count();
+
+  result.rounds_per_sec = config.rounds / seconds;
+  result.clients_per_sec =
+      static_cast<double>(last.uploads_built) * config.rounds / seconds;
+  result.store_bytes = last.store_footprint_bytes;
+  result.arena_bytes = last.scratch_bytes_in_use;
+  result.bytes_per_user =
+      static_cast<double>(result.store_bytes) / config.num_users;
+  result.peak_rss_bytes = PeakRssBytes();
+  return result;
+}
 
 }  // namespace pieck::bench

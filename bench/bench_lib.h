@@ -38,6 +38,44 @@ ExperimentResult MustRun(const ExperimentConfig& config);
 /// "12.34" formatting of a fraction as percent.
 std::string Pct(double fraction);
 
+// ---------------------------------------------------------------------
+// Population-scale sweep (bench_scale_users, and the "scale_users"
+// section of bench_microkernels --kernels_json): builds a synthetic
+// sparse population directly (hash-derived interactions — the Zipf
+// generator's per-user O(|I|) reset is itself a bottleneck at millions
+// of users), wraps it in a ClientStateStore, and drives store-backed
+// rounds through the real FederatedServer.
+
+struct ScaleSweepConfig {
+  int num_users = 1'000'000;
+  int num_items = 50'000;
+  int interactions_per_user = 8;
+  int dim = 16;
+  int rounds = 3;
+  int users_per_round = 512;
+  int num_threads = 0;  // 0 = one per hardware thread
+  uint64_t seed = 1234;
+};
+
+struct ScaleSweepResult {
+  ScaleSweepConfig config;
+  int64_t num_interactions = 0;
+  double setup_seconds = 0.0;       // dataset + store + server build
+  double rounds_per_sec = 0.0;
+  double clients_per_sec = 0.0;     // uploads processed per second
+  int64_t store_bytes = 0;          // ClientStateStore footprint
+  int64_t arena_bytes = 0;          // reusable round arenas
+  double bytes_per_user = 0.0;      // store_bytes / num_users
+  int64_t peak_rss_bytes = 0;       // VmHWM (0 where unsupported)
+};
+
+/// Runs the sweep; aborts the binary on (unexpected) construction
+/// failure.
+ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config);
+
+/// Linux VmHWM in bytes; 0 on other platforms.
+int64_t PeakRssBytes();
+
 }  // namespace pieck::bench
 
 #endif  // PIECK_BENCH_BENCH_LIB_H_

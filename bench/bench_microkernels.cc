@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "attack/popular_item_miner.h"
+#include "bench/bench_lib.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/simulation.h"
@@ -581,7 +582,34 @@ int RunKernelSweep(const std::string& path) {
                  "ns, %.2fx\n", rules[ri].name, copy_ns, span_ns,
                  copy_ns / span_ns);
   }
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n");
+
+  // Population scale: store-backed rounds at a reduced population (the
+  // full ≥1M sweep lives in bench_scale_users; this keeps a comparable
+  // bytes/user + throughput sample in the kernel artifact).
+  {
+    bench::ScaleSweepConfig scale_config;
+    scale_config.num_users = 50000;
+    scale_config.num_items = 20000;
+    scale_config.rounds = 4;
+    scale_config.num_threads = 0;
+    bench::ScaleSweepResult scale = bench::RunScaleSweep(scale_config);
+    std::fprintf(f,
+                 "  \"scale_users\": {\n"
+                 "    \"users\": %d, \"items\": %d, \"dim\": %d, "
+                 "\"users_per_round\": %d,\n"
+                 "    \"bytes_per_user\": %.1f, \"rounds_per_sec\": %.2f, "
+                 "\"clients_per_sec\": %.0f\n  }\n",
+                 scale.config.num_users, scale.config.num_items,
+                 scale.config.dim, scale.config.users_per_round,
+                 scale.bytes_per_user, scale.rounds_per_sec,
+                 scale.clients_per_sec);
+    std::fprintf(stderr,
+                 "scale_users: %d users, %.1f B/user, %.1f rounds/s\n",
+                 scale.config.num_users, scale.bytes_per_user,
+                 scale.rounds_per_sec);
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
 
   for (size_t ti = 1; ti < tables.size(); ++ti) {

@@ -1,0 +1,122 @@
+// Population-scale sweep for the virtualized client state: drives
+// store-backed federated rounds over populations up to (and beyond) one
+// million simulated users and reports the store's bytes/user footprint,
+// round throughput, and peak RSS. The former one-object-per-user design
+// topped out orders of magnitude below this on the same hardware.
+//
+// Usage:
+//   bench_scale_users                         # sweep up to 1M users
+//   bench_scale_users --users 2000000         # single run at 2M
+//   bench_scale_users --max_rss_mb 1500       # fail if VmHWM exceeds
+//   bench_scale_users --json scale.json       # machine-readable output
+//
+// CI runs the reduced form (--users 100000 --max_rss_mb ...) as a
+// Release smoke test; see .github/workflows/ci.yml.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_lib.h"
+#include "common/string_util.h"
+#include "core/report.h"
+
+using namespace pieck;
+using namespace pieck::bench;
+
+namespace {
+
+int WriteJson(const std::string& path,
+              const std::vector<ScaleSweepResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"scale_users\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScaleSweepResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"users\": %d, \"items\": %d, \"dim\": %d, \"threads\": %d, "
+        "\"users_per_round\": %d, \"bytes_per_user\": %.1f, "
+        "\"store_mb\": %.1f, \"arena_kb\": %.1f, \"rounds_per_sec\": %.2f, "
+        "\"clients_per_sec\": %.0f, \"setup_s\": %.2f, "
+        "\"peak_rss_mb\": %.1f}%s\n",
+        r.config.num_users, r.config.num_items, r.config.dim,
+        r.config.num_threads, r.config.users_per_round, r.bytes_per_user,
+        r.store_bytes / 1048576.0, r.arena_bytes / 1024.0, r.rounds_per_sec,
+        r.clients_per_sec, r.setup_seconds, r.peak_rss_bytes / 1048576.0,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  ScaleSweepConfig base;
+  base.num_items = static_cast<int>(flags.GetInt("items", 50000));
+  base.interactions_per_user = static_cast<int>(flags.GetInt("ipu", 8));
+  base.dim = static_cast<int>(flags.GetInt("dim", 16));
+  base.rounds = static_cast<int>(flags.GetInt("rounds", 3));
+  base.users_per_round = static_cast<int>(flags.GetInt("batch", 512));
+  base.num_threads = static_cast<int>(flags.GetInt("threads", 0));
+  base.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
+  const int64_t max_rss_mb = flags.GetInt("max_rss_mb", 0);
+  const std::string json = flags.GetString("json", "");
+
+  std::vector<int> populations;
+  if (flags.GetInt("users", 0) > 0) {
+    populations.push_back(static_cast<int>(flags.GetInt("users", 0)));
+  } else {
+    populations = {100000, 300000, 1000000};
+  }
+
+  std::printf("== Population scale: struct-of-arrays client store ==\n");
+  TablePrinter table({"Users", "Interactions", "Bytes/user", "Store MB",
+                      "Arena KB", "Rounds/s", "Clients/s", "Setup s",
+                      "Peak RSS MB"});
+  std::vector<ScaleSweepResult> results;
+  for (int users : populations) {
+    ScaleSweepConfig config = base;
+    config.num_users = users;
+    ScaleSweepResult r = RunScaleSweep(config);
+    results.push_back(r);
+    table.AddRow({std::to_string(users), std::to_string(r.num_interactions),
+                  FormatDouble(r.bytes_per_user, 1),
+                  FormatDouble(r.store_bytes / 1048576.0, 1),
+                  FormatDouble(r.arena_bytes / 1024.0, 1),
+                  FormatDouble(r.rounds_per_sec, 2),
+                  FormatDouble(r.clients_per_sec, 0),
+                  FormatDouble(r.setup_seconds, 2),
+                  FormatDouble(r.peak_rss_bytes / 1048576.0, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  if (!json.empty() && WriteJson(json, results) != 0) return 1;
+
+  if (max_rss_mb > 0) {
+    const int64_t peak_mb = PeakRssBytes() / (1024 * 1024);
+    if (peak_mb > max_rss_mb) {
+      std::fprintf(stderr,
+                   "FAIL: peak RSS %lld MB exceeds --max_rss_mb %lld\n",
+                   static_cast<long long>(peak_mb),
+                   static_cast<long long>(max_rss_mb));
+      return 1;
+    }
+    std::printf("peak RSS %lld MB within budget (%lld MB)\n",
+                static_cast<long long>(peak_mb),
+                static_cast<long long>(max_rss_mb));
+  }
+  return 0;
+}

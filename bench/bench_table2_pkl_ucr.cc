@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> ucr = {"UCR", ModelKindToString(kind)};
     for (int n : sizes) {
       std::vector<int> popular = miner.TopItems(n);
-      double pkl = PairwiseKlDivergence(sim->global(), sim->benign_views(),
+      double pkl = PairwiseKlDivergence(sim->global(),
+                                        sim->benign_eval_view(),
                                         sim->train(), popular,
                                         sim->eval_pool());
       double cov = UserCoverageRatio(sim->train(), popular);

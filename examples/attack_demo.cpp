@@ -7,6 +7,7 @@
 //                    [--model mf|dl] [--scale 0.3] [--rounds 200]
 //                    [--malicious 0.05] [--topn 10]
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -46,7 +47,8 @@ int main(int argc, char** argv) {
   config.rounds = static_cast<int>(flags.GetInt("rounds", 200));
   config.eval_every = static_cast<int>(flags.GetInt("eval-every", 25));
   config.users_per_round =
-      static_cast<int>(flags.GetInt("batch", config.users_per_round));
+      std::min(static_cast<int>(flags.GetInt("batch", config.users_per_round)),
+               config.dataset.num_users);
   config.attack = ParseAttack(flags.GetString("attack", "uea"));
   config.malicious_fraction = flags.GetDouble("malicious", 0.05);
   config.attack_config.mined_top_n =

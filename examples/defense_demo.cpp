@@ -11,6 +11,7 @@
 //                     [--model mf|dl] [--rounds 150] [--beta 0.5]
 //                     [--gamma 0.5]
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -58,7 +59,9 @@ int main(int argc, char** argv) {
                           : pieck::ModelKind::kMatrixFactorization;
   config.rounds = static_cast<int>(flags.GetInt("rounds", 150));
   config.eval_every = static_cast<int>(flags.GetInt("eval-every", 50));
-  config.users_per_round = static_cast<int>(flags.GetInt("batch", 74));
+  config.users_per_round =
+      std::min(static_cast<int>(flags.GetInt("batch", 74)),
+               config.dataset.num_users);
   config.attack = ParseAttack(flags.GetString("attack", "uea"));
   config.defense = ParseDefense(flags.GetString("defense", "ours"));
   config.malicious_fraction = flags.GetDouble("malicious", 0.05);

@@ -11,6 +11,7 @@
 // Usage: popular_item_mining [--model mf|dl] [--topn 10]
 //                            [--mine-rounds 2] [--start-round 2]
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -30,7 +31,9 @@ int main(int argc, char** argv) {
   config.model_kind = flags.GetString("model", "mf") == "dl"
                           ? pieck::ModelKind::kNeuralCf
                           : pieck::ModelKind::kMatrixFactorization;
-  config.users_per_round = static_cast<int>(flags.GetInt("batch", 74));
+  config.users_per_round =
+      std::min(static_cast<int>(flags.GetInt("batch", 74)),
+               config.dataset.num_users);
   config.attack = pieck::AttackKind::kNone;
 
   const int top_n = static_cast<int>(flags.GetInt("topn", 10));

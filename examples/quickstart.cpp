@@ -4,6 +4,7 @@
 //
 // Usage: quickstart [--scale 0.3] [--rounds 200] [--dim 16] [--model mf|dl]
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/flags.h"
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
   config.rounds = static_cast<int>(flags.GetInt("rounds", 200));
   config.eval_every = static_cast<int>(flags.GetInt("eval-every", 50));
   config.attack = pieck::AttackKind::kNone;
+  config.users_per_round =
+      std::min(config.users_per_round, config.dataset.num_users);
 
   std::printf("== fedrec-pieck quickstart ==\n");
   std::printf("dataset: %s (users=%d items=%d interactions=%lld)\n",

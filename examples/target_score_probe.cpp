@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
 
   pieck::ExperimentConfig config;
   config.dataset = pieck::MovieLens100KConfig(flags.GetDouble("scale", 0.3));
-  config.users_per_round = static_cast<int>(flags.GetInt("batch", 74));
+  config.users_per_round =
+      std::min(static_cast<int>(flags.GetInt("batch", 74)),
+               config.dataset.num_users);
   const std::string defense = flags.GetString("defense", "none");
   if (defense == "trimmedmean") config.defense = pieck::DefenseKind::kTrimmedMean;
   if (defense == "multikrum") config.defense = pieck::DefenseKind::kMultiKrum;
@@ -86,13 +88,14 @@ int main(int argc, char** argv) {
     // Mean target logit and mean 10th-best uninteracted logit.
     double mean_logit = 0.0;
     double mean_thresh = 0.0;
-    for (const auto* client : sim->benign_views()) {
-      const pieck::Vec& u = client->user_embedding();
+    pieck::BenignEvalView view = sim->benign_eval_view();
+    for (size_t ui = 0; ui < view.size(); ++ui) {
+      const pieck::Vec u = view.embedding_vec(ui);
       mean_logit += model.Forward(g, u, vt, nullptr);
       std::vector<double> scores;
       scores.reserve(static_cast<size_t>(g.num_items()));
       for (int j = 0; j < g.num_items(); ++j) {
-        if (sim->train().Interacted(client->user_id(), j)) continue;
+        if (sim->train().Interacted(view.user_id(ui), j)) continue;
         pieck::Vec v = g.item_embeddings.Row(static_cast<size_t>(j));
         scores.push_back(model.Forward(g, u, v, nullptr));
       }
@@ -100,7 +103,7 @@ int main(int argc, char** argv) {
                        std::greater<double>());
       mean_thresh += scores[9];
     }
-    size_t n = sim->benign_views().size();
+    size_t n = view.size();
     mean_logit /= static_cast<double>(n);
     mean_thresh /= static_cast<double>(n);
 

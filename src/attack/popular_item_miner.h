@@ -1,6 +1,7 @@
 #ifndef PIECK_ATTACK_POPULAR_ITEM_MINER_H_
 #define PIECK_ATTACK_POPULAR_ITEM_MINER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -47,6 +48,15 @@ class PopularItemMiner {
 
   /// Re-ranks with a different N without re-observing (defense tuning).
   std::vector<int> TopItems(int n) const;
+
+  /// Resident bytes of the observer state (the previous-round embedding
+  /// snapshot dominates). Drives client-defense footprint telemetry.
+  int64_t FootprintBytes() const {
+    return static_cast<int64_t>(
+        (previous_.data().capacity() + accumulated_.capacity()) *
+            sizeof(double) +
+        mined_.capacity() * sizeof(int));
+  }
 
  private:
   int mining_rounds_;

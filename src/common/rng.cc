@@ -62,7 +62,7 @@ int Rng::SampleDiscrete(const std::vector<double>& weights) {
 
 Rng Rng::Fork() {
   // Derive a child seed from the parent stream.
-  return Rng(engine_());
+  return Rng(ForkSeed());
 }
 
 }  // namespace pieck

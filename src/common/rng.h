@@ -49,6 +49,12 @@ class Rng {
   /// depend on scheduling order.
   Rng Fork();
 
+  /// The seed Fork() would hand its child, without constructing it.
+  /// Advances this stream exactly like Fork(); `Rng(ForkSeed())` is
+  /// bit-identical to `Fork()`. Lets large populations store one
+  /// 8-byte key per client and materialize the engine lazily.
+  uint64_t ForkSeed() { return engine_(); }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

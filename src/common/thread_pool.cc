@@ -70,6 +70,27 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
+void ThreadPool::ParallelForSlots(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || num_threads() == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  const size_t chunks = std::min(n, static_cast<size_t>(num_threads()));
+  for (size_t c = 0; c < chunks; ++c) {
+    // One chunk task per slot: a slot's scratch is only ever touched by
+    // the single task that owns it for the duration of this call.
+    Submit([&next, &fn, n, c] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(c, i);
+      }
+    });
+  }
+  Wait();
+}
+
 int ThreadPool::DefaultThreadCount() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
@@ -80,6 +101,16 @@ void ThreadPool::ParallelForOrSerial(ThreadPool* pool, size_t n,
     pool->ParallelFor(n, fn);
   } else {
     for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+void ThreadPool::ParallelForOrSerialSlots(
+    ThreadPool* pool, size_t n,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelForSlots(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
   }
 }
 

@@ -49,6 +49,18 @@ class ThreadPool {
   /// must only write to disjoint, per-index state.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Like ParallelFor, but hands each invocation a stable scratch slot
+  /// id in [0, max_slots()): every slot is used by at most one task
+  /// chain at a time, so fn may freely mutate slot-indexed scratch
+  /// (arenas, buffers) without locking. Which indices land on which
+  /// slot is nondeterministic — scratch contents must never influence
+  /// results, only their allocation.
+  void ParallelForSlots(size_t n,
+                        const std::function<void(size_t, size_t)>& fn);
+
+  /// Upper bound on the slot ids ParallelForSlots passes to fn.
+  size_t max_slots() const { return workers_.size(); }
+
   /// max(1, std::thread::hardware_concurrency()).
   static int DefaultThreadCount();
 
@@ -58,6 +70,12 @@ class ThreadPool {
   /// disjoint per-index state (see ParallelFor).
   static void ParallelForOrSerial(ThreadPool* pool, size_t n,
                                   const std::function<void(size_t)>& fn);
+
+  /// Slotted variant of ParallelForOrSerial: every index runs with slot
+  /// 0 when `pool` is null, otherwise slots come from ParallelForSlots.
+  /// Callers size their scratch to `pool ? pool->max_slots() : 1`.
+  static void ParallelForOrSerialSlots(
+      ThreadPool* pool, size_t n, const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();

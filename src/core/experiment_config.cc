@@ -1,0 +1,93 @@
+#include "core/experiment_config.h"
+
+#include <sstream>
+
+namespace pieck {
+
+void ExperimentConfig::ApplyModelDefaults() {
+  if (model_kind == ModelKind::kNeuralCf && learning_rate == 1.0) {
+    learning_rate = 0.005;  // the paper's DL-FRS rate
+  }
+}
+
+namespace {
+
+Status Invalid(const std::string& message) {
+  return Status::InvalidArgument("ExperimentConfig: " + message);
+}
+
+}  // namespace
+
+Status ExperimentConfig::Validate() const {
+  if (dataset.num_users <= 0 || dataset.num_items <= 0) {
+    return Invalid("dataset needs positive user and item counts");
+  }
+  if (embedding_dim <= 0) {
+    return Invalid("embedding_dim must be positive");
+  }
+  if (rounds < 0) {
+    // 0 is allowed: benches and tests build a simulation and drive
+    // RunRound themselves.
+    return Invalid("rounds must be >= 0");
+  }
+  if (learning_rate <= 0.0) {
+    return Invalid("learning_rate must be positive");
+  }
+  if (client_learning_rate == 0.0) {
+    return Invalid(
+        "client_learning_rate must be positive (or negative for "
+        "\"same as server\")");
+  }
+  if (client_lr_dynamic && client_lr_dynamic_min <= 0.0) {
+    return Invalid("client_lr_dynamic_min must be positive");
+  }
+  if (users_per_round <= 0) {
+    return Invalid("users_per_round must be positive");
+  }
+  if (users_per_round > dataset.num_users) {
+    std::ostringstream os;
+    os << "users_per_round (" << users_per_round
+       << ") exceeds the user population (" << dataset.num_users << ")";
+    return Invalid(os.str());
+  }
+  if (negative_ratio_q < 0.0) {
+    return Invalid("negative_ratio_q must be >= 0");
+  }
+  if (negative_popularity_alpha < 0.0) {
+    return Invalid("negative_popularity_alpha must be >= 0");
+  }
+  if (num_threads < 0) {
+    return Invalid("num_threads must be >= 0 (0 = hardware threads)");
+  }
+  if (malicious_fraction < 0.0 || malicious_fraction >= 1.0) {
+    return Invalid("malicious_fraction must lie in [0, 1)");
+  }
+  if (num_targets <= 0) {
+    return Invalid("num_targets must be positive");
+  }
+  if (target_selection == TargetSelection::kExplicit) {
+    if (explicit_targets.empty()) {
+      return Invalid("kExplicit target selection needs explicit_targets");
+    }
+    for (int t : explicit_targets) {
+      if (t < 0 || t >= dataset.num_items) {
+        std::ostringstream os;
+        os << "explicit target " << t << " outside the item range [0, "
+           << dataset.num_items << ")";
+        return Invalid(os.str());
+      }
+    }
+  }
+  if (top_k <= 0) {
+    return Invalid("top_k must be positive");
+  }
+  if (eval_every < 0) {
+    return Invalid("eval_every must be >= 0 (0 = final evaluation only)");
+  }
+  if (hr_num_negatives <= 0) {
+    return Invalid("hr_num_negatives must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace pieck

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "attack/attack.h"
+#include "common/status.h"
 #include "data/synthetic.h"
 #include "defense/defense.h"
 #include "model/losses.h"
@@ -48,6 +49,11 @@ struct ExperimentConfig {
   double client_lr_dynamic_min = 0.01;
   int users_per_round = 256;
   double negative_ratio_q = 1.0;
+  /// Popularity skew of the shared negative-sampling table: negatives
+  /// are drawn ∝ popularity^alpha. 0 (the paper's protocol) keeps
+  /// uniform draws and builds no table. One immutable table per
+  /// simulation is shared by every client.
+  double negative_popularity_alpha = 0.0;
   LossKind loss = LossKind::kBce;
   /// Round-loop worker threads (see ServerConfig::num_threads): 1 =
   /// serial, 0 = one per hardware thread. Bit-identical results for any
@@ -79,6 +85,14 @@ struct ExperimentConfig {
   /// Applies the paper's per-model defaults (η = 1.0 for MF, 0.005 for
   /// DL) unless the caller already set a custom rate.
   void ApplyModelDefaults();
+
+  /// Rejects inconsistent configurations up front: non-positive
+  /// dimensions/rounds/rates, `malicious_fraction` outside [0, 1),
+  /// `users_per_round` exceeding the dataset's user population, explicit
+  /// targets out of item range, and kin. `Simulation::Create` calls this
+  /// before building anything, replacing the former late (or silent)
+  /// failures deep inside the round loop.
+  Status Validate() const;
 };
 
 /// Summary of one finished simulation.
@@ -92,6 +106,13 @@ struct ExperimentResult {
   std::vector<std::pair<int, double>> hr_history;
   double seconds_per_round = 0.0;
   int rounds_run = 0;
+
+  // Client-side cost telemetry sampled from the final round (see
+  // RoundStats): resident bytes of the benign-population store, of the
+  // reusable round arenas, and the uploads built per round.
+  int64_t store_footprint_bytes = 0;
+  int64_t scratch_bytes_in_use = 0;
+  int uploads_built = 0;
 };
 
 }  // namespace pieck

@@ -5,14 +5,9 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "defense/regularized_defense.h"
 
 namespace pieck {
-
-void ExperimentConfig::ApplyModelDefaults() {
-  if (model_kind == ModelKind::kNeuralCf && learning_rate == 1.0) {
-    learning_rate = 0.005;  // the paper's DL-FRS rate
-  }
-}
 
 namespace {
 
@@ -47,6 +42,7 @@ std::vector<int> SelectTargets(const ExperimentConfig& config,
 StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
     ExperimentConfig config) {
   config.ApplyModelDefaults();
+  if (Status st = config.Validate(); !st.ok()) return st;
 
   auto sim = std::unique_ptr<Simulation>(new Simulation());
   sim->config_ = config;
@@ -80,42 +76,61 @@ StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
   Rng target_rng = master.Fork();
   sim->targets_ = SelectTargets(config, *sim->train_, target_rng);
 
-  // Benign clients: one per user.
+  // Benign population: one store row per user instead of one object per
+  // user. The per-user RNG keys are forked from the master stream in
+  // user order — the exact seeds the former per-user client objects
+  // received — so every user's private stream (embedding init + batch
+  // draws) is reproduction-identical to the object path.
   const double client_lr_base = config.client_learning_rate >= 0.0
                                     ? config.client_learning_rate
                                     : config.learning_rate;
-  const bool with_defense = DefenseUsesClientRegularizers(config.defense);
-  NegativeSampler sampler(config.negative_ratio_q);
+  std::shared_ptr<const PopularityTable> popularity;
+  if (config.negative_popularity_alpha > 0.0) {
+    popularity = PopularityTable::Build(*sim->train_,
+                                        config.negative_popularity_alpha);
+  }
+  // One immutable sampler shared by every client; per-call randomness
+  // comes from each user's own stream.
+  sim->sampler_ = std::make_shared<const NegativeSampler>(
+      config.negative_ratio_q, std::move(popularity));
+  sim->store_ = std::make_unique<ClientStateStore>(
+      *sim->model_, *sim->train_, sim->sampler_, config.loss, client_lr_base);
+
+  const int num_users = sim->train_->num_users();
   Rng lr_rng = master.Fork();
-  for (int u = 0; u < sim->train_->num_users(); ++u) {
-    std::unique_ptr<ClientDefense> defense;
-    if (with_defense) {
-      defense = MakeRegularizedDefense(config.defense_options);
+  std::vector<double> user_lrs;
+  if (config.client_lr_dynamic) {
+    // Log-uniform draw in [dynamic_min, base] per user (Table X
+    // scenario 2), drawn eagerly in user order to keep the lr stream
+    // identical to the object path.
+    user_lrs.resize(static_cast<size_t>(num_users));
+    const double lo = std::log(config.client_lr_dynamic_min);
+    const double hi =
+        std::log(std::max(client_lr_base, config.client_lr_dynamic_min));
+    for (int u = 0; u < num_users; ++u) {
+      user_lrs[static_cast<size_t>(u)] = std::exp(lr_rng.Uniform(lo, hi));
     }
-    double client_lr = client_lr_base;
-    if (config.client_lr_dynamic) {
-      // Log-uniform draw in [dynamic_min, base] (Table X scenario 2).
-      double lo = std::log(config.client_lr_dynamic_min);
-      double hi = std::log(std::max(client_lr_base,
-                                    config.client_lr_dynamic_min));
-      client_lr = std::exp(lr_rng.Uniform(lo, hi));
-    }
-    auto client = std::make_unique<BenignClient>(
-        u, *sim->model_, *sim->train_, sampler, config.loss, client_lr,
-        master.Fork(), std::move(defense));
-    sim->benign_views_.push_back(client.get());
-    sim->clients_.push_back(std::move(client));
+  }
+  std::vector<uint64_t> seeds(static_cast<size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) {
+    seeds[static_cast<size_t>(u)] = master.ForkSeed();
+  }
+  sim->store_->set_user_seeds(std::move(seeds));
+  if (!user_lrs.empty()) {
+    sim->store_->set_user_learning_rates(std::move(user_lrs));
+  }
+  if (DefenseUsesClientRegularizers(config.defense)) {
+    DefenseOptions options = config.defense_options;
+    sim->store_->set_defense_factory(
+        [options] { return MakeRegularizedDefense(options); });
   }
 
   // Malicious clients: p̃ = mal / (benign + mal)  =>  mal = benign·p̃/(1−p̃).
   if (config.attack != AttackKind::kNone && config.malicious_fraction > 0.0 &&
       !sim->targets_.empty()) {
     double p = config.malicious_fraction;
-    if (p >= 1.0) {
-      return Status::InvalidArgument("malicious_fraction must be < 1");
-    }
     int n_mal = static_cast<int>(std::llround(
-        static_cast<double>(sim->train_->num_users()) * p / (1.0 - p)));
+        static_cast<double>(num_users) * p / (1.0 - p)));
     n_mal = std::max(n_mal, 1);
     sim->num_malicious_ = n_mal;
 
@@ -127,20 +142,21 @@ StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
       auto attack = MakeAttack(config.attack, *sim->model_, attack_config,
                                sim->train_.get(), attack_rng.engine()());
       PIECK_CHECK(attack != nullptr);
-      sim->clients_.push_back(std::make_unique<MaliciousClient>(
+      sim->malicious_.push_back(std::make_unique<MaliciousClient>(
           std::move(attack), master.Fork()));
     }
   }
 
-  for (auto& client : sim->clients_) {
-    sim->client_ptrs_.push_back(client.get());
+  for (auto& client : sim->malicious_) {
+    sim->malicious_ptrs_.push_back(client.get());
   }
   sim->round_rng_ = master.Fork();
   return sim;
 }
 
 RoundStats Simulation::RunRound() {
-  RoundStats stats = server_->RunRound(client_ptrs_, rounds_run_, round_rng_);
+  RoundStats stats =
+      server_->RunRound(*store_, malicious_ptrs_, rounds_run_, round_rng_);
   ++rounds_run_;
   return stats;
 }
@@ -150,12 +166,12 @@ void Simulation::RunRounds(int n) {
 }
 
 double Simulation::EvaluateEr(int k) const {
-  return ExposureRatioAtK(*model_, server_->global(), benign_views_, *train_,
-                          targets_, k, eval_pool());
+  return ExposureRatioAtK(*model_, server_->global(), benign_eval_view(),
+                          *train_, targets_, k, eval_pool());
 }
 
 double Simulation::EvaluateHr(int k) const {
-  return HitRatioAtK(*model_, server_->global(), benign_views_, *train_,
+  return HitRatioAtK(*model_, server_->global(), benign_eval_view(), *train_,
                      split_test_items_, k, config_.hr_num_negatives,
                      config_.seed ^ 0x9e3779b97f4a7c15ULL, eval_pool());
 }
@@ -169,8 +185,13 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
 
   auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < config.rounds; ++r) {
-    sim->RunRound();
+    RoundStats stats = sim->RunRound();
     const bool last = r + 1 == config.rounds;
+    if (last) {
+      result.store_footprint_bytes = stats.store_footprint_bytes;
+      result.scratch_bytes_in_use = stats.scratch_bytes_in_use;
+      result.uploads_built = stats.uploads_built;
+    }
     if ((config.eval_every > 0 && (r + 1) % config.eval_every == 0) || last) {
       double er = sim->EvaluateEr(config.top_k);
       double hr = sim->EvaluateHr(config.top_k);

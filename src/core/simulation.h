@@ -6,13 +6,24 @@
 
 #include "core/experiment_config.h"
 #include "data/split.h"
+#include "fed/client_state_store.h"
 #include "fed/server.h"
 #include "metrics/evaluation.h"
 
 namespace pieck {
 
 /// One fully wired federated attack/defense simulation: dataset, split,
-/// model, server, benign clients, and injected malicious clients.
+/// model, server, the virtualized benign population, and injected
+/// malicious clients.
+///
+/// Benign users are not objects: their state lives in a struct-of-arrays
+/// `ClientStateStore` (one embedding row, one 8-byte RNG key, one CSR
+/// interaction span per user; engines and client-defense observers
+/// materialize lazily on first participation), and their behavior runs
+/// through the stateless `BenignClientLogic` executor. Malicious clients
+/// remain objects behind `ClientInterface`. The store path is
+/// bit-identical to the former one-object-per-user path for every
+/// thread count (tests/client_state_store_test.cc).
 ///
 /// `Simulation` exposes round-level control so that benchmarks can
 /// interleave training with measurements (Δ-Norm tracking for Fig. 4,
@@ -20,10 +31,11 @@ namespace pieck {
 /// `RunExperiment` below is the one-call wrapper used everywhere else.
 class Simulation {
  public:
-  /// Builds the simulation: generates the synthetic dataset, splits it
-  /// leave-one-out, initializes the global model, constructs one benign
-  /// client per user (with client-side defense when configured) and
-  /// p̃/(1−p̃)·|users| malicious clients running the configured attack.
+  /// Builds the simulation: validates `config`, generates the synthetic
+  /// dataset, splits it leave-one-out, initializes the global model,
+  /// builds the benign-population store (with client-side defense when
+  /// configured) and p̃/(1−p̃)·|users| malicious clients running the
+  /// configured attack.
   static StatusOr<std::unique_ptr<Simulation>> Create(ExperimentConfig config);
 
   Simulation(const Simulation&) = delete;
@@ -51,9 +63,14 @@ class Simulation {
   int rounds_run() const { return rounds_run_; }
   int num_malicious() const { return num_malicious_; }
 
-  /// Benign clients as evaluation views.
-  const std::vector<const BenignClient*>& benign_views() const {
-    return benign_views_;
+  /// The struct-of-arrays benign population.
+  const ClientStateStore& store() const { return *store_; }
+  ClientStateStore& mutable_store() { return *store_; }
+
+  /// Evaluation view over every benign user (forces any pending lazy
+  /// embedding initialization, fanned over the server pool).
+  BenignEvalView benign_eval_view() const {
+    return store_->EvalView(eval_pool());
   }
 
   /// Mutable access for white-box experiments (e.g. cost probes).
@@ -73,9 +90,10 @@ class Simulation {
   std::vector<int> split_test_items_;
   std::unique_ptr<RecModel> model_;
   std::unique_ptr<FederatedServer> server_;
-  std::vector<std::unique_ptr<ClientInterface>> clients_;
-  std::vector<ClientInterface*> client_ptrs_;
-  std::vector<const BenignClient*> benign_views_;
+  std::shared_ptr<const NegativeSampler> sampler_;
+  std::unique_ptr<ClientStateStore> store_;
+  std::vector<std::unique_ptr<ClientInterface>> malicious_;
+  std::vector<ClientInterface*> malicious_ptrs_;
   std::vector<int> targets_;
   Rng round_rng_{0};
   int rounds_run_ = 0;

@@ -1,0 +1,17 @@
+#include "data/interaction_csr.h"
+
+namespace pieck {
+
+InteractionCsr::InteractionCsr(const Dataset& train)
+    : num_items_(train.num_items()) {
+  const int num_users = train.num_users();
+  offsets_.assign(static_cast<size_t>(num_users) + 1, 0);
+  items_.reserve(static_cast<size_t>(train.num_interactions()));
+  for (int u = 0; u < num_users; ++u) {
+    const std::vector<int>& row = train.ItemsOf(u);
+    items_.insert(items_.end(), row.begin(), row.end());
+    offsets_[static_cast<size_t>(u) + 1] = items_.size();
+  }
+}
+
+}  // namespace pieck

@@ -1,0 +1,65 @@
+/// \file
+/// Compressed sparse row view of per-user training interactions.
+///
+/// `Dataset` stores one heap vector per user, which is convenient for
+/// construction but costs a pointer chase plus ~48 bytes of allocator
+/// overhead per user — prohibitive at millions of users. The round
+/// engine instead walks an `InteractionCsr` built once from the
+/// `Dataset`: all item ids packed into one array, per-user spans
+/// addressed through an offsets table. Items within a span are sorted
+/// ascending, exactly like `Dataset::ItemsOf`, so sampling and loss
+/// code sees identical sequences through either view.
+#ifndef PIECK_DATA_INTERACTION_CSR_H_
+#define PIECK_DATA_INTERACTION_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace pieck {
+
+/// Immutable CSR snapshot of `Dataset`'s user→items adjacency.
+class InteractionCsr {
+ public:
+  /// Borrowed, contiguous, ascending span of one user's item ids.
+  struct Span {
+    const int* data = nullptr;
+    size_t size = 0;
+
+    const int* begin() const { return data; }
+    const int* end() const { return data + size; }
+    bool empty() const { return size == 0; }
+  };
+
+  InteractionCsr() = default;
+  explicit InteractionCsr(const Dataset& train);
+
+  int num_users() const { return static_cast<int>(offsets_.size()) - 1; }
+  int num_items() const { return num_items_; }
+  int64_t num_interactions() const {
+    return static_cast<int64_t>(items_.size());
+  }
+
+  /// Items of `user`, sorted ascending. Valid for the CSR's lifetime.
+  Span ItemsOf(int user) const {
+    const size_t lo = offsets_[static_cast<size_t>(user)];
+    const size_t hi = offsets_[static_cast<size_t>(user) + 1];
+    return {items_.data() + lo, hi - lo};
+  }
+
+  /// Resident bytes of the packed arrays (store telemetry).
+  int64_t FootprintBytes() const {
+    return static_cast<int64_t>(offsets_.capacity() * sizeof(uint64_t) +
+                                items_.capacity() * sizeof(int));
+  }
+
+ private:
+  int num_items_ = 0;
+  std::vector<uint64_t> offsets_{0};  // |U| + 1 entries
+  std::vector<int> items_;         // all interactions, user-major
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_DATA_INTERACTION_CSR_H_

@@ -7,50 +7,112 @@
 
 namespace pieck {
 
-std::vector<LabeledItem> NegativeSampler::SampleBatch(const Dataset& train,
-                                                      int user,
-                                                      Rng& rng) const {
+std::shared_ptr<const PopularityTable> PopularityTable::Build(
+    const Dataset& train, double alpha) {
+  auto table = std::make_shared<PopularityTable>();
+  table->alpha = alpha;
+  const std::vector<int64_t>& counts = train.ItemPopularity();
+  table->cdf.resize(counts.size());
+  double acc = 0.0;
+  for (size_t j = 0; j < counts.size(); ++j) {
+    // Floor of 1 interaction so cold items keep nonzero mass and the
+    // CDF is strictly increasing.
+    const double w =
+        std::pow(static_cast<double>(std::max<int64_t>(counts[j], 1)), alpha);
+    acc += w;
+    table->cdf[j] = acc;
+  }
+  return table;
+}
+
+namespace {
+
+int SampleItemFromCdf(const std::vector<double>& cdf, Rng& rng) {
+  const double r = rng.Uniform(0.0, cdf.back());
+  auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+  if (it == cdf.end()) --it;
+  return static_cast<int>(it - cdf.begin());
+}
+
+}  // namespace
+
+void NegativeSampler::SampleBatchInto(const int* positives,
+                                      size_t num_positives, int num_items,
+                                      Rng& rng, std::vector<LabeledItem>* batch,
+                                      Scratch* scratch) const {
   PIECK_CHECK(q_ >= 0.0);
-  const std::vector<int>& positives = train.ItemsOf(user);
-  std::vector<LabeledItem> batch;
-  batch.reserve(positives.size() * static_cast<size_t>(1.0 + q_) + 1);
-  for (int item : positives) batch.push_back({item, 1.0});
+  PIECK_CHECK(batch != nullptr && scratch != nullptr);
+  batch->clear();
+  batch->reserve(num_positives * static_cast<size_t>(1.0 + q_) + 1);
+  for (size_t i = 0; i < num_positives; ++i) {
+    batch->push_back({positives[i], 1.0});
+  }
 
   int64_t want = static_cast<int64_t>(
-      std::llround(q_ * static_cast<double>(positives.size())));
-  int64_t pool = train.num_items() - static_cast<int64_t>(positives.size());
-  want = std::min(want, pool);
-  if (want <= 0) return batch;
+      std::llround(q_ * static_cast<double>(num_positives)));
+  const int64_t pool_size = num_items - static_cast<int64_t>(num_positives);
+  want = std::min(want, pool_size);
+  if (want <= 0) return;
+
+  const bool weighted = popularity_ != nullptr && popularity_->alpha != 0.0;
 
   // For small sample counts rejection sampling is cheap (datasets are
   // sparse); fall back to an explicit pool when the user covers most items.
-  if (static_cast<double>(positives.size()) <
-      0.5 * static_cast<double>(train.num_items())) {
-    std::vector<char> taken(static_cast<size_t>(train.num_items()), 0);
-    for (int item : positives) taken[static_cast<size_t>(item)] = 1;
+  if (weighted || static_cast<double>(num_positives) <
+                      0.5 * static_cast<double>(num_items)) {
+    std::vector<char>& taken = scratch->taken;
+    taken.assign(static_cast<size_t>(num_items), 0);
+    for (size_t i = 0; i < num_positives; ++i) {
+      taken[static_cast<size_t>(positives[i])] = 1;
+    }
     int64_t drawn = 0;
-    while (drawn < want) {
-      int item = static_cast<int>(rng.UniformInt(0, train.num_items() - 1));
+    int64_t attempts = 0;
+    const int64_t max_attempts = want * 50 + 100;
+    while (drawn < want && (!weighted || attempts < max_attempts)) {
+      ++attempts;
+      const int item =
+          weighted ? SampleItemFromCdf(popularity_->cdf, rng)
+                   : static_cast<int>(rng.UniformInt(0, num_items - 1));
       if (!taken[static_cast<size_t>(item)]) {
         taken[static_cast<size_t>(item)] = 1;
-        batch.push_back({item, 0.0});
+        batch->push_back({item, 0.0});
+        ++drawn;
+      }
+    }
+    // Weighted rejection can stall on dense users; finish with the
+    // first still-untaken items (deterministic, no further draws).
+    for (int item = 0; drawn < want && item < num_items; ++item) {
+      if (!taken[static_cast<size_t>(item)]) {
+        taken[static_cast<size_t>(item)] = 1;
+        batch->push_back({item, 0.0});
         ++drawn;
       }
     }
   } else {
-    std::vector<int> pool_items;
-    pool_items.reserve(static_cast<size_t>(pool));
+    std::vector<int>& pool = scratch->pool;
+    pool.clear();
+    pool.reserve(static_cast<size_t>(pool_size));
     size_t pi = 0;
-    for (int item = 0; item < train.num_items(); ++item) {
-      while (pi < positives.size() && positives[pi] < item) ++pi;
-      if (pi < positives.size() && positives[pi] == item) continue;
-      pool_items.push_back(item);
+    for (int item = 0; item < num_items; ++item) {
+      while (pi < num_positives && positives[pi] < item) ++pi;
+      if (pi < num_positives && positives[pi] == item) continue;
+      pool.push_back(item);
     }
-    rng.Shuffle(pool_items);
+    rng.Shuffle(pool);
     for (int64_t i = 0; i < want; ++i) {
-      batch.push_back({pool_items[static_cast<size_t>(i)], 0.0});
+      batch->push_back({pool[static_cast<size_t>(i)], 0.0});
     }
   }
+}
+
+std::vector<LabeledItem> NegativeSampler::SampleBatch(const Dataset& train,
+                                                      int user,
+                                                      Rng& rng) const {
+  const std::vector<int>& positives = train.ItemsOf(user);
+  std::vector<LabeledItem> batch;
+  Scratch scratch;
+  SampleBatchInto(positives.data(), positives.size(), train.num_items(), rng,
+                  &batch, &scratch);
   return batch;
 }
 

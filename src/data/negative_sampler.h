@@ -1,6 +1,8 @@
 #ifndef PIECK_DATA_NEGATIVE_SAMPLER_H_
 #define PIECK_DATA_NEGATIVE_SAMPLER_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -14,26 +16,80 @@ struct LabeledItem {
   double label;  // 1.0 = interacted (D+), 0.0 = sampled negative (D-)
 };
 
+/// Immutable per-item popularity distribution, built once per dataset
+/// and shared (read-only) by every client of a simulation. Holds the
+/// CDF of popularity^alpha used by popularity-proportional negative
+/// sampling; the table is never mutated after construction, so
+/// concurrent SampleBatch calls need no synchronization.
+struct PopularityTable {
+  double alpha = 0.0;
+  std::vector<double> cdf;  // cumulative popularity^alpha per item id
+
+  /// Builds the table from `train`'s interaction counts. `alpha` skews
+  /// draws toward popular items (word2vec-style); items with zero
+  /// interactions keep a tiny floor weight so every item stays
+  /// sampleable.
+  static std::shared_ptr<const PopularityTable> Build(const Dataset& train,
+                                                      double alpha);
+
+  int64_t FootprintBytes() const {
+    return static_cast<int64_t>(cdf.capacity() * sizeof(double));
+  }
+};
+
 /// Builds a client's private training batch D_i = D+_i ∪ D-_i (§III-A):
 /// all of the user's training interactions plus `q * |D+_i|` uniformly
 /// sampled uninteracted items (the paper sets q = 1 by default and
 /// studies larger q in the supplementary material).
+///
+/// One sampler instance is immutable after construction and shared by
+/// every client (`Simulation` owns it through a shared_ptr); all
+/// per-call randomness comes from the caller's `Rng` stream, so sharing
+/// changes no draw sequence. When a `PopularityTable` is attached,
+/// negatives are drawn proportionally to popularity^alpha instead of
+/// uniformly.
 class NegativeSampler {
  public:
-  /// `q` is the ratio |D-| / |D+|; must be >= 0.
-  explicit NegativeSampler(double q = 1.0) : q_(q) {}
+  /// `q` is the ratio |D-| / |D+|; must be >= 0. `popularity` may be
+  /// null (uniform negatives, the paper's protocol).
+  explicit NegativeSampler(
+      double q = 1.0,
+      std::shared_ptr<const PopularityTable> popularity = nullptr)
+      : q_(q), popularity_(std::move(popularity)) {}
 
-  /// Samples a fresh batch for `user` from `train`. Negatives are drawn
-  /// without replacement from the user's uninteracted items; if the user
-  /// has interacted with nearly everything the negative set is smaller
-  /// than requested.
+  /// Reusable per-worker sampling scratch; SampleBatchInto touches no
+  /// other memory, so steady-state rounds allocate nothing here.
+  struct Scratch {
+    std::vector<char> taken;
+    std::vector<int> pool;
+
+    int64_t CapacityBytes() const {
+      return static_cast<int64_t>(taken.capacity() * sizeof(char) +
+                                  pool.capacity() * sizeof(int));
+    }
+  };
+
+  /// Samples a fresh batch for a user whose positives are `positives`
+  /// (sorted ascending), over an item universe of `num_items`, into
+  /// `*batch` (cleared first). Negatives are drawn without replacement
+  /// from the uninteracted items; if the user has interacted with nearly
+  /// everything the negative set is smaller than requested.
+  void SampleBatchInto(const int* positives, size_t num_positives,
+                       int num_items, Rng& rng,
+                       std::vector<LabeledItem>* batch,
+                       Scratch* scratch) const;
+
+  /// Convenience wrapper over SampleBatchInto for callers holding a
+  /// Dataset (tests, attacks); allocates its own scratch per call.
   std::vector<LabeledItem> SampleBatch(const Dataset& train, int user,
                                        Rng& rng) const;
 
   double q() const { return q_; }
+  const PopularityTable* popularity() const { return popularity_.get(); }
 
  private:
   double q_;
+  std::shared_ptr<const PopularityTable> popularity_;
 };
 
 }  // namespace pieck

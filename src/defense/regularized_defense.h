@@ -47,6 +47,7 @@ class RegularizedClientDefense : public ClientDefense {
   void ApplyRegularizers(const GlobalModel& g, const Vec& u,
                          const std::vector<LabeledItem>& batch, Vec* grad_u,
                          ClientUpdate* update) override;
+  int64_t FootprintBytes() const override { return miner_.FootprintBytes(); }
 
   /// Current value of Re1 for a batch (tests / diagnostics).
   double ComputeRe1(const GlobalModel& g,
@@ -68,7 +69,8 @@ class RegularizedClientDefense : public ClientDefense {
   PopularItemMiner miner_;
 };
 
-/// Factory used by BenignClient construction sites.
+/// Factory installed on the ClientStateStore as its defense factory
+/// (one lazily-created instance per participating user).
 std::unique_ptr<ClientDefense> MakeRegularizedDefense(
     const DefenseOptions& options);
 

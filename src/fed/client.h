@@ -4,22 +4,25 @@
 /// Contracts: `ParticipateRound` is invoked from the server's worker
 /// threads, at most once per client per round — a client instance is
 /// never called concurrently with itself, so per-client mutable state
-/// (the private user embedding, the forked RNG stream) needs no
-/// locking; sharing state *across* clients would. The `GlobalModel`
-/// reference is read-only during the call and must not be retained.
-/// Uploads must not alias server memory: gradients are owned by the
-/// returned `ClientUpdate`.
+/// needs no locking; sharing state *across* clients would. The
+/// `GlobalModel` reference is read-only during the call and must not be
+/// retained. Uploads must not alias server memory: gradients are owned
+/// by the returned `ClientUpdate`.
+///
+/// Benign users are no longer objects behind this interface: their
+/// state lives in the struct-of-arrays `ClientStateStore`
+/// (client_state_store.h) and their behavior in the stateless
+/// `BenignClientLogic` executor. Only malicious clients (attack/) and
+/// test doubles still implement `ClientInterface`.
 #ifndef PIECK_FED_CLIENT_H_
 #define PIECK_FED_CLIENT_H_
 
-#include <memory>
+#include <cstdint>
+#include <vector>
 
-#include "common/rng.h"
-#include "data/dataset.h"
 #include "data/negative_sampler.h"
 #include "model/global_model.h"
-#include "model/losses.h"
-#include "model/rec_model.h"
+#include "tensor/vector_ops.h"
 
 namespace pieck {
 
@@ -55,40 +58,11 @@ class ClientDefense {
   virtual void ApplyRegularizers(const GlobalModel& g, const Vec& u,
                                  const std::vector<LabeledItem>& batch,
                                  Vec* grad_u, ClientUpdate* update) = 0;
-};
 
-/// A benign user: holds the private user embedding (the personalized
-/// model), trains on its private batch each time it is sampled, updates
-/// the user embedding locally, and uploads item-embedding (and, for
-/// DL-FRS, interaction-function) gradients.
-class BenignClient : public ClientInterface {
- public:
-  /// `train` must outlive the client. `defense` may be null.
-  BenignClient(int user_id, const RecModel& model, const Dataset& train,
-               NegativeSampler sampler, LossKind loss, double local_lr,
-               Rng rng, std::unique_ptr<ClientDefense> defense);
-
-  bool is_malicious() const override { return false; }
-  ClientUpdate ParticipateRound(const GlobalModel& g, int round) override;
-
-  int user_id() const { return user_id_; }
-  const Vec& user_embedding() const { return user_embedding_; }
-
-  /// Last training loss observed by this client (diagnostics).
-  double last_loss() const { return last_loss_; }
-
- private:
-  int user_id_;
-  const RecModel& model_;
-  const Dataset& train_;
-  NegativeSampler sampler_;
-  LossKind loss_;
-  double local_lr_;
-  Rng rng_;
-  std::unique_ptr<ClientDefense> defense_;
-  Vec user_embedding_;
-  bool user_initialized_ = false;
-  double last_loss_ = 0.0;
+  /// Resident bytes of this defense instance's observer state (store
+  /// footprint telemetry). Defenses without heavy state keep the 0
+  /// default.
+  virtual int64_t FootprintBytes() const { return 0; }
 };
 
 }  // namespace pieck

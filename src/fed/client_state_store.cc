@@ -1,0 +1,197 @@
+#include "fed/client_state_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/vector_ops.h"
+
+namespace pieck {
+
+ClientStateStore::ClientStateStore(
+    const RecModel& model, const Dataset& train,
+    std::shared_ptr<const NegativeSampler> sampler, LossKind loss,
+    double local_lr)
+    : model_(model),
+      sampler_(std::move(sampler)),
+      loss_(loss),
+      local_lr_(local_lr),
+      num_users_(train.num_users()),
+      interactions_(train),
+      embeddings_(static_cast<size_t>(train.num_users()),
+                  static_cast<size_t>(model.embedding_dim())),
+      initialized_(static_cast<size_t>(train.num_users()), 0),
+      rng_slot_(static_cast<size_t>(train.num_users()), -1) {
+  PIECK_CHECK(sampler_ != nullptr);
+  // Default seeds: user index keyed off a fixed base; Simulation installs
+  // protocol-accurate fork-derived seeds on top.
+  seeds_.resize(static_cast<size_t>(num_users_));
+  for (int u = 0; u < num_users_; ++u) {
+    seeds_[static_cast<size_t>(u)] = 0x9e3779b97f4a7c15ULL * (u + 1) ^ 42u;
+  }
+}
+
+void ClientStateStore::set_user_seeds(std::vector<uint64_t> seeds) {
+  PIECK_CHECK(static_cast<int>(seeds.size()) == num_users_);
+  PIECK_CHECK(engines_.empty() &&
+              std::none_of(initialized_.begin(), initialized_.end(),
+                           [](uint8_t b) { return b != 0; }))
+      << "set_user_seeds after user state was touched";
+  seeds_ = std::move(seeds);
+}
+
+void ClientStateStore::set_user_learning_rates(std::vector<double> lrs) {
+  PIECK_CHECK(static_cast<int>(lrs.size()) == num_users_);
+  user_lrs_ = std::move(lrs);
+}
+
+void ClientStateStore::set_defense_factory(
+    std::function<std::unique_ptr<ClientDefense>()> factory) {
+  defense_factory_ = std::move(factory);
+  if (defense_factory_ != nullptr && defense_slot_.empty()) {
+    defense_slot_.assign(static_cast<size_t>(num_users_), -1);
+  }
+}
+
+void ClientStateStore::EnsureEmbedding(int user) {
+  if (initialized_[static_cast<size_t>(user)]) return;
+  // First draws of the user's private stream, exactly as the former
+  // BenignClient constructor consumed them. PrepareRound replays the
+  // same draws when it materializes the persistent engine, so whichever
+  // happens first yields the same bits.
+  Rng rng(seeds_[static_cast<size_t>(user)]);
+  Vec e = model_.InitUserEmbedding(rng);
+  embeddings_.SetRow(static_cast<size_t>(user), e);
+  initialized_[static_cast<size_t>(user)] = 1;
+}
+
+const double* ClientStateStore::UserEmbedding(int user) {
+  EnsureEmbedding(user);
+  return embeddings_.RowPtr(static_cast<size_t>(user));
+}
+
+double* ClientStateStore::MutableUserEmbedding(int user) {
+  EnsureEmbedding(user);
+  return embeddings_.MutableRowPtr(static_cast<size_t>(user));
+}
+
+void ClientStateStore::EnsureAllEmbeddings(ThreadPool* pool) {
+  // Distinct users write disjoint rows and flag bytes, so the fan-out
+  // needs no locks and the result is order-independent by construction.
+  ThreadPool::ParallelForOrSerial(
+      pool, static_cast<size_t>(num_users_),
+      [this](size_t u) { EnsureEmbedding(static_cast<int>(u)); });
+}
+
+BenignEvalView ClientStateStore::EvalView(ThreadPool* pool) {
+  EnsureAllEmbeddings(pool);
+  return BenignEvalView(&embeddings_);
+}
+
+void ClientStateStore::PrepareRound(const std::vector<int>& users) {
+  for (int user : users) {
+    const size_t u = static_cast<size_t>(user);
+    if (rng_slot_[u] < 0) {
+      engines_.emplace_back(seeds_[u]);
+      rng_slot_[u] = static_cast<int32_t>(engines_.size() - 1);
+      // The engine's stream starts with the embedding-init draws; replay
+      // them so participation continues the stream where construction
+      // left off (and initialize the row if evaluation has not already).
+      Vec e = model_.InitUserEmbedding(engines_.back());
+      if (!initialized_[u]) {
+        embeddings_.SetRow(u, e);
+        initialized_[u] = 1;
+      }
+    } else {
+      EnsureEmbedding(user);
+    }
+    if (defense_factory_ != nullptr && defense_slot_[u] < 0) {
+      defenses_.push_back(defense_factory_());
+      defense_slot_[u] = static_cast<int32_t>(defenses_.size() - 1);
+    }
+  }
+}
+
+Rng& ClientStateStore::UserRng(int user) {
+  const int32_t slot = rng_slot_[static_cast<size_t>(user)];
+  PIECK_CHECK(slot >= 0) << "UserRng on unprepared user " << user;
+  return engines_[static_cast<size_t>(slot)];
+}
+
+ClientDefense* ClientStateStore::UserDefense(int user) {
+  if (defense_factory_ == nullptr) return nullptr;
+  const int32_t slot = defense_slot_[static_cast<size_t>(user)];
+  PIECK_CHECK(slot >= 0) << "UserDefense on unprepared user " << user;
+  return defenses_[static_cast<size_t>(slot)].get();
+}
+
+int64_t ClientStateStore::FootprintBytes() const {
+  int64_t bytes = static_cast<int64_t>(
+      embeddings_.data().capacity() * sizeof(double) +
+      seeds_.capacity() * sizeof(uint64_t) +
+      initialized_.capacity() * sizeof(uint8_t) +
+      user_lrs_.capacity() * sizeof(double) +
+      rng_slot_.capacity() * sizeof(int32_t) +
+      engines_.size() * sizeof(Rng) +
+      defense_slot_.capacity() * sizeof(int32_t) +
+      defenses_.capacity() * sizeof(void*));
+  bytes += interactions_.FootprintBytes();
+  for (const auto& defense : defenses_) {
+    if (defense != nullptr) bytes += defense->FootprintBytes();
+  }
+  if (sampler_->popularity() != nullptr) {
+    bytes += sampler_->popularity()->FootprintBytes();
+  }
+  return bytes;
+}
+
+double BenignClientLogic::ParticipateRound(ClientStateStore& store, int user,
+                                           const GlobalModel& g, int /*round*/,
+                                           RoundScratch& scratch,
+                                           ClientUpdate* update) {
+  ClientDefense* defense = store.UserDefense(user);
+  if (defense != nullptr) defense->ObserveRound(g);
+
+  Rng& rng = store.UserRng(user);
+  const InteractionCsr::Span positives = store.interactions().ItemsOf(user);
+  store.sampler().SampleBatchInto(positives.data, positives.size,
+                                  store.interactions().num_items(), rng,
+                                  &scratch.batch, &scratch.sampler);
+
+  update->ResetForReuse();
+  update->interaction_grads.ResetLike(g);
+  InteractionGrads* igrads =
+      update->interaction_grads.active ? &update->interaction_grads : nullptr;
+
+  const double* row = store.UserEmbedding(user);
+  const size_t d = static_cast<size_t>(store.dim());
+  scratch.user_embedding.assign(row, row + d);
+  scratch.grad_u.assign(d, 0.0);
+
+  double loss = 0.0;
+  switch (store.loss()) {
+    case LossKind::kBce:
+      loss = BceBatchForwardBackward(store.model(), g, scratch.user_embedding,
+                                     scratch.batch, &scratch.grad_u, update,
+                                     igrads);
+      break;
+    case LossKind::kBpr:
+      loss = BprBatchForwardBackward(store.model(), g, scratch.user_embedding,
+                                     scratch.batch, &scratch.grad_u, update,
+                                     igrads);
+      break;
+  }
+
+  if (defense != nullptr) {
+    defense->ApplyRegularizers(g, scratch.user_embedding, scratch.batch,
+                               &scratch.grad_u, update);
+  }
+
+  // Local personalized-model step: u_i = u_i − η_local ∇u_i (§III-A
+  // step 3), written straight back into the store row.
+  Axpy(-store.local_lr(user), scratch.grad_u, scratch.user_embedding);
+  std::copy(scratch.user_embedding.begin(), scratch.user_embedding.end(),
+            store.MutableUserEmbedding(user));
+  return loss;
+}
+
+}  // namespace pieck

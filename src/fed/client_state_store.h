@@ -1,0 +1,211 @@
+/// \file
+/// Struct-of-arrays state for the benign client population.
+///
+/// The paper's protocol (§III-A) runs one client per user; materializing
+/// that as one heap object per user caps the simulation far below
+/// millions of users. `ClientStateStore` virtualizes the population
+/// instead: all benign-client state lives in contiguous arrays — one
+/// row-major `Matrix` of private user embeddings, a CSR view of the
+/// training interactions, one 8-byte RNG key per user — and expensive
+/// per-user state (the mt19937 engine, client-defense observers) is
+/// materialized lazily, only for users that actually participate.
+/// Benign client behavior itself is a stateless executor
+/// (`BenignClientLogic`) writing into per-worker `RoundScratch` arenas,
+/// so steady-state rounds allocate nothing on the client side.
+///
+/// Determinism contract: user `u`'s stream is `Rng(seed[u])`, whose
+/// first draws initialize the private embedding and whose continuation
+/// drives every batch the user ever samples — exactly the stream the
+/// former per-user `BenignClient` objects owned. Embedding rows
+/// initialize lazily from the same first draws, in whatever order users
+/// are first touched (training or evaluation, any thread), and are
+/// bit-identical either way. `PrepareRound` must run single-threaded
+/// (it grows the lazy engine/defense pools); everything it prepares may
+/// then be used from the round fan-out without locks, because distinct
+/// users own disjoint rows, engines, and defense slots.
+#ifndef PIECK_FED_CLIENT_STATE_STORE_H_
+#define PIECK_FED_CLIENT_STATE_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "data/interaction_csr.h"
+#include "data/negative_sampler.h"
+#include "fed/client.h"
+#include "model/losses.h"
+#include "model/rec_model.h"
+
+namespace pieck {
+
+/// Borrowed, read-only view of a benign population for evaluation: row
+/// `i` of `*embeddings` is the private embedding of user `user_id(i)`.
+/// The default (no explicit ids) is the identity mapping used by the
+/// store; tests build views over hand-crafted matrices with arbitrary
+/// ids. The referenced matrix must outlive the view.
+class BenignEvalView {
+ public:
+  BenignEvalView() = default;
+  explicit BenignEvalView(const Matrix* embeddings,
+                          std::vector<int> user_ids = {})
+      : embeddings_(embeddings), user_ids_(std::move(user_ids)) {}
+
+  size_t size() const {
+    return user_ids_.empty() ? (embeddings_ ? embeddings_->rows() : 0)
+                             : user_ids_.size();
+  }
+  size_t dim() const { return embeddings_ ? embeddings_->cols() : 0; }
+  int user_id(size_t i) const {
+    return user_ids_.empty() ? static_cast<int>(i) : user_ids_[i];
+  }
+  const double* embedding(size_t i) const { return embeddings_->RowPtr(i); }
+  /// Copying accessor for callers that need a Vec (diagnostics).
+  Vec embedding_vec(size_t i) const { return embeddings_->Row(i); }
+
+ private:
+  const Matrix* embeddings_ = nullptr;
+  std::vector<int> user_ids_;
+};
+
+/// Per-worker arena for the client side of a round: the working copy of
+/// the user embedding, the gradient accumulator, the sampled batch, and
+/// the negative-sampler scratch. One instance per worker slot, reused
+/// across all clients that slot executes and across rounds.
+struct RoundScratch {
+  Vec user_embedding;
+  Vec grad_u;
+  std::vector<LabeledItem> batch;
+  NegativeSampler::Scratch sampler;
+
+  int64_t CapacityBytes() const {
+    return static_cast<int64_t>(
+               (user_embedding.capacity() + grad_u.capacity()) *
+                   sizeof(double) +
+               batch.capacity() * sizeof(LabeledItem)) +
+           sampler.CapacityBytes();
+  }
+};
+
+/// The struct-of-arrays benign population. See the file comment for the
+/// memory model and determinism contract.
+class ClientStateStore {
+ public:
+  /// `model`, `train`, and `*sampler` must outlive the store. `local_lr`
+  /// is the default personalized-model rate for every user (overridable
+  /// per user via set_user_learning_rates).
+  ClientStateStore(const RecModel& model, const Dataset& train,
+                   std::shared_ptr<const NegativeSampler> sampler,
+                   LossKind loss, double local_lr);
+
+  ClientStateStore(const ClientStateStore&) = delete;
+  ClientStateStore& operator=(const ClientStateStore&) = delete;
+
+  /// Installs the per-user RNG keys (`seeds.size()` must equal
+  /// `num_users()`); seed `u` defines user `u`'s entire private stream.
+  /// Must be called before any user state is touched.
+  void set_user_seeds(std::vector<uint64_t> seeds);
+
+  /// Per-user local learning rates (Table X's dynamic-rate scenario);
+  /// size must equal `num_users()`.
+  void set_user_learning_rates(std::vector<double> lrs);
+
+  /// Installs the factory for lazily-created per-user client defenses
+  /// (null disables, the default). A user's defense is materialized on
+  /// its first participation — identical to eager construction, because
+  /// defense state only ever mutates during participation.
+  void set_defense_factory(
+      std::function<std::unique_ptr<ClientDefense>()> factory);
+
+  int num_users() const { return num_users_; }
+  int dim() const { return static_cast<int>(embeddings_.cols()); }
+  const RecModel& model() const { return model_; }
+  const InteractionCsr& interactions() const { return interactions_; }
+  const NegativeSampler& sampler() const { return *sampler_; }
+  LossKind loss() const { return loss_; }
+  double local_lr(int user) const {
+    return user_lrs_.empty() ? local_lr_
+                             : user_lrs_[static_cast<size_t>(user)];
+  }
+
+  /// The private embedding of `user`, lazily initialized on first
+  /// access. Not thread-safe against other first-touches of the same
+  /// user (distinct users are fine).
+  const double* UserEmbedding(int user);
+
+  /// Mutable row for the local personalized-model step; same init and
+  /// thread-safety rules as UserEmbedding.
+  double* MutableUserEmbedding(int user);
+
+  /// Forces initialization of every user's embedding, fanning the
+  /// first-touch draws out over `pool` (nullptr = serial). Bit-identical
+  /// to any other initialization order.
+  void EnsureAllEmbeddings(ThreadPool* pool = nullptr);
+
+  /// Evaluation view over the whole population (initializes lazily
+  /// first). The view borrows the store's embedding matrix.
+  BenignEvalView EvalView(ThreadPool* pool = nullptr);
+
+  /// Materializes the RNG engines and defense slots of `users` ahead of
+  /// a round's parallel fan-out. Single-threaded by contract.
+  void PrepareRound(const std::vector<int>& users);
+
+  /// The live RNG stream of a prepared user.
+  Rng& UserRng(int user);
+
+  /// The defense instance of a prepared user; nullptr when no defense
+  /// factory is installed.
+  ClientDefense* UserDefense(int user);
+
+  /// Resident bytes of everything the store owns: embedding table, CSR
+  /// view, seeds/flags/slot arrays, materialized engines and defenses.
+  int64_t FootprintBytes() const;
+
+  /// How many users have a live engine / defense (telemetry, tests).
+  int64_t materialized_rngs() const {
+    return static_cast<int64_t>(engines_.size());
+  }
+  int64_t materialized_defenses() const {
+    return static_cast<int64_t>(defenses_.size());
+  }
+
+ private:
+  void EnsureEmbedding(int user);
+
+  const RecModel& model_;
+  std::shared_ptr<const NegativeSampler> sampler_;
+  LossKind loss_;
+  double local_lr_;
+  int num_users_;
+
+  InteractionCsr interactions_;
+  Matrix embeddings_;                  // num_users x dim, rows lazy-init
+  std::vector<uint64_t> seeds_;        // 8 B/user RNG key
+  std::vector<uint8_t> initialized_;   // 1 B/user lazy-init flag
+  std::vector<double> user_lrs_;       // empty unless per-user rates
+  std::vector<int32_t> rng_slot_;      // -1 = engine not materialized
+  std::deque<Rng> engines_;            // stable refs; grows in PrepareRound
+  std::function<std::unique_ptr<ClientDefense>()> defense_factory_;
+  std::vector<int32_t> defense_slot_;  // -1 = not materialized
+  std::vector<std::unique_ptr<ClientDefense>> defenses_;
+};
+
+/// The benign client behavior of §III-A as a stateless executor over
+/// the store: mines/observes for the client defense, samples the
+/// private batch, runs the loss forward/backward, applies the local
+/// personalized step, and rebuilds `*update` in place (buffers reused
+/// across rounds). Returns the training loss. Thread-safe for distinct
+/// prepared users with distinct scratch arenas.
+struct BenignClientLogic {
+  static double ParticipateRound(ClientStateStore& store, int user,
+                                 const GlobalModel& g, int round,
+                                 RoundScratch& scratch, ClientUpdate* update);
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_FED_CLIENT_STATE_STORE_H_

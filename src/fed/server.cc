@@ -31,6 +31,84 @@ void FederatedServer::For(size_t n, const std::function<void(size_t)>& fn) {
   ThreadPool::ParallelForOrSerial(pool_.get(), n, fn);
 }
 
+int64_t FederatedServer::ArenaBytes() const {
+  int64_t bytes = static_cast<int64_t>(
+      updates_.capacity() * sizeof(ClientUpdate) +
+      scratch_.capacity() * sizeof(RoundScratch) +
+      loss_slots_.capacity() * sizeof(double) +
+      prepared_users_.capacity() * sizeof(int));
+  for (const ClientUpdate& u : updates_) bytes += u.CapacityBytes();
+  for (const RoundScratch& s : scratch_) bytes += s.CapacityBytes();
+  return bytes;
+}
+
+RoundStats FederatedServer::RunRound(
+    ClientStateStore& store, const std::vector<ClientInterface*>& malicious,
+    int round, Rng& rng) {
+  RoundStats stats;
+  stats.round = round;
+
+  const int num_benign = store.num_users();
+  const int n = num_benign + static_cast<int>(malicious.size());
+  PIECK_CHECK(n > 0);
+  std::vector<int> selected = rng.SampleWithoutReplacement(
+      n, std::min(config_.users_per_round, n));
+  stats.num_selected = static_cast<int>(selected.size());
+
+  // Materialize the lazy per-user state (engine, defense) of this
+  // round's benign participants before fanning out: PrepareRound grows
+  // shared pools and must stay single-threaded.
+  prepared_users_.clear();
+  for (int idx : selected) {
+    if (idx < num_benign) {
+      prepared_users_.push_back(idx);
+    } else {
+      stats.num_malicious_selected++;
+    }
+  }
+  store.PrepareRound(prepared_users_);
+
+  // Selection-slot arenas: slots (and the buffers inside them) persist
+  // across rounds, so the steady state rebuilds uploads with no
+  // client-side allocation. Slots keep selection order, making the
+  // result bit-identical to the serial loop for any thread count.
+  updates_.resize(selected.size());
+  const size_t num_slots = pool_ ? pool_->max_slots() : 1;
+  if (scratch_.size() < num_slots) scratch_.resize(num_slots);
+  loss_slots_.assign(selected.size(), 0.0);
+
+  ThreadPool::ParallelForOrSerialSlots(
+      pool_.get(), selected.size(), [&](size_t slot, size_t i) {
+        const int idx = selected[i];
+        if (idx < num_benign) {
+          loss_slots_[i] = BenignClientLogic::ParticipateRound(
+              store, idx, global_, round, scratch_[slot], &updates_[i]);
+        } else {
+          updates_[i] = malicious[static_cast<size_t>(idx - num_benign)]
+                            ->ParticipateRound(global_, round);
+        }
+      });
+
+  double loss_sum = 0.0;
+  int benign_selected = 0;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    if (selected[i] < num_benign) {
+      loss_sum += loss_slots_[i];
+      ++benign_selected;
+    }
+  }
+  if (benign_selected > 0) {
+    stats.mean_benign_loss = loss_sum / benign_selected;
+  }
+
+  ApplyUpdates(updates_);
+
+  stats.uploads_built = static_cast<int>(selected.size());
+  stats.scratch_bytes_in_use = ArenaBytes();
+  stats.store_footprint_bytes = store.FootprintBytes();
+  return stats;
+}
+
 RoundStats FederatedServer::RunRound(
     const std::vector<ClientInterface*>& clients, int round, Rng& rng) {
   RoundStats stats;

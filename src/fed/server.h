@@ -5,14 +5,20 @@
 /// thread only (the server owns the global model; the internal
 /// ThreadPool fans work out but all mutation happens in row-disjoint
 /// slots). Results are bit-identical for every `num_threads` value and
-/// every SIMD kernel backend — clients fork independent RNG streams,
+/// every SIMD kernel backend — clients own independent RNG streams,
 /// uploads are stored in selection order, and per-item aggregation
-/// writes touch disjoint embedding rows. Client pointers passed to
-/// `RunRound` must outlive the call; the `RecModel` and the initial
-/// `GlobalModel` must be shape-consistent.
+/// writes touch disjoint embedding rows. The store / client pointers
+/// passed to `RunRound` must outlive the call; the `RecModel` and the
+/// initial `GlobalModel` must be shape-consistent.
+///
+/// The store-backed round path is arena-based: uploads land in a
+/// selection-slot array of `ClientUpdate`s whose buffers persist across
+/// rounds, and each worker owns one `RoundScratch`; once shapes reach
+/// steady state, a round performs no client-side heap allocation.
 #ifndef PIECK_FED_SERVER_H_
 #define PIECK_FED_SERVER_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -21,6 +27,7 @@
 #include "common/thread_pool.h"
 #include "fed/aggregator.h"
 #include "fed/client.h"
+#include "fed/client_state_store.h"
 #include "model/global_model.h"
 #include "model/rec_model.h"
 
@@ -47,7 +54,19 @@ struct RoundStats {
   int round = 0;
   int num_selected = 0;
   int num_malicious_selected = 0;
+  /// Mean training loss over the benign participants (store path only;
+  /// 0 when no benign client was selected).
   double mean_benign_loss = 0.0;
+
+  // --- client-side cost telemetry (store path only) ---
+  /// Uploads materialized this round (selection slots written).
+  int uploads_built = 0;
+  /// Resident bytes of the reusable round arenas: the selection-slot
+  /// upload buffers plus every worker's RoundScratch.
+  int64_t scratch_bytes_in_use = 0;
+  /// Resident bytes of the ClientStateStore backing the benign
+  /// population.
+  int64_t store_footprint_bytes = 0;
 };
 
 /// The federation server of §III-A: samples a batch of clients each
@@ -61,7 +80,18 @@ class FederatedServer {
                   ServerConfig config, std::unique_ptr<Aggregator> aggregator,
                   std::unique_ptr<UpdateFilter> filter = nullptr);
 
-  /// Runs one communication round over the client population.
+  /// Runs one communication round over the virtualized benign
+  /// population in `store` plus the `malicious` client objects.
+  /// Selection indices [0, store.num_users()) address store users;
+  /// indices past that address `malicious` in order — the same combined
+  /// index space (benign first) the object path used, so sampling is
+  /// reproduction-identical.
+  RoundStats RunRound(ClientStateStore& store,
+                      const std::vector<ClientInterface*>& malicious,
+                      int round, Rng& rng);
+
+  /// Object-path round over explicit client instances (tests, attack
+  /// harnesses, and the golden-equivalence suite).
   RoundStats RunRound(const std::vector<ClientInterface*>& clients, int round,
                       Rng& rng);
 
@@ -84,6 +114,9 @@ class FederatedServer {
   /// Runs fn(0..n-1) on the pool, or inline when running serially.
   void For(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Capacity of the reusable round arenas (telemetry).
+  int64_t ArenaBytes() const;
+
   /// DL-FRS only: aggregates and applies the interaction-function
   /// gradients of the surviving uploads (one flattened aggregate per
   /// round, off the per-item hot path).
@@ -96,6 +129,12 @@ class FederatedServer {
   std::unique_ptr<Aggregator> aggregator_;
   std::unique_ptr<UpdateFilter> filter_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+
+  // Round arenas, reused across rounds (store path).
+  std::vector<ClientUpdate> updates_;   // one slot per selected client
+  std::vector<RoundScratch> scratch_;   // one arena per worker slot
+  std::vector<double> loss_slots_;      // per-selection benign loss
+  std::vector<int> prepared_users_;     // benign subset of the selection
 };
 
 }  // namespace pieck

@@ -39,15 +39,24 @@ Vec& ScoreScratch(size_t n) {
   return scores;
 }
 
+/// Per-worker copy of one user's embedding row (ScoreItems takes a Vec;
+/// the view hands out borrowed rows). dim-sized copy, reused across all
+/// of a worker's users.
+const Vec& UserScratch(const BenignEvalView& benign, size_t ui) {
+  thread_local Vec u;
+  const double* row = benign.embedding(ui);
+  u.assign(row, row + benign.dim());
+  return u;
+}
+
 }  // namespace
 
 double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
-                        const std::vector<const BenignClient*>& benign,
-                        const Dataset& train,
+                        const BenignEvalView& benign, const Dataset& train,
                         const std::vector<int>& target_items, int k,
                         ThreadPool* pool) {
   PIECK_CHECK(k > 0);
-  if (target_items.empty() || benign.empty()) return 0.0;
+  if (target_items.empty() || benign.size() == 0) return 0.0;
 
   // For each user compute the top-K uninteracted items once, then test
   // membership for every target. Per-(user, target) outcomes land in
@@ -57,10 +66,10 @@ double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
   std::vector<uint8_t> outcome(benign.size() * num_targets, kExcluded);
 
   ForUsers(pool, benign.size(), [&](size_t ui) {
-    const BenignClient* client = benign[ui];
+    const int user = benign.user_id(ui);
     Vec& scores = ScoreScratch(static_cast<size_t>(g.num_items()));
-    model.ScoreItems(g, client->user_embedding(), scores.data());
-    const std::vector<int>& interacted = train.ItemsOf(client->user_id());
+    model.ScoreItems(g, UserScratch(benign, ui), scores.data());
+    const std::vector<int>& interacted = train.ItemsOf(user);
 
     thread_local std::vector<std::pair<double, int>> ranked;
     ranked.clear();
@@ -80,7 +89,7 @@ double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
 
     for (size_t t = 0; t < num_targets; ++t) {
       int target = target_items[t];
-      if (train.Interacted(client->user_id(), target)) continue;
+      if (train.Interacted(user, target)) continue;
       uint8_t& slot = outcome[ui * num_targets + t];
       slot = kMiss;
       for (size_t r = 0; r < top; ++r) {
@@ -112,10 +121,9 @@ double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
 }
 
 double HitRatioAtK(const RecModel& model, const GlobalModel& g,
-                   const std::vector<const BenignClient*>& benign,
-                   const Dataset& train, const std::vector<int>& test_items,
-                   int k, int num_negatives, uint64_t seed,
-                   ThreadPool* pool) {
+                   const BenignEvalView& benign, const Dataset& train,
+                   const std::vector<int>& test_items, int k,
+                   int num_negatives, uint64_t seed, ThreadPool* pool) {
   PIECK_CHECK(k > 0 && num_negatives > 0);
 
   // Per-user outcome slots: 0 = skipped, 1 = miss, 2 = hit.
@@ -123,8 +131,7 @@ double HitRatioAtK(const RecModel& model, const GlobalModel& g,
   std::vector<uint8_t> outcome(benign.size(), kSkipped);
 
   ForUsers(pool, benign.size(), [&](size_t ui) {
-    const BenignClient* client = benign[ui];
-    int user = client->user_id();
+    int user = benign.user_id(ui);
     if (user < 0 || user >= static_cast<int>(test_items.size())) return;
     int test = test_items[static_cast<size_t>(user)];
     if (test < 0) return;
@@ -134,7 +141,7 @@ double HitRatioAtK(const RecModel& model, const GlobalModel& g,
     PIECK_CHECK(train.num_items() <= g.num_items());
 
     Vec& scores = ScoreScratch(static_cast<size_t>(g.num_items()));
-    model.ScoreItems(g, client->user_embedding(), scores.data());
+    model.ScoreItems(g, UserScratch(benign, ui), scores.data());
     const double test_score = scores[static_cast<size_t>(test)];
 
     // The test item lands in the top K iff fewer than K negatives
@@ -202,17 +209,18 @@ double HitRatioAtK(const RecModel& model, const GlobalModel& g,
 }
 
 double PairwiseKlDivergence(const GlobalModel& g,
-                            const std::vector<const BenignClient*>& benign,
+                            const BenignEvalView& benign,
                             const Dataset& train,
                             const std::vector<int>& popular_items,
                             ThreadPool* pool) {
-  if (popular_items.empty() || benign.empty()) return 0.0;
+  if (popular_items.empty() || benign.size() == 0) return 0.0;
   // U_P: users whose interactions include at least one popular item.
-  std::vector<const Vec*> covered_users;
-  for (const BenignClient* client : benign) {
+  // Borrowed embedding rows straight out of the view's matrix.
+  std::vector<const double*> covered_users;
+  for (size_t ui = 0; ui < benign.size(); ++ui) {
     for (int item : popular_items) {
-      if (train.Interacted(client->user_id(), item)) {
-        covered_users.push_back(&client->user_embedding());
+      if (train.Interacted(benign.user_id(ui), item)) {
+        covered_users.push_back(benign.embedding(ui));
         break;
       }
     }
@@ -237,14 +245,14 @@ double PairwiseKlDivergence(const GlobalModel& g,
   }
 
   const KernelTable& kernels = ActiveKernels();
+  PIECK_CHECK(benign.dim() == d);
   std::vector<double> partial(covered_users.size(), 0.0);
   ForUsers(pool, covered_users.size(), [&](size_t ui) {
-    const Vec& u = *covered_users[ui];
-    PIECK_CHECK(u.size() == d);
+    const double* u = covered_users[ui];
     // log softmax(u) without materializing the softmax.
     thread_local Vec log_q;
     log_q.resize(d);
-    const double mx = *std::max_element(u.begin(), u.end());
+    const double mx = *std::max_element(u, u + d);
     double z = 0.0;
     for (size_t i = 0; i < d; ++i) z += std::exp(u[i] - mx);
     const double lz = std::log(z);
@@ -303,13 +311,12 @@ std::vector<int> TopDeltaNormPopularityRanks(const Vec& delta_norm,
 }
 
 double MeanScoreForItem(const RecModel& model, const GlobalModel& g,
-                        const std::vector<const BenignClient*>& benign,
-                        int item) {
-  if (benign.empty()) return 0.0;
+                        const BenignEvalView& benign, int item) {
+  if (benign.size() == 0) return 0.0;
   Vec v = g.item_embeddings.Row(static_cast<size_t>(item));
   double s = 0.0;
-  for (const BenignClient* client : benign) {
-    s += model.ScoreProb(g, client->user_embedding(), v);
+  for (size_t ui = 0; ui < benign.size(); ++ui) {
+    s += model.ScoreProb(g, UserScratch(benign, ui), v);
   }
   return s / static_cast<double>(benign.size());
 }

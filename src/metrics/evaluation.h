@@ -6,7 +6,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "data/dataset.h"
-#include "fed/client.h"
+#include "fed/client_state_store.h"
 #include "model/global_model.h"
 #include "model/rec_model.h"
 
@@ -17,14 +17,18 @@ namespace pieck {
 // out over users on the optional `pool` (nullptr = serial). Per-user
 // results land in pre-sized slots and reduce in user order afterwards,
 // so every metric is bit-identical for every pool size.
+//
+// The benign population enters as a `BenignEvalView`: contiguous
+// embedding rows plus user ids, produced by `ClientStateStore::EvalView`
+// (or built over a hand-crafted matrix in tests). The view is read-only
+// here; lazy embedding initialization happens before the view exists.
 
 /// Exposure Ratio at rank K (Eq. 3): the fraction of benign users whose
 /// top-K recommendation lists (over their uninteracted items) contain a
 /// target item, averaged over targets. Users that already interacted
 /// with a target are excluded from its denominator.
 double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
-                        const std::vector<const BenignClient*>& benign,
-                        const Dataset& train,
+                        const BenignEvalView& benign, const Dataset& train,
                         const std::vector<int>& target_items, int k,
                         ThreadPool* pool = nullptr);
 
@@ -38,9 +42,9 @@ double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
 /// sampling cannot fill the quota — are ranked against *every*
 /// uninteracted item instead of a silently short sample.
 double HitRatioAtK(const RecModel& model, const GlobalModel& g,
-                   const std::vector<const BenignClient*>& benign,
-                   const Dataset& train, const std::vector<int>& test_items,
-                   int k, int num_negatives, uint64_t seed,
+                   const BenignEvalView& benign, const Dataset& train,
+                   const std::vector<int>& test_items, int k,
+                   int num_negatives, uint64_t seed,
                    ThreadPool* pool = nullptr);
 
 /// Average pairwise KL divergence (Eq. 9) between the embeddings of the
@@ -49,7 +53,7 @@ double HitRatioAtK(const RecModel& model, const GlobalModel& g,
 /// per-item softmax terms are precomputed once, and each user's KLs
 /// against all items are one batched gemv.
 double PairwiseKlDivergence(const GlobalModel& g,
-                            const std::vector<const BenignClient*>& benign,
+                            const BenignEvalView& benign,
                             const Dataset& train,
                             const std::vector<int>& popular_items,
                             ThreadPool* pool = nullptr);
@@ -66,8 +70,7 @@ std::vector<int> TopDeltaNormPopularityRanks(const Vec& delta_norm,
 
 /// Mean predicted score of `item` across benign users (diagnostics).
 double MeanScoreForItem(const RecModel& model, const GlobalModel& g,
-                        const std::vector<const BenignClient*>& benign,
-                        int item);
+                        const BenignEvalView& benign, int item);
 
 }  // namespace pieck
 

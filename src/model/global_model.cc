@@ -44,6 +44,30 @@ InteractionGrads InteractionGrads::ZerosLike(const GlobalModel& model) {
   return g;
 }
 
+void InteractionGrads::ResetLike(const GlobalModel& model) {
+  if (!model.has_interaction_params()) {
+    active = false;
+    return;
+  }
+  bool shapes_match = active && weights.size() == model.mlp_weights.size() &&
+                      biases.size() == model.mlp_biases.size() &&
+                      projection.size() == model.projection.size();
+  for (size_t l = 0; shapes_match && l < weights.size(); ++l) {
+    shapes_match = weights[l].rows() == model.mlp_weights[l].rows() &&
+                   weights[l].cols() == model.mlp_weights[l].cols() &&
+                   biases[l].size() == model.mlp_biases[l].size();
+  }
+  if (!shapes_match) {
+    *this = ZerosLike(model);
+    return;
+  }
+  for (size_t l = 0; l < weights.size(); ++l) {
+    weights[l].SetZero();
+    std::fill(biases[l].begin(), biases[l].end(), 0.0);
+  }
+  std::fill(projection.begin(), projection.end(), 0.0);
+}
+
 void InteractionGrads::Axpy(double alpha, const InteractionGrads& other) {
   PIECK_CHECK(active && other.active);
   PIECK_CHECK(weights.size() == other.weights.size());
@@ -95,6 +119,46 @@ void InteractionGrads::Unflatten(const Vec& flat) {
             projection.begin());
 }
 
+Vec ClientUpdate::TakeSpare(size_t dim) {
+  if (spare_.empty()) return Zeros(dim);
+  Vec v = std::move(spare_.back());
+  spare_.pop_back();
+  // assign keeps the existing heap buffer whenever its capacity covers
+  // `dim` — the steady-state case, since clients upload batches of a
+  // stable shape round after round.
+  v.assign(dim, 0.0);
+  return v;
+}
+
+void ClientUpdate::ResetForReuse() {
+  spare_.reserve(spare_.size() + item_grads.size());
+  for (auto& [item, grad] : item_grads) {
+    spare_.push_back(std::move(grad));
+  }
+  item_grads.clear();
+}
+
+int64_t ClientUpdate::CapacityBytes() const {
+  int64_t bytes = static_cast<int64_t>(
+      item_grads.capacity() * sizeof(std::pair<int, Vec>) +
+      spare_.capacity() * sizeof(Vec));
+  for (const auto& [item, grad] : item_grads) {
+    bytes += static_cast<int64_t>(grad.capacity() * sizeof(double));
+  }
+  for (const Vec& v : spare_) {
+    bytes += static_cast<int64_t>(v.capacity() * sizeof(double));
+  }
+  for (const Matrix& w : interaction_grads.weights) {
+    bytes += static_cast<int64_t>(w.data().capacity() * sizeof(double));
+  }
+  for (const Vec& b : interaction_grads.biases) {
+    bytes += static_cast<int64_t>(b.capacity() * sizeof(double));
+  }
+  bytes += static_cast<int64_t>(interaction_grads.projection.capacity() *
+                                sizeof(double));
+  return bytes;
+}
+
 void ClientUpdate::AccumulateItemGrad(int item, const Vec& g) {
   auto it = std::lower_bound(
       item_grads.begin(), item_grads.end(), item,
@@ -102,7 +166,15 @@ void ClientUpdate::AccumulateItemGrad(int item, const Vec& g) {
   if (it != item_grads.end() && it->first == item) {
     ::pieck::Axpy(1.0, g, it->second);
   } else {
-    item_grads.insert(it, {item, g});
+    // Recycle a spare buffer but skip TakeSpare's zero-fill: every
+    // element is overwritten by the assign.
+    Vec grad;
+    if (!spare_.empty()) {
+      grad = std::move(spare_.back());
+      spare_.pop_back();
+    }
+    grad.assign(g.begin(), g.end());
+    item_grads.insert(it, {item, std::move(grad)});
   }
 }
 
@@ -111,7 +183,7 @@ double* ClientUpdate::MutableItemGrad(int item, size_t dim) {
       item_grads.begin(), item_grads.end(), item,
       [](const std::pair<int, Vec>& a, int b) { return a.first < b; });
   if (it == item_grads.end() || it->first != item) {
-    it = item_grads.insert(it, {item, Zeros(dim)});
+    it = item_grads.insert(it, {item, TakeSpare(dim)});
   }
   return it->second.data();
 }

@@ -39,6 +39,11 @@ struct InteractionGrads {
   /// function; inactive when the model has none.
   static InteractionGrads ZerosLike(const GlobalModel& model);
 
+  /// Makes this holder equal to ZerosLike(model) while reusing the
+  /// existing tensors when the shapes already match — the arena round
+  /// path calls this every round instead of reallocating.
+  void ResetLike(const GlobalModel& model);
+
   /// this += alpha * other. Both must be shaped alike and active.
   void Axpy(double alpha, const InteractionGrads& other);
 
@@ -86,6 +91,26 @@ struct ClientUpdate {
 
   /// Looks up the gradient for `item`; nullptr if absent.
   const Vec* FindItemGrad(int item) const;
+
+  /// Logically empties the upload while keeping every heap buffer for
+  /// reuse: the per-item gradient Vecs move onto an internal free list
+  /// that MutableItemGrad / AccumulateItemGrad consume before touching
+  /// the allocator, and `interaction_grads` keeps its tensors (callers
+  /// re-zero them via InteractionGrads::ResetLike). After enough rounds
+  /// to reach the client's steady-state batch shape, rebuilding an
+  /// upload in place allocates nothing.
+  void ResetForReuse();
+
+  /// Resident capacity of this upload's buffers, free list included
+  /// (round telemetry).
+  int64_t CapacityBytes() const;
+
+ private:
+  std::vector<Vec> spare_;
+
+  /// Pops a zeroed length-`dim` Vec, reusing a spare buffer when one
+  /// is available.
+  Vec TakeSpare(size_t dim);
 };
 
 }  // namespace pieck

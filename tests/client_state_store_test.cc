@@ -1,0 +1,495 @@
+// The virtualized benign population: proves the struct-of-arrays
+// ClientStateStore round path is bit-identical to the pre-refactor
+// one-object-per-user path, that lazy embedding initialization is
+// order-independent, and that the CSR interaction view matches the
+// Dataset on degenerate users.
+//
+// The object path is reproduced here verbatim as `LegacyBenignClient` —
+// the exact BenignClient implementation this refactor removed — so the
+// equivalence holds in every build type and on every libm, not just the
+// machine that recorded the golden constants below.
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "defense/regularized_defense.h"
+#include "fed/client_state_store.h"
+#include "fed/server.h"
+
+namespace pieck {
+namespace {
+
+// ---------------------------------------------------------------------
+// Digest plumbing.
+
+uint64_t HashDoubles(uint64_t h, const double* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t bits;
+    std::memcpy(&bits, &p[i], sizeof(bits));
+    h ^= bits;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t GlobalModelDigest(uint64_t h, const GlobalModel& g) {
+  h = HashDoubles(h, g.item_embeddings.data().data(),
+                  g.item_embeddings.data().size());
+  for (size_t l = 0; l < g.mlp_weights.size(); ++l) {
+    h = HashDoubles(h, g.mlp_weights[l].data().data(),
+                    g.mlp_weights[l].data().size());
+    h = HashDoubles(h, g.mlp_biases[l].data(), g.mlp_biases[l].size());
+  }
+  return HashDoubles(h, g.projection.data(), g.projection.size());
+}
+
+// ---------------------------------------------------------------------
+// The pre-refactor benign client, verbatim (fed/client.cc at commit
+// "PR 3"), kept here as the reference implementation the store must
+// match bit for bit.
+
+class LegacyBenignClient : public ClientInterface {
+ public:
+  LegacyBenignClient(int user_id, const RecModel& model, const Dataset& train,
+                     NegativeSampler sampler, LossKind loss, double local_lr,
+                     Rng rng, std::unique_ptr<ClientDefense> defense)
+      : user_id_(user_id),
+        model_(model),
+        train_(train),
+        sampler_(std::move(sampler)),
+        loss_(loss),
+        local_lr_(local_lr),
+        rng_(rng),
+        defense_(std::move(defense)) {
+    user_embedding_ = model_.InitUserEmbedding(rng_);
+  }
+
+  bool is_malicious() const override { return false; }
+
+  ClientUpdate ParticipateRound(const GlobalModel& g, int /*round*/) override {
+    if (defense_ != nullptr) defense_->ObserveRound(g);
+    std::vector<LabeledItem> batch =
+        sampler_.SampleBatch(train_, user_id_, rng_);
+
+    ClientUpdate update;
+    update.interaction_grads = InteractionGrads::ZerosLike(g);
+    Vec grad_u = Zeros(user_embedding_.size());
+    InteractionGrads* igrads =
+        update.interaction_grads.active ? &update.interaction_grads : nullptr;
+    switch (loss_) {
+      case LossKind::kBce:
+        BceBatchForwardBackward(model_, g, user_embedding_, batch, &grad_u,
+                                &update, igrads);
+        break;
+      case LossKind::kBpr:
+        BprBatchForwardBackward(model_, g, user_embedding_, batch, &grad_u,
+                                &update, igrads);
+        break;
+    }
+    if (defense_ != nullptr) {
+      defense_->ApplyRegularizers(g, user_embedding_, batch, &grad_u, &update);
+    }
+    Axpy(-local_lr_, grad_u, user_embedding_);
+    return update;
+  }
+
+  const Vec& user_embedding() const { return user_embedding_; }
+
+ private:
+  int user_id_;
+  const RecModel& model_;
+  const Dataset& train_;
+  NegativeSampler sampler_;
+  LossKind loss_;
+  double local_lr_;
+  Rng rng_;
+  std::unique_ptr<ClientDefense> defense_;
+  Vec user_embedding_;
+};
+
+// ---------------------------------------------------------------------
+// Object-path vs store-path equivalence.
+
+struct EquivalenceCase {
+  const char* name;
+  ModelKind model_kind;
+  LossKind loss;
+  bool with_defense;
+  bool with_malicious;
+};
+
+class StoreEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+/// One self-contained world both paths share: dataset, model, initial
+/// global model, per-user seeds, malicious seeds, round seed.
+struct World {
+  std::unique_ptr<Dataset> train;
+  std::unique_ptr<RecModel> model;
+  GlobalModel initial;
+  std::vector<uint64_t> user_seeds;
+  std::vector<uint64_t> attack_seeds;   // MakeAttack seeds
+  std::vector<uint64_t> client_seeds;   // MaliciousClient rng seeds
+  double local_lr = 1.0;
+  AttackConfig attack_config;
+  uint64_t round_seed = 0;
+
+  static World Build(const EquivalenceCase& c) {
+    World w;
+    auto ds = GenerateSynthetic(MovieLens100KConfig(0.05));
+    EXPECT_TRUE(ds.ok());
+    w.train = std::make_unique<Dataset>(std::move(*ds));
+    w.model = MakeModel(c.model_kind, 8);
+    w.local_lr = c.model_kind == ModelKind::kNeuralCf ? 0.005 : 1.0;
+
+    Rng master(0xfeedULL);
+    Rng init = master.Fork();
+    w.initial = w.model->InitGlobalModel(w.train->num_items(), init);
+    for (int u = 0; u < w.train->num_users(); ++u) {
+      w.user_seeds.push_back(master.ForkSeed());
+    }
+    if (c.with_malicious) {
+      w.attack_config.target_items = {1, 5};
+      w.attack_config.server_learning_rate = w.local_lr;
+      for (int i = 0; i < 3; ++i) {
+        w.attack_seeds.push_back(master.ForkSeed());
+        w.client_seeds.push_back(master.ForkSeed());
+      }
+    }
+    w.round_seed = master.ForkSeed();
+    return w;
+  }
+
+  std::unique_ptr<ClientDefense> MakeDefense(bool enabled) const {
+    if (!enabled) return nullptr;
+    return MakeRegularizedDefense(DefenseOptions{});
+  }
+
+  std::vector<std::unique_ptr<ClientInterface>> MakeMalicious() const {
+    std::vector<std::unique_ptr<ClientInterface>> out;
+    for (size_t i = 0; i < attack_seeds.size(); ++i) {
+      auto attack = MakeAttack(AttackKind::kPieckIpe, *model, attack_config,
+                               train.get(), attack_seeds[i]);
+      out.push_back(std::make_unique<MaliciousClient>(std::move(attack),
+                                                      Rng(client_seeds[i])));
+    }
+    return out;
+  }
+
+  FederatedServer MakeServer(int num_threads) const {
+    ServerConfig config;
+    config.learning_rate = local_lr;
+    config.users_per_round = 16;
+    config.num_threads = num_threads;
+    return FederatedServer(*model, initial, config,
+                           std::make_unique<SumAggregator>());
+  }
+};
+
+TEST_P(StoreEquivalence, BitIdenticalToObjectPathForEveryThreadCount) {
+  const EquivalenceCase c = GetParam();
+  World w = World::Build(c);
+  constexpr int kRounds = 4;
+
+  // Reference: the pre-refactor object path, serial.
+  std::vector<std::unique_ptr<ClientInterface>> legacy;
+  std::vector<const LegacyBenignClient*> legacy_views;
+  NegativeSampler sampler(1.0);
+  for (int u = 0; u < w.train->num_users(); ++u) {
+    auto client = std::make_unique<LegacyBenignClient>(
+        u, *w.model, *w.train, sampler, c.loss, w.local_lr,
+        Rng(w.user_seeds[static_cast<size_t>(u)]),
+        w.MakeDefense(c.with_defense));
+    legacy_views.push_back(client.get());
+    legacy.push_back(std::move(client));
+  }
+  std::vector<std::unique_ptr<ClientInterface>> legacy_mal = w.MakeMalicious();
+  for (auto& m : legacy_mal) legacy.push_back(std::move(m));
+  std::vector<ClientInterface*> legacy_ptrs;
+  for (auto& client : legacy) legacy_ptrs.push_back(client.get());
+
+  FederatedServer legacy_server = w.MakeServer(/*num_threads=*/1);
+  Rng legacy_rng(w.round_seed);
+  for (int r = 0; r < kRounds; ++r) {
+    legacy_server.RunRound(legacy_ptrs, r, legacy_rng);
+  }
+  uint64_t reference = GlobalModelDigest(0xcbf29ce484222325ULL,
+                                         legacy_server.global());
+  for (const LegacyBenignClient* v : legacy_views) {
+    reference = HashDoubles(reference, v->user_embedding().data(),
+                            v->user_embedding().size());
+  }
+
+  // Store path, serial and with a hardware-sized pool.
+  for (int num_threads : {1, 0}) {
+    ClientStateStore store(*w.model, *w.train,
+                           std::make_shared<const NegativeSampler>(1.0),
+                           c.loss, w.local_lr);
+    store.set_user_seeds(w.user_seeds);
+    if (c.with_defense) {
+      store.set_defense_factory(
+          [] { return MakeRegularizedDefense(DefenseOptions{}); });
+    }
+    std::vector<std::unique_ptr<ClientInterface>> malicious =
+        w.MakeMalicious();
+    std::vector<ClientInterface*> malicious_ptrs;
+    for (auto& m : malicious) malicious_ptrs.push_back(m.get());
+
+    FederatedServer server = w.MakeServer(num_threads);
+    Rng rng(w.round_seed);
+    for (int r = 0; r < kRounds; ++r) {
+      RoundStats stats = server.RunRound(store, malicious_ptrs, r, rng);
+      EXPECT_EQ(stats.uploads_built, stats.num_selected);
+      EXPECT_GT(stats.store_footprint_bytes, 0);
+    }
+    uint64_t digest =
+        GlobalModelDigest(0xcbf29ce484222325ULL, server.global());
+    BenignEvalView view = store.EvalView();
+    for (size_t ui = 0; ui < view.size(); ++ui) {
+      digest = HashDoubles(digest, view.embedding(ui), view.dim());
+    }
+    EXPECT_EQ(digest, reference)
+        << c.name << " diverged from the object path (num_threads="
+        << num_threads << ")";
+
+    // Only this round's participants ever materialized engines; the
+    // rest of the population stayed at 8 bytes of RNG key.
+    EXPECT_LE(store.materialized_rngs(), int64_t{16} * kRounds);
+    if (c.with_defense) {
+      EXPECT_EQ(store.materialized_defenses(), store.materialized_rngs());
+    } else {
+      EXPECT_EQ(store.materialized_defenses(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, StoreEquivalence,
+    ::testing::Values(
+        EquivalenceCase{"mf_bce", ModelKind::kMatrixFactorization,
+                        LossKind::kBce, false, false},
+        EquivalenceCase{"mf_bce_attack", ModelKind::kMatrixFactorization,
+                        LossKind::kBce, false, true},
+        EquivalenceCase{"mf_bce_defense", ModelKind::kMatrixFactorization,
+                        LossKind::kBce, true, false},
+        EquivalenceCase{"mf_bpr", ModelKind::kMatrixFactorization,
+                        LossKind::kBpr, false, false},
+        EquivalenceCase{"ncf_bce", ModelKind::kNeuralCf, LossKind::kBce,
+                        false, false},
+        EquivalenceCase{"ncf_bce_defense", ModelKind::kNeuralCf,
+                        LossKind::kBce, true, true}),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------
+// Golden round digests captured from the actual pre-refactor tree
+// (commit 1528e41, Release, x86-64). The full Simulation pipeline —
+// dataset, split, targets, attack population, round sampling — must
+// keep producing these exact bits through the store path. Bit-level
+// digests of transcendental-heavy runs can legitimately differ across
+// libm implementations, so the hard assert is gated behind
+// PIECK_GOLDEN_STRICT=1 (set it when running on glibc x86-64); without
+// it the test still runs everything and reports, but skips on mismatch.
+
+struct GoldenCase {
+  const char* name;
+  ModelKind model_kind;
+  LossKind loss;
+  AttackKind attack;
+  DefenseKind defense;
+  int rounds;
+  uint64_t digest;
+};
+
+uint64_t SimulationDigest(const Simulation& sim) {
+  uint64_t h = GlobalModelDigest(0xcbf29ce484222325ULL, sim.global());
+  BenignEvalView view = sim.benign_eval_view();
+  for (size_t ui = 0; ui < view.size(); ++ui) {
+    Vec u = view.embedding_vec(ui);
+    h = HashDoubles(h, u.data(), u.size());
+  }
+  return h;
+}
+
+TEST(ClientStateStoreGolden, SimulationMatchesPreRefactorDigests) {
+  const GoldenCase cases[] = {
+      {"mf_bce_ipe", ModelKind::kMatrixFactorization, LossKind::kBce,
+       AttackKind::kPieckIpe, DefenseKind::kNoDefense, 5,
+       0xb72a8d8c1b6417a5ULL},
+      {"ncf_bce_ipe", ModelKind::kNeuralCf, LossKind::kBce,
+       AttackKind::kPieckIpe, DefenseKind::kNoDefense, 3,
+       0xaf2ea0581f71d8c2ULL},
+      {"mf_bce_uea_defense", ModelKind::kMatrixFactorization, LossKind::kBce,
+       AttackKind::kPieckUea, DefenseKind::kOurs, 4, 0x5712cd6b31b27c81ULL},
+      {"mf_bpr_ipe", ModelKind::kMatrixFactorization, LossKind::kBpr,
+       AttackKind::kPieckIpe, DefenseKind::kNoDefense, 4,
+       0xa7dc8e12c984615dULL},
+      {"mf_bce_noattack", ModelKind::kMatrixFactorization, LossKind::kBce,
+       AttackKind::kNone, DefenseKind::kNoDefense, 5, 0xf8c295331becc4a8ULL},
+      {"ncf_bce_uea_defense", ModelKind::kNeuralCf, LossKind::kBce,
+       AttackKind::kPieckUea, DefenseKind::kOurs, 3, 0xc9c00d271d190dc8ULL},
+  };
+  const bool strict = std::getenv("PIECK_GOLDEN_STRICT") != nullptr;
+
+  for (const GoldenCase& c : cases) {
+    ExperimentConfig config;
+    config.dataset = MovieLens100KConfig(0.05);
+    config.embedding_dim = 8;
+    config.users_per_round = 16;
+    config.num_threads = 1;
+    config.model_kind = c.model_kind;
+    config.loss = c.loss;
+    config.attack = c.attack;
+    config.malicious_fraction = c.attack == AttackKind::kNone ? 0.0 : 0.1;
+    config.defense = c.defense;
+    config.seed = 20260731;
+    auto sim = Simulation::Create(config);
+    ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+    (*sim)->RunRounds(c.rounds);
+    const uint64_t digest = SimulationDigest(**sim);
+    if (strict) {
+      EXPECT_EQ(digest, c.digest) << c.name;
+    } else if (digest != c.digest) {
+      GTEST_SKIP() << c.name << ": digest " << std::hex << digest
+                   << " != pre-refactor " << c.digest
+                   << " (expected on non-glibc/x86-64 libm; set "
+                      "PIECK_GOLDEN_STRICT=1 to enforce)";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Lazy initialization is order-independent.
+
+TEST(ClientStateStoreTest, LazyInitOrderDoesNotChangeEmbeddings) {
+  auto ds = GenerateSynthetic(MovieLens100KConfig(0.05));
+  ASSERT_TRUE(ds.ok());
+  auto model = MakeModel(ModelKind::kMatrixFactorization, 8);
+  auto sampler = std::make_shared<const NegativeSampler>(1.0);
+
+  Rng master(99);
+  std::vector<uint64_t> seeds(static_cast<size_t>(ds->num_users()));
+  for (uint64_t& s : seeds) s = master.ForkSeed();
+  Rng ginit = master.Fork();
+  GlobalModel g = model->InitGlobalModel(ds->num_items(), ginit);
+
+  // Path A: evaluate first (forces every row), then train user 3.
+  ClientStateStore eval_first(*model, *ds, sampler, LossKind::kBce, 1.0);
+  eval_first.set_user_seeds(seeds);
+  eval_first.EnsureAllEmbeddings();
+  eval_first.PrepareRound({3});
+  RoundScratch scratch;
+  ClientUpdate upd;
+  BenignClientLogic::ParticipateRound(eval_first, 3, g, 0, scratch, &upd);
+
+  // Path B: train user 3 first, then force the remaining rows — and
+  // force them through a pool, so first-touch order is nondeterministic.
+  ClientStateStore train_first(*model, *ds, sampler, LossKind::kBce, 1.0);
+  train_first.set_user_seeds(seeds);
+  train_first.PrepareRound({3});
+  BenignClientLogic::ParticipateRound(train_first, 3, g, 0, scratch, &upd);
+  ThreadPool pool(4);
+  train_first.EnsureAllEmbeddings(&pool);
+
+  BenignEvalView a = eval_first.EvalView();
+  BenignEvalView b = train_first.EvalView();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t ui = 0; ui < a.size(); ++ui) {
+    ASSERT_EQ(a.embedding_vec(ui), b.embedding_vec(ui)) << "user " << ui;
+  }
+}
+
+// A user first touched by evaluation must continue its stream correctly
+// when it later participates: engine materialization replays the init
+// draws, so training after evaluation equals training without it.
+TEST(ClientStateStoreTest, EvaluationBeforeParticipationKeepsStream) {
+  auto ds = GenerateSynthetic(MovieLens100KConfig(0.05));
+  ASSERT_TRUE(ds.ok());
+  auto model = MakeModel(ModelKind::kMatrixFactorization, 8);
+  auto sampler = std::make_shared<const NegativeSampler>(1.0);
+  Rng master(7);
+  std::vector<uint64_t> seeds(static_cast<size_t>(ds->num_users()));
+  for (uint64_t& s : seeds) s = master.ForkSeed();
+  Rng ginit = master.Fork();
+  GlobalModel g = model->InitGlobalModel(ds->num_items(), ginit);
+
+  RoundScratch scratch;
+  ClientUpdate upd_a, upd_b;
+
+  ClientStateStore plain(*model, *ds, sampler, LossKind::kBce, 1.0);
+  plain.set_user_seeds(seeds);
+  plain.PrepareRound({5});
+  BenignClientLogic::ParticipateRound(plain, 5, g, 0, scratch, &upd_a);
+
+  ClientStateStore evaled(*model, *ds, sampler, LossKind::kBce, 1.0);
+  evaled.set_user_seeds(seeds);
+  evaled.EnsureAllEmbeddings();  // touch user 5 before it participates
+  evaled.PrepareRound({5});
+  BenignClientLogic::ParticipateRound(evaled, 5, g, 0, scratch, &upd_b);
+
+  ASSERT_EQ(upd_a.item_grads.size(), upd_b.item_grads.size());
+  for (size_t i = 0; i < upd_a.item_grads.size(); ++i) {
+    EXPECT_EQ(upd_a.item_grads[i].first, upd_b.item_grads[i].first);
+    EXPECT_EQ(upd_a.item_grads[i].second, upd_b.item_grads[i].second);
+  }
+}
+
+// ---------------------------------------------------------------------
+// CSR view correctness on degenerate users.
+
+TEST(InteractionCsrTest, HandlesUsersWithZeroAndOneInteractions) {
+  // User 0: two items; user 1: none; user 2: exactly one.
+  auto ds = Dataset::FromInteractions(3, 4, {{0, 1}, {0, 3}, {2, 2}});
+  ASSERT_TRUE(ds.ok());
+  InteractionCsr csr(*ds);
+  EXPECT_EQ(csr.num_users(), 3);
+  EXPECT_EQ(csr.num_items(), 4);
+  EXPECT_EQ(csr.num_interactions(), 3);
+
+  InteractionCsr::Span u0 = csr.ItemsOf(0);
+  ASSERT_EQ(u0.size, 2u);
+  EXPECT_EQ(u0.data[0], 1);
+  EXPECT_EQ(u0.data[1], 3);
+
+  InteractionCsr::Span u1 = csr.ItemsOf(1);
+  EXPECT_EQ(u1.size, 0u);
+  EXPECT_TRUE(u1.empty());
+
+  InteractionCsr::Span u2 = csr.ItemsOf(2);
+  ASSERT_EQ(u2.size, 1u);
+  EXPECT_EQ(u2.data[0], 2);
+
+  // Spans agree with the Dataset adjacency for every user.
+  for (int u = 0; u < ds->num_users(); ++u) {
+    const std::vector<int>& expected = ds->ItemsOf(u);
+    InteractionCsr::Span span = csr.ItemsOf(u);
+    ASSERT_EQ(span.size, expected.size());
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), expected.begin()));
+  }
+}
+
+TEST(ClientStateStoreTest, ZeroInteractionUserParticipatesWithEmptyUpload) {
+  auto ds = Dataset::FromInteractions(2, 4, {{0, 1}});
+  ASSERT_TRUE(ds.ok());
+  auto model = MakeModel(ModelKind::kMatrixFactorization, 4);
+  Rng rng(3);
+  GlobalModel g = model->InitGlobalModel(4, rng);
+  ClientStateStore store(*model, *ds,
+                         std::make_shared<const NegativeSampler>(1.0),
+                         LossKind::kBce, 1.0);
+  store.PrepareRound({1});  // user 1 has no interactions
+  RoundScratch scratch;
+  ClientUpdate upd;
+  double loss =
+      BenignClientLogic::ParticipateRound(store, 1, g, 0, scratch, &upd);
+  EXPECT_EQ(loss, 0.0);
+  EXPECT_TRUE(upd.item_grads.empty());
+}
+
+}  // namespace
+}  // namespace pieck

@@ -266,5 +266,76 @@ TEST(NegativeSamplerTest, LargeQSaturatesAtPool) {
   EXPECT_EQ(neg, 2);
 }
 
+// The span entry point reused by the store's round path must sample
+// draw-for-draw identically to the Dataset convenience wrapper, and its
+// scratch must be reusable across calls without influencing results.
+TEST(NegativeSamplerTest, SpanPathMatchesDatasetPathBitForBit) {
+  SyntheticConfig config = MovieLens100KConfig(0.1);
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  NegativeSampler sampler(1.5);
+  NegativeSampler::Scratch scratch;
+  std::vector<LabeledItem> batch;
+  for (int user : {0, 3, 7}) {
+    Rng rng_a(41);
+    Rng rng_b(41);
+    auto reference = sampler.SampleBatch(*ds, user, rng_a);
+    const std::vector<int>& positives = ds->ItemsOf(user);
+    sampler.SampleBatchInto(positives.data(), positives.size(),
+                            ds->num_items(), rng_b, &batch, &scratch);
+    ASSERT_EQ(batch.size(), reference.size()) << "user " << user;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].item, reference[i].item);
+      EXPECT_EQ(batch[i].label, reference[i].label);
+    }
+  }
+}
+
+// One immutable popularity table shared by any number of samplers: the
+// callers' Rng streams carry all per-call state, so concurrent sharing
+// changes nothing, and popularity-proportional draws favor the head of
+// the distribution.
+TEST(PopularityTableTest, SharedTableSkewsNegativesTowardPopularItems) {
+  SyntheticConfig config = MovieLens100KConfig(0.15);
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  auto table = PopularityTable::Build(*ds, /*alpha=*/1.0);
+  EXPECT_GT(table->FootprintBytes(), 0);
+  ASSERT_EQ(static_cast<int>(table->cdf.size()), ds->num_items());
+
+  // Two samplers sharing the one table; determinism is per caller-Rng.
+  NegativeSampler a(2.0, table);
+  NegativeSampler b(2.0, table);
+  Rng rng_a(5);
+  Rng rng_b(5);
+  auto batch_a = a.SampleBatch(*ds, 2, rng_a);
+  auto batch_b = b.SampleBatch(*ds, 2, rng_b);
+  ASSERT_EQ(batch_a.size(), batch_b.size());
+  for (size_t i = 0; i < batch_a.size(); ++i) {
+    EXPECT_EQ(batch_a[i].item, batch_b[i].item);
+  }
+
+  // Weighted negatives concentrate on popular items: their mean
+  // popularity rank must clearly beat uniform sampling's.
+  std::vector<int> rank = ds->PopularityRank();
+  auto mean_negative_rank = [&](const NegativeSampler& sampler) {
+    Rng rng(17);
+    double total = 0.0;
+    int count = 0;
+    for (int user = 0; user < 40; ++user) {
+      auto batch = sampler.SampleBatch(*ds, user, rng);
+      for (const auto& ex : batch) {
+        if (ex.label < 0.5) {
+          total += rank[static_cast<size_t>(ex.item)];
+          ++count;
+        }
+      }
+    }
+    return total / count;
+  };
+  NegativeSampler uniform(2.0);
+  EXPECT_LT(mean_negative_rank(a), 0.8 * mean_negative_rank(uniform));
+}
+
 }  // namespace
 }  // namespace pieck

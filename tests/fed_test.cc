@@ -5,6 +5,7 @@
 #include "defense/robust_aggregators.h"
 #include "fed/aggregator.h"
 #include "fed/client.h"
+#include "fed/client_state_store.h"
 #include "fed/server.h"
 #include "model/mf_model.h"
 
@@ -201,7 +202,22 @@ TEST_F(ServerFixture, RunRoundCountsMalicious) {
   EXPECT_EQ(stats.num_malicious_selected, 1);
 }
 
-TEST(BenignClientTest, TrainsUserEmbeddingLocally) {
+/// Builds a one-user-deep store over `ds` with the given loss; the
+/// user's stream is seeded exactly like the former object path
+/// (embedding init draws first, batch draws after).
+std::unique_ptr<ClientStateStore> MakeStore(const MfModel& model,
+                                            const Dataset& ds, LossKind loss,
+                                            Rng& rng) {
+  auto store = std::make_unique<ClientStateStore>(
+      model, ds, std::make_shared<const NegativeSampler>(1.0), loss,
+      /*local_lr=*/1.0);
+  std::vector<uint64_t> seeds(static_cast<size_t>(ds.num_users()));
+  for (uint64_t& s : seeds) s = rng.ForkSeed();
+  store->set_user_seeds(std::move(seeds));
+  return store;
+}
+
+TEST(BenignClientLogicTest, TrainsUserEmbeddingLocally) {
   SyntheticConfig dconf = MovieLens100KConfig(0.05);
   auto ds = GenerateSynthetic(dconf);
   ASSERT_TRUE(ds.ok());
@@ -209,16 +225,21 @@ TEST(BenignClientTest, TrainsUserEmbeddingLocally) {
   Rng rng(89);
   GlobalModel g = model.InitGlobalModel(ds->num_items(), rng);
 
-  BenignClient client(0, model, *ds, NegativeSampler(1.0), LossKind::kBce,
-                      /*local_lr=*/1.0, rng.Fork(), nullptr);
-  Vec before = client.user_embedding();
-  ClientUpdate upd = client.ParticipateRound(g, 0);
-  EXPECT_NE(client.user_embedding(), before);  // local personalized step
+  auto store = MakeStore(model, *ds, LossKind::kBce, rng);
+  const double* row = store->UserEmbedding(0);
+  Vec before(row, row + 8);
+  store->PrepareRound({0});
+  RoundScratch scratch;
+  ClientUpdate upd;
+  double loss =
+      BenignClientLogic::ParticipateRound(*store, 0, g, 0, scratch, &upd);
+  Vec after(store->UserEmbedding(0), store->UserEmbedding(0) + 8);
+  EXPECT_NE(after, before);  // local personalized step
   EXPECT_FALSE(upd.item_grads.empty());
-  EXPECT_GT(client.last_loss(), 0.0);
+  EXPECT_GT(loss, 0.0);
 }
 
-TEST(BenignClientTest, UploadsGradsOnlyForBatchItems) {
+TEST(BenignClientLogicTest, UploadsGradsOnlyForBatchItems) {
   SyntheticConfig dconf = MovieLens100KConfig(0.05);
   auto ds = GenerateSynthetic(dconf);
   ASSERT_TRUE(ds.ok());
@@ -226,9 +247,11 @@ TEST(BenignClientTest, UploadsGradsOnlyForBatchItems) {
   Rng rng(97);
   GlobalModel g = model.InitGlobalModel(ds->num_items(), rng);
 
-  BenignClient client(3, model, *ds, NegativeSampler(1.0), LossKind::kBce,
-                      1.0, rng.Fork(), nullptr);
-  ClientUpdate upd = client.ParticipateRound(g, 0);
+  auto store = MakeStore(model, *ds, LossKind::kBce, rng);
+  store->PrepareRound({3});
+  RoundScratch scratch;
+  ClientUpdate upd;
+  BenignClientLogic::ParticipateRound(*store, 3, g, 0, scratch, &upd);
   // All positives of the user must be present in the upload.
   for (int item : ds->ItemsOf(3)) {
     EXPECT_NE(upd.FindItemGrad(item), nullptr) << "positive " << item;
@@ -238,17 +261,42 @@ TEST(BenignClientTest, UploadsGradsOnlyForBatchItems) {
   EXPECT_FALSE(upd.interaction_grads.active);  // MF has no Ψ params
 }
 
-TEST(BenignClientTest, BprLossAlsoTrains) {
+TEST(BenignClientLogicTest, BprLossAlsoTrains) {
   SyntheticConfig dconf = MovieLens100KConfig(0.05);
   auto ds = GenerateSynthetic(dconf);
   ASSERT_TRUE(ds.ok());
   MfModel model(8);
   Rng rng(101);
   GlobalModel g = model.InitGlobalModel(ds->num_items(), rng);
-  BenignClient client(0, model, *ds, NegativeSampler(1.0), LossKind::kBpr,
-                      1.0, rng.Fork(), nullptr);
-  ClientUpdate upd = client.ParticipateRound(g, 0);
+  auto store = MakeStore(model, *ds, LossKind::kBpr, rng);
+  store->PrepareRound({0});
+  RoundScratch scratch;
+  ClientUpdate upd;
+  BenignClientLogic::ParticipateRound(*store, 0, g, 0, scratch, &upd);
   EXPECT_FALSE(upd.item_grads.empty());
+}
+
+// Rebuilding an upload in the same slot must not allocate once shapes
+// reach steady state: the ClientUpdate recycles its per-item gradient
+// buffers through the internal free list.
+TEST(BenignClientLogicTest, SteadyStateUploadRebuildKeepsCapacity) {
+  SyntheticConfig dconf = MovieLens100KConfig(0.05);
+  auto ds = GenerateSynthetic(dconf);
+  ASSERT_TRUE(ds.ok());
+  MfModel model(8);
+  Rng rng(103);
+  GlobalModel g = model.InitGlobalModel(ds->num_items(), rng);
+  auto store = MakeStore(model, *ds, LossKind::kBce, rng);
+  store->PrepareRound({0});
+  RoundScratch scratch;
+  ClientUpdate upd;
+  BenignClientLogic::ParticipateRound(*store, 0, g, 0, scratch, &upd);
+  BenignClientLogic::ParticipateRound(*store, 0, g, 1, scratch, &upd);
+  const int64_t capacity_after_two = upd.CapacityBytes();
+  for (int round = 2; round < 6; ++round) {
+    BenignClientLogic::ParticipateRound(*store, 0, g, round, scratch, &upd);
+    EXPECT_EQ(upd.CapacityBytes(), capacity_after_two) << "round " << round;
+  }
 }
 
 }  // namespace

@@ -25,8 +25,9 @@ ExperimentConfig TinyConfig() {
 TEST(SimulationTest, CreateWiresEverything) {
   auto sim = Simulation::Create(TinyConfig());
   ASSERT_TRUE(sim.ok()) << sim.status();
+  EXPECT_EQ((*sim)->train().num_users(), (*sim)->store().num_users());
   EXPECT_EQ((*sim)->train().num_users(),
-            static_cast<int>((*sim)->benign_views().size()));
+            static_cast<int>((*sim)->benign_eval_view().size()));
   EXPECT_EQ((*sim)->num_malicious(), 0);  // NoAttack
   EXPECT_EQ((*sim)->targets().size(), 1u);
 }
@@ -78,6 +79,49 @@ TEST(SimulationTest, RejectsBadConfigs) {
   config.malicious_fraction = 1.0;
   config.attack = AttackKind::kPieckIpe;
   EXPECT_FALSE(Simulation::Create(config).ok());
+}
+
+// ExperimentConfig::Validate runs before anything is built: formerly
+// these configs failed late (mid-round CHECK) or silently clamped.
+TEST(SimulationTest, ValidateRejectsInconsistentConfigs) {
+  EXPECT_TRUE(TinyConfig().Validate().ok());
+  {
+    ExperimentConfig c = TinyConfig();
+    c.embedding_dim = 0;
+    EXPECT_FALSE(Simulation::Create(c).ok());
+  }
+  {
+    ExperimentConfig c = TinyConfig();
+    c.rounds = -3;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c = TinyConfig();
+    c.users_per_round = c.dataset.num_users + 1;
+    EXPECT_FALSE(Simulation::Create(c).ok());
+  }
+  {
+    ExperimentConfig c = TinyConfig();
+    c.malicious_fraction = -0.1;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c = TinyConfig();
+    c.target_selection = TargetSelection::kExplicit;
+    c.explicit_targets = {c.dataset.num_items + 5};
+    EXPECT_FALSE(Simulation::Create(c).ok());
+  }
+  {
+    ExperimentConfig c = TinyConfig();
+    c.target_selection = TargetSelection::kExplicit;
+    c.explicit_targets.clear();
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c = TinyConfig();
+    c.negative_ratio_q = -1.0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
 }
 
 TEST(RunExperimentTest, DeterministicInSeed) {

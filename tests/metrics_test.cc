@@ -3,7 +3,7 @@
 #include "common/rng.h"
 #include "core/report.h"
 #include "data/synthetic.h"
-#include "fed/client.h"
+#include "fed/client_state_store.h"
 #include "metrics/evaluation.h"
 #include "model/mf_model.h"
 
@@ -12,8 +12,10 @@ namespace {
 
 constexpr int kDim = 4;
 
-/// Fixture with a tiny deterministic world: a few benign clients whose
-/// embeddings we can steer so top-K lists are predictable.
+/// Fixture with a tiny deterministic world: a few benign users whose
+/// embeddings we can steer so top-K lists are predictable. The benign
+/// population is a plain embedding matrix behind a BenignEvalView —
+/// exactly what the store hands the metrics.
 class MetricsFixture : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -24,20 +26,21 @@ class MetricsFixture : public ::testing::Test {
     model_ = std::make_unique<MfModel>(kDim);
     Rng rng(3);
     global_ = model_->InitGlobalModel(5, rng);
+    embeddings_ = Matrix(3, kDim);
     for (int u = 0; u < 3; ++u) {
-      clients_.push_back(std::make_unique<BenignClient>(
-          u, *model_, *train_, NegativeSampler(1.0), LossKind::kBce, 1.0,
-          rng.Fork(), nullptr));
-      views_.push_back(clients_.back().get());
+      Rng fork = rng.Fork();
+      embeddings_.SetRow(static_cast<size_t>(u),
+                         model_->InitUserEmbedding(fork));
     }
+    views_ = BenignEvalView(&embeddings_);
   }
 
   /// Makes `item`'s embedding hugely aligned with every user so it tops
   /// all score lists.
   void BoostItem(int item) {
     Vec v(kDim, 0.0);
-    for (const auto* c : views_) {
-      Axpy(10.0, c->user_embedding(), v);
+    for (size_t ui = 0; ui < views_.size(); ++ui) {
+      Axpy(10.0, views_.embedding_vec(ui), v);
     }
     global_.item_embeddings.SetRow(static_cast<size_t>(item), v);
   }
@@ -45,14 +48,16 @@ class MetricsFixture : public ::testing::Test {
   std::unique_ptr<Dataset> train_;
   std::unique_ptr<MfModel> model_;
   GlobalModel global_;
-  std::vector<std::unique_ptr<BenignClient>> clients_;
-  std::vector<const BenignClient*> views_;
+  Matrix embeddings_;
+  BenignEvalView views_;
 };
 
 TEST_F(MetricsFixture, ErIsZeroForBuriedItem) {
   // Make item 4 maximally repulsive for everyone.
   Vec v(kDim, 0.0);
-  for (const auto* c : views_) Axpy(-10.0, c->user_embedding(), v);
+  for (size_t ui = 0; ui < views_.size(); ++ui) {
+    Axpy(-10.0, views_.embedding_vec(ui), v);
+  }
   global_.item_embeddings.SetRow(4, v);
   double er = ExposureRatioAtK(*model_, global_, views_, *train_, {4},
                                /*k=*/1);
@@ -119,17 +124,20 @@ TEST(HitRatioDenseUserTest, FallsBackToFullScanForDenseUsers) {
   MfModel model(kDim);
   Rng rng(5);
   GlobalModel global = model.InitGlobalModel(10, rng);
-  BenignClient client(0, model, *ds, NegativeSampler(1.0), LossKind::kBce,
-                      1.0, rng.Fork(), nullptr);
-  std::vector<const BenignClient*> views = {&client};
+  Matrix embeddings(1, kDim);
+  {
+    Rng fork = rng.Fork();
+    embeddings.SetRow(0, model.InitUserEmbedding(fork));
+  }
+  BenignEvalView views(&embeddings);
   std::vector<int> test_items = {8};
 
   // Make the test item outscore item 9 for this user: HR@1 must be 1.
   Vec boosted(kDim, 0.0);
-  Axpy(10.0, client.user_embedding(), boosted);
+  Axpy(10.0, views.embedding_vec(0), boosted);
   global.item_embeddings.SetRow(8, boosted);
   Vec buried(kDim, 0.0);
-  Axpy(-10.0, client.user_embedding(), buried);
+  Axpy(-10.0, views.embedding_vec(0), buried);
   global.item_embeddings.SetRow(9, buried);
 
   double hr = HitRatioAtK(model, global, views, *ds, test_items, /*k=*/1,
@@ -178,9 +186,13 @@ TEST_F(MetricsFixture, UcrCountsCoveredUsers) {
 
 TEST_F(MetricsFixture, PklIsSmallForIdenticalDistributions) {
   // Make item 0's embedding identical to the probed user's embedding:
-  // the pairwise KL over that single pair must vanish.
-  global_.item_embeddings.SetRow(0, views_[0]->user_embedding());
-  double pkl = PairwiseKlDivergence(global_, {views_[0]}, *train_, {0});
+  // the pairwise KL over that single pair must vanish. A sub-view over
+  // just user 0 exercises the explicit user-id mapping.
+  global_.item_embeddings.SetRow(0, views_.embedding_vec(0));
+  Matrix one_user(1, kDim);
+  one_user.SetRow(0, views_.embedding_vec(0));
+  BenignEvalView single(&one_user, {0});
+  double pkl = PairwiseKlDivergence(global_, single, *train_, {0});
   EXPECT_NEAR(pkl, 0.0, 1e-9);
 }
 

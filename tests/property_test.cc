@@ -249,8 +249,9 @@ TEST(SimulationProperties, EmbeddingsStayFiniteUnderAttackAndDefense) {
   for (size_t j = 0; j < sim->global().item_embeddings.rows(); ++j) {
     EXPECT_TRUE(AllFinite(sim->global().item_embeddings.Row(j)));
   }
-  for (const auto* client : sim->benign_views()) {
-    EXPECT_TRUE(AllFinite(client->user_embedding()));
+  BenignEvalView view = sim->benign_eval_view();
+  for (size_t ui = 0; ui < view.size(); ++ui) {
+    EXPECT_TRUE(AllFinite(view.embedding_vec(ui)));
   }
 }
 
