@@ -40,6 +40,11 @@ int main(int argc, char** argv) {
   // round arenas, and the benign-population store footprint.
   TablePrinter cost({"Scenario", "Model", "Uploads/round", "Arena KB",
                      "Store KB"});
+  // The round pipeline's per-stage wall times (Select → Train → Route →
+  // Apply → Interaction, final round), plus the shard count the routing
+  // and apply stages ran with.
+  TablePrinter stages({"Scenario", "Model", "Select ms", "Train ms",
+                       "Route ms", "Apply ms", "Interact ms", "Shards"});
   for (const Scenario& s : scenarios) {
     std::vector<std::string> row = {s.name};
     for (ModelKind kind :
@@ -55,11 +60,20 @@ int main(int argc, char** argv) {
                    std::to_string(result.uploads_built),
                    FormatDouble(result.scratch_bytes_in_use / 1024.0, 1),
                    FormatDouble(result.store_footprint_bytes / 1024.0, 1)});
+      stages.AddRow({s.name, ModelKindToString(kind),
+                     FormatDouble(result.select_ms, 3),
+                     FormatDouble(result.train_ms, 3),
+                     FormatDouble(result.route_ms, 3),
+                     FormatDouble(result.apply_ms, 3),
+                     FormatDouble(result.interaction_ms, 3),
+                     std::to_string(result.router_shards)});
     }
     table.AddRow(row);
   }
   std::printf("%s", table.ToString().c_str());
   std::printf("\n== Client-side cost (final round) ==\n%s",
               cost.ToString().c_str());
+  std::printf("\n== Round pipeline stages (final round) ==\n%s",
+              stages.ToString().c_str());
   return 0;
 }

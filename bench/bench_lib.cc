@@ -213,6 +213,12 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
       static_cast<double>(last.uploads_built) * config.rounds / seconds;
   result.store_bytes = last.store_footprint_bytes;
   result.arena_bytes = last.scratch_bytes_in_use;
+  result.select_ms = last.select_ms;
+  result.train_ms = last.train_ms;
+  result.route_ms = last.route_ms;
+  result.apply_ms = last.apply_ms;
+  result.router_shards = last.router_shards;
+  result.router_entries = last.router_entries;
   result.bytes_per_user =
       static_cast<double>(result.store_bytes) / config.num_users;
   result.peak_rss_bytes = PeakRssBytes();

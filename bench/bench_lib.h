@@ -67,6 +67,15 @@ struct ScaleSweepResult {
   int64_t arena_bytes = 0;          // reusable round arenas
   double bytes_per_user = 0.0;      // store_bytes / num_users
   int64_t peak_rss_bytes = 0;       // VmHWM (0 where unsupported)
+
+  // Per-stage wall time of the last round, ms (see RoundStats), plus
+  // the router telemetry behind the route/apply stages.
+  double select_ms = 0.0;
+  double train_ms = 0.0;
+  double route_ms = 0.0;
+  double apply_ms = 0.0;
+  int router_shards = 0;
+  int64_t router_entries = 0;       // (item, gradient) pairs routed
 };
 
 /// Runs the sweep; aborts the binary on (unexpected) construction

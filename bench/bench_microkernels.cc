@@ -23,7 +23,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "common/thread_pool.h"
 #include "core/simulation.h"
 #include "defense/robust_aggregators.h"
+#include "fed/update_router.h"
 #include "model/mf_model.h"
 #include "model/ncf_model.h"
 #include "tensor/kernels.h"
@@ -469,6 +472,65 @@ std::function<void()> MakeSpanAggregationOp(
   };
 }
 
+/// Routing sweep operands: one synthetic round's uploads (each with
+/// `items_per_upload` sorted item gradients over `num_items` items) and
+/// the identity surviving set, shared by the map and router thunks.
+struct RoutingOperands {
+  std::vector<ClientUpdate> uploads;
+  std::vector<int> surviving;
+  int num_items;
+  RoutingOperands(size_t num_uploads, size_t items_per_upload, int items,
+                  size_t d)
+      : num_items(items) {
+    Rng rng(23);
+    Vec grad(d, 0.125);  // routing never reads gradient values
+    uploads.resize(num_uploads);
+    for (ClientUpdate& upd : uploads) {
+      for (size_t e = 0; e < items_per_upload; ++e) {
+        upd.AccumulateItemGrad(
+            static_cast<int>(rng.UniformInt(0, num_items - 1)), grad);
+      }
+    }
+    surviving.resize(num_uploads);
+    std::iota(surviving.begin(), surviving.end(), 0);
+  }
+};
+
+/// Thunk reproducing the retired per-round grouping: rebuild the
+/// item -> gradient-pointer std::map plus the flat work list the old
+/// ApplyUpdates fanned out over.
+std::function<void()> MakeMapRoutingOp(std::shared_ptr<RoutingOperands> ops) {
+  return [ops] {
+    std::map<int, std::vector<const Vec*>> per_item;
+    for (int idx : ops->surviving) {
+      for (const auto& [item, grad] :
+           ops->uploads[static_cast<size_t>(idx)].item_grads) {
+        per_item[item].push_back(&grad);
+      }
+    }
+    std::vector<std::pair<int, const std::vector<const Vec*>*>> work;
+    work.reserve(per_item.size());
+    for (const auto& [item, grads] : per_item) {
+      work.emplace_back(item, &grads);
+    }
+    benchmark::DoNotOptimize(work.data());
+  };
+}
+
+/// Thunk for the arena-reused sharded router over the same uploads
+/// (single scan worker: MeasureNsPerOp times serial cost, so both
+/// thunks are compared thread-free).
+std::function<void()> MakeRouterRoutingOp(std::shared_ptr<RoutingOperands> ops,
+                                          int shards) {
+  auto router = std::make_shared<UpdateRouter>();
+  return [ops, router, shards] {
+    router->BeginRound(ops->num_items, shards, /*num_workers=*/1);
+    router->ScanSlice(0, ops->uploads, ops->surviving);
+    for (int s = 0; s < router->num_shards(); ++s) router->BuildShard(s);
+    benchmark::DoNotOptimize(router->Shard(0).grads);
+  };
+}
+
 /// Runs the scalar-vs-SIMD sweep and writes `path` (JSON). Returns 0,
 /// or 1 when the file cannot be written.
 int RunKernelSweep(const std::string& path) {
@@ -583,6 +645,45 @@ int RunKernelSweep(const std::string& path) {
                  copy_ns / span_ns);
   }
   std::fprintf(f, "  },\n");
+
+  // Routing: the retired per-round std::map grouping against the
+  // arena-reused sharded router, over an uploads x items-per-upload
+  // grid. CI regresses the 512-upload scale point (the default round
+  // batch of bench_scale_users) via tools/check_routing_speedup.py.
+  {
+    const int kRouteItems = 50000;
+    const size_t kRouteDim = 16;
+    const int kRouteShards = 8;
+    const size_t upload_counts[] = {64, 256, 512};
+    const size_t items_per_upload[] = {16, 64};
+    std::fprintf(f, "  \"routing\": {\n");
+    std::fprintf(f, "    \"num_items\": %d, \"shards\": %d,\n", kRouteItems,
+                 kRouteShards);
+    std::fprintf(f, "    \"sweep\": [\n");
+    for (size_t ui = 0; ui < std::size(upload_counts); ++ui) {
+      for (size_t ii = 0; ii < std::size(items_per_upload); ++ii) {
+        auto ops = std::make_shared<RoutingOperands>(
+            upload_counts[ui], items_per_upload[ii], kRouteItems, kRouteDim);
+        const double map_ns = MeasureNsPerOp(MakeMapRoutingOp(ops));
+        const double router_ns =
+            MeasureNsPerOp(MakeRouterRoutingOp(ops, kRouteShards));
+        const bool last = ui + 1 == std::size(upload_counts) &&
+                          ii + 1 == std::size(items_per_upload);
+        std::fprintf(f,
+                     "      {\"uploads\": %zu, \"items_per_upload\": %zu, "
+                     "\"map_ns\": %.1f, \"router_ns\": %.1f, "
+                     "\"speedup\": %.2f}%s\n",
+                     upload_counts[ui], items_per_upload[ii], map_ns,
+                     router_ns, map_ns / router_ns, last ? "" : ",");
+        std::fprintf(stderr,
+                     "routing uploads=%-4zu ipu=%-3zu: map %.0f ns, router "
+                     "%.0f ns, %.2fx\n",
+                     upload_counts[ui], items_per_upload[ii], map_ns,
+                     router_ns, map_ns / router_ns);
+      }
+    }
+    std::fprintf(f, "    ]\n  },\n");
+  }
 
   // Population scale: store-backed rounds at a reduced population (the
   // full ≥1M sweep lives in bench_scale_users; this keeps a comparable

@@ -42,11 +42,15 @@ int WriteJson(const std::string& path,
         "\"users_per_round\": %d, \"bytes_per_user\": %.1f, "
         "\"store_mb\": %.1f, \"arena_kb\": %.1f, \"rounds_per_sec\": %.2f, "
         "\"clients_per_sec\": %.0f, \"setup_s\": %.2f, "
-        "\"peak_rss_mb\": %.1f}%s\n",
+        "\"peak_rss_mb\": %.1f, \"select_ms\": %.3f, \"train_ms\": %.3f, "
+        "\"route_ms\": %.3f, \"apply_ms\": %.3f, \"router_shards\": %d, "
+        "\"router_entries\": %lld}%s\n",
         r.config.num_users, r.config.num_items, r.config.dim,
         r.config.num_threads, r.config.users_per_round, r.bytes_per_user,
         r.store_bytes / 1048576.0, r.arena_bytes / 1024.0, r.rounds_per_sec,
         r.clients_per_sec, r.setup_seconds, r.peak_rss_bytes / 1048576.0,
+        r.select_ms, r.train_ms, r.route_ms, r.apply_ms, r.router_shards,
+        static_cast<long long>(r.router_entries),
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -84,8 +88,8 @@ int main(int argc, char** argv) {
 
   std::printf("== Population scale: struct-of-arrays client store ==\n");
   TablePrinter table({"Users", "Interactions", "Bytes/user", "Store MB",
-                      "Arena KB", "Rounds/s", "Clients/s", "Setup s",
-                      "Peak RSS MB"});
+                      "Arena KB", "Rounds/s", "Clients/s", "Route ms",
+                      "Apply ms", "Setup s", "Peak RSS MB"});
   std::vector<ScaleSweepResult> results;
   for (int users : populations) {
     ScaleSweepConfig config = base;
@@ -98,6 +102,7 @@ int main(int argc, char** argv) {
                   FormatDouble(r.arena_bytes / 1024.0, 1),
                   FormatDouble(r.rounds_per_sec, 2),
                   FormatDouble(r.clients_per_sec, 0),
+                  FormatDouble(r.route_ms, 3), FormatDouble(r.apply_ms, 3),
                   FormatDouble(r.setup_seconds, 2),
                   FormatDouble(r.peak_rss_bytes / 1048576.0, 1)});
   }

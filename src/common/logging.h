@@ -65,6 +65,19 @@ class FatalLogMessage {
   ::pieck::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
       << "Status not OK: " << _st.ToString()
 
+/// Debug-only PIECK_CHECK for hot-path invariants: full check in Debug
+/// builds, compiled out (condition unevaluated, loop bodies dead) under
+/// NDEBUG. The `false &&` form keeps the condition syntactically alive
+/// so release builds raise no unused-variable warnings.
+#ifdef NDEBUG
+#define PIECK_DCHECK(cond)                                                 \
+  if (false && (cond))                                                     \
+  ::pieck::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+#else
+#define PIECK_DCHECK(cond) PIECK_CHECK(cond)
+#endif
+
 }  // namespace pieck
 
 #endif  // PIECK_COMMON_LOGGING_H_

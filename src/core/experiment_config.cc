@@ -59,6 +59,10 @@ Status ExperimentConfig::Validate() const {
   if (num_threads < 0) {
     return Invalid("num_threads must be >= 0 (0 = hardware threads)");
   }
+  if (router_shards < 0) {
+    return Invalid(
+        "router_shards must be >= 0 (0 = derived from the worker pool)");
+  }
   if (malicious_fraction < 0.0 || malicious_fraction >= 1.0) {
     return Invalid("malicious_fraction must lie in [0, 1)");
   }

@@ -59,6 +59,11 @@ struct ExperimentConfig {
   /// serial, 0 = one per hardware thread. Bit-identical results for any
   /// value.
   int num_threads = 1;
+  /// Item shards for the server's update-routing/apply stages (see
+  /// ServerConfig::router_shards): 0 = derived from the worker pool,
+  /// explicit values clamped to the item count. Bit-identical results
+  /// for any value — sharding only partitions work.
+  int router_shards = 0;
 
   // --- attack ---
   AttackKind attack = AttackKind::kNone;
@@ -113,6 +118,16 @@ struct ExperimentResult {
   int64_t store_footprint_bytes = 0;
   int64_t scratch_bytes_in_use = 0;
   int uploads_built = 0;
+
+  // Per-stage wall time of the final round, milliseconds (see
+  // RoundStats): Select → Train → Route → Apply → Interaction.
+  double select_ms = 0.0;
+  double train_ms = 0.0;
+  double route_ms = 0.0;
+  double apply_ms = 0.0;
+  double interaction_ms = 0.0;
+  /// Item shards the final round's routing/apply stages ran with.
+  int router_shards = 0;
 };
 
 }  // namespace pieck

@@ -67,6 +67,7 @@ StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
   server_config.learning_rate = config.learning_rate;
   server_config.users_per_round = config.users_per_round;
   server_config.num_threads = config.num_threads;
+  server_config.router_shards = config.router_shards;
   DefensePlan plan = MakeDefensePlan(config.defense, config.aggregator_params);
   sim->server_ = std::make_unique<FederatedServer>(
       *sim->model_, std::move(global), server_config,
@@ -191,6 +192,12 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
       result.store_footprint_bytes = stats.store_footprint_bytes;
       result.scratch_bytes_in_use = stats.scratch_bytes_in_use;
       result.uploads_built = stats.uploads_built;
+      result.select_ms = stats.select_ms;
+      result.train_ms = stats.train_ms;
+      result.route_ms = stats.route_ms;
+      result.apply_ms = stats.apply_ms;
+      result.interaction_ms = stats.interaction_ms;
+      result.router_shards = stats.router_shards;
     }
     if ((config.eval_every > 0 && (r + 1) % config.eval_every == 0) || last) {
       double er = sim->EvaluateEr(config.top_k);

@@ -24,13 +24,14 @@ std::vector<double>& ColumnScratch(size_t n) {
 
 }  // namespace
 
-void NormBoundAggregator::Aggregate(const std::vector<const Vec*>& grads,
-                                    double* out) const {
-  PIECK_CHECK(!grads.empty());
+void NormBoundAggregator::Aggregate(const Vec* const* grads,
+                                    size_t num_grads, double* out) const {
+  PIECK_CHECK(num_grads > 0);
   const size_t d = grads[0]->size();
   const KernelTable& k = ActiveKernels();
   std::fill(out, out + d, 0.0);
-  for (const Vec* g : grads) {
+  for (size_t i = 0; i < num_grads; ++i) {
+    const Vec* g = grads[i];
     // scale = min(1, max_norm/||g||) folded into the axpy: bit-identical
     // to clipping a copy first (x*s then += equals += s*x per IEEE-754),
     // without the per-gradient temporary.
@@ -41,10 +42,10 @@ void NormBoundAggregator::Aggregate(const std::vector<const Vec*>& grads,
   }
 }
 
-void MedianAggregator::Aggregate(const std::vector<const Vec*>& grads,
+void MedianAggregator::Aggregate(const Vec* const* grads, size_t num_grads,
                                  double* out) const {
-  PIECK_CHECK(!grads.empty());
-  const size_t n = grads.size();
+  PIECK_CHECK(num_grads > 0);
+  const size_t n = num_grads;
   const size_t d = grads[0]->size();
   std::vector<double>& column = ColumnScratch(n);
   for (size_t c = 0; c < d; ++c) {
@@ -64,10 +65,10 @@ void MedianAggregator::Aggregate(const std::vector<const Vec*>& grads,
   }
 }
 
-void TrimmedMeanAggregator::Aggregate(const std::vector<const Vec*>& grads,
-                                      double* out) const {
-  PIECK_CHECK(!grads.empty());
-  const size_t n = grads.size();
+void TrimmedMeanAggregator::Aggregate(const Vec* const* grads,
+                                      size_t num_grads, double* out) const {
+  PIECK_CHECK(num_grads > 0);
+  const size_t n = num_grads;
   const size_t d = grads[0]->size();
   size_t trim =
       static_cast<size_t>(std::ceil(trim_fraction_ * static_cast<double>(n)));

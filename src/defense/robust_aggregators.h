@@ -21,7 +21,7 @@ class NormBoundAggregator : public Aggregator {
   using Aggregator::Aggregate;
   explicit NormBoundAggregator(double max_norm) : max_norm_(max_norm) {}
   std::string name() const override { return "NormBound"; }
-  void Aggregate(const std::vector<const Vec*>& grads,
+  void Aggregate(const Vec* const* grads, size_t num_grads,
                  double* out) const override;
 
  private:
@@ -36,7 +36,7 @@ class MedianAggregator : public Aggregator {
  public:
   using Aggregator::Aggregate;
   std::string name() const override { return "Median"; }
-  void Aggregate(const std::vector<const Vec*>& grads,
+  void Aggregate(const Vec* const* grads, size_t num_grads,
                  double* out) const override;
 };
 
@@ -49,7 +49,7 @@ class TrimmedMeanAggregator : public Aggregator {
   explicit TrimmedMeanAggregator(double trim_fraction)
       : trim_fraction_(trim_fraction) {}
   std::string name() const override { return "TrimmedMean"; }
-  void Aggregate(const std::vector<const Vec*>& grads,
+  void Aggregate(const Vec* const* grads, size_t num_grads,
                  double* out) const override;
 
  private:

@@ -21,23 +21,23 @@ Vec Aggregator::Aggregate(const std::vector<Vec>& grads) const {
   return Aggregate(spans);
 }
 
-void SumAggregator::Aggregate(const std::vector<const Vec*>& grads,
+void SumAggregator::Aggregate(const Vec* const* grads, size_t num_grads,
                               double* out) const {
-  PIECK_CHECK(!grads.empty());
+  PIECK_CHECK(num_grads > 0);
   const size_t d = grads[0]->size();
   const KernelTable& k = ActiveKernels();
   std::fill(out, out + d, 0.0);
-  for (const Vec* g : grads) k.axpy(1.0, g->data(), out, d);
+  for (size_t i = 0; i < num_grads; ++i) k.axpy(1.0, grads[i]->data(), out, d);
 }
 
-void MeanAggregator::Aggregate(const std::vector<const Vec*>& grads,
+void MeanAggregator::Aggregate(const Vec* const* grads, size_t num_grads,
                                double* out) const {
-  PIECK_CHECK(!grads.empty());
+  PIECK_CHECK(num_grads > 0);
   const size_t d = grads[0]->size();
   const KernelTable& k = ActiveKernels();
   std::fill(out, out + d, 0.0);
-  for (const Vec* g : grads) k.axpy(1.0, g->data(), out, d);
-  k.scale(1.0 / static_cast<double>(grads.size()), out, d);
+  for (size_t i = 0; i < num_grads; ++i) k.axpy(1.0, grads[i]->data(), out, d);
+  k.scale(1.0 / static_cast<double>(num_grads), out, d);
 }
 
 double ClientUpdateSquaredDistance(const ClientUpdate& a,

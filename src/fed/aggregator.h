@@ -4,13 +4,17 @@
 /// Contracts: `Aggregate` receives a non-empty span of borrowed pointers
 /// to equal-length gradient vectors and must not mutate them; the
 /// pointees are owned by the caller (the round's `ClientUpdate`s) and
-/// outlive the call. Aggregators are const and logically stateless; one
-/// instance is shared across the server's worker threads, so
-/// implementations must be safe for concurrent `Aggregate` calls —
-/// per-call scratch lives in thread-local buffers, never in the object.
-/// Linear rules additionally expose `LinearWeight` so the server can
-/// skip materializing the aggregate and axpy each client gradient
-/// straight into the embedding row.
+/// outlive the call. The virtual entry point is the raw pointer span
+/// `(const Vec* const*, size_t)` so the server's sharded router can
+/// hand each item's gradient group straight out of its CSR buckets; the
+/// vector-based overloads are non-virtual conveniences that forward to
+/// it. Aggregators are const and logically stateless; one instance is
+/// shared across the server's worker threads, so implementations must
+/// be safe for concurrent `Aggregate` calls — per-call scratch lives in
+/// thread-local buffers, never in the object. Linear rules additionally
+/// expose `LinearWeight` so the server can skip materializing the
+/// aggregate and axpy each client gradient straight into the embedding
+/// row.
 #ifndef PIECK_FED_AGGREGATOR_H_
 #define PIECK_FED_AGGREGATOR_H_
 
@@ -36,17 +40,23 @@ class Aggregator {
 
   virtual std::string name() const = 0;
 
-  /// Aggregates a set of same-length gradient vectors into `out`
+  /// Aggregates `num_grads` same-length gradient vectors into `out`
   /// (overwritten; `grads[0]->size()` doubles, must not alias any
-  /// gradient). `grads` is never empty and holds borrowed pointers — the
-  /// zero-copy hot path: the server hands each item's gradient group
-  /// straight from the clients' uploads, and implementations that need
-  /// scratch use thread-local buffers, so a round allocates nothing here.
-  virtual void Aggregate(const std::vector<const Vec*>& grads,
+  /// gradient). `num_grads` is never 0 and `grads` holds borrowed
+  /// pointers — the zero-copy hot path: the server's router hands each
+  /// item's gradient group as a contiguous pointer span straight from
+  /// its shard buckets, and implementations that need scratch use
+  /// thread-local buffers, so a round allocates nothing here.
+  virtual void Aggregate(const Vec* const* grads, size_t num_grads,
                          double* out) const = 0;
 
-  /// Convenience wrapper returning a fresh Vec (tests, the DL-FRS
-  /// interaction-parameter path — anywhere off the per-item hot loop).
+  /// Convenience forwarding overload over an owned pointer vector.
+  void Aggregate(const std::vector<const Vec*>& grads, double* out) const {
+    Aggregate(grads.data(), grads.size(), out);
+  }
+
+  /// Convenience wrapper returning a fresh Vec (tests, benches —
+  /// anywhere off the per-item hot loop).
   Vec Aggregate(const std::vector<const Vec*>& grads) const;
 
   /// Convenience wrapper over owned vectors; builds the pointer span and
@@ -67,7 +77,7 @@ class SumAggregator : public Aggregator {
  public:
   using Aggregator::Aggregate;
   std::string name() const override { return "NoDefense"; }
-  void Aggregate(const std::vector<const Vec*>& grads,
+  void Aggregate(const Vec* const* grads, size_t num_grads,
                  double* out) const override;
   std::optional<double> LinearWeight(size_t /*num_grads*/) const override {
     return 1.0;
@@ -79,7 +89,7 @@ class MeanAggregator : public Aggregator {
  public:
   using Aggregator::Aggregate;
   std::string name() const override { return "Mean"; }
-  void Aggregate(const std::vector<const Vec*>& grads,
+  void Aggregate(const Vec* const* grads, size_t num_grads,
                  double* out) const override;
   std::optional<double> LinearWeight(size_t num_grads) const override {
     return 1.0 / static_cast<double>(num_grads);

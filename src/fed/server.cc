@@ -1,6 +1,6 @@
 #include "fed/server.h"
 
-#include <map>
+#include <chrono>
 #include <numeric>
 #include <optional>
 #include <utility>
@@ -10,18 +10,31 @@
 
 namespace pieck {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point start, SteadyClock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
 FederatedServer::FederatedServer(const RecModel& model, GlobalModel initial,
                                  ServerConfig config,
                                  std::unique_ptr<Aggregator> aggregator,
                                  std::unique_ptr<UpdateFilter> filter)
-    : model_(model),
-      global_(std::move(initial)),
+    : global_(std::move(initial)),
       config_(config),
       aggregator_(std::move(aggregator)),
       filter_(std::move(filter)) {
   PIECK_CHECK(aggregator_ != nullptr);
   PIECK_CHECK(config_.users_per_round > 0);
   PIECK_CHECK(config_.num_threads >= 0);
+  PIECK_CHECK(config_.router_shards >= 0);
+  PIECK_CHECK(global_.item_embeddings.cols() ==
+              static_cast<size_t>(model.embedding_dim()))
+      << "GlobalModel shape does not match the RecModel";
   const int threads = config_.num_threads == 0 ? ThreadPool::DefaultThreadCount()
                                                : config_.num_threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -36,9 +49,17 @@ int64_t FederatedServer::ArenaBytes() const {
       updates_.capacity() * sizeof(ClientUpdate) +
       scratch_.capacity() * sizeof(RoundScratch) +
       loss_slots_.capacity() * sizeof(double) +
-      prepared_users_.capacity() * sizeof(int));
+      prepared_users_.capacity() * sizeof(int) +
+      surviving_.capacity() * sizeof(int) +
+      interaction_flat_slots_.capacity() * sizeof(Vec) +
+      interaction_span_.capacity() * sizeof(const Vec*) +
+      interaction_agg_.capacity() * sizeof(double));
   for (const ClientUpdate& u : updates_) bytes += u.CapacityBytes();
   for (const RoundScratch& s : scratch_) bytes += s.CapacityBytes();
+  for (const Vec& v : interaction_flat_slots_) {
+    bytes += static_cast<int64_t>(v.capacity() * sizeof(double));
+  }
+  bytes += router_.CapacityBytes();
   return bytes;
 }
 
@@ -47,6 +68,7 @@ RoundStats FederatedServer::RunRound(
     int round, Rng& rng) {
   RoundStats stats;
   stats.round = round;
+  const SteadyClock::time_point t_select = SteadyClock::now();
 
   const int num_benign = store.num_users();
   const int n = num_benign + static_cast<int>(malicious.size());
@@ -67,6 +89,8 @@ RoundStats FederatedServer::RunRound(
     }
   }
   store.PrepareRound(prepared_users_);
+  const SteadyClock::time_point t_train = SteadyClock::now();
+  stats.select_ms = MsSince(t_select, t_train);
 
   // Selection-slot arenas: slots (and the buffers inside them) persist
   // across rounds, so the steady state rebuilds uploads with no
@@ -100,8 +124,9 @@ RoundStats FederatedServer::RunRound(
   if (benign_selected > 0) {
     stats.mean_benign_loss = loss_sum / benign_selected;
   }
+  stats.train_ms = MsSince(t_train, SteadyClock::now());
 
-  ApplyUpdates(updates_);
+  RouteAndApply(updates_, &stats);
 
   stats.uploads_built = static_cast<int>(selected.size());
   stats.scratch_bytes_in_use = ArenaBytes();
@@ -113,6 +138,7 @@ RoundStats FederatedServer::RunRound(
     const std::vector<ClientInterface*>& clients, int round, Rng& rng) {
   RoundStats stats;
   stats.round = round;
+  const SteadyClock::time_point t_select = SteadyClock::now();
 
   const int n = static_cast<int>(clients.size());
   PIECK_CHECK(n > 0);
@@ -124,6 +150,8 @@ RoundStats FederatedServer::RunRound(
       stats.num_malicious_selected++;
     }
   }
+  const SteadyClock::time_point t_train = SteadyClock::now();
+  stats.select_ms = MsSince(t_select, t_train);
 
   // Local training, fanned out over the pool. Sampling is without
   // replacement, so the tasks touch distinct clients; every client owns
@@ -136,74 +164,104 @@ RoundStats FederatedServer::RunRound(
     updates[i] = clients[static_cast<size_t>(selected[i])]->ParticipateRound(
         global_, round);
   });
+  stats.train_ms = MsSince(t_train, SteadyClock::now());
 
-  ApplyUpdates(updates);
+  RouteAndApply(updates, &stats);
   return stats;
 }
 
-void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw) {
+void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw,
+                                   RoundStats* stats) {
+  RouteAndApply(raw, stats);
+}
+
+void FederatedServer::RouteAndApply(const std::vector<ClientUpdate>& raw,
+                                    RoundStats* stats) {
+  const SteadyClock::time_point t_route = SteadyClock::now();
+
   // Client-level defense stage (Krum family): keep only the surviving
   // *indices* — the uploads themselves are borrowed in place, never
   // deep-copied (ClientUpdate::CopyCount guards this in tests).
-  std::vector<int> surviving;
   if (filter_ != nullptr && !raw.empty()) {
-    surviving = filter_->Select(raw);
+    surviving_ = filter_->Select(raw);
   } else {
-    surviving.resize(raw.size());
-    std::iota(surviving.begin(), surviving.end(), 0);
+    surviving_.resize(raw.size());
+    std::iota(surviving_.begin(), surviving_.end(), 0);
   }
 
-  // Group per-item gradients: item -> gradients from the clients that
-  // uploaded one for that item. This sparsity is the crux of the paper's
-  // defense analysis (Eq. 11): a cold target item receives mostly
-  // poisonous gradients, whatever robust rule runs below. Borrowed
-  // pointers, not copies: the updates outlive this function.
-  std::map<int, std::vector<const Vec*>> per_item;
-  for (int idx : surviving) {
-    for (const auto& [item, grad] : raw[static_cast<size_t>(idx)].item_grads) {
-      per_item[item].push_back(&grad);
-    }
-  }
-  // The grouping above is order-sensitive (gradients appear in update
-  // order), but each item's aggregate-and-apply step only reads its own
-  // gradient list and writes its own embedding row, so the steps fan out
-  // with no cross-item interaction.
-  std::vector<std::pair<int, const std::vector<const Vec*>*>> work;
-  work.reserve(per_item.size());
-  for (const auto& [item, grads] : per_item) {
-    work.emplace_back(item, &grads);
-  }
+  // Route: group per-item gradients — item -> gradients from the clients
+  // that uploaded one for that item. This sparsity is the crux of the
+  // paper's defense analysis (Eq. 11): a cold target item receives
+  // mostly poisonous gradients, whatever robust rule runs below. The
+  // sharded router replays the retired std::map path's exact group
+  // order (ascending items; gradients in surviving-upload order) into
+  // flat per-shard CSR buckets whose arenas persist across rounds —
+  // borrowed pointers, not copies: the updates outlive this function.
+  const int num_items = static_cast<int>(global_.item_embeddings.rows());
+  const size_t workers = pool_ ? static_cast<size_t>(pool_->num_threads()) : 1;
+  const int shards =
+      config_.router_shards > 0
+          ? config_.router_shards
+          : UpdateRouter::DefaultShardCount(static_cast<int>(workers),
+                                            num_items);
+  router_.BeginRound(num_items, shards, workers);
+  For(workers, [&](size_t w) { router_.ScanSlice(w, raw, surviving_); });
+  For(static_cast<size_t>(router_.num_shards()),
+      [&](size_t s) { router_.BuildShard(static_cast<int>(s)); });
+  const SteadyClock::time_point t_apply = SteadyClock::now();
+
+  // Apply: one worker per shard. Shards cover contiguous, disjoint item
+  // ranges, so every embedding-row write is private to its shard; each
+  // item's aggregate-and-apply step consumes its gradient group exactly
+  // as the old per-item fan-out did.
   const KernelTable& kernels = ActiveKernels();
-  For(work.size(), [&](size_t i) {
-    const auto& [item, grads] = work[i];
-    const size_t dim = global_.item_embeddings.cols();
-    double* row =
-        global_.item_embeddings.MutableRowPtr(static_cast<size_t>(item));
-    // Linear rules (Sum, Mean) apply each client gradient as one blocked
-    // axpy straight into the embedding row — no aggregate temporary, and
-    // the kernels see one contiguous pass per gradient.
-    if (std::optional<double> w = aggregator_->LinearWeight(grads->size())) {
-      const double step = -config_.learning_rate * *w;
-      for (const Vec* g : *grads) {
-        PIECK_CHECK(g->size() == dim);
-        kernels.axpy(step, g->data(), row, dim);
+  const size_t dim = global_.item_embeddings.cols();
+  For(static_cast<size_t>(router_.num_shards()), [&](size_t s) {
+    const UpdateRouter::ShardView view = router_.Shard(static_cast<int>(s));
+    for (size_t gi = 0; gi < view.num_groups; ++gi) {
+      const Vec* const* grads = view.grads + view.offsets[gi];
+      const size_t count = view.offsets[gi + 1] - view.offsets[gi];
+      double* row = global_.item_embeddings.MutableRowPtr(
+          static_cast<size_t>(view.items[gi]));
+      // Linear rules (Sum, Mean) apply each client gradient as one
+      // blocked axpy straight into the embedding row — no aggregate
+      // temporary, and the kernels see one contiguous pass per gradient.
+      if (std::optional<double> w = aggregator_->LinearWeight(count)) {
+        const double step = -config_.learning_rate * *w;
+        for (size_t i = 0; i < count; ++i) {
+          PIECK_DCHECK(grads[i]->size() == dim);
+          kernels.axpy(step, grads[i]->data(), row, dim);
+        }
+        continue;
       }
-      return;
+      // Robust rules aggregate the borrowed span straight into a
+      // per-worker scratch row (reused across items and rounds), then
+      // one axpy applies it — no gradient set is ever materialized.
+      for (size_t i = 0; i < count; ++i) {
+        PIECK_DCHECK(grads[i]->size() == dim);
+      }
+      thread_local Vec agg;
+      agg.resize(dim);
+      aggregator_->Aggregate(grads, count, agg.data());
+      kernels.axpy(-config_.learning_rate, agg.data(), row, dim);
     }
-    // Robust rules aggregate the borrowed span straight into a
-    // per-worker scratch row (reused across items and rounds), then one
-    // axpy applies it — no gradient set is ever materialized.
-    thread_local Vec agg;
-    for (const Vec* g : *grads) PIECK_CHECK(g->size() == dim);
-    agg.resize(dim);
-    aggregator_->Aggregate(*grads, agg.data());
-    kernels.axpy(-config_.learning_rate, agg.data(), row, dim);
   });
+  const SteadyClock::time_point t_interaction = SteadyClock::now();
 
+  double interaction_ms = 0.0;
   if (global_.has_interaction_params()) {
-    ApplyInteractionUpdates(raw, surviving);
+    ApplyInteractionUpdates(raw, surviving_);
+    interaction_ms = MsSince(t_interaction, SteadyClock::now());
   }
-  (void)model_;
+
+  if (stats != nullptr) {
+    stats->route_ms = MsSince(t_route, t_apply);
+    stats->apply_ms = MsSince(t_apply, t_interaction);
+    stats->interaction_ms = interaction_ms;
+    stats->router_shards = router_.num_shards();
+    stats->router_groups = router_.total_groups();
+    stats->router_entries = router_.total_entries();
+  }
 }
 
 void FederatedServer::ApplyInteractionUpdates(
@@ -212,23 +270,35 @@ void FederatedServer::ApplyInteractionUpdates(
   // the selected clients. Coordinate-wise rules are defined on the
   // concatenated parameter space, and the per-layer tensors are not
   // contiguous anywhere, so flattening must *construct* each client's
-  // vector — this is the one aggregation input that cannot be borrowed.
-  std::vector<Vec> flat_grads;
+  // vector — into per-slot scratch rows that persist across rounds, the
+  // one aggregation input that cannot be borrowed.
+  if (interaction_flat_slots_.size() < surviving.size()) {
+    interaction_flat_slots_.resize(surviving.size());
+  }
+  interaction_span_.clear();
+  size_t slot = 0;
   for (int idx : surviving) {
     const ClientUpdate& upd = raw[static_cast<size_t>(idx)];
     if (upd.interaction_grads.active) {
-      flat_grads.push_back(upd.interaction_grads.Flatten());
+      Vec& flat = interaction_flat_slots_[slot++];
+      upd.interaction_grads.FlattenInto(&flat);
+      interaction_span_.push_back(&flat);
     }
   }
-  if (flat_grads.empty()) return;
-  Vec agg = aggregator_->Aggregate(flat_grads);
-  InteractionGrads step = InteractionGrads::ZerosLike(global_);
-  step.Unflatten(agg);
+  if (interaction_span_.empty()) return;
+  interaction_agg_.resize(interaction_span_[0]->size());
+  aggregator_->Aggregate(interaction_span_.data(), interaction_span_.size(),
+                         interaction_agg_.data());
+  interaction_step_.ResetLike(global_);
+  interaction_step_.Unflatten(interaction_agg_);
   for (size_t l = 0; l < global_.mlp_weights.size(); ++l) {
-    global_.mlp_weights[l].Axpy(-config_.learning_rate, step.weights[l]);
-    Axpy(-config_.learning_rate, step.biases[l], global_.mlp_biases[l]);
+    global_.mlp_weights[l].Axpy(-config_.learning_rate,
+                                interaction_step_.weights[l]);
+    Axpy(-config_.learning_rate, interaction_step_.biases[l],
+         global_.mlp_biases[l]);
   }
-  Axpy(-config_.learning_rate, step.projection, global_.projection);
+  Axpy(-config_.learning_rate, interaction_step_.projection,
+       global_.projection);
 }
 
 }  // namespace pieck

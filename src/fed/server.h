@@ -4,17 +4,32 @@
 /// Contracts the code cannot express: `RunRound` may be called from one
 /// thread only (the server owns the global model; the internal
 /// ThreadPool fans work out but all mutation happens in row-disjoint
-/// slots). Results are bit-identical for every `num_threads` value and
-/// every SIMD kernel backend — clients own independent RNG streams,
-/// uploads are stored in selection order, and per-item aggregation
-/// writes touch disjoint embedding rows. The store / client pointers
-/// passed to `RunRound` must outlive the call; the `RecModel` and the
-/// initial `GlobalModel` must be shape-consistent.
+/// slots). Results are bit-identical for every `num_threads` value,
+/// every `router_shards` value, and every SIMD kernel backend — clients
+/// own independent RNG streams, uploads are stored in selection order,
+/// the router preserves the map path's exact per-item group order, and
+/// per-shard aggregation writes touch disjoint embedding rows. The
+/// store / client pointers passed to `RunRound` must outlive the call;
+/// the `RecModel` and the initial `GlobalModel` must be shape-consistent
+/// (checked at construction).
 ///
-/// The store-backed round path is arena-based: uploads land in a
-/// selection-slot array of `ClientUpdate`s whose buffers persist across
-/// rounds, and each worker owns one `RoundScratch`; once shapes reach
-/// steady state, a round performs no client-side heap allocation.
+/// A round runs as an explicit, individually timed pipeline:
+///   Select  — sample participants, materialize lazy benign state;
+///   Train   — client local training, fanned over the worker pool into
+///             selection-slot upload arenas;
+///   Route   — client-level filter, then the `UpdateRouter` groups the
+///             survivors' sparse item gradients into per-shard CSR
+///             buckets (workers scan upload slices; shards merge in
+///             selection order);
+///   Apply   — one worker per shard aggregates and applies each item's
+///             gradient group to its embedding row;
+///   Interaction — DL-FRS only: the interaction-parameter aggregate.
+/// `RoundStats` reports each stage's wall time plus router telemetry.
+///
+/// The round path is arena-based end to end: upload slots, worker
+/// scratch, router buckets, and the interaction flatten/aggregate
+/// buffers all persist across rounds, so a steady-state round performs
+/// no client-side and no routing heap allocation.
 #ifndef PIECK_FED_SERVER_H_
 #define PIECK_FED_SERVER_H_
 
@@ -28,6 +43,7 @@
 #include "fed/aggregator.h"
 #include "fed/client.h"
 #include "fed/client_state_store.h"
+#include "fed/update_router.h"
 #include "model/global_model.h"
 #include "model/rec_model.h"
 
@@ -40,13 +56,19 @@ struct ServerConfig {
   double learning_rate = 1.0;
   /// |U_r|: number of clients sampled per communication round.
   int users_per_round = 256;
-  /// Worker threads for the round loop: client local training and
-  /// per-item gradient aggregation run on a ThreadPool of this size.
-  /// 1 (the default) keeps the original serial path; 0 means "one per
-  /// hardware thread". Results are bit-identical for every value — each
-  /// client owns an independent RNG stream and aggregation writes touch
-  /// disjoint embedding rows.
+  /// Worker threads for the round loop: client local training, update
+  /// routing, and per-shard gradient aggregation run on a ThreadPool of
+  /// this size. 1 (the default) keeps the original serial path; 0 means
+  /// "one per hardware thread". Results are bit-identical for every
+  /// value — each client owns an independent RNG stream, the router
+  /// preserves group order, and aggregation writes touch disjoint
+  /// embedding rows.
   int num_threads = 1;
+  /// Item shards for the routing/apply stages. 0 (the default) derives
+  /// the count from the worker pool (UpdateRouter::DefaultShardCount);
+  /// explicit values are clamped to the item count. Any value produces
+  /// bit-identical results — sharding only changes work partitioning.
+  int router_shards = 0;
 };
 
 /// Statistics from one communication round (diagnostics / cost analysis).
@@ -58,11 +80,32 @@ struct RoundStats {
   /// 0 when no benign client was selected).
   double mean_benign_loss = 0.0;
 
+  // --- per-stage wall time, milliseconds ---
+  /// Participant sampling + lazy benign-state preparation.
+  double select_ms = 0.0;
+  /// Client local training fan-out (including the loss reduction).
+  double train_ms = 0.0;
+  /// Client-level filter + sharded item routing.
+  double route_ms = 0.0;
+  /// Per-shard aggregate-and-apply of the item-embedding gradients.
+  double apply_ms = 0.0;
+  /// DL-FRS interaction-parameter aggregation (0 for MF).
+  double interaction_ms = 0.0;
+
+  // --- router telemetry ---
+  /// Item shards the routing/apply stages ran with.
+  int router_shards = 0;
+  /// Distinct items that received gradients this round.
+  int64_t router_groups = 0;
+  /// (item, gradient) entries routed this round.
+  int64_t router_entries = 0;
+
   // --- client-side cost telemetry (store path only) ---
   /// Uploads materialized this round (selection slots written).
   int uploads_built = 0;
   /// Resident bytes of the reusable round arenas: the selection-slot
-  /// upload buffers plus every worker's RoundScratch.
+  /// upload buffers, every worker's RoundScratch, the router's shard
+  /// buckets, and the interaction-aggregation buffers.
   int64_t scratch_bytes_in_use = 0;
   /// Resident bytes of the ClientStateStore backing the benign
   /// population.
@@ -76,6 +119,7 @@ class FederatedServer {
  public:
   /// `filter` (optional) is a client-level defense applied to the whole
   /// set of uploads before per-parameter aggregation (Krum family).
+  /// `model` is only consulted for shape validation against `initial`.
   FederatedServer(const RecModel& model, GlobalModel initial,
                   ServerConfig config, std::unique_ptr<Aggregator> aggregator,
                   std::unique_ptr<UpdateFilter> filter = nullptr);
@@ -96,13 +140,18 @@ class FederatedServer {
                       Rng& rng);
 
   /// Applies a pre-collected set of updates (used by tests and by the
-  /// defense analysis bench to study aggregation in isolation).
-  void ApplyUpdates(const std::vector<ClientUpdate>& updates);
+  /// defense analysis bench to study aggregation in isolation). Runs
+  /// the Route → Apply → Interaction stages; pass `stats` to collect
+  /// their timings and router telemetry.
+  void ApplyUpdates(const std::vector<ClientUpdate>& updates,
+                    RoundStats* stats = nullptr);
 
   const GlobalModel& global() const { return global_; }
   GlobalModel& mutable_global() { return global_; }
   const ServerConfig& config() const { return config_; }
   const Aggregator& aggregator() const { return *aggregator_; }
+  /// The routing structure (telemetry / zero-allocation tests).
+  const UpdateRouter& router() const { return router_; }
   /// Effective round-loop parallelism (1 when no pool was created).
   int num_threads() const { return pool_ ? pool_->num_threads() : 1; }
   /// The round loop's worker pool (nullptr when running serially). The
@@ -117,24 +166,37 @@ class FederatedServer {
   /// Capacity of the reusable round arenas (telemetry).
   int64_t ArenaBytes() const;
 
+  /// The Route → Apply → Interaction stages over `raw`: filter to
+  /// surviving indices, route the survivors' item gradients through the
+  /// sharded router, aggregate-and-apply one worker per shard, then the
+  /// DL-FRS interaction step. Fills the stage timings and router
+  /// telemetry of `stats` when non-null.
+  void RouteAndApply(const std::vector<ClientUpdate>& raw, RoundStats* stats);
+
   /// DL-FRS only: aggregates and applies the interaction-function
   /// gradients of the surviving uploads (one flattened aggregate per
-  /// round, off the per-item hot path).
+  /// round, off the per-item hot path). Flattens into reusable per-slot
+  /// scratch buffers — no per-round allocation at steady state.
   void ApplyInteractionUpdates(const std::vector<ClientUpdate>& raw,
                                const std::vector<int>& surviving);
 
-  const RecModel& model_;
   GlobalModel global_;
   ServerConfig config_;
   std::unique_ptr<Aggregator> aggregator_;
   std::unique_ptr<UpdateFilter> filter_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
 
-  // Round arenas, reused across rounds (store path).
+  // Round arenas, reused across rounds.
   std::vector<ClientUpdate> updates_;   // one slot per selected client
   std::vector<RoundScratch> scratch_;   // one arena per worker slot
   std::vector<double> loss_slots_;      // per-selection benign loss
   std::vector<int> prepared_users_;     // benign subset of the selection
+  std::vector<int> surviving_;          // filter survivors (indices)
+  UpdateRouter router_;                 // sharded item-gradient routing
+  std::vector<Vec> interaction_flat_slots_;  // per-survivor flatten rows
+  std::vector<const Vec*> interaction_span_;
+  Vec interaction_agg_;                 // aggregated flat gradient
+  InteractionGrads interaction_step_;   // unflattened aggregate
 };
 
 }  // namespace pieck

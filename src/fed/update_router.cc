@@ -1,0 +1,139 @@
+#include "fed/update_router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+int UpdateRouter::DefaultShardCount(int num_workers, int num_items) {
+  if (num_workers <= 1) return 1;
+  return std::max(1, std::min(num_items, 4 * num_workers));
+}
+
+void UpdateRouter::BeginRound(int num_items, int num_shards,
+                              size_t num_workers) {
+  PIECK_CHECK(num_items >= 0);
+  PIECK_CHECK(num_workers >= 1);
+  num_items_ = num_items;
+  num_shards_ = std::max(1, std::min(num_shards, std::max(1, num_items)));
+  items_per_shard_ = (std::max(1, num_items_) + num_shards_ - 1) / num_shards_;
+  num_workers_ = num_workers;
+
+  const size_t num_buckets = num_workers_ * static_cast<size_t>(num_shards_);
+  if (buckets_.size() < num_buckets) buckets_.resize(num_buckets);
+  for (size_t b = 0; b < num_buckets; ++b) buckets_[b].clear();
+  if (shards_.size() < static_cast<size_t>(num_shards_)) {
+    shards_.resize(static_cast<size_t>(num_shards_));
+  }
+}
+
+void UpdateRouter::ScanSlice(size_t worker,
+                             const std::vector<ClientUpdate>& uploads,
+                             const std::vector<int>& surviving) {
+  PIECK_CHECK(worker < num_workers_);
+  const size_t n = surviving.size();
+  const size_t lo = worker * n / num_workers_;
+  const size_t hi = (worker + 1) * n / num_workers_;
+  for (size_t i = lo; i < hi; ++i) {
+    const ClientUpdate& upd = uploads[static_cast<size_t>(surviving[i])];
+    ClientUpdate::ItemGradSpan span = upd.item_span();
+    for (size_t e = 0; e < span.size; ++e) {
+      const int item = span.data[e].first;
+      PIECK_DCHECK(item >= 0 && item < num_items_);
+      bucket(worker, shard_of(item)).push_back({item, &span.data[e].second});
+    }
+  }
+}
+
+void UpdateRouter::BuildShard(int shard) {
+  PIECK_CHECK(shard >= 0 && shard < num_shards_);
+  ShardArena& arena = shards_[static_cast<size_t>(shard)];
+  const int begin = shard * items_per_shard_;
+  const int end = std::min(num_items_, begin + items_per_shard_);
+  const size_t range = static_cast<size_t>(std::max(0, end - begin));
+
+  // Count entries per item. `assign` reuses the arena's buffer once its
+  // capacity covers the range (steady state: the geometry is stable).
+  arena.counts.assign(range, 0);
+  size_t total = 0;
+  for (size_t w = 0; w < num_workers_; ++w) {
+    const std::vector<Entry>& b = bucket(w, shard);
+    for (const Entry& e : b) ++arena.counts[static_cast<size_t>(e.item - begin)];
+    total += b.size();
+  }
+
+  // Turn counts into group starts; record the groups in ascending item
+  // order. After this pass counts[local] is the group's write cursor.
+  arena.items.clear();
+  arena.offsets.clear();
+  size_t cum = 0;
+  for (size_t local = 0; local < range; ++local) {
+    const size_t c = arena.counts[local];
+    if (c == 0) continue;
+    arena.items.push_back(begin + static_cast<int>(local));
+    arena.offsets.push_back(cum);
+    arena.counts[local] = cum;
+    cum += c;
+  }
+  arena.offsets.push_back(cum);
+  PIECK_DCHECK(cum == total);
+
+  // Stable scatter: workers in index order traverse contiguous,
+  // ascending slices of the surviving uploads, so visiting buckets in
+  // worker order replays the survivors' original order — each group
+  // ends up with its gradients exactly as the old map path pushed them.
+  arena.grads.resize(cum);
+  for (size_t w = 0; w < num_workers_; ++w) {
+    for (const Entry& e : bucket(w, shard)) {
+      arena.grads[arena.counts[static_cast<size_t>(e.item - begin)]++] =
+          e.grad;
+    }
+  }
+}
+
+UpdateRouter::ShardView UpdateRouter::Shard(int shard) const {
+  PIECK_CHECK(shard >= 0 && shard < num_shards_);
+  const ShardArena& arena = shards_[static_cast<size_t>(shard)];
+  ShardView view;
+  view.items = arena.items.data();
+  view.offsets = arena.offsets.data();
+  view.grads = arena.grads.data();
+  view.num_groups = arena.items.size();
+  return view;
+}
+
+int64_t UpdateRouter::total_groups() const {
+  int64_t groups = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    groups += static_cast<int64_t>(shards_[static_cast<size_t>(s)].items.size());
+  }
+  return groups;
+}
+
+int64_t UpdateRouter::total_entries() const {
+  int64_t entries = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    const ShardArena& arena = shards_[static_cast<size_t>(s)];
+    entries += static_cast<int64_t>(arena.grads.size());
+  }
+  return entries;
+}
+
+int64_t UpdateRouter::CapacityBytes() const {
+  int64_t bytes = static_cast<int64_t>(
+      buckets_.capacity() * sizeof(std::vector<Entry>) +
+      shards_.capacity() * sizeof(ShardArena));
+  for (const std::vector<Entry>& b : buckets_) {
+    bytes += static_cast<int64_t>(b.capacity() * sizeof(Entry));
+  }
+  for (const ShardArena& arena : shards_) {
+    bytes += static_cast<int64_t>(arena.counts.capacity() * sizeof(size_t) +
+                                  arena.items.capacity() * sizeof(int) +
+                                  arena.offsets.capacity() * sizeof(size_t) +
+                                  arena.grads.capacity() * sizeof(const Vec*));
+  }
+  return bytes;
+}
+
+}  // namespace pieck

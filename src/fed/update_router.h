@@ -1,0 +1,132 @@
+/// \file
+/// Item-sharded routing of sparse client uploads.
+///
+/// `UpdateRouter` replaces the per-round `std::map<int,
+/// std::vector<const Vec*>>` the server used to rebuild in
+/// `ApplyUpdates`: it groups the surviving uploads' per-item gradients
+/// by item into flat, CSR-style per-shard buckets whose buffers are
+/// arenas persisting across rounds — steady-state routing allocates
+/// nothing and never touches a node-based container.
+///
+/// Sharding: the item space [0, num_items) splits into `num_shards`
+/// contiguous ranges of equal width (the last may be shorter), so a
+/// shard's groups cover disjoint embedding rows and the aggregate/apply
+/// stage can run one worker per shard without locks.
+///
+/// Determinism contract — the router is *order-preserving*: within a
+/// shard, groups are iterated in ascending item order, and within a
+/// group, gradients appear in surviving-upload order. That is exactly
+/// the iteration order of the old `std::map` build (ascending keys;
+/// values pushed while scanning survivors in order), so the aggregation
+/// downstream consumes gradient groups byte-for-byte identical to the
+/// map path for every shard count, worker count, and upload mix
+/// (tests/update_router_test.cc proves this bitwise).
+///
+/// Protocol per round (stages driven by the caller so fan-out stays on
+/// the server's pool):
+///   1. `BeginRound(num_items, num_shards, num_workers)` — fixes the
+///      geometry and resets the arenas (single-threaded).
+///   2. `ScanSlice(w, uploads, surviving)` for each worker w in
+///      parallel — worker w walks its contiguous slice of the
+///      surviving uploads and appends (item, grad) entries to its own
+///      per-shard buckets. No sharing: worker w only writes buckets
+///      (w, *).
+///   3. `BuildShard(s)` for each shard s in parallel — merges the
+///      workers' buckets for s in worker order (= surviving order,
+///      because slices are contiguous and ascending) and groups them
+///      by item with a stable counting sort over the shard's item
+///      range. No sharing: shard s only writes its own arena.
+///   4. `Shard(s)` hands the apply stage a borrowed CSR view.
+///
+/// The gradient pointers are borrowed from the round's `ClientUpdate`s,
+/// which must outlive the views; the router never copies a gradient
+/// (ClientUpdate::CopyCount stays untouched).
+#ifndef PIECK_FED_UPDATE_ROUTER_H_
+#define PIECK_FED_UPDATE_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/global_model.h"
+
+namespace pieck {
+
+class UpdateRouter {
+ public:
+  /// Picks the default shard count for a pool of `num_workers` round
+  /// workers over `num_items` items: 1 when serial (sharding would only
+  /// add bookkeeping), otherwise enough shards to load-balance the
+  /// apply stage (4 per worker), clamped to the item count.
+  static int DefaultShardCount(int num_workers, int num_items);
+
+  /// Resets the round geometry. `num_shards` is clamped to
+  /// [1, max(1, num_items)]; `num_workers` must be >= 1. Arenas are
+  /// logically cleared but keep their capacity. Single-threaded.
+  void BeginRound(int num_items, int num_shards, size_t num_workers);
+
+  /// Worker `w`'s routing pass over its slice of `surviving` (indices
+  /// into `uploads`). Slices are contiguous and cover `surviving`
+  /// exactly once. Safe to run all workers concurrently.
+  void ScanSlice(size_t worker, const std::vector<ClientUpdate>& uploads,
+                 const std::vector<int>& surviving);
+
+  /// Groups shard `s`'s entries by item (stable over upload order).
+  /// Safe to run all shards concurrently, after every ScanSlice.
+  void BuildShard(int shard);
+
+  /// Borrowed CSR view of one routed shard: group g covers item
+  /// `items[g]` with gradients `grads[offsets[g] .. offsets[g+1])`.
+  struct ShardView {
+    const int* items = nullptr;
+    const size_t* offsets = nullptr;  // num_groups + 1 entries
+    const Vec* const* grads = nullptr;
+    size_t num_groups = 0;
+  };
+  ShardView Shard(int shard) const;
+
+  int num_shards() const { return num_shards_; }
+  size_t num_workers() const { return num_workers_; }
+
+  /// Gradient groups routed this round (telemetry).
+  int64_t total_groups() const;
+  /// (item, grad) entries routed this round (telemetry).
+  int64_t total_entries() const;
+  /// Resident capacity of every arena (telemetry / zero-alloc tests).
+  int64_t CapacityBytes() const;
+
+ private:
+  struct Entry {
+    int item;
+    const Vec* grad;
+  };
+
+  /// One shard's output arena (plus its counting-sort scratch).
+  struct ShardArena {
+    std::vector<size_t> counts;     // per item in the shard's range
+    std::vector<int> items;         // ascending unique items
+    std::vector<size_t> offsets;    // group starts, + one end sentinel
+    std::vector<const Vec*> grads;  // grouped, surviving order per item
+  };
+
+  int shard_of(int item) const { return item / items_per_shard_; }
+  std::vector<Entry>& bucket(size_t worker, int shard) {
+    return buckets_[worker * static_cast<size_t>(num_shards_) +
+                    static_cast<size_t>(shard)];
+  }
+  const std::vector<Entry>& bucket(size_t worker, int shard) const {
+    return buckets_[worker * static_cast<size_t>(num_shards_) +
+                    static_cast<size_t>(shard)];
+  }
+
+  int num_items_ = 0;
+  int num_shards_ = 1;
+  int items_per_shard_ = 1;
+  size_t num_workers_ = 1;
+  std::vector<std::vector<Entry>> buckets_;  // [worker][shard], flat
+  std::vector<ShardArena> shards_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_FED_UPDATE_ROUTER_H_

@@ -88,15 +88,30 @@ double InteractionGrads::SquaredNorm() const {
   return s;
 }
 
+size_t InteractionGrads::FlattenedSize() const {
+  size_t n = projection.size();
+  for (size_t l = 0; l < weights.size(); ++l) {
+    n += weights[l].data().size() + biases[l].size();
+  }
+  return n;
+}
+
 Vec InteractionGrads::Flatten() const {
   Vec flat;
-  for (size_t l = 0; l < weights.size(); ++l) {
-    flat.insert(flat.end(), weights[l].data().begin(),
-                weights[l].data().end());
-    flat.insert(flat.end(), biases[l].begin(), biases[l].end());
-  }
-  flat.insert(flat.end(), projection.begin(), projection.end());
+  FlattenInto(&flat);
   return flat;
+}
+
+void InteractionGrads::FlattenInto(Vec* out) const {
+  out->resize(FlattenedSize());
+  double* p = out->data();
+  for (size_t l = 0; l < weights.size(); ++l) {
+    const std::vector<double>& wdata = weights[l].data();
+    p = std::copy(wdata.begin(), wdata.end(), p);
+    p = std::copy(biases[l].begin(), biases[l].end(), p);
+  }
+  p = std::copy(projection.begin(), projection.end(), p);
+  PIECK_CHECK(p == out->data() + out->size());
 }
 
 void InteractionGrads::Unflatten(const Vec& flat) {

@@ -50,9 +50,19 @@ struct InteractionGrads {
   /// Sum of squared entries across all tensors.
   double SquaredNorm() const;
 
+  /// Total coordinate count across all tensors (the length Flatten
+  /// produces).
+  size_t FlattenedSize() const;
+
   /// Flattens all tensors into one vector (used by robust aggregators
   /// that operate coordinate-wise). Order: W_1, b_1, ..., W_L, b_L, h.
   Vec Flatten() const;
+
+  /// Flatten into a caller-owned buffer (resized to FlattenedSize());
+  /// once `out` reaches steady-state capacity this allocates nothing.
+  /// The server's interaction-aggregation arena path uses this instead
+  /// of Flatten's fresh Vec per client per round.
+  void FlattenInto(Vec* out) const;
 
   /// Inverse of Flatten; `flat` must have exactly the right length.
   void Unflatten(const Vec& flat);
@@ -65,6 +75,17 @@ struct ClientUpdate {
   /// Sorted-by-item list of (item, gradient) pairs.
   std::vector<std::pair<int, Vec>> item_grads;
   InteractionGrads interaction_grads;
+
+  /// Borrowed view of `item_grads`: contiguous (item, gradient) pairs in
+  /// ascending item order. The router's slice scanners walk this span;
+  /// it is invalidated by any mutation of the upload.
+  struct ItemGradSpan {
+    const std::pair<int, Vec>* data = nullptr;
+    size_t size = 0;
+    const std::pair<int, Vec>* begin() const { return data; }
+    const std::pair<int, Vec>* end() const { return data + size; }
+  };
+  ItemGradSpan item_span() const { return {item_grads.data(), item_grads.size()}; }
 
   ClientUpdate() = default;
   // Copies are instrumented: the server's aggregation path is required

@@ -1,0 +1,380 @@
+// The sharded update router: proves the router-based Route → Apply
+// pipeline is bit-identical to the retired std::map grouping path for
+// every model kind, aggregation rule, filter setting, thread count, and
+// shard count; that steady-state routing allocates nothing; and that
+// degenerate rounds (no uploads, no survivors, one item) route cleanly.
+//
+// The map path is reproduced here verbatim as `MapReferenceApply` — the
+// exact FederatedServer::ApplyUpdates grouping this refactor removed —
+// so the equivalence holds in every build type, not just against golden
+// constants recorded on one machine.
+
+#include <map>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "defense/robust_aggregators.h"
+#include "fed/server.h"
+#include "fed/update_router.h"
+#include "model/mf_model.h"
+#include "model/ncf_model.h"
+#include "tensor/kernels.h"
+
+namespace pieck {
+namespace {
+
+// ---------------------------------------------------------------------
+// The pre-refactor map path, verbatim (fed/server.cc at commit 4b12f72),
+// kept as the reference the router must match bit for bit.
+
+GlobalModel MapReferenceApply(GlobalModel g,
+                              const std::vector<ClientUpdate>& raw,
+                              const Aggregator& aggregator,
+                              const UpdateFilter* filter,
+                              double learning_rate) {
+  std::vector<int> surviving;
+  if (filter != nullptr && !raw.empty()) {
+    surviving = filter->Select(raw);
+  } else {
+    surviving.resize(raw.size());
+    std::iota(surviving.begin(), surviving.end(), 0);
+  }
+
+  std::map<int, std::vector<const Vec*>> per_item;
+  for (int idx : surviving) {
+    for (const auto& [item, grad] : raw[static_cast<size_t>(idx)].item_grads) {
+      per_item[item].push_back(&grad);
+    }
+  }
+  const KernelTable& kernels = ActiveKernels();
+  const size_t dim = g.item_embeddings.cols();
+  for (const auto& [item, grads] : per_item) {
+    double* row = g.item_embeddings.MutableRowPtr(static_cast<size_t>(item));
+    if (std::optional<double> w = aggregator.LinearWeight(grads.size())) {
+      const double step = -learning_rate * *w;
+      for (const Vec* grad : grads) kernels.axpy(step, grad->data(), row, dim);
+      continue;
+    }
+    Vec agg(dim);
+    aggregator.Aggregate(grads, agg.data());
+    kernels.axpy(-learning_rate, agg.data(), row, dim);
+  }
+
+  if (g.has_interaction_params()) {
+    std::vector<Vec> flat_grads;
+    for (int idx : surviving) {
+      const ClientUpdate& upd = raw[static_cast<size_t>(idx)];
+      if (upd.interaction_grads.active) {
+        flat_grads.push_back(upd.interaction_grads.Flatten());
+      }
+    }
+    if (!flat_grads.empty()) {
+      Vec agg = aggregator.Aggregate(flat_grads);
+      InteractionGrads step = InteractionGrads::ZerosLike(g);
+      step.Unflatten(agg);
+      for (size_t l = 0; l < g.mlp_weights.size(); ++l) {
+        g.mlp_weights[l].Axpy(-learning_rate, step.weights[l]);
+        Axpy(-learning_rate, step.biases[l], g.mlp_biases[l]);
+      }
+      Axpy(-learning_rate, step.projection, g.projection);
+    }
+  }
+  return g;
+}
+
+void ExpectGlobalEq(const GlobalModel& a, const GlobalModel& b,
+                    const std::string& label) {
+  ASSERT_EQ(a.item_embeddings, b.item_embeddings) << label;
+  ASSERT_EQ(a.mlp_weights.size(), b.mlp_weights.size()) << label;
+  for (size_t l = 0; l < a.mlp_weights.size(); ++l) {
+    EXPECT_EQ(a.mlp_weights[l], b.mlp_weights[l]) << label << " layer " << l;
+    EXPECT_EQ(a.mlp_biases[l], b.mlp_biases[l]) << label << " layer " << l;
+  }
+  EXPECT_EQ(a.projection, b.projection) << label;
+}
+
+// ---------------------------------------------------------------------
+// Synthetic upload construction.
+
+/// `count` uploads, each carrying gradients for a handful of random
+/// items (duplicates accumulate, matching real batch behavior) and, for
+/// DL-FRS shapes, dense interaction gradients.
+std::vector<ClientUpdate> MakeUploads(const GlobalModel& g, int count,
+                                      int items_per_upload, Rng& rng) {
+  std::vector<ClientUpdate> uploads(static_cast<size_t>(count));
+  const int num_items = g.num_items();
+  const size_t dim = static_cast<size_t>(g.dim());
+  for (ClientUpdate& upd : uploads) {
+    for (int e = 0; e < items_per_upload; ++e) {
+      const int item = static_cast<int>(rng.UniformInt(0, num_items - 1));
+      Vec grad(dim);
+      for (double& v : grad) v = rng.Normal(0.0, 1.0);
+      upd.AccumulateItemGrad(item, grad);
+    }
+    if (g.has_interaction_params()) {
+      upd.interaction_grads = InteractionGrads::ZerosLike(g);
+      for (Matrix& w : upd.interaction_grads.weights) {
+        w.RandomNormal(rng, 0.0, 0.1);
+      }
+      for (Vec& b : upd.interaction_grads.biases) {
+        for (double& v : b) v = rng.Normal(0.0, 0.1);
+      }
+      for (double& v : upd.interaction_grads.projection) {
+        v = rng.Normal(0.0, 0.1);
+      }
+    }
+  }
+  return uploads;
+}
+
+struct AggregatorCase {
+  const char* name;
+  std::unique_ptr<Aggregator> (*make)();
+};
+
+const AggregatorCase kAggregators[] = {
+    {"sum", [] { return std::unique_ptr<Aggregator>(new SumAggregator()); }},
+    {"mean", [] { return std::unique_ptr<Aggregator>(new MeanAggregator()); }},
+    {"median",
+     [] { return std::unique_ptr<Aggregator>(new MedianAggregator()); }},
+    {"trimmed_mean",
+     [] {
+       return std::unique_ptr<Aggregator>(new TrimmedMeanAggregator(0.2));
+     }},
+    {"norm_bound",
+     [] { return std::unique_ptr<Aggregator>(new NormBoundAggregator(0.5)); }},
+};
+
+// ---------------------------------------------------------------------
+// Bitwise map-vs-router equivalence over the full grid.
+
+class RouterEquivalence : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(RouterEquivalence, BitIdenticalToMapPathForEveryConfiguration) {
+  const ModelKind kind = GetParam();
+  auto model = MakeModel(kind, 8);
+  Rng rng(0x5eedULL);
+  const GlobalModel initial = model->InitGlobalModel(41, rng);
+  const std::vector<ClientUpdate> uploads = MakeUploads(initial, 12, 5, rng);
+  const double lr = 0.1;
+
+  for (const AggregatorCase& agg_case : kAggregators) {
+    for (bool with_krum : {false, true}) {
+      // Reference once per (rule, filter): it is thread/shard-free.
+      const std::unique_ptr<Aggregator> ref_agg = agg_case.make();
+      const KrumFilter ref_filter(0.2);
+      const GlobalModel expected = MapReferenceApply(
+          initial, uploads, *ref_agg, with_krum ? &ref_filter : nullptr, lr);
+
+      for (int threads : {1, 0}) {
+        for (int shards : {1, 3, 16}) {
+          ServerConfig config;
+          config.learning_rate = lr;
+          config.num_threads = threads;
+          config.router_shards = shards;
+          FederatedServer server(
+              *model, initial, config, agg_case.make(),
+              with_krum ? std::make_unique<KrumFilter>(0.2) : nullptr);
+          const int64_t copies_before = ClientUpdate::CopyCount();
+          RoundStats stats;
+          server.ApplyUpdates(uploads, &stats);
+          EXPECT_EQ(ClientUpdate::CopyCount(), copies_before)
+              << "routing deep-copied a ClientUpdate";
+          EXPECT_EQ(stats.router_shards, shards);
+          EXPECT_GT(stats.router_entries, 0);
+          EXPECT_GT(stats.router_groups, 0);
+          ExpectGlobalEq(server.global(), expected,
+                         std::string(agg_case.name) +
+                             (with_krum ? "+krum" : "") + " threads=" +
+                             std::to_string(threads) + " shards=" +
+                             std::to_string(shards));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, RouterEquivalence,
+                         ::testing::Values(ModelKind::kMatrixFactorization,
+                                           ModelKind::kNeuralCf),
+                         [](const ::testing::TestParamInfo<ModelKind>& info) {
+                           return info.param == ModelKind::kMatrixFactorization
+                                      ? "mf"
+                                      : "ncf";
+                         });
+
+// ---------------------------------------------------------------------
+// Steady-state routing performs zero allocations: after the shapes
+// stabilize, re-routing the same upload mix must not grow any router
+// arena (mirrors the client-side capacity test in
+// client_state_store_test / fed_test).
+
+TEST(UpdateRouterTest, SteadyStateRoutingKeepsCapacity) {
+  MfModel model(8);
+  Rng rng(0xa110cULL);
+  GlobalModel initial = model.InitGlobalModel(64, rng);
+  std::vector<ClientUpdate> uploads = MakeUploads(initial, 16, 6, rng);
+
+  for (const AggregatorCase& agg_case : {kAggregators[0], kAggregators[2]}) {
+    ServerConfig config;
+    config.num_threads = 2;
+    config.router_shards = 3;
+    FederatedServer server(model, initial, config, agg_case.make());
+    server.ApplyUpdates(uploads);
+    server.ApplyUpdates(uploads);
+    const int64_t capacity_after_two = server.router().CapacityBytes();
+    EXPECT_GT(capacity_after_two, 0);
+    for (int round = 2; round < 6; ++round) {
+      server.ApplyUpdates(uploads);
+      EXPECT_EQ(server.router().CapacityBytes(), capacity_after_two)
+          << agg_case.name << " round " << round;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate rounds.
+
+TEST(UpdateRouterTest, EmptyUploadSetLeavesModelUntouched) {
+  MfModel model(4);
+  Rng rng(5);
+  GlobalModel initial = model.InitGlobalModel(8, rng);
+  ServerConfig config;
+  config.num_threads = 2;
+  config.router_shards = 4;
+  FederatedServer server(model, initial, config,
+                         std::make_unique<SumAggregator>());
+  server.ApplyUpdates({});
+  EXPECT_EQ(server.global().item_embeddings, initial.item_embeddings);
+  EXPECT_EQ(server.router().total_entries(), 0);
+  EXPECT_EQ(server.router().total_groups(), 0);
+}
+
+/// A filter that drops every upload: routing must cope with surviving
+/// sets that are empty even though uploads exist.
+class DropAllFilter : public UpdateFilter {
+ public:
+  std::string name() const override { return "DropAll"; }
+  std::vector<int> Select(
+      const std::vector<ClientUpdate>& /*updates*/) const override {
+    return {};
+  }
+};
+
+TEST(UpdateRouterTest, FilterDroppingEverySurvivorRoutesNothing) {
+  MfModel model(4);
+  Rng rng(7);
+  GlobalModel initial = model.InitGlobalModel(8, rng);
+  std::vector<ClientUpdate> uploads = MakeUploads(initial, 4, 3, rng);
+  ServerConfig config;
+  FederatedServer server(model, initial, config,
+                         std::make_unique<SumAggregator>(),
+                         std::make_unique<DropAllFilter>());
+  server.ApplyUpdates(uploads);
+  EXPECT_EQ(server.global().item_embeddings, initial.item_embeddings);
+  EXPECT_EQ(server.router().total_entries(), 0);
+}
+
+TEST(UpdateRouterTest, SingleItemModelClampsShardCount) {
+  // One item, sixteen requested shards: the router must clamp to one
+  // shard and still produce the exact map-path result.
+  MfModel model(4);
+  Rng rng(11);
+  GlobalModel initial = model.InitGlobalModel(1, rng);
+  std::vector<ClientUpdate> uploads(3);
+  for (size_t i = 0; i < uploads.size(); ++i) {
+    uploads[i].AccumulateItemGrad(0, {1.0 + static_cast<double>(i), 0, 0, 0});
+  }
+  SumAggregator ref_agg;
+  const GlobalModel expected =
+      MapReferenceApply(initial, uploads, ref_agg, nullptr, 1.0);
+
+  ServerConfig config;
+  config.router_shards = 16;
+  FederatedServer server(model, initial, config,
+                         std::make_unique<SumAggregator>());
+  RoundStats stats;
+  server.ApplyUpdates(uploads, &stats);
+  EXPECT_EQ(stats.router_shards, 1);
+  EXPECT_EQ(stats.router_groups, 1);
+  EXPECT_EQ(stats.router_entries, 3);
+  ExpectGlobalEq(server.global(), expected, "single-item");
+}
+
+// ---------------------------------------------------------------------
+// Shard-count derivation and config validation.
+
+TEST(UpdateRouterTest, DefaultShardCountDerivesFromPool) {
+  EXPECT_EQ(UpdateRouter::DefaultShardCount(1, 1000), 1);
+  EXPECT_EQ(UpdateRouter::DefaultShardCount(4, 1000), 16);
+  EXPECT_EQ(UpdateRouter::DefaultShardCount(8, 5), 5);  // clamped to items
+  EXPECT_EQ(UpdateRouter::DefaultShardCount(2, 1), 1);
+}
+
+TEST(UpdateRouterTest, ValidateRejectsNegativeShardOverride) {
+  ExperimentConfig config;
+  config.router_shards = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.router_shards = 0;
+  EXPECT_TRUE(config.Validate().ok());
+  config.router_shards = 7;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+// A full simulation round reports stage timings and router telemetry.
+TEST(UpdateRouterTest, RoundStatsReportStagesAndRouterTelemetry) {
+  ExperimentConfig config;
+  config.dataset = MovieLens100KConfig(0.05);
+  config.embedding_dim = 8;
+  config.rounds = 0;
+  config.users_per_round = 16;
+  config.num_threads = 2;
+  config.router_shards = 5;
+  auto sim = Simulation::Create(config);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  RoundStats stats = (*sim)->RunRound();
+  EXPECT_EQ(stats.router_shards, 5);
+  EXPECT_GT(stats.router_entries, 0);
+  EXPECT_GT(stats.router_groups, 0);
+  EXPECT_GE(stats.select_ms, 0.0);
+  EXPECT_GT(stats.train_ms, 0.0);
+  EXPECT_GE(stats.route_ms, 0.0);
+  EXPECT_GE(stats.apply_ms, 0.0);
+  EXPECT_EQ(stats.interaction_ms, 0.0);  // MF has no interaction stage
+}
+
+// Explicit shard overrides leave a full multi-round simulation
+// bit-identical to the derived-shard default (different partitionings,
+// same bits).
+TEST(UpdateRouterTest, SimulationBitIdenticalAcrossShardCounts) {
+  auto make = [](int shards) {
+    ExperimentConfig config;
+    config.dataset = MovieLens100KConfig(0.05);
+    config.embedding_dim = 8;
+    config.rounds = 0;
+    config.users_per_round = 16;
+    config.num_threads = 3;
+    config.router_shards = shards;
+    config.attack = AttackKind::kPieckIpe;
+    config.malicious_fraction = 0.1;
+    config.defense = DefenseKind::kMedian;
+    auto sim = Simulation::Create(config);
+    EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+    return std::move(sim).value();
+  };
+  std::unique_ptr<Simulation> derived = make(0);
+  std::unique_ptr<Simulation> sharded = make(13);
+  derived->RunRounds(3);
+  sharded->RunRounds(3);
+  ASSERT_EQ(derived->global().item_embeddings,
+            sharded->global().item_embeddings);
+}
+
+}  // namespace
+}  // namespace pieck

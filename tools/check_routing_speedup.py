@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Regression gate for the sharded update router.
+
+Reads a kernels JSON produced by `bench_microkernels --kernels_json`
+and asserts the routing sweep shows the arena-reused router beating the
+retired std::map grouping at the 512-upload scale point (the default
+round batch of bench_scale_users). CI runs this on the Release build;
+see .github/workflows/ci.yml.
+
+Usage: check_routing_speedup.py [kernels.json] [--min-speedup X]
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    path = "BENCH_kernels.json"
+    min_speedup = 1.0
+    args = list(argv[1:])
+    while args:
+        arg = args.pop(0)
+        if arg == "--min-speedup":
+            min_speedup = float(args.pop(0))
+        else:
+            path = arg
+
+    with open(path) as f:
+        data = json.load(f)
+    routing = data.get("routing")
+    if routing is None:
+        return f"{path}: no 'routing' section (rerun the kernel sweep)"
+    points = [p for p in routing.get("sweep", []) if p["uploads"] == 512]
+    if not points:
+        return f"{path}: routing sweep has no 512-upload scale point"
+
+    failed = False
+    for p in points:
+        verdict = "ok" if p["speedup"] > min_speedup else "FAIL"
+        failed |= verdict == "FAIL"
+        print(
+            f"routing uploads={p['uploads']} "
+            f"items_per_upload={p['items_per_upload']}: "
+            f"map {p['map_ns']:.0f} ns, router {p['router_ns']:.0f} ns, "
+            f"{p['speedup']:.2f}x [{verdict}]"
+        )
+    if failed:
+        return (
+            f"router did not beat the map baseline (>{min_speedup:.2f}x) "
+            "at every 512-upload point"
+        )
+    print(f"OK: router beats the map baseline (> {min_speedup:.2f}x) at 512 uploads")
+    return None
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
