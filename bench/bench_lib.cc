@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -101,6 +102,40 @@ ExperimentResult MustRun(const ExperimentConfig& config) {
 
 std::string Pct(double fraction) { return FormatPercent(fraction); }
 
+WorkloadConfig ParseWorkloadFlags(const FlagParser& flags) {
+  WorkloadConfig w;
+  const std::string participation =
+      flags.GetString("workload", "uniform");
+  if (participation == "uniform") {
+    w.participation = ParticipationKind::kUniform;
+  } else if (participation == "zipf") {
+    w.participation = ParticipationKind::kZipf;
+  } else if (participation == "exponential") {
+    w.participation = ParticipationKind::kExponential;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --workload '%s' (uniform|zipf|exponential)\n",
+                 participation.c_str());
+    std::exit(1);
+  }
+  w.zipf_exponent = flags.GetDouble("zipf_s", w.zipf_exponent);
+  w.exponential_rate = flags.GetDouble("exp_rate", w.exponential_rate);
+  w.diurnal_amplitude = flags.GetDouble("diurnal_amp", w.diurnal_amplitude);
+  w.diurnal_period =
+      static_cast<int>(flags.GetInt("diurnal_period", w.diurnal_period));
+  w.churn.join_rate = flags.GetDouble("churn_join", w.churn.join_rate);
+  w.churn.leave_rate = flags.GetDouble("churn_leave", w.churn.leave_rate);
+  w.churn.initial_active =
+      flags.GetDouble("churn_initial", w.churn.initial_active);
+  w.hot_item_fraction = flags.GetDouble("hot_frac", w.hot_item_fraction);
+  w.hot_item_rate = flags.GetDouble("hot_rate", w.hot_item_rate);
+  if (Status st = w.Validate(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return w;
+}
+
 namespace {
 
 /// SplitMix64: cheap, well-mixed per-user hash for synthetic adjacency.
@@ -152,19 +187,39 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
   // Hash-derived sparse adjacency: each user interacts with
   // `interactions_per_user` stride-spaced items. Duplicate (user, item)
   // pairs (possible when the stride wraps) are dropped by
-  // Dataset::FromInteractions.
+  // Dataset::FromInteractions. With hot-item skew configured, a
+  // `hot_item_rate` fraction of interactions is redirected (per-pair
+  // hash decision) into the hottest `hot_item_fraction` slice of the
+  // item space — the long-tail regime PIECK's popularity mining feeds
+  // on, at hash-generator cost.
+  const bool hot_skew = config.workload.hot_item_rate > 0.0 &&
+                        config.workload.hot_item_fraction > 0.0;
+  const int hot_count =
+      hot_skew ? std::max(1, static_cast<int>(std::llround(
+                                 config.workload.hot_item_fraction *
+                                 config.num_items)))
+               : 0;
   std::vector<Interaction> raw;
   raw.reserve(static_cast<size_t>(config.num_users) *
               static_cast<size_t>(config.interactions_per_user));
   for (int u = 0; u < config.num_users; ++u) {
     const uint64_t h = Mix(config.seed ^ static_cast<uint64_t>(u));
-    const int base = static_cast<int>(h % static_cast<uint64_t>(config.num_items));
+    const int base =
+        static_cast<int>(h % static_cast<uint64_t>(config.num_items));
     const int step = 1 + static_cast<int>((h >> 32) % static_cast<uint64_t>(
                                               config.num_items - 1));
     for (int j = 0; j < config.interactions_per_user; ++j) {
-      const int item = static_cast<int>(
+      int item = static_cast<int>(
           (static_cast<int64_t>(base) + static_cast<int64_t>(j) * step) %
           config.num_items);
+      if (hot_skew) {
+        const uint64_t hj = Mix(h ^ (static_cast<uint64_t>(j) + 1));
+        if (static_cast<double>(hj % 1000000) <
+            config.workload.hot_item_rate * 1000000.0) {
+          item = static_cast<int>((hj >> 20) %
+                                  static_cast<uint64_t>(hot_count));
+        }
+      }
       raw.push_back({u, item});
     }
   }
@@ -194,6 +249,8 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
   server_config.learning_rate = 1.0;
   server_config.users_per_round = config.users_per_round;
   server_config.num_threads = config.num_threads;
+  server_config.workload = config.workload;
+  server_config.workload.seed ^= config.seed;
   FederatedServer server(*model, std::move(global), server_config,
                          std::make_unique<SumAggregator>());
   result.setup_seconds =
@@ -204,6 +261,9 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
   RoundStats last;
   for (int r = 0; r < config.rounds; ++r) {
     last = server.RunRound(store, {}, r, round_rng);
+    result.latencies.RecordRound(last.select_ms, last.train_ms,
+                                 last.route_ms, last.apply_ms,
+                                 last.interaction_ms);
   }
   const double seconds =
       std::chrono::duration<double>(Clock::now() - t_rounds).count();
@@ -219,6 +279,8 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
   result.apply_ms = last.apply_ms;
   result.router_shards = last.router_shards;
   result.router_entries = last.router_entries;
+  result.active_benign_final = last.active_benign;
+  result.num_selected_final = last.num_selected;
   result.bytes_per_user =
       static_cast<double>(result.store_bytes) / config.num_users;
   result.peak_rss_bytes = PeakRssBytes();

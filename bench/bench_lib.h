@@ -5,6 +5,8 @@
 
 #include "common/flags.h"
 #include "core/simulation.h"
+#include "workload/latency.h"
+#include "workload/workload.h"
 
 namespace pieck::bench {
 
@@ -35,6 +37,15 @@ void ApplyAttackCalibration(ExperimentConfig& config, AttackKind attack);
 /// Runs the experiment, aborting the binary with a message on error.
 ExperimentResult MustRun(const ExperimentConfig& config);
 
+/// Parses the shared traffic-shape flags into a WorkloadConfig and
+/// validates it, aborting the binary on bad input:
+///   --workload uniform|zipf|exponential   participation model
+///   --zipf_s / --exp_rate                 skew strength
+///   --diurnal_amp / --diurnal_period      arrival wave
+///   --churn_join / --churn_leave / --churn_initial
+///   --hot_frac / --hot_rate               hot-item interaction skew
+WorkloadConfig ParseWorkloadFlags(const FlagParser& flags);
+
 /// "12.34" formatting of a fraction as percent.
 std::string Pct(double fraction);
 
@@ -55,6 +66,11 @@ struct ScaleSweepConfig {
   int users_per_round = 512;
   int num_threads = 0;  // 0 = one per hardware thread
   uint64_t seed = 1234;
+  /// Traffic shape: participation skew / churn / diurnal wave drive the
+  /// server's Select stage; the hot-item knobs skew the synthetic
+  /// adjacency (a `hot_item_rate` fraction of each user's interactions
+  /// is redirected into the hottest `hot_item_fraction` item slice).
+  WorkloadConfig workload;
 };
 
 struct ScaleSweepResult {
@@ -76,6 +92,13 @@ struct ScaleSweepResult {
   double apply_ms = 0.0;
   int router_shards = 0;
   int64_t router_entries = 0;       // (item, gradient) pairs routed
+
+  // Tail-latency harness: per-stage histograms over *every* round (the
+  // first round's lazy materialization and each churn fault are part of
+  // the tail, not noise), plus workload telemetry from the last round.
+  StageLatencies latencies;
+  int active_benign_final = 0;
+  int num_selected_final = 0;
 };
 
 /// Runs the sweep; aborts the binary on (unexpected) construction

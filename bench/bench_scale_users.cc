@@ -1,17 +1,25 @@
 // Population-scale sweep for the virtualized client state: drives
 // store-backed federated rounds over populations up to (and beyond) one
 // million simulated users and reports the store's bytes/user footprint,
-// round throughput, and peak RSS. The former one-object-per-user design
+// round throughput, per-stage tail latency (p50/p95/p99 histograms over
+// every round), and peak RSS. The former one-object-per-user design
 // topped out orders of magnitude below this on the same hardware.
+//
+// The traffic shape is configurable (see docs/WORKLOADS.md): skewed
+// participation, user churn, diurnal arrival waves, and hot-item
+// interaction skew all run through the same store-backed engine.
 //
 // Usage:
 //   bench_scale_users                         # sweep up to 1M users
 //   bench_scale_users --users 2000000         # single run at 2M
+//   bench_scale_users --workload zipf --zipf_s 1.1
+//       --churn_join 0.02 --churn_leave 0.02  # production-shaped traffic
 //   bench_scale_users --max_rss_mb 1500       # fail if VmHWM exceeds
 //   bench_scale_users --json scale.json       # machine-readable output
 //
-// CI runs the reduced form (--users 100000 --max_rss_mb ...) as a
-// Release smoke test; see .github/workflows/ci.yml.
+// CI runs two reduced forms as Release smoke tests (uniform, and
+// Zipf + churn under the workload-smoke job, gated through
+// tools/check_bench_json.py); see .github/workflows/ci.yml.
 
 #include <cstdio>
 #include <string>
@@ -26,6 +34,38 @@ using namespace pieck::bench;
 
 namespace {
 
+void WriteLatencyJson(std::FILE* f, const StageLatencies& latencies) {
+  std::fprintf(f, "\"latency_ms\": {");
+  for (int s = 0; s < StageLatencies::kNumStages; ++s) {
+    const LatencyHistogram& h = latencies.stage[s];
+    std::fprintf(f,
+                 "\"%s\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, "
+                 "\"mean\": %.4f, \"max\": %.4f, \"count\": %lld}%s",
+                 StageLatencies::StageName(s), h.Quantile(0.5),
+                 h.Quantile(0.95), h.Quantile(0.99), h.mean_ms(), h.max_ms(),
+                 static_cast<long long>(h.count()),
+                 s + 1 < StageLatencies::kNumStages ? ", " : "");
+  }
+  std::fprintf(f, "}");
+}
+
+void WriteWorkloadJson(std::FILE* f, const ScaleSweepResult& r) {
+  const WorkloadConfig& w = r.config.workload;
+  std::fprintf(
+      f,
+      "\"workload\": {\"participation\": \"%s\", \"zipf_exponent\": %.3f, "
+      "\"exponential_rate\": %.3f, \"diurnal_amplitude\": %.3f, "
+      "\"diurnal_period\": %d, \"churn_join_rate\": %.4f, "
+      "\"churn_leave_rate\": %.4f, \"churn_initial_active\": %.4f, "
+      "\"hot_item_fraction\": %.4f, \"hot_item_rate\": %.4f, "
+      "\"active_benign_final\": %d, \"num_selected_final\": %d}",
+      ParticipationKindToString(w.participation), w.zipf_exponent,
+      w.exponential_rate, w.diurnal_amplitude, w.diurnal_period,
+      w.churn.join_rate, w.churn.leave_rate, w.churn.initial_active,
+      w.hot_item_fraction, w.hot_item_rate, r.active_benign_final,
+      r.num_selected_final);
+}
+
 int WriteJson(const std::string& path,
               const std::vector<ScaleSweepResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -39,19 +79,23 @@ int WriteJson(const std::string& path,
     std::fprintf(
         f,
         "    {\"users\": %d, \"items\": %d, \"dim\": %d, \"threads\": %d, "
-        "\"users_per_round\": %d, \"bytes_per_user\": %.1f, "
+        "\"users_per_round\": %d, \"rounds\": %d, \"bytes_per_user\": %.1f, "
         "\"store_mb\": %.1f, \"arena_kb\": %.1f, \"rounds_per_sec\": %.2f, "
         "\"clients_per_sec\": %.0f, \"setup_s\": %.2f, "
         "\"peak_rss_mb\": %.1f, \"select_ms\": %.3f, \"train_ms\": %.3f, "
         "\"route_ms\": %.3f, \"apply_ms\": %.3f, \"router_shards\": %d, "
-        "\"router_entries\": %lld}%s\n",
+        "\"router_entries\": %lld,\n     ",
         r.config.num_users, r.config.num_items, r.config.dim,
-        r.config.num_threads, r.config.users_per_round, r.bytes_per_user,
-        r.store_bytes / 1048576.0, r.arena_bytes / 1024.0, r.rounds_per_sec,
-        r.clients_per_sec, r.setup_seconds, r.peak_rss_bytes / 1048576.0,
-        r.select_ms, r.train_ms, r.route_ms, r.apply_ms, r.router_shards,
-        static_cast<long long>(r.router_entries),
-        i + 1 < results.size() ? "," : "");
+        r.config.num_threads, r.config.users_per_round, r.config.rounds,
+        r.bytes_per_user, r.store_bytes / 1048576.0, r.arena_bytes / 1024.0,
+        r.rounds_per_sec, r.clients_per_sec, r.setup_seconds,
+        r.peak_rss_bytes / 1048576.0, r.select_ms, r.train_ms, r.route_ms,
+        r.apply_ms, r.router_shards,
+        static_cast<long long>(r.router_entries));
+    WriteWorkloadJson(f, r);
+    std::fprintf(f, ",\n     ");
+    WriteLatencyJson(f, r.latencies);
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -76,6 +120,7 @@ int main(int argc, char** argv) {
   base.users_per_round = static_cast<int>(flags.GetInt("batch", 512));
   base.num_threads = static_cast<int>(flags.GetInt("threads", 0));
   base.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
+  base.workload = ParseWorkloadFlags(flags);
   const int64_t max_rss_mb = flags.GetInt("max_rss_mb", 0);
   const std::string json = flags.GetString("json", "");
 
@@ -87,22 +132,30 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== Population scale: struct-of-arrays client store ==\n");
-  TablePrinter table({"Users", "Interactions", "Bytes/user", "Store MB",
-                      "Arena KB", "Rounds/s", "Clients/s", "Route ms",
-                      "Apply ms", "Setup s", "Peak RSS MB"});
+  std::printf("workload: %s\n",
+              ParticipationKindToString(base.workload.participation));
+  TablePrinter table({"Users", "Active", "Bytes/user", "Store MB",
+                      "Rounds/s", "Clients/s", "Round p50", "Round p99",
+                      "Train p99", "Setup s", "Peak RSS MB"});
   std::vector<ScaleSweepResult> results;
   for (int users : populations) {
     ScaleSweepConfig config = base;
     config.num_users = users;
     ScaleSweepResult r = RunScaleSweep(config);
     results.push_back(r);
-    table.AddRow({std::to_string(users), std::to_string(r.num_interactions),
+    const LatencyHistogram& round =
+        r.latencies.stage[StageLatencies::kRound];
+    const LatencyHistogram& train =
+        r.latencies.stage[StageLatencies::kTrain];
+    table.AddRow({std::to_string(users),
+                  std::to_string(r.active_benign_final),
                   FormatDouble(r.bytes_per_user, 1),
                   FormatDouble(r.store_bytes / 1048576.0, 1),
-                  FormatDouble(r.arena_bytes / 1024.0, 1),
                   FormatDouble(r.rounds_per_sec, 2),
                   FormatDouble(r.clients_per_sec, 0),
-                  FormatDouble(r.route_ms, 3), FormatDouble(r.apply_ms, 3),
+                  FormatDouble(round.Quantile(0.5), 3),
+                  FormatDouble(round.Quantile(0.99), 3),
+                  FormatDouble(train.Quantile(0.99), 3),
                   FormatDouble(r.setup_seconds, 2),
                   FormatDouble(r.peak_rss_bytes / 1048576.0, 1)});
   }

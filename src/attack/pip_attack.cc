@@ -38,7 +38,8 @@ PipAttack::PipAttack(const RecModel& model, AttackConfig config,
     for (int item = 0; item < m; ++item) {
       double frac = static_cast<double>(rank[static_cast<size_t>(item)]) /
                     std::max(1, m);
-      labels_[static_cast<size_t>(item)] = frac < 0.1 ? 0 : (frac < 0.4 ? 1 : 2);
+      labels_[static_cast<size_t>(item)] =
+          frac < 0.1 ? 0 : (frac < 0.4 ? 1 : 2);
     }
     if (!config_.pipa_true_popularity) {
       // Masked prior knowledge: the attacker has no popularity levels;
@@ -87,7 +88,8 @@ ClientUpdate PipAttack::ParticipateRound(const GlobalModel& g, int /*round*/,
     classifier_w_ = Matrix(kNumClasses, static_cast<size_t>(g.dim()));
     classifier_w_.RandomNormal(rng, 0.0, 0.1);
     classifier_b_ = Zeros(kNumClasses);
-    profiles_.resize(static_cast<size_t>(std::max(1, config_.num_approx_users)));
+    profiles_.resize(
+        static_cast<size_t>(std::max(1, config_.num_approx_users)));
     for (Vec& p : profiles_) p = model_.InitUserEmbedding(rng);
     initialized_ = true;
   }

@@ -75,7 +75,8 @@ class ThreadPool {
   /// 0 when `pool` is null, otherwise slots come from ParallelForSlots.
   /// Callers size their scratch to `pool ? pool->max_slots() : 1`.
   static void ParallelForOrSerialSlots(
-      ThreadPool* pool, size_t n, const std::function<void(size_t, size_t)>& fn);
+      ThreadPool* pool, size_t n,
+      const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();

@@ -63,6 +63,9 @@ Status ExperimentConfig::Validate() const {
     return Invalid(
         "router_shards must be >= 0 (0 = derived from the worker pool)");
   }
+  if (Status st = workload.Validate(); !st.ok()) {
+    return Invalid(st.message());
+  }
   if (malicious_fraction < 0.0 || malicious_fraction >= 1.0) {
     return Invalid("malicious_fraction must lie in [0, 1)");
   }

@@ -11,6 +11,7 @@
 #include "defense/defense.h"
 #include "model/losses.h"
 #include "model/rec_model.h"
+#include "workload/workload.h"
 
 namespace pieck {
 
@@ -64,6 +65,12 @@ struct ExperimentConfig {
   /// explicit values clamped to the item count. Bit-identical results
   /// for any value — sharding only partitions work.
   int router_shards = 0;
+  /// Traffic shape of participant selection: uniform/Zipf/exponential
+  /// participation, diurnal arrival waves, user churn (see
+  /// workload/workload.h). The default (trivial) workload reproduces
+  /// the paper's uniform sampling bit-for-bit; the simulation folds
+  /// `seed` into the workload's private stream.
+  WorkloadConfig workload;
 
   // --- attack ---
   AttackKind attack = AttackKind::kNone;

@@ -29,7 +29,9 @@ std::vector<int> SelectTargets(const ExperimentConfig& config,
                 order.end());
   } else {
     pool.resize(static_cast<size_t>(train.num_items()));
-    for (int j = 0; j < train.num_items(); ++j) pool[static_cast<size_t>(j)] = j;
+    for (int j = 0; j < train.num_items(); ++j) {
+      pool[static_cast<size_t>(j)] = j;
+    }
   }
   rng.Shuffle(pool);
   int count = std::min<int>(config.num_targets, static_cast<int>(pool.size()));
@@ -68,6 +70,12 @@ StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
   server_config.users_per_round = config.users_per_round;
   server_config.num_threads = config.num_threads;
   server_config.router_shards = config.router_shards;
+  server_config.workload = config.workload;
+  // The workload's private stream (rank permutation, churn roster)
+  // folds in the experiment seed without consuming a master fork — the
+  // trivial workload draws nothing from it, so every pre-workload
+  // golden digest is preserved.
+  server_config.workload.seed ^= config.seed;
   DefensePlan plan = MakeDefensePlan(config.defense, config.aggregator_params);
   sim->server_ = std::make_unique<FederatedServer>(
       *sim->model_, std::move(global), server_config,

@@ -130,8 +130,9 @@ StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
   for (int u = 0; u < config.num_users; ++u) {
     double share = user_weights[static_cast<size_t>(u)] / weight_sum;
     int64_t n = std::max<int64_t>(
-        min_per_user, static_cast<int64_t>(share * static_cast<double>(
-                                                       config.num_interactions)));
+        min_per_user,
+        static_cast<int64_t>(
+            share * static_cast<double>(config.num_interactions)));
     n = std::min<int64_t>(n, config.num_items);
     user_quota[static_cast<size_t>(u)] = n;
     assigned += n;

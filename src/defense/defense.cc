@@ -35,7 +35,8 @@ DefensePlan MakeDefensePlan(DefenseKind kind, const AggregatorParams& params) {
       break;
     case DefenseKind::kNormBound:
     case DefenseKind::kOursPlusNormBound:
-      plan.aggregator = std::make_unique<NormBoundAggregator>(params.norm_bound);
+      plan.aggregator =
+          std::make_unique<NormBoundAggregator>(params.norm_bound);
       break;
     case DefenseKind::kMedian:
       plan.aggregator = std::make_unique<MedianAggregator>();

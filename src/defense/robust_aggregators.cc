@@ -107,7 +107,9 @@ std::vector<double> KrumFilter::Scores(
   for (int i = 0; i < n; ++i) {
     row.clear();
     for (int j = 0; j < n; ++j) {
-      if (j != i) row.push_back(dist[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      if (j != i) {
+        row.push_back(dist[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      }
     }
     size_t k = std::min(row.size(), static_cast<size_t>(neighbors));
     std::partial_sort(row.begin(), row.begin() + static_cast<ptrdiff_t>(k),

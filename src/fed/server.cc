@@ -27,16 +27,21 @@ FederatedServer::FederatedServer(const RecModel& model, GlobalModel initial,
     : global_(std::move(initial)),
       config_(config),
       aggregator_(std::move(aggregator)),
-      filter_(std::move(filter)) {
+      filter_(std::move(filter)),
+      workload_(config.workload) {
   PIECK_CHECK(aggregator_ != nullptr);
   PIECK_CHECK(config_.users_per_round > 0);
   PIECK_CHECK(config_.num_threads >= 0);
   PIECK_CHECK(config_.router_shards >= 0);
+  if (Status st = config_.workload.Validate(); !st.ok()) {
+    PIECK_CHECK(false) << st.ToString();
+  }
   PIECK_CHECK(global_.item_embeddings.cols() ==
               static_cast<size_t>(model.embedding_dim()))
       << "GlobalModel shape does not match the RecModel";
-  const int threads = config_.num_threads == 0 ? ThreadPool::DefaultThreadCount()
-                                               : config_.num_threads;
+  const int threads = config_.num_threads == 0
+                          ? ThreadPool::DefaultThreadCount()
+                          : config_.num_threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
@@ -46,6 +51,7 @@ void FederatedServer::For(size_t n, const std::function<void(size_t)>& fn) {
 
 int64_t FederatedServer::ArenaBytes() const {
   int64_t bytes = static_cast<int64_t>(
+      selected_.capacity() * sizeof(int) +
       updates_.capacity() * sizeof(ClientUpdate) +
       scratch_.capacity() * sizeof(RoundScratch) +
       loss_slots_.capacity() * sizeof(double) +
@@ -60,6 +66,7 @@ int64_t FederatedServer::ArenaBytes() const {
     bytes += static_cast<int64_t>(v.capacity() * sizeof(double));
   }
   bytes += router_.CapacityBytes();
+  bytes += workload_.CapacityBytes();
   return bytes;
 }
 
@@ -71,11 +78,11 @@ RoundStats FederatedServer::RunRound(
   const SteadyClock::time_point t_select = SteadyClock::now();
 
   const int num_benign = store.num_users();
-  const int n = num_benign + static_cast<int>(malicious.size());
-  PIECK_CHECK(n > 0);
-  std::vector<int> selected = rng.SampleWithoutReplacement(
-      n, std::min(config_.users_per_round, n));
+  PIECK_CHECK(num_benign + static_cast<int>(malicious.size()) > 0);
+  const std::vector<int>& selected = SelectParticipants(
+      num_benign, static_cast<int>(malicious.size()), round, rng);
   stats.num_selected = static_cast<int>(selected.size());
+  stats.active_benign = workload_.active_benign();
 
   // Materialize the lazy per-user state (engine, defense) of this
   // round's benign participants before fanning out: PrepareRound grows
@@ -142,9 +149,11 @@ RoundStats FederatedServer::RunRound(
 
   const int n = static_cast<int>(clients.size());
   PIECK_CHECK(n > 0);
-  std::vector<int> selected = rng.SampleWithoutReplacement(
-      n, std::min(config_.users_per_round, n));
+  // The object path has no benign/malicious index split the driver
+  // could pin, so the whole client population churns and skews as one.
+  const std::vector<int>& selected = SelectParticipants(n, 0, round, rng);
   stats.num_selected = static_cast<int>(selected.size());
+  stats.active_benign = workload_.active_benign();
   for (int idx : selected) {
     if (clients[static_cast<size_t>(idx)]->is_malicious()) {
       stats.num_malicious_selected++;
@@ -173,6 +182,15 @@ RoundStats FederatedServer::RunRound(
 void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw,
                                    RoundStats* stats) {
   RouteAndApply(raw, stats);
+}
+
+const std::vector<int>& FederatedServer::SelectParticipants(int num_benign,
+                                                            int num_malicious,
+                                                            int round,
+                                                            Rng& rng) {
+  workload_.BindPopulation(num_benign, num_malicious);
+  workload_.SelectInto(round, config_.users_per_round, rng, &selected_);
+  return selected_;
 }
 
 void FederatedServer::RouteAndApply(const std::vector<ClientUpdate>& raw,

@@ -14,7 +14,11 @@
 /// (checked at construction).
 ///
 /// A round runs as an explicit, individually timed pipeline:
-///   Select  — sample participants, materialize lazy benign state;
+///   Select  — sample participants through the `WorkloadDriver` (churn
+///             advance, diurnal cohort scaling, uniform/Zipf/exponential
+///             participation; the default traffic shape reproduces the
+///             legacy uniform draw bit-for-bit), then materialize the
+///             lazy benign state of the cohort;
 ///   Train   — client local training, fanned over the worker pool into
 ///             selection-slot upload arenas;
 ///   Route   — client-level filter, then the `UpdateRouter` groups the
@@ -46,6 +50,7 @@
 #include "fed/update_router.h"
 #include "model/global_model.h"
 #include "model/rec_model.h"
+#include "workload/workload.h"
 
 namespace pieck {
 
@@ -69,6 +74,11 @@ struct ServerConfig {
   /// explicit values are clamped to the item count. Any value produces
   /// bit-identical results — sharding only changes work partitioning.
   int router_shards = 0;
+  /// Traffic shape of the participant-selection stage: participation
+  /// skew, diurnal arrival waves, and user churn (see
+  /// workload/workload.h). The default is the trivial workload, whose
+  /// selection stream is bit-identical to the pre-workload engine.
+  WorkloadConfig workload;
 };
 
 /// Statistics from one communication round (diagnostics / cost analysis).
@@ -76,6 +86,9 @@ struct RoundStats {
   int round = 0;
   int num_selected = 0;
   int num_malicious_selected = 0;
+  /// Benign users active under the workload's churn roster this round
+  /// (the whole population for the trivial workload).
+  int active_benign = 0;
   /// Mean training loss over the benign participants (store path only;
   /// 0 when no benign client was selected).
   double mean_benign_loss = 0.0;
@@ -146,12 +159,25 @@ class FederatedServer {
   void ApplyUpdates(const std::vector<ClientUpdate>& updates,
                     RoundStats* stats = nullptr);
 
+  /// Samples this round's cohort through the workload driver: advances
+  /// churn to the round boundary, applies the diurnal wave to the
+  /// `users_per_round` target, and draws via the configured
+  /// ParticipationModel. The default (trivial) workload performs
+  /// exactly the legacy `rng.SampleWithoutReplacement(n, k)` draw —
+  /// bit-for-bit. The returned reference is an arena reused across
+  /// rounds; RunRound calls this internally, tests call it directly.
+  const std::vector<int>& SelectParticipants(int num_benign,
+                                             int num_malicious, int round,
+                                             Rng& rng);
+
   const GlobalModel& global() const { return global_; }
   GlobalModel& mutable_global() { return global_; }
   const ServerConfig& config() const { return config_; }
   const Aggregator& aggregator() const { return *aggregator_; }
   /// The routing structure (telemetry / zero-allocation tests).
   const UpdateRouter& router() const { return router_; }
+  /// The traffic-shape driver behind SelectParticipants.
+  const WorkloadDriver& workload() const { return workload_; }
   /// Effective round-loop parallelism (1 when no pool was created).
   int num_threads() const { return pool_ ? pool_->num_threads() : 1; }
   /// The round loop's worker pool (nullptr when running serially). The
@@ -186,7 +212,10 @@ class FederatedServer {
   std::unique_ptr<UpdateFilter> filter_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
 
+  WorkloadDriver workload_;  // participant-selection traffic shape
+
   // Round arenas, reused across rounds.
+  std::vector<int> selected_;           // this round's cohort
   std::vector<ClientUpdate> updates_;   // one slot per selected client
   std::vector<RoundScratch> scratch_;   // one arena per worker slot
   std::vector<double> loss_slots_;      // per-selection benign loss

@@ -59,7 +59,9 @@ void UpdateRouter::BuildShard(int shard) {
   size_t total = 0;
   for (size_t w = 0; w < num_workers_; ++w) {
     const std::vector<Entry>& b = bucket(w, shard);
-    for (const Entry& e : b) ++arena.counts[static_cast<size_t>(e.item - begin)];
+    for (const Entry& e : b) {
+      ++arena.counts[static_cast<size_t>(e.item - begin)];
+    }
     total += b.size();
   }
 
@@ -106,7 +108,8 @@ UpdateRouter::ShardView UpdateRouter::Shard(int shard) const {
 int64_t UpdateRouter::total_groups() const {
   int64_t groups = 0;
   for (int s = 0; s < num_shards_; ++s) {
-    groups += static_cast<int64_t>(shards_[static_cast<size_t>(s)].items.size());
+    groups +=
+        static_cast<int64_t>(shards_[static_cast<size_t>(s)].items.size());
   }
   return groups;
 }

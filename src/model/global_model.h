@@ -85,7 +85,9 @@ struct ClientUpdate {
     const std::pair<int, Vec>* begin() const { return data; }
     const std::pair<int, Vec>* end() const { return data + size; }
   };
-  ItemGradSpan item_span() const { return {item_grads.data(), item_grads.size()}; }
+  ItemGradSpan item_span() const {
+    return {item_grads.data(), item_grads.size()};
+  }
 
   ClientUpdate() = default;
   // Copies are instrumented: the server's aggregation path is required

@@ -1,0 +1,99 @@
+#include "workload/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pieck {
+
+namespace {
+
+constexpr double kFirstBucketMs = 1e-3;  // 1 µs
+
+/// Bucket index of `ms`: sub-bucketed log2 of ms / 1 µs, clamped.
+int BucketIndex(double ms) {
+  if (!(ms > kFirstBucketMs)) return 0;
+  const double octave = std::log2(ms / kFirstBucketMs);
+  const int idx = static_cast<int>(octave *
+                                   LatencyHistogram::kSubBucketsPerOctave);
+  return std::min(idx, LatencyHistogram::kNumBuckets - 1);
+}
+
+/// Geometric midpoint of bucket `idx`.
+double BucketMidMs(int idx) {
+  const double lo =
+      kFirstBucketMs *
+      std::exp2(static_cast<double>(idx) /
+                LatencyHistogram::kSubBucketsPerOctave);
+  const double hi =
+      kFirstBucketMs *
+      std::exp2(static_cast<double>(idx + 1) /
+                LatencyHistogram::kSubBucketsPerOctave);
+  return std::sqrt(lo * hi);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double ms) {
+  buckets_[BucketIndex(ms)]++;
+  if (count_ == 0) {
+    min_ms_ = max_ms_ = ms;
+  } else {
+    min_ms_ = std::min(min_ms_, ms);
+    max_ms_ = std::max(max_ms_, ms);
+  }
+  ++count_;
+  sum_ms_ += ms;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_ms_;
+  if (q >= 1.0) return max_ms_;
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Clamp the bucket estimate by the exact extremes so tiny sample
+      // counts never report a quantile outside [min, max].
+      return std::clamp(BucketMidMs(i), min_ms_, max_ms_);
+    }
+  }
+  return max_ms_;
+}
+
+void LatencyHistogram::Reset() { *this = LatencyHistogram(); }
+
+const char* StageLatencies::StageName(int s) {
+  switch (s) {
+    case kSelect:
+      return "select";
+    case kTrain:
+      return "train";
+    case kRoute:
+      return "route";
+    case kApply:
+      return "apply";
+    case kInteraction:
+      return "interaction";
+    case kRound:
+      return "round";
+  }
+  return "?";
+}
+
+void StageLatencies::RecordRound(double select_ms, double train_ms,
+                                 double route_ms, double apply_ms,
+                                 double interaction_ms) {
+  stage[kSelect].Record(select_ms);
+  stage[kTrain].Record(train_ms);
+  stage[kRoute].Record(route_ms);
+  stage[kApply].Record(apply_ms);
+  stage[kInteraction].Record(interaction_ms);
+  stage[kRound].Record(select_ms + train_ms + route_ms + apply_ms +
+                       interaction_ms);
+}
+
+}  // namespace pieck

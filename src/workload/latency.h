@@ -1,0 +1,76 @@
+/// \file
+/// Fixed-footprint latency histograms for the tail-latency harness.
+///
+/// Mean rounds/s hides exactly the behavior a production traffic model
+/// exists to expose: a diurnal wave doubles the cohort for a few
+/// rounds, churn makes a cold user fault in lazy state, and only the
+/// p95/p99 of the affected stage moves. `LatencyHistogram` records
+/// per-round stage times into geometric buckets (HdrHistogram-style:
+/// bounded memory, bounded relative error) and reports quantiles;
+/// `StageLatencies` is the per-stage bundle the benches accumulate from
+/// `RoundStats` and emit as the `latency` section of their JSON.
+#ifndef PIECK_WORKLOAD_LATENCY_H_
+#define PIECK_WORKLOAD_LATENCY_H_
+
+#include <cstdint>
+
+namespace pieck {
+
+/// Log-bucketed histogram over (0, ~4.7 h) of millisecond samples:
+/// 64 octaves from 1 µs at 16 sub-buckets per octave gives a worst-case
+/// relative quantile error of 2^(1/16) − 1 ≈ 4.4% per bucket, in 8 KB.
+/// Exact min/max/sum/count ride along. Values at or below zero clamp
+/// into the first bucket.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 16;
+  static constexpr int kOctaves = 44;  // 1 µs · 2^44 ≈ 4.9 h
+  static constexpr int kNumBuckets = kSubBucketsPerOctave * kOctaves;
+
+  void Record(double ms);
+
+  int64_t count() const { return count_; }
+  double min_ms() const { return count_ > 0 ? min_ms_ : 0.0; }
+  double max_ms() const { return count_ > 0 ? max_ms_ : 0.0; }
+  double mean_ms() const {
+    return count_ > 0 ? sum_ms_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Quantile `q` in [0, 1] as the geometric midpoint of the bucket
+  /// holding the ⌈q·count⌉-th sample (exact min/max at the ends).
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  int64_t buckets_[kNumBuckets] = {};
+  int64_t count_ = 0;
+  double sum_ms_ = 0.0;
+  double min_ms_ = 0.0;
+  double max_ms_ = 0.0;
+};
+
+/// One histogram per round-pipeline stage plus the end-to-end round.
+struct StageLatencies {
+  enum Stage {
+    kSelect = 0,
+    kTrain,
+    kRoute,
+    kApply,
+    kInteraction,
+    kRound,  // sum of the stages: end-to-end round latency
+    kNumStages,
+  };
+
+  static const char* StageName(int stage);
+
+  LatencyHistogram stage[kNumStages];
+
+  /// Records one round's stage times (milliseconds) and their sum.
+  void RecordRound(double select_ms, double train_ms, double route_ms,
+                   double apply_ms, double interaction_ms);
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_WORKLOAD_LATENCY_H_

@@ -1,0 +1,286 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+namespace {
+
+// Sub-stream salts: the rank permutation and the churn roster draw from
+// independent streams derived from WorkloadConfig::seed, so changing
+// one knob never shifts the randomness of another.
+constexpr uint64_t kRankSalt = 0x72616e6b5f70726dULL;   // "rank_prm"
+constexpr uint64_t kChurnSalt = 0x636875726e5f7374ULL;  // "churn_st"
+
+}  // namespace
+
+const char* ParticipationKindToString(ParticipationKind kind) {
+  switch (kind) {
+    case ParticipationKind::kUniform:
+      return "uniform";
+    case ParticipationKind::kZipf:
+      return "zipf";
+    case ParticipationKind::kExponential:
+      return "exponential";
+  }
+  return "?";
+}
+
+bool WorkloadConfig::IsTrivial() const {
+  return participation == ParticipationKind::kUniform && !churn.enabled() &&
+         diurnal_amplitude == 0.0;
+}
+
+Status WorkloadConfig::Validate() const {
+  if (participation == ParticipationKind::kZipf && zipf_exponent <= 0.0) {
+    return Status::InvalidArgument("workload: zipf_exponent must be > 0");
+  }
+  if (participation == ParticipationKind::kExponential &&
+      exponential_rate <= 0.0) {
+    return Status::InvalidArgument("workload: exponential_rate must be > 0");
+  }
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude > 1.0) {
+    return Status::InvalidArgument(
+        "workload: diurnal_amplitude must be in [0, 1]");
+  }
+  if (diurnal_amplitude > 0.0 && diurnal_period <= 0) {
+    return Status::InvalidArgument("workload: diurnal_period must be > 0");
+  }
+  if (churn.join_rate < 0.0 || churn.join_rate > 1.0 ||
+      churn.leave_rate < 0.0 || churn.leave_rate > 1.0) {
+    return Status::InvalidArgument(
+        "workload: churn rates must be in [0, 1]");
+  }
+  if (churn.initial_active <= 0.0 || churn.initial_active > 1.0) {
+    return Status::InvalidArgument(
+        "workload: churn.initial_active must be in (0, 1]");
+  }
+  if (hot_item_fraction < 0.0 || hot_item_fraction > 1.0 ||
+      hot_item_rate < 0.0 || hot_item_rate > 1.0) {
+    return Status::InvalidArgument(
+        "workload: hot-item knobs must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Participation models.
+
+void UniformParticipation::SampleInto(const std::vector<int>& active, int k,
+                                      Rng& rng, std::vector<int>* out) const {
+  const int n = static_cast<int>(active.size());
+  PIECK_DCHECK(k <= n);
+  // Over the identity-ordered full population this is *exactly* the
+  // legacy rng.SampleWithoutReplacement(n, k) draw (same calls, same
+  // order), which is what the bit-identity contract of the trivial
+  // workload rests on.
+  std::vector<int> positions = rng.SampleWithoutReplacement(n, k);
+  out->resize(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    (*out)[i] = active[static_cast<size_t>(positions[i])];
+  }
+}
+
+SkewedParticipation::SkewedParticipation(std::string name,
+                                         std::vector<double> weight_by_id)
+    : name_(std::move(name)), weight_by_id_(std::move(weight_by_id)) {
+  for (double w : weight_by_id_) PIECK_CHECK(w > 0.0);
+}
+
+void SkewedParticipation::SampleInto(const std::vector<int>& active, int k,
+                                     Rng& rng, std::vector<int>* out) const {
+  PIECK_DCHECK(k <= static_cast<int>(active.size()));
+  // Efraimidis–Spirakis: key(id) = log(u)/w(id) with u ~ U(0,1); the k
+  // largest keys win. One uniform per active user, drawn in active-list
+  // order, so the result is a pure function of the RNG stream and the
+  // roster — independent of thread count by construction.
+  //
+  // Min-heap of the current winners; ties (never observed in practice)
+  // break toward the earlier roster position for determinism.
+  using Entry = std::pair<double, int>;  // (key, id)
+  thread_local std::vector<Entry> heap;
+  heap.clear();
+  heap.reserve(static_cast<size_t>(k));
+  auto worse = [](const Entry& a, const Entry& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  };
+  for (int id : active) {
+    const double u = rng.Uniform();
+    const double key =
+        std::log(std::max(u, 1e-300)) / weight_by_id_[static_cast<size_t>(id)];
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back({key, id});
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (k > 0 && key > heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = {key, id};
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  // Emit in descending key order (deterministic).
+  std::sort(heap.begin(), heap.end(), [](const Entry& a, const Entry& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  out->resize(heap.size());
+  for (size_t i = 0; i < heap.size(); ++i) (*out)[i] = heap[i].second;
+}
+
+std::unique_ptr<ParticipationModel> ParticipationModel::Create(
+    const WorkloadConfig& config, int n) {
+  PIECK_CHECK(n > 0);
+  if (config.participation == ParticipationKind::kUniform) {
+    return std::make_unique<UniformParticipation>();
+  }
+  // Propensity ranks are a seeded permutation of the combined id space,
+  // so user id carries no propensity hint (mirroring the synthetic
+  // generator's permuted item popularity).
+  Rng rank_rng(config.seed ^ kRankSalt);
+  std::vector<int> by_rank = rank_rng.SampleWithoutReplacement(n, n);
+  std::vector<double> weights(static_cast<size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    double w;
+    if (config.participation == ParticipationKind::kZipf) {
+      w = std::pow(static_cast<double>(rank) + 1.0, -config.zipf_exponent);
+    } else {
+      const double span = n > 1 ? static_cast<double>(n - 1) : 1.0;
+      w = std::exp(-config.exponential_rate * static_cast<double>(rank) /
+                   span);
+    }
+    weights[static_cast<size_t>(by_rank[static_cast<size_t>(rank)])] = w;
+  }
+  return std::make_unique<SkewedParticipation>(
+      ParticipationKindToString(config.participation), std::move(weights));
+}
+
+// ---------------------------------------------------------------------
+// Driver.
+
+WorkloadDriver::WorkloadDriver(WorkloadConfig config)
+    : config_(config),
+      trivial_(config.IsTrivial()),
+      churn_rng_(config.seed ^ kChurnSalt) {}
+
+void WorkloadDriver::BindPopulation(int num_benign, int num_malicious) {
+  PIECK_CHECK(num_benign + num_malicious > 0);
+  if (bound_ && num_benign == num_benign_ && num_malicious == num_malicious_) {
+    return;
+  }
+  bound_ = true;
+  num_benign_ = num_benign;
+  num_malicious_ = num_malicious;
+  if (trivial_) return;
+
+  model_ = ParticipationModel::Create(config_, num_benign + num_malicious);
+
+  active_benign_.clear();
+  parked_.clear();
+  if (config_.churn.initial_active >= 1.0 || num_benign == 0) {
+    active_benign_.resize(static_cast<size_t>(num_benign));
+    for (int u = 0; u < num_benign; ++u) {
+      active_benign_[static_cast<size_t>(u)] = u;
+    }
+  } else {
+    const int count = std::clamp<int>(
+        static_cast<int>(
+            std::llround(config_.churn.initial_active * num_benign)),
+        1, num_benign);
+    active_benign_ = churn_rng_.SampleWithoutReplacement(num_benign, count);
+    std::vector<uint8_t> is_active(static_cast<size_t>(num_benign), 0);
+    for (int u : active_benign_) is_active[static_cast<size_t>(u)] = 1;
+    parked_.reserve(static_cast<size_t>(num_benign - count));
+    for (int u = 0; u < num_benign; ++u) {
+      if (!is_active[static_cast<size_t>(u)]) parked_.push_back(u);
+    }
+  }
+}
+
+int WorkloadDriver::active_benign() const {
+  if (trivial_) return num_benign_;
+  return static_cast<int>(active_benign_.size());
+}
+
+int WorkloadDriver::DiurnalCohort(int round, int cohort_target) const {
+  if (config_.diurnal_amplitude <= 0.0) return cohort_target;
+  constexpr double kTwoPi = 6.283185307179586;
+  const double phase = kTwoPi * static_cast<double>(round) /
+                       static_cast<double>(config_.diurnal_period);
+  const double scale = 1.0 + config_.diurnal_amplitude * std::sin(phase);
+  return std::max<int>(
+      1, static_cast<int>(std::llround(cohort_target * scale)));
+}
+
+void WorkloadDriver::AdvanceChurn() {
+  // Leaves first, then joins, both counted against the roster sizes at
+  // this boundary: a user parked here may rejoin here (net no-op), but
+  // no user both joins and leaves within one boundary. The active
+  // population never drops below one user.
+  const int active = static_cast<int>(active_benign_.size());
+  const int leaves = std::min<int>(
+      std::max(0, active - 1),
+      static_cast<int>(std::llround(config_.churn.leave_rate * active)));
+  for (int i = 0; i < leaves; ++i) {
+    const size_t j = static_cast<size_t>(churn_rng_.UniformInt(
+        0, static_cast<int64_t>(active_benign_.size()) - 1));
+    parked_.push_back(active_benign_[j]);
+    active_benign_[j] = active_benign_.back();
+    active_benign_.pop_back();
+  }
+  const int parked = static_cast<int>(parked_.size());
+  const int joins = std::min<int>(
+      parked,
+      static_cast<int>(std::llround(config_.churn.join_rate * parked)));
+  for (int i = 0; i < joins; ++i) {
+    const size_t j = static_cast<size_t>(churn_rng_.UniformInt(
+        0, static_cast<int64_t>(parked_.size()) - 1));
+    active_benign_.push_back(parked_[j]);
+    parked_[j] = parked_.back();
+    parked_.pop_back();
+  }
+}
+
+void WorkloadDriver::SelectInto(int round, int cohort_target, Rng& rng,
+                                std::vector<int>* out) {
+  PIECK_CHECK(bound_) << "BindPopulation must precede SelectInto";
+  PIECK_CHECK(cohort_target > 0);
+  const int n = num_benign_ + num_malicious_;
+  if (trivial_) {
+    // The legacy path, draw for draw.
+    *out = rng.SampleWithoutReplacement(n, std::min(cohort_target, n));
+    return;
+  }
+  if (round > 0 && config_.churn.enabled()) AdvanceChurn();
+
+  // Roster for this round: active benign users plus the always-active
+  // malicious tail (the attacker keeps its clients online).
+  active_ids_.clear();
+  active_ids_.reserve(active_benign_.size() +
+                      static_cast<size_t>(num_malicious_));
+  active_ids_.insert(active_ids_.end(), active_benign_.begin(),
+                     active_benign_.end());
+  for (int m = 0; m < num_malicious_; ++m) {
+    active_ids_.push_back(num_benign_ + m);
+  }
+
+  const int k = std::min<int>(DiurnalCohort(round, cohort_target),
+                              static_cast<int>(active_ids_.size()));
+  model_->SampleInto(active_ids_, k, rng, out);
+}
+
+int64_t WorkloadDriver::CapacityBytes() const {
+  int64_t bytes = static_cast<int64_t>(
+      (active_benign_.capacity() + parked_.capacity() +
+       active_ids_.capacity()) *
+      sizeof(int));
+  if (const auto* skewed =
+          dynamic_cast<const SkewedParticipation*>(model_.get())) {
+    bytes += static_cast<int64_t>(skewed->weights().capacity() *
+                                  sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace pieck

@@ -1,0 +1,215 @@
+/// \file
+/// Production-shaped traffic for the round engine: who shows up each
+/// round, and how many.
+///
+/// Every experiment before this layer sampled participants uniformly
+/// from a fixed population — the paper's protocol, but not production
+/// reality, where per-user participation is heavily skewed, cohort
+/// sizes wave with the clock, and users churn in and out. PIECK mines
+/// *popularity*, so both the attack and the defenses behave differently
+/// under skew; this layer makes that regime drivable from every bench.
+///
+/// Three composable pieces, configured by `WorkloadConfig`:
+///   - a `ParticipationModel` (uniform, Zipf, exponential) drawing each
+///     round's cohort from the currently active population;
+///   - a diurnal arrival wave scaling the cohort target per round;
+///   - user churn: at every round boundary a fraction of active users
+///     leaves and a fraction of parked users (re)joins. Joins need no
+///     eager state — `ClientStateStore` materializes a joining user's
+///     embedding/engine lazily on its first participation.
+///
+/// Determinism contract: the default configuration (`IsTrivial()`) must
+/// reproduce the legacy selection stream *bit-for-bit* — it performs
+/// exactly one `rng.SampleWithoutReplacement(n, k)` call per round and
+/// touches no other randomness, so every golden digest captured before
+/// this layer existed still pins the engine. Non-trivial configurations
+/// draw churn and skew randomness from a private stream seeded by
+/// `WorkloadConfig::seed`, never from the round RNG, and are themselves
+/// deterministic for any thread count (selection runs on the round
+/// thread by contract).
+#ifndef PIECK_WORKLOAD_WORKLOAD_H_
+#define PIECK_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace pieck {
+
+/// How per-user participation propensity is distributed.
+enum class ParticipationKind {
+  kUniform,      // every active user equally likely (the paper's protocol)
+  kZipf,         // weight of the user at rank ρ is 1/(ρ+1)^s
+  kExponential,  // weight of the user at rank ρ is exp(-rate·ρ/(n-1))
+};
+
+const char* ParticipationKindToString(ParticipationKind kind);
+
+/// User churn at round boundaries. Leaves are processed before joins,
+/// so a user parked at a boundary may rejoin at that same boundary (and
+/// a user can never join and leave within one boundary). The active
+/// population is clamped to at least one user.
+struct ChurnConfig {
+  /// Fraction of the *parked* population that joins per round.
+  double join_rate = 0.0;
+  /// Fraction of the *active* population that leaves per round.
+  double leave_rate = 0.0;
+  /// Fraction of users active at round 0 (the rest start parked).
+  double initial_active = 1.0;
+
+  bool enabled() const {
+    return join_rate > 0.0 || leave_rate > 0.0 || initial_active < 1.0;
+  }
+};
+
+/// Full description of one traffic shape. The default value is the
+/// trivial workload: uniform participation, everyone always active,
+/// flat arrivals — bit-identical to the pre-workload engine.
+struct WorkloadConfig {
+  ParticipationKind participation = ParticipationKind::kUniform;
+  /// Zipf exponent s of the participation propensity (kZipf).
+  double zipf_exponent = 1.0;
+  /// Decay rate of the exponential propensity (kExponential).
+  double exponential_rate = 4.0;
+
+  /// Diurnal arrival wave: the cohort target of round r is scaled by
+  /// 1 + amplitude·sin(2π·r/period). 0 disables; amplitude ≤ 1.
+  double diurnal_amplitude = 0.0;
+  int diurnal_period = 24;
+
+  ChurnConfig churn;
+
+  /// Hot-item interaction skew for synthetic data generators: a
+  /// `hot_item_rate` fraction of interactions is redirected into the
+  /// hottest `hot_item_fraction` slice of the item space. Consumed by
+  /// the data-synthesis layer (bench_lib's scale sweep), not by the
+  /// participation driver.
+  double hot_item_fraction = 0.0;
+  double hot_item_rate = 0.0;
+
+  /// Seed of the private workload stream (rank permutation, churn).
+  /// The round RNG is never used for workload randomness.
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+  /// True when this configuration is the legacy uniform path: no skew,
+  /// no churn, no diurnal wave. `WorkloadDriver` then performs exactly
+  /// the legacy selection draw.
+  bool IsTrivial() const;
+
+  /// Rejects out-of-range knobs (non-positive exponents/periods, rates
+  /// outside [0, 1], amplitude outside [0, 1], hot-item knobs outside
+  /// [0, 1], initial_active outside (0, 1]).
+  Status Validate() const;
+};
+
+/// Draws one round's cohort from the active population. Implementations
+/// are stateless between rounds; all randomness comes from the caller's
+/// RNG, so a model is deterministic given its construction parameters
+/// and the RNG state.
+class ParticipationModel {
+ public:
+  virtual ~ParticipationModel() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Samples `k` distinct entries of `active` (ids in the combined
+  /// population space) into `*out`, overwriting it. `k <= active.size()`
+  /// by contract.
+  virtual void SampleInto(const std::vector<int>& active, int k, Rng& rng,
+                          std::vector<int>* out) const = 0;
+
+  /// Builds the model for `config` over a population of `n` combined
+  /// ids. Skewed models assign propensity ranks by a permutation drawn
+  /// from `Rng(config.seed)` so that user id carries no propensity hint.
+  static std::unique_ptr<ParticipationModel> Create(
+      const WorkloadConfig& config, int n);
+};
+
+/// Uniform participation: `SampleInto` over the identity-ordered full
+/// population performs exactly `rng.SampleWithoutReplacement(n, k)`.
+class UniformParticipation final : public ParticipationModel {
+ public:
+  const char* name() const override { return "uniform"; }
+  void SampleInto(const std::vector<int>& active, int k, Rng& rng,
+                  std::vector<int>* out) const override;
+};
+
+/// Weighted participation (Zipf or exponential propensities) via the
+/// Efraimidis–Spirakis one-pass weighted reservoir: each active user
+/// draws one uniform u and the k largest keys log(u)/w win. One pass,
+/// O(active·log k), deterministic in the RNG stream.
+class SkewedParticipation final : public ParticipationModel {
+ public:
+  /// `weight_by_id[id]` is the propensity of combined id `id`; all
+  /// weights must be positive.
+  SkewedParticipation(std::string name, std::vector<double> weight_by_id);
+
+  const char* name() const override { return name_.c_str(); }
+  void SampleInto(const std::vector<int>& active, int k, Rng& rng,
+                  std::vector<int>* out) const override;
+
+  const std::vector<double>& weights() const { return weight_by_id_; }
+
+ private:
+  std::string name_;
+  std::vector<double> weight_by_id_;
+};
+
+/// Owns the per-run workload state: the participation model, the churn
+/// roster, and the diurnal phase. One driver per server; `SelectInto`
+/// is called once per round from the round thread.
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(WorkloadConfig config);
+
+  /// Binds the driver to a population of `num_benign` churnable users
+  /// plus `num_malicious` always-active tail ids (the attacker keeps
+  /// its clients online). Called lazily by the first `SelectInto`;
+  /// rebinding with a different split resets the churn roster.
+  void BindPopulation(int num_benign, int num_malicious);
+
+  /// Advances churn to the boundary of `round`, applies the diurnal
+  /// wave to the `cohort_target`, and samples the round's cohort into
+  /// `*out` (combined-population ids, distinct). The trivial
+  /// configuration performs exactly the legacy
+  /// `rng.SampleWithoutReplacement(n, min(k, n))` draw.
+  void SelectInto(int round, int cohort_target, Rng& rng,
+                  std::vector<int>* out);
+
+  const WorkloadConfig& config() const { return config_; }
+  bool trivial() const { return trivial_; }
+  /// Currently active benign users (all of them for trivial configs).
+  int active_benign() const;
+  /// The cohort size the diurnal wave targets for `round` before
+  /// clamping to the active population.
+  int DiurnalCohort(int round, int cohort_target) const;
+
+  /// Resident bytes of the roster/weight/scratch arrays (telemetry).
+  int64_t CapacityBytes() const;
+
+ private:
+  void AdvanceChurn();
+
+  WorkloadConfig config_;
+  bool trivial_ = true;
+  bool bound_ = false;
+  int num_benign_ = 0;
+  int num_malicious_ = 0;
+
+  std::unique_ptr<ParticipationModel> model_;
+  Rng churn_rng_{0};
+
+  // Churn roster over benign ids; malicious ids are appended to
+  // `active_ids_` after every boundary and never churn.
+  std::vector<int> active_benign_;
+  std::vector<int> parked_;
+  std::vector<int> active_ids_;  // active benign + all malicious
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_WORKLOAD_WORKLOAD_H_

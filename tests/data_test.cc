@@ -260,7 +260,8 @@ TEST(NegativeSamplerTest, LargeQSaturatesAtPool) {
   Dataset ds = TinyDataset();
   NegativeSampler sampler(100.0);
   Rng rng(10);
-  auto batch = sampler.SampleBatch(ds, 0, rng);  // user 0: 2 pos, 2 uninteracted
+  // User 0: 2 positives, 2 uninteracted items.
+  auto batch = sampler.SampleBatch(ds, 0, rng);
   int neg = 0;
   for (const auto& ex : batch) neg += ex.label < 0.5 ? 1 : 0;
   EXPECT_EQ(neg, 2);

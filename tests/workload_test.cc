@@ -1,0 +1,445 @@
+// The workload layer's two contracts (src/workload/workload.h):
+//   1. the trivial configuration is bit-identical to the legacy
+//      uniform draw — the engine's golden digests rest on it;
+//   2. every non-trivial configuration is deterministic for any thread
+//      count, draws skew/churn randomness only from its private
+//      stream, and keeps the statistical shape it advertises.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "fed/server.h"
+#include "workload/latency.h"
+#include "workload/workload.h"
+
+namespace pieck {
+namespace {
+
+WorkloadConfig ZipfConfig(double s) {
+  WorkloadConfig w;
+  w.participation = ParticipationKind::kZipf;
+  w.zipf_exponent = s;
+  return w;
+}
+
+// -------------------------------------------------------------------
+// Bit-identity of the trivial workload.
+
+TEST(WorkloadDriverTest, TrivialSelectionMatchesLegacyDrawBitForBit) {
+  WorkloadDriver driver{WorkloadConfig{}};
+  ASSERT_TRUE(driver.trivial());
+  driver.BindPopulation(/*num_benign=*/100, /*num_malicious=*/5);
+
+  Rng rng(42);
+  Rng legacy(42);
+  std::vector<int> selected;
+  for (int round = 0; round < 6; ++round) {
+    driver.SelectInto(round, /*cohort_target=*/32, rng, &selected);
+    EXPECT_EQ(selected, legacy.SampleWithoutReplacement(105, 32))
+        << "round " << round;
+  }
+  // The driver consumed nothing beyond the legacy draws: both streams
+  // are still aligned.
+  EXPECT_EQ(rng.SampleWithoutReplacement(10, 3),
+            legacy.SampleWithoutReplacement(10, 3));
+}
+
+TEST(WorkloadDriverTest, TrivialSelectionClampsCohortToPopulation) {
+  WorkloadDriver driver{WorkloadConfig{}};
+  driver.BindPopulation(7, 0);
+  Rng rng(1);
+  std::vector<int> selected;
+  driver.SelectInto(0, 100, rng, &selected);
+  EXPECT_EQ(selected.size(), 7u);
+}
+
+TEST(WorkloadServerTest, DefaultServerSelectionMatchesLegacyDraw) {
+  auto model = MakeModel(ModelKind::kMatrixFactorization, 4);
+  Rng init(7);
+  ServerConfig config;
+  config.users_per_round = 16;
+  FederatedServer server(*model, model->InitGlobalModel(30, init), config,
+                         std::make_unique<SumAggregator>());
+
+  Rng rng(99);
+  Rng legacy(99);
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<int>& selected =
+        server.SelectParticipants(/*num_benign=*/50, /*num_malicious=*/3,
+                                  round, rng);
+    EXPECT_EQ(selected, legacy.SampleWithoutReplacement(53, 16))
+        << "round " << round;
+  }
+}
+
+// Uniform participation restricted to a churned roster still draws
+// positions exactly like the legacy sampler over the roster size.
+TEST(WorkloadDriverTest, UniformOverRosterMapsLegacyPositions) {
+  const std::vector<int> roster = {4, 9, 13, 21, 30, 31, 44};
+  UniformParticipation model;
+  Rng rng(5);
+  Rng legacy(5);
+  std::vector<int> out;
+  model.SampleInto(roster, 4, rng, &out);
+  const std::vector<int> positions = legacy.SampleWithoutReplacement(7, 4);
+  ASSERT_EQ(out.size(), positions.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], roster[static_cast<size_t>(positions[i])]);
+  }
+}
+
+// -------------------------------------------------------------------
+// Skewed participation statistics.
+
+TEST(WorkloadParticipationTest, ZipfFrequencyFollowsRankSlope) {
+  const int n = 50;
+  const double s = 1.0;
+  WorkloadConfig config = ZipfConfig(s);
+  auto model = ParticipationModel::Create(config, n);
+  const auto* skewed = dynamic_cast<const SkewedParticipation*>(model.get());
+  ASSERT_NE(skewed, nullptr);
+  ASSERT_EQ(skewed->weights().size(), static_cast<size_t>(n));
+
+  // With k = 1 Efraimidis–Spirakis reduces to exact weighted sampling:
+  // P(id) = w(id)/Σw. Empirical frequencies over many draws must match
+  // each user's weight share.
+  std::vector<int> active(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) active[static_cast<size_t>(i)] = i;
+  const int kDraws = 40000;
+  std::vector<int> freq(static_cast<size_t>(n), 0);
+  Rng rng(1234);
+  std::vector<int> out;
+  for (int d = 0; d < kDraws; ++d) {
+    model->SampleInto(active, 1, rng, &out);
+    ASSERT_EQ(out.size(), 1u);
+    ++freq[static_cast<size_t>(out[0])];
+  }
+
+  double weight_sum = 0.0;
+  for (double w : skewed->weights()) weight_sum += w;
+  for (int id = 0; id < n; ++id) {
+    const double expected =
+        kDraws * skewed->weights()[static_cast<size_t>(id)] / weight_sum;
+    // 5σ binomial band, floored for the rare tail users.
+    const double tol = std::max(5.0 * std::sqrt(expected), 12.0);
+    EXPECT_NEAR(freq[static_cast<size_t>(id)], expected, tol) << "id " << id;
+  }
+
+  // Log-log regression of frequency against propensity rank recovers
+  // the configured exponent. Use the 15 hottest ranks (the tail is too
+  // rare to estimate at this sample size).
+  std::vector<double> by_rank(skewed->weights().begin(),
+                              skewed->weights().end());
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return by_rank[static_cast<size_t>(a)] > by_rank[static_cast<size_t>(b)];
+  });
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const int kRanks = 15;
+  for (int r = 0; r < kRanks; ++r) {
+    const double x = std::log(static_cast<double>(r) + 1.0);
+    const double y = std::log(
+        std::max(1.0, static_cast<double>(
+                          freq[static_cast<size_t>(order[static_cast<size_t>(
+                              r)])])));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double slope =
+      (kRanks * sxy - sx * sy) / (kRanks * sxx - sx * sx);
+  EXPECT_NEAR(slope, -s, 0.2);
+}
+
+TEST(WorkloadParticipationTest, ExponentialWeightsDecayAcrossRanks) {
+  const int n = 40;
+  WorkloadConfig config;
+  config.participation = ParticipationKind::kExponential;
+  config.exponential_rate = 4.0;
+  auto model = ParticipationModel::Create(config, n);
+  const auto* skewed = dynamic_cast<const SkewedParticipation*>(model.get());
+  ASSERT_NE(skewed, nullptr);
+
+  std::vector<double> weights(skewed->weights());
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  // exp(-rate·ρ/(n-1)): top weight 1, bottom weight exp(-rate), and the
+  // sorted sequence decays geometrically.
+  EXPECT_DOUBLE_EQ(weights.front(), 1.0);
+  EXPECT_NEAR(weights.back(), std::exp(-4.0), 1e-12);
+  for (size_t i = 1; i < weights.size(); ++i) {
+    EXPECT_LT(weights[i], weights[i - 1]);
+  }
+}
+
+TEST(WorkloadParticipationTest, SampleIsDistinctAndDeterministic) {
+  const int n = 64;
+  WorkloadConfig config = ZipfConfig(1.2);
+  auto model = ParticipationModel::Create(config, n);
+  std::vector<int> active(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) active[static_cast<size_t>(i)] = i;
+
+  Rng a(77), b(77);
+  std::vector<int> out_a, out_b;
+  model->SampleInto(active, 20, a, &out_a);
+  model->SampleInto(active, 20, b, &out_b);
+  EXPECT_EQ(out_a, out_b);
+  std::vector<int> sorted = out_a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+      << "selection repeated an id";
+  EXPECT_EQ(out_a.size(), 20u);
+}
+
+// -------------------------------------------------------------------
+// Churn.
+
+TEST(WorkloadChurnTest, LeaveEverythingClampsToOneActiveUser) {
+  WorkloadConfig config = ZipfConfig(1.0);
+  config.churn.leave_rate = 1.0;
+  WorkloadDriver driver{config};
+  driver.BindPopulation(/*num_benign=*/20, /*num_malicious=*/2);
+  Rng rng(3);
+  std::vector<int> selected;
+
+  driver.SelectInto(0, 8, rng, &selected);
+  EXPECT_EQ(driver.active_benign(), 20);
+  driver.SelectInto(1, 8, rng, &selected);
+  EXPECT_EQ(driver.active_benign(), 1);
+  // Selection still works over the one survivor + malicious tail, and
+  // malicious ids (20, 21) remain selectable.
+  driver.SelectInto(2, 8, rng, &selected);
+  EXPECT_EQ(selected.size(), 3u);
+  std::sort(selected.begin(), selected.end());
+  EXPECT_EQ(selected[1], 20);
+  EXPECT_EQ(selected[2], 21);
+}
+
+TEST(WorkloadChurnTest, FullRejoinRestoresPopulationAtSameBoundary) {
+  // Half the active population parks at each boundary, then *every*
+  // parked user (including the just-parked) rejoins: the active count
+  // returns to the full population at the very same boundary.
+  WorkloadConfig config = ZipfConfig(1.0);
+  config.churn.leave_rate = 0.5;
+  config.churn.join_rate = 1.0;
+  config.churn.initial_active = 0.5;
+  WorkloadDriver driver{config};
+  driver.BindPopulation(40, 0);
+  Rng rng(11);
+  std::vector<int> selected;
+
+  driver.SelectInto(0, 4, rng, &selected);
+  EXPECT_EQ(driver.active_benign(), 20);
+  driver.SelectInto(1, 4, rng, &selected);
+  EXPECT_EQ(driver.active_benign(), 40);
+}
+
+TEST(WorkloadChurnTest, RosterConservedAndSelectionsStayActive) {
+  WorkloadConfig config = ZipfConfig(1.0);
+  config.churn.leave_rate = 0.3;
+  config.churn.join_rate = 0.2;
+  config.churn.initial_active = 0.6;
+  WorkloadDriver driver{config};
+  const int n = 100;
+  driver.BindPopulation(n, 0);
+  Rng rng(8);
+  std::vector<int> selected;
+  for (int round = 0; round < 30; ++round) {
+    driver.SelectInto(round, 10, rng, &selected);
+    EXPECT_GE(driver.active_benign(), 1);
+    EXPECT_LE(driver.active_benign(), n);
+    EXPECT_EQ(selected.size(),
+              static_cast<size_t>(std::min(10, driver.active_benign())));
+    for (int id : selected) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, n);
+    }
+  }
+}
+
+// -------------------------------------------------------------------
+// Diurnal wave.
+
+TEST(WorkloadDiurnalTest, CohortFollowsTheWaveAndClampsToOne) {
+  WorkloadConfig config;
+  config.diurnal_amplitude = 0.5;
+  config.diurnal_period = 4;
+  WorkloadDriver driver{config};
+  ASSERT_FALSE(config.IsTrivial());
+  EXPECT_EQ(driver.DiurnalCohort(0, 100), 100);  // sin(0) = 0
+  EXPECT_EQ(driver.DiurnalCohort(1, 100), 150);  // peak
+  EXPECT_EQ(driver.DiurnalCohort(3, 100), 50);   // trough
+  EXPECT_EQ(driver.DiurnalCohort(4, 100), 100);  // next period
+
+  WorkloadConfig deep;
+  deep.diurnal_amplitude = 1.0;
+  deep.diurnal_period = 4;
+  WorkloadDriver driver_deep{deep};
+  EXPECT_EQ(driver_deep.DiurnalCohort(3, 1), 1);  // clamp: never empty
+}
+
+// -------------------------------------------------------------------
+// Thread-count independence of the full engine under a non-trivial
+// workload (selection runs on the round thread by contract).
+
+TEST(WorkloadDeterminismTest, SkewedChurningRunBitIdenticalAcrossThreads) {
+  ExperimentConfig base;
+  base.dataset = MovieLens100KConfig(0.05);
+  base.embedding_dim = 8;
+  base.rounds = 6;
+  base.users_per_round = 16;
+  base.attack = AttackKind::kPieckIpe;
+  base.malicious_fraction = 0.1;
+  base.seed = 20240731;
+  base.workload = ZipfConfig(1.1);
+  base.workload.churn.leave_rate = 0.1;
+  base.workload.churn.join_rate = 0.1;
+  base.workload.diurnal_amplitude = 0.3;
+  base.workload.diurnal_period = 3;
+
+  ExperimentConfig wide = base;
+  wide.num_threads = 4;
+  base.num_threads = 1;
+
+  auto serial_or = Simulation::Create(base);
+  auto threaded_or = Simulation::Create(wide);
+  ASSERT_TRUE(serial_or.ok()) << serial_or.status().ToString();
+  ASSERT_TRUE(threaded_or.ok()) << threaded_or.status().ToString();
+  auto serial = std::move(serial_or).value();
+  auto threaded = std::move(threaded_or).value();
+
+  for (int r = 0; r < base.rounds; ++r) {
+    RoundStats a = serial->RunRound();
+    RoundStats b = threaded->RunRound();
+    EXPECT_EQ(a.num_selected, b.num_selected) << "round " << r;
+    EXPECT_EQ(a.active_benign, b.active_benign) << "round " << r;
+    ASSERT_EQ(serial->global().item_embeddings,
+              threaded->global().item_embeddings)
+        << "diverged at round " << r;
+  }
+  EXPECT_DOUBLE_EQ(serial->EvaluateEr(10), threaded->EvaluateEr(10));
+}
+
+// A skewed run must differ from the uniform run (the knob is real) yet
+// stay reproducible for a fixed seed.
+TEST(WorkloadDeterminismTest, SkewChangesSelectionButStaysReproducible) {
+  WorkloadDriver uniform{WorkloadConfig{}};
+  WorkloadDriver zipf_a{ZipfConfig(1.5)};
+  WorkloadDriver zipf_b{ZipfConfig(1.5)};
+  for (WorkloadDriver* d : {&uniform, &zipf_a, &zipf_b}) {
+    d->BindPopulation(200, 0);
+  }
+  Rng r1(5), r2(5), r3(5);
+  std::vector<int> u, a, b;
+  uniform.SelectInto(0, 32, r1, &u);
+  zipf_a.SelectInto(0, 32, r2, &a);
+  zipf_b.SelectInto(0, 32, r3, &b);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, u);
+}
+
+// -------------------------------------------------------------------
+// Latency histogram.
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketResolution) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_DOUBLE_EQ(h.min_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 500.5);
+  // Bucket geometry bounds the relative error at 2^(1/16) − 1 ≈ 4.4%.
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(h.Quantile(0.95), 950.0, 950.0 * 0.05);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 990.0 * 0.05);
+  // The extremes are exact, not bucket midpoints.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, NonPositiveAndHugeSamplesClampIntoRange) {
+  LatencyHistogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  h.Record(1e12);  // beyond the last octave
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 1e12);
+  EXPECT_LE(h.Quantile(0.01), h.Quantile(0.99));
+}
+
+TEST(LatencyHistogramTest, StageLatenciesRecordRoundSumsStages) {
+  StageLatencies stages;
+  stages.RecordRound(1.0, 10.0, 2.0, 3.0, 4.0);
+  stages.RecordRound(2.0, 20.0, 4.0, 6.0, 8.0);
+  EXPECT_EQ(stages.stage[StageLatencies::kTrain].count(), 2);
+  EXPECT_DOUBLE_EQ(stages.stage[StageLatencies::kRound].max_ms(), 40.0);
+  EXPECT_DOUBLE_EQ(stages.stage[StageLatencies::kRound].min_ms(), 20.0);
+  EXPECT_STREQ(StageLatencies::StageName(StageLatencies::kSelect), "select");
+  EXPECT_STREQ(StageLatencies::StageName(StageLatencies::kRound), "round");
+}
+
+// -------------------------------------------------------------------
+// Validation.
+
+TEST(WorkloadConfigTest, ValidateRejectsOutOfRangeKnobs) {
+  EXPECT_TRUE(WorkloadConfig{}.Validate().ok());
+  {
+    WorkloadConfig c = ZipfConfig(0.0);
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    WorkloadConfig c;
+    c.participation = ParticipationKind::kExponential;
+    c.exponential_rate = -1.0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    WorkloadConfig c;
+    c.diurnal_amplitude = 1.5;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    WorkloadConfig c;
+    c.diurnal_amplitude = 0.5;
+    c.diurnal_period = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    WorkloadConfig c;
+    c.churn.leave_rate = 1.5;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    WorkloadConfig c;
+    c.churn.initial_active = 0.0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    WorkloadConfig c;
+    c.hot_item_rate = -0.1;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+}
+
+TEST(WorkloadConfigTest, ExperimentConfigValidatePropagatesWorkloadErrors) {
+  ExperimentConfig config;
+  config.dataset = MovieLens100KConfig(0.05);
+  config.rounds = 5;
+  config.users_per_round = 8;
+  EXPECT_TRUE(config.Validate().ok());
+  config.workload = ZipfConfig(-1.0);
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace pieck

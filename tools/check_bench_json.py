@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Consolidated gate for the benchmark JSON artifacts CI produces.
+
+Subcommands (one per artifact family):
+
+  routing  <kernels.json>  [--min-speedup X]
+      Kernel sweep from `bench_microkernels --kernels_json`: the
+      arena-reused sharded router must beat the retired std::map
+      grouping at the 512-upload scale point (the default round batch).
+
+  scale    <scale.json>    [--max-bytes-per-user X]
+      Population sweep from `bench_scale_users --json`: validates the
+      schema (per-run config, workload metadata, per-stage latency
+      histograms) and optionally caps the store's bytes/user.
+
+  workload <scale.json>    [--max-p99-p50 X] [--min-active-fraction F]
+      Tail-latency gate for the workload-smoke job: same schema
+      validation as `scale`, plus the round-stage p99/p50 ratio must
+      stay under the bound (catches a degenerate traffic model whose
+      skew or churn turns individual rounds pathological) and the
+      churned active population must stay above F x users.
+
+Every subcommand prints what it measured and exits non-zero with a
+reason on failure. See .github/workflows/ci.yml for the wiring.
+"""
+
+import argparse
+import json
+import sys
+
+LATENCY_STAGES = ("select", "train", "route", "apply", "interaction", "round")
+LATENCY_FIELDS = ("p50", "p95", "p99", "mean", "max", "count")
+WORKLOAD_FIELDS = (
+    "participation",
+    "zipf_exponent",
+    "exponential_rate",
+    "diurnal_amplitude",
+    "diurnal_period",
+    "churn_join_rate",
+    "churn_leave_rate",
+    "churn_initial_active",
+    "hot_item_fraction",
+    "hot_item_rate",
+    "active_benign_final",
+    "num_selected_final",
+)
+RUN_FIELDS = (
+    "users",
+    "items",
+    "dim",
+    "threads",
+    "users_per_round",
+    "rounds",
+    "bytes_per_user",
+    "store_mb",
+    "rounds_per_sec",
+    "clients_per_sec",
+    "peak_rss_mb",
+    "workload",
+    "latency_ms",
+)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def validate_scale_schema(path, data):
+    """Returns the validated run list or raises SystemExit with a reason."""
+    runs = data.get("scale_users")
+    if not isinstance(runs, list) or not runs:
+        sys.exit(f"{path}: no 'scale_users' array (rerun bench_scale_users)")
+    for i, run in enumerate(runs):
+        for field in RUN_FIELDS:
+            if field not in run:
+                sys.exit(f"{path}: scale_users[{i}] missing '{field}'")
+        workload = run["workload"]
+        for field in WORKLOAD_FIELDS:
+            if field not in workload:
+                sys.exit(f"{path}: scale_users[{i}].workload missing '{field}'")
+        latency = run["latency_ms"]
+        for stage in LATENCY_STAGES:
+            hist = latency.get(stage)
+            if hist is None:
+                sys.exit(f"{path}: scale_users[{i}].latency_ms missing '{stage}'")
+            for field in LATENCY_FIELDS:
+                if field not in hist:
+                    sys.exit(
+                        f"{path}: scale_users[{i}].latency_ms.{stage} "
+                        f"missing '{field}'"
+                    )
+            if hist["count"] != run["rounds"]:
+                sys.exit(
+                    f"{path}: scale_users[{i}].latency_ms.{stage} recorded "
+                    f"{hist['count']} rounds, config says {run['rounds']}"
+                )
+            if not hist["p50"] <= hist["p95"] <= hist["p99"] <= hist["max"]:
+                sys.exit(
+                    f"{path}: scale_users[{i}].latency_ms.{stage} quantiles "
+                    f"not monotone: {hist}"
+                )
+    return runs
+
+
+def cmd_routing(args):
+    data = load(args.json)
+    routing = data.get("routing")
+    if routing is None:
+        sys.exit(f"{args.json}: no 'routing' section (rerun the kernel sweep)")
+    points = [p for p in routing.get("sweep", []) if p["uploads"] == 512]
+    if not points:
+        sys.exit(f"{args.json}: routing sweep has no 512-upload scale point")
+
+    failed = False
+    for p in points:
+        verdict = "ok" if p["speedup"] > args.min_speedup else "FAIL"
+        failed |= verdict == "FAIL"
+        print(
+            f"routing uploads={p['uploads']} "
+            f"items_per_upload={p['items_per_upload']}: "
+            f"map {p['map_ns']:.0f} ns, router {p['router_ns']:.0f} ns, "
+            f"{p['speedup']:.2f}x [{verdict}]"
+        )
+    if failed:
+        sys.exit(
+            f"router did not beat the map baseline (>{args.min_speedup:.2f}x) "
+            "at every 512-upload point"
+        )
+    print(
+        f"OK: router beats the map baseline (> {args.min_speedup:.2f}x) "
+        "at 512 uploads"
+    )
+
+
+def cmd_scale(args):
+    runs = validate_scale_schema(args.json, load(args.json))
+    for run in runs:
+        print(
+            f"scale users={run['users']} bytes/user={run['bytes_per_user']:.1f} "
+            f"rounds/s={run['rounds_per_sec']:.2f} "
+            f"peak_rss_mb={run['peak_rss_mb']:.1f}"
+        )
+        if args.max_bytes_per_user and run["bytes_per_user"] > args.max_bytes_per_user:
+            sys.exit(
+                f"store spends {run['bytes_per_user']:.1f} bytes/user at "
+                f"{run['users']} users (cap {args.max_bytes_per_user:.1f})"
+            )
+    print(f"OK: {len(runs)} scale run(s) pass schema validation")
+
+
+def cmd_workload(args):
+    runs = validate_scale_schema(args.json, load(args.json))
+    for run in runs:
+        workload = run["workload"]
+        hist = run["latency_ms"]["round"]
+        ratio = hist["p99"] / hist["p50"] if hist["p50"] > 0 else float("inf")
+        active_fraction = workload["active_benign_final"] / run["users"]
+        print(
+            f"workload={workload['participation']} users={run['users']} "
+            f"active={workload['active_benign_final']} "
+            f"round p50={hist['p50']:.3f} ms p99={hist['p99']:.3f} ms "
+            f"(ratio {ratio:.2f})"
+        )
+        if workload["participation"] == "uniform" and not workload[
+            "churn_join_rate"
+        ]:
+            sys.exit(
+                f"{args.json}: workload gate ran on trivial uniform traffic — "
+                "pass --workload zipf (or churn flags) to bench_scale_users"
+            )
+        if ratio > args.max_p99_p50:
+            sys.exit(
+                f"round p99/p50 ratio {ratio:.2f} exceeds {args.max_p99_p50:.2f} "
+                f"at {run['users']} users: skewed selection must not make "
+                "individual rounds pathological"
+            )
+        if active_fraction < args.min_active_fraction:
+            sys.exit(
+                f"churn collapsed the active population to "
+                f"{active_fraction:.3f} of {run['users']} users "
+                f"(floor {args.min_active_fraction:.3f})"
+            )
+    print(f"OK: {len(runs)} workload run(s) within tail-latency budget")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("routing", help="router-vs-map kernel sweep gate")
+    p.add_argument("json")
+    p.add_argument("--min-speedup", type=float, default=1.0)
+    p.set_defaults(func=cmd_routing)
+
+    p = sub.add_parser("scale", help="scale sweep schema + footprint gate")
+    p.add_argument("json")
+    p.add_argument("--max-bytes-per-user", type=float, default=0.0)
+    p.set_defaults(func=cmd_scale)
+
+    p = sub.add_parser("workload", help="traffic-shape tail-latency gate")
+    p.add_argument("json")
+    p.add_argument("--max-p99-p50", type=float, default=10.0)
+    p.add_argument("--min-active-fraction", type=float, default=0.0)
+    p.set_defaults(func=cmd_workload)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()
