@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "serving/topk_server.h"
 #include "tensor/kernels.h"
 
 namespace pieck {
@@ -58,42 +59,29 @@ double ExposureRatioAtK(const RecModel& model, const GlobalModel& g,
   PIECK_CHECK(k > 0);
   if (target_items.empty() || benign.size() == 0) return 0.0;
 
-  // For each user compute the top-K uninteracted items once, then test
-  // membership for every target. Per-(user, target) outcomes land in
-  // pre-sized slots; the reduction below runs serially in user order.
+  // For each user serve the top-K uninteracted items once through the
+  // TopKServer (fused gemv + partial-select, interacted items
+  // excluded), then test membership for every target. Ties rank by the
+  // serving order (lower item id first). Per-(user, target) outcomes
+  // land in pre-sized slots; the reduction below runs serially in user
+  // order.
   constexpr uint8_t kExcluded = 0, kMiss = 1, kHit = 2;
   const size_t num_targets = target_items.size();
   std::vector<uint8_t> outcome(benign.size() * num_targets, kExcluded);
 
+  const serving::TopKServer server(model, g);
   ForUsers(pool, benign.size(), [&](size_t ui) {
     const int user = benign.user_id(ui);
-    Vec& scores = ScoreScratch(static_cast<size_t>(g.num_items()));
-    model.ScoreItems(g, UserScratch(benign, ui), scores.data());
-    const std::vector<int>& interacted = train.ItemsOf(user);
-
-    thread_local std::vector<std::pair<double, int>> ranked;
-    ranked.clear();
-    ranked.reserve(scores.size());
-    size_t pi = 0;
-    for (int j = 0; j < g.num_items(); ++j) {
-      while (pi < interacted.size() && interacted[pi] < j) ++pi;
-      if (pi < interacted.size() && interacted[pi] == j) continue;
-      ranked.push_back({scores[static_cast<size_t>(j)], j});
-    }
-    size_t top = std::min(ranked.size(), static_cast<size_t>(k));
-    std::partial_sort(ranked.begin(),
-                      ranked.begin() + static_cast<ptrdiff_t>(top),
-                      ranked.end(), [](const auto& a, const auto& b) {
-                        return a.first > b.first;
-                      });
+    thread_local std::vector<serving::ScoredItem> top;
+    server.Recommend(UserScratch(benign, ui), k, train.ItemsOf(user), &top);
 
     for (size_t t = 0; t < num_targets; ++t) {
       int target = target_items[t];
       if (train.Interacted(user, target)) continue;
       uint8_t& slot = outcome[ui * num_targets + t];
       slot = kMiss;
-      for (size_t r = 0; r < top; ++r) {
-        if (ranked[r].second == target) {
+      for (const serving::ScoredItem& r : top) {
+        if (r.item == target) {
           slot = kHit;
           break;
         }
@@ -140,16 +128,25 @@ double HitRatioAtK(const RecModel& model, const GlobalModel& g,
     PIECK_CHECK(test < g.num_items());
     PIECK_CHECK(train.num_items() <= g.num_items());
 
-    Vec& scores = ScoreScratch(static_cast<size_t>(g.num_items()));
-    model.ScoreItems(g, UserScratch(benign, ui), scores.data());
-    const double test_score = scores[static_cast<size_t>(test)];
+    // Sampled HR only ever compares the test item against
+    // `num_negatives` (~10^2) negatives, so score single items through
+    // ScoreItemsRange instead of materializing the whole table — each
+    // one-row score is bitwise the full-scan value by the kernel
+    // contract, so HR is unchanged while scoring work drops by the
+    // table/negatives ratio.
+    const Vec& u = UserScratch(benign, ui);
+    auto score_one = [&](int j) {
+      double s;
+      model.ScoreItemsRange(g, u, j, 1, &s);
+      return s;
+    };
+    const double test_score = score_one(test);
 
     // The test item lands in the top K iff fewer than K negatives
     // outscore it. Exact ties count as half an outscore so that a
     // degenerate model with all-equal scores gets chance-level (not
     // perfect) HR.
-    auto outscore = [&](int j) {
-      double s = scores[static_cast<size_t>(j)];
+    auto outscore_value = [&](double s) {
       if (s > test_score) return 1.0;
       if (s == test_score) return 0.5;
       return 0.0;
@@ -175,7 +172,7 @@ double HitRatioAtK(const RecModel& model, const GlobalModel& g,
         int j = static_cast<int>(rng.UniformInt(0, train.num_items() - 1));
         if (j == test || train.Interacted(user, j)) continue;
         ++sampled;
-        outscored += outscore(j);
+        outscored += outscore_value(score_one(j));
       }
       // Rejection sampling fell short (extremely dense user): discard
       // the partial sample rather than silently ranking against fewer
@@ -183,15 +180,18 @@ double HitRatioAtK(const RecModel& model, const GlobalModel& g,
       scan_all = sampled < num_negatives;
     }
     if (scan_all) {
-      // Deterministic fallback: rank against every uninteracted item.
+      // Deterministic fallback for dense users: rank against every
+      // uninteracted item, scored by one whole-table pass.
       outscored = 0.0;
+      Vec& scores = ScoreScratch(static_cast<size_t>(g.num_items()));
+      model.ScoreItems(g, u, scores.data());
       const std::vector<int>& interacted = train.ItemsOf(user);
       size_t pi = 0;
       for (int j = 0; j < train.num_items(); ++j) {
         while (pi < interacted.size() && interacted[pi] < j) ++pi;
         if (pi < interacted.size() && interacted[pi] == j) continue;
         if (j == test) continue;
-        outscored += outscore(j);
+        outscored += outscore_value(scores[static_cast<size_t>(j)]);
       }
     }
     outcome[ui] = outscored < static_cast<double>(k) ? kHit : kMiss;

@@ -39,12 +39,16 @@ double MfModel::Forward(const GlobalModel& /*g*/, const Vec& u, const Vec& v,
   return s;
 }
 
-void MfModel::ScoreItems(const GlobalModel& g, const Vec& u,
-                         double* out) const {
+void MfModel::ScoreItemsRange(const GlobalModel& g, const Vec& u, int first,
+                              int count, double* out) const {
   const Matrix& items = g.item_embeddings;
   PIECK_CHECK(u.size() == items.cols());
-  ActiveKernels().gemv(items.data().data(), items.rows(), items.cols(),
-                       u.data(), out);
+  PIECK_CHECK(first >= 0 && count >= 0);
+  PIECK_CHECK(static_cast<size_t>(first + count) <= items.rows());
+  if (count == 0) return;
+  ActiveKernels().gemv(items.RowPtr(static_cast<size_t>(first)),
+                       static_cast<size_t>(count), items.cols(), u.data(),
+                       out);
 }
 
 void MfModel::Backward(const GlobalModel& /*g*/, const Vec& u, const Vec& v,

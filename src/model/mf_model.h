@@ -25,11 +25,11 @@ class MfModel : public RecModel {
   void Backward(const GlobalModel& g, const Vec& u, const Vec& v,
                 const ForwardCache& cache, double dlogit, Vec* grad_u,
                 Vec* grad_v, InteractionGrads* igrads) const override;
-  /// One batched gemv over the item-embedding table; bit-identical to
-  /// the per-item Forward loop (dot is commutative per IEEE-754 and gemv
-  /// rows reduce in dot's lane order).
-  void ScoreItems(const GlobalModel& g, const Vec& u,
-                  double* out) const override;
+  /// One batched gemv over the item-embedding row range; bit-identical
+  /// to the per-item Forward loop (dot is commutative per IEEE-754 and
+  /// gemv rows reduce in dot's lane order).
+  void ScoreItemsRange(const GlobalModel& g, const Vec& u, int first,
+                       int count, double* out) const override;
 
  private:
   int dim_;

@@ -24,18 +24,20 @@ double RecModel::ScoreProb(const GlobalModel& g, const Vec& u,
   return Sigmoid(Forward(g, u, v, nullptr));
 }
 
-void RecModel::ScoreItems(const GlobalModel& g, const Vec& u,
-                          double* out) const {
+void RecModel::ScoreItemsRange(const GlobalModel& g, const Vec& u, int first,
+                               int count, double* out) const {
   // Generic fallback (DL-FRS): one Forward per item, reading the row
   // through a single per-thread buffer instead of a fresh Vec copy per
   // item per user.
+  PIECK_CHECK(first >= 0 && count >= 0 && first + count <= g.num_items());
   const size_t d = g.item_embeddings.cols();
   thread_local Vec v;
   v.resize(d);
-  for (int j = 0; j < g.num_items(); ++j) {
-    const double* row = g.item_embeddings.RowPtr(static_cast<size_t>(j));
+  for (int i = 0; i < count; ++i) {
+    const double* row =
+        g.item_embeddings.RowPtr(static_cast<size_t>(first + i));
     std::copy(row, row + d, v.begin());
-    out[j] = Forward(g, u, v, nullptr);
+    out[i] = Forward(g, u, v, nullptr);
   }
 }
 

@@ -55,15 +55,24 @@ class RecModel {
   virtual double Forward(const GlobalModel& g, const Vec& u, const Vec& v,
                          ForwardCache* cache) const = 0;
 
-  /// Scores every item for user embedding `u`: out[j] = Forward(g, u,
-  /// item j) for j in [0, g.num_items()); `out` holds g.num_items()
-  /// doubles. This is the evaluation hot path (ER@K / HR@K score whole
-  /// tables per user). The default loops Forward over borrowed rows with
-  /// one reused buffer; MF overrides it with a single batched gemv over
-  /// the embedding table, bit-identical to the loop by the kernel
-  /// contract. Thread-safe for concurrent calls with distinct `out`.
-  virtual void ScoreItems(const GlobalModel& g, const Vec& u,
-                          double* out) const;
+  /// Scores the item range [first, first + count): out[i] =
+  /// Forward(g, u, item first + i) for i in [0, count); `out` holds
+  /// `count` doubles. The range form is the serving/evaluation hot
+  /// path: the top-K server streams tile-sized ranges through it, and
+  /// HR@K scores single sampled negatives. The default loops Forward
+  /// over borrowed rows with one reused buffer; MF overrides it with a
+  /// batched gemv over the row range, bit-identical to the loop by the
+  /// kernel contract. Thread-safe for concurrent calls with distinct
+  /// `out`.
+  virtual void ScoreItemsRange(const GlobalModel& g, const Vec& u, int first,
+                               int count, double* out) const;
+
+  /// Scores every item: out[j] = Forward(g, u, item j) for j in
+  /// [0, g.num_items()); `out` holds g.num_items() doubles. Wrapper for
+  /// ScoreItemsRange over the whole table.
+  void ScoreItems(const GlobalModel& g, const Vec& u, double* out) const {
+    ScoreItemsRange(g, u, 0, g.num_items(), out);
+  }
 
   /// Given d(loss)/d(logit) (already multiplied by any example weight),
   /// accumulates gradients: grad_u += dlogit * ds/du, grad_v += dlogit *

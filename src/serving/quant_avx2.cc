@@ -1,0 +1,66 @@
+// AVX2 int8 shortlist scorer. Compiled with -mavx2 only on x86-64 with
+// PIECK_ENABLE_SIMD=ON; dispatched at runtime through the kernel
+// layer's backend selection (quant_table.cc), so it never executes on a
+// CPU without AVX2.
+//
+// Identity: row_i * u_i = |row_i| * sign(row_i) * u_i, so
+// vpmaddubsw(|row| as u8, vpsignb(u, row) as s8) yields exact int16
+// pairwise sums — |products| <= 127*127, so a pair is <= 32258 < 32767
+// and the saturating add never saturates (codes are clamped to
+// [-127, 127] at build time; -128 cannot occur). vpmaddwd against ones
+// widens to int32 lanes. Integer addition is associative, so the result
+// equals the scalar reference bit for bit.
+
+#include "serving/quant_table.h"
+
+#if defined(PIECK_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace pieck::serving {
+namespace internal {
+
+namespace {
+
+/// Horizontal sum of 8 int32 lanes.
+inline int32_t SumLanes(__m256i v) {
+  const __m128i s =
+      _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  const __m128i s2 =
+      _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  const __m128i s3 =
+      _mm_add_epi32(s2, _mm_shuffle_epi32(s2, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s3);
+}
+
+}  // namespace
+
+void QuantScoresAvx2(const int8_t* q, size_t rows, size_t cols,
+                     const int8_t* uq, int32_t* iout) {
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  const size_t n32 = cols & ~static_cast<size_t>(31);
+  for (size_t r = 0; r < rows; ++r) {
+    const int8_t* row = q + r * cols;
+    __m256i acc = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i < n32; i += 32) {
+      const __m256i rv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+      const __m256i uv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(uq + i));
+      const __m256i pairs = _mm256_maddubs_epi16(_mm256_abs_epi8(rv),
+                                                 _mm256_sign_epi8(uv, rv));
+      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones16));
+    }
+    int32_t total = SumLanes(acc);
+    for (; i < cols; ++i) {
+      total += static_cast<int32_t>(row[i]) * static_cast<int32_t>(uq[i]);
+    }
+    iout[r] = total;
+  }
+}
+
+}  // namespace internal
+}  // namespace pieck::serving
+
+#endif  // PIECK_HAVE_AVX2 && __AVX2__

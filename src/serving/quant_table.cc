@@ -1,0 +1,104 @@
+#include "serving/quant_table.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "tensor/kernels.h"
+
+namespace pieck::serving {
+
+namespace {
+
+/// Quantizes `n` doubles into [-127, 127] codes with symmetric scale
+/// max|x|/127. Returns the scale (0 for an all-zero vector). Rounding
+/// is round-half-away-from-zero via llround — one fixed choice so codes
+/// never depend on the caller's FP environment.
+double QuantizeVector(const double* x, size_t n, int8_t* out) {
+  double max_abs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double a = std::fabs(x[i]);
+    if (a > max_abs) max_abs = a;
+  }
+  if (max_abs == 0.0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return 0.0;
+  }
+  const double scale = max_abs / 127.0;
+  for (size_t i = 0; i < n; ++i) {
+    long long code = std::llround(x[i] / scale);
+    if (code > 127) code = 127;
+    if (code < -127) code = -127;
+    out[i] = static_cast<int8_t>(code);
+  }
+  return scale;
+}
+
+}  // namespace
+
+Int8ItemTable Int8ItemTable::Build(const Matrix& items) {
+  // cols < 2^16 keeps |sum q*u| <= cols * 127^2 < 2^31 (int32-exact);
+  // embedding dims in this library are O(100).
+  PIECK_CHECK(items.cols() < (1u << 16));
+  Int8ItemTable table;
+  table.rows_ = items.rows();
+  table.cols_ = items.cols();
+  table.q_.resize(items.rows() * items.cols());
+  table.row_scale_.resize(items.rows());
+  for (size_t r = 0; r < items.rows(); ++r) {
+    table.row_scale_[r] = QuantizeVector(items.RowPtr(r), items.cols(),
+                                         table.q_.data() + r * items.cols());
+  }
+  return table;
+}
+
+void Int8ItemTable::ScoreAll(const double* u, double* out) const {
+  thread_local std::vector<int8_t> uq;
+  thread_local std::vector<int32_t> idots;
+  uq.resize(cols_);
+  idots.resize(rows_);
+  const double user_scale = QuantizeVector(u, cols_, uq.data());
+  if (user_scale == 0.0) {
+    // A zero user scores exactly 0 everywhere; so does the oracle.
+    for (size_t r = 0; r < rows_; ++r) out[r] = 0.0;
+    return;
+  }
+
+#if defined(PIECK_HAVE_AVX2)
+  // Follow the kernel layer's runtime backend selection (PIECK_SIMD
+  // honoured); scalar and AVX2 produce bit-identical integers, so this
+  // only decides speed.
+  if (ActiveKernels().backend == KernelBackend::kAvx2) {
+    internal::QuantScoresAvx2(q_.data(), rows_, cols_, uq.data(),
+                              idots.data());
+  } else {
+    internal::QuantScoresScalar(q_.data(), rows_, cols_, uq.data(),
+                                idots.data());
+  }
+#else
+  internal::QuantScoresScalar(q_.data(), rows_, cols_, uq.data(),
+                              idots.data());
+#endif
+
+  for (size_t r = 0; r < rows_; ++r) {
+    out[r] = (row_scale_[r] * user_scale) * static_cast<double>(idots[r]);
+  }
+}
+
+namespace internal {
+
+void QuantScoresScalar(const int8_t* q, size_t rows, size_t cols,
+                       const int8_t* uq, int32_t* iout) {
+  for (size_t r = 0; r < rows; ++r) {
+    const int8_t* row = q + r * cols;
+    int32_t acc = 0;
+    for (size_t i = 0; i < cols; ++i) {
+      acc += static_cast<int32_t>(row[i]) * static_cast<int32_t>(uq[i]);
+    }
+    iout[r] = acc;
+  }
+}
+
+}  // namespace internal
+
+}  // namespace pieck::serving

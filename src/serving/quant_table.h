@@ -1,0 +1,84 @@
+/// \file
+/// Int8-quantized item table for shortlist scoring.
+///
+/// The quantized serving path trades one cheap approximate pass for the
+/// expensive exact one: score every item against a per-row symmetric
+/// int8 quantization of the embedding table (8x smaller than the fp64
+/// table, integer multiply-adds), keep a shortlist comfortably larger
+/// than K, and rerank only the shortlist with exact fp64 dots. The
+/// integer pass is **exactly deterministic**: int32 accumulation is
+/// associative, so the scalar and AVX2 scorers produce bit-identical
+/// approximate scores, and the whole quantized path is bit-identical
+/// across backends and thread counts (only its *recall* against the
+/// exact oracle is approximate; see docs/SERVING.md for the error
+/// model and the tested shortlist margin).
+#ifndef PIECK_SERVING_QUANT_TABLE_H_
+#define PIECK_SERVING_QUANT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace pieck::serving {
+
+/// Per-row symmetric int8 quantization of an item-embedding table:
+/// q[r][i] = round(v[r][i] / scale_r) with scale_r = max_i|v[r][i]|/127,
+/// so every code lies in [-127, 127] (never -128 — required by the AVX2
+/// scorer's saturating pairwise adds). An all-zero row gets scale 0 and
+/// all-zero codes.
+class Int8ItemTable {
+ public:
+  Int8ItemTable() = default;
+
+  /// Quantizes `items` (rows x cols, row-major). cols must stay below
+  /// 2^16 so the int32 row accumulator cannot overflow
+  /// (|acc| <= cols * 127^2).
+  static Int8ItemTable Build(const Matrix& items);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Approximate whole-table scores: out[r] ~= dot(row_r, u). The user
+  /// vector is quantized the same way (scale max|u|/127), the integer
+  /// dot runs in int32, and out[r] = (scale_r * scale_u) * idot_r with
+  /// that exact expression order — bit-identical on every backend.
+  /// `u` holds cols() doubles, `out` rows() doubles.
+  void ScoreAll(const double* u, double* out) const;
+
+  /// Resident bytes of the codes + scales (serving telemetry).
+  int64_t FootprintBytes() const {
+    return static_cast<int64_t>(q_.capacity() * sizeof(int8_t) +
+                                row_scale_.capacity() * sizeof(double));
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<int8_t> q_;  // row-major rows x cols codes
+  Vec row_scale_;          // dequantization scale per row
+};
+
+namespace internal {
+
+/// Integer row scores: iout[r] = sum_i q[r*cols + i] * uq[i], r in
+/// [0, rows). The scalar reference; exact (no overflow by the cols
+/// bound above).
+void QuantScoresScalar(const int8_t* q, size_t rows, size_t cols,
+                       const int8_t* uq, int32_t* iout);
+
+#if defined(PIECK_HAVE_AVX2)
+/// AVX2 scorer via the |row| x sign-adjusted-user maddubs identity;
+/// bit-identical to the scalar reference (integer arithmetic is exact).
+/// Only callable on CPUs with AVX2 (the caller dispatches through the
+/// kernel layer's runtime backend selection).
+void QuantScoresAvx2(const int8_t* q, size_t rows, size_t cols,
+                     const int8_t* uq, int32_t* iout);
+#endif
+
+}  // namespace internal
+
+}  // namespace pieck::serving
+
+#endif  // PIECK_SERVING_QUANT_TABLE_H_

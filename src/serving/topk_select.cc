@@ -1,0 +1,133 @@
+#include "serving/topk_select.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pieck::serving {
+
+void TopKSelector::Reset(int k) {
+  PIECK_CHECK(k >= 0);
+  k_ = k;
+  heap_.clear();
+  if (static_cast<size_t>(k) > heap_.capacity()) {
+    heap_.reserve(static_cast<size_t>(k));
+  }
+  threshold_ = k == 0 ? std::numeric_limits<double>::infinity()
+                      : -std::numeric_limits<double>::infinity();
+}
+
+void TopKSelector::OfferSlow(double score, int item) {
+  // The k == 0 selector keeps threshold_ at +inf, so Offer's fast
+  // rejection already dropped everything except score == +inf; drop
+  // that here too.
+  if (k_ == 0) return;
+  const ScoredItem cand{score, item};
+  if (!full()) {
+    heap_.push_back(cand);
+    std::push_heap(heap_.begin(), heap_.end(), Better);
+    if (full()) threshold_ = heap_.front().score;
+    return;
+  }
+  // Equal-score candidates reach here (Offer only rejects strictly
+  // below threshold); the id tie-break decides against the root.
+  if (!Better(cand, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), Better);
+  heap_.back() = cand;
+  std::push_heap(heap_.begin(), heap_.end(), Better);
+  threshold_ = heap_.front().score;
+}
+
+size_t TopKSelector::OfferBlock(const double* scores, int first_item, int n,
+                                const int* exclude, size_t num_exclude) {
+  size_t e = 0;
+  const int last = first_item + n;
+  while (e < num_exclude && exclude[e] < first_item) ++e;
+  if (e == num_exclude || exclude[e] >= last) {
+    // No exclusions inside the block: tight threshold-reject loop.
+    for (int i = 0; i < n; ++i) {
+      const double s = scores[i];
+      if (s >= threshold_) OfferSlow(s, first_item + i);
+    }
+    while (e < num_exclude && exclude[e] < last) ++e;  // unreachable ids
+    return e;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int item = first_item + i;
+    if (e < num_exclude && exclude[e] == item) {
+      ++e;
+      continue;
+    }
+    const double s = scores[i];
+    if (s >= threshold_) OfferSlow(s, item);
+  }
+  while (e < num_exclude && exclude[e] < last) ++e;
+  return e;
+}
+
+void TopKSelector::Drain(std::vector<ScoredItem>* out) {
+  std::sort(heap_.begin(), heap_.end(), Better);
+  out->assign(heap_.begin(), heap_.end());
+  heap_.clear();
+}
+
+void FloydRivestSelect(ScoredItem* a, int left, int right, int k) {
+  // Classic Floyd–Rivest SELECT (CACM 1975, Algorithm 489) over the
+  // strict total order `Better`. The sampling step recursively selects
+  // inside a small subrange around the expected position of rank k, so
+  // the final partition pass runs against a near-median pivot.
+  while (right > left) {
+    if (right - left > 600) {
+      const double n = static_cast<double>(right - left + 1);
+      const double i = static_cast<double>(k - left + 1);
+      const double z = std::log(n);
+      const double s = 0.5 * std::exp(2.0 * z / 3.0);
+      const double sd = 0.5 * std::sqrt(z * s * (n - s) / n) *
+                        (i - n / 2.0 < 0.0 ? -1.0 : 1.0);
+      const int new_left = std::max(
+          left, static_cast<int>(k - i * s / n + sd));
+      const int new_right = std::min(
+          right, static_cast<int>(k + (n - i) * s / n + sd));
+      FloydRivestSelect(a, new_left, new_right, k);
+    }
+    const ScoredItem t = a[k];
+    int i = left;
+    int j = right;
+    std::swap(a[left], a[k]);
+    if (Better(t, a[right])) std::swap(a[right], a[left]);
+    while (i < j) {
+      std::swap(a[i], a[j]);
+      ++i;
+      --j;
+      while (Better(a[i], t)) ++i;
+      while (Better(t, a[j])) --j;
+    }
+    if (a[left] == t) {
+      std::swap(a[left], a[j]);
+    } else {
+      ++j;
+      std::swap(a[j], a[right]);
+    }
+    if (j <= k) left = j + 1;
+    if (k <= j) right = j - 1;
+  }
+}
+
+void SelectTopK(std::vector<ScoredItem>* candidates, int k,
+                std::vector<ScoredItem>* out) {
+  PIECK_CHECK(k >= 0);
+  const int n = static_cast<int>(candidates->size());
+  if (k > n) k = n;
+  if (k == 0) {
+    out->clear();
+    return;
+  }
+  if (k < n) {
+    FloydRivestSelect(candidates->data(), 0, n - 1, k - 1);
+  }
+  std::sort(candidates->begin(), candidates->begin() + k, Better);
+  out->assign(candidates->begin(), candidates->begin() + k);
+}
+
+}  // namespace pieck::serving

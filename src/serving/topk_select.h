@@ -1,0 +1,114 @@
+/// \file
+/// Deterministic exact partial-select for the top-K serving path.
+///
+/// Every ranked surface in the library (ER@K membership, the serving
+/// path's recommendation lists) reduces to "the K best (score, item)
+/// pairs of a score array". This header fixes one total order for that
+/// question and provides two exact selectors over it:
+///
+///   - `TopKSelector`: a bounded min-heap with a running threshold. The
+///     common serving case (K ≪ n) offers candidates in blocks; once
+///     the heap is full, candidates below `threshold()` are rejected
+///     with a single compare, so a streamed scan does O(n) compares
+///     plus O(K log K · log(n/K)) expected heap work.
+///   - `FloydRivestSelect`: the classic Floyd–Rivest SELECT over the
+///     same order, for the large-K regime (K a sizable fraction of n)
+///     where a bounded heap degrades toward a full sort.
+///
+/// ## Tie-break contract
+///
+/// Candidate (s, i) ranks ahead of (s', i') iff `s > s'`, or `s == s'`
+/// and `i < i'` — **lower item id wins exact ties**. This makes the
+/// order total (ids are distinct), so the top-K *list* — not just the
+/// set — is a pure function of the score array. Scores produced by the
+/// kernel layer are bit-identical across SIMD backends and thread
+/// counts (see tensor/kernels.h), hence so is every top-K list built
+/// here. Scores must be NaN-free; comparisons with NaN would break the
+/// total order (denormals, ±0.0 and infinities are fine).
+#ifndef PIECK_SERVING_TOPK_SELECT_H_
+#define PIECK_SERVING_TOPK_SELECT_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace pieck::serving {
+
+/// One ranked candidate.
+struct ScoredItem {
+  double score = 0.0;
+  int item = 0;
+
+  friend bool operator==(const ScoredItem& a, const ScoredItem& b) {
+    return a.score == b.score && a.item == b.item;
+  }
+};
+
+/// The serving order: true iff `a` ranks strictly ahead of `b` (higher
+/// score first; lower item id on exact score ties). A strict total
+/// order for distinct items.
+inline bool Better(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+/// Bounded selector keeping the K best candidates seen so far under
+/// `Better`, with a running rejection threshold. Not thread-safe;
+/// serving code keeps one per worker and `Reset`s it between users.
+class TopKSelector {
+ public:
+  /// Starts a fresh selection of the best `k` candidates (k >= 0).
+  void Reset(int k);
+
+  int k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return static_cast<int>(heap_.size()) == k_; }
+
+  /// Once `full()`, any candidate with score strictly below this cannot
+  /// enter the selection (candidates *at* the threshold still can, by
+  /// the id tie-break). -inf until full, so nothing is rejected early.
+  double threshold() const { return threshold_; }
+
+  /// Offers one candidate.
+  void Offer(double score, int item) {
+    if (score < threshold_) return;
+    OfferSlow(score, item);
+  }
+
+  /// Offers the contiguous score block for items
+  /// [first_item, first_item + n); `scores[i]` belongs to item
+  /// `first_item + i`. `exclude` is a sorted, strictly ascending id
+  /// list (any ids; only those inside the block matter) whose items are
+  /// skipped. Returns the number of exclusions consumed from the front
+  /// of `exclude`, so a tiled caller can advance its exclusion cursor.
+  size_t OfferBlock(const double* scores, int first_item, int n,
+                    const int* exclude, size_t num_exclude);
+
+  /// Moves the selection into `*out`, ranked best-first under `Better`.
+  /// The selector is left empty (size() == 0) but keeps its k.
+  void Drain(std::vector<ScoredItem>* out);
+
+ private:
+  void OfferSlow(double score, int item);
+
+  std::vector<ScoredItem> heap_;  // min-heap under Better: root = worst
+  int k_ = 0;
+  double threshold_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Floyd–Rivest SELECT: partitions `a[left..right]` (inclusive) so that
+/// `a[k]` holds the element of rank k under `Better`, everything before
+/// it ranks ahead of it, and everything after ranks behind. Expected
+/// n + min(k, n-k) + o(n) comparisons. Exposed for the large-K serving
+/// path and its tests.
+void FloydRivestSelect(ScoredItem* a, int left, int right, int k);
+
+/// Exact top-k of `candidates` (consumed as scratch), ranked best-first
+/// into `*out`: Floyd–Rivest to cut the array down to k, then a sort of
+/// the surviving prefix. k is clamped to the candidate count.
+void SelectTopK(std::vector<ScoredItem>* candidates, int k,
+                std::vector<ScoredItem>* out);
+
+}  // namespace pieck::serving
+
+#endif  // PIECK_SERVING_TOPK_SELECT_H_

@@ -1,0 +1,204 @@
+#include "serving/topk_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pieck::serving {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// L2 norm of `x`, rounded-up-safe for pruning: a squared norm that
+/// underflows to 0 while the vector is nonzero (denormal coordinates)
+/// yields +inf, so the Cauchy–Schwarz bound built from it can never
+/// wrongly prune.
+double PruningNorm(const double* x, size_t n) {
+  double sq = 0.0;
+  bool nonzero = false;
+  for (size_t i = 0; i < n; ++i) {
+    sq += x[i] * x[i];
+    nonzero = nonzero || x[i] != 0.0;
+  }
+  if (sq == 0.0 && nonzero) return kInf;
+  return std::sqrt(sq);
+}
+
+/// Candidates the heap path would stream for this call; when K is this
+/// large a fraction of the table, materialize-all + Floyd–Rivest wins
+/// over a bounded heap that accepts nearly everything.
+bool UseLargeKPath(int k, int num_items) {
+  return static_cast<int64_t>(k) * 8 >= num_items;
+}
+
+}  // namespace
+
+TopKServer::TopKServer(const RecModel& model, const GlobalModel& g,
+                       TopKServerOptions options)
+    : model_(model), g_(g), options_(options) {
+  PIECK_CHECK(options_.tile_items > 0);
+  const bool dot_interaction = model.kind() == ModelKind::kMatrixFactorization;
+  if (dot_interaction) {
+    const Matrix& items = g.item_embeddings;
+    const int n = g.num_items();
+    const int tile = options_.tile_items;
+    const int num_tiles = n == 0 ? 0 : (n + tile - 1) / tile;
+    tile_max_norm_.assign(static_cast<size_t>(num_tiles), 0.0);
+    for (int j = 0; j < n; ++j) {
+      const double norm =
+          PruningNorm(items.RowPtr(static_cast<size_t>(j)), items.cols());
+      double& tmax = tile_max_norm_[static_cast<size_t>(j / tile)];
+      if (norm > tmax) tmax = norm;
+    }
+    if (options_.quantized) quant_ = Int8ItemTable::Build(items);
+  }
+}
+
+int64_t TopKServer::FootprintBytes() const {
+  return static_cast<int64_t>(tile_max_norm_.capacity() * sizeof(double)) +
+         quant_.FootprintBytes();
+}
+
+double TopKServer::ExactScore(const Vec& user, int item) const {
+  // One-row ScoreItemsRange: for MF this is a 1-row gemv, whose row
+  // reduction is bitwise the full-scan gemv's row reduction — the
+  // rerank reproduces full-scan scores exactly.
+  double s;
+  model_.ScoreItemsRange(g_, user, item, 1, &s);
+  return s;
+}
+
+void TopKServer::Recommend(const Vec& user, int k, const int* exclude,
+                           size_t num_exclude, std::vector<ScoredItem>* out,
+                           RecommendStats* stats) const {
+  if (stats != nullptr) *stats = RecommendStats{};
+  if (k <= 0 || g_.num_items() == 0) {
+    out->clear();
+    return;
+  }
+  const int n = g_.num_items();
+  if (quantized_active() &&
+      k * kShortlistOversample + kShortlistSlack < n) {
+    RecommendQuantized(user, k, exclude, num_exclude, out, stats);
+    return;
+  }
+  if (UseLargeKPath(k, n)) {
+    RecommendLargeK(user, k, exclude, num_exclude, out);
+    return;
+  }
+  RecommendTiled(user, k, exclude, num_exclude, out, stats);
+}
+
+void TopKServer::RecommendTiled(const Vec& user, int k, const int* exclude,
+                                size_t num_exclude,
+                                std::vector<ScoredItem>* out,
+                                RecommendStats* stats) const {
+  const int n = g_.num_items();
+  const int tile = options_.tile_items;
+  const bool can_prune = !tile_max_norm_.empty();
+  const double user_norm =
+      can_prune ? PruningNorm(user.data(), user.size()) : 0.0;
+
+  thread_local TopKSelector sel;
+  thread_local Vec scores;
+  sel.Reset(k);
+  scores.resize(static_cast<size_t>(tile));
+
+  size_t e = 0;
+  for (int t0 = 0; t0 < n; t0 += tile) {
+    const int tn = std::min(tile, n - t0);
+    if (can_prune) {
+      // Strict '<': a tile whose inflated bound ties the threshold may
+      // still hold an id that wins the tie-break. A NaN bound
+      // (inf * 0) compares false — conservative, never prunes.
+      const double bound =
+          user_norm * tile_max_norm_[static_cast<size_t>(t0 / tile)] *
+          kNormBoundSlack;
+      if (bound < sel.threshold()) {
+        while (e < num_exclude && exclude[e] < t0 + tn) ++e;
+        if (stats != nullptr) ++stats->tiles_pruned;
+        continue;
+      }
+    }
+    model_.ScoreItemsRange(g_, user, t0, tn, scores.data());
+    e += sel.OfferBlock(scores.data(), t0, tn, exclude + e, num_exclude - e);
+    if (stats != nullptr) ++stats->tiles_scored;
+  }
+  sel.Drain(out);
+}
+
+void TopKServer::RecommendLargeK(const Vec& user, int k, const int* exclude,
+                                 size_t num_exclude,
+                                 std::vector<ScoredItem>* out) const {
+  const int n = g_.num_items();
+  thread_local Vec scores;
+  thread_local std::vector<ScoredItem> cands;
+  scores.resize(static_cast<size_t>(n));
+  model_.ScoreItems(g_, user, scores.data());
+  cands.clear();
+  cands.reserve(static_cast<size_t>(n));
+  size_t e = 0;
+  for (int j = 0; j < n; ++j) {
+    if (e < num_exclude && exclude[e] == j) {
+      ++e;
+      continue;
+    }
+    cands.push_back(ScoredItem{scores[static_cast<size_t>(j)], j});
+  }
+  SelectTopK(&cands, k, out);
+}
+
+void TopKServer::RecommendQuantized(const Vec& user, int k,
+                                    const int* exclude, size_t num_exclude,
+                                    std::vector<ScoredItem>* out,
+                                    RecommendStats* stats) const {
+  const int n = g_.num_items();
+  const int shortlist_k =
+      std::min(k * kShortlistOversample + kShortlistSlack, n);
+
+  thread_local Vec approx;
+  thread_local TopKSelector sel;
+  thread_local std::vector<ScoredItem> shortlist;
+  thread_local std::vector<ScoredItem> cands;
+
+  approx.resize(static_cast<size_t>(n));
+  quant_.ScoreAll(user.data(), approx.data());
+
+  sel.Reset(shortlist_k);
+  sel.OfferBlock(approx.data(), 0, n, exclude, num_exclude);
+  sel.Drain(&shortlist);
+  if (stats != nullptr) stats->shortlist_size =
+      static_cast<int>(shortlist.size());
+
+  // Exact rerank: replace every approximate score with the fp64 score
+  // the full scan would have produced, then re-select under the same
+  // total order. Survivor scores (and hence ranks among survivors) are
+  // bit-identical to the exact paths.
+  cands.clear();
+  cands.reserve(shortlist.size());
+  for (const ScoredItem& c : shortlist) {
+    cands.push_back(ScoredItem{ExactScore(user, c.item), c.item});
+  }
+  SelectTopK(&cands, k, out);
+}
+
+void TopKServer::RecommendBatch(
+    const Matrix& users, int k, ThreadPool* pool,
+    std::vector<std::vector<ScoredItem>>* out) const {
+  const size_t num_users = users.rows();
+  out->resize(num_users);
+  PIECK_CHECK(users.cols() == static_cast<size_t>(g_.dim()) ||
+              num_users == 0);
+  ThreadPool::ParallelForOrSerial(pool, num_users, [&](size_t i) {
+    // Each index writes only its own slot; results are a pure function
+    // of (user row, k), so the fan-out order cannot change them.
+    thread_local Vec row;
+    row.assign(users.RowPtr(i), users.RowPtr(i) + users.cols());
+    Recommend(row, k, nullptr, 0, &(*out)[i]);
+  });
+}
+
+}  // namespace pieck::serving

@@ -1,0 +1,155 @@
+/// \file
+/// Per-user top-K recommendation: fused scoring + exact partial-select.
+///
+/// `TopKServer` answers "this user's K best uninteracted items" the way
+/// an inference server would, instead of the score-everything-then-sort
+/// shape the evaluation layer used to run:
+///
+///   - **Fused tiles.** The item table is scored in tile-sized row
+///     ranges (`RecModel::ScoreItemsRange` — one batched gemv per tile
+///     for MF), and each tile's scores stream straight into a bounded
+///     `TopKSelector`, so the working set is one tile, not the whole
+///     score table, and most candidates die on a single threshold
+///     compare.
+///   - **Cached norm bounds (MF).** The constructor computes per-item
+///     L2 norms and caches each tile's max. By Cauchy–Schwarz, a tile whose
+///     `||u|| * max_norm` upper bound (inflated by `kNormBoundSlack`
+///     to dominate the rounding of the cached norms) falls strictly
+///     below the selector's running threshold cannot contain a top-K
+///     item and is skipped without scoring — the win grows exactly when
+///     an attack concentrates mass on a few boosted items. Rows whose
+///     squared norm underflows to 0 while nonzero (denormal
+///     embeddings) poison their tile's bound to +inf, never pruning.
+///   - **Floyd–Rivest fallback.** When K is a sizable fraction of the
+///     candidates a bounded heap degrades toward a full sort, so the
+///     server materializes (score, id) pairs once and runs
+///     Floyd–Rivest SELECT instead.
+///   - **Optional int8 shortlist (MF).** `Options::quantized` scores
+///     the whole table against an int8 copy (8x smaller, integer
+///     multiply-adds), keeps a shortlist of `k * kShortlistOversample
+///     + kShortlistSlack` candidates, and reranks only the shortlist
+///     with exact fp64 dots. The reranked scores are bit-identical to
+///     the full scan; only recall is approximate (>= 0.999 @10 on the
+///     tested margin — see docs/SERVING.md and tests/serving_test.cc).
+///
+/// ## Determinism contract
+///
+/// Exact-mode results are **bit-identical to the fp64 full scan**: tile
+/// scores come from the same kernel contract as `ScoreItems`, pruning
+/// only skips tiles that provably cannot contribute, and selection uses
+/// the total order of topk_select.h (ties -> lower item id). Hence the
+/// top-K list is identical across SIMD backends (`PIECK_SIMD`), thread
+/// counts, and tile sizes. The quantized path is equally deterministic
+/// (integer scoring + the same total order); it differs from the full
+/// scan only when the true top-K falls outside the shortlist.
+#ifndef PIECK_SERVING_TOPK_SERVER_H_
+#define PIECK_SERVING_TOPK_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "model/rec_model.h"
+#include "serving/quant_table.h"
+#include "serving/topk_select.h"
+
+namespace pieck::serving {
+
+/// Shortlist size for the quantized path: k * oversample + slack,
+/// clamped to the candidate count. The margin is a tested constant:
+/// tests/serving_test.cc asserts recall@10 >= 0.999 against the exact
+/// oracle with exactly these values.
+inline constexpr int kShortlistOversample = 4;
+inline constexpr int kShortlistSlack = 32;
+
+/// Inflation applied to the cached Cauchy–Schwarz bound before pruning
+/// a tile. The cached norms carry O(d) rounding (relative error well
+/// under 1e-12); multiplying the bound by 1 + 1e-9 dominates it, so a
+/// pruned tile provably contains no candidate at or above the
+/// threshold.
+inline constexpr double kNormBoundSlack = 1.0 + 1e-9;
+
+struct TopKServerOptions {
+  /// Item rows scored per fused tile. 512 rows x d=64 doubles = 256 KiB
+  /// of streamed table per tile with a 4 KiB score scratch.
+  int tile_items = 512;
+  /// Enables the int8 shortlist + exact-rerank path (MF only; ignored
+  /// for models without a dot-product interaction — check
+  /// `quantized_active()`).
+  bool quantized = false;
+};
+
+/// Serving telemetry for one Recommend call (optional out-param).
+struct RecommendStats {
+  int tiles_scored = 0;
+  int tiles_pruned = 0;
+  /// Candidates the exact rerank saw (quantized path only).
+  int shortlist_size = 0;
+};
+
+/// The per-user top-K serving path over one (model, global) snapshot.
+/// `model` and `g` must outlive the server; the constructor builds the
+/// norm cache (and, if requested, the int8 table), so one server should
+/// be reused for all users of an evaluation pass. All Recommend*
+/// methods are const and thread-safe (per-thread scratch).
+class TopKServer {
+ public:
+  TopKServer(const RecModel& model, const GlobalModel& g,
+             TopKServerOptions options = {});
+
+  /// True when the int8 shortlist path is built and will serve
+  /// Recommend calls.
+  bool quantized_active() const { return !quant_.empty(); }
+
+  /// Resident bytes of the serving caches (norms + int8 table).
+  int64_t FootprintBytes() const;
+
+  /// Top-`k` items for `user` among items NOT in `exclude` (a sorted,
+  /// strictly ascending id list — e.g. Dataset::ItemsOf). Fewer than k
+  /// candidates (or k == 0) yield a short (or empty) list. `*out` is
+  /// ranked best-first under the serving order.
+  void Recommend(const Vec& user, int k, const int* exclude,
+                 size_t num_exclude, std::vector<ScoredItem>* out,
+                 RecommendStats* stats = nullptr) const;
+
+  void Recommend(const Vec& user, int k, const std::vector<int>& exclude,
+                 std::vector<ScoredItem>* out,
+                 RecommendStats* stats = nullptr) const {
+    Recommend(user, k, exclude.data(), exclude.size(), out, stats);
+  }
+
+  /// Top-`k` for every row of `users` (no exclusions), fanned over
+  /// `pool` (nullptr = serial). Each user's result lands in its
+  /// pre-sized slot, so the output is bit-identical for any pool size.
+  void RecommendBatch(const Matrix& users, int k, ThreadPool* pool,
+                      std::vector<std::vector<ScoredItem>>* out) const;
+
+ private:
+  /// Exact fused tile scan (the default path).
+  void RecommendTiled(const Vec& user, int k, const int* exclude,
+                      size_t num_exclude, std::vector<ScoredItem>* out,
+                      RecommendStats* stats) const;
+  /// Materialize-all + Floyd–Rivest (large K relative to candidates).
+  void RecommendLargeK(const Vec& user, int k, const int* exclude,
+                       size_t num_exclude, std::vector<ScoredItem>* out) const;
+  /// int8 shortlist + exact rerank.
+  void RecommendQuantized(const Vec& user, int k, const int* exclude,
+                          size_t num_exclude, std::vector<ScoredItem>* out,
+                          RecommendStats* stats) const;
+
+  /// Exact score of one item, bitwise the full-scan value.
+  double ExactScore(const Vec& user, int item) const;
+
+  const RecModel& model_;
+  const GlobalModel& g_;
+  TopKServerOptions options_;
+  /// Per-tile max L2 norm of the item rows (MF pruning bound); +inf for
+  /// tiles holding a row whose squared norm underflowed. Empty for
+  /// models without a dot-product interaction.
+  Vec tile_max_norm_;
+  Int8ItemTable quant_;
+};
+
+}  // namespace pieck::serving
+
+#endif  // PIECK_SERVING_TOPK_SERVER_H_

@@ -210,6 +210,47 @@ TEST_F(MetricsFixture, MeanScoreForItemInUnitRange) {
   EXPECT_LT(s, 1.0);
 }
 
+// K beyond the item table: every uninteracted item is "in the top K",
+// so ER counts every eligible user and HR cannot miss.
+TEST_F(MetricsFixture, ErAndHrWithKBeyondItemCount) {
+  // k = 50 on a 5-item table: target 4 (uninteracted by everyone) is
+  // trivially within the top 50 for all 3 users.
+  double er = ExposureRatioAtK(*model_, global_, views_, *train_, {4},
+                               /*k=*/50);
+  EXPECT_DOUBLE_EQ(er, 1.0);
+  // Same for an interacted target: only its non-interactors count, and
+  // each of them sees it.
+  er = ExposureRatioAtK(*model_, global_, views_, *train_, {0}, 50);
+  EXPECT_DOUBLE_EQ(er, 1.0);
+
+  // HR@50 with 2 negatives: at most 2 items can outscore the test item,
+  // so every evaluated user hits.
+  std::vector<int> test_items = {3, 4, 3};
+  double hr = HitRatioAtK(*model_, global_, views_, *train_, test_items,
+                          /*k=*/50, /*num_negatives=*/2, /*seed=*/7);
+  EXPECT_DOUBLE_EQ(hr, 1.0);
+}
+
+TEST(TopDeltaNormTest, TopKZeroYieldsEmpty) {
+  auto ds = Dataset::FromInteractions(2, 4, {{0, 0}, {1, 0}, {0, 1}});
+  ASSERT_TRUE(ds.ok());
+  Vec delta = {0.1, 5.0, 0.0, 2.0};
+  EXPECT_TRUE(TopDeltaNormPopularityRanks(delta, *ds, 0).empty());
+}
+
+TEST(TopDeltaNormTest, TopKBeyondItemCountReturnsAllRanked) {
+  auto ds = Dataset::FromInteractions(
+      2, 4, {{0, 0}, {1, 0}, {0, 1}});  // popularity: 0 > 1 > {2, 3}
+  ASSERT_TRUE(ds.ok());
+  Vec delta = {0.1, 5.0, 0.0, 2.0};  // Δ-norm order: 1, 3, 0, 2
+  std::vector<int> ranks = TopDeltaNormPopularityRanks(delta, *ds, 100);
+  ASSERT_EQ(ranks.size(), 4u);  // clamped to the item count
+  EXPECT_EQ(ranks[0], 1);
+  EXPECT_EQ(ranks[1], 3);
+  EXPECT_EQ(ranks[2], 0);
+  EXPECT_EQ(ranks[3], 2);
+}
+
 TEST(TopDeltaNormTest, MapsToPopularityRanks) {
   auto ds = Dataset::FromInteractions(
       2, 4, {{0, 0}, {1, 0}, {0, 1}});  // popularity: 0 > 1 > {2, 3}

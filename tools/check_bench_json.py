@@ -20,6 +20,13 @@ Subcommands (one per artifact family):
       skew or churn turns individual rounds pathological) and the
       churned active population must stay above F x users.
 
+  serving  <serving.json>  [--min-users-per-sec X] [--min-recall R]
+      Top-K serving gate from `bench_serving --json`: validates the
+      schema (one entry per scoring mode), requires the exact modes to
+      report in-run bitwise agreement with the full-scan oracle
+      (exact == true), the quantized shortlist recall to clear R, and
+      the fused mode's throughput to clear the users/s floor.
+
 Every subcommand prints what it measured and exits non-zero with a
 reason on failure. See .github/workflows/ci.yml for the wiring.
 """
@@ -184,6 +191,77 @@ def cmd_workload(args):
     print(f"OK: {len(runs)} workload run(s) within tail-latency budget")
 
 
+SERVING_FIELDS = (
+    "mode",
+    "users",
+    "items",
+    "dim",
+    "k",
+    "threads",
+    "backend",
+    "users_per_sec",
+    "users_served",
+    "elapsed_s",
+    "exact",
+    "recall_at_k",
+    "tiles_pruned_frac",
+    "footprint_mb",
+    "peak_rss_mb",
+)
+SERVING_MODES = ("full_scan", "fused", "quantized")
+
+
+def cmd_serving(args):
+    data = load(args.json)
+    runs = data.get("serving")
+    if not isinstance(runs, list) or not runs:
+        sys.exit(f"{args.json}: no 'serving' array (rerun bench_serving)")
+    by_mode = {}
+    for i, run in enumerate(runs):
+        for field in SERVING_FIELDS:
+            if field not in run:
+                sys.exit(f"{args.json}: serving[{i}] missing '{field}'")
+        by_mode[run["mode"]] = run
+    for mode in SERVING_MODES:
+        if mode not in by_mode:
+            sys.exit(f"{args.json}: serving is missing mode '{mode}'")
+
+    for run in runs:
+        print(
+            f"serving mode={run['mode']} k={run['k']} "
+            f"users/s={run['users_per_sec']:.0f} exact={run['exact']} "
+            f"recall@k={run['recall_at_k']:.5f} "
+            f"pruned={run['tiles_pruned_frac']:.2%}"
+        )
+    # Exactness is non-negotiable for the exact modes: the benchmark
+    # verifies bit-identity against the full scan in-run and records the
+    # verdict here.
+    for mode in ("full_scan", "fused"):
+        if not by_mode[mode]["exact"]:
+            sys.exit(f"{mode} serving diverged from the full-scan oracle")
+    if by_mode["quantized"]["recall_at_k"] < args.min_recall:
+        sys.exit(
+            f"quantized recall@k {by_mode['quantized']['recall_at_k']:.5f} "
+            f"below floor {args.min_recall:.5f}"
+        )
+    fused = by_mode["fused"]
+    if args.min_users_per_sec and fused["users_per_sec"] < args.min_users_per_sec:
+        sys.exit(
+            f"fused serving {fused['users_per_sec']:.0f} users/s below floor "
+            f"{args.min_users_per_sec:.0f} "
+            f"(users={fused['users']} items={fused['items']} "
+            f"dim={fused['dim']} k={fused['k']} threads={fused['threads']})"
+        )
+    print(
+        f"OK: serving exact + recall >= {args.min_recall:.3f}"
+        + (
+            f", fused >= {args.min_users_per_sec:.0f} users/s"
+            if args.min_users_per_sec
+            else ""
+        )
+    )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -203,6 +281,12 @@ def main():
     p.add_argument("--max-p99-p50", type=float, default=10.0)
     p.add_argument("--min-active-fraction", type=float, default=0.0)
     p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser("serving", help="top-K serving exactness + throughput gate")
+    p.add_argument("json")
+    p.add_argument("--min-users-per-sec", type=float, default=0.0)
+    p.add_argument("--min-recall", type=float, default=0.999)
+    p.set_defaults(func=cmd_serving)
 
     args = parser.parse_args()
     args.func(args)
