@@ -251,22 +251,46 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
   server_config.num_threads = config.num_threads;
   server_config.workload = config.workload;
   server_config.workload.seed ^= config.seed;
+  server_config.async = config.async;
   FederatedServer server(*model, std::move(global), server_config,
                          std::make_unique<SumAggregator>());
   result.setup_seconds =
       std::chrono::duration<double>(Clock::now() - t_setup).count();
 
   Rng round_rng = master.Fork();
+  const std::vector<ClientInterface*> no_malicious;
+  std::vector<RoundStats> round_stats;
+  round_stats.reserve(static_cast<size_t>(config.rounds));
   const auto t_rounds = Clock::now();
-  RoundStats last;
-  for (int r = 0; r < config.rounds; ++r) {
-    last = server.RunRound(store, {}, r, round_rng);
-    result.latencies.RecordRound(last.select_ms, last.train_ms,
-                                 last.route_ms, last.apply_ms,
-                                 last.interaction_ms);
-  }
+  server.RunRounds(store, no_malicious, 0, config.rounds, round_rng,
+                   &round_stats);
   const double seconds =
       std::chrono::duration<double>(Clock::now() - t_rounds).count();
+
+  for (const RoundStats& s : round_stats) {
+    result.latencies.RecordRound(s.select_ms, s.train_ms, s.route_ms,
+                                 s.apply_ms, s.interaction_ms, s.stall_ms);
+    result.dropped_stale += s.dropped_stale;
+    result.max_staleness = std::max(result.max_staleness, s.max_staleness);
+    if (s.staleness_counts.size() > result.staleness_hist.size()) {
+      result.staleness_hist.resize(s.staleness_counts.size(), 0);
+    }
+    for (size_t i = 0; i < s.staleness_counts.size(); ++i) {
+      result.staleness_hist[i] += s.staleness_counts[i];
+    }
+  }
+  int64_t stale_total = 0;
+  int64_t stale_weighted = 0;
+  for (size_t s = 0; s < result.staleness_hist.size(); ++s) {
+    stale_total += result.staleness_hist[s];
+    stale_weighted += static_cast<int64_t>(s) * result.staleness_hist[s];
+  }
+  if (stale_total > 0) {
+    result.mean_staleness =
+        static_cast<double>(stale_weighted) / static_cast<double>(stale_total);
+  }
+  result.pipeline_depth = config.async.pipeline_depth;
+  const RoundStats last = round_stats.back();
 
   result.rounds_per_sec = config.rounds / seconds;
   result.clients_per_sec =

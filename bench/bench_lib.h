@@ -71,6 +71,9 @@ struct ScaleSweepConfig {
   /// adjacency (a `hot_item_rate` fraction of each user's interactions
   /// is redirected into the hottest `hot_item_fraction` item slice).
   WorkloadConfig workload;
+  /// Bounded-staleness round pipelining (depth 1 = the synchronous
+  /// engine): the sweep drives the server's block engine either way.
+  AsyncConfig async;
 };
 
 struct ScaleSweepResult {
@@ -99,6 +102,17 @@ struct ScaleSweepResult {
   StageLatencies latencies;
   int active_benign_final = 0;
   int num_selected_final = 0;
+
+  // Bounded-staleness telemetry over the whole run: the pipeline depth
+  // the rounds executed with, uploads applied per staleness value
+  // (staleness_hist[s] uploads arrived s versions behind), their mean /
+  // max staleness, and how many uploads the max_staleness bound
+  // discarded.
+  int pipeline_depth = 1;
+  std::vector<int64_t> staleness_hist;
+  double mean_staleness = 0.0;
+  int max_staleness = 0;
+  int64_t dropped_stale = 0;
 };
 
 /// Runs the sweep; aborts the binary on (unexpected) construction

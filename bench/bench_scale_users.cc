@@ -14,12 +14,19 @@
 //   bench_scale_users --users 2000000         # single run at 2M
 //   bench_scale_users --workload zipf --zipf_s 1.1
 //       --churn_join 0.02 --churn_leave 0.02  # production-shaped traffic
+//   bench_scale_users --pipeline_depth 2      # bounded-staleness engine
+//       --staleness_decay 0.8 --max_staleness 4
+//   bench_scale_users --depth_compare         # depth 1 vs depth D at each
+//                                             # population; emits an "async"
+//                                             # JSON section with the
+//                                             # overlap speedup
 //   bench_scale_users --max_rss_mb 1500       # fail if VmHWM exceeds
 //   bench_scale_users --json scale.json       # machine-readable output
 //
-// CI runs two reduced forms as Release smoke tests (uniform, and
-// Zipf + churn under the workload-smoke job, gated through
-// tools/check_bench_json.py); see .github/workflows/ci.yml.
+// CI runs three reduced forms as Release smoke tests (uniform, Zipf +
+// churn under the workload-smoke job, and a --depth_compare run under
+// the async-smoke job, all gated through tools/check_bench_json.py);
+// see .github/workflows/ci.yml.
 
 #include <cstdio>
 #include <string>
@@ -66,8 +73,28 @@ void WriteWorkloadJson(std::FILE* f, const ScaleSweepResult& r) {
       r.num_selected_final);
 }
 
+void WriteStalenessHistJson(std::FILE* f, const std::vector<int64_t>& hist) {
+  std::fprintf(f, "\"staleness_hist\": [");
+  for (size_t s = 0; s < hist.size(); ++s) {
+    std::fprintf(f, "%lld%s", static_cast<long long>(hist[s]),
+                 s + 1 < hist.size() ? ", " : "");
+  }
+  std::fprintf(f, "]");
+}
+
+/// Depth-1 vs depth-D comparison at one population (--depth_compare).
+struct AsyncCompare {
+  int users = 0;
+  int depth = 1;
+  double rounds_per_sec_depth1 = 0.0;
+  double rounds_per_sec = 0.0;   // at `depth`
+  double overlap_speedup = 0.0;  // depth-D throughput / depth-1
+  const ScaleSweepResult* deep = nullptr;  // the depth-D run
+};
+
 int WriteJson(const std::string& path,
-              const std::vector<ScaleSweepResult>& results) {
+              const std::vector<ScaleSweepResult>& results,
+              const std::vector<AsyncCompare>& compares) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -84,20 +111,45 @@ int WriteJson(const std::string& path,
         "\"clients_per_sec\": %.0f, \"setup_s\": %.2f, "
         "\"peak_rss_mb\": %.1f, \"select_ms\": %.3f, \"train_ms\": %.3f, "
         "\"route_ms\": %.3f, \"apply_ms\": %.3f, \"router_shards\": %d, "
-        "\"router_entries\": %lld,\n     ",
+        "\"router_entries\": %lld, \"pipeline_depth\": %d, "
+        "\"mean_staleness\": %.4f, \"max_staleness\": %d, "
+        "\"dropped_stale\": %lld,\n     ",
         r.config.num_users, r.config.num_items, r.config.dim,
         r.config.num_threads, r.config.users_per_round, r.config.rounds,
         r.bytes_per_user, r.store_bytes / 1048576.0, r.arena_bytes / 1024.0,
         r.rounds_per_sec, r.clients_per_sec, r.setup_seconds,
         r.peak_rss_bytes / 1048576.0, r.select_ms, r.train_ms, r.route_ms,
         r.apply_ms, r.router_shards,
-        static_cast<long long>(r.router_entries));
+        static_cast<long long>(r.router_entries), r.pipeline_depth,
+        r.mean_staleness, r.max_staleness,
+        static_cast<long long>(r.dropped_stale));
+    WriteStalenessHistJson(f, r.staleness_hist);
+    std::fprintf(f, ",\n     ");
     WriteWorkloadJson(f, r);
     std::fprintf(f, ",\n     ");
     WriteLatencyJson(f, r.latencies);
     std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  if (!compares.empty()) {
+    std::fprintf(f, ",\n  \"async\": [\n");
+    for (size_t i = 0; i < compares.size(); ++i) {
+      const AsyncCompare& c = compares[i];
+      std::fprintf(f,
+                   "    {\"users\": %d, \"depth\": %d, "
+                   "\"rounds_per_sec_depth1\": %.2f, \"rounds_per_sec\": "
+                   "%.2f, \"overlap_speedup\": %.3f, \"mean_staleness\": "
+                   "%.4f, \"max_staleness\": %d, \"dropped_stale\": %lld, ",
+                   c.users, c.depth, c.rounds_per_sec_depth1, c.rounds_per_sec,
+                   c.overlap_speedup, c.deep->mean_staleness,
+                   c.deep->max_staleness,
+                   static_cast<long long>(c.deep->dropped_stale));
+      WriteStalenessHistJson(f, c.deep->staleness_hist);
+      std::fprintf(f, "}%s\n", i + 1 < compares.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
   return 0;
@@ -121,6 +173,24 @@ int main(int argc, char** argv) {
   base.num_threads = static_cast<int>(flags.GetInt("threads", 0));
   base.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
   base.workload = ParseWorkloadFlags(flags);
+  const bool depth_compare = flags.GetBool("depth_compare", false);
+  base.async.pipeline_depth = static_cast<int>(
+      flags.GetInt("pipeline_depth", depth_compare ? 2 : 1));
+  base.async.staleness_decay = flags.GetDouble("staleness_decay", 1.0);
+  base.async.max_staleness =
+      static_cast<int>(flags.GetInt("max_staleness", -1));
+  if (base.async.pipeline_depth < 1 || base.async.staleness_decay <= 0.0 ||
+      base.async.staleness_decay > 1.0 || base.async.max_staleness < -1) {
+    std::fprintf(stderr,
+                 "error: need --pipeline_depth >= 1, --staleness_decay in "
+                 "(0, 1], --max_staleness >= -1\n");
+    return 1;
+  }
+  if (depth_compare && base.async.pipeline_depth < 2) {
+    std::fprintf(stderr,
+                 "error: --depth_compare needs --pipeline_depth >= 2\n");
+    return 1;
+  }
   const int64_t max_rss_mb = flags.GetInt("max_rss_mb", 0);
   const std::string json = flags.GetString("json", "");
 
@@ -132,22 +202,19 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== Population scale: struct-of-arrays client store ==\n");
-  std::printf("workload: %s\n",
-              ParticipationKindToString(base.workload.participation));
-  TablePrinter table({"Users", "Active", "Bytes/user", "Store MB",
+  std::printf("workload: %s, pipeline depth %d%s\n",
+              ParticipationKindToString(base.workload.participation),
+              base.async.pipeline_depth,
+              depth_compare ? " (vs depth 1)" : "");
+  TablePrinter table({"Users", "Depth", "Active", "Bytes/user", "Store MB",
                       "Rounds/s", "Clients/s", "Round p50", "Round p99",
-                      "Train p99", "Setup s", "Peak RSS MB"});
+                      "Stall p99", "MeanStale", "Dropped", "Peak RSS MB"});
   std::vector<ScaleSweepResult> results;
-  for (int users : populations) {
-    ScaleSweepConfig config = base;
-    config.num_users = users;
-    ScaleSweepResult r = RunScaleSweep(config);
-    results.push_back(r);
-    const LatencyHistogram& round =
-        r.latencies.stage[StageLatencies::kRound];
-    const LatencyHistogram& train =
-        r.latencies.stage[StageLatencies::kTrain];
-    table.AddRow({std::to_string(users),
+  std::vector<AsyncCompare> compares;
+  const auto add_row = [&table](int users, const ScaleSweepResult& r) {
+    const LatencyHistogram& round = r.latencies.stage[StageLatencies::kRound];
+    const LatencyHistogram& stall = r.latencies.stage[StageLatencies::kStall];
+    table.AddRow({std::to_string(users), std::to_string(r.pipeline_depth),
                   std::to_string(r.active_benign_final),
                   FormatDouble(r.bytes_per_user, 1),
                   FormatDouble(r.store_bytes / 1048576.0, 1),
@@ -155,13 +222,50 @@ int main(int argc, char** argv) {
                   FormatDouble(r.clients_per_sec, 0),
                   FormatDouble(round.Quantile(0.5), 3),
                   FormatDouble(round.Quantile(0.99), 3),
-                  FormatDouble(train.Quantile(0.99), 3),
-                  FormatDouble(r.setup_seconds, 2),
+                  FormatDouble(stall.Quantile(0.99), 3),
+                  FormatDouble(r.mean_staleness, 2),
+                  std::to_string(r.dropped_stale),
                   FormatDouble(r.peak_rss_bytes / 1048576.0, 1)});
+  };
+  for (int users : populations) {
+    ScaleSweepConfig config = base;
+    config.num_users = users;
+    if (depth_compare) {
+      ScaleSweepConfig sync_config = config;
+      sync_config.async.pipeline_depth = 1;
+      ScaleSweepResult sync = RunScaleSweep(sync_config);
+      results.push_back(sync);
+      add_row(users, sync);
+    }
+    ScaleSweepResult r = RunScaleSweep(config);
+    results.push_back(r);
+    add_row(users, r);
+    if (depth_compare) {
+      const ScaleSweepResult& sync = results[results.size() - 2];
+      AsyncCompare c;
+      c.users = users;
+      c.depth = base.async.pipeline_depth;
+      c.rounds_per_sec_depth1 = sync.rounds_per_sec;
+      c.rounds_per_sec = r.rounds_per_sec;
+      c.overlap_speedup =
+          sync.rounds_per_sec > 0.0 ? r.rounds_per_sec / sync.rounds_per_sec
+                                    : 0.0;
+      compares.push_back(c);
+    }
+  }
+  // Resolve the deep-run pointers only once `results` stops growing.
+  for (size_t i = 0; i < compares.size(); ++i) {
+    compares[i].deep = &results[2 * i + 1];
   }
   std::printf("%s", table.ToString().c_str());
+  for (const AsyncCompare& c : compares) {
+    std::printf("overlap speedup at %d users: %.3fx (depth %d %.2f rounds/s "
+                "vs depth 1 %.2f rounds/s)\n",
+                c.users, c.overlap_speedup, c.depth, c.rounds_per_sec,
+                c.rounds_per_sec_depth1);
+  }
 
-  if (!json.empty() && WriteJson(json, results) != 0) return 1;
+  if (!json.empty() && WriteJson(json, results, compares) != 0) return 1;
 
   if (max_rss_mb > 0) {
     const int64_t peak_mb = PeakRssBytes() / (1024 * 1024);

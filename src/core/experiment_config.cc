@@ -66,6 +66,15 @@ Status ExperimentConfig::Validate() const {
   if (Status st = workload.Validate(); !st.ok()) {
     return Invalid(st.message());
   }
+  if (pipeline_depth < 1) {
+    return Invalid("pipeline_depth must be >= 1 (1 = synchronous engine)");
+  }
+  if (staleness_decay <= 0.0 || staleness_decay > 1.0) {
+    return Invalid("staleness_decay must lie in (0, 1]");
+  }
+  if (max_staleness < -1) {
+    return Invalid("max_staleness must be -1 (never drop) or >= 0");
+  }
   if (malicious_fraction < 0.0 || malicious_fraction >= 1.0) {
     return Invalid("malicious_fraction must lie in [0, 1)");
   }

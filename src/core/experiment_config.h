@@ -71,6 +71,13 @@ struct ExperimentConfig {
   /// the paper's uniform sampling bit-for-bit; the simulation folds
   /// `seed` into the workload's private stream.
   WorkloadConfig workload;
+  /// Bounded-staleness round pipelining (see AsyncConfig in
+  /// fed/server.h): rounds kept in flight, the staleness weight decay,
+  /// and the drop threshold. The defaults (1, 1.0, -1) are the
+  /// synchronous engine, bit for bit.
+  int pipeline_depth = 1;
+  double staleness_decay = 1.0;
+  int max_staleness = -1;
 
   // --- attack ---
   AttackKind attack = AttackKind::kNone;
@@ -135,6 +142,16 @@ struct ExperimentResult {
   double interaction_ms = 0.0;
   /// Item shards the final round's routing/apply stages ran with.
   int router_shards = 0;
+
+  // Bounded-staleness telemetry (see RoundStats): the pipeline depth
+  // the run executed with, the final round's snapshot-wait time, the
+  // mean staleness of the final round's applied uploads, and the
+  // max staleness / dropped-upload total over the whole run.
+  int pipeline_depth = 1;
+  double stall_ms = 0.0;
+  double mean_staleness = 0.0;
+  int max_staleness = 0;
+  int64_t dropped_stale = 0;
 };
 
 }  // namespace pieck

@@ -71,6 +71,9 @@ StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
   server_config.num_threads = config.num_threads;
   server_config.router_shards = config.router_shards;
   server_config.workload = config.workload;
+  server_config.async.pipeline_depth = config.pipeline_depth;
+  server_config.async.staleness_decay = config.staleness_decay;
+  server_config.async.max_staleness = config.max_staleness;
   // The workload's private stream (rank permutation, churn roster)
   // folds in the experiment seed without consuming a master fork — the
   // trivial workload draws nothing from it, so every pre-workload
@@ -170,8 +173,10 @@ RoundStats Simulation::RunRound() {
   return stats;
 }
 
-void Simulation::RunRounds(int n) {
-  for (int i = 0; i < n; ++i) RunRound();
+void Simulation::RunRounds(int n, std::vector<RoundStats>* stats) {
+  server_->RunRounds(*store_, malicious_ptrs_, rounds_run_, n, round_rng_,
+                     stats);
+  rounds_run_ += n;
 }
 
 double Simulation::EvaluateEr(int k) const {
@@ -192,11 +197,28 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   ExperimentResult result;
   result.target_items = sim->targets();
 
+  // Rounds run in blocks between evaluation points so the bounded-
+  // staleness engine can keep its pipeline full inside a block; a
+  // boundary drains it (depth 1 degenerates to the old per-round loop).
   auto start = std::chrono::steady_clock::now();
-  for (int r = 0; r < config.rounds; ++r) {
-    RoundStats stats = sim->RunRound();
-    const bool last = r + 1 == config.rounds;
-    if (last) {
+  std::vector<RoundStats> round_stats;
+  int r = 0;
+  while (r < config.rounds) {
+    int block = config.rounds - r;
+    if (config.eval_every > 0) {
+      block = std::min(block, config.eval_every - (r % config.eval_every));
+    }
+    round_stats.clear();
+    sim->RunRounds(block, &round_stats);
+    r += block;
+    const bool last = r == config.rounds;
+    for (const RoundStats& stats : round_stats) {
+      result.dropped_stale += stats.dropped_stale;
+      result.max_staleness =
+          std::max(result.max_staleness, stats.max_staleness);
+    }
+    if (last && !round_stats.empty()) {
+      const RoundStats& stats = round_stats.back();
       result.store_footprint_bytes = stats.store_footprint_bytes;
       result.scratch_bytes_in_use = stats.scratch_bytes_in_use;
       result.uploads_built = stats.uploads_built;
@@ -206,12 +228,15 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
       result.apply_ms = stats.apply_ms;
       result.interaction_ms = stats.interaction_ms;
       result.router_shards = stats.router_shards;
+      result.pipeline_depth = stats.pipeline_depth;
+      result.stall_ms = stats.stall_ms;
+      result.mean_staleness = stats.mean_staleness;
     }
-    if ((config.eval_every > 0 && (r + 1) % config.eval_every == 0) || last) {
+    if ((config.eval_every > 0 && r % config.eval_every == 0) || last) {
       double er = sim->EvaluateEr(config.top_k);
       double hr = sim->EvaluateHr(config.top_k);
-      result.er_history.push_back({r + 1, er});
-      result.hr_history.push_back({r + 1, hr});
+      result.er_history.push_back({r, er});
+      result.hr_history.push_back({r, hr});
       if (last) {
         result.er_at_k = er;
         result.hr_at_k = hr;

@@ -44,8 +44,11 @@ class Simulation {
   /// Runs one communication round; returns its stats.
   RoundStats RunRound();
 
-  /// Runs `n` rounds back to back.
-  void RunRounds(int n);
+  /// Runs `n` rounds back to back through the server's block engine:
+  /// with `pipeline_depth` > 1 the rounds overlap under bounded
+  /// staleness; depth 1 is a plain RunRound loop, bit-identical. Appends
+  /// one RoundStats per round to `*stats` when non-null.
+  void RunRounds(int n, std::vector<RoundStats>* stats = nullptr);
 
   /// ER@k over the configured targets (Eq. 3).
   double EvaluateEr(int k) const;

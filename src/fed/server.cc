@@ -1,8 +1,13 @@
 #include "fed/server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -33,6 +38,13 @@ FederatedServer::FederatedServer(const RecModel& model, GlobalModel initial,
   PIECK_CHECK(config_.users_per_round > 0);
   PIECK_CHECK(config_.num_threads >= 0);
   PIECK_CHECK(config_.router_shards >= 0);
+  PIECK_CHECK(config_.async.pipeline_depth >= 1)
+      << "async.pipeline_depth must be >= 1";
+  PIECK_CHECK(config_.async.staleness_decay > 0.0 &&
+              config_.async.staleness_decay <= 1.0)
+      << "async.staleness_decay must be in (0, 1]";
+  PIECK_CHECK(config_.async.max_staleness >= -1)
+      << "async.max_staleness must be -1 (never drop) or >= 0";
   if (Status st = config_.workload.Validate(); !st.ok()) {
     PIECK_CHECK(false) << st.ToString();
   }
@@ -67,19 +79,36 @@ int64_t FederatedServer::ArenaBytes() const {
   }
   bytes += router_.CapacityBytes();
   bytes += workload_.CapacityBytes();
+  // Pipelined-engine arenas (all empty until the first depth >= 2 block).
+  bytes += static_cast<int64_t>(
+      weight_by_upload_.capacity() * sizeof(double) +
+      dirty_rows_.capacity() * sizeof(int));
+  for (const std::vector<int>& sel : sel_ring_) {
+    bytes += static_cast<int64_t>(sel.capacity() * sizeof(int));
+  }
+  for (const std::vector<ClientUpdate>& ring : updates_ring_) {
+    bytes += static_cast<int64_t>(ring.capacity() * sizeof(ClientUpdate));
+    for (const ClientUpdate& u : ring) bytes += u.CapacityBytes();
+  }
+  for (const std::vector<double>& ring : loss_ring_) {
+    bytes += static_cast<int64_t>(ring.capacity() * sizeof(double));
+  }
+  bytes += ring_.CapacityBytes();
   return bytes;
 }
 
 RoundStats FederatedServer::RunRound(
     ClientStateStore& store, const std::vector<ClientInterface*>& malicious,
     int round, Rng& rng) {
+  PIECK_DCHECK(!round_in_flight_) << "RunRound reentered";
+  round_in_flight_ = true;
   RoundStats stats;
   stats.round = round;
   const SteadyClock::time_point t_select = SteadyClock::now();
 
   const int num_benign = store.num_users();
   PIECK_CHECK(num_benign + static_cast<int>(malicious.size()) > 0);
-  const std::vector<int>& selected = SelectParticipants(
+  const std::vector<int>& selected = SelectLocked(
       num_benign, static_cast<int>(malicious.size()), round, rng);
   stats.num_selected = static_cast<int>(selected.size());
   stats.active_benign = workload_.active_benign();
@@ -138,11 +167,14 @@ RoundStats FederatedServer::RunRound(
   stats.uploads_built = static_cast<int>(selected.size());
   stats.scratch_bytes_in_use = ArenaBytes();
   stats.store_footprint_bytes = store.FootprintBytes();
+  round_in_flight_ = false;
   return stats;
 }
 
 RoundStats FederatedServer::RunRound(
     const std::vector<ClientInterface*>& clients, int round, Rng& rng) {
+  PIECK_DCHECK(!round_in_flight_) << "RunRound reentered";
+  round_in_flight_ = true;
   RoundStats stats;
   stats.round = round;
   const SteadyClock::time_point t_select = SteadyClock::now();
@@ -151,7 +183,7 @@ RoundStats FederatedServer::RunRound(
   PIECK_CHECK(n > 0);
   // The object path has no benign/malicious index split the driver
   // could pin, so the whole client population churns and skews as one.
-  const std::vector<int>& selected = SelectParticipants(n, 0, round, rng);
+  const std::vector<int>& selected = SelectLocked(n, 0, round, rng);
   stats.num_selected = static_cast<int>(selected.size());
   stats.active_benign = workload_.active_benign();
   for (int idx : selected) {
@@ -176,6 +208,7 @@ RoundStats FederatedServer::RunRound(
   stats.train_ms = MsSince(t_train, SteadyClock::now());
 
   RouteAndApply(updates, &stats);
+  round_in_flight_ = false;
   return stats;
 }
 
@@ -184,18 +217,251 @@ void FederatedServer::ApplyUpdates(const std::vector<ClientUpdate>& raw,
   RouteAndApply(raw, stats);
 }
 
+void FederatedServer::RunRounds(ClientStateStore& store,
+                                const std::vector<ClientInterface*>& malicious,
+                                int first_round, int num_rounds, Rng& rng,
+                                std::vector<RoundStats>* stats) {
+  PIECK_CHECK(num_rounds >= 0);
+  if (num_rounds == 0) return;
+  if (config_.async.pipeline_depth <= 1) {
+    // Depth 1 is the synchronous engine: a plain RunRound loop,
+    // bit-identical to the caller driving RunRound itself.
+    for (int i = 0; i < num_rounds; ++i) {
+      RoundStats rs = RunRound(store, malicious, first_round + i, rng);
+      if (stats != nullptr) stats->push_back(rs);
+    }
+    return;
+  }
+  PIECK_DCHECK(!round_in_flight_) << "RunRounds reentered";
+  round_in_flight_ = true;
+  RunRoundsPipelined(store, malicious, first_round, num_rounds, rng, stats);
+  round_in_flight_ = false;
+}
+
+void FederatedServer::RunRoundsPipelined(
+    ClientStateStore& store, const std::vector<ClientInterface*>& malicious,
+    int first_round, int num_rounds, Rng& rng,
+    std::vector<RoundStats>* stats) {
+  // Three stage threads over a *static* schedule:
+  //
+  //   select — samples cohort i into a ring of D+1 slots. Selection is
+  //            model-independent, so running ahead cannot change the
+  //            draws; consuming the round RNG in round order keeps the
+  //            stream equal to the synchronous engine's, draw for draw.
+  //   driver — (this thread) prepares the store (single-owner mutation)
+  //            and fans local training out over the pool, always against
+  //            the snapshot of version base + max(0, i - (D-1)).
+  //   apply  — routes + staleness-weights + applies finished rounds in
+  //            order on the live model, then publishes version base+j+1
+  //            into the ring.
+  //
+  // Which version round i trains against depends only on (i, D) — never
+  // on thread timing — so every upload's staleness is min(i, D-1) by
+  // construction and the whole block is bit-deterministic for any
+  // thread/shard/backend choice.
+  //
+  // Slot-reuse safety: the driver's wait `applies_done >= i - (D-1)`
+  // covers both hazards at once — the snapshot it needs has been
+  // published, and the updates slot i % D it overwrites was consumed by
+  // apply(i - D). The select ring has one extra slot so sampling can
+  // run a full depth ahead of training.
+  const int D = config_.async.pipeline_depth;
+  const int S = D + 1;
+  const int64_t base = model_version_;
+  const int num_benign = store.num_users();
+  const int num_malicious = static_cast<int>(malicious.size());
+  PIECK_CHECK(num_benign + num_malicious > 0);
+
+  std::vector<RoundStats> local_stats;
+  size_t out_base = 0;
+  if (stats != nullptr) {
+    out_base = stats->size();
+    stats->resize(out_base + static_cast<size_t>(num_rounds));
+  } else {
+    local_stats.resize(static_cast<size_t>(num_rounds));
+  }
+  RoundStats* rs =
+      stats != nullptr ? stats->data() + out_base : local_stats.data();
+
+  if (static_cast<int>(sel_ring_.size()) < S) {
+    sel_ring_.resize(static_cast<size_t>(S));
+  }
+  if (static_cast<int>(updates_ring_.size()) < D) {
+    updates_ring_.resize(static_cast<size_t>(D));
+  }
+  if (static_cast<int>(loss_ring_.size()) < D) {
+    loss_ring_.resize(static_cast<size_t>(D));
+  }
+  ring_.Reset(global_, base, D);
+  const size_t num_slots = pool_ ? pool_->max_slots() : 1;
+  if (scratch_.size() < num_slots) scratch_.resize(num_slots);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int selects_done = 0;
+  int trains_done = 0;
+  int applies_done = 0;
+
+  std::thread select_thread([&] {
+    for (int i = 0; i < num_rounds; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return i - trains_done < S; });
+      }
+      const SteadyClock::time_point t0 = SteadyClock::now();
+      workload_.BindPopulation(num_benign, num_malicious);
+      std::vector<int>& slot = sel_ring_[static_cast<size_t>(i % S)];
+      workload_.SelectInto(first_round + i, config_.users_per_round, rng,
+                           &slot);
+      rs[i].round = first_round + i;
+      rs[i].num_selected = static_cast<int>(slot.size());
+      rs[i].active_benign = workload_.active_benign();
+      rs[i].select_ms = MsSince(t0, SteadyClock::now());
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        selects_done = i + 1;
+      }
+      cv.notify_all();
+    }
+  });
+
+  std::thread apply_thread([&] {
+    for (int j = 0; j < num_rounds; ++j) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return trains_done >= j + 1; });
+      }
+      std::vector<ClientUpdate>& updates =
+          updates_ring_[static_cast<size_t>(j % D)];
+      RouteAndApply(updates, &rs[j], /*serial=*/true);
+      rs[j].pipeline_depth = D;
+      rs[j].uploads_built = static_cast<int>(updates.size());
+      // The rows this apply touched are exactly the router's group keys.
+      dirty_rows_.clear();
+      for (int s = 0; s < router_.num_shards(); ++s) {
+        const UpdateRouter::ShardView view = router_.Shard(s);
+        for (size_t g = 0; g < view.num_groups; ++g) {
+          dirty_rows_.push_back(view.items[g]);
+        }
+      }
+      ring_.Publish(global_, base + j + 1, dirty_rows_);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        applies_done = j + 1;
+      }
+      cv.notify_all();
+    }
+  });
+
+  for (int i = 0; i < num_rounds; ++i) {
+    const SteadyClock::time_point t_wait = SteadyClock::now();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] {
+        return selects_done >= i + 1 && applies_done >= i - (D - 1);
+      });
+    }
+    const SteadyClock::time_point t_prep = SteadyClock::now();
+    rs[i].stall_ms = MsSince(t_wait, t_prep);
+
+    const std::vector<int>& selected = sel_ring_[static_cast<size_t>(i % S)];
+    prepared_users_.clear();
+    int malicious_selected = 0;
+    for (int idx : selected) {
+      if (idx < num_benign) {
+        prepared_users_.push_back(idx);
+      } else {
+        ++malicious_selected;
+      }
+    }
+    rs[i].num_malicious_selected = malicious_selected;
+    store.PrepareRound(prepared_users_);
+    const SteadyClock::time_point t_train = SteadyClock::now();
+    rs[i].select_ms += MsSince(t_prep, t_train);
+
+    const int64_t train_version = base + std::max(0, i - (D - 1));
+    const GlobalModel& snap = ring_.Snapshot(train_version);
+    std::vector<ClientUpdate>& updates =
+        updates_ring_[static_cast<size_t>(i % D)];
+    std::vector<double>& loss = loss_ring_[static_cast<size_t>(i % D)];
+    updates.resize(selected.size());
+    loss.assign(selected.size(), 0.0);
+    const int round = first_round + i;
+    ThreadPool::ParallelForOrSerialSlots(
+        pool_.get(), selected.size(), [&](size_t slot, size_t k) {
+          const int idx = selected[k];
+          if (idx < num_benign) {
+            loss[k] = BenignClientLogic::ParticipateRound(
+                store, idx, snap, round, scratch_[slot], &updates[k]);
+          } else {
+            updates[k] = malicious[static_cast<size_t>(idx - num_benign)]
+                             ->ParticipateRound(snap, round);
+          }
+          updates[k].model_version = train_version;
+        });
+
+    double loss_sum = 0.0;
+    int benign_selected = 0;
+    for (size_t k = 0; k < selected.size(); ++k) {
+      if (selected[k] < num_benign) {
+        loss_sum += loss[k];
+        ++benign_selected;
+      }
+    }
+    if (benign_selected > 0) {
+      rs[i].mean_benign_loss = loss_sum / benign_selected;
+    }
+    rs[i].train_ms = MsSince(t_train, SteadyClock::now());
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      trains_done = i + 1;
+    }
+    cv.notify_all();
+  }
+
+  select_thread.join();
+  apply_thread.join();
+
+  const int64_t arena_bytes = ArenaBytes();
+  const int64_t store_bytes = store.FootprintBytes();
+  for (int i = 0; i < num_rounds; ++i) {
+    rs[i].scratch_bytes_in_use = arena_bytes;
+    rs[i].store_footprint_bytes = store_bytes;
+  }
+}
+
 const std::vector<int>& FederatedServer::SelectParticipants(int num_benign,
                                                             int num_malicious,
                                                             int round,
                                                             Rng& rng) {
+  PIECK_DCHECK(!round_in_flight_)
+      << "SelectParticipants called while RunRound(s) is in flight — the "
+         "workload driver and the selection arena are single-owner";
+  return SelectLocked(num_benign, num_malicious, round, rng);
+}
+
+const std::vector<int>& FederatedServer::SelectLocked(int num_benign,
+                                                      int num_malicious,
+                                                      int round, Rng& rng) {
   workload_.BindPopulation(num_benign, num_malicious);
   workload_.SelectInto(round, config_.users_per_round, rng, &selected_);
   return selected_;
 }
 
 void FederatedServer::RouteAndApply(const std::vector<ClientUpdate>& raw,
-                                    RoundStats* stats) {
+                                    RoundStats* stats, bool serial) {
   const SteadyClock::time_point t_route = SteadyClock::now();
+
+  // Stage fan-out: on the pool, or inline when `serial` (the pipelined
+  // engine's apply thread must never share the train fan-out's pool —
+  // its Wait is global).
+  const auto fan = [&](size_t n, const std::function<void(size_t)>& fn) {
+    if (serial) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+    } else {
+      For(n, fn);
+    }
+  };
 
   // Client-level defense stage (Krum family): keep only the surviving
   // *indices* — the uploads themselves are borrowed in place, never
@@ -207,6 +473,48 @@ void FederatedServer::RouteAndApply(const std::vector<ClientUpdate>& raw,
     std::iota(surviving_.begin(), surviving_.end(), 0);
   }
 
+  // Staleness stage: each upload's staleness is the number of applies
+  // the live model is ahead of the version the client trained against
+  // (the -1 sentinel means "current", i.e. staleness 0 — every
+  // synchronous caller). Too-stale uploads are dropped before routing;
+  // the rest get weight decay^s. w(0) == 1 exactly, so a round of
+  // current uploads takes the identical unweighted code path below.
+  const AsyncConfig& async = config_.async;
+  weight_by_upload_.assign(raw.size(), 1.0);
+  weights_active_ = false;
+  int64_t dropped = 0;
+  int64_t applied = 0;
+  int64_t staleness_sum = 0;
+  int max_staleness = 0;
+  if (stats != nullptr) stats->staleness_counts.clear();
+  size_t kept = 0;
+  for (size_t i = 0; i < surviving_.size(); ++i) {
+    const int idx = surviving_[i];
+    const int64_t trained = raw[static_cast<size_t>(idx)].model_version;
+    const int64_t s =
+        trained < 0 ? 0 : std::max<int64_t>(0, model_version_ - trained);
+    if (async.max_staleness >= 0 && s > async.max_staleness) {
+      ++dropped;
+      continue;
+    }
+    surviving_[kept++] = idx;
+    ++applied;
+    staleness_sum += s;
+    max_staleness = std::max(max_staleness, static_cast<int>(s));
+    if (s > 0 && async.staleness_decay != 1.0) {
+      weight_by_upload_[static_cast<size_t>(idx)] =
+          std::pow(async.staleness_decay, static_cast<double>(s));
+      weights_active_ = true;
+    }
+    if (stats != nullptr) {
+      if (static_cast<size_t>(s) >= stats->staleness_counts.size()) {
+        stats->staleness_counts.resize(static_cast<size_t>(s) + 1, 0);
+      }
+      ++stats->staleness_counts[static_cast<size_t>(s)];
+    }
+  }
+  surviving_.resize(kept);
+
   // Route: group per-item gradients — item -> gradients from the clients
   // that uploaded one for that item. This sparsity is the crux of the
   // paper's defense analysis (Eq. 11): a cold target item receives
@@ -216,15 +524,16 @@ void FederatedServer::RouteAndApply(const std::vector<ClientUpdate>& raw,
   // flat per-shard CSR buckets whose arenas persist across rounds —
   // borrowed pointers, not copies: the updates outlive this function.
   const int num_items = static_cast<int>(global_.item_embeddings.rows());
-  const size_t workers = pool_ ? static_cast<size_t>(pool_->num_threads()) : 1;
+  const size_t workers =
+      serial ? 1 : (pool_ ? static_cast<size_t>(pool_->num_threads()) : 1);
   const int shards =
       config_.router_shards > 0
           ? config_.router_shards
           : UpdateRouter::DefaultShardCount(static_cast<int>(workers),
                                             num_items);
   router_.BeginRound(num_items, shards, workers);
-  For(workers, [&](size_t w) { router_.ScanSlice(w, raw, surviving_); });
-  For(static_cast<size_t>(router_.num_shards()),
+  fan(workers, [&](size_t w) { router_.ScanSlice(w, raw, surviving_); });
+  fan(static_cast<size_t>(router_.num_shards()),
       [&](size_t s) { router_.BuildShard(static_cast<int>(s)); });
   const SteadyClock::time_point t_apply = SteadyClock::now();
 
@@ -234,33 +543,65 @@ void FederatedServer::RouteAndApply(const std::vector<ClientUpdate>& raw,
   // as the old per-item fan-out did.
   const KernelTable& kernels = ActiveKernels();
   const size_t dim = global_.item_embeddings.cols();
-  For(static_cast<size_t>(router_.num_shards()), [&](size_t s) {
+  fan(static_cast<size_t>(router_.num_shards()), [&](size_t s) {
     const UpdateRouter::ShardView view = router_.Shard(static_cast<int>(s));
     for (size_t gi = 0; gi < view.num_groups; ++gi) {
       const Vec* const* grads = view.grads + view.offsets[gi];
+      const int* uploads = view.upload_ids + view.offsets[gi];
       const size_t count = view.offsets[gi + 1] - view.offsets[gi];
       double* row = global_.item_embeddings.MutableRowPtr(
           static_cast<size_t>(view.items[gi]));
       // Linear rules (Sum, Mean) apply each client gradient as one
       // blocked axpy straight into the embedding row — no aggregate
       // temporary, and the kernels see one contiguous pass per gradient.
+      // A staleness weight folds into the axpy scale exactly.
       if (std::optional<double> w = aggregator_->LinearWeight(count)) {
         const double step = -config_.learning_rate * *w;
-        for (size_t i = 0; i < count; ++i) {
-          PIECK_DCHECK(grads[i]->size() == dim);
-          kernels.axpy(step, grads[i]->data(), row, dim);
+        if (!weights_active_) {
+          for (size_t i = 0; i < count; ++i) {
+            PIECK_DCHECK(grads[i]->size() == dim);
+            kernels.axpy(step, grads[i]->data(), row, dim);
+          }
+        } else {
+          for (size_t i = 0; i < count; ++i) {
+            PIECK_DCHECK(grads[i]->size() == dim);
+            kernels.axpy(
+                step * weight_by_upload_[static_cast<size_t>(uploads[i])],
+                grads[i]->data(), row, dim);
+          }
         }
         continue;
       }
       // Robust rules aggregate the borrowed span straight into a
       // per-worker scratch row (reused across items and rounds), then
       // one axpy applies it — no gradient set is ever materialized.
+      // Staleness weights are not linear in the aggregate here, so a
+      // weighted round first scales each gradient into per-worker
+      // scratch rows and aggregates those; the unweighted round (every
+      // synchronous caller) still borrows the originals untouched.
       for (size_t i = 0; i < count; ++i) {
         PIECK_DCHECK(grads[i]->size() == dim);
       }
+      const Vec* const* agg_input = grads;
+      if (weights_active_) {
+        thread_local std::vector<Vec> scaled;
+        thread_local std::vector<const Vec*> scaled_ptrs;
+        if (scaled.size() < count) scaled.resize(count);
+        scaled_ptrs.resize(count);
+        for (size_t i = 0; i < count; ++i) {
+          const double w =
+              weight_by_upload_[static_cast<size_t>(uploads[i])];
+          Vec& dst = scaled[i];
+          dst.resize(dim);
+          const double* src = grads[i]->data();
+          for (size_t d = 0; d < dim; ++d) dst[d] = w * src[d];
+          scaled_ptrs[i] = &dst;
+        }
+        agg_input = scaled_ptrs.data();
+      }
       thread_local Vec agg;
       agg.resize(dim);
-      aggregator_->Aggregate(grads, count, agg.data());
+      aggregator_->Aggregate(agg_input, count, agg.data());
       kernels.axpy(-config_.learning_rate, agg.data(), row, dim);
     }
   });
@@ -271,6 +612,7 @@ void FederatedServer::RouteAndApply(const std::vector<ClientUpdate>& raw,
     ApplyInteractionUpdates(raw, surviving_);
     interaction_ms = MsSince(t_interaction, SteadyClock::now());
   }
+  ++model_version_;
 
   if (stats != nullptr) {
     stats->route_ms = MsSince(t_route, t_apply);
@@ -279,6 +621,12 @@ void FederatedServer::RouteAndApply(const std::vector<ClientUpdate>& raw,
     stats->router_shards = router_.num_shards();
     stats->router_groups = router_.total_groups();
     stats->router_entries = router_.total_entries();
+    stats->dropped_stale = dropped;
+    stats->max_staleness = max_staleness;
+    stats->mean_staleness =
+        applied > 0 ? static_cast<double>(staleness_sum) /
+                          static_cast<double>(applied)
+                    : 0.0;
   }
 }
 
@@ -300,6 +648,14 @@ void FederatedServer::ApplyInteractionUpdates(
     if (upd.interaction_grads.active) {
       Vec& flat = interaction_flat_slots_[slot++];
       upd.interaction_grads.FlattenInto(&flat);
+      // The flat row is already a private copy, so a staleness weight
+      // scales it in place; w == 1 skips the pass byte-identically.
+      if (weights_active_) {
+        const double w = weight_by_upload_[static_cast<size_t>(idx)];
+        if (w != 1.0) {
+          for (double& x : flat) x *= w;
+        }
+      }
       interaction_span_.push_back(&flat);
     }
   }

@@ -21,14 +21,26 @@
 ///             lazy benign state of the cohort;
 ///   Train   — client local training, fanned over the worker pool into
 ///             selection-slot upload arenas;
-///   Route   — client-level filter, then the `UpdateRouter` groups the
-///             survivors' sparse item gradients into per-shard CSR
-///             buckets (workers scan upload slices; shards merge in
-///             selection order);
+///   Route   — client-level filter + staleness drop, then the
+///             `UpdateRouter` groups the survivors' sparse item
+///             gradients into per-shard CSR buckets (workers scan
+///             upload slices; shards merge in selection order);
 ///   Apply   — one worker per shard aggregates and applies each item's
-///             gradient group to its embedding row;
+///             staleness-weighted gradient group to its embedding row;
 ///   Interaction — DL-FRS only: the interaction-parameter aggregate.
-/// `RoundStats` reports each stage's wall time plus router telemetry.
+/// `RoundStats` reports each stage's wall time plus router and
+/// staleness telemetry.
+///
+/// `RunRound` executes the stages as one barrier per round. `RunRounds`
+/// generalizes to bounded staleness (`AsyncConfig`): with pipeline
+/// depth D >= 2, round i's Select/Train overlaps rounds i-D+1..i-1's
+/// Route/Apply, training against an immutable `ModelVersionRing`
+/// snapshot while the apply thread mutates the live model and then
+/// publishes the next version. Every upload is stamped with the model
+/// version it trained against; the apply stage weights it by
+/// `staleness_decay^staleness` (dropping anything beyond
+/// `max_staleness`) under *any* aggregator/defense combination. Depth 1
+/// is the synchronous engine bit for bit.
 ///
 /// The round path is arena-based end to end: upload slots, worker
 /// scratch, router buckets, and the interaction flatten/aggregate
@@ -50,9 +62,42 @@
 #include "fed/update_router.h"
 #include "model/global_model.h"
 #include "model/rec_model.h"
+#include "model/version_ring.h"
 #include "workload/workload.h"
 
 namespace pieck {
+
+/// Bounded-staleness execution of the round engine (docs/ASYNC.md).
+///
+/// `RunRounds` keeps `pipeline_depth` rounds in flight: round i trains
+/// against the immutable snapshot of model version
+/// `base + max(0, i - depth + 1)` while earlier rounds' Route/Apply
+/// stages mutate the live model. The schedule is *static* — which
+/// version a round trains against depends only on its index and the
+/// depth, never on thread timing — so any depth is bit-deterministic
+/// for every thread count, and depth 1 is the synchronous barrier
+/// engine, bit-identical to a `RunRound` loop.
+struct AsyncConfig {
+  /// Rounds in flight in `RunRounds`. 1 (the default) is the
+  /// synchronous engine; D >= 2 overlaps Select/Train of round i with
+  /// Route/Apply of rounds i-D+1..i-1, giving every upload staleness
+  /// min(i, D-1) at apply time.
+  int pipeline_depth = 1;
+  /// Staleness weight w(s) = decay^s applied to an upload trained s
+  /// versions behind the model it is applied to. w(0) == 1 exactly for
+  /// every decay, so synchronous uploads are untouched bit for bit;
+  /// 1.0 (the default) disables weighting entirely.
+  double staleness_decay = 1.0;
+  /// Uploads with staleness > max_staleness are discarded before
+  /// routing (counted in RoundStats::dropped_stale). -1 (the default)
+  /// never drops.
+  int max_staleness = -1;
+
+  bool enabled() const {
+    return pipeline_depth > 1 || staleness_decay != 1.0 ||
+           max_staleness >= 0;
+  }
+};
 
 /// Server-side configuration of the federated training protocol.
 struct ServerConfig {
@@ -79,6 +124,10 @@ struct ServerConfig {
   /// workload/workload.h). The default is the trivial workload, whose
   /// selection stream is bit-identical to the pre-workload engine.
   WorkloadConfig workload;
+  /// Bounded-staleness pipelining of `RunRounds` plus the
+  /// staleness-weighted apply rule. The default (depth 1, decay 1,
+  /// never drop) is the synchronous engine, bit for bit.
+  AsyncConfig async;
 };
 
 /// Statistics from one communication round (diagnostics / cost analysis).
@@ -112,6 +161,23 @@ struct RoundStats {
   int64_t router_groups = 0;
   /// (item, gradient) entries routed this round.
   int64_t router_entries = 0;
+
+  // --- bounded-staleness telemetry ---
+  /// Rounds in flight when this round ran (1 = synchronous engine).
+  int pipeline_depth = 1;
+  /// Time the train stage spent blocked on its model snapshot /
+  /// pipeline arena slot (0 in the synchronous engine).
+  double stall_ms = 0.0;
+  /// Mean staleness (versions behind the applying model) over the
+  /// uploads actually applied this round.
+  double mean_staleness = 0.0;
+  /// Maximum staleness over the applied uploads.
+  int max_staleness = 0;
+  /// Uploads discarded because staleness > AsyncConfig::max_staleness.
+  int64_t dropped_stale = 0;
+  /// Applied uploads per staleness value: staleness_counts[s] uploads
+  /// arrived s versions behind. Empty when nothing was applied.
+  std::vector<int64_t> staleness_counts;
 
   // --- client-side cost telemetry (store path only) ---
   /// Uploads materialized this round (selection slots written).
@@ -152,6 +218,24 @@ class FederatedServer {
   RoundStats RunRound(const std::vector<ClientInterface*>& clients, int round,
                       Rng& rng);
 
+  /// Runs `num_rounds` consecutive store-path rounds starting at
+  /// `first_round`, keeping `config().async.pipeline_depth` rounds in
+  /// flight, and appends one RoundStats per round to `*stats` (may be
+  /// null). Depth 1 executes a plain `RunRound` loop — bit-identical
+  /// to calling it yourself. Depth D >= 2 runs the overlapped engine:
+  /// a selection thread samples cohorts ahead (the selection stream is
+  /// model-independent, so it equals the synchronous stream draw for
+  /// draw), this thread prepares + trains round i against the snapshot
+  /// of version `base + max(0, i-D+1)`, and an apply thread routes,
+  /// staleness-weights, and applies finished rounds in order, then
+  /// publishes the next snapshot. The static schedule makes any depth
+  /// bit-deterministic for every `num_threads`/shard/backend choice;
+  /// `rng` advances exactly as under the synchronous engine.
+  void RunRounds(ClientStateStore& store,
+                 const std::vector<ClientInterface*>& malicious,
+                 int first_round, int num_rounds, Rng& rng,
+                 std::vector<RoundStats>* stats);
+
   /// Applies a pre-collected set of updates (used by tests and by the
   /// defense analysis bench to study aggregation in isolation). Runs
   /// the Route → Apply → Interaction stages; pass `stats` to collect
@@ -166,9 +250,17 @@ class FederatedServer {
   /// exactly the legacy `rng.SampleWithoutReplacement(n, k)` draw —
   /// bit-for-bit. The returned reference is an arena reused across
   /// rounds; RunRound calls this internally, tests call it directly.
+  /// Must not be called while RunRound/RunRounds is in flight (the
+  /// driver and its arenas are single-owner) — enforced by a
+  /// PIECK_DCHECK on the engine's in-flight flag.
   const std::vector<int>& SelectParticipants(int num_benign,
                                              int num_malicious, int round,
                                              Rng& rng);
+
+  /// Version of the live global model: the number of applies performed
+  /// since construction. Uploads stamped with an older version are
+  /// stale by the difference; the sentinel -1 stamp means "current".
+  int64_t model_version() const { return model_version_; }
 
   const GlobalModel& global() const { return global_; }
   GlobalModel& mutable_global() { return global_; }
@@ -192,12 +284,27 @@ class FederatedServer {
   /// Capacity of the reusable round arenas (telemetry).
   int64_t ArenaBytes() const;
 
+  /// SelectParticipants without the in-flight DCHECK (the engine's own
+  /// selection entry point).
+  const std::vector<int>& SelectLocked(int num_benign, int num_malicious,
+                                       int round, Rng& rng);
+
   /// The Route → Apply → Interaction stages over `raw`: filter to
-  /// surviving indices, route the survivors' item gradients through the
-  /// sharded router, aggregate-and-apply one worker per shard, then the
-  /// DL-FRS interaction step. Fills the stage timings and router
-  /// telemetry of `stats` when non-null.
-  void RouteAndApply(const std::vector<ClientUpdate>& raw, RoundStats* stats);
+  /// surviving indices, drop/weight by staleness, route the survivors'
+  /// item gradients through the sharded router, aggregate-and-apply one
+  /// worker per shard, then the DL-FRS interaction step; finally bumps
+  /// `model_version_`. Fills the stage timings, router telemetry, and
+  /// staleness telemetry of `stats` when non-null. `serial` forces the
+  /// whole stage inline on the calling thread (the pipelined engine's
+  /// apply thread must not share the train fan-out's pool).
+  void RouteAndApply(const std::vector<ClientUpdate>& raw, RoundStats* stats,
+                     bool serial = false);
+
+  /// The depth >= 2 overlapped engine behind RunRounds.
+  void RunRoundsPipelined(ClientStateStore& store,
+                          const std::vector<ClientInterface*>& malicious,
+                          int first_round, int num_rounds, Rng& rng,
+                          std::vector<RoundStats>* stats);
 
   /// DL-FRS only: aggregates and applies the interaction-function
   /// gradients of the surviving uploads (one flattened aggregate per
@@ -214,18 +321,33 @@ class FederatedServer {
 
   WorkloadDriver workload_;  // participant-selection traffic shape
 
+  /// Applies performed since construction (the live model's version).
+  int64_t model_version_ = 0;
+  /// True while RunRound/RunRounds executes; guards the public
+  /// SelectParticipants entry (satellite of the async refactor).
+  bool round_in_flight_ = false;
+
   // Round arenas, reused across rounds.
   std::vector<int> selected_;           // this round's cohort
   std::vector<ClientUpdate> updates_;   // one slot per selected client
   std::vector<RoundScratch> scratch_;   // one arena per worker slot
   std::vector<double> loss_slots_;      // per-selection benign loss
   std::vector<int> prepared_users_;     // benign subset of the selection
-  std::vector<int> surviving_;          // filter survivors (indices)
+  std::vector<int> surviving_;          // filter + staleness survivors
+  std::vector<double> weight_by_upload_;  // staleness weight per upload
+  bool weights_active_ = false;         // any weight != 1 this apply
   UpdateRouter router_;                 // sharded item-gradient routing
   std::vector<Vec> interaction_flat_slots_;  // per-survivor flatten rows
   std::vector<const Vec*> interaction_span_;
   Vec interaction_agg_;                 // aggregated flat gradient
   InteractionGrads interaction_step_;   // unflattened aggregate
+
+  // Pipelined-engine arenas (allocated on first depth >= 2 block).
+  ModelVersionRing ring_;               // immutable model snapshots
+  std::vector<std::vector<int>> sel_ring_;  // depth+1 selection slots
+  std::vector<std::vector<ClientUpdate>> updates_ring_;  // depth slots
+  std::vector<std::vector<double>> loss_ring_;           // depth slots
+  std::vector<int> dirty_rows_;         // rows touched by one apply
 };
 
 }  // namespace pieck

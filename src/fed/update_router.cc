@@ -36,12 +36,14 @@ void UpdateRouter::ScanSlice(size_t worker,
   const size_t lo = worker * n / num_workers_;
   const size_t hi = (worker + 1) * n / num_workers_;
   for (size_t i = lo; i < hi; ++i) {
-    const ClientUpdate& upd = uploads[static_cast<size_t>(surviving[i])];
+    const int upload = surviving[i];
+    const ClientUpdate& upd = uploads[static_cast<size_t>(upload)];
     ClientUpdate::ItemGradSpan span = upd.item_span();
     for (size_t e = 0; e < span.size; ++e) {
       const int item = span.data[e].first;
       PIECK_DCHECK(item >= 0 && item < num_items_);
-      bucket(worker, shard_of(item)).push_back({item, &span.data[e].second});
+      bucket(worker, shard_of(item))
+          .push_back({item, &span.data[e].second, upload});
     }
   }
 }
@@ -86,10 +88,12 @@ void UpdateRouter::BuildShard(int shard) {
   // worker order replays the survivors' original order — each group
   // ends up with its gradients exactly as the old map path pushed them.
   arena.grads.resize(cum);
+  arena.uploads.resize(cum);
   for (size_t w = 0; w < num_workers_; ++w) {
     for (const Entry& e : bucket(w, shard)) {
-      arena.grads[arena.counts[static_cast<size_t>(e.item - begin)]++] =
-          e.grad;
+      const size_t at = arena.counts[static_cast<size_t>(e.item - begin)]++;
+      arena.grads[at] = e.grad;
+      arena.uploads[at] = e.upload;
     }
   }
 }
@@ -101,6 +105,7 @@ UpdateRouter::ShardView UpdateRouter::Shard(int shard) const {
   view.items = arena.items.data();
   view.offsets = arena.offsets.data();
   view.grads = arena.grads.data();
+  view.upload_ids = arena.uploads.data();
   view.num_groups = arena.items.size();
   return view;
 }
@@ -134,7 +139,8 @@ int64_t UpdateRouter::CapacityBytes() const {
     bytes += static_cast<int64_t>(arena.counts.capacity() * sizeof(size_t) +
                                   arena.items.capacity() * sizeof(int) +
                                   arena.offsets.capacity() * sizeof(size_t) +
-                                  arena.grads.capacity() * sizeof(const Vec*));
+                                  arena.grads.capacity() * sizeof(const Vec*) +
+                                  arena.uploads.capacity() * sizeof(int));
   }
   return bytes;
 }

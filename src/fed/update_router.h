@@ -76,11 +76,15 @@ class UpdateRouter {
   void BuildShard(int shard);
 
   /// Borrowed CSR view of one routed shard: group g covers item
-  /// `items[g]` with gradients `grads[offsets[g] .. offsets[g+1])`.
+  /// `items[g]` with gradients `grads[offsets[g] .. offsets[g+1])`;
+  /// `upload_ids[e]` is the upload index (into the round's `uploads`
+  /// vector) that contributed gradient `grads[e]` — the apply stage
+  /// looks per-upload staleness weights up through it.
   struct ShardView {
     const int* items = nullptr;
     const size_t* offsets = nullptr;  // num_groups + 1 entries
     const Vec* const* grads = nullptr;
+    const int* upload_ids = nullptr;  // parallel to grads
     size_t num_groups = 0;
   };
   ShardView Shard(int shard) const;
@@ -99,6 +103,7 @@ class UpdateRouter {
   struct Entry {
     int item;
     const Vec* grad;
+    int upload;  // index into the round's uploads vector
   };
 
   /// One shard's output arena (plus its counting-sort scratch).
@@ -107,6 +112,7 @@ class UpdateRouter {
     std::vector<int> items;         // ascending unique items
     std::vector<size_t> offsets;    // group starts, + one end sentinel
     std::vector<const Vec*> grads;  // grouped, surviving order per item
+    std::vector<int> uploads;       // upload index, parallel to grads
   };
 
   int shard_of(int item) const { return item / items_per_shard_; }

@@ -13,13 +13,15 @@ std::atomic<int64_t> g_client_update_copies{0};
 
 ClientUpdate::ClientUpdate(const ClientUpdate& other)
     : item_grads(other.item_grads),
-      interaction_grads(other.interaction_grads) {
+      interaction_grads(other.interaction_grads),
+      model_version(other.model_version) {
   g_client_update_copies.fetch_add(1, std::memory_order_relaxed);
 }
 
 ClientUpdate& ClientUpdate::operator=(const ClientUpdate& other) {
   item_grads = other.item_grads;
   interaction_grads = other.interaction_grads;
+  model_version = other.model_version;
   g_client_update_copies.fetch_add(1, std::memory_order_relaxed);
   return *this;
 }
@@ -151,6 +153,7 @@ void ClientUpdate::ResetForReuse() {
     spare_.push_back(std::move(grad));
   }
   item_grads.clear();
+  model_version = -1;
 }
 
 int64_t ClientUpdate::CapacityBytes() const {

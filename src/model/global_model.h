@@ -76,6 +76,14 @@ struct ClientUpdate {
   std::vector<std::pair<int, Vec>> item_grads;
   InteractionGrads interaction_grads;
 
+  /// Global-model version this upload was trained against. The sentinel
+  /// -1 means "the server's current model" (staleness 0) — the default,
+  /// so every synchronous caller is untouched. The bounded-staleness
+  /// pipeline stamps the snapshot version it handed the client, and the
+  /// server weights (or drops) the upload by
+  /// `staleness = version_at_apply - model_version`.
+  int64_t model_version = -1;
+
   /// Borrowed view of `item_grads`: contiguous (item, gradient) pairs in
   /// ascending item order. The router's slice scanners walk this span;
   /// it is invalidated by any mutation of the upload.

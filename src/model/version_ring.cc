@@ -1,0 +1,78 @@
+#include "model/version_ring.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+void ModelVersionRing::Reset(const GlobalModel& base, int64_t base_version,
+                             int depth) {
+  PIECK_CHECK(depth >= 1);
+  PIECK_CHECK(base_version >= 0);
+  depth_ = depth;
+  newest_.store(base_version, std::memory_order_release);
+  slots_.assign(static_cast<size_t>(depth), base);
+  dirty_ring_.resize(static_cast<size_t>(depth));
+  for (auto& d : dirty_ring_) d.clear();
+}
+
+void ModelVersionRing::Publish(const GlobalModel& live, int64_t version,
+                               const std::vector<int>& dirty_rows) {
+  PIECK_CHECK(depth_ >= 1) << "Publish before Reset";
+  const int64_t newest = newest_.load(std::memory_order_relaxed);
+  PIECK_CHECK(version == newest + 1)
+      << "versions publish consecutively: got " << version << " after "
+      << newest;
+  dirty_ring_[static_cast<size_t>(version % depth_)] = dirty_rows;
+
+  GlobalModel& slot = slots_[static_cast<size_t>(version % depth_)];
+  // The slot holds version - depth; the union of the retained dirty
+  // lists (versions version-depth+1 .. version) is exactly what changed
+  // since. Duplicate rows across lists just re-copy a row — harmless.
+  const size_t dim = live.item_embeddings.cols();
+  for (const std::vector<int>& dirty : dirty_ring_) {
+    for (int row : dirty) {
+      const size_t r = static_cast<size_t>(row);
+      const double* src = live.item_embeddings.RowPtr(r);
+      double* dst = slot.item_embeddings.MutableRowPtr(r);
+      std::copy(src, src + dim, dst);
+    }
+  }
+  if (live.has_interaction_params()) {
+    slot.mlp_weights = live.mlp_weights;
+    slot.mlp_biases = live.mlp_biases;
+    slot.projection = live.projection;
+  }
+  newest_.store(version, std::memory_order_release);
+}
+
+const GlobalModel& ModelVersionRing::Snapshot(int64_t version) const {
+  PIECK_CHECK(depth_ >= 1) << "Snapshot before Reset";
+  const int64_t newest = newest_.load(std::memory_order_acquire);
+  PIECK_CHECK(version <= newest && version > newest - depth_)
+      << "version " << version << " outside the ring window ("
+      << newest - depth_ + 1 << " .. " << newest << ")";
+  return slots_[static_cast<size_t>(version % depth_)];
+}
+
+int64_t ModelVersionRing::CapacityBytes() const {
+  int64_t bytes = 0;
+  for (const GlobalModel& m : slots_) {
+    bytes += static_cast<int64_t>(m.item_embeddings.data().capacity() *
+                                  sizeof(double));
+    for (const Matrix& w : m.mlp_weights) {
+      bytes += static_cast<int64_t>(w.data().capacity() * sizeof(double));
+    }
+    for (const Vec& b : m.mlp_biases) {
+      bytes += static_cast<int64_t>(b.capacity() * sizeof(double));
+    }
+    bytes += static_cast<int64_t>(m.projection.capacity() * sizeof(double));
+  }
+  for (const std::vector<int>& d : dirty_ring_) {
+    bytes += static_cast<int64_t>(d.capacity() * sizeof(int));
+  }
+  return bytes;
+}
+
+}  // namespace pieck

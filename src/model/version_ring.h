@@ -1,0 +1,73 @@
+/// \file
+/// Double-buffered (depth-D) immutable snapshots of the global model.
+///
+/// The bounded-staleness round pipeline trains round r+1 against a
+/// frozen copy of the model while round r's apply stage mutates the
+/// live `GlobalModel`. `ModelVersionRing` holds the last `depth`
+/// published versions in a slot ring (version v lives in slot
+/// `v % depth`), so a training stage can read any version within the
+/// staleness window without ever touching the live model.
+///
+/// Publish is incremental: the caller passes the item rows dirtied
+/// since the *previous* version (the apply stage's router groups), the
+/// ring remembers the last `depth` dirty lists, and refreshing a slot —
+/// whose content is exactly `depth` versions old — copies only the
+/// union of those lists plus the (dense) interaction parameters. A
+/// steady-state publish therefore costs O(touched rows · dim), not
+/// O(items · dim), and allocates nothing once the dirty ring reaches
+/// capacity.
+///
+/// Thread-safety contract: the slot contents are unsynchronized. The
+/// pipeline guarantees externally (mutex/condvar handoff) that
+/// `Publish(v)` never runs concurrently with a reader of slot
+/// `v % depth` — the only reader of that slot is the training stage of
+/// round v-1's cohort, which completed before v's apply began. The
+/// version watermark `newest_` *is* crossed concurrently (the apply
+/// thread publishes while the driver bounds-checks its snapshot), so it
+/// is an atomic: Publish release-stores it after the slot copy, readers
+/// acquire-load it.
+#ifndef PIECK_MODEL_VERSION_RING_H_
+#define PIECK_MODEL_VERSION_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "model/global_model.h"
+
+namespace pieck {
+
+class ModelVersionRing {
+ public:
+  /// Re-arms the ring with `depth` slots, every slot holding a full
+  /// copy of `base` (the live model at version `base_version`). O(depth
+  /// · model size); called once per pipelined block, not per round.
+  void Reset(const GlobalModel& base, int64_t base_version, int depth);
+
+  /// Publishes the live model as `version` (must be `newest() + 1`):
+  /// records `dirty_rows` (item rows changed since `version - 1`) and
+  /// refreshes slot `version % depth` by copying the union of the last
+  /// `depth` dirty lists plus the interaction parameters from `live`.
+  void Publish(const GlobalModel& live, int64_t version,
+               const std::vector<int>& dirty_rows);
+
+  /// Borrowed snapshot of `version`; it must be within the last
+  /// `depth` published versions. Valid until that slot is republished.
+  const GlobalModel& Snapshot(int64_t version) const;
+
+  int depth() const { return depth_; }
+  int64_t newest() const { return newest_.load(std::memory_order_acquire); }
+
+  /// Resident bytes of the snapshot slots and dirty lists (telemetry).
+  int64_t CapacityBytes() const;
+
+ private:
+  int depth_ = 0;
+  std::atomic<int64_t> newest_{-1};
+  std::vector<GlobalModel> slots_;            // slot v % depth_
+  std::vector<std::vector<int>> dirty_ring_;  // dirty rows of version v
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_MODEL_VERSION_RING_H_

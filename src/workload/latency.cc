@@ -78,6 +78,8 @@ const char* StageLatencies::StageName(int s) {
       return "apply";
     case kInteraction:
       return "interaction";
+    case kStall:
+      return "stall";
     case kRound:
       return "round";
   }
@@ -86,14 +88,15 @@ const char* StageLatencies::StageName(int s) {
 
 void StageLatencies::RecordRound(double select_ms, double train_ms,
                                  double route_ms, double apply_ms,
-                                 double interaction_ms) {
+                                 double interaction_ms, double stall_ms) {
   stage[kSelect].Record(select_ms);
   stage[kTrain].Record(train_ms);
   stage[kRoute].Record(route_ms);
   stage[kApply].Record(apply_ms);
   stage[kInteraction].Record(interaction_ms);
+  stage[kStall].Record(stall_ms);
   stage[kRound].Record(select_ms + train_ms + route_ms + apply_ms +
-                       interaction_ms);
+                       interaction_ms + stall_ms);
 }
 
 }  // namespace pieck

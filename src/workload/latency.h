@@ -58,6 +58,8 @@ struct StageLatencies {
     kRoute,
     kApply,
     kInteraction,
+    kStall,  // pipelined engine: time the train stage waited for its
+             // model snapshot / arena slot (0 in the barrier engine)
     kRound,  // sum of the stages: end-to-end round latency
     kNumStages,
   };
@@ -68,7 +70,8 @@ struct StageLatencies {
 
   /// Records one round's stage times (milliseconds) and their sum.
   void RecordRound(double select_ms, double train_ms, double route_ms,
-                   double apply_ms, double interaction_ms);
+                   double apply_ms, double interaction_ms,
+                   double stall_ms = 0.0);
 };
 
 }  // namespace pieck

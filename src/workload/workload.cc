@@ -70,8 +70,29 @@ Status WorkloadConfig::Validate() const {
 // ---------------------------------------------------------------------
 // Participation models.
 
+void ParticipationModel::BindRoster(const std::vector<int>& active) {
+  (void)active;
+  PIECK_CHECK(false) << "BindRoster: model '" << name()
+                     << "' is not incremental";
+}
+
+void ParticipationModel::SetActive(int id, bool active) {
+  (void)id;
+  (void)active;
+  PIECK_CHECK(false) << "SetActive: model '" << name()
+                     << "' is not incremental";
+}
+
+void ParticipationModel::SampleActive(int k, Rng& rng, std::vector<int>* out) {
+  (void)k;
+  (void)rng;
+  (void)out;
+  PIECK_CHECK(false) << "SampleActive: model '" << name()
+                     << "' is not incremental";
+}
+
 void UniformParticipation::SampleInto(const std::vector<int>& active, int k,
-                                      Rng& rng, std::vector<int>* out) const {
+                                      Rng& rng, std::vector<int>* out) {
   const int n = static_cast<int>(active.size());
   PIECK_DCHECK(k <= n);
   // Over the identity-ordered full population this is *exactly* the
@@ -91,42 +112,108 @@ SkewedParticipation::SkewedParticipation(std::string name,
   for (double w : weight_by_id_) PIECK_CHECK(w > 0.0);
 }
 
-void SkewedParticipation::SampleInto(const std::vector<int>& active, int k,
-                                     Rng& rng, std::vector<int>* out) const {
-  PIECK_DCHECK(k <= static_cast<int>(active.size()));
-  // Efraimidis–Spirakis: key(id) = log(u)/w(id) with u ~ U(0,1); the k
-  // largest keys win. One uniform per active user, drawn in active-list
-  // order, so the result is a pure function of the RNG stream and the
-  // roster — independent of thread count by construction.
-  //
-  // Min-heap of the current winners; ties (never observed in practice)
-  // break toward the earlier roster position for determinism.
-  using Entry = std::pair<double, int>;  // (key, id)
-  thread_local std::vector<Entry> heap;
-  heap.clear();
-  heap.reserve(static_cast<size_t>(k));
-  auto worse = [](const Entry& a, const Entry& b) {
-    return a.first > b.first || (a.first == b.first && a.second < b.second);
-  };
-  for (int id : active) {
-    const double u = rng.Uniform();
-    const double key =
-        std::log(std::max(u, 1e-300)) / weight_by_id_[static_cast<size_t>(id)];
-    if (static_cast<int>(heap.size()) < k) {
-      heap.push_back({key, id});
-      std::push_heap(heap.begin(), heap.end(), worse);
-    } else if (k > 0 && key > heap.front().first) {
-      std::pop_heap(heap.begin(), heap.end(), worse);
-      heap.back() = {key, id};
-      std::push_heap(heap.begin(), heap.end(), worse);
+void SkewedParticipation::Add(int id, double delta) {
+  for (int i = id + 1; i <= n_; i += i & -i) {
+    tree_[static_cast<size_t>(i)] += delta;
+  }
+}
+
+double SkewedParticipation::TotalWeight() const {
+  double sum = 0.0;
+  for (int i = n_; i > 0; i -= i & -i) sum += tree_[static_cast<size_t>(i)];
+  return sum;
+}
+
+int SkewedParticipation::FindPrefix(double target) const {
+  // Bitmask descent: on exit `pos` is the largest 1-based index whose
+  // prefix sum is <= the original target, so `pos` as a 0-based id is
+  // the smallest id whose cumulative active weight exceeds it.
+  int pos = 0;
+  for (int mask = top_bit_; mask > 0; mask >>= 1) {
+    const int next = pos + mask;
+    if (next <= n_ && tree_[static_cast<size_t>(next)] <= target) {
+      pos = next;
+      target -= tree_[static_cast<size_t>(next)];
     }
   }
-  // Emit in descending key order (deterministic).
-  std::sort(heap.begin(), heap.end(), [](const Entry& a, const Entry& b) {
-    return a.first > b.first || (a.first == b.first && a.second < b.second);
-  });
-  out->resize(heap.size());
-  for (size_t i = 0; i < heap.size(); ++i) (*out)[i] = heap[i].second;
+  return pos;
+}
+
+void SkewedParticipation::BindRoster(const std::vector<int>& active) {
+  n_ = static_cast<int>(weight_by_id_.size());
+  top_bit_ = 1;
+  while ((top_bit_ << 1) <= n_) top_bit_ <<= 1;
+  tree_.assign(static_cast<size_t>(n_) + 1, 0.0);
+  in_tree_.assign(static_cast<size_t>(n_), 0);
+  num_active_ = 0;
+  for (int id : active) {
+    PIECK_DCHECK(id >= 0 && id < n_);
+    if (in_tree_[static_cast<size_t>(id)]) continue;
+    in_tree_[static_cast<size_t>(id)] = 1;
+    tree_[static_cast<size_t>(id) + 1] = weight_by_id_[static_cast<size_t>(id)];
+    ++num_active_;
+  }
+  // O(n) bottom-up build: fold every node into its Fenwick parent.
+  for (int i = 1; i <= n_; ++i) {
+    const int parent = i + (i & -i);
+    if (parent <= n_) {
+      tree_[static_cast<size_t>(parent)] += tree_[static_cast<size_t>(i)];
+    }
+  }
+}
+
+void SkewedParticipation::SetActive(int id, bool active) {
+  PIECK_DCHECK(id >= 0 && id < n_);
+  if (static_cast<bool>(in_tree_[static_cast<size_t>(id)]) == active) return;
+  in_tree_[static_cast<size_t>(id)] = active ? 1 : 0;
+  num_active_ += active ? 1 : -1;
+  const double w = weight_by_id_[static_cast<size_t>(id)];
+  Add(id, active ? w : -w);
+}
+
+void SkewedParticipation::SampleActive(int k, Rng& rng,
+                                       std::vector<int>* out) {
+  PIECK_DCHECK(k <= num_active_);
+  out->clear();
+  drawn_.clear();
+  for (int j = 0; j < k; ++j) {
+    const double total = TotalWeight();
+    PIECK_CHECK(total > 0.0) << "skewed sampler: no active weight left";
+    int id = FindPrefix(rng.Uniform() * total);
+    if (id >= n_) id = n_ - 1;
+    // Rounding guard: step to the next id whose weight is actually in
+    // the tree (the descent can land on a removed/inactive id only via
+    // floating-point edge cases). Deterministic either way.
+    int probe = id;
+    while (probe < n_ && !in_tree_[static_cast<size_t>(probe)]) ++probe;
+    if (probe == n_) {
+      probe = id - 1;
+      while (probe >= 0 && !in_tree_[static_cast<size_t>(probe)]) --probe;
+    }
+    PIECK_CHECK(probe >= 0);
+    in_tree_[static_cast<size_t>(probe)] = 0;
+    Add(probe, -weight_by_id_[static_cast<size_t>(probe)]);
+    drawn_.push_back(probe);
+    out->push_back(probe);
+  }
+  // Restore the drawn weights so the tree again covers the full roster.
+  for (int id : drawn_) {
+    in_tree_[static_cast<size_t>(id)] = 1;
+    Add(id, weight_by_id_[static_cast<size_t>(id)]);
+  }
+}
+
+void SkewedParticipation::SampleInto(const std::vector<int>& active, int k,
+                                     Rng& rng, std::vector<int>* out) {
+  PIECK_DCHECK(k <= static_cast<int>(active.size()));
+  BindRoster(active);
+  SampleActive(std::min(k, num_active_), rng, out);
+}
+
+int64_t SkewedParticipation::CapacityBytes() const {
+  return static_cast<int64_t>(
+      (weight_by_id_.capacity() + tree_.capacity()) * sizeof(double) +
+      in_tree_.capacity() * sizeof(uint8_t) + drawn_.capacity() * sizeof(int));
 }
 
 std::unique_ptr<ParticipationModel> ParticipationModel::Create(
@@ -196,6 +283,20 @@ void WorkloadDriver::BindPopulation(int num_benign, int num_malicious) {
       if (!is_active[static_cast<size_t>(u)]) parked_.push_back(u);
     }
   }
+
+  if (model_->incremental()) {
+    // Hand the combined roster (active benign + always-active malicious
+    // tail) to the model once; churn arrives as SetActive events.
+    active_ids_.clear();
+    active_ids_.reserve(active_benign_.size() +
+                        static_cast<size_t>(num_malicious_));
+    active_ids_.insert(active_ids_.end(), active_benign_.begin(),
+                       active_benign_.end());
+    for (int m = 0; m < num_malicious_; ++m) {
+      active_ids_.push_back(num_benign_ + m);
+    }
+    model_->BindRoster(active_ids_);
+  }
 }
 
 int WorkloadDriver::active_benign() const {
@@ -218,6 +319,7 @@ void WorkloadDriver::AdvanceChurn() {
   // this boundary: a user parked here may rejoin here (net no-op), but
   // no user both joins and leaves within one boundary. The active
   // population never drops below one user.
+  const bool incremental = model_->incremental();
   const int active = static_cast<int>(active_benign_.size());
   const int leaves = std::min<int>(
       std::max(0, active - 1),
@@ -225,9 +327,11 @@ void WorkloadDriver::AdvanceChurn() {
   for (int i = 0; i < leaves; ++i) {
     const size_t j = static_cast<size_t>(churn_rng_.UniformInt(
         0, static_cast<int64_t>(active_benign_.size()) - 1));
-    parked_.push_back(active_benign_[j]);
+    const int user = active_benign_[j];
+    parked_.push_back(user);
     active_benign_[j] = active_benign_.back();
     active_benign_.pop_back();
+    if (incremental) model_->SetActive(user, false);
   }
   const int parked = static_cast<int>(parked_.size());
   const int joins = std::min<int>(
@@ -236,9 +340,11 @@ void WorkloadDriver::AdvanceChurn() {
   for (int i = 0; i < joins; ++i) {
     const size_t j = static_cast<size_t>(churn_rng_.UniformInt(
         0, static_cast<int64_t>(parked_.size()) - 1));
-    active_benign_.push_back(parked_[j]);
+    const int user = parked_[j];
+    active_benign_.push_back(user);
     parked_[j] = parked_.back();
     parked_.pop_back();
+    if (incremental) model_->SetActive(user, true);
   }
 }
 
@@ -254,8 +360,19 @@ void WorkloadDriver::SelectInto(int round, int cohort_target, Rng& rng,
   }
   if (round > 0 && config_.churn.enabled()) AdvanceChurn();
 
-  // Roster for this round: active benign users plus the always-active
-  // malicious tail (the attacker keeps its clients online).
+  const int active_total =
+      static_cast<int>(active_benign_.size()) + num_malicious_;
+  const int k =
+      std::min<int>(DiurnalCohort(round, cohort_target), active_total);
+  if (model_->incremental()) {
+    // Skewed path: the model's Fenwick tree already mirrors the roster
+    // (bind + churn events) — O(k log n) per round, no roster rebuild.
+    model_->SampleActive(k, rng, out);
+    return;
+  }
+
+  // Uniform non-trivial path: materialize the roster (active benign
+  // users plus the always-active malicious tail) and sample positions.
   active_ids_.clear();
   active_ids_.reserve(active_benign_.size() +
                       static_cast<size_t>(num_malicious_));
@@ -264,9 +381,6 @@ void WorkloadDriver::SelectInto(int round, int cohort_target, Rng& rng,
   for (int m = 0; m < num_malicious_; ++m) {
     active_ids_.push_back(num_benign_ + m);
   }
-
-  const int k = std::min<int>(DiurnalCohort(round, cohort_target),
-                              static_cast<int>(active_ids_.size()));
   model_->SampleInto(active_ids_, k, rng, out);
 }
 
@@ -277,8 +391,7 @@ int64_t WorkloadDriver::CapacityBytes() const {
       sizeof(int));
   if (const auto* skewed =
           dynamic_cast<const SkewedParticipation*>(model_.get())) {
-    bytes += static_cast<int64_t>(skewed->weights().capacity() *
-                                  sizeof(double));
+    bytes += skewed->CapacityBytes();
   }
   return bytes;
 }

@@ -106,10 +106,12 @@ struct WorkloadConfig {
   Status Validate() const;
 };
 
-/// Draws one round's cohort from the active population. Implementations
-/// are stateless between rounds; all randomness comes from the caller's
-/// RNG, so a model is deterministic given its construction parameters
-/// and the RNG state.
+/// Draws one round's cohort from the active population. All randomness
+/// comes from the caller's RNG, so a model is deterministic given its
+/// construction parameters and the RNG state. Models advertising
+/// `incremental()` additionally maintain the active roster themselves
+/// (`BindRoster`/`SetActive`/`SampleActive`), so the driver never
+/// re-materializes the active-id list per round.
 class ParticipationModel {
  public:
   virtual ~ParticipationModel() = default;
@@ -118,9 +120,21 @@ class ParticipationModel {
 
   /// Samples `k` distinct entries of `active` (ids in the combined
   /// population space) into `*out`, overwriting it. `k <= active.size()`
-  /// by contract.
+  /// by contract. One-shot: no prior `BindRoster` needed.
   virtual void SampleInto(const std::vector<int>& active, int k, Rng& rng,
-                          std::vector<int>* out) const = 0;
+                          std::vector<int>* out) = 0;
+
+  /// True when the model keeps the roster incrementally; the driver then
+  /// binds once, feeds churn events through `SetActive`, and samples
+  /// O(k log n) per round via `SampleActive`.
+  virtual bool incremental() const { return false; }
+  /// (Re)binds the incremental roster: exactly the ids in `active` are
+  /// selectable afterwards. O(n).
+  virtual void BindRoster(const std::vector<int>& active);
+  /// Marks one id (in)active. O(log n). Idempotent.
+  virtual void SetActive(int id, bool active);
+  /// Samples `k` distinct active ids into `*out`, `k <=` active count.
+  virtual void SampleActive(int k, Rng& rng, std::vector<int>* out);
 
   /// Builds the model for `config` over a population of `n` combined
   /// ids. Skewed models assign propensity ranks by a permutation drawn
@@ -135,13 +149,27 @@ class UniformParticipation final : public ParticipationModel {
  public:
   const char* name() const override { return "uniform"; }
   void SampleInto(const std::vector<int>& active, int k, Rng& rng,
-                  std::vector<int>* out) const override;
+                  std::vector<int>* out) override;
 };
 
-/// Weighted participation (Zipf or exponential propensities) via the
-/// Efraimidis–Spirakis one-pass weighted reservoir: each active user
-/// draws one uniform u and the k largest keys log(u)/w win. One pass,
-/// O(active·log k), deterministic in the RNG stream.
+/// Weighted participation (Zipf or exponential propensities) sampled by
+/// k successive weighted draws without replacement over a Fenwick
+/// (binary-indexed) tree of active propensities — O(k log n) per round
+/// instead of the retired Efraimidis–Spirakis O(active) pass, with the
+/// identical distribution (successive WOR draws are the *definition* of
+/// weighted sampling without replacement; E–S keys reproduce it).
+///
+/// Fixed draw order (the determinism contract): for j = 0..k−1 the
+/// sampler computes `total` as the tree's full prefix sum, draws one
+/// `u = rng.Uniform()`, descends the tree for the smallest id whose
+/// cumulative active weight exceeds `u·total`, removes that id's weight,
+/// and appends the id to `*out`; after the k-th draw all k weights are
+/// restored in draw order. Exactly k uniforms per round, consumed in
+/// emission order — a pure function of the RNG stream and the roster,
+/// independent of thread count. If floating-point rounding lands the
+/// descent on an absent id (drawn earlier this round or inactive), the
+/// next present id upward is taken (wrapping downward at the top end) —
+/// still deterministic.
 class SkewedParticipation final : public ParticipationModel {
  public:
   /// `weight_by_id[id]` is the propensity of combined id `id`; all
@@ -149,14 +177,34 @@ class SkewedParticipation final : public ParticipationModel {
   SkewedParticipation(std::string name, std::vector<double> weight_by_id);
 
   const char* name() const override { return name_.c_str(); }
+  /// One-shot compatibility path: `BindRoster(active)` + `SampleActive`.
   void SampleInto(const std::vector<int>& active, int k, Rng& rng,
-                  std::vector<int>* out) const override;
+                  std::vector<int>* out) override;
+
+  bool incremental() const override { return true; }
+  void BindRoster(const std::vector<int>& active) override;
+  void SetActive(int id, bool active) override;
+  void SampleActive(int k, Rng& rng, std::vector<int>* out) override;
 
   const std::vector<double>& weights() const { return weight_by_id_; }
+  int num_active() const { return num_active_; }
+  /// Resident bytes of the weight/tree/roster arrays (telemetry).
+  int64_t CapacityBytes() const;
 
  private:
+  // Fenwick primitives over 0-based ids (1-based internally).
+  void Add(int id, double delta);
+  double TotalWeight() const;
+  int FindPrefix(double target) const;
+
   std::string name_;
   std::vector<double> weight_by_id_;
+  std::vector<double> tree_;      // Fenwick tree of active weights
+  std::vector<uint8_t> in_tree_;  // id's weight currently in the tree
+  std::vector<int> drawn_;        // scratch: this round's removals
+  int n_ = 0;
+  int top_bit_ = 0;  // largest power of two <= n_
+  int num_active_ = 0;
 };
 
 /// Owns the per-run workload state: the participation model, the churn
@@ -203,11 +251,14 @@ class WorkloadDriver {
   std::unique_ptr<ParticipationModel> model_;
   Rng churn_rng_{0};
 
-  // Churn roster over benign ids; malicious ids are appended to
-  // `active_ids_` after every boundary and never churn.
+  // Churn roster over benign ids; malicious ids never churn. Skewed
+  // (incremental) models track the combined roster inside their Fenwick
+  // tree and see churn as SetActive events; only the uniform non-trivial
+  // path still materializes `active_ids_` (active benign + malicious)
+  // each round.
   std::vector<int> active_benign_;
   std::vector<int> parked_;
-  std::vector<int> active_ids_;  // active benign + all malicious
+  std::vector<int> active_ids_;
 };
 
 }  // namespace pieck

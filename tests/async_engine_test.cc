@@ -1,0 +1,341 @@
+// Bounded-staleness round engine (fed/server.h, AsyncConfig).
+//
+// The contracts under test:
+//   - depth 1 `RunRounds` is the synchronous engine bit for bit (a
+//     plain RunRound loop), for both MF and DL-FRS;
+//   - any pipeline depth is bit-deterministic across thread counts,
+//     with and without staleness weighting, for linear and robust
+//     aggregators (the static schedule fixes which model version every
+//     round trains against);
+//   - the staleness telemetry follows that static schedule exactly
+//     (round i's uploads apply with staleness min(i, depth-1));
+//   - the staleness-weighted apply rule w(s) = decay^s matches hand
+//     math for linear and robust rules, and `max_staleness` drops (and
+//     counts) too-stale uploads without touching the model.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/simulation.h"
+#include "defense/robust_aggregators.h"
+#include "fed/aggregator.h"
+#include "fed/server.h"
+#include "model/mf_model.h"
+
+namespace pieck {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.dataset = MovieLens100KConfig(0.05);
+  config.embedding_dim = 8;
+  config.rounds = 6;
+  config.users_per_round = 16;
+  config.attack = AttackKind::kPieckIpe;
+  config.malicious_fraction = 0.1;
+  config.seed = 20240808;
+  return config;
+}
+
+std::unique_ptr<Simulation> MustCreate(const ExperimentConfig& config) {
+  StatusOr<std::unique_ptr<Simulation>> sim = Simulation::Create(config);
+  EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+  return std::move(sim).value();
+}
+
+// --- depth 1 == synchronous engine, bit for bit -----------------------
+
+TEST(AsyncEngineTest, Depth1RunRoundsBitIdenticalToRunRoundLoop) {
+  ExperimentConfig config = SmallConfig();
+  std::unique_ptr<Simulation> loop = MustCreate(config);
+  config.pipeline_depth = 1;  // explicit, for the reader
+  std::unique_ptr<Simulation> block = MustCreate(config);
+
+  std::vector<RoundStats> loop_stats;
+  for (int r = 0; r < 6; ++r) loop_stats.push_back(loop->RunRound());
+  std::vector<RoundStats> block_stats;
+  block->RunRounds(6, &block_stats);
+
+  ASSERT_EQ(block_stats.size(), 6u);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(loop_stats[r].num_selected, block_stats[r].num_selected);
+    EXPECT_EQ(block_stats[r].pipeline_depth, 1);
+    EXPECT_DOUBLE_EQ(block_stats[r].mean_staleness, 0.0);
+    EXPECT_EQ(block_stats[r].dropped_stale, 0);
+  }
+  ASSERT_EQ(loop->global().item_embeddings, block->global().item_embeddings);
+  EXPECT_EQ(loop->server().model_version(), block->server().model_version());
+}
+
+TEST(AsyncEngineTest, Depth1DlfrsAlsoBitIdentical) {
+  ExperimentConfig config = SmallConfig();
+  config.model_kind = ModelKind::kNeuralCf;
+  std::unique_ptr<Simulation> loop = MustCreate(config);
+  std::unique_ptr<Simulation> block = MustCreate(config);
+
+  for (int r = 0; r < 4; ++r) loop->RunRound();
+  block->RunRounds(4);
+
+  const GlobalModel& a = loop->global();
+  const GlobalModel& b = block->global();
+  ASSERT_EQ(a.item_embeddings, b.item_embeddings);
+  for (size_t l = 0; l < a.mlp_weights.size(); ++l) {
+    EXPECT_EQ(a.mlp_weights[l], b.mlp_weights[l]) << "layer " << l;
+    EXPECT_EQ(a.mlp_biases[l], b.mlp_biases[l]) << "layer " << l;
+  }
+  EXPECT_EQ(a.projection, b.projection);
+}
+
+// --- pipelined depths are deterministic across thread counts ----------
+
+TEST(AsyncEngineTest, PipelinedDepthsDeterministicAcrossThreadCounts) {
+  for (int depth : {2, 4}) {
+    ExperimentConfig base = SmallConfig();
+    base.pipeline_depth = depth;
+    base.staleness_decay = 0.8;  // exercises the weighted linear path
+    base.num_threads = 1;
+    ExperimentConfig wide = base;
+    wide.num_threads = 0;  // one worker per hardware thread
+
+    std::unique_ptr<Simulation> serial = MustCreate(base);
+    std::unique_ptr<Simulation> threaded = MustCreate(wide);
+    serial->RunRounds(6);
+    threaded->RunRounds(6);
+    ASSERT_EQ(serial->global().item_embeddings,
+              threaded->global().item_embeddings)
+        << "depth " << depth;
+    EXPECT_DOUBLE_EQ(serial->EvaluateEr(10), threaded->EvaluateEr(10))
+        << "depth " << depth;
+  }
+}
+
+TEST(AsyncEngineTest, PipelinedRobustAggregatorDeterministicWithWeights) {
+  for (DefenseKind defense : {DefenseKind::kMedian, DefenseKind::kTrimmedMean,
+                              DefenseKind::kNormBound}) {
+    ExperimentConfig base = SmallConfig();
+    base.defense = defense;
+    base.pipeline_depth = 2;
+    base.staleness_decay = 0.5;  // exercises the scaled-copy robust path
+    base.num_threads = 1;
+    ExperimentConfig wide = base;
+    wide.num_threads = 4;
+
+    std::unique_ptr<Simulation> serial = MustCreate(base);
+    std::unique_ptr<Simulation> threaded = MustCreate(wide);
+    serial->RunRounds(5);
+    threaded->RunRounds(5);
+    ASSERT_EQ(serial->global().item_embeddings,
+              threaded->global().item_embeddings)
+        << "defense kind " << DefenseKindToString(defense);
+  }
+}
+
+TEST(AsyncEngineTest, PipelinedRunIsReproducibleRunToRun) {
+  ExperimentConfig config = SmallConfig();
+  config.pipeline_depth = 3;
+  config.num_threads = 0;
+  std::unique_ptr<Simulation> a = MustCreate(config);
+  std::unique_ptr<Simulation> b = MustCreate(config);
+  a->RunRounds(6);
+  b->RunRounds(6);
+  ASSERT_EQ(a->global().item_embeddings, b->global().item_embeddings);
+}
+
+// --- the static staleness schedule ------------------------------------
+
+TEST(AsyncEngineTest, StalenessTelemetryFollowsStaticSchedule) {
+  ExperimentConfig config = SmallConfig();
+  config.pipeline_depth = 2;
+  std::unique_ptr<Simulation> sim = MustCreate(config);
+  std::vector<RoundStats> stats;
+  sim->RunRounds(5, &stats);
+
+  ASSERT_EQ(stats.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    // Round i trains against version base + max(0, i - 1) and applies
+    // at version base + i: staleness min(i, depth-1) for every upload.
+    const int expected = std::min(i, 1);
+    EXPECT_EQ(stats[i].pipeline_depth, 2) << "round " << i;
+    EXPECT_DOUBLE_EQ(stats[i].mean_staleness, expected) << "round " << i;
+    EXPECT_EQ(stats[i].max_staleness, expected) << "round " << i;
+    EXPECT_EQ(stats[i].dropped_stale, 0) << "round " << i;
+    ASSERT_EQ(stats[i].staleness_counts.size(),
+              static_cast<size_t>(expected) + 1)
+        << "round " << i;
+    EXPECT_EQ(stats[i].staleness_counts[static_cast<size_t>(expected)],
+              stats[i].num_selected)
+        << "round " << i;
+  }
+  EXPECT_EQ(sim->server().model_version(), 5);
+}
+
+// --- the staleness-weighted apply rule, against hand math -------------
+
+class AsyncServerFixture : public ::testing::Test {
+ protected:
+  void Build(AsyncConfig async, std::unique_ptr<Aggregator> aggregator) {
+    model_ = std::make_unique<MfModel>(2);
+    Rng rng(71);
+    GlobalModel g = model_->InitGlobalModel(4, rng);
+    ServerConfig config;
+    config.learning_rate = 1.0;
+    config.users_per_round = 2;
+    config.async = async;
+    server_ = std::make_unique<FederatedServer>(*model_, std::move(g), config,
+                                                std::move(aggregator));
+  }
+
+  /// Advances the live model version without touching any row.
+  void BumpVersion() { server_->ApplyUpdates({}); }
+
+  std::unique_ptr<MfModel> model_;
+  std::unique_ptr<FederatedServer> server_;
+};
+
+TEST_F(AsyncServerFixture, LinearRuleScalesStaleUploadByDecayPower) {
+  AsyncConfig async;
+  async.staleness_decay = 0.5;
+  Build(async, std::make_unique<SumAggregator>());
+  BumpVersion();
+  BumpVersion();
+  ASSERT_EQ(server_->model_version(), 2);
+  const GlobalModel before = server_->global();
+
+  ClientUpdate current, stale, older;
+  current.AccumulateItemGrad(1, {1.0, 0.0});
+  current.model_version = 2;  // staleness 0 -> weight 1
+  stale.AccumulateItemGrad(1, {1.0, 0.0});
+  stale.model_version = 1;  // staleness 1 -> weight 0.5
+  older.AccumulateItemGrad(1, {1.0, 0.0});
+  older.model_version = 0;  // staleness 2 -> weight 0.25
+
+  RoundStats stats;
+  server_->ApplyUpdates({current, stale, older}, &stats);
+  EXPECT_DOUBLE_EQ(server_->global().item_embeddings.At(1, 0),
+                   before.item_embeddings.At(1, 0) - (1.0 + 0.5 + 0.25));
+  EXPECT_DOUBLE_EQ(stats.mean_staleness, 1.0);
+  EXPECT_EQ(stats.max_staleness, 2);
+  ASSERT_EQ(stats.staleness_counts.size(), 3u);
+  EXPECT_EQ(stats.staleness_counts[0], 1);
+  EXPECT_EQ(stats.staleness_counts[1], 1);
+  EXPECT_EQ(stats.staleness_counts[2], 1);
+}
+
+TEST_F(AsyncServerFixture, SentinelVersionMeansCurrentEverywhere) {
+  AsyncConfig async;
+  async.staleness_decay = 0.5;
+  async.max_staleness = 0;
+  Build(async, std::make_unique<SumAggregator>());
+  BumpVersion();
+  BumpVersion();
+  const GlobalModel before = server_->global();
+
+  ClientUpdate upd;  // model_version stays -1: "current", never stale
+  upd.AccumulateItemGrad(0, {2.0, 0.0});
+  RoundStats stats;
+  server_->ApplyUpdates({upd}, &stats);
+  EXPECT_DOUBLE_EQ(server_->global().item_embeddings.At(0, 0),
+                   before.item_embeddings.At(0, 0) - 2.0);
+  EXPECT_EQ(stats.dropped_stale, 0);
+}
+
+TEST_F(AsyncServerFixture, RobustRuleAggregatesScaledGradients) {
+  AsyncConfig async;
+  async.staleness_decay = 0.5;
+  Build(async, std::make_unique<MedianAggregator>());
+  BumpVersion();
+  const GlobalModel before = server_->global();
+
+  // Coordinate 0 values 4, 10, 6 — but the third upload is one version
+  // stale, so the (sum-calibrated, n x median) rule runs over
+  // {4, 10, 3}: n x median = 12. Scaling after aggregation instead
+  // would give n x median{4, 10, 6} = 18 — the stale gradient must be
+  // scaled *before* aggregation.
+  ClientUpdate a, b, c;
+  a.AccumulateItemGrad(2, {4.0, 0.0});
+  a.model_version = 1;
+  b.AccumulateItemGrad(2, {10.0, 0.0});
+  b.model_version = 1;
+  c.AccumulateItemGrad(2, {6.0, 0.0});
+  c.model_version = 0;  // staleness 1 -> scaled to 3.0
+
+  server_->ApplyUpdates({a, b, c});
+  EXPECT_DOUBLE_EQ(server_->global().item_embeddings.At(2, 0),
+                   before.item_embeddings.At(2, 0) - 12.0);
+}
+
+TEST_F(AsyncServerFixture, MaxStalenessDropsAndCountsWithoutApplying) {
+  AsyncConfig async;
+  async.max_staleness = 0;
+  Build(async, std::make_unique<SumAggregator>());
+  BumpVersion();
+  ASSERT_EQ(server_->model_version(), 1);
+  const GlobalModel before = server_->global();
+
+  ClientUpdate fresh, expired;
+  fresh.AccumulateItemGrad(0, {1.0, 0.0});
+  fresh.model_version = 1;  // staleness 0: applied
+  expired.AccumulateItemGrad(3, {5.0, 0.0});
+  expired.model_version = 0;  // staleness 1 > max 0: dropped
+
+  RoundStats stats;
+  server_->ApplyUpdates({fresh, expired}, &stats);
+  EXPECT_EQ(stats.dropped_stale, 1);
+  EXPECT_EQ(stats.max_staleness, 0);
+  ASSERT_EQ(stats.staleness_counts.size(), 1u);
+  EXPECT_EQ(stats.staleness_counts[0], 1);
+  // The dropped upload's item row is untouched; the fresh one applied.
+  EXPECT_EQ(server_->global().item_embeddings.Row(3),
+            before.item_embeddings.Row(3));
+  EXPECT_DOUBLE_EQ(server_->global().item_embeddings.At(0, 0),
+                   before.item_embeddings.At(0, 0) - 1.0);
+}
+
+TEST_F(AsyncServerFixture, DropEverythingStillAdvancesTheVersion) {
+  AsyncConfig async;
+  async.max_staleness = 0;
+  Build(async, std::make_unique<SumAggregator>());
+  BumpVersion();
+  const GlobalModel before = server_->global();
+
+  ClientUpdate expired;
+  expired.AccumulateItemGrad(1, {5.0, 0.0});
+  expired.model_version = 0;
+  RoundStats stats;
+  server_->ApplyUpdates({expired}, &stats);
+  EXPECT_EQ(stats.dropped_stale, 1);
+  EXPECT_DOUBLE_EQ(stats.mean_staleness, 0.0);
+  EXPECT_TRUE(stats.staleness_counts.empty());
+  EXPECT_EQ(server_->global().item_embeddings, before.item_embeddings);
+  EXPECT_EQ(server_->model_version(), 2);
+}
+
+// Pipelined rounds with a drop bound tighter than the schedule's
+// staleness: every post-warmup upload exceeds max_staleness and must be
+// discarded — the model only moves in the rounds that train current.
+TEST(AsyncEngineTest, PipelineDropStaleEdgeCase) {
+  ExperimentConfig config = SmallConfig();
+  config.pipeline_depth = 3;  // steady-state staleness 2
+  config.max_staleness = 1;   // ... which exceeds the bound
+  std::unique_ptr<Simulation> sim = MustCreate(config);
+  std::vector<RoundStats> stats;
+  sim->RunRounds(5, &stats);
+
+  ASSERT_EQ(stats.size(), 5u);
+  // Rounds 0 and 1 train at staleness 0 and 1 (pipeline fill): applied.
+  EXPECT_EQ(stats[0].dropped_stale, 0);
+  EXPECT_EQ(stats[1].dropped_stale, 0);
+  // From round 2 on the static schedule pins staleness at 2: dropped.
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_EQ(stats[i].dropped_stale, stats[i].num_selected)
+        << "round " << i;
+    EXPECT_TRUE(stats[i].staleness_counts.empty()) << "round " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pieck

@@ -27,6 +27,14 @@ Subcommands (one per artifact family):
       (exact == true), the quantized shortlist recall to clear R, and
       the fused mode's throughput to clear the users/s floor.
 
+  async    <scale.json>    [--min-overlap-speedup X]
+      Bounded-staleness gate from `bench_scale_users --depth_compare
+      --json`: same schema validation as `scale`, plus the `async`
+      comparison section must exist, its staleness histogram must match
+      the pipeline's static schedule (depth buckets, every bucket
+      populated, mean within [0, depth-1]), and the depth-D round
+      throughput must clear X times the depth-1 throughput.
+
 Every subcommand prints what it measured and exits non-zero with a
 reason on failure. See .github/workflows/ci.yml for the wiring.
 """
@@ -35,7 +43,15 @@ import argparse
 import json
 import sys
 
-LATENCY_STAGES = ("select", "train", "route", "apply", "interaction", "round")
+LATENCY_STAGES = (
+    "select",
+    "train",
+    "route",
+    "apply",
+    "interaction",
+    "stall",
+    "round",
+)
 LATENCY_FIELDS = ("p50", "p95", "p99", "mean", "max", "count")
 WORKLOAD_FIELDS = (
     "participation",
@@ -63,8 +79,24 @@ RUN_FIELDS = (
     "rounds_per_sec",
     "clients_per_sec",
     "peak_rss_mb",
+    "pipeline_depth",
+    "mean_staleness",
+    "max_staleness",
+    "dropped_stale",
+    "staleness_hist",
     "workload",
     "latency_ms",
+)
+ASYNC_FIELDS = (
+    "users",
+    "depth",
+    "rounds_per_sec_depth1",
+    "rounds_per_sec",
+    "overlap_speedup",
+    "mean_staleness",
+    "max_staleness",
+    "dropped_stale",
+    "staleness_hist",
 )
 
 
@@ -191,6 +223,88 @@ def cmd_workload(args):
     print(f"OK: {len(runs)} workload run(s) within tail-latency budget")
 
 
+def check_staleness_hist(path, label, hist, depth, mean, rounds):
+    """Sanity of one staleness histogram against the static schedule.
+
+    With pipeline depth D and R >= D rounds, round i's uploads apply at
+    staleness min(i, D-1): buckets 0..D-1 all receive uploads and no
+    bucket beyond D-1 can exist (drops are counted separately, before
+    the histogram).
+    """
+    if not isinstance(hist, list) or not hist:
+        sys.exit(f"{path}: {label} staleness_hist missing or empty")
+    if any(not isinstance(c, int) or c < 0 for c in hist):
+        sys.exit(f"{path}: {label} staleness_hist has invalid counts: {hist}")
+    if len(hist) > depth:
+        sys.exit(
+            f"{path}: {label} staleness_hist has {len(hist)} buckets — the "
+            f"static schedule caps staleness at depth-1 = {depth - 1}"
+        )
+    if rounds >= depth and len(hist) < depth:
+        sys.exit(
+            f"{path}: {label} staleness_hist has {len(hist)} buckets over "
+            f"{rounds} rounds — every staleness 0..{depth - 1} must occur"
+        )
+    if rounds >= depth and any(c == 0 for c in hist):
+        sys.exit(f"{path}: {label} staleness_hist has an empty bucket: {hist}")
+    expected_mean = sum(s * c for s, c in enumerate(hist)) / sum(hist)
+    if abs(mean - expected_mean) > 5e-4:
+        sys.exit(
+            f"{path}: {label} mean_staleness {mean:.4f} does not match its "
+            f"histogram ({expected_mean:.4f})"
+        )
+
+
+def cmd_async(args):
+    data = load(args.json)
+    runs = validate_scale_schema(args.json, data)
+    compares = data.get("async")
+    if not isinstance(compares, list) or not compares:
+        sys.exit(
+            f"{args.json}: no 'async' section — rerun bench_scale_users "
+            "with --depth_compare"
+        )
+    for i, c in enumerate(compares):
+        for field in ASYNC_FIELDS:
+            if field not in c:
+                sys.exit(f"{args.json}: async[{i}] missing '{field}'")
+        depth = c["depth"]
+        if depth < 2:
+            sys.exit(f"{args.json}: async[{i}] compares depth {depth} (< 2)")
+        deep = [
+            r
+            for r in runs
+            if r["users"] == c["users"] and r["pipeline_depth"] == depth
+        ]
+        if not deep:
+            sys.exit(
+                f"{args.json}: async[{i}] has no matching depth-{depth} "
+                f"run at {c['users']} users"
+            )
+        check_staleness_hist(
+            args.json,
+            f"async[{i}]",
+            c["staleness_hist"],
+            depth,
+            c["mean_staleness"],
+            deep[0]["rounds"],
+        )
+        print(
+            f"async users={c['users']} depth={depth}: "
+            f"{c['rounds_per_sec_depth1']:.2f} -> {c['rounds_per_sec']:.2f} "
+            f"rounds/s ({c['overlap_speedup']:.3f}x), "
+            f"mean staleness {c['mean_staleness']:.2f}, "
+            f"dropped {c['dropped_stale']}"
+        )
+        if args.min_overlap_speedup and c["overlap_speedup"] < args.min_overlap_speedup:
+            sys.exit(
+                f"overlap speedup {c['overlap_speedup']:.3f}x below floor "
+                f"{args.min_overlap_speedup:.2f}x at {c['users']} users: "
+                "the pipelined engine must actually overlap stages"
+            )
+    print(f"OK: {len(compares)} async comparison(s) pass")
+
+
 SERVING_FIELDS = (
     "mode",
     "users",
@@ -287,6 +401,11 @@ def main():
     p.add_argument("--min-users-per-sec", type=float, default=0.0)
     p.add_argument("--min-recall", type=float, default=0.999)
     p.set_defaults(func=cmd_serving)
+
+    p = sub.add_parser("async", help="bounded-staleness overlap + schedule gate")
+    p.add_argument("json")
+    p.add_argument("--min-overlap-speedup", type=float, default=0.0)
+    p.set_defaults(func=cmd_async)
 
     args = parser.parse_args()
     args.func(args)
