@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "common/string_util.h"
+#include "data/interaction_csr.h"
 #include "fed/client_state_store.h"
 
 namespace pieck::bench {
@@ -146,6 +148,30 @@ uint64_t Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+uint64_t HashDoubles(uint64_t h, const double* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t bits;
+    std::memcpy(&bits, &p[i], sizeof(bits));
+    h ^= bits;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// FNV fold of the final global model (the fingerprint
+/// --backend_compare matches bitwise between RAM and mmap runs).
+uint64_t GlobalModelDigest(const GlobalModel& g) {
+  uint64_t h = HashDoubles(0xcbf29ce484222325ULL,
+                           g.item_embeddings.data().data(),
+                           g.item_embeddings.data().size());
+  for (size_t l = 0; l < g.mlp_weights.size(); ++l) {
+    h = HashDoubles(h, g.mlp_weights[l].data().data(),
+                    g.mlp_weights[l].data().size());
+    h = HashDoubles(h, g.mlp_biases[l].data(), g.mlp_biases[l].size());
+  }
+  return HashDoubles(h, g.projection.data(), g.projection.size());
+}
+
 }  // namespace
 
 int64_t PeakRssBytes() {
@@ -184,10 +210,27 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
   result.config = config;
   const auto t_setup = Clock::now();
 
+  // The store directory (mmap storage only) must outlive the store; an
+  // empty --store_dir resolves to an owned temp dir deleted on return.
+  StorageConfig storage = config.storage;
+  std::shared_ptr<StoreDir> store_dir;
+  if (storage.kind == StorageKind::kMmap) {
+    auto resolved = StoreDir::Resolve(storage.dir);
+    if (!resolved.ok()) {
+      std::fprintf(stderr, "scale sweep store dir failed: %s\n",
+                   resolved.status().ToString().c_str());
+      std::exit(1);
+    }
+    store_dir = *resolved;
+    storage.dir = store_dir->path();
+  }
+
   // Hash-derived sparse adjacency: each user interacts with
-  // `interactions_per_user` stride-spaced items. Duplicate (user, item)
-  // pairs (possible when the stride wraps) are dropped by
-  // Dataset::FromInteractions. With hot-item skew configured, a
+  // `interactions_per_user` stride-spaced items, streamed user by user
+  // into the CSR builder (the builder drops duplicate pairs, which are
+  // possible when the stride wraps) — never materialized as an
+  // interaction list, so setup stays O(population) in time and O(1) in
+  // heap under mmap storage. With hot-item skew configured, a
   // `hot_item_rate` fraction of interactions is redirected (per-pair
   // hash decision) into the hottest `hot_item_fraction` slice of the
   // item space — the long-tail regime PIECK's popularity mining feeds
@@ -199,9 +242,16 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
                                  config.workload.hot_item_fraction *
                                  config.num_items)))
                : 0;
-  std::vector<Interaction> raw;
-  raw.reserve(static_cast<size_t>(config.num_users) *
-              static_cast<size_t>(config.interactions_per_user));
+  auto builder =
+      storage.kind == StorageKind::kMmap
+          ? std::make_unique<InteractionCsrBuilder>(
+                config.num_users, config.num_items,
+                store_dir->FilePath("csr_offsets.bin"),
+                store_dir->FilePath("csr_items.bin"))
+          : std::make_unique<InteractionCsrBuilder>(config.num_users,
+                                                    config.num_items);
+  std::vector<int> user_items(
+      static_cast<size_t>(config.interactions_per_user));
   for (int u = 0; u < config.num_users; ++u) {
     const uint64_t h = Mix(config.seed ^ static_cast<uint64_t>(u));
     const int base =
@@ -220,30 +270,36 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
                                   static_cast<uint64_t>(hot_count));
         }
       }
-      raw.push_back({u, item});
+      user_items[static_cast<size_t>(j)] = item;
+    }
+    if (Status st = builder->AddUser(user_items.data(), user_items.size());
+        !st.ok()) {
+      std::fprintf(stderr, "scale sweep adjacency failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
     }
   }
-  auto ds = Dataset::FromInteractions(config.num_users, config.num_items, raw);
-  if (!ds.ok()) {
-    std::fprintf(stderr, "scale sweep dataset failed: %s\n",
-                 ds.status().ToString().c_str());
+  auto csr = builder->Finish();
+  if (!csr.ok()) {
+    std::fprintf(stderr, "scale sweep CSR failed: %s\n",
+                 csr.status().ToString().c_str());
     std::exit(1);
   }
-  raw.clear();
-  raw.shrink_to_fit();
-  result.num_interactions = ds->num_interactions();
+  builder.reset();
+  result.num_interactions = csr->num_interactions();
 
   auto model = MakeModel(ModelKind::kMatrixFactorization, config.dim);
   Rng master(config.seed);
   Rng init_rng = master.Fork();
   GlobalModel global = model->InitGlobalModel(config.num_items, init_rng);
 
-  ClientStateStore store(*model, *ds,
+  ClientStateStore store(*model, std::move(*csr),
                          std::make_shared<const NegativeSampler>(1.0),
-                         LossKind::kBce, 1.0);
-  std::vector<uint64_t> seeds(static_cast<size_t>(config.num_users));
-  for (uint64_t& s : seeds) s = master.ForkSeed();
-  store.set_user_seeds(std::move(seeds));
+                         LossKind::kBce, 1.0, storage);
+  // One derived seed base instead of an 8 B/user key array: user u's
+  // stream is SplitMix64-derived on access, identical for RAM and mmap
+  // runs of the same seed (which --backend_compare relies on).
+  store.set_user_seed_base(master.ForkSeed());
 
   ServerConfig server_config;
   server_config.learning_rate = 1.0;
@@ -308,6 +364,19 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
   result.bytes_per_user =
       static_cast<double>(result.store_bytes) / config.num_users;
   result.peak_rss_bytes = PeakRssBytes();
+
+  result.store_backing_bytes = last.store_backing_bytes;
+  const StorageCounters counters = store.storage_counters();
+  result.cache_hits = counters.hits;
+  result.cache_misses = counters.misses;
+  result.cache_evictions = counters.evictions;
+  result.cache_writebacks = counters.writebacks;
+  result.cache_hit_rate = counters.hit_rate();
+  result.round_losses.reserve(round_stats.size());
+  for (const RoundStats& s : round_stats) {
+    result.round_losses.push_back(s.mean_benign_loss);
+  }
+  result.model_digest = GlobalModelDigest(server.global());
   return result;
 }
 

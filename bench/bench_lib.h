@@ -5,6 +5,7 @@
 
 #include "common/flags.h"
 #include "core/simulation.h"
+#include "storage/storage.h"
 #include "workload/latency.h"
 #include "workload/workload.h"
 
@@ -74,6 +75,11 @@ struct ScaleSweepConfig {
   /// Bounded-staleness round pipelining (depth 1 = the synchronous
   /// engine): the sweep drives the server's block engine either way.
   AsyncConfig async;
+  /// Backing tier of the store (docs/STORAGE.md): RAM, or an mmap'd
+  /// store directory with a hot-row cache for beyond-RAM populations.
+  /// Either way the adjacency is streamed (never materialized as an
+  /// interaction list), so setup is O(population), not O(heap).
+  StorageConfig storage;
 };
 
 struct ScaleSweepResult {
@@ -113,6 +119,22 @@ struct ScaleSweepResult {
   double mean_staleness = 0.0;
   int max_staleness = 0;
   int64_t dropped_stale = 0;
+
+  // Storage-tier telemetry (zeros under RAM storage): mmap backing-file
+  // bytes behind the store (resident bytes are `store_bytes`) and the
+  // hot-row cache counters accumulated over the whole run.
+  int64_t store_backing_bytes = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_writebacks = 0;
+  double cache_hit_rate = 0.0;
+
+  // Bitwise run fingerprints for --backend_compare: an FNV fold of the
+  // final global model and the per-round mean benign losses. RAM and
+  // mmap runs of the same config must agree on both exactly.
+  uint64_t model_digest = 0;
+  std::vector<double> round_losses;
 };
 
 /// Runs the sweep; aborts the binary on (unexpected) construction

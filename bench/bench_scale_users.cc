@@ -20,6 +20,14 @@
 //                                             # population; emits an "async"
 //                                             # JSON section with the
 //                                             # overlap speedup
+//   bench_scale_users --storage mmap          # beyond-RAM populations: the
+//       --cache_rows 65536 --store_dir /x     # store's embedding table and
+//                                             # CSR live in mmap'd files
+//                                             # behind a hot-row cache
+//   bench_scale_users --backend_compare       # RAM vs mmap at each
+//                                             # population; FAILs unless the
+//                                             # model digest and per-round
+//                                             # losses match bitwise
 //   bench_scale_users --max_rss_mb 1500       # fail if VmHWM exceeds
 //   bench_scale_users --json scale.json       # machine-readable output
 //
@@ -82,6 +90,32 @@ void WriteStalenessHistJson(std::FILE* f, const std::vector<int64_t>& hist) {
   std::fprintf(f, "]");
 }
 
+void WriteStorageJson(std::FILE* f, const ScaleSweepResult& r) {
+  std::fprintf(
+      f,
+      "\"storage\": {\"backend\": \"%s\", \"cache_rows\": %lld, "
+      "\"backing_mb\": %.1f, \"cache_hits\": %lld, \"cache_misses\": %lld, "
+      "\"cache_evictions\": %lld, \"cache_writebacks\": %lld, "
+      "\"cache_hit_rate\": %.4f}",
+      StorageKindToString(r.config.storage.kind),
+      static_cast<long long>(r.config.storage.cache_rows),
+      r.store_backing_bytes / 1048576.0,
+      static_cast<long long>(r.cache_hits),
+      static_cast<long long>(r.cache_misses),
+      static_cast<long long>(r.cache_evictions),
+      static_cast<long long>(r.cache_writebacks), r.cache_hit_rate);
+}
+
+/// RAM vs mmap comparison at one population (--backend_compare).
+struct BackendCompare {
+  int users = 0;
+  bool identical = false;
+  uint64_t ram_digest = 0;
+  uint64_t mmap_digest = 0;
+  double rounds_per_sec_ram = 0.0;
+  double rounds_per_sec_mmap = 0.0;
+};
+
 /// Depth-1 vs depth-D comparison at one population (--depth_compare).
 struct AsyncCompare {
   int users = 0;
@@ -94,7 +128,8 @@ struct AsyncCompare {
 
 int WriteJson(const std::string& path,
               const std::vector<ScaleSweepResult>& results,
-              const std::vector<AsyncCompare>& compares) {
+              const std::vector<AsyncCompare>& compares,
+              const std::vector<BackendCompare>& backend_compares) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -125,6 +160,8 @@ int WriteJson(const std::string& path,
         static_cast<long long>(r.dropped_stale));
     WriteStalenessHistJson(f, r.staleness_hist);
     std::fprintf(f, ",\n     ");
+    WriteStorageJson(f, r);
+    std::fprintf(f, ",\n     ");
     WriteWorkloadJson(f, r);
     std::fprintf(f, ",\n     ");
     WriteLatencyJson(f, r.latencies);
@@ -146,6 +183,23 @@ int WriteJson(const std::string& path,
                    static_cast<long long>(c.deep->dropped_stale));
       WriteStalenessHistJson(f, c.deep->staleness_hist);
       std::fprintf(f, "}%s\n", i + 1 < compares.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]");
+  }
+  if (!backend_compares.empty()) {
+    std::fprintf(f, ",\n  \"storage_compare\": [\n");
+    for (size_t i = 0; i < backend_compares.size(); ++i) {
+      const BackendCompare& c = backend_compares[i];
+      std::fprintf(f,
+                   "    {\"users\": %d, \"identical\": %s, \"ram_digest\": "
+                   "\"%016llx\", \"mmap_digest\": \"%016llx\", "
+                   "\"rounds_per_sec_ram\": %.2f, \"rounds_per_sec_mmap\": "
+                   "%.2f}%s\n",
+                   c.users, c.identical ? "true" : "false",
+                   static_cast<unsigned long long>(c.ram_digest),
+                   static_cast<unsigned long long>(c.mmap_digest),
+                   c.rounds_per_sec_ram, c.rounds_per_sec_mmap,
+                   i + 1 < backend_compares.size() ? "," : "");
     }
     std::fprintf(f, "  ]");
   }
@@ -191,6 +245,30 @@ int main(int argc, char** argv) {
                  "error: --depth_compare needs --pipeline_depth >= 2\n");
     return 1;
   }
+  const bool backend_compare = flags.GetBool("backend_compare", false);
+  const std::string storage_name =
+      flags.GetString("storage", backend_compare ? "mmap" : "ram");
+  if (Status st = ParseStorageKind(storage_name, &base.storage.kind);
+      !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  base.storage.cache_rows = flags.GetInt("cache_rows", 0);
+  base.storage.dir = flags.GetString("store_dir", "");
+  if (Status st = base.storage.Validate(); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (backend_compare && depth_compare) {
+    std::fprintf(stderr,
+                 "error: --backend_compare and --depth_compare are "
+                 "mutually exclusive\n");
+    return 1;
+  }
+  if (backend_compare && base.storage.kind != StorageKind::kMmap) {
+    std::fprintf(stderr, "error: --backend_compare needs --storage mmap\n");
+    return 1;
+  }
   const int64_t max_rss_mb = flags.GetInt("max_rss_mb", 0);
   const std::string json = flags.GetString("json", "");
 
@@ -202,22 +280,29 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== Population scale: struct-of-arrays client store ==\n");
-  std::printf("workload: %s, pipeline depth %d%s\n",
+  std::printf("workload: %s, pipeline depth %d%s, storage %s%s\n",
               ParticipationKindToString(base.workload.participation),
-              base.async.pipeline_depth,
-              depth_compare ? " (vs depth 1)" : "");
-  TablePrinter table({"Users", "Depth", "Active", "Bytes/user", "Store MB",
-                      "Rounds/s", "Clients/s", "Round p50", "Round p99",
-                      "Stall p99", "MeanStale", "Dropped", "Peak RSS MB"});
+              base.async.pipeline_depth, depth_compare ? " (vs depth 1)" : "",
+              StorageKindToString(base.storage.kind),
+              backend_compare ? " (vs ram)" : "");
+  TablePrinter table({"Users", "Backend", "Depth", "Active", "Bytes/user",
+                      "Store MB", "Hit%", "Rounds/s", "Clients/s",
+                      "Round p50", "Round p99", "Stall p99", "MeanStale",
+                      "Dropped", "Peak RSS MB"});
   std::vector<ScaleSweepResult> results;
   std::vector<AsyncCompare> compares;
+  std::vector<BackendCompare> backend_compares;
   const auto add_row = [&table](int users, const ScaleSweepResult& r) {
     const LatencyHistogram& round = r.latencies.stage[StageLatencies::kRound];
     const LatencyHistogram& stall = r.latencies.stage[StageLatencies::kStall];
-    table.AddRow({std::to_string(users), std::to_string(r.pipeline_depth),
+    const bool mmap = r.config.storage.kind == StorageKind::kMmap;
+    table.AddRow({std::to_string(users),
+                  StorageKindToString(r.config.storage.kind),
+                  std::to_string(r.pipeline_depth),
                   std::to_string(r.active_benign_final),
                   FormatDouble(r.bytes_per_user, 1),
                   FormatDouble(r.store_bytes / 1048576.0, 1),
+                  mmap ? Pct(r.cache_hit_rate) : "-",
                   FormatDouble(r.rounds_per_sec, 2),
                   FormatDouble(r.clients_per_sec, 0),
                   FormatDouble(round.Quantile(0.5), 3),
@@ -237,6 +322,13 @@ int main(int argc, char** argv) {
       results.push_back(sync);
       add_row(users, sync);
     }
+    if (backend_compare) {
+      ScaleSweepConfig ram_config = config;
+      ram_config.storage = StorageConfig();
+      ScaleSweepResult ram = RunScaleSweep(ram_config);
+      results.push_back(ram);
+      add_row(users, ram);
+    }
     ScaleSweepResult r = RunScaleSweep(config);
     results.push_back(r);
     add_row(users, r);
@@ -252,6 +344,18 @@ int main(int argc, char** argv) {
                                     : 0.0;
       compares.push_back(c);
     }
+    if (backend_compare) {
+      const ScaleSweepResult& ram = results[results.size() - 2];
+      BackendCompare c;
+      c.users = users;
+      c.ram_digest = ram.model_digest;
+      c.mmap_digest = r.model_digest;
+      c.rounds_per_sec_ram = ram.rounds_per_sec;
+      c.rounds_per_sec_mmap = r.rounds_per_sec;
+      c.identical = ram.model_digest == r.model_digest &&
+                    ram.round_losses == r.round_losses;
+      backend_compares.push_back(c);
+    }
   }
   // Resolve the deep-run pointers only once `results` stops growing.
   for (size_t i = 0; i < compares.size(); ++i) {
@@ -264,8 +368,27 @@ int main(int argc, char** argv) {
                 c.users, c.overlap_speedup, c.depth, c.rounds_per_sec,
                 c.rounds_per_sec_depth1);
   }
+  bool backend_mismatch = false;
+  for (const BackendCompare& c : backend_compares) {
+    std::printf("backend compare at %d users: %s (model digest ram %016llx "
+                "vs mmap %016llx; ram %.2f rounds/s, mmap %.2f rounds/s)\n",
+                c.users, c.identical ? "bit-identical" : "MISMATCH",
+                static_cast<unsigned long long>(c.ram_digest),
+                static_cast<unsigned long long>(c.mmap_digest),
+                c.rounds_per_sec_ram, c.rounds_per_sec_mmap);
+    backend_mismatch = backend_mismatch || !c.identical;
+  }
 
-  if (!json.empty() && WriteJson(json, results, compares) != 0) return 1;
+  if (!json.empty() &&
+      WriteJson(json, results, compares, backend_compares) != 0) {
+    return 1;
+  }
+  if (backend_mismatch) {
+    std::fprintf(stderr,
+                 "FAIL: mmap run diverged from the RAM run (storage must "
+                 "never change results)\n");
+    return 1;
+  }
 
   if (max_rss_mb > 0) {
     const int64_t peak_mb = PeakRssBytes() / (1024 * 1024);

@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <unordered_map>
+
 #include <numeric>
 
 #include "common/logging.h"
@@ -33,7 +35,28 @@ bool Rng::Bernoulli(double p) {
 std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   PIECK_CHECK(n >= 0 && k >= 0);
   if (k > n) k = n;
-  // Partial Fisher-Yates over an index vector.
+  // Partial Fisher-Yates. Both branches consume the identical
+  // UniformInt(i, n-1) draw stream and emit identical outputs; the
+  // sparse branch just tracks the O(k) displaced entries in a hash map
+  // instead of materializing the O(n) index vector, which is what makes
+  // selection over 100M-user populations O(cohort) instead of O(n).
+  if (n > 4096 && k < n / 2) {
+    std::vector<int> out(static_cast<size_t>(k));
+    std::unordered_map<int, int> displaced;
+    displaced.reserve(static_cast<size_t>(2 * k));
+    for (int i = 0; i < k; ++i) {
+      const int j = static_cast<int>(UniformInt(i, n - 1));
+      const auto at = [&displaced](int pos) {
+        const auto it = displaced.find(pos);
+        return it != displaced.end() ? it->second : pos;
+      };
+      out[static_cast<size_t>(i)] = at(j);
+      // swap(idx[i], idx[j]): position i is never read again, so only
+      // idx[j] = old idx[i] needs recording.
+      displaced[j] = at(i);
+    }
+    return out;
+  }
   std::vector<int> idx(n);
   std::iota(idx.begin(), idx.end(), 0);
   for (int i = 0; i < k; ++i) {

@@ -103,6 +103,9 @@ Status ExperimentConfig::Validate() const {
   if (hr_num_negatives <= 0) {
     return Invalid("hr_num_negatives must be positive");
   }
+  if (Status st = storage.Validate(); !st.ok()) {
+    return st;
+  }
   return Status::OK();
 }
 

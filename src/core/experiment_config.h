@@ -11,6 +11,7 @@
 #include "defense/defense.h"
 #include "model/losses.h"
 #include "model/rec_model.h"
+#include "storage/storage.h"
 #include "workload/workload.h"
 
 namespace pieck {
@@ -78,6 +79,11 @@ struct ExperimentConfig {
   int pipeline_depth = 1;
   double staleness_decay = 1.0;
   int max_staleness = -1;
+  /// Backing tier of the benign population's embedding table and CSR
+  /// (see docs/STORAGE.md): RAM (the default, bit for bit the previous
+  /// behavior) or an mmap'd store directory with a hot-row cache.
+  /// Storage choice never changes results, only the memory footprint.
+  StorageConfig storage;
 
   // --- attack ---
   AttackKind attack = AttackKind::kNone;

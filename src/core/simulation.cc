@@ -106,7 +106,8 @@ StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
   sim->sampler_ = std::make_shared<const NegativeSampler>(
       config.negative_ratio_q, std::move(popularity));
   sim->store_ = std::make_unique<ClientStateStore>(
-      *sim->model_, *sim->train_, sim->sampler_, config.loss, client_lr_base);
+      *sim->model_, *sim->train_, sim->sampler_, config.loss, client_lr_base,
+      config.storage);
 
   const int num_users = sim->train_->num_users();
   Rng lr_rng = master.Fork();

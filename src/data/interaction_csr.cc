@@ -1,17 +1,146 @@
 #include "data/interaction_csr.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace pieck {
 
+InteractionCsr::InteractionCsr() : offsets_vec_(1, 0) {
+  offsets_ = offsets_vec_.data();
+  items_ = items_vec_.data();
+}
+
 InteractionCsr::InteractionCsr(const Dataset& train)
-    : num_items_(train.num_items()) {
-  const int num_users = train.num_users();
-  offsets_.assign(static_cast<size_t>(num_users) + 1, 0);
-  items_.reserve(static_cast<size_t>(train.num_interactions()));
-  for (int u = 0; u < num_users; ++u) {
+    : num_users_(train.num_users()), num_items_(train.num_items()) {
+  offsets_vec_.assign(static_cast<size_t>(num_users_) + 1, 0);
+  items_vec_.reserve(static_cast<size_t>(train.num_interactions()));
+  for (int u = 0; u < num_users_; ++u) {
     const std::vector<int>& row = train.ItemsOf(u);
-    items_.insert(items_.end(), row.begin(), row.end());
-    offsets_[static_cast<size_t>(u) + 1] = items_.size();
+    items_vec_.insert(items_vec_.end(), row.begin(), row.end());
+    offsets_vec_[static_cast<size_t>(u) + 1] = items_vec_.size();
   }
+  num_interactions_ = static_cast<int64_t>(items_vec_.size());
+  offsets_ = offsets_vec_.data();
+  items_ = items_vec_.data();
+}
+
+void InteractionCsr::PrefetchUser(int user) const {
+  if (!is_mmap()) return;
+  const uint64_t lo = offsets_[static_cast<size_t>(user)];
+  const uint64_t hi = offsets_[static_cast<size_t>(user) + 1];
+  items_file_.AdviseWillNeed(static_cast<int64_t>(lo * sizeof(int)),
+                             static_cast<int64_t>((hi - lo) * sizeof(int)));
+}
+
+void InteractionCsr::ReleaseResidentPages() const {
+  offsets_file_.AdviseDontNeed();
+  items_file_.AdviseDontNeed();
+}
+
+InteractionCsrBuilder::InteractionCsrBuilder(int num_users, int num_items)
+    : num_users_(num_users), num_items_(num_items) {
+  offsets_vec_.reserve(static_cast<size_t>(num_users_) + 1);
+  offsets_vec_.push_back(0);
+}
+
+InteractionCsrBuilder::InteractionCsrBuilder(int num_users, int num_items,
+                                             const std::string& offsets_path,
+                                             const std::string& items_path)
+    : num_users_(num_users),
+      num_items_(num_items),
+      offsets_path_(offsets_path),
+      items_path_(items_path) {
+  offsets_f_ = std::fopen(offsets_path_.c_str(), "wb");
+  items_f_ = std::fopen(items_path_.c_str(), "wb");
+  if (offsets_f_ != nullptr) {
+    const uint64_t zero = 0;
+    std::fwrite(&zero, sizeof(zero), 1, offsets_f_);
+  }
+}
+
+InteractionCsrBuilder::~InteractionCsrBuilder() {
+  if (offsets_f_ != nullptr) std::fclose(offsets_f_);
+  if (items_f_ != nullptr) std::fclose(items_f_);
+}
+
+Status InteractionCsrBuilder::AddUser(const int* items, size_t n) {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  if (users_added_ >= num_users_) {
+    return Status::InvalidArgument("more AddUser calls than num_users");
+  }
+  if (!offsets_path_.empty() &&
+      (offsets_f_ == nullptr || items_f_ == nullptr)) {
+    return Status::IoError("could not open CSR backing files for writing");
+  }
+  // Match Dataset::FromInteractions: ascending, duplicates collapsed.
+  scratch_.assign(items, items + n);
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  for (const int item : scratch_) {
+    if (item < 0 || item >= num_items_) {
+      return Status::InvalidArgument("item id out of range in CSR builder");
+    }
+  }
+  total_ += scratch_.size();
+  ++users_added_;
+  if (offsets_f_ != nullptr) {
+    if (!scratch_.empty() &&
+        std::fwrite(scratch_.data(), sizeof(int), scratch_.size(),
+                    items_f_) != scratch_.size()) {
+      return Status::IoError("write " + items_path_);
+    }
+    if (std::fwrite(&total_, sizeof(total_), 1, offsets_f_) != 1) {
+      return Status::IoError("write " + offsets_path_);
+    }
+  } else {
+    items_vec_.insert(items_vec_.end(), scratch_.begin(), scratch_.end());
+    offsets_vec_.push_back(total_);
+  }
+  return Status::OK();
+}
+
+StatusOr<InteractionCsr> InteractionCsrBuilder::Finish() {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  if (users_added_ != num_users_) {
+    return Status::InvalidArgument("CSR builder finished early: got " +
+                                   std::to_string(users_added_) + " of " +
+                                   std::to_string(num_users_) + " users");
+  }
+  finished_ = true;
+  InteractionCsr csr;
+  csr.num_users_ = num_users_;
+  csr.num_items_ = num_items_;
+  csr.num_interactions_ = static_cast<int64_t>(total_);
+  if (offsets_f_ != nullptr || items_f_ != nullptr) {
+    const bool ok = std::fclose(offsets_f_) == 0;
+    const bool ok2 = std::fclose(items_f_) == 0;
+    offsets_f_ = nullptr;
+    items_f_ = nullptr;
+    if (!ok || !ok2) return Status::IoError("flush CSR backing files");
+    auto offsets = MmapFile::MapReadOnly(offsets_path_);
+    if (!offsets.ok()) return offsets.status();
+    auto items = MmapFile::MapReadOnly(items_path_);
+    if (!items.ok()) return items.status();
+    const int64_t want_offsets =
+        static_cast<int64_t>((num_users_ + 1) * sizeof(uint64_t));
+    const int64_t want_items = static_cast<int64_t>(total_ * sizeof(int));
+    if (offsets->size() != want_offsets || items->size() != want_items) {
+      return Status::IoError("CSR backing files have unexpected sizes");
+    }
+    csr.offsets_file_ = std::move(*offsets);
+    csr.items_file_ = std::move(*items);
+    csr.offsets_vec_.clear();
+    csr.offsets_ =
+        static_cast<const uint64_t*>(csr.offsets_file_.data());
+    csr.items_ = static_cast<const int*>(csr.items_file_.data());
+  } else {
+    csr.offsets_vec_ = std::move(offsets_vec_);
+    csr.items_vec_ = std::move(items_vec_);
+    csr.offsets_ = csr.offsets_vec_.data();
+    csr.items_ = csr.items_vec_.data();
+  }
+  return StatusOr<InteractionCsr>(std::move(csr));
 }
 
 }  // namespace pieck

@@ -9,17 +9,29 @@
 /// addressed through an offsets table. Items within a span are sorted
 /// ascending, exactly like `Dataset::ItemsOf`, so sampling and loss
 /// code sees identical sequences through either view.
+///
+/// The packed arrays live either in RAM vectors or in mmap'd read-only
+/// files (the beyond-RAM storage tier): `ItemsOf` reads through raw
+/// pointers that are identical in both cases, so the round engine never
+/// branches on the backing. Mmap-backed CSRs are written *streaming* by
+/// `InteractionCsrBuilder` — one user at a time through a small stdio
+/// buffer — so building a 100M-user adjacency never holds it in memory.
 #ifndef PIECK_DATA_INTERACTION_CSR_H_
 #define PIECK_DATA_INTERACTION_CSR_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "common/status_or.h"
 #include "data/dataset.h"
+#include "storage/mmap_file.h"
 
 namespace pieck {
 
-/// Immutable CSR snapshot of `Dataset`'s user→items adjacency.
+/// Immutable CSR snapshot of a user→items adjacency.
 class InteractionCsr {
  public:
   /// Borrowed, contiguous, ascending span of one user's item ids.
@@ -32,32 +44,103 @@ class InteractionCsr {
     bool empty() const { return size == 0; }
   };
 
-  InteractionCsr() = default;
+  InteractionCsr();
   explicit InteractionCsr(const Dataset& train);
+  InteractionCsr(InteractionCsr&&) = default;
+  InteractionCsr& operator=(InteractionCsr&&) = default;
+  InteractionCsr(const InteractionCsr&) = delete;
+  InteractionCsr& operator=(const InteractionCsr&) = delete;
 
-  int num_users() const { return static_cast<int>(offsets_.size()) - 1; }
+  int num_users() const { return num_users_; }
   int num_items() const { return num_items_; }
-  int64_t num_interactions() const {
-    return static_cast<int64_t>(items_.size());
-  }
+  int64_t num_interactions() const { return num_interactions_; }
+  bool is_mmap() const { return items_file_.valid(); }
 
   /// Items of `user`, sorted ascending. Valid for the CSR's lifetime.
+  /// Reads may refault released pages; that is transparent.
   Span ItemsOf(int user) const {
-    const size_t lo = offsets_[static_cast<size_t>(user)];
-    const size_t hi = offsets_[static_cast<size_t>(user) + 1];
-    return {items_.data() + lo, hi - lo};
+    const uint64_t lo = offsets_[static_cast<size_t>(user)];
+    const uint64_t hi = offsets_[static_cast<size_t>(user) + 1];
+    return {items_ + lo, static_cast<size_t>(hi - lo)};
   }
 
-  /// Resident bytes of the packed arrays (store telemetry).
+  /// Resident heap bytes (~0 when mmap-backed: spans read file pages
+  /// that the kernel reclaims on pressure and we release on budget).
   int64_t FootprintBytes() const {
-    return static_cast<int64_t>(offsets_.capacity() * sizeof(uint64_t) +
-                                items_.capacity() * sizeof(int));
+    return static_cast<int64_t>(offsets_vec_.capacity() * sizeof(uint64_t) +
+                                items_vec_.capacity() * sizeof(int));
   }
+
+  /// Bytes of mmap'd backing files (0 when RAM-backed).
+  int64_t BackingBytes() const {
+    return offsets_file_.size() + items_file_.size();
+  }
+
+  /// madvise(WILLNEED) `user`'s span ahead of its training step.
+  /// Advisory and thread-safe; no-op when RAM-backed.
+  void PrefetchUser(int user) const;
+
+  /// madvise(DONTNEED) both mappings: drops this process's resident CSR
+  /// pages (they refault from the page cache / file). Perf-only.
+  void ReleaseResidentPages() const;
 
  private:
+  friend class InteractionCsrBuilder;
+
+  int num_users_ = 0;
   int num_items_ = 0;
-  std::vector<uint64_t> offsets_{0};  // |U| + 1 entries
-  std::vector<int> items_;         // all interactions, user-major
+  int64_t num_interactions_ = 0;
+  // Exactly one of the two backings is populated; offsets_/items_
+  // point into whichever it is (raw pointers survive vector moves).
+  std::vector<uint64_t> offsets_vec_;  // |U| + 1 entries when RAM-backed
+  std::vector<int> items_vec_;
+  MmapFile offsets_file_;
+  MmapFile items_file_;
+  const uint64_t* offsets_ = nullptr;
+  const int* items_ = nullptr;
+};
+
+/// Streaming CSR writer: feed users in id order, then Finish(). The
+/// mmap flavor appends through stdio buffers and never materializes the
+/// adjacency in RAM; the RAM flavor fills the usual vectors. Item lists
+/// are sorted and deduplicated exactly like `Dataset::FromInteractions`,
+/// so either construction path yields identical spans.
+class InteractionCsrBuilder {
+ public:
+  /// RAM-backed builder.
+  InteractionCsrBuilder(int num_users, int num_items);
+
+  /// Mmap-backed builder writing the two packed arrays to files.
+  InteractionCsrBuilder(int num_users, int num_items,
+                        const std::string& offsets_path,
+                        const std::string& items_path);
+
+  ~InteractionCsrBuilder();
+  InteractionCsrBuilder(const InteractionCsrBuilder&) = delete;
+  InteractionCsrBuilder& operator=(const InteractionCsrBuilder&) = delete;
+
+  /// Appends the next user's items (any order, duplicates tolerated).
+  /// Must be called exactly `num_users` times, in user id order.
+  Status AddUser(const int* items, size_t n);
+
+  /// Seals the CSR. The builder is spent afterwards.
+  StatusOr<InteractionCsr> Finish();
+
+ private:
+  int num_users_;
+  int num_items_;
+  int users_added_ = 0;
+  uint64_t total_ = 0;
+  bool finished_ = false;
+  std::vector<int> scratch_;
+  // RAM flavor.
+  std::vector<uint64_t> offsets_vec_;
+  std::vector<int> items_vec_;
+  // Mmap flavor.
+  std::string offsets_path_;
+  std::string items_path_;
+  std::FILE* offsets_f_ = nullptr;
+  std::FILE* items_f_ = nullptr;
 };
 
 }  // namespace pieck

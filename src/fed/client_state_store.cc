@@ -1,42 +1,127 @@
 #include "fed/client_state_store.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "tensor/vector_ops.h"
 
 namespace pieck {
 
+namespace {
+
+// SplitMix64 finalizer: decorrelates derived per-user keys so adjacent
+// user ids never get adjacent mt19937 seeds.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+InteractionCsr BuildCsr(const Dataset& train, const StorageConfig& storage,
+                        const std::shared_ptr<StoreDir>& dir) {
+  if (storage.kind != StorageKind::kMmap) return InteractionCsr(train);
+  // Mmap storage streams the adjacency into the store directory so the
+  // CSR pages are reclaimable too (and goldens exercise the mmap CSR).
+  InteractionCsrBuilder builder(train.num_users(), train.num_items(),
+                                dir->FilePath("csr_offsets.bin"),
+                                dir->FilePath("csr_items.bin"));
+  for (int u = 0; u < train.num_users(); ++u) {
+    const std::vector<int>& row = train.ItemsOf(u);
+    PIECK_CHECK_OK(builder.AddUser(row.data(), row.size()));
+  }
+  auto csr = builder.Finish();
+  PIECK_CHECK(csr.ok()) << csr.status().ToString();
+  return std::move(*csr);
+}
+
+std::shared_ptr<StoreDir> ResolveDirOrDie(const StorageConfig& storage) {
+  if (storage.kind != StorageKind::kMmap) return nullptr;
+  auto dir = StoreDir::Resolve(storage.dir);
+  PIECK_CHECK(dir.ok()) << dir.status().ToString();
+  return *dir;
+}
+
+}  // namespace
+
 ClientStateStore::ClientStateStore(
     const RecModel& model, const Dataset& train,
     std::shared_ptr<const NegativeSampler> sampler, LossKind loss,
-    double local_lr)
+    double local_lr, const StorageConfig& storage)
     : model_(model),
       sampler_(std::move(sampler)),
       loss_(loss),
       local_lr_(local_lr),
       num_users_(train.num_users()),
-      interactions_(train),
-      embeddings_(static_cast<size_t>(train.num_users()),
-                  static_cast<size_t>(model.embedding_dim())),
-      initialized_(static_cast<size_t>(train.num_users()), 0),
-      rng_slot_(static_cast<size_t>(train.num_users()), -1) {
+      storage_(storage),
+      store_dir_(ResolveDirOrDie(storage)),
+      interactions_(BuildCsr(train, storage, store_dir_)) {
   PIECK_CHECK(sampler_ != nullptr);
-  // Default seeds: user index keyed off a fixed base; Simulation installs
-  // protocol-accurate fork-derived seeds on top.
-  seeds_.resize(static_cast<size_t>(num_users_));
-  for (int u = 0; u < num_users_; ++u) {
-    seeds_[static_cast<size_t>(u)] = 0x9e3779b97f4a7c15ULL * (u + 1) ^ 42u;
+  InitEmbeddingTier();
+}
+
+ClientStateStore::ClientStateStore(
+    const RecModel& model, InteractionCsr interactions,
+    std::shared_ptr<const NegativeSampler> sampler, LossKind loss,
+    double local_lr, const StorageConfig& storage)
+    : model_(model),
+      sampler_(std::move(sampler)),
+      loss_(loss),
+      local_lr_(local_lr),
+      num_users_(interactions.num_users()),
+      storage_(storage),
+      store_dir_(ResolveDirOrDie(storage)),
+      interactions_(std::move(interactions)) {
+  PIECK_CHECK(sampler_ != nullptr);
+  InitEmbeddingTier();
+}
+
+void ClientStateStore::InitEmbeddingTier() {
+  PIECK_CHECK_OK(embeddings_.Init(
+      num_users_, static_cast<size_t>(model_.embedding_dim()), storage_,
+      store_dir_, "rows.bin", [this](int64_t row, double* dst) {
+        // First draws of the user's private stream, exactly as the
+        // former BenignClient constructor consumed them. PrepareRound
+        // replays the same draws when it materializes the persistent
+        // engine, and an evicted clean row replays them again on
+        // refault — every path yields the same bits.
+        Rng rng(SeedOf(static_cast<int>(row)));
+        const Vec e = model_.InitUserEmbedding(rng);
+        std::copy(e.begin(), e.end(), dst);
+      }));
+}
+
+uint64_t ClientStateStore::SeedOf(int user) const {
+  const uint64_t u1 = static_cast<uint64_t>(user) + 1;
+  switch (seed_mode_) {
+    case SeedMode::kExplicit:
+      return seeds_[static_cast<size_t>(user)];
+    case SeedMode::kDerivedBase:
+      return Mix64(seed_base_ + u1 * 0x9e3779b97f4a7c15ULL);
+    case SeedMode::kFormula:
+      break;
   }
+  // The historical default: user index keyed off a fixed base.
+  return 0x9e3779b97f4a7c15ULL * u1 ^ 42u;
 }
 
 void ClientStateStore::set_user_seeds(std::vector<uint64_t> seeds) {
   PIECK_CHECK(static_cast<int>(seeds.size()) == num_users_);
-  PIECK_CHECK(engines_.empty() &&
-              std::none_of(initialized_.begin(), initialized_.end(),
-                           [](uint8_t b) { return b != 0; }))
+  PIECK_CHECK(engines_.empty() && !embeddings_.any_initialized())
       << "set_user_seeds after user state was touched";
   seeds_ = std::move(seeds);
+  seed_mode_ = SeedMode::kExplicit;
+}
+
+void ClientStateStore::set_user_seed_base(uint64_t base) {
+  PIECK_CHECK(engines_.empty() && !embeddings_.any_initialized())
+      << "set_user_seed_base after user state was touched";
+  seeds_.clear();
+  seed_base_ = base;
+  seed_mode_ = SeedMode::kDerivedBase;
 }
 
 void ClientStateStore::set_user_learning_rates(std::vector<double> lrs) {
@@ -47,93 +132,118 @@ void ClientStateStore::set_user_learning_rates(std::vector<double> lrs) {
 void ClientStateStore::set_defense_factory(
     std::function<std::unique_ptr<ClientDefense>()> factory) {
   defense_factory_ = std::move(factory);
-  if (defense_factory_ != nullptr && defense_slot_.empty()) {
-    defense_slot_.assign(static_cast<size_t>(num_users_), -1);
-  }
-}
-
-void ClientStateStore::EnsureEmbedding(int user) {
-  if (initialized_[static_cast<size_t>(user)]) return;
-  // First draws of the user's private stream, exactly as the former
-  // BenignClient constructor consumed them. PrepareRound replays the
-  // same draws when it materializes the persistent engine, so whichever
-  // happens first yields the same bits.
-  Rng rng(seeds_[static_cast<size_t>(user)]);
-  Vec e = model_.InitUserEmbedding(rng);
-  embeddings_.SetRow(static_cast<size_t>(user), e);
-  initialized_[static_cast<size_t>(user)] = 1;
 }
 
 const double* ClientStateStore::UserEmbedding(int user) {
-  EnsureEmbedding(user);
-  return embeddings_.RowPtr(static_cast<size_t>(user));
+  return embeddings_.Row(user);
 }
 
 double* ClientStateStore::MutableUserEmbedding(int user) {
-  EnsureEmbedding(user);
-  return embeddings_.MutableRowPtr(static_cast<size_t>(user));
+  return embeddings_.MutableRow(user);
 }
 
 void ClientStateStore::EnsureAllEmbeddings(ThreadPool* pool) {
-  // Distinct users write disjoint rows and flag bytes, so the fan-out
-  // needs no locks and the result is order-independent by construction.
-  ThreadPool::ParallelForOrSerial(
-      pool, static_cast<size_t>(num_users_),
-      [this](size_t u) { EnsureEmbedding(static_cast<int>(u)); });
+  // Distinct users write disjoint rows and flag bytes, so the RAM
+  // fan-out needs no locks and the result is order-independent by
+  // construction (the mmap tier materializes serially).
+  embeddings_.EnsureAll(pool);
 }
 
 BenignEvalView ClientStateStore::EvalView(ThreadPool* pool) {
-  EnsureAllEmbeddings(pool);
-  return BenignEvalView(&embeddings_);
+  if (!embeddings_.is_mmap()) {
+    EnsureAllEmbeddings(pool);
+    return BenignEvalView(&embeddings_.ram_matrix());
+  }
+  // Snapshot the logical table without faulting anything into the
+  // cache or marking rows materialized: evaluation must not perturb
+  // which rows the tier considers touched.
+  embeddings_.SnapshotInto(&eval_matrix_);
+  return BenignEvalView(&eval_matrix_);
 }
 
 void ClientStateStore::PrepareRound(const std::vector<int>& users) {
-  for (int user : users) {
-    const size_t u = static_cast<size_t>(user);
-    if (rng_slot_[u] < 0) {
-      engines_.emplace_back(seeds_[u]);
-      rng_slot_[u] = static_cast<int32_t>(engines_.size() - 1);
-      // The engine's stream starts with the embedding-init draws; replay
-      // them so participation continues the stream where construction
-      // left off (and initialize the row if evaluation has not already).
-      Vec e = model_.InitUserEmbedding(engines_.back());
-      if (!initialized_[u]) {
-        embeddings_.SetRow(u, e);
-        initialized_[u] = 1;
+  if (embeddings_.is_mmap()) {
+    // The pipelined engine reaches the next PrepareRound without a
+    // server-side flush (the apply thread must not touch the tier); the
+    // previous cohort is still pinned, so write it back here.
+    embeddings_.FlushPinned(nullptr);
+    embeddings_.PinRows(users);
+    if (interactions_.is_mmap()) {
+      // Spans are tiny but page-granular: estimate a page per user and
+      // release the CSR's resident pages once the budget fills.
+      csr_touched_bytes_ += static_cast<int64_t>(users.size()) * 4096;
+      if (csr_touched_bytes_ >= storage_.resident_budget_bytes) {
+        interactions_.ReleaseResidentPages();
+        csr_touched_bytes_ = 0;
       }
-    } else {
-      EnsureEmbedding(user);
     }
-    if (defense_factory_ != nullptr && defense_slot_[u] < 0) {
+  }
+  for (int user : users) {
+    const int32_t u = static_cast<int32_t>(user);
+    if (rng_slot_.find(u) == rng_slot_.end()) {
+      engines_.emplace_back(SeedOf(user));
+      rng_slot_.emplace(u, static_cast<int32_t>(engines_.size() - 1));
+      // The engine's stream starts with the embedding-init draws;
+      // replay them so participation continues the stream where the
+      // row init left off. The row itself is initialized through the
+      // tier (above for mmap, lazily here for RAM) from an identical
+      // replay, so the drawn values are discarded.
+      const Vec e = model_.InitUserEmbedding(engines_.back());
+      (void)e;
+    }
+    if (!embeddings_.is_mmap()) embeddings_.Row(user);
+    if (defense_factory_ != nullptr &&
+        defense_slot_.find(u) == defense_slot_.end()) {
       defenses_.push_back(defense_factory_());
-      defense_slot_[u] = static_cast<int32_t>(defenses_.size() - 1);
+      defense_slot_.emplace(u, static_cast<int32_t>(defenses_.size() - 1));
     }
   }
 }
 
+void ClientStateStore::FlushDirtyRows(DirtyRowSet* out) {
+  embeddings_.FlushPinned(out);
+}
+
+void ClientStateStore::PrefetchUsers(const std::vector<int>& users) {
+  if (!embeddings_.is_mmap()) return;
+  // Selection slots mix benign store users with malicious client
+  // indices (>= num_users); only the former have rows to warm.
+  for (const int user : users) {
+    if (user < 0 || user >= num_users_) continue;
+    embeddings_.PrefetchRow(user);
+    if (interactions_.is_mmap()) interactions_.PrefetchUser(user);
+  }
+}
+
+Status ClientStateStore::Checkpoint() { return embeddings_.Checkpoint(); }
+
 Rng& ClientStateStore::UserRng(int user) {
-  const int32_t slot = rng_slot_[static_cast<size_t>(user)];
-  PIECK_CHECK(slot >= 0) << "UserRng on unprepared user " << user;
-  return engines_[static_cast<size_t>(slot)];
+  const auto it = rng_slot_.find(static_cast<int32_t>(user));
+  PIECK_CHECK(it != rng_slot_.end()) << "UserRng on unprepared user " << user;
+  return engines_[static_cast<size_t>(it->second)];
 }
 
 ClientDefense* ClientStateStore::UserDefense(int user) {
   if (defense_factory_ == nullptr) return nullptr;
-  const int32_t slot = defense_slot_[static_cast<size_t>(user)];
-  PIECK_CHECK(slot >= 0) << "UserDefense on unprepared user " << user;
-  return defenses_[static_cast<size_t>(slot)].get();
+  const auto it = defense_slot_.find(static_cast<int32_t>(user));
+  PIECK_CHECK(it != defense_slot_.end())
+      << "UserDefense on unprepared user " << user;
+  return defenses_[static_cast<size_t>(it->second)].get();
 }
 
 int64_t ClientStateStore::FootprintBytes() const {
-  int64_t bytes = static_cast<int64_t>(
-      embeddings_.data().capacity() * sizeof(double) +
-      seeds_.capacity() * sizeof(uint64_t) +
-      initialized_.capacity() * sizeof(uint8_t) +
-      user_lrs_.capacity() * sizeof(double) +
-      rng_slot_.capacity() * sizeof(int32_t) +
-      engines_.size() * sizeof(Rng) +
-      defense_slot_.capacity() * sizeof(int32_t) +
-      defenses_.capacity() * sizeof(void*));
+  // Rough per-entry footprint of the node-based slot maps.
+  constexpr int64_t kMapEntryBytes =
+      static_cast<int64_t>(sizeof(int32_t) * 2 + sizeof(void*) * 2);
+  int64_t bytes =
+      embeddings_.ResidentBytes() +
+      static_cast<int64_t>(eval_matrix_.data().capacity() * sizeof(double) +
+                           seeds_.capacity() * sizeof(uint64_t) +
+                           user_lrs_.capacity() * sizeof(double) +
+                           engines_.size() * sizeof(Rng) +
+                           defenses_.capacity() * sizeof(void*)) +
+      static_cast<int64_t>(rng_slot_.size() + defense_slot_.size()) *
+          kMapEntryBytes;
   bytes += interactions_.FootprintBytes();
   for (const auto& defense : defenses_) {
     if (defense != nullptr) bytes += defense->FootprintBytes();
@@ -142,6 +252,10 @@ int64_t ClientStateStore::FootprintBytes() const {
     bytes += sampler_->popularity()->FootprintBytes();
   }
   return bytes;
+}
+
+int64_t ClientStateStore::BackingBytes() const {
+  return embeddings_.BackingBytes() + interactions_.BackingBytes();
 }
 
 double BenignClientLogic::ParticipateRound(ClientStateStore& store, int user,

@@ -5,24 +5,29 @@
 /// that as one heap object per user caps the simulation far below
 /// millions of users. `ClientStateStore` virtualizes the population
 /// instead: all benign-client state lives in contiguous arrays — one
-/// row-major `Matrix` of private user embeddings, a CSR view of the
-/// training interactions, one 8-byte RNG key per user — and expensive
+/// tiered rows x dim table of private user embeddings (RAM or
+/// mmap-backed, see `TieredMatrix`), a CSR view of the training
+/// interactions (likewise tiered), an 8-byte RNG key per user that is
+/// usually *derived on the fly* rather than stored — and expensive
 /// per-user state (the mt19937 engine, client-defense observers) is
 /// materialized lazily, only for users that actually participate.
 /// Benign client behavior itself is a stateless executor
 /// (`BenignClientLogic`) writing into per-worker `RoundScratch` arenas,
 /// so steady-state rounds allocate nothing on the client side.
 ///
-/// Determinism contract: user `u`'s stream is `Rng(seed[u])`, whose
+/// Determinism contract: user `u`'s stream is `Rng(seed(u))`, whose
 /// first draws initialize the private embedding and whose continuation
 /// drives every batch the user ever samples — exactly the stream the
 /// former per-user `BenignClient` objects owned. Embedding rows
 /// initialize lazily from the same first draws, in whatever order users
 /// are first touched (training or evaluation, any thread), and are
-/// bit-identical either way. `PrepareRound` must run single-threaded
-/// (it grows the lazy engine/defense pools); everything it prepares may
-/// then be used from the round fan-out without locks, because distinct
-/// users own disjoint rows, engines, and defense slots.
+/// bit-identical either way. Because a row's init is a pure replay of
+/// `Rng(seed(u))`, the mmap tier may evict a clean row and rebuild it on
+/// refault with identical bits — storage choice never shows in results.
+/// `PrepareRound` must run single-threaded (it grows the lazy
+/// engine/defense pools and faults + pins the cohort's rows); everything
+/// it prepares may then be used from the round fan-out without locks,
+/// because distinct users own disjoint rows, engines, and defense slots.
 #ifndef PIECK_FED_CLIENT_STATE_STORE_H_
 #define PIECK_FED_CLIENT_STATE_STORE_H_
 
@@ -30,9 +35,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "data/interaction_csr.h"
@@ -40,6 +47,9 @@
 #include "fed/client.h"
 #include "model/losses.h"
 #include "model/rec_model.h"
+#include "storage/dirty_rows.h"
+#include "storage/storage.h"
+#include "storage/tiered_matrix.h"
 
 namespace pieck {
 
@@ -97,18 +107,34 @@ class ClientStateStore {
  public:
   /// `model`, `train`, and `*sampler` must outlive the store. `local_lr`
   /// is the default personalized-model rate for every user (overridable
-  /// per user via set_user_learning_rates).
+  /// per user via set_user_learning_rates). `storage` selects the
+  /// backing tier of the embedding table and the CSR (docs/STORAGE.md);
+  /// the default is RAM, bit for bit the pre-storage behavior.
   ClientStateStore(const RecModel& model, const Dataset& train,
                    std::shared_ptr<const NegativeSampler> sampler,
-                   LossKind loss, double local_lr);
+                   LossKind loss, double local_lr,
+                   const StorageConfig& storage = StorageConfig());
+
+  /// Beyond-RAM construction path: the adjacency arrives as a
+  /// pre-built CSR (typically streamed to mmap'd files by
+  /// `InteractionCsrBuilder`) instead of a heap `Dataset`.
+  ClientStateStore(const RecModel& model, InteractionCsr interactions,
+                   std::shared_ptr<const NegativeSampler> sampler,
+                   LossKind loss, double local_lr,
+                   const StorageConfig& storage = StorageConfig());
 
   ClientStateStore(const ClientStateStore&) = delete;
   ClientStateStore& operator=(const ClientStateStore&) = delete;
 
   /// Installs the per-user RNG keys (`seeds.size()` must equal
   /// `num_users()`); seed `u` defines user `u`'s entire private stream.
-  /// Must be called before any user state is touched.
+  /// Must be called before any user state is touched in this process.
   void set_user_seeds(std::vector<uint64_t> seeds);
+
+  /// O(1) alternative for huge populations: user `u`'s key becomes
+  /// SplitMix64(base + (u+1) * golden-gamma) — derived on access, no
+  /// 8 B/user array. Same touch-nothing-first rule as set_user_seeds.
+  void set_user_seed_base(uint64_t base);
 
   /// Per-user local learning rates (Table X's dynamic-rate scenario);
   /// size must equal `num_users()`.
@@ -127,6 +153,7 @@ class ClientStateStore {
   const InteractionCsr& interactions() const { return interactions_; }
   const NegativeSampler& sampler() const { return *sampler_; }
   LossKind loss() const { return loss_; }
+  const StorageConfig& storage() const { return storage_; }
   double local_lr(int user) const {
     return user_lrs_.empty() ? local_lr_
                              : user_lrs_[static_cast<size_t>(user)];
@@ -134,11 +161,13 @@ class ClientStateStore {
 
   /// The private embedding of `user`, lazily initialized on first
   /// access. Not thread-safe against other first-touches of the same
-  /// user (distinct users are fine).
+  /// user (distinct users are fine); under mmap storage, concurrent
+  /// access is only safe for users pinned by the current PrepareRound.
   const double* UserEmbedding(int user);
 
   /// Mutable row for the local personalized-model step; same init and
-  /// thread-safety rules as UserEmbedding.
+  /// thread-safety rules as UserEmbedding. Marks the row dirty under
+  /// mmap storage.
   double* MutableUserEmbedding(int user);
 
   /// Forces initialization of every user's embedding, fanning the
@@ -147,12 +176,31 @@ class ClientStateStore {
   void EnsureAllEmbeddings(ThreadPool* pool = nullptr);
 
   /// Evaluation view over the whole population (initializes lazily
-  /// first). The view borrows the store's embedding matrix.
+  /// first). RAM storage borrows the store's matrix; mmap storage
+  /// snapshots the logical table (cache ∪ file ∪ init replay) into an
+  /// internal matrix without disturbing tier state.
   BenignEvalView EvalView(ThreadPool* pool = nullptr);
 
   /// Materializes the RNG engines and defense slots of `users` ahead of
-  /// a round's parallel fan-out. Single-threaded by contract.
+  /// a round's parallel fan-out; under mmap storage also write-backs the
+  /// previous cohort (if still pinned) and faults + pins this one.
+  /// Single-threaded by contract.
   void PrepareRound(const std::vector<int>& users);
+
+  /// Writes back the current cohort's dirty rows to the backing file
+  /// and unpins them; appends written rows to `out` when non-null. The
+  /// server folds this into the round's Apply stage. No-op under RAM.
+  void FlushDirtyRows(DirtyRowSet* out = nullptr);
+
+  /// madvise(WILLNEED) the upcoming cohort's embedding rows and CSR
+  /// spans. Advisory, thread-safe (the select thread calls this for
+  /// round i+1 while round i trains); no-op under RAM.
+  void PrefetchUsers(const std::vector<int>& users);
+
+  /// Durable snapshot of the mmap tier (rows file + persisted-row
+  /// bitmap); a later store can `StorageConfig::attach` to the same
+  /// directory and resume bit-identically, given identical seeds.
+  Status Checkpoint();
 
   /// The live RNG stream of a prepared user.
   Rng& UserRng(int user);
@@ -161,9 +209,18 @@ class ClientStateStore {
   /// factory is installed.
   ClientDefense* UserDefense(int user);
 
-  /// Resident bytes of everything the store owns: embedding table, CSR
-  /// view, seeds/flags/slot arrays, materialized engines and defenses.
+  /// Resident bytes of everything the store owns: embedding tier
+  /// (cache, not backing file), CSR view, seed/flag/slot structures,
+  /// materialized engines and defenses. This is the number the
+  /// bytes-per-user CI gate bounds.
   int64_t FootprintBytes() const;
+
+  /// Bytes of mmap backing-file address space (0 under RAM storage).
+  /// Files are sparse: disk usage is at most this.
+  int64_t BackingBytes() const;
+
+  /// Hot-path counters of the embedding tier (zeros under RAM).
+  StorageCounters storage_counters() const { return embeddings_.counters(); }
 
   /// How many users have a live engine / defense (telemetry, tests).
   int64_t materialized_rngs() const {
@@ -174,24 +231,38 @@ class ClientStateStore {
   }
 
  private:
-  void EnsureEmbedding(int user);
+  enum class SeedMode { kFormula, kExplicit, kDerivedBase };
+
+  void InitEmbeddingTier();
+  uint64_t SeedOf(int user) const;
 
   const RecModel& model_;
   std::shared_ptr<const NegativeSampler> sampler_;
   LossKind loss_;
   double local_lr_;
   int num_users_;
+  StorageConfig storage_;
 
+  std::shared_ptr<StoreDir> store_dir_;  // mmap only
   InteractionCsr interactions_;
-  Matrix embeddings_;                  // num_users x dim, rows lazy-init
-  std::vector<uint64_t> seeds_;        // 8 B/user RNG key
-  std::vector<uint8_t> initialized_;   // 1 B/user lazy-init flag
-  std::vector<double> user_lrs_;       // empty unless per-user rates
-  std::vector<int32_t> rng_slot_;      // -1 = engine not materialized
-  std::deque<Rng> engines_;            // stable refs; grows in PrepareRound
+  TieredMatrix embeddings_;  // num_users x dim, rows lazy-init
+  Matrix eval_matrix_;       // mmap EvalView snapshot target
+
+  SeedMode seed_mode_ = SeedMode::kFormula;
+  uint64_t seed_base_ = 0;
+  std::vector<uint64_t> seeds_;  // kExplicit only: 8 B/user RNG key
+  std::vector<double> user_lrs_;  // empty unless per-user rates
+
+  // Only participants get entries — O(touched users), not O(users).
+  std::unordered_map<int32_t, int32_t> rng_slot_;
+  std::deque<Rng> engines_;  // stable refs; grows in PrepareRound
   std::function<std::unique_ptr<ClientDefense>()> defense_factory_;
-  std::vector<int32_t> defense_slot_;  // -1 = not materialized
+  std::unordered_map<int32_t, int32_t> defense_slot_;
   std::vector<std::unique_ptr<ClientDefense>> defenses_;
+
+  // Estimated resident CSR file bytes since the last release; bounded
+  // by the storage resident budget (perf-only, never affects results).
+  int64_t csr_touched_bytes_ = 0;
 };
 
 /// The benign client behavior of §III-A as a stateless executor over

@@ -80,9 +80,9 @@ int64_t FederatedServer::ArenaBytes() const {
   bytes += router_.CapacityBytes();
   bytes += workload_.CapacityBytes();
   // Pipelined-engine arenas (all empty until the first depth >= 2 block).
-  bytes += static_cast<int64_t>(
-      weight_by_upload_.capacity() * sizeof(double) +
-      dirty_rows_.capacity() * sizeof(int));
+  bytes += static_cast<int64_t>(weight_by_upload_.capacity() *
+                                sizeof(double)) +
+           dirty_rows_.CapacityBytes() + store_dirty_.CapacityBytes();
   for (const std::vector<int>& sel : sel_ring_) {
     bytes += static_cast<int64_t>(sel.capacity() * sizeof(int));
   }
@@ -124,6 +124,7 @@ RoundStats FederatedServer::RunRound(
       stats.num_malicious_selected++;
     }
   }
+  store.PrefetchUsers(prepared_users_);
   store.PrepareRound(prepared_users_);
   const SteadyClock::time_point t_train = SteadyClock::now();
   stats.select_ms = MsSince(t_select, t_train);
@@ -164,9 +165,22 @@ RoundStats FederatedServer::RunRound(
 
   RouteAndApply(updates_, &stats);
 
+  // Storage write-back rides the Apply stage: the cohort's dirty rows
+  // go to the backing file in one batch (no-op under RAM storage).
+  const SteadyClock::time_point t_flush = SteadyClock::now();
+  store_dirty_.Clear();
+  store.FlushDirtyRows(&store_dirty_);
+  stats.apply_ms += MsSince(t_flush, SteadyClock::now());
+
   stats.uploads_built = static_cast<int>(selected.size());
   stats.scratch_bytes_in_use = ArenaBytes();
   stats.store_footprint_bytes = store.FootprintBytes();
+  stats.store_backing_bytes = store.BackingBytes();
+  const StorageCounters sc = store.storage_counters();
+  stats.store_cache_hits = sc.hits;
+  stats.store_cache_misses = sc.misses;
+  stats.store_cache_evictions = sc.evictions;
+  stats.store_cache_writebacks = sc.writebacks;
   round_in_flight_ = false;
   return stats;
 }
@@ -313,6 +327,10 @@ void FederatedServer::RunRoundsPipelined(
       std::vector<int>& slot = sel_ring_[static_cast<size_t>(i % S)];
       workload_.SelectInto(first_round + i, config_.users_per_round, rng,
                            &slot);
+      // Advisory readahead of the cohort's rows and CSR spans while
+      // earlier rounds train (madvise-only: no store state is touched,
+      // so racing the driver thread is safe).
+      store.PrefetchUsers(slot);
       rs[i].round = first_round + i;
       rs[i].num_selected = static_cast<int>(slot.size());
       rs[i].active_benign = workload_.active_benign();
@@ -337,11 +355,11 @@ void FederatedServer::RunRoundsPipelined(
       rs[j].pipeline_depth = D;
       rs[j].uploads_built = static_cast<int>(updates.size());
       // The rows this apply touched are exactly the router's group keys.
-      dirty_rows_.clear();
+      dirty_rows_.Clear();
       for (int s = 0; s < router_.num_shards(); ++s) {
         const UpdateRouter::ShardView view = router_.Shard(s);
         for (size_t g = 0; g < view.num_groups; ++g) {
-          dirty_rows_.push_back(view.items[g]);
+          dirty_rows_.Add(view.items[g]);
         }
       }
       ring_.Publish(global_, base + j + 1, dirty_rows_);
@@ -422,11 +440,23 @@ void FederatedServer::RunRoundsPipelined(
   select_thread.join();
   apply_thread.join();
 
+  // The last cohort is still pinned (the per-round write-back happens at
+  // the *next* PrepareRound on this thread); flush it before returning.
+  store_dirty_.Clear();
+  store.FlushDirtyRows(&store_dirty_);
+
   const int64_t arena_bytes = ArenaBytes();
   const int64_t store_bytes = store.FootprintBytes();
+  const int64_t backing_bytes = store.BackingBytes();
+  const StorageCounters sc = store.storage_counters();
   for (int i = 0; i < num_rounds; ++i) {
     rs[i].scratch_bytes_in_use = arena_bytes;
     rs[i].store_footprint_bytes = store_bytes;
+    rs[i].store_backing_bytes = backing_bytes;
+    rs[i].store_cache_hits = sc.hits;
+    rs[i].store_cache_misses = sc.misses;
+    rs[i].store_cache_evictions = sc.evictions;
+    rs[i].store_cache_writebacks = sc.writebacks;
   }
 }
 

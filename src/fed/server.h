@@ -187,8 +187,21 @@ struct RoundStats {
   /// buckets, and the interaction-aggregation buffers.
   int64_t scratch_bytes_in_use = 0;
   /// Resident bytes of the ClientStateStore backing the benign
-  /// population.
+  /// population (cache + heap structures; excludes backing files).
   int64_t store_footprint_bytes = 0;
+  /// Bytes of mmap backing-file address space behind the store (0 under
+  /// RAM storage). Sparse files: disk usage is at most this.
+  int64_t store_backing_bytes = 0;
+
+  // --- storage-tier telemetry (cumulative counters, mmap only) ---
+  /// Row accesses served from the hot-row cache.
+  int64_t store_cache_hits = 0;
+  /// Row faults (cache fill from file or init replay).
+  int64_t store_cache_misses = 0;
+  /// Frames reclaimed by the cache's CLOCK hand.
+  int64_t store_cache_evictions = 0;
+  /// Dirty rows written back to the backing file.
+  int64_t store_cache_writebacks = 0;
 };
 
 /// The federation server of §III-A: samples a batch of clients each
@@ -347,7 +360,8 @@ class FederatedServer {
   std::vector<std::vector<int>> sel_ring_;  // depth+1 selection slots
   std::vector<std::vector<ClientUpdate>> updates_ring_;  // depth slots
   std::vector<std::vector<double>> loss_ring_;           // depth slots
-  std::vector<int> dirty_rows_;         // rows touched by one apply
+  DirtyRowSet dirty_rows_;   // item rows touched by one apply (-> ring)
+  DirtyRowSet store_dirty_;  // user rows written back by the store tier
 };
 
 }  // namespace pieck

@@ -18,13 +18,14 @@ void ModelVersionRing::Reset(const GlobalModel& base, int64_t base_version,
 }
 
 void ModelVersionRing::Publish(const GlobalModel& live, int64_t version,
-                               const std::vector<int>& dirty_rows) {
+                               const DirtyRowSet& dirty_rows) {
   PIECK_CHECK(depth_ >= 1) << "Publish before Reset";
   const int64_t newest = newest_.load(std::memory_order_relaxed);
   PIECK_CHECK(version == newest + 1)
       << "versions publish consecutively: got " << version << " after "
       << newest;
-  dirty_ring_[static_cast<size_t>(version % depth_)] = dirty_rows;
+  dirty_ring_[static_cast<size_t>(version % depth_)].assign(
+      dirty_rows.rows().begin(), dirty_rows.rows().end());
 
   GlobalModel& slot = slots_[static_cast<size_t>(version % depth_)];
   // The slot holds version - depth; the union of the retained dirty

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "model/global_model.h"
+#include "storage/dirty_rows.h"
 
 namespace pieck {
 
@@ -49,7 +50,7 @@ class ModelVersionRing {
   /// refreshes slot `version % depth` by copying the union of the last
   /// `depth` dirty lists plus the interaction parameters from `live`.
   void Publish(const GlobalModel& live, int64_t version,
-               const std::vector<int>& dirty_rows);
+               const DirtyRowSet& dirty_rows);
 
   /// Borrowed snapshot of `version`; it must be within the last
   /// `depth` published versions. Valid until that slot is republished.

@@ -1,0 +1,42 @@
+/// \file
+/// Shared dirty-row bookkeeping for the round engine's two consumers.
+///
+/// Two subsystems need to know which rows one round's Apply stage
+/// touched: `ModelVersionRing::Publish` refreshes a snapshot slot by
+/// copying exactly the rows dirtied since the previous version, and the
+/// tiered storage layer writes a round's trained user rows back to the
+/// backing file. Both now speak one `DirtyRowSet` — an arena-reused,
+/// append-only row list — instead of maintaining parallel bookkeeping.
+#ifndef PIECK_STORAGE_DIRTY_ROWS_H_
+#define PIECK_STORAGE_DIRTY_ROWS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pieck {
+
+/// Append-only set of row indices dirtied by one batch of work. "Set"
+/// by usage, not enforcement: producers (the router's group keys, the
+/// cache's pinned cohort) already emit each row at most once, so Add
+/// does no dedup. Clear keeps capacity — steady-state rounds allocate
+/// nothing.
+class DirtyRowSet {
+ public:
+  void Clear() { rows_.clear(); }
+  void Add(int row) { rows_.push_back(row); }
+
+  bool empty() const { return rows_.empty(); }
+  size_t size() const { return rows_.size(); }
+  const std::vector<int>& rows() const { return rows_; }
+
+  int64_t CapacityBytes() const {
+    return static_cast<int64_t>(rows_.capacity() * sizeof(int));
+  }
+
+ private:
+  std::vector<int> rows_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_STORAGE_DIRTY_ROWS_H_

@@ -1,0 +1,141 @@
+#include "storage/hot_row_cache.h"
+
+#include "common/logging.h"
+
+namespace pieck {
+
+void HotRowCache::Init(int64_t capacity_rows, size_t row_width) {
+  PIECK_CHECK(capacity_rows > 0) << "hot-row cache needs capacity > 0";
+  PIECK_CHECK(row_width > 0) << "hot-row cache needs row_width > 0";
+  capacity_ = capacity_rows;
+  row_width_ = row_width;
+  cached_ = 0;
+  pinned_ = 0;
+  frames_.assign(static_cast<size_t>(capacity_) * row_width_, 0.0);
+  row_of_.assign(static_cast<size_t>(capacity_), -1);
+  ref_.assign(static_cast<size_t>(capacity_), 0);
+  dirty_.assign(static_cast<size_t>(capacity_), 0);
+  pin_.assign(static_cast<size_t>(capacity_), 0);
+  // Shards only split the index to keep per-map sizes sane on big
+  // caches; small caches stay single-shard so tiny-capacity edge cases
+  // (capacity 1) behave like a plain CLOCK.
+  int shards = capacity_ >= 8192 ? 16 : 1;
+  if (shards > capacity_) shards = static_cast<int>(capacity_);
+  shard_base_.assign(static_cast<size_t>(shards) + 1, 0);
+  const int64_t per = capacity_ / shards;
+  const int64_t rem = capacity_ % shards;
+  for (int s = 0; s < shards; ++s) {
+    shard_base_[static_cast<size_t>(s) + 1] =
+        shard_base_[static_cast<size_t>(s)] + per + (s < rem ? 1 : 0);
+  }
+  hand_.assign(static_cast<size_t>(shards), 0);
+  for (int s = 0; s < shards; ++s) {
+    hand_[static_cast<size_t>(s)] = shard_base_[static_cast<size_t>(s)];
+  }
+  index_.assign(static_cast<size_t>(shards), {});
+}
+
+int64_t HotRowCache::FindFrame(int64_t row) const {
+  const auto& map = index_[static_cast<size_t>(ShardOf(row))];
+  const auto it = map.find(row);
+  if (it == map.end()) return -1;
+  ref_[static_cast<size_t>(it->second)] = 1;
+  return it->second;
+}
+
+int64_t HotRowCache::Acquire(int64_t row, Eviction* ev) {
+  const int shard = ShardOf(row);
+  auto& map = index_[static_cast<size_t>(shard)];
+  PIECK_DCHECK(map.find(row) == map.end()) << "Acquire on a cached row";
+  const int64_t lo = shard_base_[static_cast<size_t>(shard)];
+  const int64_t hi = shard_base_[static_cast<size_t>(shard) + 1];
+  const int64_t span = hi - lo;
+  int64_t hand = hand_[static_cast<size_t>(shard)];
+  int64_t frame = -1;
+  // CLOCK sweep: skip pinned frames, give referenced frames a second
+  // chance. Two full sweeps clear every ref bit, so a third pass (the
+  // fallback below) cannot miss an unpinned frame if one exists.
+  for (int64_t step = 0; step < 2 * span && frame < 0; ++step) {
+    const size_t f = static_cast<size_t>(hand);
+    if (pin_[f] == 0) {
+      if (row_of_[f] < 0 || ref_[f] == 0) {
+        frame = hand;
+      } else {
+        ref_[f] = 0;
+      }
+    }
+    hand = hand + 1 == hi ? lo : hand + 1;
+  }
+  if (frame < 0) {
+    for (int64_t step = 0; step < span && frame < 0; ++step) {
+      if (pin_[static_cast<size_t>(hand)] == 0) frame = hand;
+      hand = hand + 1 == hi ? lo : hand + 1;
+    }
+  }
+  PIECK_CHECK(frame >= 0)
+      << "hot-row cache: every frame in the shard is pinned; "
+         "increase cache_rows beyond the round cohort size";
+  hand_[static_cast<size_t>(shard)] = hand;
+
+  const size_t f = static_cast<size_t>(frame);
+  Eviction out;
+  if (row_of_[f] >= 0) {
+    out.row = row_of_[f];
+    out.dirty = dirty_[f] != 0;
+    map.erase(row_of_[f]);
+    --cached_;
+  }
+  if (ev != nullptr) *ev = out;
+  // The victim's bytes are still in the frame: the caller writes them
+  // back (if dirty) before filling in the new row.
+  row_of_[f] = row;
+  ref_[f] = 1;
+  dirty_[f] = 0;
+  map.emplace(row, frame);
+  ++cached_;
+  return frame;
+}
+
+void HotRowCache::Evict(int64_t frame) {
+  const size_t f = static_cast<size_t>(frame);
+  PIECK_DCHECK(pin_[f] == 0) << "evicting a pinned frame";
+  if (row_of_[f] < 0) return;
+  index_[static_cast<size_t>(ShardOf(row_of_[f]))].erase(row_of_[f]);
+  row_of_[f] = -1;
+  ref_[f] = 0;
+  dirty_[f] = 0;
+  --cached_;
+}
+
+void HotRowCache::Pin(int64_t frame) {
+  const size_t f = static_cast<size_t>(frame);
+  PIECK_DCHECK(row_of_[f] >= 0) << "pinning a free frame";
+  if (pin_[f] == 0) {
+    pin_[f] = 1;
+    ++pinned_;
+  }
+}
+
+void HotRowCache::Unpin(int64_t frame) {
+  const size_t f = static_cast<size_t>(frame);
+  if (pin_[f] != 0) {
+    pin_[f] = 0;
+    --pinned_;
+  }
+}
+
+int64_t HotRowCache::ResidentBytes() const {
+  int64_t bytes = static_cast<int64_t>(frames_.capacity() * sizeof(double)) +
+                  static_cast<int64_t>(row_of_.capacity() * sizeof(int64_t)) +
+                  static_cast<int64_t>(ref_.capacity()) +
+                  static_cast<int64_t>(dirty_.capacity()) +
+                  static_cast<int64_t>(pin_.capacity());
+  for (const auto& map : index_) {
+    // Rough per-entry footprint of the node-based hash map.
+    bytes += static_cast<int64_t>(map.size()) *
+             static_cast<int64_t>(sizeof(int64_t) * 2 + sizeof(void*) * 2);
+  }
+  return bytes;
+}
+
+}  // namespace pieck

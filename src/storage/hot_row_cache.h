@@ -1,0 +1,114 @@
+/// \file
+/// Sharded CLOCK cache of fixed-width double rows.
+///
+/// The mmap storage backend keeps the working set of user-embedding
+/// rows in this cache: one contiguous frame arena plus per-frame
+/// metadata, partitioned into shards (row -> shard by modulo) each with
+/// its own index map and CLOCK hand. Frames a round has *pinned* are
+/// never evicted — the round fan-out reads and writes them lock-free
+/// through stable pointers while no other cache mutation runs.
+///
+/// Thread-safety contract (mirrors ClientStateStore::PrepareRound):
+/// every structural mutation — Acquire (fault/evict), Pin, Unpin — is
+/// single-owner. `FindFrame` and the per-frame bit accessors may run
+/// concurrently from the round fan-out for *distinct rows*: they touch
+/// only the immutable index and that frame's own metadata bytes.
+///
+/// Eviction policy is deliberately decoupled from correctness: whatever
+/// the CLOCK hand evicts, a refault restores the identical bytes (from
+/// the backing file or the seed-keyed init replay), so the policy can
+/// change freely without perturbing any simulation result.
+#ifndef PIECK_STORAGE_HOT_ROW_CACHE_H_
+#define PIECK_STORAGE_HOT_ROW_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pieck {
+
+class HotRowCache {
+ public:
+  /// What Acquire displaced (row == -1 when the frame was free).
+  struct Eviction {
+    int64_t row = -1;
+    bool dirty = false;
+  };
+
+  /// Arms the cache: `capacity_rows` frames of `row_width` doubles.
+  /// Shard count is derived (1 for small caches, up to 16) — it only
+  /// partitions the index, never changes behavior.
+  void Init(int64_t capacity_rows, size_t row_width);
+
+  int64_t capacity() const { return capacity_; }
+  size_t row_width() const { return row_width_; }
+  int num_shards() const { return static_cast<int>(shard_base_.size()) - 1; }
+  int64_t cached_rows() const { return cached_; }
+  int64_t pinned_rows() const { return pinned_; }
+
+  /// Frame holding `row`, or -1. Sets the frame's CLOCK reference bit.
+  /// Safe concurrently for distinct rows while no mutation runs.
+  int64_t FindFrame(int64_t row) const;
+
+  /// Single-owner: claims a frame for `row` (which must not be cached),
+  /// evicting an unpinned victim if the shard is full. The victim's
+  /// data is still in the frame on return so the caller can write it
+  /// back before overwriting; its identity is reported in `*ev`. Aborts
+  /// if every frame of the row's shard is pinned (cache_rows too small
+  /// for the cohort).
+  int64_t Acquire(int64_t row, Eviction* ev);
+
+  /// Single-owner: removes `frame` from the index (its row refaults
+  /// later). The caller handles write-back first.
+  void Evict(int64_t frame);
+
+  double* FrameData(int64_t frame) {
+    return frames_.data() + static_cast<size_t>(frame) * row_width_;
+  }
+  const double* FrameData(int64_t frame) const {
+    return frames_.data() + static_cast<size_t>(frame) * row_width_;
+  }
+  int64_t FrameRow(int64_t frame) const {
+    return row_of_[static_cast<size_t>(frame)];
+  }
+
+  bool Dirty(int64_t frame) const {
+    return dirty_[static_cast<size_t>(frame)] != 0;
+  }
+  /// Safe concurrently for distinct frames (one byte per frame).
+  void SetDirty(int64_t frame) { dirty_[static_cast<size_t>(frame)] = 1; }
+  void ClearDirty(int64_t frame) { dirty_[static_cast<size_t>(frame)] = 0; }
+
+  bool Pinned(int64_t frame) const {
+    return pin_[static_cast<size_t>(frame)] != 0;
+  }
+  void Pin(int64_t frame);
+  void Unpin(int64_t frame);
+
+  /// Heap bytes of the frame arena, metadata, and index (telemetry).
+  int64_t ResidentBytes() const;
+
+ private:
+  int ShardOf(int64_t row) const {
+    return static_cast<int>(row % static_cast<int64_t>(num_shards()));
+  }
+
+  int64_t capacity_ = 0;
+  size_t row_width_ = 0;
+  int64_t cached_ = 0;
+  int64_t pinned_ = 0;
+  std::vector<double> frames_;              // capacity x row_width
+  std::vector<int64_t> row_of_;             // -1 = free frame
+  mutable std::vector<uint8_t> ref_;        // CLOCK reference bits
+  std::vector<uint8_t> dirty_;
+  std::vector<uint8_t> pin_;
+  std::vector<int64_t> shard_base_;         // shard s owns frames
+                                            // [base[s], base[s+1])
+  std::vector<int64_t> hand_;               // per-shard CLOCK hand
+  std::vector<std::unordered_map<int64_t, int64_t>> index_;  // row -> frame
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_STORAGE_HOT_ROW_CACHE_H_

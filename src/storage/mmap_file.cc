@@ -1,0 +1,155 @@
+#include "storage/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pieck {
+
+MmapFile::~MmapFile() { Close(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      fd_(other.fd_),
+      path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.fd_ = -1;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = other.data_;
+    size_ = other.size_;
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+#if defined(_WIN32)
+
+StatusOr<MmapFile> MmapFile::Map(const std::string&, int64_t, Mode) {
+  return Status::Unimplemented("mmap storage is POSIX-only");
+}
+StatusOr<MmapFile> MmapFile::MapReadOnly(const std::string&) {
+  return Status::Unimplemented("mmap storage is POSIX-only");
+}
+Status MmapFile::Sync() {
+  return Status::Unimplemented("mmap storage is POSIX-only");
+}
+void MmapFile::AdviseWillNeed(int64_t, int64_t) const {}
+void MmapFile::AdviseDontNeed() const {}
+void MmapFile::Close() {}
+
+#else
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<MmapFile> MmapFile::Map(const std::string& path, int64_t bytes,
+                                 Mode mode) {
+  if (bytes < 0) return Status::InvalidArgument("negative mapping size");
+  int flags = O_RDWR | O_CREAT;
+  if (mode == Mode::kCreate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  MmapFile f;
+  f.fd_ = fd;
+  f.path_ = path;
+  f.size_ = bytes;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return Errno("fstat", path);
+  // kCreate starts from zero length; kAttach keeps existing contents
+  // and only grows the file (sparse) to the requested size.
+  if (st.st_size < bytes && ::ftruncate(fd, bytes) != 0) {
+    return Errno("ftruncate", path);
+  }
+  if (mode == Mode::kAttach && st.st_size > bytes) {
+    return Status::InvalidArgument("attach: " + path +
+                                   " is larger than the requested mapping");
+  }
+  if (bytes > 0) {
+    void* p = ::mmap(nullptr, static_cast<size_t>(bytes),
+                     PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (p == MAP_FAILED) return Errno("mmap", path);
+    f.data_ = p;
+  }
+  return StatusOr<MmapFile>(std::move(f));
+}
+
+StatusOr<MmapFile> MmapFile::MapReadOnly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  MmapFile f;
+  f.fd_ = fd;
+  f.path_ = path;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return Errno("fstat", path);
+  f.size_ = static_cast<int64_t>(st.st_size);
+  if (f.size_ > 0) {
+    void* p = ::mmap(nullptr, static_cast<size_t>(f.size_), PROT_READ,
+                     MAP_SHARED, fd, 0);
+    if (p == MAP_FAILED) return Errno("mmap", path);
+    f.data_ = p;
+  }
+  return StatusOr<MmapFile>(std::move(f));
+}
+
+Status MmapFile::Sync() {
+  if (data_ == nullptr) return Status::OK();
+  if (::msync(data_, static_cast<size_t>(size_), MS_SYNC) != 0) {
+    return Errno("msync", path_);
+  }
+  return Status::OK();
+}
+
+void MmapFile::AdviseWillNeed(int64_t offset, int64_t length) const {
+  if (data_ == nullptr || length <= 0) return;
+  const int64_t page = static_cast<int64_t>(::sysconf(_SC_PAGESIZE));
+  int64_t lo = (offset / page) * page;
+  int64_t hi = offset + length;
+  if (lo < 0) lo = 0;
+  if (hi > size_) hi = size_;
+  if (hi <= lo) return;
+  ::madvise(static_cast<char*>(data_) + lo, static_cast<size_t>(hi - lo),
+            MADV_WILLNEED);
+}
+
+void MmapFile::AdviseDontNeed() const {
+  if (data_ == nullptr) return;
+  ::madvise(data_, static_cast<size_t>(size_), MADV_DONTNEED);
+}
+
+void MmapFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(data_, static_cast<size_t>(size_));
+    data_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+#endif  // _WIN32
+
+}  // namespace pieck

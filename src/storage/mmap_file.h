@@ -1,0 +1,74 @@
+/// \file
+/// RAII wrapper around a file-backed shared memory mapping.
+///
+/// The tiered storage layer keeps its big tables in sparse files mapped
+/// MAP_SHARED: writes land in the kernel page cache (the canonical
+/// copy), `Sync` makes them durable, and `AdviseDontNeed` drops this
+/// process's resident pages *without losing data* — dirty shared
+/// file-backed pages stay in the page cache and refault on next access.
+/// That last property is what bounds RSS on populations far larger than
+/// memory while keeping every byte readable.
+#ifndef PIECK_STORAGE_MMAP_FILE_H_
+#define PIECK_STORAGE_MMAP_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/status_or.h"
+
+namespace pieck {
+
+class MmapFile {
+ public:
+  enum class Mode {
+    kCreate,  // truncate fresh, then size to `bytes` (a sparse hole)
+    kAttach,  // keep existing contents, extend to `bytes` if shorter
+  };
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-write at exactly `bytes` bytes. `bytes` == 0 is
+  /// allowed and yields a valid, empty mapping (data() == nullptr).
+  static StatusOr<MmapFile> Map(const std::string& path, int64_t bytes,
+                                Mode mode);
+
+  /// Maps an existing file read-only at its current size.
+  static StatusOr<MmapFile> MapReadOnly(const std::string& path);
+
+  bool valid() const { return fd_ >= 0; }
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+  int64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// msync(MS_SYNC): all written pages are durable on return.
+  Status Sync();
+
+  /// madvise(WILLNEED) on the page-aligned range covering
+  /// [offset, offset + length). Advisory; safe from any thread.
+  void AdviseWillNeed(int64_t offset, int64_t length) const;
+
+  /// madvise(DONTNEED) on the whole mapping: drops this process's
+  /// resident pages. Data is preserved (shared file-backed mapping);
+  /// later accesses refault from the page cache / file.
+  void AdviseDontNeed() const;
+
+  /// Unmaps and closes. Idempotent.
+  void Close();
+
+ private:
+  void* data_ = nullptr;
+  int64_t size_ = 0;
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_STORAGE_MMAP_FILE_H_

@@ -1,0 +1,134 @@
+#include "storage/storage.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace pieck {
+
+const char* StorageKindToString(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kRam:
+      return "ram";
+    case StorageKind::kMmap:
+      return "mmap";
+  }
+  return "?";
+}
+
+Status ParseStorageKind(const std::string& name, StorageKind* out) {
+  if (name == "ram") {
+    *out = StorageKind::kRam;
+    return Status::OK();
+  }
+  if (name == "mmap") {
+    *out = StorageKind::kMmap;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown storage kind '" + name +
+                                 "' (expected ram|mmap)");
+}
+
+Status StorageConfig::Validate() const {
+  if (kind == StorageKind::kRam) {
+    if (attach) {
+      return Status::InvalidArgument("storage.attach requires the mmap kind");
+    }
+    return Status::OK();
+  }
+  if (attach && dir.empty()) {
+    return Status::InvalidArgument(
+        "storage.attach needs an explicit storage.dir to attach to");
+  }
+  if (resident_budget_bytes <= 0) {
+    return Status::InvalidArgument("storage.resident_budget_bytes must be > 0");
+  }
+  return Status::OK();
+}
+
+#if defined(_WIN32)
+
+StatusOr<std::shared_ptr<StoreDir>> StoreDir::Resolve(const std::string&) {
+  return Status::Unimplemented("mmap storage is POSIX-only");
+}
+
+StoreDir::~StoreDir() = default;
+
+std::string StoreDir::FilePath(const std::string& name) const {
+  return path_ + "/" + name;
+}
+
+#else
+
+namespace {
+
+Status MakeDirs(const std::string& path) {
+  // mkdir -p: create each component, tolerating ones that exist.
+  std::string partial;
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t next = path.find('/', i);
+    if (next == std::string::npos) next = path.size();
+    partial.assign(path, 0, next);
+    i = next + 1;
+    if (partial.empty()) continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("mkdir " + partial + ": " +
+                             std::strerror(errno));
+    }
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IoError("store dir " + path + " is not a directory");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<StoreDir>> StoreDir::Resolve(const std::string& dir) {
+  if (!dir.empty()) {
+    if (Status st = MakeDirs(dir); !st.ok()) return st;
+    return std::shared_ptr<StoreDir>(new StoreDir(dir, /*owned=*/false));
+  }
+  const char* tmp = std::getenv("TMPDIR");
+  std::string templ =
+      std::string(tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp") +
+      "/pieck-store-XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IoError(std::string("mkdtemp: ") + std::strerror(errno));
+  }
+  return std::shared_ptr<StoreDir>(
+      new StoreDir(std::string(buf.data()), /*owned=*/true));
+}
+
+StoreDir::~StoreDir() {
+  if (!owned_) return;
+  // Best-effort removal of the private temp directory and its files.
+  if (DIR* d = ::opendir(path_.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((path_ + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(path_.c_str());
+}
+
+std::string StoreDir::FilePath(const std::string& name) const {
+  return path_ + "/" + name;
+}
+
+#endif  // _WIN32
+
+}  // namespace pieck

@@ -1,0 +1,103 @@
+/// \file
+/// Storage-backend selection for the beyond-RAM client state tier.
+///
+/// `StorageConfig` picks where big per-user tables live: `kRam` keeps
+/// today's dense in-memory arrays bit for bit, `kMmap` pages them
+/// through a sparse backing file behind a pinned hot-row cache
+/// (tiered_matrix.h). The determinism contract is that the choice is
+/// invisible in every numeric result — a row's value is always either
+/// the last value written to it or the seed-keyed init replay, whichever
+/// is newer, regardless of eviction order (docs/STORAGE.md).
+#ifndef PIECK_STORAGE_STORAGE_H_
+#define PIECK_STORAGE_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+
+namespace pieck {
+
+enum class StorageKind {
+  kRam,   // dense in-memory arrays (the pre-storage behavior, bit for bit)
+  kMmap,  // sparse backing file + pinned hot-row cache
+};
+
+const char* StorageKindToString(StorageKind kind);
+Status ParseStorageKind(const std::string& name, StorageKind* out);
+
+/// Configuration of the client-state storage tier.
+struct StorageConfig {
+  StorageKind kind = StorageKind::kRam;
+  /// Hot-row cache capacity in rows (mmap only). Must be at least the
+  /// round cohort size, since a round's participants stay pinned while
+  /// the fan-out trains them. <= 0 resolves to a 65536-row default
+  /// (clamped to the population).
+  int64_t cache_rows = 0;
+  /// Backing directory (mmap only). Explicit paths are created if
+  /// missing and never deleted; empty resolves to a fresh private
+  /// directory under $TMPDIR that is removed when the store dies.
+  std::string dir;
+  /// Attach to an existing checkpointed directory instead of truncating
+  /// fresh backing files: rows persisted by a prior `Checkpoint()` are
+  /// read back instead of re-initialized (mmap only).
+  bool attach = false;
+  /// Advisory ceiling on resident backing-file pages: after roughly
+  /// this many file bytes have been touched, the mappings are
+  /// madvise(DONTNEED)'d so RSS stays bounded on populations far larger
+  /// than memory. Perf-only — never changes results.
+  int64_t resident_budget_bytes = 256ll << 20;
+
+  Status Validate() const;
+};
+
+/// Cumulative hot-path counters of one tiered store (telemetry; all
+/// monotone since construction).
+struct StorageCounters {
+  int64_t hits = 0;              // row accesses served from the cache
+  int64_t misses = 0;            // row faults (cache fill required)
+  int64_t evictions = 0;         // frames reclaimed by the CLOCK hand
+  int64_t writebacks = 0;        // dirty rows written to the backing file
+  int64_t rematerializations = 0;  // faults replaying the seed-keyed init
+  int64_t prefetched_rows = 0;   // rows madvise(WILLNEED)'d ahead of use
+
+  double hit_rate() const {
+    const int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// The backing directory of an mmap store. Shared (shared_ptr) by every
+/// component writing files into it — the row store and the CSR builder —
+/// so cleanup happens exactly once, after the last user. Directories the
+/// handle created itself (empty `StorageConfig::dir`) are removed with
+/// their contents on destruction; caller-provided paths are left alone.
+class StoreDir {
+ public:
+  /// Creates `dir` (and parents) if missing, or a fresh private temp
+  /// directory when `dir` is empty.
+  static StatusOr<std::shared_ptr<StoreDir>> Resolve(const std::string& dir);
+
+  ~StoreDir();
+  StoreDir(const StoreDir&) = delete;
+  StoreDir& operator=(const StoreDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  bool owned() const { return owned_; }
+  std::string FilePath(const std::string& name) const;
+
+ private:
+  StoreDir(std::string path, bool owned)
+      : path_(std::move(path)), owned_(owned) {}
+
+  std::string path_;
+  bool owned_;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_STORAGE_STORAGE_H_

@@ -1,0 +1,386 @@
+#include "storage/tiered_matrix.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "common/logging.h"
+
+namespace pieck {
+
+namespace {
+
+// "PIECKTM1" little-endian: versions the rows.meta layout.
+constexpr uint64_t kMetaMagic = 0x314d544b43454950ull;
+
+bool TestBit(const std::vector<uint64_t>& bits, int64_t i) {
+  return (bits[static_cast<size_t>(i >> 6)] >>
+          (static_cast<uint64_t>(i) & 63)) &
+         1;
+}
+
+void SetBit(std::vector<uint64_t>* bits, int64_t i) {
+  (*bits)[static_cast<size_t>(i >> 6)] |= uint64_t{1}
+                                          << (static_cast<uint64_t>(i) & 63);
+}
+
+}  // namespace
+
+Status TieredMatrix::Init(int64_t rows, size_t cols,
+                          const StorageConfig& config,
+                          std::shared_ptr<StoreDir> dir,
+                          const std::string& file_name, InitFn init_fn) {
+  PIECK_CHECK(rows >= 0 && cols > 0) << "TieredMatrix: bad shape";
+  if (Status st = config.Validate(); !st.ok()) return st;
+  kind_ = config.kind;
+  rows_ = rows;
+  cols_ = cols;
+  init_fn_ = std::move(init_fn);
+  init_count_.store(0, std::memory_order_relaxed);
+
+  if (kind_ == StorageKind::kRam) {
+    ram_ = Matrix(static_cast<size_t>(rows_), cols_);
+    ram_init_.assign(static_cast<size_t>(rows_), 0);
+    return Status::OK();
+  }
+
+  PIECK_CHECK(dir != nullptr) << "mmap TieredMatrix needs a StoreDir";
+  dir_ = std::move(dir);
+  resident_budget_bytes_ = config.resident_budget_bytes;
+
+  int64_t cache_rows = config.cache_rows > 0 ? config.cache_rows : 65536;
+  if (cache_rows > rows_ && rows_ > 0) cache_rows = rows_;
+  if (cache_rows < 1) cache_rows = 1;
+  cache_.Init(cache_rows, cols_);
+  pinned_frames_.reserve(static_cast<size_t>(cache_rows));
+
+  const size_t words = static_cast<size_t>((rows_ + 63) >> 6);
+  persisted_.assign(words, 0);
+  materialized_.assign(words, 0);
+
+  const int64_t bytes = rows_ * static_cast<int64_t>(cols_ * sizeof(double));
+  auto mapped = MmapFile::Map(
+      dir_->FilePath(file_name), bytes,
+      config.attach ? MmapFile::Mode::kAttach : MmapFile::Mode::kCreate);
+  if (!mapped.ok()) return mapped.status();
+  file_ = std::move(*mapped);
+  meta_path_ = dir_->FilePath(file_name + ".meta");
+  if (config.attach) {
+    if (Status st = LoadMeta(meta_path_); !st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status TieredMatrix::LoadMeta(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // fresh dir: nothing persisted yet
+  uint64_t header[3] = {0, 0, 0};
+  bool ok = std::fread(header, sizeof(uint64_t), 3, f) == 3;
+  ok = ok && header[0] == kMetaMagic &&
+       header[1] == static_cast<uint64_t>(rows_) &&
+       header[2] == static_cast<uint64_t>(cols_);
+  ok = ok && std::fread(persisted_.data(), sizeof(uint64_t),
+                        persisted_.size(), f) == persisted_.size();
+  std::fclose(f);
+  if (!ok) {
+    return Status::IoError("corrupt or mismatched store metadata: " + path);
+  }
+  return Status::OK();
+}
+
+void TieredMatrix::ReadFileRow(int64_t r, double* dst) const {
+  const size_t row_bytes = cols_ * sizeof(double);
+  std::memcpy(dst,
+              static_cast<const char*>(file_.data()) +
+                  static_cast<size_t>(r) * row_bytes,
+              row_bytes);
+  touched_file_bytes_ += static_cast<int64_t>(row_bytes);
+  MaybeTrim();
+}
+
+void TieredMatrix::WriteFileRow(int64_t r, const double* src) {
+  const size_t row_bytes = cols_ * sizeof(double);
+  std::memcpy(static_cast<char*>(file_.data()) +
+                  static_cast<size_t>(r) * row_bytes,
+              src, row_bytes);
+  touched_file_bytes_ += static_cast<int64_t>(row_bytes);
+  MaybeTrim();
+}
+
+void TieredMatrix::MaybeTrim() const {
+  if (touched_file_bytes_ < resident_budget_bytes_) return;
+  file_.AdviseDontNeed();
+  touched_file_bytes_ = 0;
+}
+
+void TieredMatrix::MaterializeInto(int64_t r, double* dst) {
+  init_fn_(r, dst);
+  ++rematerializations_;
+  if (!TestBit(materialized_, r)) {
+    SetBit(&materialized_, r);
+    init_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+int64_t TieredMatrix::Fault(int64_t r) {
+  int64_t frame = cache_.FindFrame(r);
+  if (frame >= 0) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return frame;
+  }
+  ++misses_;
+  HotRowCache::Eviction ev;
+  frame = cache_.Acquire(r, &ev);
+  double* data = cache_.FrameData(frame);
+  if (ev.row >= 0) {
+    ++evictions_;
+    if (ev.dirty) {
+      // Victim bytes are still in the frame; persist before overwrite.
+      WriteFileRow(ev.row, data);
+      SetPersisted(ev.row);
+      ++writebacks_;
+    }
+  }
+  if (Persisted(r)) {
+    ReadFileRow(r, data);
+  } else {
+    MaterializeInto(r, data);
+  }
+  return frame;
+}
+
+const double* TieredMatrix::Row(int64_t r) {
+  PIECK_DCHECK(r >= 0 && r < rows_) << "row out of range";
+  if (kind_ == StorageKind::kRam) {
+    const size_t i = static_cast<size_t>(r);
+    if (ram_init_[i] == 0) {
+      init_fn_(r, ram_.MutableRowPtr(i));
+      ram_init_[i] = 1;
+      init_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ram_.RowPtr(i);
+  }
+  return cache_.FrameData(Fault(r));
+}
+
+double* TieredMatrix::MutableRow(int64_t r) {
+  PIECK_DCHECK(r >= 0 && r < rows_) << "row out of range";
+  if (kind_ == StorageKind::kRam) {
+    const size_t i = static_cast<size_t>(r);
+    if (ram_init_[i] == 0) {
+      init_fn_(r, ram_.MutableRowPtr(i));
+      ram_init_[i] = 1;
+      init_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ram_.MutableRowPtr(i);
+  }
+  const int64_t frame = Fault(r);
+  cache_.SetDirty(frame);
+  return cache_.FrameData(frame);
+}
+
+void TieredMatrix::SetRow(int64_t r, const double* v) {
+  PIECK_DCHECK(r >= 0 && r < rows_) << "row out of range";
+  if (kind_ == StorageKind::kRam) {
+    const size_t i = static_cast<size_t>(r);
+    std::memcpy(ram_.MutableRowPtr(i), v, cols_ * sizeof(double));
+    if (ram_init_[i] == 0) {
+      ram_init_[i] = 1;
+      init_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // The value is fully supplied, so skip the init replay: claim a frame
+  // directly (still writing back any dirty victim) and overwrite.
+  int64_t frame = cache_.FindFrame(r);
+  if (frame >= 0) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++misses_;
+    HotRowCache::Eviction ev;
+    frame = cache_.Acquire(r, &ev);
+    if (ev.row >= 0) {
+      ++evictions_;
+      if (ev.dirty) {
+        WriteFileRow(ev.row, cache_.FrameData(frame));
+        SetPersisted(ev.row);
+        ++writebacks_;
+      }
+    }
+  }
+  std::memcpy(cache_.FrameData(frame), v, cols_ * sizeof(double));
+  cache_.SetDirty(frame);
+  if (!TestBit(materialized_, r)) {
+    SetBit(&materialized_, r);
+    init_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TieredMatrix::PinRows(const std::vector<int>& rows) {
+  if (kind_ == StorageKind::kRam) {
+    for (const int r : rows) Row(r);
+    return;
+  }
+  PIECK_CHECK(static_cast<int64_t>(rows.size()) <= cache_.capacity())
+      << "round cohort exceeds the hot-row cache; raise cache_rows";
+  for (const int r : rows) {
+    const int64_t frame = Fault(r);
+    if (!cache_.Pinned(frame)) {
+      cache_.Pin(frame);
+      pinned_frames_.push_back(frame);
+    }
+  }
+}
+
+void TieredMatrix::FlushPinned(DirtyRowSet* out) {
+  if (kind_ == StorageKind::kRam) return;
+  for (const int64_t frame : pinned_frames_) {
+    if (cache_.Dirty(frame)) {
+      const int64_t r = cache_.FrameRow(frame);
+      WriteFileRow(r, cache_.FrameData(frame));
+      SetPersisted(r);
+      cache_.ClearDirty(frame);
+      ++writebacks_;
+      if (out != nullptr) out->Add(static_cast<int>(r));
+    }
+    cache_.Unpin(frame);
+  }
+  pinned_frames_.clear();
+}
+
+void TieredMatrix::FlushAll(DirtyRowSet* out) {
+  if (kind_ == StorageKind::kRam) return;
+  for (int64_t frame = 0; frame < cache_.capacity(); ++frame) {
+    if (cache_.FrameRow(frame) < 0 || !cache_.Dirty(frame)) continue;
+    const int64_t r = cache_.FrameRow(frame);
+    WriteFileRow(r, cache_.FrameData(frame));
+    SetPersisted(r);
+    cache_.ClearDirty(frame);
+    ++writebacks_;
+    if (out != nullptr) out->Add(static_cast<int>(r));
+  }
+}
+
+Status TieredMatrix::Checkpoint() {
+  if (kind_ == StorageKind::kRam) return Status::OK();
+  FlushAll(nullptr);
+  // Ordering: data durable first, then the metadata that claims it.
+  if (Status st = file_.Sync(); !st.ok()) return st;
+  const std::string tmp = meta_path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("open " + tmp);
+  const uint64_t header[3] = {kMetaMagic, static_cast<uint64_t>(rows_),
+                              static_cast<uint64_t>(cols_)};
+  bool ok = std::fwrite(header, sizeof(uint64_t), 3, f) == 3;
+  ok = ok && std::fwrite(persisted_.data(), sizeof(uint64_t),
+                         persisted_.size(), f) == persisted_.size();
+  ok = ok && std::fflush(f) == 0;
+#if !defined(_WIN32)
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::IoError("write " + tmp);
+  if (std::rename(tmp.c_str(), meta_path_.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + meta_path_);
+  }
+  return Status::OK();
+}
+
+void TieredMatrix::Prefetch(const std::vector<int>& rows) {
+  for (const int r : rows) PrefetchRow(r);
+}
+
+void TieredMatrix::PrefetchRow(int64_t row) {
+  if (kind_ == StorageKind::kRam || row < 0 || row >= rows_) return;
+  const int64_t row_bytes = static_cast<int64_t>(cols_ * sizeof(double));
+  file_.AdviseWillNeed(row * row_bytes, row_bytes);
+  prefetched_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TieredMatrix::SnapshotInto(Matrix* out) const {
+  if (out->rows() != static_cast<size_t>(rows_) || out->cols() != cols_) {
+    *out = Matrix(static_cast<size_t>(rows_), cols_);
+  }
+  if (kind_ == StorageKind::kRam) {
+    for (int64_t r = 0; r < rows_; ++r) {
+      const size_t i = static_cast<size_t>(r);
+      if (ram_init_[i] != 0) {
+        std::memcpy(out->MutableRowPtr(i), ram_.RowPtr(i),
+                    cols_ * sizeof(double));
+      } else {
+        init_fn_(r, out->MutableRowPtr(i));
+      }
+    }
+    return;
+  }
+  for (int64_t r = 0; r < rows_; ++r) {
+    double* dst = out->MutableRowPtr(static_cast<size_t>(r));
+    const int64_t frame = cache_.FindFrame(r);
+    if (frame >= 0) {
+      std::memcpy(dst, cache_.FrameData(frame), cols_ * sizeof(double));
+    } else if (Persisted(r)) {
+      ReadFileRow(r, dst);
+    } else {
+      init_fn_(r, dst);
+    }
+  }
+}
+
+void TieredMatrix::EnsureAll(ThreadPool* pool) {
+  if (kind_ == StorageKind::kRam) {
+    ThreadPool::ParallelForOrSerial(
+        pool, static_cast<size_t>(rows_), [this](size_t i) {
+          if (ram_init_[i] == 0) {
+            init_fn_(static_cast<int64_t>(i), ram_.MutableRowPtr(i));
+            ram_init_[i] = 1;
+            init_count_.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    return;
+  }
+  std::vector<double> scratch(cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    if (Persisted(r) || cache_.FindFrame(r) >= 0) continue;
+    MaterializeInto(r, scratch.data());
+    WriteFileRow(r, scratch.data());
+    SetPersisted(r);
+  }
+}
+
+int64_t TieredMatrix::ResidentBytes() const {
+  if (kind_ == StorageKind::kRam) {
+    return static_cast<int64_t>(ram_.data().capacity() * sizeof(double)) +
+           static_cast<int64_t>(ram_init_.capacity());
+  }
+  return cache_.ResidentBytes() +
+         static_cast<int64_t>(persisted_.capacity() * sizeof(uint64_t)) +
+         static_cast<int64_t>(materialized_.capacity() * sizeof(uint64_t)) +
+         static_cast<int64_t>(pinned_frames_.capacity() * sizeof(int64_t));
+}
+
+int64_t TieredMatrix::BackingBytes() const {
+  return kind_ == StorageKind::kMmap ? file_.size() : 0;
+}
+
+StorageCounters TieredMatrix::counters() const {
+  StorageCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_;
+  c.evictions = evictions_;
+  c.writebacks = writebacks_;
+  c.rematerializations = rematerializations_;
+  c.prefetched_rows = prefetched_.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool TieredMatrix::initialized(int64_t r) const {
+  if (kind_ == StorageKind::kRam) {
+    return ram_init_[static_cast<size_t>(r)] != 0;
+  }
+  return TestBit(materialized_, r);
+}
+
+}  // namespace pieck

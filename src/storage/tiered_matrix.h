@@ -1,0 +1,184 @@
+/// \file
+/// A rows x cols double matrix whose backing tier is selected at
+/// construction: dense RAM (today's behavior, bit for bit) or a sparse
+/// mmap'd file behind a pinned hot-row cache.
+///
+/// The determinism contract both tiers satisfy: a row's value is the
+/// last value written to it, or — if it was never written — the bytes
+/// the seed-keyed `InitFn` produces for that row. In the mmap tier a
+/// clean never-written row may be evicted and *re-materialized* by
+/// replaying `InitFn` on the next fault; because `InitFn` is a pure
+/// function of the row index (it seeds a fresh Rng from the row's
+/// seed), the replay is bit-identical and eviction order can never
+/// surface in results. Dirty rows are never dropped: every eviction of
+/// a dirty frame writes the row to the backing file first.
+///
+/// Threading (mirrors the round engine): faults, pins, flushes and
+/// snapshots are single-owner. During the round fan-out the cohort is
+/// pinned, so concurrent `Row`/`MutableRow` calls for distinct rows
+/// are pure cache hits touching distinct frames — no structural
+/// mutation, no shared bytes. `Prefetch` is madvise-only and may run
+/// from any thread.
+#ifndef PIECK_STORAGE_TIERED_MATRIX_H_
+#define PIECK_STORAGE_TIERED_MATRIX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "storage/dirty_rows.h"
+#include "storage/hot_row_cache.h"
+#include "storage/mmap_file.h"
+#include "storage/storage.h"
+#include "tensor/matrix.h"
+
+namespace pieck {
+
+class TieredMatrix {
+ public:
+  /// Materializes row `row` into `dst` (`cols` doubles). Must be a pure
+  /// function of the row index so eviction replay is bit-identical.
+  using InitFn = std::function<void(int64_t row, double* dst)>;
+
+  TieredMatrix() = default;
+  TieredMatrix(const TieredMatrix&) = delete;
+  TieredMatrix& operator=(const TieredMatrix&) = delete;
+
+  /// Arms the matrix. `dir` is required (non-null) only for the mmap
+  /// kind; `file_name` names the backing file inside it. With
+  /// `config.attach`, rows persisted by a prior Checkpoint() are read
+  /// back instead of re-initialized.
+  Status Init(int64_t rows, size_t cols, const StorageConfig& config,
+              std::shared_ptr<StoreDir> dir, const std::string& file_name,
+              InitFn init_fn);
+
+  int64_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool is_mmap() const { return kind_ == StorageKind::kMmap; }
+
+  /// Read access; faults + initializes on first touch. Single-owner
+  /// unless the row is pinned (then it's a hit on a stable frame).
+  const double* Row(int64_t r);
+
+  /// Write access; same faulting rules, marks the row dirty.
+  double* MutableRow(int64_t r);
+
+  /// Overwrites row `r` (no init draw — the value is fully supplied).
+  void SetRow(int64_t r, const double* v);
+
+  /// Single-owner: faults + pins every row of the cohort so the round
+  /// fan-out can hit them concurrently through stable frames. Aborts if
+  /// the cohort exceeds the cache (raise StorageConfig::cache_rows).
+  void PinRows(const std::vector<int>& rows);
+
+  /// Single-owner: writes back every dirty pinned row, then unpins the
+  /// cohort. Rows written back are appended to `out` when non-null.
+  void FlushPinned(DirtyRowSet* out);
+
+  /// Writes back every dirty cached row (pinned or not) without
+  /// evicting or unpinning anything.
+  void FlushAll(DirtyRowSet* out);
+
+  /// Durable checkpoint: FlushAll, msync the data file, then publish
+  /// the persisted-row bitmap via write-to-temp + rename. Data is on
+  /// disk *before* the metadata claims it, so a crash between the two
+  /// steps only loses the claim, never the bytes. No-op for RAM.
+  Status Checkpoint();
+
+  /// madvise(WILLNEED) the listed rows' file pages. Advisory and
+  /// thread-safe; the select thread calls this for the upcoming round.
+  void Prefetch(const std::vector<int>& rows);
+  void PrefetchRow(int64_t row);
+
+  /// Copies the full logical matrix into `*out` (resized to fit)
+  /// without changing any tier state: cached rows come from their
+  /// frames, persisted rows from the file, untouched rows from the
+  /// init replay. Single-owner.
+  void SnapshotInto(Matrix* out) const;
+
+  /// Materializes every row. RAM: parallel first-touch (rows are
+  /// independent). Mmap: serial, writing uncached rows straight to the
+  /// backing file. Single-owner.
+  void EnsureAll(ThreadPool* pool);
+
+  /// Heap + cache bytes actually resident in this process. Excludes
+  /// backing-file pages (those are reclaimable page cache).
+  int64_t ResidentBytes() const;
+
+  /// Bytes of backing file address space (0 for RAM). The file is
+  /// sparse, so disk usage is at most this.
+  int64_t BackingBytes() const;
+
+  StorageCounters counters() const;
+
+  /// Rows materialized *by this process* (attach-restored rows do not
+  /// count). Gates seed installation in the client-state store.
+  int64_t initialized_rows() const {
+    return init_count_.load(std::memory_order_relaxed);
+  }
+  bool any_initialized() const { return initialized_rows() > 0; }
+  bool initialized(int64_t r) const;
+
+  /// RAM tier only: the dense matrix itself, for zero-copy views.
+  const Matrix& ram_matrix() const { return ram_; }
+
+ private:
+  bool Persisted(int64_t r) const {
+    return (persisted_[static_cast<size_t>(r >> 6)] >>
+            (static_cast<uint64_t>(r) & 63)) &
+           1;
+  }
+  void SetPersisted(int64_t r) {
+    persisted_[static_cast<size_t>(r >> 6)] |= uint64_t{1}
+                                               << (static_cast<uint64_t>(r) &
+                                                   63);
+  }
+  void ReadFileRow(int64_t r, double* dst) const;
+  void WriteFileRow(int64_t r, const double* src);
+  /// Fault `r` into the cache (write-back of the victim included).
+  int64_t Fault(int64_t r);
+  void MaterializeInto(int64_t r, double* dst);
+  /// Drops resident backing-file pages once the touched-byte budget is
+  /// exceeded. Perf-only; data lives in the page cache / file.
+  void MaybeTrim() const;
+  Status LoadMeta(const std::string& path);
+
+  StorageKind kind_ = StorageKind::kRam;
+  int64_t rows_ = 0;
+  size_t cols_ = 0;
+  InitFn init_fn_;
+
+  // RAM tier.
+  Matrix ram_;
+  std::vector<uint8_t> ram_init_;  // byte per row: parallel-safe flags
+
+  // Mmap tier.
+  std::shared_ptr<StoreDir> dir_;
+  MmapFile file_;
+  HotRowCache cache_;
+  std::vector<uint64_t> persisted_;     // bit per row: file holds the value
+  std::vector<uint64_t> materialized_;  // bit per row: inited this process
+  std::vector<int64_t> pinned_frames_;  // cohort frames, Pin order
+  std::string meta_path_;
+  int64_t resident_budget_bytes_ = 0;
+  mutable int64_t touched_file_bytes_ = 0;
+
+  std::atomic<int64_t> init_count_{0};
+  // hits/prefetched are bumped from the round fan-out / select thread;
+  // the rest are single-owner.
+  mutable std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> prefetched_{0};
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t writebacks_ = 0;
+  int64_t rematerializations_ = 0;
+};
+
+}  // namespace pieck
+
+#endif  // PIECK_STORAGE_TIERED_MATRIX_H_

@@ -35,6 +35,16 @@ Subcommands (one per artifact family):
       populated, mean within [0, depth-1]), and the depth-D round
       throughput must clear X times the depth-1 throughput.
 
+  storage  <scale.json>    [--require-backend B] [--max-rss-mb X]
+           [--min-rounds-per-sec X] [--min-hit-rate F]
+           [--require-compare-identical]
+      Beyond-RAM storage gate from `bench_scale_users --storage mmap
+      --json` (see docs/STORAGE.md): same schema validation as `scale`
+      plus the per-run `storage` object; optionally requires runs of
+      backend B with peak RSS, round throughput, and hot-row cache hit
+      rate within bounds, and (for --backend_compare artifacts) the
+      `storage_compare` section to report bitwise RAM/mmap agreement.
+
 Every subcommand prints what it measured and exits non-zero with a
 reason on failure. See .github/workflows/ci.yml for the wiring.
 """
@@ -84,8 +94,27 @@ RUN_FIELDS = (
     "max_staleness",
     "dropped_stale",
     "staleness_hist",
+    "storage",
     "workload",
     "latency_ms",
+)
+STORAGE_FIELDS = (
+    "backend",
+    "cache_rows",
+    "backing_mb",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_writebacks",
+    "cache_hit_rate",
+)
+COMPARE_FIELDS = (
+    "users",
+    "identical",
+    "ram_digest",
+    "mmap_digest",
+    "rounds_per_sec_ram",
+    "rounds_per_sec_mmap",
 )
 ASYNC_FIELDS = (
     "users",
@@ -305,6 +334,85 @@ def cmd_async(args):
     print(f"OK: {len(compares)} async comparison(s) pass")
 
 
+def cmd_storage(args):
+    data = load(args.json)
+    runs = validate_scale_schema(args.json, data)
+    for i, run in enumerate(runs):
+        storage = run["storage"]
+        for field in STORAGE_FIELDS:
+            if field not in storage:
+                sys.exit(f"{args.json}: scale_users[{i}].storage missing '{field}'")
+
+    checked = [
+        r
+        for r in runs
+        if not args.require_backend
+        or r["storage"]["backend"] == args.require_backend
+    ]
+    if args.require_backend and not checked:
+        sys.exit(
+            f"{args.json}: no run used the '{args.require_backend}' backend — "
+            f"pass --storage {args.require_backend} to bench_scale_users"
+        )
+    for run in checked:
+        storage = run["storage"]
+        print(
+            f"storage backend={storage['backend']} users={run['users']} "
+            f"cache_rows={storage['cache_rows']} "
+            f"hit_rate={storage['cache_hit_rate']:.3f} "
+            f"backing_mb={storage['backing_mb']:.1f} "
+            f"rounds/s={run['rounds_per_sec']:.2f} "
+            f"peak_rss_mb={run['peak_rss_mb']:.1f}"
+        )
+        if storage["backend"] == "mmap" and storage["backing_mb"] <= 0:
+            sys.exit(
+                f"mmap run at {run['users']} users reports no backing bytes — "
+                "the store is not actually file-backed"
+            )
+        if args.max_rss_mb and run["peak_rss_mb"] > args.max_rss_mb:
+            sys.exit(
+                f"peak RSS {run['peak_rss_mb']:.1f} MB exceeds "
+                f"{args.max_rss_mb:.1f} MB at {run['users']} users: the tier "
+                "must keep beyond-RAM populations resident-bounded"
+            )
+        if args.min_rounds_per_sec and run["rounds_per_sec"] < args.min_rounds_per_sec:
+            sys.exit(
+                f"{run['rounds_per_sec']:.2f} rounds/s below floor "
+                f"{args.min_rounds_per_sec:.2f} at {run['users']} users"
+            )
+        if (
+            args.min_hit_rate
+            and storage["backend"] == "mmap"
+            and storage["cache_hit_rate"] < args.min_hit_rate
+        ):
+            sys.exit(
+                f"hot-row cache hit rate {storage['cache_hit_rate']:.3f} below "
+                f"floor {args.min_hit_rate:.3f} at {run['users']} users"
+            )
+
+    if args.require_compare_identical:
+        compares = data.get("storage_compare")
+        if not isinstance(compares, list) or not compares:
+            sys.exit(
+                f"{args.json}: no 'storage_compare' section — rerun "
+                "bench_scale_users with --backend_compare"
+            )
+        for i, c in enumerate(compares):
+            for field in COMPARE_FIELDS:
+                if field not in c:
+                    sys.exit(f"{args.json}: storage_compare[{i}] missing '{field}'")
+            print(
+                f"compare users={c['users']} identical={c['identical']} "
+                f"(ram {c['ram_digest']} vs mmap {c['mmap_digest']})"
+            )
+            if not c["identical"]:
+                sys.exit(
+                    f"mmap run diverged from RAM at {c['users']} users: "
+                    "storage must never change results"
+                )
+    print(f"OK: {len(checked)} storage run(s) within budget")
+
+
 SERVING_FIELDS = (
     "mode",
     "users",
@@ -406,6 +514,15 @@ def main():
     p.add_argument("json")
     p.add_argument("--min-overlap-speedup", type=float, default=0.0)
     p.set_defaults(func=cmd_async)
+
+    p = sub.add_parser("storage", help="beyond-RAM storage tier gate")
+    p.add_argument("json")
+    p.add_argument("--require-backend", choices=("ram", "mmap"), default="")
+    p.add_argument("--max-rss-mb", type=float, default=0.0)
+    p.add_argument("--min-rounds-per-sec", type=float, default=0.0)
+    p.add_argument("--min-hit-rate", type=float, default=0.0)
+    p.add_argument("--require-compare-identical", action="store_true")
+    p.set_defaults(func=cmd_storage)
 
     args = parser.parse_args()
     args.func(args)
