@@ -372,6 +372,17 @@ ScaleSweepResult RunScaleSweep(const ScaleSweepConfig& config) {
   result.cache_evictions = counters.evictions;
   result.cache_writebacks = counters.writebacks;
   result.cache_hit_rate = counters.hit_rate();
+  if (config.storage.kind == StorageKind::kMmap) {
+    result.io_engine = IoEngineToString(store.storage_io_engine());
+    result.io_read_runs = counters.io_read_runs;
+    result.io_write_runs = counters.io_write_runs;
+    result.staged_rows = counters.staged_rows;
+    result.staged_hits = counters.staged_hits;
+    result.prefetched_rows = counters.prefetched_rows;
+    result.prefetch_ranges = counters.prefetch_ranges;
+    result.trims = counters.trims;
+    result.shard_counters = store.storage_shard_counters();
+  }
   result.round_losses.reserve(round_stats.size());
   for (const RoundStats& s : round_stats) {
     result.round_losses.push_back(s.mean_benign_loss);

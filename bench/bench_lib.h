@@ -2,9 +2,11 @@
 #define PIECK_BENCH_BENCH_LIB_H_
 
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "core/simulation.h"
+#include "storage/hot_row_cache.h"
 #include "storage/storage.h"
 #include "workload/latency.h"
 #include "workload/workload.h"
@@ -129,6 +131,20 @@ struct ScaleSweepResult {
   int64_t cache_evictions = 0;
   int64_t cache_writebacks = 0;
   double cache_hit_rate = 0.0;
+
+  // I/O-engine telemetry (mmap only): the engine the run resolved to
+  // (io_uring may fall back to pread-batch), coalesced-run counts, the
+  // select thread's staged read-ahead, WILLNEED/DONTNEED batching, and
+  // the per-shard cache counters for imbalance checks.
+  std::string io_engine;
+  int64_t io_read_runs = 0;
+  int64_t io_write_runs = 0;
+  int64_t staged_rows = 0;
+  int64_t staged_hits = 0;
+  int64_t prefetched_rows = 0;
+  int64_t prefetch_ranges = 0;
+  int64_t trims = 0;
+  std::vector<HotRowCache::ShardCounters> shard_counters;
 
   // Bitwise run fingerprints for --backend_compare: an FNV fold of the
   // final global model and the per-round mean benign losses. RAM and

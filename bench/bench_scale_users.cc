@@ -24,10 +24,19 @@
 //       --cache_rows 65536 --store_dir /x     # store's embedding table and
 //                                             # CSR live in mmap'd files
 //                                             # behind a hot-row cache
-//   bench_scale_users --backend_compare       # RAM vs mmap at each
-//                                             # population; FAILs unless the
-//                                             # model digest and per-round
-//                                             # losses match bitwise
+//   bench_scale_users --storage mmap          # cold-row transfer engine:
+//       --io_engine io_uring                  # mmap-touch | pread-batch |
+//                                             # io_uring (degrades to
+//                                             # pread-batch if unsupported)
+//   bench_scale_users --backend_compare       # RAM vs mmap under every
+//                                             # available I/O engine; FAILs
+//                                             # unless the model digest and
+//                                             # per-round losses match
+//                                             # bitwise across all of them
+//   bench_scale_users --engine_compare        # mmap-touch baseline vs the
+//                                             # batched engines; emits an
+//                                             # "io_engine_compare" JSON
+//                                             # section with the speedups
 //   bench_scale_users --max_rss_mb 1500       # fail if VmHWM exceeds
 //   bench_scale_users --json scale.json       # machine-readable output
 //
@@ -36,6 +45,7 @@
 // the async-smoke job, all gated through tools/check_bench_json.py);
 // see .github/workflows/ci.yml.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -43,6 +53,7 @@
 #include "bench/bench_lib.h"
 #include "common/string_util.h"
 #include "core/report.h"
+#include "storage/fault_engine.h"
 
 using namespace pieck;
 using namespace pieck::bench;
@@ -93,27 +104,84 @@ void WriteStalenessHistJson(std::FILE* f, const std::vector<int64_t>& hist) {
 void WriteStorageJson(std::FILE* f, const ScaleSweepResult& r) {
   std::fprintf(
       f,
-      "\"storage\": {\"backend\": \"%s\", \"cache_rows\": %lld, "
+      "\"storage\": {\"backend\": \"%s\", \"io_engine\": \"%s\", "
+      "\"cache_rows\": %lld, "
       "\"backing_mb\": %.1f, \"cache_hits\": %lld, \"cache_misses\": %lld, "
       "\"cache_evictions\": %lld, \"cache_writebacks\": %lld, "
-      "\"cache_hit_rate\": %.4f}",
-      StorageKindToString(r.config.storage.kind),
+      "\"cache_hit_rate\": %.4f, \"io_read_runs\": %lld, "
+      "\"io_write_runs\": %lld, \"staged_rows\": %lld, "
+      "\"staged_hits\": %lld, \"prefetched_rows\": %lld, "
+      "\"prefetch_ranges\": %lld, \"trims\": %lld",
+      StorageKindToString(r.config.storage.kind), r.io_engine.c_str(),
       static_cast<long long>(r.config.storage.cache_rows),
       r.store_backing_bytes / 1048576.0,
       static_cast<long long>(r.cache_hits),
       static_cast<long long>(r.cache_misses),
       static_cast<long long>(r.cache_evictions),
-      static_cast<long long>(r.cache_writebacks), r.cache_hit_rate);
+      static_cast<long long>(r.cache_writebacks), r.cache_hit_rate,
+      static_cast<long long>(r.io_read_runs),
+      static_cast<long long>(r.io_write_runs),
+      static_cast<long long>(r.staged_rows),
+      static_cast<long long>(r.staged_hits),
+      static_cast<long long>(r.prefetched_rows),
+      static_cast<long long>(r.prefetch_ranges),
+      static_cast<long long>(r.trims));
+  if (!r.shard_counters.empty()) {
+    // Per-shard hit rates plus the max/min ratio the imbalance gate
+    // reads (tools/check_bench_json.py storage --max-shard-imbalance).
+    // ratio is 0 when undefined (no traffic, or a fully-cold shard).
+    double min_rate = 1.0;
+    double max_rate = 0.0;
+    int active = 0;
+    for (const HotRowCache::ShardCounters& s : r.shard_counters) {
+      const int64_t total = s.hits + s.misses;
+      if (total == 0) continue;
+      const double rate =
+          static_cast<double>(s.hits) / static_cast<double>(total);
+      min_rate = std::min(min_rate, rate);
+      max_rate = std::max(max_rate, rate);
+      ++active;
+    }
+    const double ratio =
+        active >= 2 && min_rate > 0.0 ? max_rate / min_rate : 0.0;
+    std::fprintf(f,
+                 ", \"shard_hit_rate_min\": %.4f, \"shard_hit_rate_max\": "
+                 "%.4f, \"shard_hit_rate_ratio\": %.4f, \"shards\": [",
+                 active > 0 ? min_rate : 0.0, max_rate, ratio);
+    for (size_t s = 0; s < r.shard_counters.size(); ++s) {
+      const HotRowCache::ShardCounters& c = r.shard_counters[s];
+      std::fprintf(f,
+                   "{\"hits\": %lld, \"misses\": %lld, \"evictions\": "
+                   "%lld}%s",
+                   static_cast<long long>(c.hits),
+                   static_cast<long long>(c.misses),
+                   static_cast<long long>(c.evictions),
+                   s + 1 < r.shard_counters.size() ? ", " : "");
+    }
+    std::fprintf(f, "]");
+  }
+  std::fprintf(f, "}");
 }
 
-/// RAM vs mmap comparison at one population (--backend_compare).
+/// RAM vs one mmap engine comparison at one population
+/// (--backend_compare runs one of these per available I/O engine).
 struct BackendCompare {
   int users = 0;
+  std::string engine;  // resolved engine of the mmap run
   bool identical = false;
   uint64_t ram_digest = 0;
   uint64_t mmap_digest = 0;
   double rounds_per_sec_ram = 0.0;
   double rounds_per_sec_mmap = 0.0;
+};
+
+/// mmap-touch vs one batched engine at one population (--engine_compare).
+struct EngineCompare {
+  int users = 0;
+  std::string engine;  // resolved engine of the candidate run
+  double rounds_per_sec_mmap_touch = 0.0;
+  double rounds_per_sec = 0.0;
+  double speedup = 0.0;  // candidate throughput / mmap-touch
 };
 
 /// Depth-1 vs depth-D comparison at one population (--depth_compare).
@@ -129,7 +197,8 @@ struct AsyncCompare {
 int WriteJson(const std::string& path,
               const std::vector<ScaleSweepResult>& results,
               const std::vector<AsyncCompare>& compares,
-              const std::vector<BackendCompare>& backend_compares) {
+              const std::vector<BackendCompare>& backend_compares,
+              const std::vector<EngineCompare>& engine_compares) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -191,15 +260,30 @@ int WriteJson(const std::string& path,
     for (size_t i = 0; i < backend_compares.size(); ++i) {
       const BackendCompare& c = backend_compares[i];
       std::fprintf(f,
-                   "    {\"users\": %d, \"identical\": %s, \"ram_digest\": "
+                   "    {\"users\": %d, \"engine\": \"%s\", \"identical\": "
+                   "%s, \"ram_digest\": "
                    "\"%016llx\", \"mmap_digest\": \"%016llx\", "
                    "\"rounds_per_sec_ram\": %.2f, \"rounds_per_sec_mmap\": "
                    "%.2f}%s\n",
-                   c.users, c.identical ? "true" : "false",
+                   c.users, c.engine.c_str(), c.identical ? "true" : "false",
                    static_cast<unsigned long long>(c.ram_digest),
                    static_cast<unsigned long long>(c.mmap_digest),
                    c.rounds_per_sec_ram, c.rounds_per_sec_mmap,
                    i + 1 < backend_compares.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]");
+  }
+  if (!engine_compares.empty()) {
+    std::fprintf(f, ",\n  \"io_engine_compare\": [\n");
+    for (size_t i = 0; i < engine_compares.size(); ++i) {
+      const EngineCompare& c = engine_compares[i];
+      std::fprintf(f,
+                   "    {\"users\": %d, \"engine\": \"%s\", "
+                   "\"rounds_per_sec_mmap_touch\": %.2f, "
+                   "\"rounds_per_sec\": %.2f, \"speedup\": %.3f}%s\n",
+                   c.users, c.engine.c_str(), c.rounds_per_sec_mmap_touch,
+                   c.rounds_per_sec, c.speedup,
+                   i + 1 < engine_compares.size() ? "," : "");
     }
     std::fprintf(f, "  ]");
   }
@@ -246,8 +330,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bool backend_compare = flags.GetBool("backend_compare", false);
-  const std::string storage_name =
-      flags.GetString("storage", backend_compare ? "mmap" : "ram");
+  const bool engine_compare = flags.GetBool("engine_compare", false);
+  const std::string storage_name = flags.GetString(
+      "storage", backend_compare || engine_compare ? "mmap" : "ram");
   if (Status st = ParseStorageKind(storage_name, &base.storage.kind);
       !st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
@@ -255,18 +340,31 @@ int main(int argc, char** argv) {
   }
   base.storage.cache_rows = flags.GetInt("cache_rows", 0);
   base.storage.dir = flags.GetString("store_dir", "");
+  if (const std::string name = flags.GetString("io_engine", "");
+      !name.empty()) {
+    if (Status st = ParseIoEngine(name, &base.storage.io_engine); !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   if (Status st = base.storage.Validate(); !st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
   }
-  if (backend_compare && depth_compare) {
+  if ((backend_compare || engine_compare) && depth_compare) {
     std::fprintf(stderr,
-                 "error: --backend_compare and --depth_compare are "
+                 "error: the compare modes are mutually exclusive\n");
+    return 1;
+  }
+  if (backend_compare && engine_compare) {
+    std::fprintf(stderr,
+                 "error: --backend_compare and --engine_compare are "
                  "mutually exclusive\n");
     return 1;
   }
-  if (backend_compare && base.storage.kind != StorageKind::kMmap) {
-    std::fprintf(stderr, "error: --backend_compare needs --storage mmap\n");
+  if ((backend_compare || engine_compare) &&
+      base.storage.kind != StorageKind::kMmap) {
+    std::fprintf(stderr, "error: the compare modes need --storage mmap\n");
     return 1;
   }
   const int64_t max_rss_mb = flags.GetInt("max_rss_mb", 0);
@@ -292,12 +390,13 @@ int main(int argc, char** argv) {
   std::vector<ScaleSweepResult> results;
   std::vector<AsyncCompare> compares;
   std::vector<BackendCompare> backend_compares;
+  std::vector<EngineCompare> engine_compares;
   const auto add_row = [&table](int users, const ScaleSweepResult& r) {
     const LatencyHistogram& round = r.latencies.stage[StageLatencies::kRound];
     const LatencyHistogram& stall = r.latencies.stage[StageLatencies::kStall];
     const bool mmap = r.config.storage.kind == StorageKind::kMmap;
     table.AddRow({std::to_string(users),
-                  StorageKindToString(r.config.storage.kind),
+                  mmap ? "mmap:" + r.io_engine : std::string("ram"),
                   std::to_string(r.pipeline_depth),
                   std::to_string(r.active_benign_final),
                   FormatDouble(r.bytes_per_user, 1),
@@ -312,22 +411,73 @@ int main(int argc, char** argv) {
                   std::to_string(r.dropped_stale),
                   FormatDouble(r.peak_rss_bytes / 1048576.0, 1)});
   };
+  // Engines the compare modes sweep: the mmap-touch reference first,
+  // then the batched engines this host can run (io_uring only where the
+  // kernel/sandbox allows rings, so the sweep never silently tests the
+  // fallback twice).
+  std::vector<IoEngineKind> sweep_engines = {IoEngineKind::kMmapTouch,
+                                             IoEngineKind::kPreadBatch};
+  if (IoUringSupported()) sweep_engines.push_back(IoEngineKind::kIoUring);
+
   for (int users : populations) {
     ScaleSweepConfig config = base;
     config.num_users = users;
+    if (backend_compare) {
+      // One RAM reference, then every available engine against it.
+      ScaleSweepConfig ram_config = config;
+      ram_config.storage = StorageConfig();
+      ScaleSweepResult ram = RunScaleSweep(ram_config);
+      results.push_back(ram);
+      add_row(users, ram);
+      for (IoEngineKind engine : sweep_engines) {
+        ScaleSweepConfig mmap_config = config;
+        mmap_config.storage.io_engine = engine;
+        ScaleSweepResult r = RunScaleSweep(mmap_config);
+        results.push_back(r);
+        add_row(users, r);
+        BackendCompare c;
+        c.users = users;
+        c.engine = r.io_engine;
+        c.ram_digest = ram.model_digest;
+        c.mmap_digest = r.model_digest;
+        c.rounds_per_sec_ram = ram.rounds_per_sec;
+        c.rounds_per_sec_mmap = r.rounds_per_sec;
+        c.identical = ram.model_digest == r.model_digest &&
+                      ram.round_losses == r.round_losses;
+        backend_compares.push_back(c);
+      }
+      continue;
+    }
+    if (engine_compare) {
+      double mmap_touch_rps = 0.0;
+      for (IoEngineKind engine : sweep_engines) {
+        ScaleSweepConfig mmap_config = config;
+        mmap_config.storage.io_engine = engine;
+        ScaleSweepResult r = RunScaleSweep(mmap_config);
+        results.push_back(r);
+        add_row(users, r);
+        if (engine == IoEngineKind::kMmapTouch) {
+          mmap_touch_rps = r.rounds_per_sec;
+          continue;
+        }
+        EngineCompare c;
+        c.users = users;
+        c.engine = r.io_engine;
+        c.rounds_per_sec_mmap_touch = mmap_touch_rps;
+        c.rounds_per_sec = r.rounds_per_sec;
+        c.speedup = mmap_touch_rps > 0.0
+                        ? r.rounds_per_sec / mmap_touch_rps
+                        : 0.0;
+        engine_compares.push_back(c);
+      }
+      continue;
+    }
     if (depth_compare) {
       ScaleSweepConfig sync_config = config;
       sync_config.async.pipeline_depth = 1;
       ScaleSweepResult sync = RunScaleSweep(sync_config);
       results.push_back(sync);
       add_row(users, sync);
-    }
-    if (backend_compare) {
-      ScaleSweepConfig ram_config = config;
-      ram_config.storage = StorageConfig();
-      ScaleSweepResult ram = RunScaleSweep(ram_config);
-      results.push_back(ram);
-      add_row(users, ram);
     }
     ScaleSweepResult r = RunScaleSweep(config);
     results.push_back(r);
@@ -344,18 +494,6 @@ int main(int argc, char** argv) {
                                     : 0.0;
       compares.push_back(c);
     }
-    if (backend_compare) {
-      const ScaleSweepResult& ram = results[results.size() - 2];
-      BackendCompare c;
-      c.users = users;
-      c.ram_digest = ram.model_digest;
-      c.mmap_digest = r.model_digest;
-      c.rounds_per_sec_ram = ram.rounds_per_sec;
-      c.rounds_per_sec_mmap = r.rounds_per_sec;
-      c.identical = ram.model_digest == r.model_digest &&
-                    ram.round_losses == r.round_losses;
-      backend_compares.push_back(c);
-    }
   }
   // Resolve the deep-run pointers only once `results` stops growing.
   for (size_t i = 0; i < compares.size(); ++i) {
@@ -370,17 +508,25 @@ int main(int argc, char** argv) {
   }
   bool backend_mismatch = false;
   for (const BackendCompare& c : backend_compares) {
-    std::printf("backend compare at %d users: %s (model digest ram %016llx "
-                "vs mmap %016llx; ram %.2f rounds/s, mmap %.2f rounds/s)\n",
-                c.users, c.identical ? "bit-identical" : "MISMATCH",
+    std::printf("backend compare at %d users [%s]: %s (model digest ram "
+                "%016llx vs mmap %016llx; ram %.2f rounds/s, mmap %.2f "
+                "rounds/s)\n",
+                c.users, c.engine.c_str(),
+                c.identical ? "bit-identical" : "MISMATCH",
                 static_cast<unsigned long long>(c.ram_digest),
                 static_cast<unsigned long long>(c.mmap_digest),
                 c.rounds_per_sec_ram, c.rounds_per_sec_mmap);
     backend_mismatch = backend_mismatch || !c.identical;
   }
+  for (const EngineCompare& c : engine_compares) {
+    std::printf("engine compare at %d users: %s %.2f rounds/s vs mmap-touch "
+                "%.2f rounds/s (%.3fx)\n",
+                c.users, c.engine.c_str(), c.rounds_per_sec,
+                c.rounds_per_sec_mmap_touch, c.speedup);
+  }
 
-  if (!json.empty() &&
-      WriteJson(json, results, compares, backend_compares) != 0) {
+  if (!json.empty() && WriteJson(json, results, compares, backend_compares,
+                                 engine_compares) != 0) {
     return 1;
   }
   if (backend_mismatch) {

@@ -32,6 +32,34 @@ void InteractionCsr::PrefetchUser(int user) const {
                              static_cast<int64_t>((hi - lo) * sizeof(int)));
 }
 
+void InteractionCsr::PrefetchUsers(const std::vector<int>& sorted_users) const {
+  if (!is_mmap() || sorted_users.empty()) return;
+  // Sorted users have ascending spans (items are packed in user order),
+  // so a single forward sweep can merge page-adjacent spans.
+  constexpr int64_t kPage = 4096;  // merge heuristic; advise() aligns itself
+  int64_t range_lo = -1;
+  int64_t range_hi = -1;
+  for (const int user : sorted_users) {
+    const uint64_t lo = offsets_[static_cast<size_t>(user)];
+    const uint64_t hi = offsets_[static_cast<size_t>(user) + 1];
+    if (lo == hi) continue;
+    const int64_t blo = static_cast<int64_t>(lo * sizeof(int));
+    const int64_t bhi = static_cast<int64_t>(hi * sizeof(int));
+    if (range_lo >= 0 && blo / kPage <= range_hi / kPage + 1) {
+      if (bhi > range_hi) range_hi = bhi;
+      continue;
+    }
+    if (range_lo >= 0) {
+      items_file_.AdviseWillNeed(range_lo, range_hi - range_lo);
+    }
+    range_lo = blo;
+    range_hi = bhi;
+  }
+  if (range_lo >= 0) {
+    items_file_.AdviseWillNeed(range_lo, range_hi - range_lo);
+  }
+}
+
 void InteractionCsr::ReleaseResidentPages() const {
   offsets_file_.AdviseDontNeed();
   items_file_.AdviseDontNeed();

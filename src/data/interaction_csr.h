@@ -80,6 +80,12 @@ class InteractionCsr {
   /// Advisory and thread-safe; no-op when RAM-backed.
   void PrefetchUser(int user) const;
 
+  /// Batched PrefetchUser over an ascending user list: page-adjacent
+  /// spans merge into one WILLNEED range each, so a whole cohort costs
+  /// a handful of madvise calls instead of one per user. `users` must
+  /// be sorted ascending and in range.
+  void PrefetchUsers(const std::vector<int>& sorted_users) const;
+
   /// madvise(DONTNEED) both mappings: drops this process's resident CSR
   /// pages (they refault from the page cache / file). Perf-only.
   void ReleaseResidentPages() const;

@@ -207,12 +207,18 @@ void ClientStateStore::FlushDirtyRows(DirtyRowSet* out) {
 void ClientStateStore::PrefetchUsers(const std::vector<int>& users) {
   if (!embeddings_.is_mmap()) return;
   // Selection slots mix benign store users with malicious client
-  // indices (>= num_users); only the former have rows to warm.
+  // indices (>= num_users); only the former have rows to warm. Sort
+  // once so both tiers can coalesce the cohort into ranged advice (or,
+  // for the batched I/O engines, one staged read batch).
+  prefetch_scratch_.clear();
   for (const int user : users) {
     if (user < 0 || user >= num_users_) continue;
-    embeddings_.PrefetchRow(user);
-    if (interactions_.is_mmap()) interactions_.PrefetchUser(user);
+    prefetch_scratch_.push_back(user);
   }
+  if (prefetch_scratch_.empty()) return;
+  std::sort(prefetch_scratch_.begin(), prefetch_scratch_.end());
+  embeddings_.Prefetch(prefetch_scratch_);
+  if (interactions_.is_mmap()) interactions_.PrefetchUsers(prefetch_scratch_);
 }
 
 Status ClientStateStore::Checkpoint() { return embeddings_.Checkpoint(); }

@@ -192,9 +192,11 @@ class ClientStateStore {
   /// server folds this into the round's Apply stage. No-op under RAM.
   void FlushDirtyRows(DirtyRowSet* out = nullptr);
 
-  /// madvise(WILLNEED) the upcoming cohort's embedding rows and CSR
-  /// spans. Advisory, thread-safe (the select thread calls this for
-  /// round i+1 while round i trains); no-op under RAM.
+  /// Read-ahead for the upcoming cohort: coalesced madvise(WILLNEED)
+  /// over the embedding rows and CSR spans under the mmap-touch engine,
+  /// or a staged batch read of the rows under the batched I/O engines.
+  /// Advisory; at most one concurrent caller (the select thread calls
+  /// this for round i+1 while round i trains); no-op under RAM.
   void PrefetchUsers(const std::vector<int>& users);
 
   /// Durable snapshot of the mmap tier (rows file + persisted-row
@@ -221,6 +223,14 @@ class ClientStateStore {
 
   /// Hot-path counters of the embedding tier (zeros under RAM).
   StorageCounters storage_counters() const { return embeddings_.counters(); }
+
+  /// Per-shard hot-row-cache counters (empty under RAM).
+  std::vector<HotRowCache::ShardCounters> storage_shard_counters() const {
+    return embeddings_.shard_counters();
+  }
+
+  /// The resolved I/O engine of the embedding tier (mmap only).
+  IoEngineKind storage_io_engine() const { return embeddings_.io_engine(); }
 
   /// How many users have a live engine / defense (telemetry, tests).
   int64_t materialized_rngs() const {
@@ -263,6 +273,10 @@ class ClientStateStore {
   // Estimated resident CSR file bytes since the last release; bounded
   // by the storage resident budget (perf-only, never affects results).
   int64_t csr_touched_bytes_ = 0;
+
+  // Select-thread scratch: the valid, sorted cohort PrefetchUsers hands
+  // to the tiers.
+  std::vector<int> prefetch_scratch_;
 };
 
 /// The benign client behavior of §III-A as a stateless executor over

@@ -1,0 +1,197 @@
+#include "storage/fault_engine.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <sys/uio.h>
+#include <unistd.h>
+#endif
+
+#include "common/logging.h"
+#include "storage/io_uring_engine.h"
+
+namespace pieck {
+
+namespace {
+
+// One preadv/pwritev (or one SQE) carries at most this many rows: the
+// POSIX iovec limit. CoalesceRuns splits longer runs so every run maps
+// to exactly one vectored call.
+constexpr size_t kMaxRunRows = 1024;  // == UIO_MAXIOV
+
+}  // namespace
+
+void CoalesceRuns(std::vector<RowIo>* ops, size_t row_bytes,
+                  std::vector<size_t>* run_ends) {
+  run_ends->clear();
+  if (ops->empty()) return;
+  std::sort(ops->begin(), ops->end(),
+            [](const RowIo& a, const RowIo& b) { return a.offset < b.offset; });
+  size_t run_len = 1;
+  for (size_t i = 1; i < ops->size(); ++i) {
+    const bool contiguous =
+        (*ops)[i].offset ==
+        (*ops)[i - 1].offset + static_cast<int64_t>(row_bytes);
+    if (contiguous && run_len < kMaxRunRows) {
+      ++run_len;
+    } else {
+      run_ends->push_back(i);
+      run_len = 1;
+    }
+  }
+  run_ends->push_back(ops->size());
+}
+
+#if defined(_WIN32)
+
+void SyncRunIo(int, const RowIo*, size_t, size_t, bool) {
+  PIECK_CHECK(false) << "batched row I/O is POSIX-only";
+}
+
+#else
+
+/// One offset-contiguous run as a single preadv/pwritev, retrying
+/// partial transfers (the file region always exists, so EOF shorts
+/// cannot happen; partials only arise from signals or huge runs).
+void SyncRunIo(int fd, const RowIo* ops, size_t count, size_t row_bytes,
+               bool write) {
+  struct iovec iov[kMaxRunRows];
+  PIECK_CHECK(count <= kMaxRunRows) << "run exceeds the iovec limit";
+  for (size_t i = 0; i < count; ++i) {
+    iov[i].iov_base = ops[i].buf;
+    iov[i].iov_len = row_bytes;
+  }
+  int64_t offset = ops[0].offset;
+  size_t first = 0;
+  size_t first_done = 0;  // bytes of iov[first] already transferred
+  int64_t remaining = static_cast<int64_t>(count * row_bytes);
+  while (remaining > 0) {
+    iov[first].iov_base =
+        reinterpret_cast<char*>(ops[first].buf) + first_done;
+    iov[first].iov_len = row_bytes - first_done;
+    const ssize_t n =
+        write ? ::pwritev(fd, iov + first, static_cast<int>(count - first),
+                          offset)
+              : ::preadv(fd, iov + first, static_cast<int>(count - first),
+                         offset);
+    if (n < 0) {
+      PIECK_CHECK(errno == EINTR)
+          << (write ? "pwritev" : "preadv")
+          << " failed: " << std::strerror(errno);
+      continue;
+    }
+    PIECK_CHECK(n > 0) << (write ? "pwritev" : "preadv")
+                       << " transferred 0 bytes inside the file";
+    remaining -= n;
+    offset += n;
+    size_t done = first_done + static_cast<size_t>(n);
+    first += done / row_bytes;
+    first_done = done % row_bytes;
+  }
+}
+
+#endif  // _WIN32
+
+namespace {
+
+/// The reference engine: today's demand-paged behavior, byte for byte.
+/// Reads and writes memcpy through the shared mapping in the caller's
+/// op order; cold pages are served by synchronous faults exactly as
+/// before the engine layer existed.
+class MmapTouchEngine final : public FaultEngine {
+ public:
+  MmapTouchEngine(const MmapFile* file, size_t row_bytes)
+      : file_(file), row_bytes_(row_bytes) {}
+
+  IoEngineKind kind() const override { return IoEngineKind::kMmapTouch; }
+
+  void ReadBatch(std::vector<RowIo>* ops) override {
+    const char* base = static_cast<const char*>(file_->data());
+    for (const RowIo& op : *ops) {
+      std::memcpy(op.buf, base + op.offset, row_bytes_);
+    }
+    stats_.read_rows += static_cast<int64_t>(ops->size());
+    stats_.read_runs += static_cast<int64_t>(ops->size());
+  }
+
+  void WriteBatch(std::vector<RowIo>* ops) override {
+    char* base = static_cast<char*>(const_cast<void*>(file_->data()));
+    for (const RowIo& op : *ops) {
+      std::memcpy(base + op.offset, op.buf, row_bytes_);
+    }
+    stats_.write_rows += static_cast<int64_t>(ops->size());
+    stats_.write_runs += static_cast<int64_t>(ops->size());
+  }
+
+ private:
+  const MmapFile* file_;
+  size_t row_bytes_;
+};
+
+/// Offset-sorted batched positioned I/O: never touches the mapping, so
+/// no page-table population, no fault storms, no DONTNEED churn.
+class PreadBatchEngine final : public FaultEngine {
+ public:
+  PreadBatchEngine(const MmapFile* file, size_t row_bytes)
+      : file_(file), row_bytes_(row_bytes) {}
+
+  IoEngineKind kind() const override { return IoEngineKind::kPreadBatch; }
+
+  void ReadBatch(std::vector<RowIo>* ops) override { Run(ops, false); }
+  void WriteBatch(std::vector<RowIo>* ops) override { Run(ops, true); }
+
+ private:
+  void Run(std::vector<RowIo>* ops, bool write) {
+    if (ops->empty()) return;
+    CoalesceRuns(ops, row_bytes_, &run_ends_);
+    size_t begin = 0;
+    for (const size_t end : run_ends_) {
+      SyncRunIo(file_->fd(), ops->data() + begin, end - begin, row_bytes_,
+                write);
+      begin = end;
+    }
+    (write ? stats_.write_rows : stats_.read_rows) +=
+        static_cast<int64_t>(ops->size());
+    (write ? stats_.write_runs : stats_.read_runs) +=
+        static_cast<int64_t>(run_ends_.size());
+  }
+
+  const MmapFile* file_;
+  size_t row_bytes_;
+  std::vector<size_t> run_ends_;
+};
+
+}  // namespace
+
+bool IoUringSupported() { return IoUringProbe(); }
+
+IoEngineKind ResolveIoEngine(IoEngineKind requested) {
+  if (requested == IoEngineKind::kIoUring && !IoUringSupported()) {
+    return IoEngineKind::kPreadBatch;
+  }
+  return requested;
+}
+
+std::unique_ptr<FaultEngine> MakeFaultEngine(IoEngineKind kind,
+                                             const MmapFile* file,
+                                             size_t row_bytes) {
+  PIECK_CHECK(file != nullptr && row_bytes > 0) << "fault engine needs a file";
+  switch (kind) {
+    case IoEngineKind::kMmapTouch:
+      return std::make_unique<MmapTouchEngine>(file, row_bytes);
+    case IoEngineKind::kPreadBatch:
+      return std::make_unique<PreadBatchEngine>(file, row_bytes);
+    case IoEngineKind::kIoUring: {
+      auto ring = MakeIoUringEngine(file, row_bytes);
+      PIECK_CHECK(ring != nullptr)
+          << "io_uring engine requested on a host without io_uring; call "
+             "ResolveIoEngine first";
+      return ring;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace pieck

@@ -1,0 +1,112 @@
+/// \file
+/// The I/O engine under the tiered store: how cold rows move between
+/// the sparse backing file and hot-row-cache frames.
+///
+/// Three interchangeable backends implement the same row-batch
+/// contract:
+///
+/// - `mmap-touch` — the reference: memcpy through the shared mapping,
+///   each cold page served by a synchronous fault (the pre-engine
+///   behavior, kept bit-for-bit and syscall-for-syscall).
+/// - `pread-batch` — ops are offset-sorted, contiguous rows coalesce
+///   into one `preadv`/`pwritev` run each (scattered frames gather into
+///   one file extent via the iovec), and the batch is issued as a short
+///   sequence of positioned syscalls that never touch the mapping — no
+///   page-table churn, no fault storms.
+/// - `io_uring` — the same sorted runs become submission-queue entries
+///   on a raw io_uring (depth kIoUringDepth), so the kernel services
+///   many extents concurrently while the caller's CPU work (init-replay
+///   materialization of never-written rows) proceeds between
+///   `BeginReads` and `FinishReads`.
+///
+/// The engines are pure byte movers: *what* bytes fill a frame (file
+/// image vs seed-keyed init replay) is decided by `TieredMatrix`, so
+/// every engine produces bit-identical models by construction. Engine
+/// instances are single-owner; two instances may share one file because
+/// all I/O is positioned (pread/pwrite, never lseek).
+#ifndef PIECK_STORAGE_FAULT_ENGINE_H_
+#define PIECK_STORAGE_FAULT_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/mmap_file.h"
+#include "storage/storage.h"
+
+namespace pieck {
+
+/// One fixed-width row transfer: `row_bytes` bytes at file `offset`,
+/// from/to `buf` (a cache frame or staging slot).
+struct RowIo {
+  int64_t offset = 0;
+  double* buf = nullptr;
+};
+
+/// io_uring submission-queue depth (the issue floor is 32). Also the
+/// max in-flight run count before the engine drains completions.
+inline constexpr unsigned kIoUringDepth = 64;
+
+/// True when this kernel (and sandbox) can create io_uring rings.
+/// Probed once per process with a throwaway `io_uring_setup`.
+bool IoUringSupported();
+
+/// Collapses `requested` onto an engine this host can run: `io_uring`
+/// degrades to `pread-batch` when rings are unavailable; everything
+/// else resolves to itself.
+IoEngineKind ResolveIoEngine(IoEngineKind requested);
+
+/// Sorts `ops` by offset and returns the end index of each maximal run
+/// of offset-contiguous rows (stride `row_bytes`) in `*run_ends`:
+/// run r covers ops [run_ends[r-1], run_ends[r]). Shared by the batched
+/// engines and unit-tested directly.
+void CoalesceRuns(std::vector<RowIo>* ops, size_t row_bytes,
+                  std::vector<size_t>* run_ends);
+
+class FaultEngine {
+ public:
+  /// Cumulative transfer telemetry (single-owner, like the engine).
+  struct Stats {
+    int64_t read_rows = 0;
+    int64_t write_rows = 0;
+    int64_t read_runs = 0;   // contiguous runs (== syscalls or SQEs)
+    int64_t write_runs = 0;
+  };
+
+  virtual ~FaultEngine() = default;
+
+  virtual IoEngineKind kind() const = 0;
+
+  /// Reads every op's row from the file into its buffer. Blocking; ops
+  /// may be reordered (rows are distinct, so order is unobservable).
+  virtual void ReadBatch(std::vector<RowIo>* ops) = 0;
+
+  /// Writes every op's buffer to its file offset. Blocking; same
+  /// reordering license as ReadBatch.
+  virtual void WriteBatch(std::vector<RowIo>* ops) = 0;
+
+  /// Split-phase read for fault/compute overlap: `BeginReads` issues
+  /// the batch, `FinishReads` blocks until every buffer is filled. The
+  /// synchronous engines complete everything in `BeginReads`; io_uring
+  /// keeps up to kIoUringDepth runs in flight across the gap so the
+  /// caller can burn CPU (init replays) while the kernel reads.
+  virtual void BeginReads(std::vector<RowIo>* ops) { ReadBatch(ops); }
+  virtual void FinishReads() {}
+
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  Stats stats_;
+};
+
+/// Builds the engine for `kind` (which must already be resolved via
+/// ResolveIoEngine) over `file`'s mapping/descriptor. `row_bytes` is
+/// the fixed transfer width. The file must outlive the engine.
+std::unique_ptr<FaultEngine> MakeFaultEngine(IoEngineKind kind,
+                                             const MmapFile* file,
+                                             size_t row_bytes);
+
+}  // namespace pieck
+
+#endif  // PIECK_STORAGE_FAULT_ENGINE_H_

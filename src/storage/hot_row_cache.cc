@@ -33,20 +33,37 @@ void HotRowCache::Init(int64_t capacity_rows, size_t row_width) {
     hand_[static_cast<size_t>(s)] = shard_base_[static_cast<size_t>(s)];
   }
   index_.assign(static_cast<size_t>(shards), {});
+  shard_hits_ = std::make_unique<std::atomic<int64_t>[]>(
+      static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shard_hits_[static_cast<size_t>(s)].store(0, std::memory_order_relaxed);
+  }
+  shard_misses_.assign(static_cast<size_t>(shards), 0);
+  shard_evictions_.assign(static_cast<size_t>(shards), 0);
 }
 
 int64_t HotRowCache::FindFrame(int64_t row) const {
-  const auto& map = index_[static_cast<size_t>(ShardOf(row))];
+  const int shard = ShardOf(row);
+  const auto& map = index_[static_cast<size_t>(shard)];
   const auto it = map.find(row);
   if (it == map.end()) return -1;
   ref_[static_cast<size_t>(it->second)] = 1;
+  shard_hits_[static_cast<size_t>(shard)].fetch_add(
+      1, std::memory_order_relaxed);
   return it->second;
+}
+
+int64_t HotRowCache::PeekFrame(int64_t row) const {
+  const auto& map = index_[static_cast<size_t>(ShardOf(row))];
+  const auto it = map.find(row);
+  return it == map.end() ? -1 : it->second;
 }
 
 int64_t HotRowCache::Acquire(int64_t row, Eviction* ev) {
   const int shard = ShardOf(row);
   auto& map = index_[static_cast<size_t>(shard)];
   PIECK_DCHECK(map.find(row) == map.end()) << "Acquire on a cached row";
+  ++shard_misses_[static_cast<size_t>(shard)];
   const int64_t lo = shard_base_[static_cast<size_t>(shard)];
   const int64_t hi = shard_base_[static_cast<size_t>(shard) + 1];
   const int64_t span = hi - lo;
@@ -84,6 +101,7 @@ int64_t HotRowCache::Acquire(int64_t row, Eviction* ev) {
     out.dirty = dirty_[f] != 0;
     map.erase(row_of_[f]);
     --cached_;
+    ++shard_evictions_[static_cast<size_t>(shard)];
   }
   if (ev != nullptr) *ev = out;
   // The victim's bytes are still in the frame: the caller writes them
@@ -122,6 +140,14 @@ void HotRowCache::Unpin(int64_t frame) {
     pin_[f] = 0;
     --pinned_;
   }
+}
+
+HotRowCache::ShardCounters HotRowCache::shard_counters(int s) const {
+  ShardCounters c;
+  c.hits = shard_hits_[static_cast<size_t>(s)].load(std::memory_order_relaxed);
+  c.misses = shard_misses_[static_cast<size_t>(s)];
+  c.evictions = shard_evictions_[static_cast<size_t>(s)];
+  return c;
 }
 
 int64_t HotRowCache::ResidentBytes() const {

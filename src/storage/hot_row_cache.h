@@ -21,8 +21,10 @@
 #ifndef PIECK_STORAGE_HOT_ROW_CACHE_H_
 #define PIECK_STORAGE_HOT_ROW_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +38,17 @@ class HotRowCache {
     bool dirty = false;
   };
 
+  /// Per-shard telemetry. Hits are counted in FindFrame (so the round
+  /// fan-out's concurrent lookups are included), misses and evictions in
+  /// Acquire; summed over shards they match the store-level counters. A
+  /// skewed hit-rate across shards means the modulo placement is fighting
+  /// the access pattern (tools/check_bench_json.py flags it).
+  struct ShardCounters {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
   /// Arms the cache: `capacity_rows` frames of `row_width` doubles.
   /// Shard count is derived (1 for small caches, up to 16) — it only
   /// partitions the index, never changes behavior.
@@ -47,9 +60,15 @@ class HotRowCache {
   int64_t cached_rows() const { return cached_; }
   int64_t pinned_rows() const { return pinned_; }
 
-  /// Frame holding `row`, or -1. Sets the frame's CLOCK reference bit.
-  /// Safe concurrently for distinct rows while no mutation runs.
+  /// Frame holding `row`, or -1. Sets the frame's CLOCK reference bit
+  /// and counts a shard hit when found. Safe concurrently for distinct
+  /// rows while no mutation runs.
   int64_t FindFrame(int64_t row) const;
+
+  /// Like FindFrame but side-effect free: no reference bit, no counter.
+  /// For scans (snapshot, ensure-all) that should not skew telemetry or
+  /// the CLOCK state.
+  int64_t PeekFrame(int64_t row) const;
 
   /// Single-owner: claims a frame for `row` (which must not be cached),
   /// evicting an unpinned victim if the shard is full. The victim's
@@ -89,6 +108,11 @@ class HotRowCache {
   /// Heap bytes of the frame arena, metadata, and index (telemetry).
   int64_t ResidentBytes() const;
 
+  ShardCounters shard_counters(int s) const;
+
+  /// Shard owning `row` (exposed so callers can label per-shard stats).
+  int ShardOfRow(int64_t row) const { return ShardOf(row); }
+
  private:
   int ShardOf(int64_t row) const {
     return static_cast<int>(row % static_cast<int64_t>(num_shards()));
@@ -107,6 +131,11 @@ class HotRowCache {
                                             // [base[s], base[s+1])
   std::vector<int64_t> hand_;               // per-shard CLOCK hand
   std::vector<std::unordered_map<int64_t, int64_t>> index_;  // row -> frame
+  // Hits are bumped from concurrent FindFrame calls → atomic; misses and
+  // evictions only move under the single-owner Acquire.
+  mutable std::unique_ptr<std::atomic<int64_t>[]> shard_hits_;
+  std::vector<int64_t> shard_misses_;
+  std::vector<int64_t> shard_evictions_;
 };
 
 }  // namespace pieck

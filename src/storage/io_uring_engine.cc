@@ -1,0 +1,314 @@
+/// \file
+/// Raw-syscall io_uring fault engine (no liburing dependency).
+///
+/// The ring is created with `io_uring_setup`, its submission/completion
+/// queues mapped with the standard three-mmap protocol, and driven with
+/// `io_uring_enter`. Each offset-contiguous run of rows becomes one
+/// IORING_OP_READV / IORING_OP_WRITEV submission whose iovec gathers
+/// the scattered cache frames, so a 512-row cohort costs a handful of
+/// `io_uring_enter` calls with up to kIoUringDepth extents in flight.
+/// The split-phase BeginReads/FinishReads contract lets the caller run
+/// init-replay CPU work while the kernel services the reads.
+#include "storage/io_uring_engine.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define PIECK_HAVE_IO_URING 1
+#endif
+
+#if defined(PIECK_HAVE_IO_URING)
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pieck {
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+template <typename T>
+T* RingPtr(void* base, uint32_t off) {
+  return reinterpret_cast<T*>(static_cast<char*>(base) + off);
+}
+
+class IoUringEngine final : public FaultEngine {
+ public:
+  static std::unique_ptr<FaultEngine> TryCreate(const MmapFile* file,
+                                                size_t row_bytes) {
+    auto engine =
+        std::unique_ptr<IoUringEngine>(new IoUringEngine(file, row_bytes));
+    if (!engine->InitRing()) return nullptr;
+    return engine;
+  }
+
+  ~IoUringEngine() override {
+    if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  IoEngineKind kind() const override { return IoEngineKind::kIoUring; }
+
+  void ReadBatch(std::vector<RowIo>* ops) override {
+    BeginReads(ops);
+    FinishReads();
+  }
+
+  void WriteBatch(std::vector<RowIo>* ops) override {
+    Begin(ops, /*write=*/true);
+    Finish();
+  }
+
+  void BeginReads(std::vector<RowIo>* ops) override {
+    Begin(ops, /*write=*/false);
+    Pump(/*wait_for_all=*/false);
+  }
+
+  void FinishReads() override { Finish(); }
+
+ private:
+  IoUringEngine(const MmapFile* file, size_t row_bytes)
+      : file_(file), row_bytes_(row_bytes) {}
+
+  bool InitRing() {
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    ring_fd_ = SysIoUringSetup(kIoUringDepth, &p);
+    if (ring_fd_ < 0) return false;
+    sq_entries_ = p.sq_entries;
+    sq_ring_bytes_ = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
+    cq_ring_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    if (p.features & IORING_FEAT_SINGLE_MMAP) {
+      sq_ring_bytes_ = cq_ring_bytes_ =
+          sq_ring_bytes_ > cq_ring_bytes_ ? sq_ring_bytes_ : cq_ring_bytes_;
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      sq_ring_ = nullptr;
+      return false;
+    }
+    if (p.features & IORING_FEAT_SINGLE_MMAP) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        cq_ring_ = nullptr;
+        return false;
+      }
+    }
+    sqes_bytes_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      return false;
+    }
+    sq_head_ = RingPtr<uint32_t>(sq_ring_, p.sq_off.head);
+    sq_tail_ = RingPtr<uint32_t>(sq_ring_, p.sq_off.tail);
+    sq_mask_ = *RingPtr<uint32_t>(sq_ring_, p.sq_off.ring_mask);
+    sq_array_ = RingPtr<uint32_t>(sq_ring_, p.sq_off.array);
+    cq_head_ = RingPtr<uint32_t>(cq_ring_, p.cq_off.head);
+    cq_tail_ = RingPtr<uint32_t>(cq_ring_, p.cq_off.tail);
+    cq_mask_ = *RingPtr<uint32_t>(cq_ring_, p.cq_off.ring_mask);
+    cqes_ = RingPtr<io_uring_cqe>(cq_ring_, p.cq_off.cqes);
+    return true;
+  }
+
+  /// Sorts + coalesces `ops` and arms the run cursor. Caller's vector
+  /// must stay alive until Finish() returns.
+  void Begin(std::vector<RowIo>* ops, bool write) {
+    PIECK_CHECK(!pending()) << "io_uring engine: batch already in flight";
+    ops_ = ops;
+    write_ = write;
+    CoalesceRuns(ops_, row_bytes_, &run_ends_);
+    iov_.resize(ops_->size());
+    for (size_t i = 0; i < ops_->size(); ++i) {
+      iov_[i].iov_base = (*ops_)[i].buf;
+      iov_[i].iov_len = row_bytes_;
+    }
+    next_run_ = 0;
+    done_runs_ = 0;
+    inflight_ = 0;
+    failed_runs_.clear();
+  }
+
+  bool pending() const { return ops_ != nullptr; }
+
+  /// Submits queued runs while the ring has room and drains whatever
+  /// completed. With `wait_for_all`, loops until every run finished.
+  void Pump(bool wait_for_all) {
+    while (true) {
+      // Fill the submission queue from the run cursor.
+      uint32_t head =
+          __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+      uint32_t tail = *sq_tail_;
+      unsigned to_submit = 0;
+      while (tail - head < sq_entries_ && next_run_ < run_ends_.size()) {
+        const size_t begin = next_run_ == 0 ? 0 : run_ends_[next_run_ - 1];
+        const size_t end = run_ends_[next_run_];
+        const uint32_t idx = tail & sq_mask_;
+        io_uring_sqe* sqe = &sqes_[idx];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = write_ ? IORING_OP_WRITEV : IORING_OP_READV;
+        sqe->fd = file_->fd();
+        sqe->off = static_cast<uint64_t>((*ops_)[begin].offset);
+        sqe->addr = reinterpret_cast<uint64_t>(&iov_[begin]);
+        sqe->len = static_cast<uint32_t>(end - begin);
+        sqe->user_data = static_cast<uint64_t>(next_run_);
+        sq_array_[idx] = idx;
+        ++tail;
+        ++to_submit;
+        ++next_run_;
+        ++inflight_;
+      }
+      __atomic_store_n(sq_tail_, tail, __ATOMIC_RELEASE);
+
+      const bool all_submitted = next_run_ >= run_ends_.size();
+      const bool want_wait =
+          inflight_ > 0 && (wait_for_all || !all_submitted);
+      if (to_submit > 0 || want_wait) {
+        const int ret = SysIoUringEnter(
+            ring_fd_, to_submit, want_wait ? 1 : 0,
+            want_wait ? IORING_ENTER_GETEVENTS : 0);
+        if (ret < 0) {
+          PIECK_CHECK(errno == EINTR || errno == EAGAIN)
+              << "io_uring_enter failed: " << std::strerror(errno);
+        }
+      }
+
+      // Drain the completion queue.
+      uint32_t chead = *cq_head_;
+      const uint32_t ctail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      while (chead != ctail) {
+        const io_uring_cqe* cqe = &cqes_[chead & cq_mask_];
+        const size_t run = static_cast<size_t>(cqe->user_data);
+        const size_t begin = run == 0 ? 0 : run_ends_[run - 1];
+        const size_t expected = (run_ends_[run] - begin) * row_bytes_;
+        if (cqe->res != static_cast<int32_t>(expected)) {
+          // Short or failed transfer: redo this run synchronously.
+          failed_runs_.push_back(run);
+        }
+        ++chead;
+        --inflight_;
+        ++done_runs_;
+      }
+      __atomic_store_n(cq_head_, chead, __ATOMIC_RELEASE);
+
+      if (wait_for_all) {
+        if (done_runs_ >= run_ends_.size()) return;
+      } else if (all_submitted || inflight_ < sq_entries_) {
+        // Begin-phase: everything is queued (or there is still ring
+        // room for the next fill attempt) — hand the CPU back.
+        return;
+      }
+    }
+  }
+
+  void Finish() {
+    if (!pending()) return;
+    Pump(/*wait_for_all=*/true);
+    // Runs the ring could not serve (short transfer, -EAGAIN, opcode
+    // pressure) are completed synchronously — same bytes, slower path.
+    for (const size_t run : failed_runs_) {
+      const size_t begin = run == 0 ? 0 : run_ends_[run - 1];
+      SyncRunIo(file_->fd(), ops_->data() + begin, run_ends_[run] - begin,
+                row_bytes_, write_);
+    }
+    (write_ ? stats_.write_rows : stats_.read_rows) +=
+        static_cast<int64_t>(ops_->size());
+    (write_ ? stats_.write_runs : stats_.read_runs) +=
+        static_cast<int64_t>(run_ends_.size());
+    ops_ = nullptr;
+  }
+
+  const MmapFile* file_;
+  size_t row_bytes_;
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  size_t cq_ring_bytes_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_bytes_ = 0;
+  uint32_t* sq_head_ = nullptr;
+  uint32_t* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  uint32_t* cq_head_ = nullptr;
+  uint32_t* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  // In-flight batch state (valid between Begin and Finish).
+  std::vector<RowIo>* ops_ = nullptr;
+  bool write_ = false;
+  std::vector<size_t> run_ends_;
+  std::vector<struct iovec> iov_;
+  size_t next_run_ = 0;
+  size_t done_runs_ = 0;
+  unsigned inflight_ = 0;
+  std::vector<size_t> failed_runs_;
+};
+
+}  // namespace
+
+bool IoUringProbe() {
+  static const bool supported = [] {
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    const int fd = SysIoUringSetup(4, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+std::unique_ptr<FaultEngine> MakeIoUringEngine(const MmapFile* file,
+                                               size_t row_bytes) {
+  if (!IoUringProbe()) return nullptr;
+  return IoUringEngine::TryCreate(file, row_bytes);
+}
+
+}  // namespace pieck
+
+#else  // !PIECK_HAVE_IO_URING
+
+namespace pieck {
+
+bool IoUringProbe() { return false; }
+
+std::unique_ptr<FaultEngine> MakeIoUringEngine(const MmapFile*, size_t) {
+  return nullptr;
+}
+
+}  // namespace pieck
+
+#endif  // PIECK_HAVE_IO_URING

@@ -1,0 +1,31 @@
+/// \file
+/// Internal seam between the engine factory and the io_uring backend.
+/// Not part of the storage API — include storage/fault_engine.h.
+#ifndef PIECK_STORAGE_IO_URING_ENGINE_H_
+#define PIECK_STORAGE_IO_URING_ENGINE_H_
+
+#include <memory>
+
+#include "storage/fault_engine.h"
+#include "storage/mmap_file.h"
+
+namespace pieck {
+
+/// One setup/teardown round-trip against the kernel; cached. False on
+/// non-Linux builds, kernels without io_uring, and sandboxes that block
+/// io_uring_setup (ENOSYS/EPERM).
+bool IoUringProbe();
+
+/// Builds the ring-backed engine, or nullptr when IoUringProbe() is
+/// false (callers resolve to pread-batch first).
+std::unique_ptr<FaultEngine> MakeIoUringEngine(const MmapFile* file,
+                                               size_t row_bytes);
+
+/// Synchronous vectored transfer of one offset-contiguous run (shared
+/// by pread-batch and the ring engine's degraded paths).
+void SyncRunIo(int fd, const RowIo* ops, size_t count, size_t row_bytes,
+               bool write);
+
+}  // namespace pieck
+
+#endif  // PIECK_STORAGE_IO_URING_ENGINE_H_

@@ -52,6 +52,7 @@ Status MmapFile::Sync() {
 }
 void MmapFile::AdviseWillNeed(int64_t, int64_t) const {}
 void MmapFile::AdviseDontNeed() const {}
+void MmapFile::AdviseDontNeed(int64_t, int64_t) const {}
 void MmapFile::Close() {}
 
 #else
@@ -136,6 +137,18 @@ void MmapFile::AdviseWillNeed(int64_t offset, int64_t length) const {
 void MmapFile::AdviseDontNeed() const {
   if (data_ == nullptr) return;
   ::madvise(data_, static_cast<size_t>(size_), MADV_DONTNEED);
+}
+
+void MmapFile::AdviseDontNeed(int64_t offset, int64_t length) const {
+  if (data_ == nullptr || length <= 0) return;
+  const int64_t page = static_cast<int64_t>(::sysconf(_SC_PAGESIZE));
+  int64_t lo = (offset / page) * page;
+  int64_t hi = ((offset + length + page - 1) / page) * page;
+  if (lo < 0) lo = 0;
+  if (hi > size_) hi = size_;
+  if (hi <= lo) return;
+  ::madvise(static_cast<char*>(data_) + lo, static_cast<size_t>(hi - lo),
+            MADV_DONTNEED);
 }
 
 void MmapFile::Close() {

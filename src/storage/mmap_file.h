@@ -46,6 +46,10 @@ class MmapFile {
   const void* data() const { return data_; }
   int64_t size() const { return size_; }
   const std::string& path() const { return path_; }
+  /// The open file descriptor behind the mapping (-1 when invalid). The
+  /// batched fault engines pread/pwrite through it; position-less I/O,
+  /// so sharing the descriptor across threads is safe.
+  int fd() const { return fd_; }
 
   /// msync(MS_SYNC): all written pages are durable on return.
   Status Sync();
@@ -58,6 +62,12 @@ class MmapFile {
   /// resident pages. Data is preserved (shared file-backed mapping);
   /// later accesses refault from the page cache / file.
   void AdviseDontNeed() const;
+
+  /// Ranged DONTNEED on the page-aligned range covering
+  /// [offset, offset + length): drops only those resident pages, so a
+  /// caller that knows which pages it touched can trim them without
+  /// walking the whole (possibly huge, sparse) mapping.
+  void AdviseDontNeed(int64_t offset, int64_t length) const;
 
   /// Unmaps and closes. Idempotent.
   void Close();

@@ -36,6 +36,36 @@ Status ParseStorageKind(const std::string& name, StorageKind* out) {
                                  "' (expected ram|mmap)");
 }
 
+const char* IoEngineToString(IoEngineKind kind) {
+  switch (kind) {
+    case IoEngineKind::kMmapTouch:
+      return "mmap-touch";
+    case IoEngineKind::kPreadBatch:
+      return "pread-batch";
+    case IoEngineKind::kIoUring:
+      return "io_uring";
+  }
+  return "?";
+}
+
+Status ParseIoEngine(const std::string& name, IoEngineKind* out) {
+  if (name == "mmap-touch") {
+    *out = IoEngineKind::kMmapTouch;
+    return Status::OK();
+  }
+  if (name == "pread-batch") {
+    *out = IoEngineKind::kPreadBatch;
+    return Status::OK();
+  }
+  if (name == "io_uring") {
+    *out = IoEngineKind::kIoUring;
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "unknown io engine '" + name +
+      "' (expected mmap-touch|pread-batch|io_uring)");
+}
+
 Status StorageConfig::Validate() const {
   if (kind == StorageKind::kRam) {
     if (attach) {

@@ -29,6 +29,21 @@ enum class StorageKind {
 const char* StorageKindToString(StorageKind kind);
 Status ParseStorageKind(const std::string& name, StorageKind* out);
 
+/// How cold rows move between the backing file and cache frames (mmap
+/// kind only). Every engine fills the same frames with the same bytes —
+/// a persisted row's file image or the seed-keyed init replay — so the
+/// choice is pure mechanics and can never change a result bit
+/// (docs/STORAGE.md, "I/O engine").
+enum class IoEngineKind {
+  kMmapTouch,   // demand paging: memcpy through the shared mapping
+  kPreadBatch,  // offset-sorted batched preadv/pwritev into the frames
+  kIoUring,     // Linux io_uring rings (falls back to kPreadBatch when
+                // the kernel or sandbox lacks io_uring_setup)
+};
+
+const char* IoEngineToString(IoEngineKind kind);
+Status ParseIoEngine(const std::string& name, IoEngineKind* out);
+
 /// Configuration of the client-state storage tier.
 struct StorageConfig {
   StorageKind kind = StorageKind::kRam;
@@ -50,6 +65,9 @@ struct StorageConfig {
   /// madvise(DONTNEED)'d so RSS stays bounded on populations far larger
   /// than memory. Perf-only — never changes results.
   int64_t resident_budget_bytes = 256ll << 20;
+  /// Cold-row transfer mechanics (mmap only): demand paging, batched
+  /// pread/pwrite, or io_uring. Bit-invisible in results by contract.
+  IoEngineKind io_engine = IoEngineKind::kPreadBatch;
 
   Status Validate() const;
 };
@@ -63,6 +81,12 @@ struct StorageCounters {
   int64_t writebacks = 0;        // dirty rows written to the backing file
   int64_t rematerializations = 0;  // faults replaying the seed-keyed init
   int64_t prefetched_rows = 0;   // rows madvise(WILLNEED)'d ahead of use
+  int64_t prefetch_ranges = 0;   // coalesced WILLNEED ranges issued
+  int64_t io_read_runs = 0;      // contiguous read runs the engine issued
+  int64_t io_write_runs = 0;     // contiguous write runs the engine issued
+  int64_t staged_rows = 0;       // rows the select thread read ahead
+  int64_t staged_hits = 0;       // cohort misses served from staged bytes
+  int64_t trims = 0;             // resident-budget page drops
 
   double hit_rate() const {
     const int64_t total = hits + misses;

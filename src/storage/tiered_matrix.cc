@@ -1,5 +1,6 @@
 #include "storage/tiered_matrix.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -15,6 +16,16 @@ namespace {
 
 // "PIECKTM1" little-endian: versions the rows.meta layout.
 constexpr uint64_t kMetaMagic = 0x314d544b43454950ull;
+
+// Staging trust tracking: per-generation write sets saturate at this
+// size; a saturated generation distrusts every staged row (correct,
+// just slower for one round).
+constexpr size_t kRecentWriteCap = 65536;
+
+// mmap-touch trim tracking: beyond this many distinct touched pages the
+// tracker falls back to a whole-mapping DONTNEED (the pre-ranged
+// behavior).
+constexpr size_t kTouchedPageCap = 65536;
 
 bool TestBit(const std::vector<uint64_t>& bits, int64_t i) {
   return (bits[static_cast<size_t>(i >> 6)] >>
@@ -50,6 +61,9 @@ Status TieredMatrix::Init(int64_t rows, size_t cols,
   PIECK_CHECK(dir != nullptr) << "mmap TieredMatrix needs a StoreDir";
   dir_ = std::move(dir);
   resident_budget_bytes_ = config.resident_budget_bytes;
+#if !defined(_WIN32)
+  page_bytes_ = static_cast<int64_t>(::sysconf(_SC_PAGESIZE));
+#endif
 
   int64_t cache_rows = config.cache_rows > 0 ? config.cache_rows : 65536;
   if (cache_rows > rows_ && rows_ > 0) cache_rows = rows_;
@@ -71,6 +85,29 @@ Status TieredMatrix::Init(int64_t rows, size_t cols,
   if (config.attach) {
     if (Status st = LoadMeta(meta_path_); !st.ok()) return st;
   }
+
+  const size_t row_bytes = cols_ * sizeof(double);
+  io_engine_ = ResolveIoEngine(config.io_engine);
+  engine_ = MakeFaultEngine(io_engine_, &file_, row_bytes);
+  // The select thread stages through its own engine (positioned reads
+  // only, so sharing the fd with the driver's engine is safe). The
+  // mmap-touch engine gets no staging: a cross-thread memcpy through
+  // the shared mapping would race the driver's in-mapping writes.
+  stage_engine_ = io_engine_ != IoEngineKind::kMmapTouch
+                      ? MakeFaultEngine(IoEngineKind::kPreadBatch, &file_,
+                                        row_bytes)
+                      : nullptr;
+  for (StageSlot& slot : stage_slots_) {
+    slot.rows.clear();
+    slot.bytes.clear();
+    slot.armed_gen = 0;
+    slot.full.store(false, std::memory_order_relaxed);
+  }
+  prepare_gen_.store(0, std::memory_order_relaxed);
+  bulk_write_gen_ = 0;
+  recent_writes_[0].clear();
+  recent_writes_[1].clear();
+  recent_saturated_[0] = recent_saturated_[1] = false;
   return Status::OK();
 }
 
@@ -91,29 +128,77 @@ Status TieredMatrix::LoadMeta(const std::string& path) {
   return Status::OK();
 }
 
-void TieredMatrix::ReadFileRow(int64_t r, double* dst) const {
-  const size_t row_bytes = cols_ * sizeof(double);
-  std::memcpy(dst,
-              static_cast<const char*>(file_.data()) +
-                  static_cast<size_t>(r) * row_bytes,
-              row_bytes);
-  touched_file_bytes_ += static_cast<int64_t>(row_bytes);
-  MaybeTrim();
-}
-
-void TieredMatrix::WriteFileRow(int64_t r, const double* src) {
-  const size_t row_bytes = cols_ * sizeof(double);
-  std::memcpy(static_cast<char*>(file_.data()) +
-                  static_cast<size_t>(r) * row_bytes,
-              src, row_bytes);
-  touched_file_bytes_ += static_cast<int64_t>(row_bytes);
+void TieredMatrix::NoteTouched(const std::vector<RowIo>& ops) const {
+  if (io_engine_ != IoEngineKind::kMmapTouch || ops.empty()) return;
+  const int64_t row_bytes = static_cast<int64_t>(cols_ * sizeof(double));
+  touched_file_bytes_ += static_cast<int64_t>(ops.size()) * row_bytes;
+  if (!touched_overflow_) {
+    for (const RowIo& op : ops) {
+      const int64_t first = op.offset / page_bytes_;
+      const int64_t last = (op.offset + row_bytes - 1) / page_bytes_;
+      for (int64_t p = first; p <= last; ++p) {
+        touched_pages_.insert(p);
+      }
+      if (touched_pages_.size() > kTouchedPageCap) {
+        touched_overflow_ = true;
+        break;
+      }
+    }
+  }
   MaybeTrim();
 }
 
 void TieredMatrix::MaybeTrim() const {
   if (touched_file_bytes_ < resident_budget_bytes_) return;
-  file_.AdviseDontNeed();
+  if (touched_overflow_) {
+    file_.AdviseDontNeed();
+  } else {
+    // Drop exactly the pages this process populated, as merged ranges,
+    // instead of sweeping the whole multi-GB mapping.
+    trim_pages_.assign(touched_pages_.begin(), touched_pages_.end());
+    std::sort(trim_pages_.begin(), trim_pages_.end());
+    size_t i = 0;
+    while (i < trim_pages_.size()) {
+      size_t j = i;
+      while (j + 1 < trim_pages_.size() &&
+             trim_pages_[j + 1] == trim_pages_[j] + 1) {
+        ++j;
+      }
+      file_.AdviseDontNeed(trim_pages_[i] * page_bytes_,
+                           (trim_pages_[j] - trim_pages_[i] + 1) *
+                               page_bytes_);
+      i = j + 1;
+    }
+  }
+  ++trims_;
+  touched_pages_.clear();
+  touched_overflow_ = false;
   touched_file_bytes_ = 0;
+}
+
+void TieredMatrix::RecordWrite(int64_t r) {
+  if (stage_engine_ == nullptr) return;
+  const size_t p =
+      static_cast<size_t>(prepare_gen_.load(std::memory_order_relaxed) & 1);
+  if (recent_saturated_[p]) return;
+  if (recent_writes_[p].size() >= kRecentWriteCap) {
+    recent_saturated_[p] = true;
+    return;
+  }
+  recent_writes_[p].insert(r);
+}
+
+void TieredMatrix::ReadFileRow(int64_t r, double* dst) const {
+  single_ops_.assign(1, RowIo{OffsetOf(r), dst});
+  engine_->ReadBatch(&single_ops_);
+  NoteTouched(single_ops_);
+}
+
+void TieredMatrix::WriteFileRow(int64_t r, const double* src) {
+  single_ops_.assign(1, RowIo{OffsetOf(r), const_cast<double*>(src)});
+  engine_->WriteBatch(&single_ops_);
+  NoteTouched(single_ops_);
+  RecordWrite(r);
 }
 
 void TieredMatrix::MaterializeInto(int64_t r, double* dst) {
@@ -226,26 +311,164 @@ void TieredMatrix::PinRows(const std::vector<int>& rows) {
   }
   PIECK_CHECK(static_cast<int64_t>(rows.size()) <= cache_.capacity())
       << "round cohort exceeds the hot-row cache; raise cache_rows";
+
+  // Open generation `gen`. Writes from here on are recorded against it;
+  // the previous generation's write set decides which staged rows a
+  // slot armed back then may serve.
+  const uint64_t gen = prepare_gen_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const size_t cur = static_cast<size_t>(gen & 1);
+  const size_t prev = cur ^ 1;
+  recent_writes_[cur].clear();
+  recent_saturated_[cur] = false;
+
+  // Adopt trusted staged bytes. A slot is trusted only when it was
+  // armed exactly one generation ago (so its reads could only have
+  // raced writes the prev-generation set tracked) and no bulk write or
+  // tracker saturation voided that window.
+  staged_lookup_.clear();
+  bool consumed[2] = {false, false};
+  if (stage_engine_ != nullptr) {
+    for (int s = 0; s < 2; ++s) {
+      StageSlot& slot = stage_slots_[s];
+      if (!slot.full.load(std::memory_order_acquire)) continue;
+      if (slot.armed_gen + 1 == gen && slot.armed_gen > bulk_write_gen_ &&
+          !recent_saturated_[prev]) {
+        for (size_t i = 0; i < slot.rows.size(); ++i) {
+          const int64_t r = slot.rows[i];
+          if (recent_writes_[prev].count(r) != 0) continue;
+          staged_lookup_.emplace(r, slot.bytes.data() + i * cols_);
+        }
+        consumed[s] = true;  // bytes stay live through the fill phase
+      } else if (slot.armed_gen != gen) {
+        // Stale or poisoned arming: recycle the slot. (armed_gen == gen
+        // means the select thread is already staging for the *next*
+        // round — leave that one armed.)
+        slot.full.store(false, std::memory_order_release);
+      }
+    }
+  }
+
+  // Phase 1: pin the hits, collect the misses.
+  miss_rows_.clear();
   for (const int r : rows) {
-    const int64_t frame = Fault(r);
+    const int64_t frame = cache_.FindFrame(r);
+    if (frame >= 0) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (!cache_.Pinned(frame)) {
+        cache_.Pin(frame);
+        pinned_frames_.push_back(frame);
+      }
+    } else {
+      miss_rows_.push_back(r);
+    }
+  }
+
+  // Phase 2a: claim + pin a frame per miss. Pinning immediately keeps
+  // the CLOCK hand off frames the batch already owns. Dirty victims'
+  // bytes stay in their frames, so their write-back batch must run
+  // before any fill overwrites them.
+  miss_frames_.clear();
+  write_ops_.clear();
+  write_rows_.clear();
+  size_t n = 0;
+  for (size_t i = 0; i < miss_rows_.size(); ++i) {
+    const int64_t r = miss_rows_[i];
+    int64_t frame = cache_.FindFrame(r);
+    if (frame >= 0) {
+      // The cohort listed this row twice; the first copy claimed it.
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++misses_;
+      HotRowCache::Eviction ev;
+      frame = cache_.Acquire(r, &ev);
+      if (ev.row >= 0) {
+        ++evictions_;
+        if (ev.dirty) {
+          write_ops_.push_back(
+              RowIo{OffsetOf(ev.row), cache_.FrameData(frame)});
+          write_rows_.push_back(ev.row);
+        }
+      }
+      miss_rows_[n] = static_cast<int>(r);
+      miss_frames_.push_back(frame);
+      ++n;
+    }
     if (!cache_.Pinned(frame)) {
       cache_.Pin(frame);
       pinned_frames_.push_back(frame);
+    }
+  }
+  miss_rows_.resize(n);
+
+  // Phase 2b: one offset-sorted write-back batch for every dirty victim.
+  if (!write_ops_.empty()) {
+    engine_->WriteBatch(&write_ops_);
+    NoteTouched(write_ops_);
+    for (const int64_t r : write_rows_) {
+      SetPersisted(r);
+      RecordWrite(r);
+      ++writebacks_;
+    }
+  }
+
+  // Phase 2c: fill the claimed frames — staged memcpy, batched file
+  // read, or init replay. The replays run between BeginReads and
+  // FinishReads so io_uring overlaps them with the reads in flight.
+  read_ops_.clear();
+  init_rows_.clear();
+  const size_t row_bytes = cols_ * sizeof(double);
+  for (size_t i = 0; i < miss_rows_.size(); ++i) {
+    const int64_t r = miss_rows_[i];
+    double* data = cache_.FrameData(miss_frames_[i]);
+    const auto staged = staged_lookup_.find(r);
+    if (staged != staged_lookup_.end()) {
+      std::memcpy(data, staged->second, row_bytes);
+      ++staged_hits_;
+    } else if (Persisted(r)) {
+      read_ops_.push_back(RowIo{OffsetOf(r), data});
+    } else {
+      init_rows_.emplace_back(r, miss_frames_[i]);
+    }
+  }
+  if (!read_ops_.empty()) engine_->BeginReads(&read_ops_);
+  for (const auto& init : init_rows_) {
+    MaterializeInto(init.first, cache_.FrameData(init.second));
+  }
+  if (!read_ops_.empty()) {
+    engine_->FinishReads();
+    NoteTouched(read_ops_);
+  }
+
+  for (int s = 0; s < 2; ++s) {
+    if (consumed[s]) {
+      stage_slots_[s].full.store(false, std::memory_order_release);
     }
   }
 }
 
 void TieredMatrix::FlushPinned(DirtyRowSet* out) {
   if (kind_ == StorageKind::kRam) return;
+  write_ops_.clear();
+  write_rows_.clear();
   for (const int64_t frame : pinned_frames_) {
     if (cache_.Dirty(frame)) {
       const int64_t r = cache_.FrameRow(frame);
-      WriteFileRow(r, cache_.FrameData(frame));
-      SetPersisted(r);
-      cache_.ClearDirty(frame);
-      ++writebacks_;
-      if (out != nullptr) out->Add(static_cast<int>(r));
+      write_ops_.push_back(RowIo{OffsetOf(r), cache_.FrameData(frame)});
+      write_rows_.push_back(r);
     }
+  }
+  if (!write_ops_.empty()) {
+    engine_->WriteBatch(&write_ops_);
+    NoteTouched(write_ops_);
+  }
+  for (const int64_t r : write_rows_) {
+    SetPersisted(r);
+    RecordWrite(r);
+    ++writebacks_;
+    if (out != nullptr) out->Add(static_cast<int>(r));
+  }
+  for (const int64_t frame : pinned_frames_) {
+    cache_.ClearDirty(frame);
     cache_.Unpin(frame);
   }
   pinned_frames_.clear();
@@ -253,12 +476,23 @@ void TieredMatrix::FlushPinned(DirtyRowSet* out) {
 
 void TieredMatrix::FlushAll(DirtyRowSet* out) {
   if (kind_ == StorageKind::kRam) return;
+  write_ops_.clear();
+  write_rows_.clear();
   for (int64_t frame = 0; frame < cache_.capacity(); ++frame) {
     if (cache_.FrameRow(frame) < 0 || !cache_.Dirty(frame)) continue;
     const int64_t r = cache_.FrameRow(frame);
-    WriteFileRow(r, cache_.FrameData(frame));
-    SetPersisted(r);
+    write_ops_.push_back(RowIo{OffsetOf(r), cache_.FrameData(frame)});
+    write_rows_.push_back(r);
     cache_.ClearDirty(frame);
+  }
+  if (!write_ops_.empty()) {
+    engine_->WriteBatch(&write_ops_);
+    NoteTouched(write_ops_);
+    // Too many rows to track individually: void the staging window.
+    bulk_write_gen_ = prepare_gen_.load(std::memory_order_relaxed);
+  }
+  for (const int64_t r : write_rows_) {
+    SetPersisted(r);
     ++writebacks_;
     if (out != nullptr) out->Add(static_cast<int>(r));
   }
@@ -290,14 +524,85 @@ Status TieredMatrix::Checkpoint() {
 }
 
 void TieredMatrix::Prefetch(const std::vector<int>& rows) {
-  for (const int r : rows) PrefetchRow(r);
+  if (kind_ == StorageKind::kRam || rows_ <= 0) return;
+  if (stage_engine_ != nullptr) {
+    StageRows(rows);
+    return;
+  }
+  // mmap-touch: sort the cohort and merge page-adjacent rows into one
+  // WILLNEED range each, instead of one madvise per row.
+  prefetch_rows_.clear();
+  for (const int r : rows) {
+    if (r < 0 || static_cast<int64_t>(r) >= rows_) continue;
+    prefetch_rows_.push_back(r);
+  }
+  if (prefetch_rows_.empty()) return;
+  std::sort(prefetch_rows_.begin(), prefetch_rows_.end());
+  const int64_t row_bytes = static_cast<int64_t>(cols_ * sizeof(double));
+  int64_t ranges = 0;
+  size_t i = 0;
+  while (i < prefetch_rows_.size()) {
+    size_t j = i;
+    int64_t hi_page =
+        (OffsetOf(prefetch_rows_[i]) + row_bytes - 1) / page_bytes_;
+    while (j + 1 < prefetch_rows_.size()) {
+      if (OffsetOf(prefetch_rows_[j + 1]) / page_bytes_ > hi_page + 1) break;
+      ++j;
+      const int64_t h =
+          (OffsetOf(prefetch_rows_[j]) + row_bytes - 1) / page_bytes_;
+      if (h > hi_page) hi_page = h;
+    }
+    const int64_t lo = OffsetOf(prefetch_rows_[i]);
+    file_.AdviseWillNeed(lo, OffsetOf(prefetch_rows_[j]) + row_bytes - lo);
+    ++ranges;
+    i = j + 1;
+  }
+  prefetched_.fetch_add(static_cast<int64_t>(prefetch_rows_.size()),
+                        std::memory_order_relaxed);
+  prefetch_ranges_.fetch_add(ranges, std::memory_order_relaxed);
 }
 
 void TieredMatrix::PrefetchRow(int64_t row) {
   if (kind_ == StorageKind::kRam || row < 0 || row >= rows_) return;
+  prefetched_.fetch_add(1, std::memory_order_relaxed);
+  if (stage_engine_ != nullptr) return;  // staging is batch-only
   const int64_t row_bytes = static_cast<int64_t>(cols_ * sizeof(double));
   file_.AdviseWillNeed(row * row_bytes, row_bytes);
-  prefetched_.fetch_add(1, std::memory_order_relaxed);
+  prefetch_ranges_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TieredMatrix::StageRows(const std::vector<int>& rows) {
+  int64_t valid = 0;
+  for (const int r : rows) {
+    if (r >= 0 && static_cast<int64_t>(r) < rows_) ++valid;
+  }
+  prefetched_.fetch_add(valid, std::memory_order_relaxed);
+  for (StageSlot& slot : stage_slots_) {
+    if (slot.full.load(std::memory_order_acquire)) continue;
+    // The generation observed *before* the reads bounds which writes
+    // could race them; PinRows rejects the slot unless it can prove
+    // none did.
+    const uint64_t gen = prepare_gen_.load(std::memory_order_acquire);
+    slot.rows.clear();
+    for (const int r : rows) {
+      if (r < 0 || static_cast<int64_t>(r) >= rows_) continue;
+      if (Persisted(r)) slot.rows.push_back(r);
+    }
+    if (slot.rows.empty()) return;  // nothing persisted: leave it free
+    slot.bytes.resize(slot.rows.size() * cols_);
+    stage_ops_.clear();
+    for (size_t i = 0; i < slot.rows.size(); ++i) {
+      stage_ops_.push_back(
+          RowIo{OffsetOf(slot.rows[i]), slot.bytes.data() + i * cols_});
+    }
+    stage_engine_->ReadBatch(&stage_ops_);
+    staged_rows_.fetch_add(static_cast<int64_t>(slot.rows.size()),
+                           std::memory_order_relaxed);
+    slot.armed_gen = gen;
+    slot.full.store(true, std::memory_order_release);
+    return;
+  }
+  // Both slots armed: the driver is behind; skip this read-ahead.
 }
 
 void TieredMatrix::SnapshotInto(Matrix* out) const {
@@ -316,16 +621,21 @@ void TieredMatrix::SnapshotInto(Matrix* out) const {
     }
     return;
   }
+  snapshot_ops_.clear();
   for (int64_t r = 0; r < rows_; ++r) {
     double* dst = out->MutableRowPtr(static_cast<size_t>(r));
-    const int64_t frame = cache_.FindFrame(r);
+    const int64_t frame = cache_.PeekFrame(r);
     if (frame >= 0) {
       std::memcpy(dst, cache_.FrameData(frame), cols_ * sizeof(double));
     } else if (Persisted(r)) {
-      ReadFileRow(r, dst);
+      snapshot_ops_.push_back(RowIo{OffsetOf(r), dst});
     } else {
       init_fn_(r, dst);
     }
+  }
+  if (!snapshot_ops_.empty()) {
+    engine_->ReadBatch(&snapshot_ops_);
+    NoteTouched(snapshot_ops_);
   }
 }
 
@@ -341,13 +651,32 @@ void TieredMatrix::EnsureAll(ThreadPool* pool) {
         });
     return;
   }
-  std::vector<double> scratch(cols_);
+  // Materialize into a chunk arena and write each chunk as one batch;
+  // consecutive uncached rows coalesce into long contiguous runs.
+  constexpr int64_t kChunkRows = 1024;
+  std::vector<double> arena(static_cast<size_t>(kChunkRows) * cols_);
+  write_ops_.clear();
+  write_rows_.clear();
+  int64_t used = 0;
+  const auto flush_chunk = [&] {
+    if (write_ops_.empty()) return;
+    engine_->WriteBatch(&write_ops_);
+    NoteTouched(write_ops_);
+    for (const int64_t rr : write_rows_) SetPersisted(rr);
+    write_ops_.clear();
+    write_rows_.clear();
+    used = 0;
+  };
   for (int64_t r = 0; r < rows_; ++r) {
-    if (Persisted(r) || cache_.FindFrame(r) >= 0) continue;
-    MaterializeInto(r, scratch.data());
-    WriteFileRow(r, scratch.data());
-    SetPersisted(r);
+    if (Persisted(r) || cache_.PeekFrame(r) >= 0) continue;
+    double* dst = arena.data() + static_cast<size_t>(used) * cols_;
+    MaterializeInto(r, dst);
+    write_ops_.push_back(RowIo{OffsetOf(r), dst});
+    write_rows_.push_back(r);
+    if (++used == kChunkRows) flush_chunk();
   }
+  flush_chunk();
+  bulk_write_gen_ = prepare_gen_.load(std::memory_order_relaxed);
 }
 
 int64_t TieredMatrix::ResidentBytes() const {
@@ -373,7 +702,27 @@ StorageCounters TieredMatrix::counters() const {
   c.writebacks = writebacks_;
   c.rematerializations = rematerializations_;
   c.prefetched_rows = prefetched_.load(std::memory_order_relaxed);
+  c.prefetch_ranges = prefetch_ranges_.load(std::memory_order_relaxed);
+  c.staged_rows = staged_rows_.load(std::memory_order_relaxed);
+  c.staged_hits = staged_hits_;
+  c.trims = trims_;
+  if (engine_ != nullptr) {
+    // Driver-engine runs only: the stage engine's stats belong to the
+    // select thread and are reflected in staged_rows instead.
+    c.io_read_runs = engine_->stats().read_runs;
+    c.io_write_runs = engine_->stats().write_runs;
+  }
   return c;
+}
+
+std::vector<HotRowCache::ShardCounters> TieredMatrix::shard_counters() const {
+  std::vector<HotRowCache::ShardCounters> out;
+  if (kind_ != StorageKind::kMmap) return out;
+  out.reserve(static_cast<size_t>(cache_.num_shards()));
+  for (int s = 0; s < cache_.num_shards(); ++s) {
+    out.push_back(cache_.shard_counters(s));
+  }
+  return out;
 }
 
 bool TieredMatrix::initialized(int64_t r) const {

@@ -1,7 +1,8 @@
 /// \file
 /// A rows x cols double matrix whose backing tier is selected at
 /// construction: dense RAM (today's behavior, bit for bit) or a sparse
-/// mmap'd file behind a pinned hot-row cache.
+/// mmap'd file behind a pinned hot-row cache, filled through a
+/// selectable fault engine (storage/fault_engine.h).
 ///
 /// The determinism contract both tiers satisfy: a row's value is the
 /// last value written to it, or — if it was never written — the bytes
@@ -11,14 +12,23 @@
 /// function of the row index (it seeds a fresh Rng from the row's
 /// seed), the replay is bit-identical and eviction order can never
 /// surface in results. Dirty rows are never dropped: every eviction of
-/// a dirty frame writes the row to the backing file first.
+/// a dirty frame writes the row to the backing file first. The fault
+/// engine only decides *how* bytes move between the file and the cache
+/// frames, never *which* bytes — so every engine is bit-identical by
+/// construction.
 ///
 /// Threading (mirrors the round engine): faults, pins, flushes and
-/// snapshots are single-owner. During the round fan-out the cohort is
-/// pinned, so concurrent `Row`/`MutableRow` calls for distinct rows
-/// are pure cache hits touching distinct frames — no structural
-/// mutation, no shared bytes. `Prefetch` is madvise-only and may run
-/// from any thread.
+/// snapshots are single-owner (the driver). During the round fan-out
+/// the cohort is pinned, so concurrent `Row`/`MutableRow` calls for
+/// distinct rows are pure cache hits touching distinct frames — no
+/// structural mutation, no shared bytes. `Prefetch` runs on at most one
+/// other thread (the select thread): for the mmap-touch engine it is
+/// madvise-only; for the batched engines it *stages* the upcoming
+/// cohort's persisted rows into a double-buffered side arena with its
+/// own positioned-I/O engine, overlapping round i+1's cold reads with
+/// round i's Train/Apply. PinRows consumes a staged buffer only when a
+/// generation handshake proves no write could have raced the staging
+/// read, so staged bytes are always exactly the file bytes.
 #ifndef PIECK_STORAGE_TIERED_MATRIX_H_
 #define PIECK_STORAGE_TIERED_MATRIX_H_
 
@@ -27,11 +37,15 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "storage/dirty_rows.h"
+#include "storage/fault_engine.h"
 #include "storage/hot_row_cache.h"
 #include "storage/mmap_file.h"
 #include "storage/storage.h"
@@ -52,7 +66,8 @@ class TieredMatrix {
   /// Arms the matrix. `dir` is required (non-null) only for the mmap
   /// kind; `file_name` names the backing file inside it. With
   /// `config.attach`, rows persisted by a prior Checkpoint() are read
-  /// back instead of re-initialized.
+  /// back instead of re-initialized. `config.io_engine` is resolved to
+  /// what the host supports (io_uring degrades to pread-batch).
   Status Init(int64_t rows, size_t cols, const StorageConfig& config,
               std::shared_ptr<StoreDir> dir, const std::string& file_name,
               InitFn init_fn);
@@ -60,6 +75,10 @@ class TieredMatrix {
   int64_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   bool is_mmap() const { return kind_ == StorageKind::kMmap; }
+
+  /// The engine actually in use after host-capability resolution
+  /// (meaningful for the mmap kind only).
+  IoEngineKind io_engine() const { return io_engine_; }
 
   /// Read access; faults + initializes on first touch. Single-owner
   /// unless the row is pinned (then it's a hit on a stable frame).
@@ -74,10 +93,18 @@ class TieredMatrix {
   /// Single-owner: faults + pins every row of the cohort so the round
   /// fan-out can hit them concurrently through stable frames. Aborts if
   /// the cohort exceeds the cache (raise StorageConfig::cache_rows).
+  ///
+  /// The fault is two-phase: hits are pinned first, then every miss
+  /// claims (and pins) a frame, dirty victims are written back as one
+  /// offset-sorted batch, and the misses are filled as one batch — from
+  /// the staged arena when trusted, the file, or the init replay. With
+  /// the io_uring engine, init replays run while the reads are in
+  /// flight.
   void PinRows(const std::vector<int>& rows);
 
-  /// Single-owner: writes back every dirty pinned row, then unpins the
-  /// cohort. Rows written back are appended to `out` when non-null.
+  /// Single-owner: writes back every dirty pinned row (one batch), then
+  /// unpins the cohort. Rows written back are appended to `out` when
+  /// non-null.
   void FlushPinned(DirtyRowSet* out);
 
   /// Writes back every dirty cached row (pinned or not) without
@@ -90,20 +117,23 @@ class TieredMatrix {
   /// steps only loses the claim, never the bytes. No-op for RAM.
   Status Checkpoint();
 
-  /// madvise(WILLNEED) the listed rows' file pages. Advisory and
-  /// thread-safe; the select thread calls this for the upcoming round.
+  /// Select-thread read-ahead for the upcoming cohort. mmap-touch:
+  /// coalesced madvise(WILLNEED) over the rows' file pages (sorted,
+  /// page-merged). Batched engines: stages the persisted rows' bytes
+  /// into a free stage slot so PinRows can fill their frames with
+  /// memcpys instead of reads. At most one concurrent caller.
   void Prefetch(const std::vector<int>& rows);
   void PrefetchRow(int64_t row);
 
   /// Copies the full logical matrix into `*out` (resized to fit)
   /// without changing any tier state: cached rows come from their
-  /// frames, persisted rows from the file, untouched rows from the
-  /// init replay. Single-owner.
+  /// frames, persisted rows from the file (one batched read), untouched
+  /// rows from the init replay. Single-owner.
   void SnapshotInto(Matrix* out) const;
 
   /// Materializes every row. RAM: parallel first-touch (rows are
   /// independent). Mmap: serial, writing uncached rows straight to the
-  /// backing file. Single-owner.
+  /// backing file in chunked batches. Single-owner.
   void EnsureAll(ThreadPool* pool);
 
   /// Heap + cache bytes actually resident in this process. Excludes
@@ -115,6 +145,9 @@ class TieredMatrix {
   int64_t BackingBytes() const;
 
   StorageCounters counters() const;
+
+  /// Per-shard cache telemetry (mmap only; empty for RAM).
+  std::vector<HotRowCache::ShardCounters> shard_counters() const;
 
   /// Rows materialized *by this process* (attach-restored rows do not
   /// count). Gates seed installation in the client-state store.
@@ -128,25 +161,49 @@ class TieredMatrix {
   const Matrix& ram_matrix() const { return ram_; }
 
  private:
+  /// One double-buffered read-ahead arena. The select thread owns a
+  /// slot while `full` is false, the driver while it is true; the flag's
+  /// release/acquire pair publishes the staged bytes.
+  struct StageSlot {
+    std::vector<int64_t> rows;
+    std::vector<double> bytes;  // rows.size() x cols
+    uint64_t armed_gen = 0;     // prepare_gen_ observed when arming began
+    std::atomic<bool> full{false};
+  };
+
+  // The persisted bitmap is written by the driver (write-backs) while
+  // the select thread polls it when staging, so the words go through
+  // relaxed atomics. Any stale read is safe: a "not persisted" miss
+  // just skips staging, a "persisted" race is rejected by the
+  // generation handshake before the bytes are used.
   bool Persisted(int64_t r) const {
-    return (persisted_[static_cast<size_t>(r >> 6)] >>
-            (static_cast<uint64_t>(r) & 63)) &
-           1;
+    const uint64_t word = __atomic_load_n(
+        &persisted_[static_cast<size_t>(r >> 6)], __ATOMIC_RELAXED);
+    return (word >> (static_cast<uint64_t>(r) & 63)) & 1;
   }
   void SetPersisted(int64_t r) {
-    persisted_[static_cast<size_t>(r >> 6)] |= uint64_t{1}
-                                               << (static_cast<uint64_t>(r) &
-                                                   63);
+    __atomic_fetch_or(&persisted_[static_cast<size_t>(r >> 6)],
+                      uint64_t{1} << (static_cast<uint64_t>(r) & 63),
+                      __ATOMIC_RELAXED);
+  }
+  int64_t OffsetOf(int64_t r) const {
+    return r * static_cast<int64_t>(cols_ * sizeof(double));
   }
   void ReadFileRow(int64_t r, double* dst) const;
   void WriteFileRow(int64_t r, const double* src);
   /// Fault `r` into the cache (write-back of the victim included).
   int64_t Fault(int64_t r);
   void MaterializeInto(int64_t r, double* dst);
-  /// Drops resident backing-file pages once the touched-byte budget is
-  /// exceeded. Perf-only; data lives in the page cache / file.
+  /// Remembers `r` was written this generation so a staged copy that
+  /// might have raced the write is distrusted at consumption.
+  void RecordWrite(int64_t r);
+  /// mmap-touch only: tracks which file pages the batch populated and
+  /// drops them (ranged DONTNEED) once the resident budget is exceeded.
+  /// The batched engines never fault file pages in, so they skip this.
+  void NoteTouched(const std::vector<RowIo>& ops) const;
   void MaybeTrim() const;
   Status LoadMeta(const std::string& path);
+  void StageRows(const std::vector<int>& rows);
 
   StorageKind kind_ = StorageKind::kRam;
   int64_t rows_ = 0;
@@ -161,22 +218,58 @@ class TieredMatrix {
   std::shared_ptr<StoreDir> dir_;
   MmapFile file_;
   HotRowCache cache_;
+  IoEngineKind io_engine_ = IoEngineKind::kMmapTouch;  // resolved
+  // The driver's engine. Mutable because const scans (SnapshotInto) read
+  // through it; engine state is transfer scratch + telemetry, never
+  // logical matrix state.
+  mutable std::unique_ptr<FaultEngine> engine_;
+  std::unique_ptr<FaultEngine> stage_engine_;  // select thread's reads
   std::vector<uint64_t> persisted_;     // bit per row: file holds the value
   std::vector<uint64_t> materialized_;  // bit per row: inited this process
   std::vector<int64_t> pinned_frames_;  // cohort frames, Pin order
   std::string meta_path_;
   int64_t resident_budget_bytes_ = 0;
+  int64_t page_bytes_ = 4096;
   mutable int64_t touched_file_bytes_ = 0;
+  mutable std::unordered_set<int64_t> touched_pages_;
+  mutable bool touched_overflow_ = false;
+  mutable std::vector<int64_t> trim_pages_;  // scratch for range merging
+
+  // Batched-fault scratch (single-owner, reused across rounds).
+  std::vector<int> miss_rows_;
+  std::vector<int64_t> miss_frames_;
+  std::vector<RowIo> read_ops_;
+  mutable std::vector<RowIo> single_ops_;
+  mutable std::vector<RowIo> snapshot_ops_;
+  std::vector<RowIo> write_ops_;
+  std::vector<int64_t> write_rows_;
+  std::vector<std::pair<int64_t, int64_t>> init_rows_;  // (row, frame)
+  std::unordered_map<int64_t, const double*> staged_lookup_;
+
+  // Staged read-ahead (batched engines only; see class comment).
+  StageSlot stage_slots_[2];
+  std::vector<RowIo> stage_ops_;  // select-thread scratch
+  std::atomic<uint64_t> prepare_gen_{0};
+  uint64_t bulk_write_gen_ = 0;  // staging armed at/before this is void
+  std::unordered_set<int64_t> recent_writes_[2];  // parity by generation
+  bool recent_saturated_[2] = {false, false};
+
+  // Select-thread prefetch scratch (mmap-touch range coalescing).
+  std::vector<int64_t> prefetch_rows_;
 
   std::atomic<int64_t> init_count_{0};
-  // hits/prefetched are bumped from the round fan-out / select thread;
-  // the rest are single-owner.
+  // hits/prefetch counters are bumped from the round fan-out / select
+  // thread; the rest are single-owner.
   mutable std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> prefetched_{0};
+  std::atomic<int64_t> prefetch_ranges_{0};
+  std::atomic<int64_t> staged_rows_{0};
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
   int64_t writebacks_ = 0;
   int64_t rematerializations_ = 0;
+  int64_t staged_hits_ = 0;
+  mutable int64_t trims_ = 0;
 };
 
 }  // namespace pieck

@@ -1,11 +1,13 @@
 // The beyond-RAM storage tier: proves the mmap backend (hot-row cache,
 // eviction, write-back, seed-keyed rematerialization) is bit-identical
 // to the RAM backend for full simulations across models, defenses,
-// thread counts, and pipeline depths; that eviction followed by refault
-// replays the exact init bits; that the cache behaves at its capacity
-// edges; and that the checkpoint/attach path orders data before
-// metadata (a store that claims a row persisted can always read it
-// back).
+// thread counts, and pipeline depths; that every cold-row I/O engine
+// (mmap-touch, pread-batch, io_uring) produces bit-identical models and
+// per-round losses, with io_uring degrading gracefully where the kernel
+// lacks rings; that eviction followed by refault replays the exact init
+// bits; that the cache behaves at its capacity edges; and that the
+// checkpoint/attach path orders data before metadata (a store that
+// claims a row persisted can always read it back).
 
 #include <cstdint>
 #include <cstdio>
@@ -14,6 +16,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -25,6 +28,7 @@
 #include "fed/client_state_store.h"
 #include "fed/server.h"
 #include "storage/dirty_rows.h"
+#include "storage/fault_engine.h"
 #include "storage/hot_row_cache.h"
 #include "storage/storage.h"
 #include "storage/tiered_matrix.h"
@@ -565,6 +569,237 @@ TEST(SparseSamplingTest, SparseBranchMatchesDenseReference) {
       ASSERT_EQ(got[static_cast<size_t>(i)], idx[static_cast<size_t>(i)])
           << "n=" << c.n << " k=" << c.k << " slot " << i;
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cold-row I/O engines: mmap-touch, pread-batch and io_uring are pure
+// byte movers and must be interchangeable without moving a single bit —
+// in full simulations (model digest AND per-round losses) across
+// pipeline depths, and in raw TieredMatrix traffic at the cache's
+// capacity edges (down to a single frame).
+
+StorageConfig EngineMmapConfig(IoEngineKind engine, int64_t cache_rows = 0) {
+  StorageConfig storage = MmapConfig(cache_rows);
+  storage.io_engine = engine;
+  return storage;
+}
+
+std::pair<uint64_t, std::vector<double>> RunDigestAndLosses(
+    const ExperimentConfig& config, int rounds) {
+  auto sim = Simulation::Create(config);
+  EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+  std::vector<RoundStats> stats;
+  (*sim)->RunRounds(rounds, &stats);
+  std::vector<double> losses;
+  losses.reserve(stats.size());
+  for (const RoundStats& s : stats) losses.push_back(s.mean_benign_loss);
+  return {SimulationDigest(**sim), losses};
+}
+
+TEST(IoEngineEquivalence, EnginesBitIdenticalAcrossDepths) {
+  for (int depth : {1, 2}) {
+    ExperimentConfig config = GoldenStyleConfig(
+        ModelKind::kMatrixFactorization, LossKind::kBce,
+        AttackKind::kPieckIpe, DefenseKind::kNoDefense, 1, depth);
+    // cohort + 1 frames: every round evicts, writes back and refaults,
+    // and (at depth 2) the select thread stages against live traffic.
+    config.storage = EngineMmapConfig(IoEngineKind::kMmapTouch, 17);
+    const auto [ref_digest, ref_losses] = RunDigestAndLosses(config, 4);
+    ASSERT_EQ(ref_losses.size(), 4u);
+    for (IoEngineKind engine :
+         {IoEngineKind::kPreadBatch, IoEngineKind::kIoUring}) {
+      config.storage.io_engine = engine;
+      const auto [digest, losses] = RunDigestAndLosses(config, 4);
+      EXPECT_EQ(digest, ref_digest)
+          << IoEngineToString(engine) << " diverged from mmap-touch at "
+          << "depth " << depth;
+      EXPECT_EQ(losses, ref_losses)
+          << IoEngineToString(engine) << " losses diverged at depth "
+          << depth;
+    }
+  }
+}
+
+// Mixed write/evict/flush/refault traffic through one engine; returns a
+// digest of the final logical matrix.
+uint64_t ExerciseEngine(IoEngineKind engine, int64_t cache_rows) {
+  constexpr int64_t kRows = 24;
+  constexpr size_t kCols = 5;
+  auto dir = StoreDir::Resolve("");
+  EXPECT_TRUE(dir.ok());
+  TieredMatrix m;
+  EXPECT_TRUE(m.Init(kRows, kCols, EngineMmapConfig(engine, cache_rows),
+                     *dir, "rows.bin", PatternInit(kCols))
+                  .ok());
+  for (int64_t r = 0; r < kRows; r += 2) {
+    double* row = m.MutableRow(r);
+    for (size_t c = 0; c < kCols; ++c) {
+      row[c] += 0.25 * static_cast<double>(r + 1);
+    }
+  }
+  for (int64_t r = 0; r < kRows; ++r) m.Row(r);
+  m.FlushAll(nullptr);
+  for (int64_t r = kRows - 1; r >= 0; --r) m.Row(r);
+  Matrix snap;
+  m.SnapshotInto(&snap);
+  return HashDoubles(0xcbf29ce484222325ULL, snap.data().data(),
+                     snap.data().size());
+}
+
+TEST(IoEngineEquivalence, EnginesByteIdenticalAtCacheEdges) {
+  for (int64_t cache_rows : {int64_t{1}, int64_t{3}}) {
+    const uint64_t ref =
+        ExerciseEngine(IoEngineKind::kMmapTouch, cache_rows);
+    EXPECT_EQ(ExerciseEngine(IoEngineKind::kPreadBatch, cache_rows), ref)
+        << "pread-batch, " << cache_rows << " frame(s)";
+    EXPECT_EQ(ExerciseEngine(IoEngineKind::kIoUring, cache_rows), ref)
+        << "io_uring, " << cache_rows << " frame(s)";
+  }
+}
+
+// io_uring must degrade to pread-batch (never fail) on kernels or
+// sandboxes without rings, and a store asked for io_uring must come up
+// working either way.
+TEST(IoEngineTest, IoUringResolvesOrDegradesGracefully) {
+  EXPECT_EQ(ResolveIoEngine(IoEngineKind::kMmapTouch),
+            IoEngineKind::kMmapTouch);
+  EXPECT_EQ(ResolveIoEngine(IoEngineKind::kPreadBatch),
+            IoEngineKind::kPreadBatch);
+  const IoEngineKind resolved = ResolveIoEngine(IoEngineKind::kIoUring);
+  if (IoUringSupported()) {
+    EXPECT_EQ(resolved, IoEngineKind::kIoUring);
+  } else {
+    EXPECT_EQ(resolved, IoEngineKind::kPreadBatch);
+  }
+
+  auto dir = StoreDir::Resolve("");
+  ASSERT_TRUE(dir.ok());
+  TieredMatrix m;
+  ASSERT_TRUE(m.Init(8, 3, EngineMmapConfig(IoEngineKind::kIoUring, 2),
+                     *dir, "rows.bin", PatternInit(3))
+                  .ok());
+  EXPECT_EQ(m.io_engine(), resolved);
+  for (int64_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(m.Row(r)[0], static_cast<double>(r) * 1000.0);
+  }
+}
+
+TEST(IoEngineTest, CoalesceRunsSortsAndSplitsAtGaps) {
+  constexpr size_t kRowBytes = 32;
+  // Offsets (pre-sort): one 3-row run at 0, a lone row at 128, a 2-row
+  // run at 256.
+  std::vector<RowIo> ops = {{256, nullptr}, {0, nullptr},  {64, nullptr},
+                            {128, nullptr}, {288, nullptr}, {32, nullptr}};
+  std::vector<size_t> run_ends;
+  CoalesceRuns(&ops, kRowBytes, &run_ends);
+  ASSERT_EQ(ops.size(), 6u);
+  for (size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_LT(ops[i - 1].offset, ops[i].offset);
+  }
+  ASSERT_EQ(run_ends.size(), 3u);
+  EXPECT_EQ(run_ends[0], 3u);  // 0, 32, 64
+  EXPECT_EQ(run_ends[1], 4u);  // 128
+  EXPECT_EQ(run_ends[2], 6u);  // 256, 288
+}
+
+// ---------------------------------------------------------------------
+// Per-shard cache counters partition the store totals exactly.
+
+TEST(HotRowCacheTest, ShardCountersPartitionStoreTotals) {
+  auto dir = StoreDir::Resolve("");
+  ASSERT_TRUE(dir.ok());
+  TieredMatrix m;
+  ASSERT_TRUE(m.Init(32, 4, EngineMmapConfig(IoEngineKind::kPreadBatch, 4),
+                     *dir, "rows.bin", PatternInit(4))
+                  .ok());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int64_t r = 0; r < 32; ++r) m.MutableRow(r);
+    for (int64_t r = 0; r < 4; ++r) m.Row(r);  // some genuine hits
+  }
+  const StorageCounters totals = m.counters();
+  EXPECT_GT(totals.hits, 0);
+  EXPECT_GT(totals.misses, 0);
+  EXPECT_GT(totals.evictions, 0);
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  const std::vector<HotRowCache::ShardCounters> shards = m.shard_counters();
+  ASSERT_FALSE(shards.empty());
+  for (const HotRowCache::ShardCounters& s : shards) {
+    hits += s.hits;
+    misses += s.misses;
+    evictions += s.evictions;
+  }
+  EXPECT_EQ(hits, totals.hits);
+  EXPECT_EQ(misses, totals.misses);
+  EXPECT_EQ(evictions, totals.evictions);
+}
+
+// ---------------------------------------------------------------------
+// Staged read-ahead: under a batched engine, Prefetch reads persisted
+// cold rows into a stage slot and the next PinRows consumes them as
+// memcpy fills (staged_hits) with the exact written bytes.
+
+TEST(TieredMatrixTest, PrefetchStagesPersistedRowsForPinRows) {
+  constexpr size_t kCols = 4;
+  auto dir = StoreDir::Resolve("");
+  ASSERT_TRUE(dir.ok());
+  TieredMatrix m;
+  ASSERT_TRUE(m.Init(8, kCols, EngineMmapConfig(IoEngineKind::kPreadBatch, 2),
+                     *dir, "rows.bin", PatternInit(kCols))
+                  .ok());
+  // Dirty rows 0..3 through the 2-frame cache: 0 and 1 are evicted with
+  // write-back, 2 and 3 stay dirty until FlushAll persists them.
+  for (int64_t r = 0; r < 4; ++r) {
+    double* row = m.MutableRow(r);
+    for (size_t c = 0; c < kCols; ++c) {
+      row[c] = static_cast<double>(100 * r + static_cast<int64_t>(c));
+    }
+  }
+  m.FlushAll(nullptr);
+  // One pin/flush cycle opens a staging window past the FlushAll poison
+  // (staging armed at or before a bulk write is distrusted by design).
+  m.PinRows({2, 3});
+  m.FlushPinned(nullptr);
+
+  m.Prefetch({0, 1});  // select thread's read-ahead for the next cohort
+  EXPECT_GE(m.counters().staged_rows, 2);
+  m.PinRows({0, 1});
+  EXPECT_EQ(m.counters().staged_hits, 2);
+  for (int64_t r = 0; r < 2; ++r) {
+    const double* row = m.Row(r);
+    for (size_t c = 0; c < kCols; ++c) {
+      EXPECT_EQ(row[c], static_cast<double>(100 * r + static_cast<int64_t>(c)))
+          << "row " << r << " col " << c;
+    }
+  }
+  m.FlushPinned(nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Resident-budget trims: the mmap-touch engine tracks the file pages it
+// populates and drops them in ranged DONTNEED batches once the budget
+// is exceeded. (The batched engines never fault file pages, so they
+// have nothing to trim.)
+
+TEST(TieredMatrixTest, ResidentBudgetTrimsTouchedPages) {
+  constexpr int64_t kRows = 256;
+  constexpr size_t kCols = 64;  // 512 B/row -> 128 KB file
+  auto dir = StoreDir::Resolve("");
+  ASSERT_TRUE(dir.ok());
+  StorageConfig config = EngineMmapConfig(IoEngineKind::kMmapTouch, 2);
+  config.resident_budget_bytes = 4096;
+  TieredMatrix m;
+  ASSERT_TRUE(
+      m.Init(kRows, kCols, config, *dir, "rows.bin", PatternInit(kCols))
+          .ok());
+  for (int64_t r = 0; r < kRows; ++r) m.MutableRow(r);  // evict + write back
+  m.FlushAll(nullptr);
+  EXPECT_GT(m.counters().trims, 0);
+  // Trimming is perf-only: the bytes still read back exactly.
+  for (int64_t r = 0; r < kRows; r += 37) {
+    EXPECT_EQ(m.Row(r)[1], static_cast<double>(r) * 1000.0 + 1.0);
   }
 }
 

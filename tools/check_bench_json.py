@@ -37,13 +37,24 @@ Subcommands (one per artifact family):
 
   storage  <scale.json>    [--require-backend B] [--max-rss-mb X]
            [--min-rounds-per-sec X] [--min-hit-rate F]
-           [--require-compare-identical]
+           [--require-compare-identical] [--require-engine E]
+           [--allow-engine-fallback] [--max-shard-imbalance R]
+           [--min-engine-speedup X]
       Beyond-RAM storage gate from `bench_scale_users --storage mmap
       --json` (see docs/STORAGE.md): same schema validation as `scale`
       plus the per-run `storage` object; optionally requires runs of
       backend B with peak RSS, round throughput, and hot-row cache hit
       rate within bounds, and (for --backend_compare artifacts) the
-      `storage_compare` section to report bitwise RAM/mmap agreement.
+      `storage_compare` section to report bitwise RAM/mmap agreement
+      under every I/O engine it swept. `--require-engine` pins the
+      resolved cold-row I/O engine (`--allow-engine-fallback` accepts
+      the documented io_uring -> pread-batch degrade on kernels without
+      rings). Per-shard hot-row-cache counters must always sum to the
+      store totals; `--max-shard-imbalance` additionally caps the
+      max/min shard hit-rate ratio. `--min-engine-speedup` gates the
+      `io_engine_compare` section from `--engine_compare` artifacts:
+      every batched engine must clear X times the mmap-touch round
+      throughput.
 
 Every subcommand prints what it measured and exits non-zero with a
 reason on failure. See .github/workflows/ci.yml for the wiring.
@@ -100,6 +111,7 @@ RUN_FIELDS = (
 )
 STORAGE_FIELDS = (
     "backend",
+    "io_engine",
     "cache_rows",
     "backing_mb",
     "cache_hits",
@@ -107,15 +119,38 @@ STORAGE_FIELDS = (
     "cache_evictions",
     "cache_writebacks",
     "cache_hit_rate",
+    "io_read_runs",
+    "io_write_runs",
+    "staged_rows",
+    "staged_hits",
+    "prefetched_rows",
+    "prefetch_ranges",
+    "trims",
+)
+# Present only on mmap runs (the cache exists there).
+STORAGE_SHARD_FIELDS = (
+    "shard_hit_rate_min",
+    "shard_hit_rate_max",
+    "shard_hit_rate_ratio",
+    "shards",
 )
 COMPARE_FIELDS = (
     "users",
+    "engine",
     "identical",
     "ram_digest",
     "mmap_digest",
     "rounds_per_sec_ram",
     "rounds_per_sec_mmap",
 )
+ENGINE_COMPARE_FIELDS = (
+    "users",
+    "engine",
+    "rounds_per_sec_mmap_touch",
+    "rounds_per_sec",
+    "speedup",
+)
+IO_ENGINES = ("mmap-touch", "pread-batch", "io_uring")
 ASYNC_FIELDS = (
     "users",
     "depth",
@@ -334,6 +369,38 @@ def cmd_async(args):
     print(f"OK: {len(compares)} async comparison(s) pass")
 
 
+def check_shards(path, i, run, max_imbalance):
+    """Per-shard counters of one mmap run: schema, totals, imbalance."""
+    storage = run["storage"]
+    for field in STORAGE_SHARD_FIELDS:
+        if field not in storage:
+            sys.exit(f"{path}: scale_users[{i}].storage missing '{field}'")
+    shards = storage["shards"]
+    if not isinstance(shards, list) or not shards:
+        sys.exit(f"{path}: scale_users[{i}].storage.shards missing or empty")
+    for total_key, shard_key in (
+        ("cache_hits", "hits"),
+        ("cache_misses", "misses"),
+        ("cache_evictions", "evictions"),
+    ):
+        shard_sum = sum(s[shard_key] for s in shards)
+        if shard_sum != storage[total_key]:
+            sys.exit(
+                f"{path}: scale_users[{i}] shard {shard_key} sum to "
+                f"{shard_sum}, store counted {storage[total_key]} — the "
+                "per-shard counters must partition the totals exactly"
+            )
+    ratio = storage["shard_hit_rate_ratio"]
+    if max_imbalance and ratio > max_imbalance:
+        sys.exit(
+            f"{path}: shard hit-rate imbalance {ratio:.2f} exceeds "
+            f"{max_imbalance:.2f} at {run['users']} users (min "
+            f"{storage['shard_hit_rate_min']:.3f}, max "
+            f"{storage['shard_hit_rate_max']:.3f}): one cache shard is "
+            "doing disproportionate work"
+        )
+
+
 def cmd_storage(args):
     data = load(args.json)
     runs = validate_scale_schema(args.json, data)
@@ -342,6 +409,13 @@ def cmd_storage(args):
         for field in STORAGE_FIELDS:
             if field not in storage:
                 sys.exit(f"{args.json}: scale_users[{i}].storage missing '{field}'")
+        if storage["backend"] == "mmap":
+            if storage["io_engine"] not in IO_ENGINES:
+                sys.exit(
+                    f"{args.json}: scale_users[{i}] resolved to unknown "
+                    f"io_engine '{storage['io_engine']}'"
+                )
+            check_shards(args.json, i, run, args.max_shard_imbalance)
 
     checked = [
         r
@@ -357,10 +431,13 @@ def cmd_storage(args):
     for run in checked:
         storage = run["storage"]
         print(
-            f"storage backend={storage['backend']} users={run['users']} "
+            f"storage backend={storage['backend']} "
+            f"engine={storage['io_engine'] or '-'} users={run['users']} "
             f"cache_rows={storage['cache_rows']} "
             f"hit_rate={storage['cache_hit_rate']:.3f} "
             f"backing_mb={storage['backing_mb']:.1f} "
+            f"io_runs={storage['io_read_runs']}r/{storage['io_write_runs']}w "
+            f"staged={storage['staged_hits']}/{storage['staged_rows']} "
             f"rounds/s={run['rounds_per_sec']:.2f} "
             f"peak_rss_mb={run['peak_rss_mb']:.1f}"
         )
@@ -369,6 +446,23 @@ def cmd_storage(args):
                 f"mmap run at {run['users']} users reports no backing bytes — "
                 "the store is not actually file-backed"
             )
+        if args.require_engine and storage["backend"] == "mmap":
+            got = storage["io_engine"]
+            fallback_ok = (
+                args.allow_engine_fallback
+                and args.require_engine == "io_uring"
+                and got == "pread-batch"
+            )
+            if got != args.require_engine and not fallback_ok:
+                sys.exit(
+                    f"run at {run['users']} users resolved to io_engine "
+                    f"'{got}', gate requires '{args.require_engine}'"
+                    + (
+                        " (fallback not allowed)"
+                        if args.require_engine == "io_uring"
+                        else ""
+                    )
+                )
         if args.max_rss_mb and run["peak_rss_mb"] > args.max_rss_mb:
             sys.exit(
                 f"peak RSS {run['peak_rss_mb']:.1f} MB exceeds "
@@ -402,13 +496,45 @@ def cmd_storage(args):
                 if field not in c:
                     sys.exit(f"{args.json}: storage_compare[{i}] missing '{field}'")
             print(
-                f"compare users={c['users']} identical={c['identical']} "
+                f"compare users={c['users']} engine={c['engine']} "
+                f"identical={c['identical']} "
                 f"(ram {c['ram_digest']} vs mmap {c['mmap_digest']})"
             )
+            if c["engine"] not in IO_ENGINES:
+                sys.exit(
+                    f"{args.json}: storage_compare[{i}] has unknown engine "
+                    f"'{c['engine']}'"
+                )
             if not c["identical"]:
                 sys.exit(
-                    f"mmap run diverged from RAM at {c['users']} users: "
-                    "storage must never change results"
+                    f"mmap run ({c['engine']}) diverged from RAM at "
+                    f"{c['users']} users: storage must never change results"
+                )
+
+    if args.min_engine_speedup:
+        compares = data.get("io_engine_compare")
+        if not isinstance(compares, list) or not compares:
+            sys.exit(
+                f"{args.json}: no 'io_engine_compare' section — rerun "
+                "bench_scale_users with --engine_compare"
+            )
+        for i, c in enumerate(compares):
+            for field in ENGINE_COMPARE_FIELDS:
+                if field not in c:
+                    sys.exit(
+                        f"{args.json}: io_engine_compare[{i}] missing '{field}'"
+                    )
+            print(
+                f"engine compare users={c['users']} engine={c['engine']}: "
+                f"mmap-touch {c['rounds_per_sec_mmap_touch']:.2f} -> "
+                f"{c['rounds_per_sec']:.2f} rounds/s ({c['speedup']:.3f}x)"
+            )
+            if c["speedup"] < args.min_engine_speedup:
+                sys.exit(
+                    f"engine '{c['engine']}' speedup {c['speedup']:.3f}x "
+                    f"below floor {args.min_engine_speedup:.2f}x at "
+                    f"{c['users']} users: the batched engine must beat "
+                    "demand paging"
                 )
     print(f"OK: {len(checked)} storage run(s) within budget")
 
@@ -522,6 +648,10 @@ def main():
     p.add_argument("--min-rounds-per-sec", type=float, default=0.0)
     p.add_argument("--min-hit-rate", type=float, default=0.0)
     p.add_argument("--require-compare-identical", action="store_true")
+    p.add_argument("--require-engine", choices=IO_ENGINES, default="")
+    p.add_argument("--allow-engine-fallback", action="store_true")
+    p.add_argument("--max-shard-imbalance", type=float, default=0.0)
+    p.add_argument("--min-engine-speedup", type=float, default=0.0)
     p.set_defaults(func=cmd_storage)
 
     args = parser.parse_args()
